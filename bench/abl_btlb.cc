@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation A1: value of the BTLB.
+ *
+ * The paper's translation unit caches the last 8 extents (§V.B).
+ * This bench sweeps the BTLB capacity (0 disables it) on a guest
+ * whose backing file is fragmented into 64-block extents, so
+ * translations exhibit the spatial locality the BTLB exploits: one
+ * cached extent serves the next 64 sequential blocks. Expected shape:
+ * without the BTLB every block walks the tree; one entry already
+ * recovers nearly all of it for sequential access. As a control, the
+ * same sweep over a single-block-extent file shows the BTLB cannot
+ * help when there is no extent locality.
+ */
+#include "bench/common.h"
+#include "util/rng.h"
+#include "workloads/dd.h"
+
+using namespace nesc;
+
+namespace {
+
+/**
+ * Creates a backing file whose allocation interleaves with a decoy in
+ * runs of @p run_blocks, producing extents of exactly that length.
+ */
+fs::InodeId
+make_fragmented_file(virt::Testbed &bed, const std::string &path,
+                     std::uint64_t blocks, std::uint64_t run_blocks)
+{
+    auto &fs = bed.hv_fs();
+    auto ino = bench::must(fs.create(path, 0644), "create");
+    auto decoy = bench::must(fs.create(path + ".decoy", 0644), "decoy");
+    for (std::uint64_t vb = 0; vb < blocks; vb += run_blocks) {
+        const std::uint64_t n = std::min(run_blocks, blocks - vb);
+        bench::must_ok(fs.allocate_range(ino, vb, n), "alloc");
+        bench::must_ok(fs.allocate_range(decoy, vb, n), "alloc decoy");
+    }
+    return ino;
+}
+
+void
+sweep(std::uint64_t run_blocks, const char *label)
+{
+    std::printf("--- extent length: %llu blocks (%s) ---\n",
+                static_cast<unsigned long long>(run_blocks), label);
+    util::Table table({"btlb_entries", "seq_read_MB_s", "rand_read_us",
+                       "btlb_hit_rate", "walks_per_block"});
+    for (std::uint32_t entries : {0u, 1u, 2u, 8u, 64u}) {
+        virt::TestbedConfig config = bench::default_config();
+        config.controller.btlb_entries = entries;
+        config.pf.tree.fanout = 16;
+        auto bed = bench::must(virt::Testbed::create(config), "testbed");
+
+        const std::uint64_t blocks = 4096;
+        make_fragmented_file(*bed, "/frag.img", blocks, run_blocks);
+        auto vm = bench::must(bed->create_nesc_guest("/frag.img", blocks),
+                              "guest");
+
+        wl::DdConfig dd;
+        dd.request_bytes = 4096;
+        dd.total_bytes = 4ULL << 20;
+        auto seq = bench::must(
+            wl::run_dd_raw(bed->sim(), vm->raw_disk(), dd), "seq dd");
+
+        util::Rng rng(1);
+        std::vector<std::byte> buf(1024);
+        const sim::Time rand_start = bed->sim().now();
+        const std::uint32_t rand_ops = 256;
+        for (std::uint32_t i = 0; i < rand_ops; ++i) {
+            bench::must_ok(vm->raw_disk().read_blocks(
+                               rng.next_below(blocks), 1, buf),
+                           "rand read");
+        }
+        const double rand_us =
+            util::ns_to_us(bed->sim().now() - rand_start) / rand_ops;
+
+        const auto &counters = bed->controller().counters();
+        const std::uint64_t vf_blocks =
+            bed->controller().stats(1).blocks_read;
+        table.row()
+            .add(entries)
+            .add(seq.bandwidth_mb_s, 1)
+            .add(rand_us, 1)
+            .add(bed->controller().btlb().hit_rate(), 3)
+            .add(vf_blocks ? static_cast<double>(
+                                 counters.get("walk_node_reads")) /
+                                 static_cast<double>(vf_blocks)
+                           : 0.0,
+                 2);
+    }
+    bench::print_table(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::print_header(
+        "Ablation A1", "BTLB capacity sweep on fragmented virtual disks",
+        "design-choice study beyond the paper's figures: the 8-entry "
+        "BTLB recovers nearly all translation cost when extents have "
+        "locality; it cannot help on single-block extents");
+
+    sweep(64, "BTLB-friendly");
+    sweep(1, "control: no extent locality");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Each bench binary rebuilds one table or figure of the paper: it
+ * assembles a Testbed, drives the workloads, and prints the same
+ * rows/series the paper reports (plus CSV when NESC_BENCH_CSV=1).
+ * Absolute values are simulation estimates; the captions state which
+ * qualitative shape the paper's result has and where to look.
+ */
+#ifndef NESC_BENCH_COMMON_H
+#define NESC_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+#include "virt/testbed.h"
+
+namespace nesc::bench {
+
+/** Standard bench testbed: 128 MiB prototype-like device. */
+inline virt::TestbedConfig
+default_config()
+{
+    virt::TestbedConfig config;
+    config.device.capacity_bytes = 128ULL << 20;
+    config.host_memory_bytes = 128ULL << 20;
+    return config;
+}
+
+/** Prints a bench header: figure/table id and what the paper showed. */
+inline void
+print_header(const std::string &id, const std::string &description,
+             const std::string &paper_shape)
+{
+    std::printf("=====================================================\n");
+    std::printf("%s — %s\n", id.c_str(), description.c_str());
+    std::printf("Paper result (shape to reproduce): %s\n",
+                paper_shape.c_str());
+    std::printf("=====================================================\n");
+}
+
+/** Prints a table, and its CSV form when NESC_BENCH_CSV=1. */
+inline void
+print_table(const util::Table &table)
+{
+    std::cout << table.to_string();
+    const char *csv = std::getenv("NESC_BENCH_CSV");
+    if (csv != nullptr && std::string(csv) == "1") {
+        std::cout << "\n[csv]\n" << table.to_csv();
+    }
+    std::cout << std::endl;
+}
+
+/** Aborts the bench with a message when a Result/Status failed. */
+template <typename T>
+T
+must(util::Result<T> result, const char *what)
+{
+    if (!result.is_ok()) {
+        std::fprintf(stderr, "FATAL %s: %s\n", what,
+                     result.status().to_string().c_str());
+        std::exit(1);
+    }
+    return std::move(result).value();
+}
+
+inline void
+must_ok(const util::Status &status, const char *what)
+{
+    if (!status.is_ok()) {
+        std::fprintf(stderr, "FATAL %s: %s\n", what,
+                     status.to_string().c_str());
+        std::exit(1);
+    }
+}
+
+} // namespace nesc::bench
+
+#endif // NESC_BENCH_COMMON_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 10: raw device bandwidth for read (top) and write (bottom)
+ * across request sizes 512 B – 32 KiB, plus the large-block (>= 2 MiB)
+ * series where NeSC and virtio converge.
+ */
+#include "bench/common.h"
+#include "workloads/dd.h"
+
+using namespace nesc;
+
+namespace {
+
+void
+run_direction(bool write, const std::vector<std::uint64_t> &sizes,
+              std::uint64_t per_size_bytes, virt::Testbed &bed,
+              virt::GuestVm &nesc_vm, virt::GuestVm &virtio_vm,
+              virt::GuestVm &emu_vm)
+{
+    util::Table table({"block_size", "host_MB_s", "nesc_MB_s",
+                       "virtio_MB_s", "emulation_MB_s", "nesc/virtio"});
+    for (std::uint64_t bs : sizes) {
+        wl::DdConfig dd;
+        dd.request_bytes = bs;
+        dd.total_bytes = std::max<std::uint64_t>(per_size_bytes, 4 * bs);
+        dd.write = write;
+
+        auto host =
+            bench::must(wl::run_dd_raw(bed.sim(), bed.host_raw_io(), dd),
+                        "host dd");
+        auto nesc_r = bench::must(
+            wl::run_dd_raw(bed.sim(), nesc_vm.raw_disk(), dd), "nesc dd");
+        dd.start_offset = (bed.device().geometry().num_blocks() - 32768) *
+                          ctrl::kDeviceBlockSize;
+        auto virtio = bench::must(
+            wl::run_dd_raw(bed.sim(), virtio_vm.raw_disk(), dd),
+            "virtio dd");
+        auto emu = bench::must(
+            wl::run_dd_raw(bed.sim(), emu_vm.raw_disk(), dd), "emu dd");
+
+        table.row()
+            .add(bs)
+            .add(host.bandwidth_mb_s, 1)
+            .add(nesc_r.bandwidth_mb_s, 1)
+            .add(virtio.bandwidth_mb_s, 1)
+            .add(emu.bandwidth_mb_s, 1)
+            .add(nesc_r.bandwidth_mb_s / virtio.bandwidth_mb_s);
+    }
+    std::printf("--- %s bandwidth ---\n", write ? "write" : "read");
+    bench::print_table(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::print_header(
+        "Figure 10", "raw bandwidth vs. request size",
+        "NeSC close to Host everywhere; >2.5x virtio for <16 KiB reads "
+        "and >3x for 32 KiB writes; NeSC and virtio converge for very "
+        "large (>=2 MiB) reads");
+
+    auto bed = bench::must(virt::Testbed::create(bench::default_config()),
+                           "testbed");
+    auto nesc_vm = bench::must(
+        bed->create_nesc_guest("/images/fig10.img", 65536, true),
+        "nesc guest");
+    auto virtio_vm =
+        bench::must(bed->create_virtio_guest_raw(), "virtio guest");
+    auto emu_vm =
+        bench::must(bed->create_emulated_guest_raw(), "emulated guest");
+
+    const std::vector<std::uint64_t> small = {512,  1024, 2048, 4096,
+                                              8192, 16384, 32768};
+    run_direction(false, small, 2ULL << 20, *bed, *nesc_vm, *virtio_vm,
+                  *emu_vm);
+    run_direction(true, small, 2ULL << 20, *bed, *nesc_vm, *virtio_vm,
+                  *emu_vm);
+
+    std::printf("--- large-block convergence (read) ---\n");
+    const std::vector<std::uint64_t> large = {262144, 1048576, 2097152,
+                                              4194304};
+    run_direction(false, large, 16ULL << 20, *bed, *nesc_vm, *virtio_vm,
+                  *emu_vm);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table I: the experimental platform. Prints the modelled equivalent
+ * of the paper's host machine / virtualized system / prototyping
+ * platform tables, with the calibrated simulation parameters.
+ */
+#include "bench/common.h"
+
+using namespace nesc;
+
+int
+main()
+{
+    bench::print_header("Table I", "experimental platform",
+                        "descriptive table (no measured shape)");
+
+    auto bed = bench::must(virt::Testbed::create(bench::default_config()),
+                           "testbed");
+    const auto &config = bed->config();
+
+    util::Table host({"Host machine (modelled)", "value"});
+    host.row().add("Machine model").add(
+        "Supermicro X9DRG-QF (Sandy Bridge Xeon) — cost-modelled");
+    host.row().add("Host DRAM model").add(
+        std::to_string(config.host_memory_bytes >> 20) + " MiB");
+    host.row().add("vmexit+vmenter round trip").add(
+        std::to_string(config.costs.vm_trap) + " ns");
+    host.row().add("Hypervisor").add(
+        "QEMU/KVM-style: emulation, virtio and direct assignment paths");
+    bench::print_table(host);
+
+    util::Table proto({"Prototyping platform (modelled)", "value"});
+    proto.row().add("Model").add(
+        "Xilinx VC707 (Virtex-7) NeSC prototype — functional+timing model");
+    proto.row().add("Device RAM / capacity").add(
+        std::to_string(config.device.capacity_bytes >> 20) + " MiB");
+    proto.row().add("Media read rate").add(
+        std::to_string(config.device.read_bytes_per_sec / 1'000'000) +
+        " MB/s (prototype: 800 MB/s)");
+    proto.row().add("Media write rate").add(
+        std::to_string(config.device.write_bytes_per_sec / 1'000'000) +
+        " MB/s (prototype: ~1 GB/s)");
+    proto.row().add("Host I/O").add(
+        "PCIe x8 gen2-class DMA: " +
+        std::to_string(
+            bed->controller().dma().config().bytes_per_sec / 1'000'000) +
+        " MB/s, " +
+        std::to_string(bed->controller().dma().config().latency) +
+        " ns latency");
+    proto.row().add("SR-IOV emulation").add(
+        "BAR sliced into " + std::to_string(config.bar_page_size) +
+        " B pages; page 0 = PF, page i = VF i");
+    proto.row().add("VF slots").add(
+        std::to_string(config.controller.max_vfs));
+    proto.row().add("BTLB").add(
+        std::to_string(config.controller.btlb_entries) +
+        " extents, FIFO replacement");
+    proto.row().add("Block walks overlapped").add(
+        std::to_string(config.controller.walk_overlap));
+    proto.row().add("Device block size").add(
+        std::to_string(ctrl::kDeviceBlockSize) + " B");
+    bench::print_table(proto);
+
+    util::Table guest({"Virtualized system (modelled)", "value"});
+    guest.row().add("VMM").add("QEMU/KVM-style cost model");
+    guest.row().add("Guest filesystem").add(
+        "nestfs (ext4-like extents, metadata journal)");
+    guest.row().add("Guest cache").add(
+        std::to_string(config.guest.fs_stack.cache.capacity_blocks) +
+        " blocks (paper: guest RAM capped at 128 MB)");
+    guest.row().add("Hypervisor filesystem").add(
+        "nestfs on the PF block device");
+    bench::print_table(guest);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table II: the benchmark suite. Lists each benchmark with its role
+ * and runs a small smoke configuration of each on a NeSC guest to
+ * show it is functional.
+ */
+#include "bench/common.h"
+#include "workloads/dd.h"
+#include "workloads/fileio.h"
+#include "workloads/oltp.h"
+#include "workloads/postmark.h"
+
+using namespace nesc;
+
+int
+main()
+{
+    bench::print_header("Table II", "benchmarks",
+                        "descriptive table (no measured shape)");
+
+    util::Table listing({"benchmark", "class", "description"});
+    listing.row().add("GNU dd").add("microbenchmark").add(
+        "read/write files using different operational parameters");
+    listing.row().add("Sysbench I/O").add("macrobenchmark").add(
+        "a sequence of random file operations");
+    listing.row().add("Postmark").add("macrobenchmark").add(
+        "mail server simulation");
+    listing.row().add("MySQL (MiniDb)").add("macrobenchmark").add(
+        "relational database serving the SysBench OLTP workload");
+    bench::print_table(listing);
+
+    // Smoke-run each benchmark on a NeSC guest with a filesystem.
+    auto bed = bench::must(virt::Testbed::create(bench::default_config()),
+                           "testbed");
+    auto vm = bench::must(
+        bed->create_nesc_guest("/images/table2.img", 49152, true), "guest");
+    bench::must_ok(vm->format_fs(), "guest fs");
+
+    util::Table smoke({"benchmark", "metric", "value"});
+    {
+        wl::DdConfig dd;
+        dd.request_bytes = 4096;
+        dd.total_bytes = 1 << 20;
+        dd.write = true;
+        auto result = bench::must(
+            wl::run_dd_raw(bed->sim(), vm->raw_disk(), dd), "dd");
+        smoke.row().add("dd 4K seq write").add("MB/s").add(
+            result.bandwidth_mb_s, 1);
+    }
+    {
+        wl::FileioConfig config;
+        config.operations = 300;
+        auto result = bench::must(wl::run_fileio(bed->sim(), *vm, config),
+                                  "fileio");
+        smoke.row().add("Sysbench I/O rndrw").add("ops/s").add(
+            result.ops_per_sec, 0);
+    }
+    {
+        wl::PostmarkConfig config;
+        config.initial_files = 30;
+        config.transactions = 100;
+        auto result =
+            bench::must(wl::run_postmark(bed->sim(), *vm, config),
+                        "postmark");
+        smoke.row().add("Postmark").add("txn/s").add(
+            result.transactions_per_sec, 0);
+    }
+    {
+        wl::OltpConfig config;
+        config.transactions = 40;
+        config.db.rows = 1024;
+        config.db.directory = "/oltp-t2";
+        auto result =
+            bench::must(wl::run_oltp(bed->sim(), *vm, config), "oltp");
+        smoke.row().add("MySQL OLTP (MiniDb)").add("txn/s").add(
+            result.transactions_per_sec, 0);
+    }
+    bench::print_table(smoke);
+    return 0;
+}

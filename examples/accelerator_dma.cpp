@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Accelerator-to-storage DMA (paper §I and §IV.D): NeSC VF instances
+ * are real PCIe endpoints, so a GPU/FPGA on the interconnect can be
+ * granted a VF and stream file data with device-to-device DMA — no
+ * CPU or OS on the data path.
+ *
+ * This example models an accelerator that checksums a dataset file:
+ *  1. the hypervisor exports the dataset as a VF (read-only intent);
+ *  2. the "accelerator" drives the VF's command rings itself, keeping
+ *     several DMA reads in flight, and folds each block into a
+ *     checksum as it arrives;
+ *  3. the result is compared against a host-side computation of the
+ *     same checksum, and the example reports how much data moved and
+ *     how long the accelerator pipeline took in simulated time.
+ */
+#include <cstdio>
+
+#include "drivers/function_driver.h"
+#include "virt/testbed.h"
+#include "workloads/dd.h"
+
+using namespace nesc;
+
+namespace {
+
+/** FNV-1a over a block, order-independent fold by block index. */
+std::uint64_t
+block_checksum(const std::vector<std::byte> &data)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::byte b : data) {
+        h ^= static_cast<std::uint64_t>(b);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto bed_or = virt::Testbed::create();
+    if (!bed_or.is_ok()) {
+        std::fprintf(stderr, "testbed: %s\n",
+                     bed_or.status().to_string().c_str());
+        return 1;
+    }
+    auto &bed = **bed_or;
+
+    // 1. The hypervisor prepares a dataset file and fills it.
+    const std::uint64_t dataset_blocks = 16 * 1024; // 16 MiB
+    auto ino =
+        bed.create_backing_file("/datasets/train.bin", dataset_blocks,
+                                /*preallocate=*/true);
+    if (!ino.is_ok()) {
+        std::fprintf(stderr, "dataset: %s\n",
+                     ino.status().to_string().c_str());
+        return 1;
+    }
+    std::vector<std::byte> content(dataset_blocks * 1024);
+    wl::fill_pattern(77, 0, content);
+    if (!bed.hv_fs().write(*ino, 0, content).is_ok()) {
+        std::fprintf(stderr, "dataset fill failed\n");
+        return 1;
+    }
+    // Crucial coherence step (paper §IV.D): the hypervisor wrote the
+    // dataset through its own buffer cache; before granting a device
+    // direct access it must flush, or the accelerator will DMA stale
+    // blocks from the media.
+    if (!bed.hv_fs().sync().is_ok()) {
+        std::fprintf(stderr, "dataset sync failed\n");
+        return 1;
+    }
+
+    // 2. Export it as a VF for the accelerator.
+    auto fn = bed.pf().create_vf(*ino, dataset_blocks);
+    if (!fn.is_ok()) {
+        std::fprintf(stderr, "create_vf: %s\n",
+                     fn.status().to_string().c_str());
+        return 1;
+    }
+    std::printf("dataset exported as VF %u (%llu MiB)\n", *fn,
+                static_cast<unsigned long long>(dataset_blocks >> 10));
+
+    // 3. The accelerator: drives the VF rings directly, 8 requests of
+    //    32 blocks in flight, checksumming blocks as DMA completes.
+    drv::FunctionDriverConfig acc_config;
+    acc_config.max_chunk_blocks = 32; // accelerators use large bursts
+    drv::FunctionDriver accel(bed.sim(), bed.host_memory(), bed.bar(),
+                              bed.irq(), *fn, acc_config);
+    if (!accel.init().is_ok()) {
+        std::fprintf(stderr, "accelerator driver init failed\n");
+        return 1;
+    }
+
+    constexpr std::uint32_t kInflight = 8;
+    constexpr std::uint32_t kBurstBlocks = 32;
+    auto buffer =
+        bed.host_memory().alloc(kInflight * kBurstBlocks * 1024, 64);
+    if (!buffer.is_ok()) {
+        std::fprintf(stderr, "buffer alloc failed\n");
+        return 1;
+    }
+
+    std::uint64_t checksum = 0;
+    std::uint64_t next_block = 0;
+    std::uint64_t done_blocks = 0;
+    const sim::Time start = bed.sim().now();
+
+    std::function<void(std::uint32_t)> issue = [&](std::uint32_t slot) {
+        if (next_block >= dataset_blocks)
+            return;
+        const std::uint64_t first = next_block;
+        next_block += kBurstBlocks;
+        const pcie::HostAddr slot_buf =
+            *buffer + static_cast<pcie::HostAddr>(slot) * kBurstBlocks *
+                          1024;
+        (void)accel.submit(
+            ctrl::Opcode::kRead, first, kBurstBlocks, slot_buf,
+            [&, slot, first, slot_buf](ctrl::CompletionStatus status) {
+                if (status != ctrl::CompletionStatus::kOk) {
+                    std::fprintf(stderr, "accelerator read failed\n");
+                    std::exit(1);
+                }
+                std::vector<std::byte> burst(kBurstBlocks * 1024);
+                (void)bed.host_memory().read(slot_buf, burst);
+                checksum ^= block_checksum(burst) * (first + 1);
+                done_blocks += kBurstBlocks;
+                issue(slot);
+            });
+    };
+    for (std::uint32_t slot = 0; slot < kInflight; ++slot)
+        issue(slot);
+    while (done_blocks < dataset_blocks) {
+        if (!bed.sim().step()) {
+            std::fprintf(stderr, "pipeline stalled\n");
+            return 1;
+        }
+    }
+    const sim::Duration elapsed = bed.sim().now() - start;
+
+    // 4. Host-side verification of the checksum.
+    std::uint64_t expected = 0;
+    for (std::uint64_t first = 0; first < dataset_blocks;
+         first += kBurstBlocks) {
+        std::vector<std::byte> burst(
+            content.begin() + static_cast<long>(first * 1024),
+            content.begin() +
+                static_cast<long>((first + kBurstBlocks) * 1024));
+        expected ^= block_checksum(burst) * (first + 1);
+    }
+
+    std::printf("accelerator streamed %llu MiB in %.2f ms simulated "
+                "(%.0f MB/s) with %u bursts in flight\n",
+                static_cast<unsigned long long>(dataset_blocks >> 10),
+                util::ns_to_ms(elapsed),
+                util::bandwidth_mb_per_sec(dataset_blocks * 1024, elapsed),
+                kInflight);
+    std::printf("checksum %016llx — %s\n",
+                static_cast<unsigned long long>(checksum),
+                checksum == expected ? "verified against host"
+                                     : "MISMATCH");
+    return checksum == expected ? 0 : 1;
+}

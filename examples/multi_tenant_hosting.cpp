@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Multi-tenant hosting: one physical NeSC device shared by three
+ * tenant VMs, each directly assigned a VF that exports its own image
+ * file — the consolidation scenario that motivates the paper (§I).
+ *
+ * Demonstrates:
+ *  - per-tenant isolation: a VF physically cannot address blocks
+ *    outside its extent tree, so tenants never see each other's data;
+ *  - lazy allocation: tenant images are thin-provisioned and grow on
+ *    demand through the write-miss fault path;
+ *  - concurrent service: round-robin multiplexing across the VFs.
+ */
+#include <cstdio>
+
+#include "virt/testbed.h"
+#include "workloads/dd.h"
+
+using namespace nesc;
+
+namespace {
+
+struct Tenant {
+    std::unique_ptr<virt::GuestVm> vm;
+    pcie::FunctionId fn;
+    std::uint64_t seed;
+};
+
+} // namespace
+
+int
+main()
+{
+    virt::TestbedConfig config;
+    config.device.capacity_bytes = 256ULL << 20;
+    auto bed_or = virt::Testbed::create(config);
+    if (!bed_or.is_ok()) {
+        std::fprintf(stderr, "testbed: %s\n",
+                     bed_or.status().to_string().c_str());
+        return 1;
+    }
+    auto &bed = **bed_or;
+
+    // Thin-provisioned tenants: each is promised 96 MiB but nothing is
+    // allocated until written (3 x 96 MiB > 256 MiB device: classic
+    // overcommit, safe because allocation is lazy).
+    std::vector<Tenant> tenants;
+    for (int i = 0; i < 3; ++i) {
+        const std::string image =
+            "/tenants/t" + std::to_string(i) + ".img";
+        auto vm = bed.create_nesc_guest(image, 96 * 1024,
+                                        /*preallocate=*/false);
+        if (!vm.is_ok()) {
+            std::fprintf(stderr, "tenant %d: %s\n", i,
+                         vm.status().to_string().c_str());
+            return 1;
+        }
+        Tenant t;
+        t.fn = *bed.guest_vf(**vm);
+        t.vm = std::move(vm).value();
+        t.seed = 1000 + i;
+        tenants.push_back(std::move(t));
+        std::printf("tenant %d attached: VF %u, image %s (thin)\n", i,
+                    tenants.back().fn, image.c_str());
+    }
+
+    // Each tenant writes its own data; the device allocates on demand.
+    for (auto &t : tenants) {
+        std::vector<std::byte> data(64 * 1024);
+        wl::fill_pattern(t.seed, 0, data);
+        if (!t.vm->raw_disk().write_blocks(0, 64, data).is_ok()) {
+            std::fprintf(stderr, "tenant write failed\n");
+            return 1;
+        }
+    }
+    std::printf("\nafter first writes: %llu write-miss faults serviced, "
+                "hypervisor FS has %llu free blocks\n",
+                static_cast<unsigned long long>(
+                    bed.pf().write_misses_serviced()),
+                static_cast<unsigned long long>(bed.hv_fs().free_blocks()));
+
+    // Isolation: every tenant reads back exactly its own pattern, even
+    // though all three share physical blocks interleaved on the device.
+    for (auto &t : tenants) {
+        std::vector<std::byte> back(64 * 1024);
+        if (!t.vm->raw_disk().read_blocks(0, 64, back).is_ok() ||
+            wl::check_pattern(t.seed, 0, back) != -1) {
+            std::fprintf(stderr, "ISOLATION VIOLATION for VF %u\n", t.fn);
+            return 1;
+        }
+    }
+    std::printf("isolation verified: each tenant sees only its own "
+                "data\n");
+
+    // A tenant cannot reach beyond its virtual disk either.
+    std::vector<std::byte> probe(1024);
+    auto beyond =
+        tenants[0].vm->raw_disk().read_blocks(96 * 1024 - 0, 1, probe);
+    std::printf("read past the virtual disk end: %s (expected failure)\n",
+                beyond.is_ok() ? "ALLOWED!" : "rejected");
+
+    // Show per-VF service accounting from the controller.
+    std::printf("\nper-tenant device stats:\n");
+    for (auto &t : tenants) {
+        const auto &stats = bed.controller().stats(t.fn);
+        std::printf("  VF %u: %llu cmds, %llu blocks written, "
+                    "%llu blocks read, %llu faults\n",
+                    t.fn,
+                    static_cast<unsigned long long>(stats.commands),
+                    static_cast<unsigned long long>(stats.blocks_written),
+                    static_cast<unsigned long long>(stats.blocks_read),
+                    static_cast<unsigned long long>(stats.faults));
+    }
+
+    // Tear one tenant down; its image remains in the hypervisor FS.
+    if (!bed.pf().delete_vf(tenants[1].fn).is_ok()) {
+        std::fprintf(stderr, "delete_vf failed\n");
+        return 1;
+    }
+    std::printf("\ntenant 1 detached; backing image retained: size %llu "
+                "bytes\n",
+                static_cast<unsigned long long>(
+                    bed.hv_fs().stat_path("/tenants/t1.img")->size_bytes));
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: bring up the NeSC platform, export a hypervisor file as
+ * a virtual PCIe disk, attach a VM to it, and do direct I/O.
+ *
+ *   ./examples/quickstart
+ *
+ * Walks through the paper's core flow (Fig. 3): the hypervisor
+ * manages its filesystem through the PF, creates a VF whose extent
+ * tree maps a backing file, and the guest accesses the VF directly —
+ * no hypervisor software on the data path.
+ */
+#include <cstdio>
+
+#include "virt/testbed.h"
+#include "workloads/dd.h"
+
+using namespace nesc;
+
+int
+main()
+{
+    // 1. Build the platform: device, controller, hypervisor FS.
+    auto bed_or = virt::Testbed::create();
+    if (!bed_or.is_ok()) {
+        std::fprintf(stderr, "testbed: %s\n",
+                     bed_or.status().to_string().c_str());
+        return 1;
+    }
+    auto &bed = **bed_or;
+    std::printf("platform up: %llu MiB device, hypervisor nestfs with "
+                "%llu free blocks\n",
+                static_cast<unsigned long long>(
+                    bed.device().geometry().capacity_bytes >> 20),
+                static_cast<unsigned long long>(bed.hv_fs().free_blocks()));
+
+    // 2. Export a 64 MiB backing file as a virtual disk and attach a VM.
+    auto vm_or = bed.create_nesc_guest("/images/quickstart.img",
+                                       64 * 1024, /*preallocate=*/true);
+    if (!vm_or.is_ok()) {
+        std::fprintf(stderr, "guest: %s\n",
+                     vm_or.status().to_string().c_str());
+        return 1;
+    }
+    auto &vm = **vm_or;
+    std::printf("VM attached to VF %u (virtual disk: %llu blocks)\n",
+                *bed.guest_vf(vm),
+                static_cast<unsigned long long>(vm.device().num_blocks()));
+
+    // 3. Direct I/O: the write goes guest driver -> VF -> extent-tree
+    //    translation -> physical blocks. No hypervisor involvement.
+    std::vector<std::byte> out(16 * 1024), in(16 * 1024);
+    wl::fill_pattern(2024, 0, out);
+    if (!vm.raw_disk().write_blocks(128, 16, out).is_ok() ||
+        !vm.raw_disk().read_blocks(128, 16, in).is_ok() || in != out) {
+        std::fprintf(stderr, "I/O round trip failed\n");
+        return 1;
+    }
+    std::printf("16 KiB round trip OK at simulated t=%.1f us\n",
+                util::ns_to_us(bed.sim().now()));
+
+    // 4. Quick bandwidth check vs. the Host baseline.
+    wl::DdConfig dd;
+    dd.request_bytes = 32 * 1024;
+    dd.total_bytes = 8 << 20;
+    dd.write = true;
+    auto nesc_bw = wl::run_dd_raw(bed.sim(), vm.raw_disk(), dd);
+    auto host_bw = wl::run_dd_raw(bed.sim(), bed.host_raw_io(), dd);
+    if (nesc_bw.is_ok() && host_bw.is_ok()) {
+        std::printf("32 KiB sequential write: NeSC guest %.0f MB/s, "
+                    "host baseline %.0f MB/s (ratio %.2f)\n",
+                    nesc_bw->bandwidth_mb_s, host_bw->bandwidth_mb_s,
+                    nesc_bw->bandwidth_mb_s / host_bw->bandwidth_mb_s);
+    }
+
+    // 5. Device-side statistics.
+    auto &ctrl = bed.controller();
+    std::printf("controller: %s\n",
+                ctrl.counters().to_string().c_str());
+    std::printf("BTLB: %llu hits / %llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(ctrl.btlb().hits()),
+                static_cast<unsigned long long>(ctrl.btlb().misses()),
+                100.0 * ctrl.btlb().hit_rate());
+    return 0;
+}

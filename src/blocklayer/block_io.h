@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synchronous block-granular I/O interface.
+ *
+ * The OS software layers of Figure 1 (VFS, generic block layer, I/O
+ * scheduler, driver) are modelled as a stack of BlockIo decorators.
+ * Calls are synchronous *in simulated time*: an implementation advances
+ * the shared simulator clock by however long the operation takes (CPU
+ * cost, cache handling, device service). The filesystem sits on top of
+ * this interface, so the same nestfs code runs over a raw device, over
+ * a cached stack, or over a virtualized disk.
+ */
+#ifndef NESC_BLOCKLAYER_BLOCK_IO_H
+#define NESC_BLOCKLAYER_BLOCK_IO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/status.h"
+
+namespace nesc::blk {
+
+/** Block-granular synchronous storage interface. */
+class BlockIo {
+  public:
+    virtual ~BlockIo() = default;
+
+    /** Bytes per block (all stacks in this project use 1 KiB). */
+    virtual std::uint32_t block_size() const = 0;
+
+    /** Device capacity in blocks. */
+    virtual std::uint64_t num_blocks() const = 0;
+
+    /**
+     * Reads @p count blocks starting at @p blockno into @p out, whose
+     * size must be count * block_size().
+     */
+    virtual util::Status read_blocks(std::uint64_t blockno,
+                                     std::uint32_t count,
+                                     std::span<std::byte> out) = 0;
+
+    /** Writes @p count blocks starting at @p blockno from @p in. */
+    virtual util::Status write_blocks(std::uint64_t blockno,
+                                      std::uint32_t count,
+                                      std::span<const std::byte> in) = 0;
+
+    /**
+     * Durability barrier: forces any buffered writes down the stack.
+     * A raw device stack is a no-op.
+     */
+    virtual util::Status flush() = 0;
+};
+
+} // namespace nesc::blk
+
+#endif // NESC_BLOCKLAYER_BLOCK_IO_H

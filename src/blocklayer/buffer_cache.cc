@@ -1,0 +1,177 @@
+#include "buffer_cache.h"
+
+#include <algorithm>
+
+namespace nesc::blk {
+
+BufferCache::BufferCache(sim::Simulator &simulator, BlockIo &base,
+                         const BufferCacheConfig &config)
+    : simulator_(simulator), base_(base), config_(config)
+{
+}
+
+void
+BufferCache::touch(LruList::iterator it)
+{
+    lru_.splice(lru_.begin(), lru_, it);
+}
+
+util::Status
+BufferCache::writeback_entry(Entry &entry)
+{
+    NESC_RETURN_IF_ERROR(base_.write_blocks(entry.blockno, 1, entry.data));
+    entry.dirty = false;
+    --dirty_count_;
+    ++writebacks_;
+    return util::Status::ok();
+}
+
+util::Status
+BufferCache::evict_one()
+{
+    if (lru_.empty())
+        return util::internal_error("evicting from an empty cache");
+    auto victim = std::prev(lru_.end());
+    if (victim->dirty)
+        NESC_RETURN_IF_ERROR(writeback_entry(*victim));
+    map_.erase(victim->blockno);
+    lru_.erase(victim);
+    ++evictions_;
+    return util::Status::ok();
+}
+
+util::Result<BufferCache::LruList::iterator>
+BufferCache::insert(std::uint64_t blockno, std::span<const std::byte> data,
+                    bool dirty)
+{
+    while (map_.size() >= config_.capacity_blocks)
+        NESC_RETURN_IF_ERROR(evict_one());
+    lru_.push_front(Entry{blockno, dirty,
+                          std::vector<std::byte>(data.begin(), data.end())});
+    map_[blockno] = lru_.begin();
+    if (dirty)
+        ++dirty_count_;
+    return lru_.begin();
+}
+
+util::Status
+BufferCache::read_blocks(std::uint64_t blockno, std::uint32_t count,
+                         std::span<std::byte> out)
+{
+    const std::uint32_t bs = block_size();
+    if (out.size() != static_cast<std::uint64_t>(count) * bs)
+        return util::invalid_argument_error("read buffer size mismatch");
+
+    std::uint32_t i = 0;
+    while (i < count) {
+        auto it = map_.find(blockno + i);
+        if (it != map_.end()) {
+            simulator_.advance(config_.hit_cost);
+            ++hits_;
+            touch(it->second);
+            std::copy(it->second->data.begin(), it->second->data.end(),
+                      out.begin() + static_cast<std::size_t>(i) * bs);
+            ++i;
+            continue;
+        }
+        // Gather the contiguous run of misses and fetch it in one
+        // downstream access (readahead-style clustering).
+        std::uint32_t run = 1;
+        while (i + run < count && !map_.contains(blockno + i + run))
+            ++run;
+        simulator_.advance(config_.miss_cost);
+        misses_ += run;
+        auto dst = out.subspan(static_cast<std::size_t>(i) * bs,
+                               static_cast<std::size_t>(run) * bs);
+        NESC_RETURN_IF_ERROR(base_.read_blocks(blockno + i, run, dst));
+        for (std::uint32_t j = 0; j < run; ++j) {
+            NESC_RETURN_IF_ERROR(
+                insert(blockno + i + j,
+                       dst.subspan(static_cast<std::size_t>(j) * bs, bs),
+                       /*dirty=*/false)
+                    .status());
+        }
+        i += run;
+    }
+    return util::Status::ok();
+}
+
+util::Status
+BufferCache::write_blocks(std::uint64_t blockno, std::uint32_t count,
+                          std::span<const std::byte> in)
+{
+    const std::uint32_t bs = block_size();
+    if (in.size() != static_cast<std::uint64_t>(count) * bs)
+        return util::invalid_argument_error("write buffer size mismatch");
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+        auto src = in.subspan(static_cast<std::size_t>(i) * bs, bs);
+        auto it = map_.find(blockno + i);
+        if (it != map_.end()) {
+            simulator_.advance(config_.hit_cost);
+            ++hits_;
+            touch(it->second);
+            std::copy(src.begin(), src.end(), it->second->data.begin());
+            if (!it->second->dirty && !config_.write_through) {
+                it->second->dirty = true;
+                ++dirty_count_;
+            }
+        } else {
+            simulator_.advance(config_.miss_cost);
+            ++misses_;
+            NESC_RETURN_IF_ERROR(
+                insert(blockno + i, src, !config_.write_through).status());
+        }
+    }
+    if (config_.write_through)
+        NESC_RETURN_IF_ERROR(base_.write_blocks(blockno, count, in));
+    return util::Status::ok();
+}
+
+util::Status
+BufferCache::flush()
+{
+    // Collect dirty blocks sorted so adjacent runs merge into single
+    // downstream writes.
+    std::vector<LruList::iterator> dirty;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it)
+        if (it->dirty)
+            dirty.push_back(it);
+    std::sort(dirty.begin(), dirty.end(),
+              [](auto a, auto b) { return a->blockno < b->blockno; });
+
+    const std::uint32_t bs = block_size();
+    std::size_t i = 0;
+    while (i < dirty.size()) {
+        std::size_t run = 1;
+        while (i + run < dirty.size() &&
+               dirty[i + run]->blockno == dirty[i]->blockno + run)
+            ++run;
+        std::vector<std::byte> buf(run * bs);
+        for (std::size_t j = 0; j < run; ++j) {
+            std::copy(dirty[i + j]->data.begin(), dirty[i + j]->data.end(),
+                      buf.begin() + j * bs);
+            dirty[i + j]->dirty = false;
+            --dirty_count_;
+            ++writebacks_;
+        }
+        NESC_RETURN_IF_ERROR(base_.write_blocks(
+            dirty[i]->blockno, static_cast<std::uint32_t>(run), buf));
+        i += run;
+    }
+    return base_.flush();
+}
+
+util::Status
+BufferCache::invalidate()
+{
+    if (dirty_count_ != 0) {
+        return util::failed_precondition_error(
+            "invalidate with dirty blocks cached; flush first");
+    }
+    lru_.clear();
+    map_.clear();
+    return util::Status::ok();
+}
+
+} // namespace nesc::blk

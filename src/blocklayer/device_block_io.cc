@@ -1,0 +1,37 @@
+#include "device_block_io.h"
+
+namespace nesc::blk {
+
+util::Status
+DeviceBlockIo::read_blocks(std::uint64_t blockno, std::uint32_t count,
+                           std::span<std::byte> out)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count) * block_size();
+    if (out.size() != bytes)
+        return util::invalid_argument_error("read buffer size mismatch");
+    NESC_RETURN_IF_ERROR(device_.read(blockno * block_size(), out));
+    const sim::Time done =
+        device_.service_read(simulator_.now(), blockno * block_size(),
+                             bytes);
+    simulator_.run_until(done);
+    return util::Status::ok();
+}
+
+util::Status
+DeviceBlockIo::write_blocks(std::uint64_t blockno, std::uint32_t count,
+                            std::span<const std::byte> in)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count) * block_size();
+    if (in.size() != bytes)
+        return util::invalid_argument_error("write buffer size mismatch");
+    NESC_RETURN_IF_ERROR(device_.write(blockno * block_size(), in));
+    const sim::Time done =
+        device_.service_write(simulator_.now(), blockno * block_size(),
+                              bytes);
+    simulator_.run_until(done);
+    return util::Status::ok();
+}
+
+} // namespace nesc::blk

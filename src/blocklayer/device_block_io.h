@@ -1,0 +1,56 @@
+/**
+ * @file
+ * BlockIo terminal adapter over a storage device.
+ *
+ * Models a block device driver talking straight to locally attached
+ * media: each operation books the device's media port and advances the
+ * simulation clock to the completion time. This is the bottom of the
+ * hypervisor's stack (and of the "Host" baseline in the paper's
+ * figures, where the hypervisor accesses the PF without any
+ * virtualization layer).
+ */
+#ifndef NESC_BLOCKLAYER_DEVICE_BLOCK_IO_H
+#define NESC_BLOCKLAYER_DEVICE_BLOCK_IO_H
+
+#include "blocklayer/block_io.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+
+namespace nesc::blk {
+
+/** Direct driver <-> device adapter; see file comment. */
+class DeviceBlockIo : public BlockIo {
+  public:
+    DeviceBlockIo(sim::Simulator &simulator, storage::BlockDevice &device)
+        : simulator_(simulator), device_(device)
+    {
+    }
+
+    std::uint32_t
+    block_size() const override
+    {
+        return device_.geometry().logical_block_size;
+    }
+
+    std::uint64_t
+    num_blocks() const override
+    {
+        return device_.geometry().num_blocks();
+    }
+
+    util::Status read_blocks(std::uint64_t blockno, std::uint32_t count,
+                             std::span<std::byte> out) override;
+
+    util::Status write_blocks(std::uint64_t blockno, std::uint32_t count,
+                              std::span<const std::byte> in) override;
+
+    util::Status flush() override { return util::Status::ok(); }
+
+  private:
+    sim::Simulator &simulator_;
+    storage::BlockDevice &device_;
+};
+
+} // namespace nesc::blk
+
+#endif // NESC_BLOCKLAYER_DEVICE_BLOCK_IO_H

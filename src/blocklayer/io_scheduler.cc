@@ -1,0 +1,103 @@
+#include "io_scheduler.h"
+
+#include <algorithm>
+
+namespace nesc::blk {
+
+IoScheduler::IoScheduler(sim::Simulator &simulator, BlockIo &base,
+                         const IoSchedulerConfig &config)
+    : simulator_(simulator), base_(base), config_(config)
+{
+}
+
+util::Status
+IoScheduler::read_blocks(std::uint64_t blockno, std::uint32_t count,
+                         std::span<std::byte> out)
+{
+    ++requests_;
+    simulator_.advance(config_.per_request_cost);
+    // Reads must observe plugged writes: flush overlapping ones first.
+    for (const auto &w : pending_) {
+        const std::uint64_t w_end =
+            w.blockno + w.data.size() / block_size();
+        if (blockno < w_end && w.blockno < blockno + count) {
+            NESC_RETURN_IF_ERROR(dispatch_pending());
+            break;
+        }
+    }
+    ++dispatched_;
+    return base_.read_blocks(blockno, count, out);
+}
+
+util::Status
+IoScheduler::write_blocks(std::uint64_t blockno, std::uint32_t count,
+                          std::span<const std::byte> in)
+{
+    ++requests_;
+    simulator_.advance(config_.per_request_cost);
+    if (!plugged_) {
+        ++dispatched_;
+        return base_.write_blocks(blockno, count, in);
+    }
+    // Back-merge onto the previous request when physically contiguous.
+    if (!pending_.empty()) {
+        auto &last = pending_.back();
+        if (last.blockno + last.data.size() / block_size() == blockno) {
+            last.data.insert(last.data.end(), in.begin(), in.end());
+            ++merges_;
+            return util::Status::ok();
+        }
+    }
+    pending_.push_back(PendingWrite{
+        blockno, std::vector<std::byte>(in.begin(), in.end())});
+    if (pending_.size() >= config_.max_plugged)
+        return dispatch_pending();
+    return util::Status::ok();
+}
+
+util::Status
+IoScheduler::dispatch_pending()
+{
+    // Sort then merge adjacent runs across requests (elevator order).
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingWrite &a, const PendingWrite &b) {
+                  return a.blockno < b.blockno;
+              });
+    std::size_t i = 0;
+    while (i < pending_.size()) {
+        PendingWrite &head = pending_[i];
+        std::size_t j = i + 1;
+        while (j < pending_.size() &&
+               pending_[j].blockno ==
+                   head.blockno + head.data.size() / block_size()) {
+            head.data.insert(head.data.end(), pending_[j].data.begin(),
+                             pending_[j].data.end());
+            ++merges_;
+            ++j;
+        }
+        ++dispatched_;
+        NESC_RETURN_IF_ERROR(base_.write_blocks(
+            head.blockno,
+            static_cast<std::uint32_t>(head.data.size() / block_size()),
+            head.data));
+        i = j;
+    }
+    pending_.clear();
+    return util::Status::ok();
+}
+
+util::Status
+IoScheduler::unplug()
+{
+    plugged_ = false;
+    return dispatch_pending();
+}
+
+util::Status
+IoScheduler::flush()
+{
+    NESC_RETURN_IF_ERROR(dispatch_pending());
+    return base_.flush();
+}
+
+} // namespace nesc::blk

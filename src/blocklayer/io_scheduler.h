@@ -1,0 +1,79 @@
+/**
+ * @file
+ * I/O scheduler layer: request merging.
+ *
+ * The kernel's block scheduler coalesces adjacent requests before they
+ * reach the driver ("plugging"). This layer does the same: operations
+ * issued while the queue is plugged accumulate and merge; unplugging
+ * dispatches the merged ops in order. Unplugged operation forwards
+ * immediately (the noop-scheduler behaviour typical for fast PCIe
+ * SSDs), still merging within a single multi-block call.
+ */
+#ifndef NESC_BLOCKLAYER_IO_SCHEDULER_H
+#define NESC_BLOCKLAYER_IO_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "blocklayer/block_io.h"
+#include "sim/simulator.h"
+
+namespace nesc::blk {
+
+/** Scheduler tuning. */
+struct IoSchedulerConfig {
+    /** CPU cost of queueing/merging one request. */
+    sim::Duration per_request_cost = 300;
+    /** Dispatch automatically once this many requests are plugged. */
+    std::uint32_t max_plugged = 32;
+};
+
+/** Merging I/O scheduler; see file comment. */
+class IoScheduler : public BlockIo {
+  public:
+    IoScheduler(sim::Simulator &simulator, BlockIo &base,
+                const IoSchedulerConfig &config = {});
+
+    std::uint32_t block_size() const override { return base_.block_size(); }
+    std::uint64_t num_blocks() const override { return base_.num_blocks(); }
+
+    util::Status read_blocks(std::uint64_t blockno, std::uint32_t count,
+                             std::span<std::byte> out) override;
+    util::Status write_blocks(std::uint64_t blockno, std::uint32_t count,
+                              std::span<const std::byte> in) override;
+
+    /** Dispatches plugged writes, then forwards the flush. */
+    util::Status flush() override;
+
+    /** Starts batching writes instead of forwarding them. */
+    void plug() { plugged_ = true; }
+
+    /** Stops batching and dispatches everything accumulated. */
+    util::Status unplug();
+
+    std::uint64_t requests() const { return requests_; }
+    std::uint64_t dispatched() const { return dispatched_; }
+    /** Requests absorbed into a neighbour (merged away). */
+    std::uint64_t merges() const { return merges_; }
+
+  private:
+    struct PendingWrite {
+        std::uint64_t blockno;
+        std::vector<std::byte> data; // multiple of block_size()
+    };
+
+    util::Status dispatch_pending();
+
+    sim::Simulator &simulator_;
+    BlockIo &base_;
+    IoSchedulerConfig config_;
+    bool plugged_ = false;
+    std::vector<PendingWrite> pending_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+} // namespace nesc::blk
+
+#endif // NESC_BLOCKLAYER_IO_SCHEDULER_H

@@ -1,0 +1,25 @@
+#include "os_block_stack.h"
+
+namespace nesc::blk {
+
+OsBlockStack::OsBlockStack(sim::Simulator &simulator, BlockIo &backing,
+                           std::string name, const OsStackConfig &config)
+    : name_(std::move(name))
+{
+    driver_ = std::make_unique<CostedBlockIo>(
+        simulator, backing, name_ + "-driver", config.driver_cost);
+    scheduler_ =
+        std::make_unique<IoScheduler>(simulator, *driver_, config.scheduler);
+    BlockIo *below_vfs = scheduler_.get();
+    if (!config.direct_io) {
+        cache_ = std::make_unique<BufferCache>(simulator, *scheduler_,
+                                               config.cache);
+        below_vfs = cache_.get();
+    }
+    vfs_ = std::make_unique<CostedBlockIo>(
+        simulator, *below_vfs, name_ + "-vfs",
+        config.vfs_cost + config.block_layer_cost, config.copy_per_4k);
+    top_ = vfs_.get();
+}
+
+} // namespace nesc::blk

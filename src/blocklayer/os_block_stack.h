@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A complete OS storage software stack (one column of Figure 1).
+ *
+ * Assembles, top to bottom: VFS-entry CPU cost -> buffer cache -> I/O
+ * scheduler -> driver CPU cost -> a backing BlockIo (a device, or a
+ * virtual disk). Both the guest OS and the hypervisor instantiate one;
+ * the paper's point is precisely that virtualized storage pays for TWO
+ * of these stacks plus the transition costs between them.
+ */
+#ifndef NESC_BLOCKLAYER_OS_BLOCK_STACK_H
+#define NESC_BLOCKLAYER_OS_BLOCK_STACK_H
+
+#include <memory>
+#include <string>
+
+#include "blocklayer/buffer_cache.h"
+#include "blocklayer/costed_block_io.h"
+#include "blocklayer/io_scheduler.h"
+
+namespace nesc::blk {
+
+/** Per-layer CPU costs and cache policy of one OS instance. */
+struct OsStackConfig {
+    /** VFS + syscall entry per request. */
+    sim::Duration vfs_cost = 1'800;
+    /** Generic block layer per request (bio setup, completion). */
+    sim::Duration block_layer_cost = 1'200;
+    /** Driver submission + completion handling per request. */
+    sim::Duration driver_cost = 1'000;
+    /** Copy cost per 4 KiB between user and kernel buffers. */
+    sim::Duration copy_per_4k = 250;
+    /** Page-cache behaviour; direct_io bypasses the cache entirely. */
+    BufferCacheConfig cache;
+    bool direct_io = false;
+    IoSchedulerConfig scheduler;
+};
+
+/** Assembled OS storage stack; see file comment. */
+class OsBlockStack : public BlockIo {
+  public:
+    /**
+     * @param name instance tag for accounting (e.g. "guest", "hv").
+     * @param backing bottom of the stack; must outlive this object.
+     */
+    OsBlockStack(sim::Simulator &simulator, BlockIo &backing,
+                 std::string name, const OsStackConfig &config = {});
+
+    std::uint32_t block_size() const override { return top_->block_size(); }
+    std::uint64_t num_blocks() const override { return top_->num_blocks(); }
+
+    util::Status
+    read_blocks(std::uint64_t blockno, std::uint32_t count,
+                std::span<std::byte> out) override
+    {
+        return top_->read_blocks(blockno, count, out);
+    }
+
+    util::Status
+    write_blocks(std::uint64_t blockno, std::uint32_t count,
+                 std::span<const std::byte> in) override
+    {
+        return top_->write_blocks(blockno, count, in);
+    }
+
+    util::Status flush() override { return top_->flush(); }
+
+    /** The cache layer, for stats; null when direct_io. */
+    BufferCache *cache() { return cache_.get(); }
+    IoScheduler &scheduler() { return *scheduler_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::unique_ptr<CostedBlockIo> driver_;
+    std::unique_ptr<IoScheduler> scheduler_;
+    std::unique_ptr<BufferCache> cache_;
+    std::unique_ptr<CostedBlockIo> vfs_;
+    BlockIo *top_ = nullptr;
+};
+
+} // namespace nesc::blk
+
+#endif // NESC_BLOCKLAYER_OS_BLOCK_STACK_H

@@ -1,0 +1,276 @@
+#include "function_driver.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/log.h"
+#include "util/units.h"
+
+namespace nesc::drv {
+
+using ctrl::CommandRecord;
+using ctrl::CompletionRecord;
+using ctrl::CompletionStatus;
+using ctrl::Opcode;
+
+FunctionDriver::FunctionDriver(sim::Simulator &simulator,
+                               pcie::HostMemory &host_memory,
+                               pcie::BarPageRouter &bar,
+                               pcie::InterruptController &irq,
+                               pcie::FunctionId fn,
+                               const FunctionDriverConfig &config)
+    : simulator_(simulator), host_memory_(host_memory), bar_(bar),
+      irq_(irq), fn_(fn), config_(config)
+{
+}
+
+FunctionDriver::~FunctionDriver()
+{
+    irq_.clear_handler(ctrl::completion_vector(fn_));
+    if (cmd_ring_mem_ != pcie::kNullHostAddr)
+        (void)host_memory_.free(cmd_ring_mem_);
+    if (comp_ring_mem_ != pcie::kNullHostAddr)
+        (void)host_memory_.free(comp_ring_mem_);
+}
+
+util::Status
+FunctionDriver::init()
+{
+    const std::uint64_t cmd_bytes = pcie::HostRing::footprint(
+        config_.ring_entries, sizeof(CommandRecord));
+    const std::uint64_t comp_bytes = pcie::HostRing::footprint(
+        config_.ring_entries, sizeof(CompletionRecord));
+    NESC_ASSIGN_OR_RETURN(cmd_ring_mem_, host_memory_.alloc(cmd_bytes, 64));
+    NESC_ASSIGN_OR_RETURN(comp_ring_mem_,
+                          host_memory_.alloc(comp_bytes, 64));
+    NESC_ASSIGN_OR_RETURN(
+        auto cmd_ring,
+        pcie::HostRing::create(host_memory_, cmd_ring_mem_,
+                               config_.ring_entries, sizeof(CommandRecord)));
+    cmd_ring_ = cmd_ring;
+    NESC_ASSIGN_OR_RETURN(
+        auto comp_ring,
+        pcie::HostRing::create(host_memory_, comp_ring_mem_,
+                               config_.ring_entries,
+                               sizeof(CompletionRecord)));
+    comp_ring_ = comp_ring;
+
+    NESC_RETURN_IF_ERROR(reg_write(ctrl::reg::kCmdRingBase, cmd_ring_mem_));
+    NESC_RETURN_IF_ERROR(
+        reg_write(ctrl::reg::kCompRingBase, comp_ring_mem_));
+    irq_.set_handler(ctrl::completion_vector(fn_),
+                     [this]() { handle_completion_irq(); });
+    return util::Status::ok();
+}
+
+util::Result<std::uint64_t>
+FunctionDriver::device_size_blocks()
+{
+    return reg_read(ctrl::reg::kDeviceSize);
+}
+
+util::Result<std::uint64_t>
+FunctionDriver::reg_read(std::uint64_t offset)
+{
+    simulator_.advance(config_.mmio_read_cost);
+    return bar_.read(bar_.function_base(fn_) + offset, 8);
+}
+
+util::Status
+FunctionDriver::reg_write(std::uint64_t offset, std::uint64_t value)
+{
+    simulator_.advance(config_.mmio_write_cost);
+    return bar_.write(bar_.function_base(fn_) + offset, value, 8);
+}
+
+util::Status
+FunctionDriver::push_command(const CommandRecord &record)
+{
+    std::vector<std::byte> buf(sizeof(record));
+    std::memcpy(buf.data(), &record, sizeof(record));
+    return cmd_ring_->push(buf);
+}
+
+void
+FunctionDriver::ring_doorbell()
+{
+    (void)reg_write(ctrl::reg::kDoorbell, 1);
+}
+
+util::Status
+FunctionDriver::submit(Opcode op, std::uint64_t vlba, std::uint32_t nblocks,
+                       pcie::HostAddr buffer, Done done)
+{
+    if (!cmd_ring_)
+        return util::failed_precondition_error("driver not initialized");
+    if (nblocks == 0)
+        return util::invalid_argument_error("zero-length request");
+
+    const std::uint64_t request_id = next_request_++;
+    const std::uint32_t chunks =
+        static_cast<std::uint32_t>(util::ceil_div(nblocks,
+                                                  config_.max_chunk_blocks));
+    requests_[request_id] =
+        PendingRequest{chunks, CompletionStatus::kOk, std::move(done)};
+
+    std::uint32_t submitted_blocks = 0;
+    while (submitted_blocks < nblocks) {
+        const std::uint32_t chunk = std::min<std::uint32_t>(
+            config_.max_chunk_blocks, nblocks - submitted_blocks);
+        simulator_.advance(config_.submit_cost);
+        CommandRecord rec{};
+        rec.vlba = vlba + submitted_blocks;
+        rec.nblocks = chunk;
+        rec.opcode = static_cast<std::uint8_t>(op);
+        rec.host_buffer =
+            buffer + static_cast<pcie::HostAddr>(submitted_blocks) *
+                         ctrl::kDeviceBlockSize;
+        rec.tag = next_tag_++;
+        tag_to_request_[rec.tag] = request_id;
+        util::Status pushed = push_command(rec);
+        if (!pushed.is_ok()) {
+            // Ring full: kick the device and retry after it drains.
+            ring_doorbell();
+            while (!pushed.is_ok() &&
+                   pushed.code() == util::ErrorCode::kUnavailable) {
+                if (!simulator_.step()) {
+                    return util::internal_error(
+                        "command ring wedged: device made no progress");
+                }
+                pushed = push_command(rec);
+            }
+            NESC_RETURN_IF_ERROR(pushed);
+        }
+        submitted_blocks += chunk;
+        ++submitted_;
+    }
+    ring_doorbell();
+    return util::Status::ok();
+}
+
+void
+FunctionDriver::handle_completion_irq()
+{
+    if (!comp_ring_)
+        return;
+    std::vector<std::byte> buf(sizeof(CompletionRecord));
+    for (;;) {
+        auto popped = comp_ring_->pop(buf);
+        if (!popped.is_ok() || !popped.value())
+            break;
+        simulator_.advance(config_.completion_cost);
+        CompletionRecord rec;
+        std::memcpy(&rec, buf.data(), sizeof(rec));
+        auto tag_it = tag_to_request_.find(rec.tag);
+        if (tag_it == tag_to_request_.end()) {
+            NESC_LOG_WARN("fn %u: completion for unknown tag %llu", fn_,
+                          static_cast<unsigned long long>(rec.tag));
+            continue;
+        }
+        const std::uint64_t request_id = tag_it->second;
+        tag_to_request_.erase(tag_it);
+        auto req_it = requests_.find(request_id);
+        if (req_it == requests_.end())
+            continue;
+        if (rec.status != static_cast<std::uint32_t>(CompletionStatus::kOk))
+            req_it->second.status =
+                static_cast<CompletionStatus>(rec.status);
+        if (--req_it->second.chunks_remaining == 0) {
+            Done done = std::move(req_it->second.done);
+            const CompletionStatus status = req_it->second.status;
+            requests_.erase(req_it);
+            ++completed_;
+            if (done)
+                done(status);
+        }
+    }
+}
+
+util::Status
+FunctionDriver::read_sync(std::uint64_t vlba, std::uint32_t nblocks,
+                          std::span<std::byte> out)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(nblocks) * ctrl::kDeviceBlockSize;
+    if (out.size() != bytes)
+        return util::invalid_argument_error("read buffer size mismatch");
+    NESC_ASSIGN_OR_RETURN(pcie::HostAddr buffer,
+                          host_memory_.alloc(bytes, 64));
+
+    bool finished = false;
+    CompletionStatus status = CompletionStatus::kOk;
+    util::Status submitted = submit(Opcode::kRead, vlba, nblocks, buffer,
+                                    [&](CompletionStatus s) {
+                                        finished = true;
+                                        status = s;
+                                    });
+    if (!submitted.is_ok()) {
+        (void)host_memory_.free(buffer);
+        return submitted;
+    }
+    while (!finished) {
+        if (!simulator_.step()) {
+            (void)host_memory_.free(buffer);
+            return util::internal_error("device hung: no completion");
+        }
+    }
+    if (status != CompletionStatus::kOk) {
+        (void)host_memory_.free(buffer);
+        return util::unavailable_error(
+            "device completion status " +
+            std::to_string(static_cast<std::uint32_t>(status)));
+    }
+    // Copy out of the DMA buffer; with trampoline buffers this is the
+    // prototype's mandatory bounce copy, charged at memcpy bandwidth.
+    util::Status read_back = host_memory_.read(buffer, out);
+    if (config_.trampoline) {
+        simulator_.advance(
+            util::transfer_time_ns(bytes, config_.copy_bytes_per_sec));
+    }
+    (void)host_memory_.free(buffer);
+    return read_back;
+}
+
+util::Status
+FunctionDriver::write_sync(std::uint64_t vlba, std::uint32_t nblocks,
+                           std::span<const std::byte> in)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(nblocks) * ctrl::kDeviceBlockSize;
+    if (in.size() != bytes)
+        return util::invalid_argument_error("write buffer size mismatch");
+    NESC_ASSIGN_OR_RETURN(pcie::HostAddr buffer,
+                          host_memory_.alloc(bytes, 64));
+    NESC_RETURN_IF_ERROR(host_memory_.write(buffer, in));
+    if (config_.trampoline) {
+        simulator_.advance(
+            util::transfer_time_ns(bytes, config_.copy_bytes_per_sec));
+    }
+
+    bool finished = false;
+    CompletionStatus status = CompletionStatus::kOk;
+    util::Status submitted = submit(Opcode::kWrite, vlba, nblocks, buffer,
+                                    [&](CompletionStatus s) {
+                                        finished = true;
+                                        status = s;
+                                    });
+    if (!submitted.is_ok()) {
+        (void)host_memory_.free(buffer);
+        return submitted;
+    }
+    while (!finished) {
+        if (!simulator_.step()) {
+            (void)host_memory_.free(buffer);
+            return util::internal_error("device hung: no completion");
+        }
+    }
+    (void)host_memory_.free(buffer);
+    if (status != CompletionStatus::kOk) {
+        return util::unavailable_error(
+            "device completion status " +
+            std::to_string(static_cast<std::uint32_t>(status)));
+    }
+    return util::Status::ok();
+}
+
+} // namespace nesc::drv

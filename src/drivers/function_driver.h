@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Host-side driver for one NeSC function (PF or VF).
+ *
+ * This is the "simple block device driver" of the paper's §VI: it
+ * owns the function's command/completion rings in host memory, splits
+ * block requests into page-sized commands, rings the doorbell, and
+ * retires completions from the MSI handler. The same class serves as
+ * the guest VF driver (direct device assignment) and as the
+ * hypervisor's PF driver data path.
+ *
+ * An optional trampoline mode reproduces the prototype's pessimistic
+ * data path: the emulated VFs were invisible to the IOMMU, so VMs had
+ * to copy data to/from hypervisor-allocated bounce buffers around
+ * every DMA (paper §VI). The copy is charged at CPU memcpy bandwidth.
+ */
+#ifndef NESC_DRIVERS_FUNCTION_DRIVER_H
+#define NESC_DRIVERS_FUNCTION_DRIVER_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "blocklayer/block_io.h"
+#include "nesc/command.h"
+#include "pcie/host_memory.h"
+#include "pcie/host_ring.h"
+#include "pcie/interrupts.h"
+#include "pcie/mmio.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace nesc::drv {
+
+/** Driver tuning and modelled CPU costs. */
+struct FunctionDriverConfig {
+    std::uint32_t ring_entries = 256;
+    /** Blocks per command; drivers split requests at page size (4 KiB). */
+    std::uint32_t max_chunk_blocks = 4;
+    /** CPU cost to build and enqueue one command. */
+    sim::Duration submit_cost = 500;
+    /** CPU cost to retire one completion (IRQ handler amortized). */
+    sim::Duration completion_cost = 500;
+    /** Posted MMIO write cost (doorbell). */
+    sim::Duration mmio_write_cost = 250;
+    /** Non-posted MMIO read cost (round trip over PCIe). */
+    sim::Duration mmio_read_cost = 800;
+    /** Copy through hypervisor trampoline buffers (prototype mode). */
+    bool trampoline = false;
+    /** CPU memcpy bandwidth for trampoline copies. */
+    std::uint64_t copy_bytes_per_sec = 6'000'000'000;
+};
+
+/** Driver instance bound to one function; see file comment. */
+class FunctionDriver {
+  public:
+    using Done = std::function<void(ctrl::CompletionStatus)>;
+
+    FunctionDriver(sim::Simulator &simulator, pcie::HostMemory &host_memory,
+                   pcie::BarPageRouter &bar, pcie::InterruptController &irq,
+                   pcie::FunctionId fn,
+                   const FunctionDriverConfig &config = {});
+    ~FunctionDriver();
+
+    FunctionDriver(const FunctionDriver &) = delete;
+    FunctionDriver &operator=(const FunctionDriver &) = delete;
+
+    /**
+     * Allocates the rings, programs the ring-base registers and
+     * installs the completion interrupt handler.
+     */
+    util::Status init();
+
+    /** Virtual device size in device blocks (register read). */
+    util::Result<std::uint64_t> device_size_blocks();
+
+    /**
+     * Asynchronous submission: reads/writes @p nblocks device blocks
+     * at @p vlba using @p buffer in host memory. @p done fires from
+     * the completion interrupt handler. Requests larger than the
+     * driver chunk size are split into multiple commands; @p done
+     * fires once, after the last chunk completes.
+     */
+    util::Status submit(ctrl::Opcode op, std::uint64_t vlba,
+                        std::uint32_t nblocks, pcie::HostAddr buffer,
+                        Done done);
+
+    /**
+     * Synchronous helpers: allocate a DMA buffer, run the simulator
+     * until the request retires, and copy data in/out. These model a
+     * blocking I/O path end to end, including the trampoline copies
+     * when enabled.
+     */
+    util::Status read_sync(std::uint64_t vlba, std::uint32_t nblocks,
+                           std::span<std::byte> out);
+    util::Status write_sync(std::uint64_t vlba, std::uint32_t nblocks,
+                            std::span<const std::byte> in);
+
+    pcie::FunctionId function() const { return fn_; }
+    std::uint64_t submitted() const { return submitted_; }
+    std::uint64_t completed() const { return completed_; }
+
+    /** Direct register access, charged at MMIO cost. */
+    util::Result<std::uint64_t> reg_read(std::uint64_t offset);
+    util::Status reg_write(std::uint64_t offset, std::uint64_t value);
+
+  private:
+    void handle_completion_irq();
+    void ring_doorbell();
+    util::Status push_command(const ctrl::CommandRecord &record);
+
+    sim::Simulator &simulator_;
+    pcie::HostMemory &host_memory_;
+    pcie::BarPageRouter &bar_;
+    pcie::InterruptController &irq_;
+    pcie::FunctionId fn_;
+    FunctionDriverConfig config_;
+
+    pcie::HostAddr cmd_ring_mem_ = pcie::kNullHostAddr;
+    pcie::HostAddr comp_ring_mem_ = pcie::kNullHostAddr;
+    std::optional<pcie::HostRing> cmd_ring_;
+    std::optional<pcie::HostRing> comp_ring_;
+
+    std::uint64_t next_tag_ = 1;
+    /** Multi-chunk request bookkeeping: chunks left + user callback. */
+    struct PendingRequest {
+        std::uint32_t chunks_remaining;
+        ctrl::CompletionStatus status;
+        Done done;
+    };
+    std::uint64_t next_request_ = 1;
+    std::unordered_map<std::uint64_t, PendingRequest> requests_;
+    std::unordered_map<std::uint64_t, std::uint64_t> tag_to_request_;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+/**
+ * blk::BlockIo adapter over a FunctionDriver, so an OS stack or a
+ * nestfs instance can mount directly on a NeSC function — this is the
+ * guest's view of a directly assigned VF.
+ */
+class FunctionBlockIo : public blk::BlockIo {
+  public:
+    explicit FunctionBlockIo(FunctionDriver &driver,
+                             std::uint64_t size_blocks)
+        : driver_(driver), size_blocks_(size_blocks)
+    {
+    }
+
+    std::uint32_t block_size() const override
+    {
+        return ctrl::kDeviceBlockSize;
+    }
+    std::uint64_t num_blocks() const override { return size_blocks_; }
+
+    util::Status
+    read_blocks(std::uint64_t blockno, std::uint32_t count,
+                std::span<std::byte> out) override
+    {
+        return driver_.read_sync(blockno, count, out);
+    }
+
+    util::Status
+    write_blocks(std::uint64_t blockno, std::uint32_t count,
+                 std::span<const std::byte> in) override
+    {
+        return driver_.write_sync(blockno, count, in);
+    }
+
+    util::Status flush() override { return util::Status::ok(); }
+
+  private:
+    FunctionDriver &driver_;
+    std::uint64_t size_blocks_;
+};
+
+} // namespace nesc::drv
+
+#endif // NESC_DRIVERS_FUNCTION_DRIVER_H

@@ -1,0 +1,299 @@
+#include "pf_driver.h"
+
+#include "fs/extent_map.h"
+#include "util/log.h"
+#include "util/units.h"
+
+namespace nesc::drv {
+
+PfDriver::PfDriver(sim::Simulator &simulator, pcie::HostMemory &host_memory,
+                   pcie::BarPageRouter &bar, pcie::InterruptController &irq,
+                   const PfDriverConfig &config)
+    : simulator_(simulator), host_memory_(host_memory), bar_(bar),
+      irq_(irq), config_(config)
+{
+}
+
+PfDriver::~PfDriver()
+{
+    irq_.clear_handler(ctrl::kFaultVector);
+}
+
+util::Status
+PfDriver::init()
+{
+    pf_data_ = std::make_unique<FunctionDriver>(
+        simulator_, host_memory_, bar_, irq_, pcie::kPhysicalFunctionId,
+        config_.function);
+    NESC_RETURN_IF_ERROR(pf_data_->init());
+    irq_.set_handler(ctrl::kFaultVector, [this]() { handle_fault_irq(); });
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::reg_write(pcie::FunctionId fn, std::uint64_t offset,
+                    std::uint64_t value)
+{
+    simulator_.advance(config_.function.mmio_write_cost);
+    return bar_.write(bar_.function_base(fn) + offset, value, 8);
+}
+
+util::Result<std::uint64_t>
+PfDriver::reg_read(pcie::FunctionId fn, std::uint64_t offset)
+{
+    simulator_.advance(config_.function.mmio_read_cost);
+    return bar_.read(bar_.function_base(fn) + offset, 8);
+}
+
+util::Result<pcie::FunctionId>
+PfDriver::create_vf(fs::InodeId backing_file, std::uint64_t size_blocks)
+{
+    // Translate the filesystem's per-file mapping into the device ABI
+    // (paper §IV.C: "this stage typically consists of translating the
+    // filesystem's own per-file extent tree to the NeSC tree format").
+    if (fs_ == nullptr)
+        return util::failed_precondition_error("no filesystem attached");
+    NESC_ASSIGN_OR_RETURN(auto extents, fs_->fiemap(backing_file));
+    NESC_ASSIGN_OR_RETURN(
+        auto image,
+        extent::ExtentTreeImage::build(host_memory_, extents, config_.tree));
+
+    const pcie::FunctionId fn = next_vf_++;
+    NESC_RETURN_IF_ERROR(
+        reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtExtentRoot,
+                                   image.root()));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtDeviceSize,
+                                   size_blocks));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kCreateVf)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk)) {
+        (void)image.destroy();
+        return util::resource_exhausted_error("device rejected VF create");
+    }
+    vfs_[fn] = VfInfo{fn, backing_file, size_blocks};
+    trees_.emplace(fn, std::move(image));
+    tree_owner_[fn] = fn;
+    return fn;
+}
+
+util::Result<pcie::FunctionId>
+PfDriver::create_vf_shared(pcie::FunctionId owner_fn,
+                           std::uint64_t size_blocks)
+{
+    auto owner_it = vfs_.find(owner_fn);
+    if (owner_it == vfs_.end())
+        return util::not_found_error("no such VF to share with");
+    const pcie::FunctionId root_owner = tree_owner_.at(owner_fn);
+    const extent::ExtentTreeImage &tree = trees_.at(root_owner);
+
+    const pcie::FunctionId fn = next_vf_++;
+    NESC_RETURN_IF_ERROR(
+        reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtExtentRoot,
+                                   tree.root()));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtDeviceSize,
+                                   size_blocks));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kCreateVf)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::resource_exhausted_error("device rejected VF create");
+    vfs_[fn] = VfInfo{fn, owner_it->second.backing_file, size_blocks};
+    tree_owner_[fn] = root_owner;
+    return fn;
+}
+
+util::Status
+PfDriver::set_qos_weight(pcie::FunctionId fn, std::uint32_t weight)
+{
+    if (!vfs_.contains(fn))
+        return util::not_found_error("no such VF");
+    NESC_RETURN_IF_ERROR(
+        reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtQosWeight, weight));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kSetQosWeight)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error("device rejected QoS update");
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::delete_vf(pcie::FunctionId fn)
+{
+    auto it = vfs_.find(fn);
+    if (it == vfs_.end())
+        return util::not_found_error("no such VF");
+    // A tree owner cannot go away while other VFs still walk its tree.
+    for (const auto &[other, owner] : tree_owner_) {
+        if (other != fn && owner == fn) {
+            return util::failed_precondition_error(
+                "VF tree is shared; delete sharers first");
+        }
+    }
+    NESC_RETURN_IF_ERROR(
+        reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kDeleteVf)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error("device rejected VF delete");
+    auto tree_it = trees_.find(fn);
+    if (tree_it != trees_.end()) {
+        NESC_RETURN_IF_ERROR(tree_it->second.destroy());
+        trees_.erase(tree_it);
+    }
+    vfs_.erase(it);
+    tree_owner_.erase(fn);
+    allocation_denied_.erase(fn);
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::flush_btlb()
+{
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kFlushBtlb)));
+    return util::Status::ok();
+}
+
+util::Result<std::size_t>
+PfDriver::prune_vf_tree(pcie::FunctionId fn, std::uint64_t first_vblock,
+                        std::uint64_t nblocks)
+{
+    auto it = trees_.find(fn);
+    if (it == trees_.end())
+        return util::not_found_error("no such VF");
+    return it->second.prune_range(first_vblock, nblocks);
+}
+
+void
+PfDriver::set_allocation_denied(pcie::FunctionId fn, bool denied)
+{
+    allocation_denied_[fn] = denied;
+}
+
+void
+PfDriver::handle_fault_irq()
+{
+    simulator_.advance(config_.fault_service_cost);
+    // Identify the faulting VF(s). Real hardware would provide a fault
+    // status register; the scan over created VFs reads each MissSize.
+    for (auto &[fn, info] : vfs_) {
+        auto miss_size = reg_read(fn, ctrl::reg::kMissSize);
+        if (!miss_size.is_ok() || miss_size.value() == 0)
+            continue;
+        util::Status serviced = service_fault(fn);
+        if (!serviced.is_ok()) {
+            NESC_LOG_WARN("fault service for VF %u failed: %s", fn,
+                          serviced.to_string().c_str());
+        }
+    }
+}
+
+util::Status
+PfDriver::service_fault(pcie::FunctionId fn)
+{
+    VfInfo &info = vfs_.at(fn);
+    NESC_ASSIGN_OR_RETURN(std::uint64_t miss_addr,
+                          reg_read(fn, ctrl::reg::kMissAddress));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t miss_size,
+                          reg_read(fn, ctrl::reg::kMissSize));
+    ++faults_serviced_;
+
+    const std::uint64_t first_vblock = miss_addr / ctrl::kDeviceBlockSize;
+    std::uint64_t nblocks =
+        util::ceil_div(miss_size, ctrl::kDeviceBlockSize);
+
+    if (allocation_denied_[fn]) {
+        // Quota exhausted: tell the device to fail the stalled writes
+        // (Figure 5b's "cannot allocate" leg).
+        // Modeled as a zero-valued RewalkTree write carrying failure;
+        // the device exposes this via the mgmt fail path.
+        NESC_RETURN_IF_ERROR(
+            reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+        NESC_RETURN_IF_ERROR(reg_write(
+            pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+            static_cast<std::uint64_t>(ctrl::MgmtCommand::kFailMiss)));
+        return util::Status::ok();
+    }
+
+    // Whether this is a write miss (unallocated) or a pruned-subtree
+    // fault, the same service works: ensure the range is allocated in
+    // the filesystem, then regenerate the device tree from FIEMAP.
+    if (fs_ == nullptr)
+        return util::failed_precondition_error("no filesystem attached");
+    auto already = fs_->fiemap(info.backing_file);
+    bool was_allocated = false;
+    if (already.is_ok()) {
+        auto ext = already.value();
+        was_allocated =
+            fs::map_lookup(ext, first_vblock).has_value();
+    }
+    if (was_allocated) {
+        ++prune_faults_serviced_;
+    } else {
+        ++write_misses_serviced_;
+        if (config_.allocation_batch_blocks > nblocks)
+            nblocks = config_.allocation_batch_blocks;
+        NESC_RETURN_IF_ERROR(fs_->allocate_range(info.backing_file,
+                                                first_vblock, nblocks,
+                                                /*zero_fill=*/false));
+    }
+    NESC_RETURN_IF_ERROR(rebuild_tree(fn));
+    NESC_RETURN_IF_ERROR(reg_write(fn, ctrl::reg::kRewalkTree, 1));
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::rebuild_tree(pcie::FunctionId fn)
+{
+    // Shared trees rebuild once, at the owner, and every sharer's
+    // root register is repointed (preserving tree consistency across
+    // the sharing group, paper §IV.B).
+    const pcie::FunctionId owner = tree_owner_.at(fn);
+    VfInfo &info = vfs_.at(owner);
+    if (fs_ == nullptr)
+        return util::failed_precondition_error("no filesystem attached");
+    NESC_ASSIGN_OR_RETURN(auto extents, fs_->fiemap(info.backing_file));
+    NESC_ASSIGN_OR_RETURN(
+        auto image,
+        extent::ExtentTreeImage::build(host_memory_, extents, config_.tree));
+    for (const auto &[member, member_owner] : tree_owner_) {
+        if (member_owner == owner) {
+            NESC_RETURN_IF_ERROR(reg_write(
+                member, ctrl::reg::kExtentTreeRoot, image.root()));
+        }
+    }
+    auto it = trees_.find(owner);
+    if (it != trees_.end()) {
+        NESC_RETURN_IF_ERROR(it->second.destroy());
+        it->second = std::move(image);
+    } else {
+        trees_.emplace(owner, std::move(image));
+    }
+    return util::Status::ok();
+}
+
+} // namespace nesc::drv

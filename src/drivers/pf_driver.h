@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Hypervisor-side PF management driver (paper §IV.C, §VI).
+ *
+ * The PF driver is "both a block device driver and the management
+ * driver for creating and deleting VFs". It:
+ *  - exports the raw physical device to the hypervisor through the PF
+ *    data path (out-of-band channel, no translation);
+ *  - creates a VF for a host file: queries the filesystem's extent
+ *    mapping (FIEMAP), serializes it into the device's extent-tree
+ *    ABI in host memory, and programs the VF through the PF mgmt
+ *    registers;
+ *  - services translation faults: on a write miss it asks the
+ *    filesystem to allocate the missing range, rebuilds the tree, and
+ *    writes RewalkTree; on a pruned-subtree fault it regenerates the
+ *    mapping the same way;
+ *  - can prune VF trees under memory pressure and flush the device
+ *    BTLB when host-side block optimizations move data.
+ */
+#ifndef NESC_DRIVERS_PF_DRIVER_H
+#define NESC_DRIVERS_PF_DRIVER_H
+
+#include <map>
+#include <memory>
+
+#include "drivers/function_driver.h"
+#include "extent/tree_image.h"
+#include "fs/nestfs.h"
+#include "nesc/controller.h"
+
+namespace nesc::drv {
+
+/** PF driver tuning. */
+struct PfDriverConfig {
+    FunctionDriverConfig function;
+    /** Extent-tree node fanout used when serializing VF mappings. */
+    extent::TreeConfig tree;
+    /** Hypervisor CPU cost to enter/exit the fault service routine. */
+    sim::Duration fault_service_cost = 2'000;
+    /** Allocate this many blocks per write-miss service (batching
+     * amortizes faults on streaming writes; 0 means exactly the miss). */
+    std::uint64_t allocation_batch_blocks = 32;
+};
+
+/** Hypervisor view of one created VF. */
+struct VfInfo {
+    pcie::FunctionId fn = 0;
+    fs::InodeId backing_file = fs::kInvalidInode;
+    std::uint64_t size_blocks = 0;
+};
+
+/** The PF management driver; see file comment. */
+class PfDriver {
+  public:
+    PfDriver(sim::Simulator &simulator, pcie::HostMemory &host_memory,
+             pcie::BarPageRouter &bar, pcie::InterruptController &irq,
+             const PfDriverConfig &config = {});
+    ~PfDriver();
+
+    /**
+     * Attaches the hypervisor filesystem holding the backing files.
+     * The FS is typically mounted over this driver's own PF data
+     * path, so it cannot exist at construction time; VF creation and
+     * fault service require it. Must outlive the driver.
+     */
+    void attach_filesystem(fs::NestFs &hypervisor_fs) { fs_ = &hypervisor_fs; }
+
+    PfDriver(const PfDriver &) = delete;
+    PfDriver &operator=(const PfDriver &) = delete;
+
+    /** Sets up the PF data path and installs the fault handler. */
+    util::Status init();
+
+    /**
+     * Creates a VF exporting @p backing_file as a virtual disk of
+     * @p size_blocks device blocks (may exceed the file's currently
+     * allocated size — lazy allocation). Returns the VF function id.
+     */
+    util::Result<pcie::FunctionId> create_vf(fs::InodeId backing_file,
+                                             std::uint64_t size_blocks);
+
+    /**
+     * Creates a second VF sharing @p owner_fn's extent tree — and
+     * thereby its backing file (paper §IV.B: "the design also enables
+     * multiple VFs to share an extent tree and thereby files"; NeSC
+     * guarantees tree consistency, data synchronization is up to the
+     * client VMs). The new VF exports @p size_blocks (typically the
+     * owner's size).
+     */
+    util::Result<pcie::FunctionId>
+    create_vf_shared(pcie::FunctionId owner_fn, std::uint64_t size_blocks);
+
+    /**
+     * Tears down a VF and frees its extent tree. A VF whose tree is
+     * still shared by other VFs cannot be deleted until the sharers
+     * are gone.
+     */
+    util::Status delete_vf(pcie::FunctionId fn);
+
+    /**
+     * Sets the VF's arbitration weight: the multiplexer serves that
+     * many blocks per round-robin turn (QoS extension, §IV.D).
+     */
+    util::Status set_qos_weight(pcie::FunctionId fn, std::uint32_t weight);
+
+    /** Hypervisor-triggered BTLB flush (e.g. after dedup). */
+    util::Status flush_btlb();
+
+    /**
+     * Prunes the VF's resident tree for [first_vblock, +nblocks)
+     * (memory pressure); the device faults on next access there.
+     */
+    util::Result<std::size_t> prune_vf_tree(pcie::FunctionId fn,
+                                            std::uint64_t first_vblock,
+                                            std::uint64_t nblocks);
+
+    /** PF raw block data path (the paper's "Host" baseline device). */
+    FunctionDriver &pf_data() { return *pf_data_; }
+
+    const std::map<pcie::FunctionId, VfInfo> &vfs() const { return vfs_; }
+
+    /** The resident extent-tree image of a VF (for inspection). */
+    util::Result<const extent::ExtentTreeImage *>
+    vf_tree(pcie::FunctionId fn) const
+    {
+        auto owner = tree_owner_.find(fn);
+        if (owner == tree_owner_.end())
+            return util::not_found_error("no such VF");
+        auto it = trees_.find(owner->second);
+        if (it == trees_.end())
+            return util::not_found_error("no such VF");
+        return const_cast<const extent::ExtentTreeImage *>(&it->second);
+    }
+    std::uint64_t faults_serviced() const { return faults_serviced_; }
+    std::uint64_t write_misses_serviced() const
+    {
+        return write_misses_serviced_;
+    }
+    std::uint64_t prune_faults_serviced() const
+    {
+        return prune_faults_serviced_;
+    }
+
+    /**
+     * Deny further allocations for @p fn: the next write-miss fault is
+     * answered with a write failure instead of an allocation (quota
+     * exhaustion path of Figure 5b).
+     */
+    void set_allocation_denied(pcie::FunctionId fn, bool denied);
+
+  private:
+    void handle_fault_irq();
+    util::Status service_fault(pcie::FunctionId fn);
+    util::Status rebuild_tree(pcie::FunctionId fn);
+    util::Status reg_write(pcie::FunctionId fn, std::uint64_t offset,
+                           std::uint64_t value);
+    util::Result<std::uint64_t> reg_read(pcie::FunctionId fn,
+                                         std::uint64_t offset);
+
+    sim::Simulator &simulator_;
+    pcie::HostMemory &host_memory_;
+    pcie::BarPageRouter &bar_;
+    pcie::InterruptController &irq_;
+    fs::NestFs *fs_ = nullptr;
+    PfDriverConfig config_;
+
+    std::unique_ptr<FunctionDriver> pf_data_;
+    std::map<pcie::FunctionId, VfInfo> vfs_;
+    std::map<pcie::FunctionId, extent::ExtentTreeImage> trees_;
+    /** fn -> fn owning the (possibly shared) tree; owners map to self. */
+    std::map<pcie::FunctionId, pcie::FunctionId> tree_owner_;
+    std::map<pcie::FunctionId, bool> allocation_denied_;
+    pcie::FunctionId next_vf_ = 1;
+    std::uint64_t faults_serviced_ = 0;
+    std::uint64_t write_misses_serviced_ = 0;
+    std::uint64_t prune_faults_serviced_ = 0;
+};
+
+} // namespace nesc::drv
+
+#endif // NESC_DRIVERS_PF_DRIVER_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * On-memory (wire) layout of the NeSC extent tree (paper Figure 4).
+ *
+ * The hypervisor serializes each VF's mapping into host DRAM in this
+ * format; the device's block-walk unit parses it with raw DMA reads, so
+ * the layout is a fixed ABI: little-endian, trivially-copyable structs
+ * with explicit sizes.
+ *
+ * A node is a header followed by `count` entries. Internal nodes hold
+ * node pointers (first covered vblock, number of covered vblocks, host
+ * address of the child node); leaves hold extent pointers (first
+ * vblock, extent length, first physical block). A node pointer whose
+ * child address is null marks a subtree the hypervisor pruned under
+ * memory pressure — the device must interrupt the host to regenerate
+ * it (paper §IV.B).
+ */
+#ifndef NESC_EXTENT_LAYOUT_H
+#define NESC_EXTENT_LAYOUT_H
+
+#include <cstdint>
+
+#include "extent/types.h"
+#include "pcie/host_memory.h"
+
+namespace nesc::extent {
+
+/** Node kinds distinguished by the header (paper Fig. 4a). */
+enum class NodeKind : std::uint16_t {
+    kInternal = 0, ///< entries are NodePtrRecords
+    kLeaf = 1,     ///< entries are ExtentPtrRecords
+};
+
+/** Header at the start of every tree node. */
+struct NodeHeaderRecord {
+    std::uint16_t magic;   ///< kNodeMagic; walker validates it
+    std::uint16_t kind;    ///< NodeKind
+    std::uint16_t count;   ///< live entries
+    std::uint16_t depth;   ///< 0 at leaves; root has the largest depth
+};
+static_assert(sizeof(NodeHeaderRecord) == 8);
+
+inline constexpr std::uint16_t kNodeMagic = 0x4e45; // "NE"
+
+/** Internal-node entry (paper Fig. 4b, "Node Pointer"). */
+struct NodePtrRecord {
+    std::uint64_t first_vblock; ///< first logical block covered
+    std::uint64_t nblocks;      ///< logical blocks covered (incl. gaps)
+    pcie::HostAddr child;       ///< next node; null => pruned subtree
+};
+static_assert(sizeof(NodePtrRecord) == 24);
+
+/** Leaf entry (paper Fig. 4b, "Extent Pointer"). */
+struct ExtentPtrRecord {
+    std::uint64_t first_vblock; ///< first logical block of the extent
+    std::uint64_t nblocks;      ///< extent length in blocks
+    std::uint64_t first_pblock; ///< first physical block
+};
+static_assert(sizeof(ExtentPtrRecord) == 24);
+
+/** Entries share a size, so node geometry is kind-independent. */
+inline constexpr std::uint64_t kEntrySize = sizeof(NodePtrRecord);
+
+/** Bytes occupied by a node with @p capacity entry slots. */
+constexpr std::uint64_t
+node_footprint(std::uint32_t capacity)
+{
+    return sizeof(NodeHeaderRecord) + kEntrySize * capacity;
+}
+
+/** Host-memory address of entry @p index within the node at @p node. */
+constexpr pcie::HostAddr
+entry_addr(pcie::HostAddr node, std::uint32_t index)
+{
+    return node + sizeof(NodeHeaderRecord) + kEntrySize * index;
+}
+
+} // namespace nesc::extent
+
+#endif // NESC_EXTENT_LAYOUT_H

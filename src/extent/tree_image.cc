@@ -1,0 +1,228 @@
+#include "tree_image.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace nesc::extent {
+
+namespace {
+
+/** Coverage summary of one already-built node, used while stacking levels. */
+struct BuiltNode {
+    Vlba first_vblock;
+    std::uint64_t nblocks; ///< covered span, including interior gaps
+    pcie::HostAddr addr;
+};
+
+} // namespace
+
+util::Result<ExtentTreeImage>
+ExtentTreeImage::build(pcie::HostMemory &memory, const ExtentList &extents,
+                       const TreeConfig &config)
+{
+    if (config.fanout < 2)
+        return util::invalid_argument_error("tree fanout must be >= 2");
+    if (!is_valid_extent_list(extents))
+        return util::invalid_argument_error(
+            "extent list is unsorted or overlapping");
+
+    ExtentTreeImage image(memory, config);
+
+    if (extents.empty()) {
+        NESC_ASSIGN_OR_RETURN(image.root_,
+                              image.alloc_node(NodeKind::kLeaf, 0, 0));
+        image.depth_ = 0;
+        return image;
+    }
+
+    // Level 0: pack extents into leaves.
+    std::vector<BuiltNode> level;
+    for (std::size_t begin = 0; begin < extents.size();
+         begin += config.fanout) {
+        const std::size_t end =
+            std::min(begin + config.fanout, extents.size());
+        const auto count = static_cast<std::uint16_t>(end - begin);
+        NESC_ASSIGN_OR_RETURN(pcie::HostAddr node,
+                              image.alloc_node(NodeKind::kLeaf, 0, count));
+        for (std::size_t i = begin; i < end; ++i) {
+            const Extent &e = extents[i];
+            const ExtentPtrRecord rec{e.first_vblock, e.nblocks,
+                                      e.first_pblock};
+            NESC_RETURN_IF_ERROR(memory.write_pod(
+                entry_addr(node, static_cast<std::uint32_t>(i - begin)),
+                rec));
+        }
+        level.push_back(BuiltNode{
+            extents[begin].first_vblock,
+            extents[end - 1].end_vblock() - extents[begin].first_vblock,
+            node});
+    }
+
+    // Stack internal levels until a single root remains.
+    std::uint16_t depth = 0;
+    while (level.size() > 1) {
+        ++depth;
+        std::vector<BuiltNode> next;
+        for (std::size_t begin = 0; begin < level.size();
+             begin += config.fanout) {
+            const std::size_t end =
+                std::min(begin + config.fanout, level.size());
+            const auto count = static_cast<std::uint16_t>(end - begin);
+            NESC_ASSIGN_OR_RETURN(
+                pcie::HostAddr node,
+                image.alloc_node(NodeKind::kInternal, depth, count));
+            for (std::size_t i = begin; i < end; ++i) {
+                const BuiltNode &child = level[i];
+                const NodePtrRecord rec{child.first_vblock, child.nblocks,
+                                        child.addr};
+                NESC_RETURN_IF_ERROR(memory.write_pod(
+                    entry_addr(node, static_cast<std::uint32_t>(i - begin)),
+                    rec));
+            }
+            const BuiltNode &first = level[begin];
+            const BuiltNode &last = level[end - 1];
+            next.push_back(BuiltNode{
+                first.first_vblock,
+                last.first_vblock + last.nblocks - first.first_vblock,
+                node});
+        }
+        level = std::move(next);
+    }
+
+    image.root_ = level.front().addr;
+    image.depth_ = depth;
+    return image;
+}
+
+ExtentTreeImage::ExtentTreeImage(ExtentTreeImage &&other) noexcept
+    : memory_(other.memory_), config_(other.config_), root_(other.root_),
+      depth_(other.depth_), nodes_(std::move(other.nodes_)),
+      pruned_count_(other.pruned_count_)
+{
+    other.root_ = pcie::kNullHostAddr;
+    other.nodes_.clear();
+}
+
+ExtentTreeImage &
+ExtentTreeImage::operator=(ExtentTreeImage &&other) noexcept
+{
+    if (this != &other) {
+        // Best effort: release our nodes before adopting the other's.
+        (void)destroy();
+        memory_ = other.memory_;
+        config_ = other.config_;
+        root_ = other.root_;
+        depth_ = other.depth_;
+        nodes_ = std::move(other.nodes_);
+        pruned_count_ = other.pruned_count_;
+        other.root_ = pcie::kNullHostAddr;
+        other.nodes_.clear();
+    }
+    return *this;
+}
+
+ExtentTreeImage::~ExtentTreeImage()
+{
+    (void)destroy();
+}
+
+std::uint64_t
+ExtentTreeImage::footprint_bytes() const
+{
+    return nodes_.size() * node_footprint(config_.fanout);
+}
+
+util::Result<pcie::HostAddr>
+ExtentTreeImage::alloc_node(NodeKind kind, std::uint16_t depth,
+                            std::uint16_t count)
+{
+    NESC_ASSIGN_OR_RETURN(pcie::HostAddr addr,
+                          memory_->alloc(node_footprint(config_.fanout), 8));
+    const NodeHeaderRecord header{kNodeMagic,
+                                  static_cast<std::uint16_t>(kind), count,
+                                  depth};
+    NESC_RETURN_IF_ERROR(memory_->write_pod(addr, header));
+    nodes_.push_back(addr);
+    return addr;
+}
+
+util::Status
+ExtentTreeImage::free_subtree(pcie::HostAddr node)
+{
+    NESC_ASSIGN_OR_RETURN(auto header,
+                          memory_->read_pod<NodeHeaderRecord>(node));
+    if (header.magic != kNodeMagic)
+        return util::data_loss_error("corrupt tree node at " +
+                                     std::to_string(node));
+    if (header.kind == static_cast<std::uint16_t>(NodeKind::kInternal)) {
+        for (std::uint32_t i = 0; i < header.count; ++i) {
+            NESC_ASSIGN_OR_RETURN(auto rec,
+                                  memory_->read_pod<NodePtrRecord>(
+                                      entry_addr(node, i)));
+            if (rec.child != pcie::kNullHostAddr)
+                NESC_RETURN_IF_ERROR(free_subtree(rec.child));
+        }
+    }
+    NESC_RETURN_IF_ERROR(memory_->free(node));
+    std::erase(nodes_, node);
+    return util::Status::ok();
+}
+
+util::Result<std::size_t>
+ExtentTreeImage::prune_in_node(pcie::HostAddr node, Vlba first_vblock,
+                               Vlba end)
+{
+    NESC_ASSIGN_OR_RETURN(auto header,
+                          memory_->read_pod<NodeHeaderRecord>(node));
+    if (header.kind != static_cast<std::uint16_t>(NodeKind::kInternal))
+        return std::size_t{0};
+    std::size_t pruned = 0;
+    for (std::uint32_t i = 0; i < header.count; ++i) {
+        const pcie::HostAddr rec_addr = entry_addr(node, i);
+        NESC_ASSIGN_OR_RETURN(auto rec,
+                              memory_->read_pod<NodePtrRecord>(rec_addr));
+        if (rec.child == pcie::kNullHostAddr)
+            continue; // already pruned
+        const Vlba child_end = rec.first_vblock + rec.nblocks;
+        if (child_end <= first_vblock || rec.first_vblock >= end)
+            continue; // disjoint
+        if (rec.first_vblock >= first_vblock && child_end <= end) {
+            // Fully covered: drop the whole subtree.
+            NESC_RETURN_IF_ERROR(free_subtree(rec.child));
+            rec.child = pcie::kNullHostAddr;
+            NESC_RETURN_IF_ERROR(memory_->write_pod(rec_addr, rec));
+            ++pruned;
+            ++pruned_count_;
+        } else {
+            // Partial overlap: descend.
+            NESC_ASSIGN_OR_RETURN(
+                std::size_t sub, prune_in_node(rec.child, first_vblock, end));
+            pruned += sub;
+        }
+    }
+    return pruned;
+}
+
+util::Result<std::size_t>
+ExtentTreeImage::prune_range(Vlba first_vblock, std::uint64_t nblocks)
+{
+    if (root_ == pcie::kNullHostAddr)
+        return util::failed_precondition_error("pruning a destroyed tree");
+    if (nblocks == 0)
+        return std::size_t{0};
+    return prune_in_node(root_, first_vblock, first_vblock + nblocks);
+}
+
+util::Status
+ExtentTreeImage::destroy()
+{
+    if (root_ == pcie::kNullHostAddr)
+        return util::Status::ok();
+    util::Status status = free_subtree(root_);
+    root_ = pcie::kNullHostAddr;
+    depth_ = 0;
+    return status;
+}
+
+} // namespace nesc::extent

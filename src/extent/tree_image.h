@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Host-side construction and lifecycle of serialized extent trees.
+ *
+ * The hypervisor's PF driver translates a file's extent list (from the
+ * filesystem's FIEMAP-style query) into the device ABI of layout.h,
+ * allocating nodes in host memory. It can also prune subtrees under
+ * memory pressure — replacing a child pointer with null and releasing
+ * the subtree — which the device later reports as a fault so the
+ * mapping can be regenerated (paper §IV.B/C).
+ */
+#ifndef NESC_EXTENT_TREE_IMAGE_H
+#define NESC_EXTENT_TREE_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "extent/layout.h"
+#include "extent/types.h"
+#include "pcie/host_memory.h"
+#include "util/status.h"
+
+namespace nesc::extent {
+
+/** Shape parameters for serialized trees. */
+struct TreeConfig {
+    /**
+     * Max entries per node. ext4 packs ~340 entries in a 4 KiB block;
+     * the default keeps trees shallow yet non-trivial for files of a
+     * few hundred extents.
+     */
+    std::uint32_t fanout = 64;
+};
+
+/** An extent tree serialized into host memory, owned by the builder. */
+class ExtentTreeImage {
+  public:
+    /**
+     * Serializes @p extents (sorted, non-overlapping; gaps = holes)
+     * into @p memory. An empty list yields a leaf root with no
+     * entries — a fully lazy-allocated virtual disk.
+     */
+    static util::Result<ExtentTreeImage>
+    build(pcie::HostMemory &memory, const ExtentList &extents,
+          const TreeConfig &config = {});
+
+    ExtentTreeImage(ExtentTreeImage &&other) noexcept;
+    ExtentTreeImage &operator=(ExtentTreeImage &&other) noexcept;
+    ExtentTreeImage(const ExtentTreeImage &) = delete;
+    ExtentTreeImage &operator=(const ExtentTreeImage &) = delete;
+    /** Releases all resident nodes. */
+    ~ExtentTreeImage();
+
+    /** Host address of the root node (never null for a live image). */
+    pcie::HostAddr root() const { return root_; }
+
+    /** Tree depth: 0 for a leaf-only tree. */
+    std::uint32_t depth() const { return depth_; }
+
+    /** Nodes currently resident (excludes pruned subtrees). */
+    std::size_t num_nodes() const { return nodes_.size(); }
+
+    /** Host-memory bytes held by resident nodes. */
+    std::uint64_t footprint_bytes() const;
+
+    /**
+     * Prunes every subtree whose coverage intersects [@p first_vblock,
+     * +@p nblocks): child pointers become null and subtree nodes are
+     * freed. Returns the number of subtrees pruned. Pruning never
+     * removes the root. A leaf-only tree has nothing to prune.
+     */
+    util::Result<std::size_t> prune_range(Vlba first_vblock,
+                                          std::uint64_t nblocks);
+
+    /** Total subtrees pruned over the image's lifetime. */
+    std::size_t pruned_count() const { return pruned_count_; }
+
+    /** Frees all nodes and leaves the image empty (root()==null). */
+    util::Status destroy();
+
+  private:
+    ExtentTreeImage(pcie::HostMemory &memory, TreeConfig config)
+        : memory_(&memory), config_(config)
+    {
+    }
+
+    util::Result<pcie::HostAddr> alloc_node(NodeKind kind,
+                                            std::uint16_t depth,
+                                            std::uint16_t count);
+    util::Status free_subtree(pcie::HostAddr node);
+    util::Result<std::size_t> prune_in_node(pcie::HostAddr node,
+                                            Vlba first_vblock, Vlba end);
+
+    pcie::HostMemory *memory_;
+    TreeConfig config_;
+    pcie::HostAddr root_ = pcie::kNullHostAddr;
+    std::uint32_t depth_ = 0;
+    std::vector<pcie::HostAddr> nodes_; ///< all resident node addresses
+    std::size_t pruned_count_ = 0;
+};
+
+} // namespace nesc::extent
+
+#endif // NESC_EXTENT_TREE_IMAGE_H

@@ -1,0 +1,121 @@
+#include "walker.h"
+
+#include <string>
+
+namespace nesc::extent {
+
+namespace {
+
+util::Result<NodeHeaderRecord>
+read_header(const pcie::HostMemory &memory, pcie::HostAddr node)
+{
+    NESC_ASSIGN_OR_RETURN(auto header,
+                          memory.read_pod<NodeHeaderRecord>(node));
+    if (header.magic != kNodeMagic) {
+        return util::data_loss_error("bad extent-tree node magic at " +
+                                     std::to_string(node));
+    }
+    return header;
+}
+
+} // namespace
+
+util::Result<LookupResult>
+lookup(const pcie::HostMemory &memory, pcie::HostAddr root, Vlba vlba)
+{
+    if (root == pcie::kNullHostAddr)
+        return util::invalid_argument_error("lookup with null tree root");
+
+    LookupResult result;
+    pcie::HostAddr node = root;
+    // Bounded descent: a legal tree has depth <= 64.
+    for (int level = 0; level < 64; ++level) {
+        NESC_ASSIGN_OR_RETURN(auto header, read_header(memory, node));
+        ++result.nodes_visited;
+
+        if (header.kind == static_cast<std::uint16_t>(NodeKind::kLeaf)) {
+            for (std::uint32_t i = 0; i < header.count; ++i) {
+                NESC_ASSIGN_OR_RETURN(auto rec,
+                                      memory.read_pod<ExtentPtrRecord>(
+                                          entry_addr(node, i)));
+                const Extent extent{rec.first_vblock, rec.nblocks,
+                                    rec.first_pblock};
+                if (extent.contains(vlba)) {
+                    result.outcome = LookupOutcome::kMapped;
+                    result.extent = extent;
+                    return result;
+                }
+                if (rec.first_vblock > vlba)
+                    break; // entries are sorted; no later match possible
+            }
+            result.outcome = LookupOutcome::kHole;
+            return result;
+        }
+
+        // Internal node: find the covering child.
+        pcie::HostAddr next = pcie::kNullHostAddr;
+        bool covered = false;
+        for (std::uint32_t i = 0; i < header.count; ++i) {
+            NESC_ASSIGN_OR_RETURN(auto rec, memory.read_pod<NodePtrRecord>(
+                                                entry_addr(node, i)));
+            if (vlba >= rec.first_vblock &&
+                vlba < rec.first_vblock + rec.nblocks) {
+                covered = true;
+                next = rec.child;
+                break;
+            }
+            if (rec.first_vblock > vlba)
+                break;
+        }
+        if (!covered) {
+            result.outcome = LookupOutcome::kHole;
+            return result;
+        }
+        if (next == pcie::kNullHostAddr) {
+            result.outcome = LookupOutcome::kPruned;
+            return result;
+        }
+        node = next;
+    }
+    return util::data_loss_error("extent tree deeper than 64 levels");
+}
+
+namespace {
+
+util::Status
+enumerate_into(const pcie::HostMemory &memory, pcie::HostAddr node,
+               ExtentList &out)
+{
+    NESC_ASSIGN_OR_RETURN(auto header, read_header(memory, node));
+    if (header.kind == static_cast<std::uint16_t>(NodeKind::kLeaf)) {
+        for (std::uint32_t i = 0; i < header.count; ++i) {
+            NESC_ASSIGN_OR_RETURN(
+                auto rec,
+                memory.read_pod<ExtentPtrRecord>(entry_addr(node, i)));
+            out.push_back(
+                Extent{rec.first_vblock, rec.nblocks, rec.first_pblock});
+        }
+        return util::Status::ok();
+    }
+    for (std::uint32_t i = 0; i < header.count; ++i) {
+        NESC_ASSIGN_OR_RETURN(
+            auto rec, memory.read_pod<NodePtrRecord>(entry_addr(node, i)));
+        if (rec.child != pcie::kNullHostAddr)
+            NESC_RETURN_IF_ERROR(enumerate_into(memory, rec.child, out));
+    }
+    return util::Status::ok();
+}
+
+} // namespace
+
+util::Result<ExtentList>
+enumerate(const pcie::HostMemory &memory, pcie::HostAddr root)
+{
+    if (root == pcie::kNullHostAddr)
+        return util::invalid_argument_error("enumerate with null tree root");
+    ExtentList out;
+    NESC_RETURN_IF_ERROR(enumerate_into(memory, root, out));
+    return out;
+}
+
+} // namespace nesc::extent

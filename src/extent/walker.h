@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Software reference walker for serialized extent trees.
+ *
+ * Implements exactly the lookup the device's block-walk unit performs
+ * (paper §V.B), but with direct functional memory reads and no timing.
+ * The hardware model in src/nesc is validated against this walker; the
+ * PF driver also uses it when it needs to inspect a tree it built.
+ */
+#ifndef NESC_EXTENT_WALKER_H
+#define NESC_EXTENT_WALKER_H
+
+#include <cstdint>
+
+#include "extent/layout.h"
+#include "extent/types.h"
+#include "pcie/host_memory.h"
+#include "util/status.h"
+
+namespace nesc::extent {
+
+/** What a vLBA lookup found. */
+enum class LookupOutcome {
+    kMapped, ///< translation succeeded
+    kHole,   ///< no mapping: unallocated (lazy) region of the file
+    kPruned, ///< mapping existed but its subtree was pruned from memory
+};
+
+/** Result of a single vLBA lookup. */
+struct LookupResult {
+    LookupOutcome outcome = LookupOutcome::kHole;
+    /** The matched extent (valid only when outcome == kMapped). */
+    Extent extent{};
+    /** Nodes visited, root inclusive (the walk's DMA count). */
+    std::uint32_t nodes_visited = 0;
+};
+
+/**
+ * Looks up @p vlba in the tree rooted at @p root. Fails with DATA_LOSS
+ * on a malformed tree (bad magic, internal node at depth 0, ...).
+ */
+util::Result<LookupResult> lookup(const pcie::HostMemory &memory,
+                                  pcie::HostAddr root, Vlba vlba);
+
+/**
+ * Enumerates every reachable extent in vLBA order (pruned subtrees are
+ * skipped). Useful for tests and for diffing a tree against a FIEMAP.
+ */
+util::Result<ExtentList> enumerate(const pcie::HostMemory &memory,
+                                   pcie::HostAddr root);
+
+} // namespace nesc::extent
+
+#endif // NESC_EXTENT_WALKER_H

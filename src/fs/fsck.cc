@@ -1,0 +1,199 @@
+/**
+ * @file
+ * nestfs consistency checker (NestFs::fsck).
+ *
+ * Pass 1 walks the directory tree from the root, validating dirents
+ * and each reachable inode's extent map and claiming its blocks.
+ * Pass 2 scans the inode table for live-but-unreachable inodes, and
+ * pass 3 reconciles the claimed-block set against the allocation
+ * bitmap (leak detection). Crash-recovery tests run this after
+ * remounting a volume that lost power mid-transaction.
+ */
+#include <cstring>
+#include <set>
+
+#include "fs/extent_map.h"
+#include "fs/nestfs.h"
+#include "util/units.h"
+
+namespace nesc::fs {
+
+namespace {
+
+constexpr std::size_t kMaxErrorMessages = 32;
+
+void
+record_error(NestFs::FsckReport &report, std::string message)
+{
+    report.clean = false;
+    if (report.errors.size() < kMaxErrorMessages)
+        report.errors.push_back(std::move(message));
+}
+
+} // namespace
+
+util::Result<NestFs::FsckReport>
+NestFs::fsck()
+{
+    FsckReport report;
+    // Blocks claimed by some inode (data, directory data, or extent
+    // chain); used to detect double references and leaks.
+    std::set<std::uint64_t> claimed;
+    std::set<InodeId> reachable;
+
+    auto claim = [&](std::uint64_t block, InodeId ino) {
+        if (block < super_.data_start || block >= super_.total_blocks) {
+            record_error(report, "inode " + std::to_string(ino) +
+                                     " references out-of-area block " +
+                                     std::to_string(block));
+            return;
+        }
+        if (!bitmap_get(block)) {
+            record_error(report, "inode " + std::to_string(ino) +
+                                     " references free block " +
+                                     std::to_string(block));
+        }
+        if (!claimed.insert(block).second) {
+            record_error(report, "block " + std::to_string(block) +
+                                     " referenced more than once");
+        }
+    };
+
+    // Validate one inode's mapping and claim its blocks (including
+    // the on-disk extent-chain blocks).
+    auto check_inode = [&](InodeId ino) -> util::Status {
+        NESC_ASSIGN_OR_RETURN(CachedInode * inode, load_inode(ino));
+        NESC_RETURN_IF_ERROR(load_extents(*inode));
+        if (!extent::is_valid_extent_list(inode->extents)) {
+            record_error(report, "inode " + std::to_string(ino) +
+                                     " has an invalid extent map");
+            return util::Status::ok();
+        }
+        for (const extent::Extent &e : inode->extents) {
+            for (std::uint64_t i = 0; i < e.nblocks; ++i)
+                claim(e.first_pblock + i, ino);
+            report.referenced_blocks += e.nblocks;
+        }
+        // Chain blocks.
+        std::uint64_t chain = inode->disk.overflow_block;
+        std::vector<std::byte> block(kFsBlockSize);
+        int hops = 0;
+        while (chain != 0 && hops++ < 1'000'000) {
+            claim(chain, ino);
+            ++report.referenced_blocks;
+            NESC_RETURN_IF_ERROR(meta_read(chain, block));
+            ExtentChainHeader header;
+            std::memcpy(&header, block.data(), sizeof(header));
+            chain = header.next_block;
+        }
+        // Size vs. mapping sanity: mapped blocks never extend past the
+        // rounded-up file size.
+        const std::uint64_t size_blocks =
+            util::ceil_div(inode->disk.size_bytes, kFsBlockSize);
+        if (map_end(inode->extents) > size_blocks) {
+            record_error(report, "inode " + std::to_string(ino) +
+                                     " maps blocks past its size");
+        }
+        return util::Status::ok();
+    };
+
+    // Pass 1: namespace walk (iterative DFS; detects dirent errors).
+    std::vector<InodeId> stack = {kRootInode};
+    while (!stack.empty()) {
+        const InodeId dir = stack.back();
+        stack.pop_back();
+        if (!reachable.insert(dir).second) {
+            record_error(report, "directory cycle through inode " +
+                                     std::to_string(dir));
+            continue;
+        }
+        ++report.directories;
+        NESC_RETURN_IF_ERROR(check_inode(dir));
+
+        NESC_ASSIGN_OR_RETURN(CachedInode * inode, load_inode(dir));
+        NESC_RETURN_IF_ERROR(load_extents(*inode));
+        const std::uint64_t nblocks =
+            inode->disk.size_bytes / kFsBlockSize;
+        std::vector<std::byte> block(kFsBlockSize);
+        for (std::uint64_t vb = 0; vb < nblocks; ++vb) {
+            auto pblock = map_lookup(inode->extents, vb);
+            if (!pblock) {
+                record_error(report, "directory " + std::to_string(dir) +
+                                         " has a hole");
+                continue;
+            }
+            NESC_RETURN_IF_ERROR(meta_read(*pblock, block));
+            for (std::uint32_t s = 0; s < kDirEntriesPerBlock; ++s) {
+                DirEntryRecord rec;
+                std::memcpy(&rec, block.data() + s * sizeof(rec),
+                            sizeof(rec));
+                if (rec.ino == kInvalidInode)
+                    continue;
+                if (rec.ino > super_.inode_count ||
+                    rec.name_len > kMaxNameLen) {
+                    record_error(report,
+                                 "corrupt dirent in directory " +
+                                     std::to_string(dir));
+                    continue;
+                }
+                auto target = load_inode(rec.ino);
+                if (!target.is_ok()) {
+                    record_error(report,
+                                 "dirent to free inode " +
+                                     std::to_string(rec.ino));
+                    continue;
+                }
+                const auto type =
+                    static_cast<FileType>((*target)->disk.type);
+                if (static_cast<FileType>(rec.file_type) != type) {
+                    record_error(report, "dirent type mismatch for inode " +
+                                             std::to_string(rec.ino));
+                }
+                if (type == FileType::kDirectory) {
+                    stack.push_back(rec.ino);
+                } else {
+                    if (!reachable.insert(rec.ino).second) {
+                        // nestfs has no hard links: a file reached
+                        // twice means crossed directory entries.
+                        record_error(report,
+                                     "file inode " +
+                                         std::to_string(rec.ino) +
+                                         " referenced twice");
+                        continue;
+                    }
+                    ++report.files;
+                    NESC_RETURN_IF_ERROR(check_inode(rec.ino));
+                }
+            }
+        }
+    }
+
+    // Pass 2: orphan scan over the inode table.
+    for (InodeId ino = 1; ino <= super_.inode_count; ++ino) {
+        auto inode = load_inode(ino);
+        if (!inode.is_ok())
+            continue; // free slot
+        if (!reachable.contains(ino)) {
+            ++report.orphan_inodes;
+            record_error(report,
+                         "orphan inode " + std::to_string(ino));
+        }
+    }
+
+    // Pass 3: leak scan over the data-area bitmap.
+    for (std::uint64_t b = super_.data_start; b < super_.total_blocks;
+         ++b) {
+        if (bitmap_get(b) && !claimed.contains(b)) {
+            ++report.leaked_blocks;
+            if (report.leaked_blocks == 1) {
+                record_error(report, "leaked block " + std::to_string(b) +
+                                         " (first of possibly many)");
+            }
+        }
+    }
+    if (report.leaked_blocks > 0)
+        report.clean = false;
+    return report;
+}
+
+} // namespace nesc::fs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * NeSC device ABI: command/completion descriptors and the register map.
+ *
+ * Drivers talk to a function (PF or VF) through a per-function 4 KiB
+ * register page (paper §V, "Control registers") and a pair of host-
+ * memory rings: a command ring (driver -> device) and a completion
+ * ring (device -> driver). Commands address the virtual device in
+ * vLBAs; the device translates, executes, and posts a completion, then
+ * raises the function's MSI vector.
+ */
+#ifndef NESC_CTRL_COMMAND_H
+#define NESC_CTRL_COMMAND_H
+
+#include <cstdint>
+
+#include "pcie/host_memory.h"
+
+namespace nesc::ctrl {
+
+/** Device block granularity: NeSC operates on 1 KiB blocks (paper §IV.C). */
+inline constexpr std::uint32_t kDeviceBlockSize = 1024;
+
+/** Command opcodes. */
+enum class Opcode : std::uint8_t {
+    kRead = 1,
+    kWrite = 2,
+    kFlush = 3,
+};
+
+/** Completion status codes. */
+enum class CompletionStatus : std::uint32_t {
+    kOk = 0,
+    kOutOfRange = 1,   ///< vLBA beyond the virtual device size
+    kWriteFailed = 2,  ///< hypervisor could not allocate storage
+    kInternalError = 3,
+};
+
+/** Command ring record (driver -> device). */
+struct CommandRecord {
+    std::uint64_t vlba;        ///< first device block of the request
+    std::uint32_t nblocks;     ///< block count (driver splits large I/O)
+    std::uint8_t opcode;       ///< Opcode
+    std::uint8_t pad[3];
+    pcie::HostAddr host_buffer; ///< data buffer in host memory
+    std::uint64_t tag;          ///< echoed in the completion
+};
+static_assert(sizeof(CommandRecord) == 32);
+
+/** Completion ring record (device -> driver). */
+struct CompletionRecord {
+    std::uint64_t tag;
+    std::uint32_t status; ///< CompletionStatus
+    std::uint32_t pad;
+};
+static_assert(sizeof(CompletionRecord) == 16);
+
+/**
+ * Register offsets within a function's BAR page. The paper names
+ * ExtentTreeRoot, MissAddress/MissSize and RewalkTree explicitly
+ * (§V); ring setup and doorbell registers are the standard DMA-ring
+ * plumbing it mentions and omits.
+ */
+namespace reg {
+inline constexpr std::uint64_t kExtentTreeRoot = 0x00; // RW (PF sets)
+inline constexpr std::uint64_t kMissAddress = 0x08;    // RO
+inline constexpr std::uint64_t kMissSize = 0x10;       // RO
+inline constexpr std::uint64_t kRewalkTree = 0x14;     // WO
+inline constexpr std::uint64_t kCmdRingBase = 0x18;    // RW
+inline constexpr std::uint64_t kCompRingBase = 0x20;   // RW
+inline constexpr std::uint64_t kDoorbell = 0x28;       // WO
+inline constexpr std::uint64_t kDeviceSize = 0x30;     // RO (blocks)
+inline constexpr std::uint64_t kInterruptVector = 0x38; // RW
+/** Read-only per-function statistics (device-side accounting). */
+inline constexpr std::uint64_t kStatBlocksRead = 0x40;    // RO
+inline constexpr std::uint64_t kStatBlocksWritten = 0x48; // RO
+inline constexpr std::uint64_t kStatFaults = 0x50;        // RO
+/** QoS service weight of this function (set through PF mgmt). */
+inline constexpr std::uint64_t kQosWeight = 0x58; // RO
+
+// PF-only management block (paper: VFs are created/deleted and their
+// storage subsets controlled through the PF interface).
+inline constexpr std::uint64_t kMgmtVfId = 0x80;        // RW
+inline constexpr std::uint64_t kMgmtExtentRoot = 0x88;  // RW
+inline constexpr std::uint64_t kMgmtDeviceSize = 0x90;  // RW (blocks)
+inline constexpr std::uint64_t kMgmtCommand = 0x98;     // WO
+inline constexpr std::uint64_t kMgmtStatus = 0x9c;      // RO
+inline constexpr std::uint64_t kMgmtQosWeight = 0xa0;   // RW
+} // namespace reg
+
+/** kMgmtCommand values. */
+enum class MgmtCommand : std::uint32_t {
+    kCreateVf = 1,
+    kDeleteVf = 2,
+    kFlushBtlb = 3, ///< hypervisor-triggered BTLB flush (dedup etc.)
+    /**
+     * Allocation failed (storage or quota exhausted): fail the VF's
+     * stalled writes with a write-failure completion (Fig. 5b).
+     */
+    kFailMiss = 4,
+    /**
+     * Applies kMgmtQosWeight to the VF in kMgmtVfId: the arbiter
+     * serves that many blocks per round-robin turn (paper §IV.D,
+     * "QoS... by modifying its DMA engine to support different
+     * priorities for each VF").
+     */
+    kSetQosWeight = 5,
+};
+
+/** kMgmtStatus values. */
+enum class MgmtStatus : std::uint32_t {
+    kIdle = 0,
+    kOk = 1,
+    kError = 2,
+};
+
+/** MSI vector assignment: completion vector of function f. */
+constexpr std::uint32_t
+completion_vector(std::uint16_t fn)
+{
+    return 0x100u + fn;
+}
+
+/** MSI vector the PF receives for VF faults (write miss / prune). */
+inline constexpr std::uint32_t kFaultVector = 0x10;
+
+} // namespace nesc::ctrl
+
+#endif // NESC_CTRL_COMMAND_H

@@ -1,0 +1,813 @@
+#include "controller.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "extent/layout.h"
+#include "util/log.h"
+
+namespace nesc::ctrl {
+
+using extent::ExtentPtrRecord;
+using extent::NodeHeaderRecord;
+using extent::NodeKind;
+using extent::NodePtrRecord;
+
+Controller::Controller(sim::Simulator &simulator,
+                       pcie::HostMemory &host_memory,
+                       storage::BlockDevice &device,
+                       pcie::InterruptController &irq,
+                       const ControllerConfig &config)
+    : simulator_(simulator), host_memory_(host_memory), device_(device),
+      irq_(irq), config_(config), dma_(simulator, host_memory),
+      btlb_(config.btlb_entries),
+      contexts_(static_cast<std::size_t>(config.max_vfs) + 1)
+{
+    // The PF is permanently active and spans the whole physical device.
+    FunctionContext &pf = contexts_[pcie::kPhysicalFunctionId];
+    pf.active = true;
+    pf.device_size_blocks = device_.geometry().num_blocks();
+}
+
+bool
+Controller::is_active(pcie::FunctionId fn) const
+{
+    return fn < contexts_.size() && contexts_[fn].active;
+}
+
+const FunctionStats &
+Controller::stats(pcie::FunctionId fn) const
+{
+    return contexts_.at(fn).stats;
+}
+
+FaultKind
+Controller::fault_kind(pcie::FunctionId fn) const
+{
+    return contexts_.at(fn).fault;
+}
+
+bool
+Controller::quiescent() const
+{
+    if (!vlba_queue_.empty() || !plba_queue_.empty() || active_walks_ ||
+        inflight_transfers_)
+        return false;
+    for (const FunctionContext &c : contexts_) {
+        if (!c.queue.empty() || !c.stalled_ops.empty() ||
+            !c.pending.empty() || c.fetch_in_progress)
+            return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Register interface
+// --------------------------------------------------------------------
+
+util::Result<std::uint64_t>
+Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
+                      unsigned size)
+{
+    (void)size;
+    if (fn >= contexts_.size())
+        return util::out_of_range_error("no such function");
+    FunctionContext &c = ctx(fn);
+    switch (offset) {
+      case reg::kExtentTreeRoot: return c.extent_tree_root;
+      case reg::kMissAddress: return c.miss_address;
+      case reg::kMissSize: return static_cast<std::uint64_t>(c.miss_size);
+      case reg::kCmdRingBase: return c.cmd_ring_base;
+      case reg::kCompRingBase: return c.comp_ring_base;
+      case reg::kDeviceSize: return c.device_size_blocks;
+      case reg::kStatBlocksRead: return c.stats.blocks_read;
+      case reg::kStatBlocksWritten: return c.stats.blocks_written;
+      case reg::kStatFaults: return c.stats.faults;
+      case reg::kQosWeight:
+        return static_cast<std::uint64_t>(c.qos_weight);
+      case reg::kInterruptVector:
+        return static_cast<std::uint64_t>(
+            c.irq_vector ? c.irq_vector : completion_vector(fn));
+      case reg::kMgmtQosWeight:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        return static_cast<std::uint64_t>(mgmt_qos_weight_);
+      case reg::kMgmtStatus:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        return static_cast<std::uint64_t>(mgmt_status_);
+      case reg::kMgmtVfId:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        return static_cast<std::uint64_t>(mgmt_vf_id_);
+      default:
+        return util::invalid_argument_error("unknown register read at " +
+                                            std::to_string(offset));
+    }
+}
+
+util::Status
+Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
+                       std::uint64_t value, unsigned size)
+{
+    (void)size;
+    if (fn >= contexts_.size())
+        return util::out_of_range_error("no such function");
+    FunctionContext &c = ctx(fn);
+    const bool is_pf = fn == pcie::kPhysicalFunctionId;
+
+    switch (offset) {
+      case reg::kExtentTreeRoot:
+        // The VF's tree root itself is hypervisor-controlled; VFs are
+        // created through the PF mgmt block. Allow rewrites through
+        // the VF page too (the hypervisor maps it privately when
+        // servicing faults).
+        c.extent_tree_root = value;
+        return util::Status::ok();
+      case reg::kCmdRingBase:
+        c.cmd_ring_base = value;
+        c.cmd_ring.reset();
+        return util::Status::ok();
+      case reg::kCompRingBase:
+        c.comp_ring_base = value;
+        c.comp_ring.reset();
+        return util::Status::ok();
+      case reg::kDoorbell: {
+        if (!c.active)
+            return util::failed_precondition_error("doorbell on inactive fn");
+        if (c.fetch_in_progress) {
+            // Remember that more work arrived while a fetch was busy.
+            c.doorbell_rearm = true;
+            return util::Status::ok();
+        }
+        c.fetch_in_progress = true;
+        simulator_.schedule_in(config_.doorbell_latency,
+                               [this, fn]() { fetch_commands(fn); });
+        return util::Status::ok();
+      }
+      case reg::kRewalkTree:
+        if (value != 0)
+            handle_rewalk(fn);
+        return util::Status::ok();
+      case reg::kInterruptVector:
+        c.irq_vector = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kMgmtVfId:
+        if (!is_pf)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        mgmt_vf_id_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kMgmtExtentRoot:
+        if (!is_pf)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        mgmt_extent_root_ = value;
+        return util::Status::ok();
+      case reg::kMgmtDeviceSize:
+        if (!is_pf)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        mgmt_device_size_ = value;
+        return util::Status::ok();
+      case reg::kMgmtQosWeight:
+        if (!is_pf)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        mgmt_qos_weight_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kMgmtCommand:
+        if (!is_pf)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        mgmt_status_ =
+            mgmt_execute(static_cast<MgmtCommand>(value));
+        return util::Status::ok();
+      default:
+        return util::invalid_argument_error("unknown register write at " +
+                                            std::to_string(offset));
+    }
+}
+
+std::uint32_t
+Controller::mgmt_execute(MgmtCommand command)
+{
+    const auto ok = static_cast<std::uint32_t>(MgmtStatus::kOk);
+    const auto err = static_cast<std::uint32_t>(MgmtStatus::kError);
+    switch (command) {
+      case MgmtCommand::kCreateVf: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        FunctionContext &c = ctx(static_cast<pcie::FunctionId>(mgmt_vf_id_));
+        if (c.active)
+            return err;
+        c = FunctionContext{};
+        c.active = true;
+        c.extent_tree_root = mgmt_extent_root_;
+        c.device_size_blocks = mgmt_device_size_;
+        ++counters_["vfs_created"];
+        return ok;
+      }
+      case MgmtCommand::kDeleteVf: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        FunctionContext &c = ctx(fn);
+        if (!c.active)
+            return err;
+        if (!c.queue.empty() || !c.pending.empty() ||
+            !c.stalled_ops.empty())
+            return err; // refuse to delete a busy VF
+        c = FunctionContext{};
+        btlb_.flush_function(fn);
+        ++counters_["vfs_deleted"];
+        return ok;
+      }
+      case MgmtCommand::kFlushBtlb:
+        btlb_.flush();
+        ++counters_["btlb_pf_flushes"];
+        return ok;
+      case MgmtCommand::kFailMiss: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        if (!ctx(fn).active)
+            return err;
+        fail_stalled(fn);
+        return ok;
+      }
+      case MgmtCommand::kSetQosWeight: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs ||
+            mgmt_qos_weight_ == 0)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        if (!ctx(fn).active)
+            return err;
+        ctx(fn).qos_weight = mgmt_qos_weight_;
+        ++counters_["qos_updates"];
+        return ok;
+      }
+    }
+    return err;
+}
+
+// --------------------------------------------------------------------
+// Command fetch & arbitration
+// --------------------------------------------------------------------
+
+void
+Controller::fetch_commands(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    c.fetch_in_progress = false;
+    if (!c.active)
+        return;
+    if (!c.cmd_ring) {
+        auto ring = pcie::HostRing::attach(host_memory_, c.cmd_ring_base);
+        if (!ring.is_ok()) {
+            NESC_LOG_WARN("fn %u: doorbell with no command ring", fn);
+            return;
+        }
+        c.cmd_ring = std::move(ring).value();
+    }
+
+    // Drain the ring; descriptor DMA is booked per record.
+    std::vector<std::byte> rec_buf(sizeof(CommandRecord));
+    std::uint64_t fetched = 0;
+    for (;;) {
+        auto popped = c.cmd_ring->pop(rec_buf);
+        if (!popped.is_ok() || !popped.value())
+            break;
+        dma_.book(sizeof(CommandRecord));
+        CommandRecord rec;
+        std::memcpy(&rec, rec_buf.data(), sizeof(rec));
+        ++fetched;
+        ++c.stats.commands;
+
+        const auto opcode = static_cast<Opcode>(rec.opcode);
+        if (opcode == Opcode::kFlush) {
+            // Durability barrier: the in-memory media model is always
+            // durable, so a flush completes as soon as it is seen.
+            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
+            complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
+                           CompletionStatus::kOk);
+            continue;
+        }
+        if (rec.nblocks == 0 ||
+            (opcode != Opcode::kRead && opcode != Opcode::kWrite)) {
+            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
+            complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
+                           CompletionStatus::kInternalError);
+            continue;
+        }
+
+        // Split into 1 KiB device-block operations (paper §IV.C).
+        c.pending[rec.tag] =
+            PendingCommand{rec.nblocks, CompletionStatus::kOk};
+        for (std::uint32_t b = 0; b < rec.nblocks; ++b) {
+            BlockOp op{fn, opcode, rec.vlba + b,
+                       rec.host_buffer +
+                           static_cast<pcie::HostAddr>(b) *
+                               kDeviceBlockSize,
+                       rec.tag};
+            op.t_queued = simulator_.now();
+            c.queue.push_back(op);
+        }
+    }
+    counters_["commands_fetched"] += fetched;
+    if (c.doorbell_rearm) {
+        c.doorbell_rearm = false;
+        c.fetch_in_progress = true;
+        simulator_.schedule_in(config_.doorbell_latency,
+                               [this, fn]() { fetch_commands(fn); });
+    }
+    pump();
+}
+
+void
+Controller::pump()
+{
+    arbitrate();
+    start_walks();
+    start_transfers();
+}
+
+void
+Controller::arbitrate()
+{
+    // PF out-of-band channel: bypasses translation and the vLBA queue
+    // entirely (paper §V.A), so PF traffic is never blocked behind a
+    // stalled VF.
+    FunctionContext &pf = ctx(pcie::kPhysicalFunctionId);
+    while (!pf.queue.empty()) {
+        BlockOp op = pf.queue.front();
+        pf.queue.pop_front();
+        if (op.vlba >= pf.device_size_blocks) {
+            complete_block(op, CompletionStatus::kOutOfRange);
+            continue;
+        }
+        plba_queue_.emplace_back(op, static_cast<extent::Plba>(op.vlba));
+        ++counters_["oob_requests"];
+    }
+
+    // Weighted round-robin over VFs into the shared vLBA queue: each
+    // backlogged VF gets qos_weight blocks per turn (weight 1 = the
+    // plain round robin of §V.A; higher weights implement the QoS
+    // extension of §IV.D). The per-turn credit persists across calls:
+    // the pipeline refills one slot at a time in steady state, and the
+    // weight must survive that, not just batch arrivals.
+    auto eligible = [this](pcie::FunctionId fn) {
+        const FunctionContext &c = contexts_[fn];
+        return c.active && c.fault == FaultKind::kNone && !c.queue.empty();
+    };
+    const std::uint32_t nfuncs = config_.max_vfs;
+    std::uint32_t scanned = 0;
+    while (vlba_queue_.size() < config_.vlba_queue_depth) {
+        if (rr_credit_ == 0 || !eligible(rr_current_)) {
+            // Turn over: find the next VF with queued work.
+            bool found = false;
+            while (scanned < nfuncs) {
+                rr_current_ = rr_current_ >= config_.max_vfs
+                                  ? pcie::FunctionId{1}
+                                  : static_cast<pcie::FunctionId>(
+                                        rr_current_ + 1);
+                ++scanned;
+                if (eligible(rr_current_)) {
+                    rr_credit_ = ctx(rr_current_).qos_weight;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                break; // nothing runnable anywhere
+        }
+        FunctionContext &c = ctx(rr_current_);
+        c.queue.front().t_arbitrated = simulator_.now();
+        vlba_queue_.push_back(c.queue.front());
+        c.queue.pop_front();
+        --rr_credit_;
+        scanned = 0;
+        if (c.queue.empty())
+            rr_credit_ = 0; // cannot bank credit while idle
+    }
+}
+
+// --------------------------------------------------------------------
+// Translation unit
+// --------------------------------------------------------------------
+
+void
+Controller::start_walks()
+{
+    while (active_walks_ < config_.walk_overlap && !vlba_queue_.empty() &&
+           plba_queue_.size() < config_.plba_queue_depth) {
+        BlockOp op = vlba_queue_.front();
+        vlba_queue_.pop_front();
+        ++active_walks_;
+        // The BTLB probe and pipeline bookkeeping take a fixed cost.
+        simulator_.schedule_in(config_.translation_cost,
+                               [this, op]() { begin_translation(op); });
+    }
+}
+
+void
+Controller::begin_translation(BlockOp op)
+{
+    FunctionContext &c = ctx(op.fn);
+    if (!c.active) { // VF deleted while queued
+        release_walker();
+        pump();
+        return;
+    }
+    if (c.fault != FaultKind::kNone) {
+        // Another block of this VF faulted while we were queued; park.
+        c.stalled_ops.push_back(op);
+        release_walker();
+        pump();
+        return;
+    }
+    if (op.vlba >= c.device_size_blocks) {
+        complete_block(op, CompletionStatus::kOutOfRange);
+        release_walker();
+        pump();
+        return;
+    }
+    if (auto hit = btlb_.lookup(op.fn, op.vlba)) {
+        counters_["btlb_hits"] += 1;
+        finish_mapped(op, *hit);
+        release_walker();
+        pump();
+        return;
+    }
+    counters_["btlb_misses"] += 1;
+    auto walk = std::make_shared<Walk>();
+    walk->op = op;
+    walk->node = c.extent_tree_root;
+    if (walk->node == pcie::kNullHostAddr) {
+        // No tree at all: treat as a fully pruned mapping.
+        finish_fault(op, FaultKind::kPruned);
+        release_walker();
+        pump();
+        return;
+    }
+    walk_node(walk);
+}
+
+void
+Controller::walk_node(std::shared_ptr<Walk> walk)
+{
+    // Level latency = header DMA + entries DMA + parse; the two DMA
+    // transactions are what the overlapped walkers hide (§V.B).
+    ++walk->levels;
+    counters_["walk_node_reads"] += 1;
+    dma_.read(walk->node, sizeof(NodeHeaderRecord),
+              [this, walk](util::Status status,
+                           std::vector<std::byte> data) {
+                  if (!status.is_ok() ||
+                      data.size() < sizeof(NodeHeaderRecord)) {
+                      complete_block(walk->op,
+                                     CompletionStatus::kInternalError);
+                      release_walker();
+                      pump();
+                      return;
+                  }
+                  NodeHeaderRecord header;
+                  std::memcpy(&header, data.data(), sizeof(header));
+                  if (header.magic != extent::kNodeMagic ||
+                      walk->levels > 64) {
+                      complete_block(walk->op,
+                                     CompletionStatus::kInternalError);
+                      release_walker();
+                      pump();
+                      return;
+                  }
+                  simulator_.schedule_in(
+                      config_.node_parse_cost, [this, walk, header]() {
+                          walk_entries(walk, header.kind, header.count);
+                      });
+              });
+}
+
+void
+Controller::walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
+                         std::uint32_t count)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count) * extent::kEntrySize;
+    dma_.read(
+        extent::entry_addr(walk->node, 0), bytes,
+        [this, walk, kind, count](util::Status status,
+                                  std::vector<std::byte> data) {
+            if (!status.is_ok()) {
+                complete_block(walk->op, CompletionStatus::kInternalError);
+                release_walker();
+                pump();
+                return;
+            }
+            const extent::Vlba vlba = walk->op.vlba;
+
+            if (kind == static_cast<NodeKindTag>(NodeKind::kLeaf)) {
+                for (std::uint32_t i = 0; i < count; ++i) {
+                    ExtentPtrRecord rec;
+                    std::memcpy(&rec,
+                                data.data() + i * extent::kEntrySize,
+                                sizeof(rec));
+                    const extent::Extent ext{rec.first_vblock, rec.nblocks,
+                                             rec.first_pblock};
+                    if (ext.contains(vlba)) {
+                        btlb_.insert(walk->op.fn, ext);
+                        finish_mapped(walk->op, ext);
+                        release_walker();
+                        pump();
+                        return;
+                    }
+                    if (rec.first_vblock > vlba)
+                        break;
+                }
+                finish_hole(walk->op);
+                release_walker();
+                pump();
+                return;
+            }
+
+            // Internal node: find the covering child.
+            for (std::uint32_t i = 0; i < count; ++i) {
+                NodePtrRecord rec;
+                std::memcpy(&rec, data.data() + i * extent::kEntrySize,
+                            sizeof(rec));
+                if (vlba >= rec.first_vblock &&
+                    vlba < rec.first_vblock + rec.nblocks) {
+                    if (rec.child == pcie::kNullHostAddr) {
+                        finish_fault(walk->op, FaultKind::kPruned);
+                        release_walker();
+                        pump();
+                        return;
+                    }
+                    walk->node = rec.child;
+                    simulator_.schedule_in(config_.node_parse_cost,
+                                           [this, walk]() {
+                                               walk_node(walk);
+                                           });
+                    return;
+                }
+                if (rec.first_vblock > vlba)
+                    break;
+            }
+            finish_hole(walk->op);
+            release_walker();
+            pump();
+        });
+}
+
+void
+Controller::release_walker()
+{
+    assert(active_walks_ > 0);
+    --active_walks_;
+}
+
+void
+Controller::finish_mapped(const BlockOp &op, const extent::Extent &extent)
+{
+    BlockOp stamped = op;
+    stamped.t_translated = simulator_.now();
+    plba_queue_.emplace_back(stamped, extent.translate(op.vlba));
+}
+
+void
+Controller::finish_hole(const BlockOp &op)
+{
+    if (op.op == Opcode::kRead) {
+        // POSIX: holes read as zeros (paper §IV.C) — the device DMAs
+        // zeros straight to the destination buffer.
+        start_zero_fill(op);
+        return;
+    }
+    finish_fault(op, FaultKind::kWriteMiss);
+}
+
+void
+Controller::finish_fault(const BlockOp &op, FaultKind kind)
+{
+    FunctionContext &c = ctx(op.fn);
+    c.stalled_ops.push_back(op);
+    if (c.fault != FaultKind::kNone)
+        return; // already faulted; hypervisor will service in order
+    c.fault = kind;
+    c.miss_address = op.vlba * static_cast<std::uint64_t>(kDeviceBlockSize);
+    c.miss_size = kDeviceBlockSize;
+    ++c.stats.faults;
+    counters_[kind == FaultKind::kWriteMiss ? "write_miss_faults"
+                                            : "prune_faults"] += 1;
+    irq_.raise(kFaultVector);
+}
+
+void
+Controller::handle_rewalk(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    if (c.fault == FaultKind::kNone)
+        return;
+    c.fault = FaultKind::kNone;
+    c.miss_address = 0;
+    c.miss_size = 0;
+    // Re-issue parked operations ahead of anything newly queued.
+    while (!c.stalled_ops.empty()) {
+        c.queue.push_front(c.stalled_ops.back());
+        c.stalled_ops.pop_back();
+    }
+    ++counters_["rewalks"];
+    pump();
+}
+
+void
+Controller::fail_stalled(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    if (c.fault == FaultKind::kNone)
+        return;
+    c.fault = FaultKind::kNone;
+    c.miss_address = 0;
+    c.miss_size = 0;
+    std::deque<BlockOp> parked;
+    parked.swap(c.stalled_ops);
+    for (const BlockOp &op : parked)
+        complete_block(op, CompletionStatus::kWriteFailed);
+    ++counters_["write_failures"];
+    pump();
+}
+
+// --------------------------------------------------------------------
+// Data-transfer unit
+// --------------------------------------------------------------------
+
+void
+Controller::start_transfers()
+{
+    while (inflight_transfers_ < config_.max_inflight_transfers &&
+           !plba_queue_.empty()) {
+        auto [op, plba] = plba_queue_.front();
+        plba_queue_.pop_front();
+        start_transfer(op, plba);
+    }
+    // Draining the pLBA queue may unblock the translation stage.
+    if (active_walks_ < config_.walk_overlap && !vlba_queue_.empty())
+        start_walks();
+}
+
+void
+Controller::start_transfer(const BlockOp &op, extent::Plba plba)
+{
+    ++inflight_transfers_;
+    const std::uint64_t media_offset =
+        plba * static_cast<std::uint64_t>(kDeviceBlockSize);
+
+    if (op.op == Opcode::kRead) {
+        // Media read, then DMA the payload to the host buffer.
+        const sim::Time media_done = device_.service_read(
+            simulator_.now(), media_offset, kDeviceBlockSize);
+        simulator_.schedule_at(media_done, [this, op, media_offset]() {
+            std::vector<std::byte> data(kDeviceBlockSize);
+            util::Status status = device_.read(media_offset, data);
+            if (!status.is_ok()) {
+                --inflight_transfers_;
+                complete_block(op, CompletionStatus::kInternalError);
+                pump();
+                return;
+            }
+            dma_.write(op.buffer, std::move(data),
+                       [this, op](util::Status dma_status) {
+                           --inflight_transfers_;
+                           ctx(op.fn).stats.blocks_read += 1;
+                           complete_block(op,
+                                          dma_status.is_ok()
+                                              ? CompletionStatus::kOk
+                                              : CompletionStatus::
+                                                    kInternalError);
+                           pump();
+                       });
+        });
+        return;
+    }
+
+    // Write: DMA the payload from host memory, then media write.
+    dma_.read(op.buffer, kDeviceBlockSize,
+              [this, op, media_offset](util::Status status,
+                                       std::vector<std::byte> data) {
+                  if (!status.is_ok()) {
+                      --inflight_transfers_;
+                      complete_block(op, CompletionStatus::kInternalError);
+                      pump();
+                      return;
+                  }
+                  util::Status wstatus = device_.write(media_offset, data);
+                  const sim::Time media_done = device_.service_write(
+                      simulator_.now(), media_offset, kDeviceBlockSize);
+                  simulator_.schedule_at(
+                      media_done, [this, op, wstatus]() {
+                          --inflight_transfers_;
+                          ctx(op.fn).stats.blocks_written += 1;
+                          complete_block(op,
+                                         wstatus.is_ok()
+                                             ? CompletionStatus::kOk
+                                             : CompletionStatus::
+                                                   kInternalError);
+                          pump();
+                      });
+              });
+}
+
+void
+Controller::start_zero_fill(const BlockOp &original)
+{
+    BlockOp op = original;
+    op.t_translated = simulator_.now();
+    ++inflight_transfers_;
+    ctx(op.fn).stats.holes_zero_filled += 1;
+    counters_["holes_zero_filled"] += 1;
+    dma_.write_zero(op.buffer, kDeviceBlockSize,
+                    [this, op](util::Status status) {
+                        --inflight_transfers_;
+                        complete_block(op, status.is_ok()
+                                               ? CompletionStatus::kOk
+                                               : CompletionStatus::
+                                                     kInternalError);
+                        pump();
+                    });
+}
+
+// --------------------------------------------------------------------
+// Completion
+// --------------------------------------------------------------------
+
+void
+Controller::complete_block(const BlockOp &op, CompletionStatus status)
+{
+    // Stage breakdown: only fully-traced, successfully-executed block
+    // operations contribute (faulted/error ops skip stages).
+    if (status == CompletionStatus::kOk && op.t_queued &&
+        op.t_arbitrated && op.t_translated) {
+        stage_queue_.add(
+            static_cast<double>(op.t_arbitrated - op.t_queued));
+        stage_translate_.add(
+            static_cast<double>(op.t_translated - op.t_arbitrated));
+        stage_transfer_.add(
+            static_cast<double>(simulator_.now() - op.t_translated));
+    }
+    FunctionContext &c = ctx(op.fn);
+    auto it = c.pending.find(op.tag);
+    if (it == c.pending.end())
+        return; // command was torn down (VF delete)
+    if (status != CompletionStatus::kOk)
+        it->second.status = status;
+    if (--it->second.remaining > 0)
+        return;
+    const CompletionStatus final_status = it->second.status;
+    c.pending.erase(it);
+    simulator_.schedule_in(config_.completion_cost,
+                           [this, fn = op.fn, tag = op.tag,
+                            final_status]() {
+                               post_completion(fn, tag, final_status);
+                           });
+}
+
+void
+Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
+                            CompletionStatus status)
+{
+    FunctionContext &c = ctx(fn);
+    if (!c.active)
+        return;
+    if (!c.comp_ring) {
+        auto ring = pcie::HostRing::attach(host_memory_, c.comp_ring_base);
+        if (!ring.is_ok()) {
+            NESC_LOG_WARN("fn %u: completion with no completion ring", fn);
+            return;
+        }
+        c.comp_ring = std::move(ring).value();
+    }
+    CompletionRecord rec{tag, static_cast<std::uint32_t>(status), 0};
+    std::vector<std::byte> buf(sizeof(rec));
+    std::memcpy(buf.data(), &rec, sizeof(rec));
+    dma_.book(sizeof(rec));
+    util::Status pushed = c.comp_ring->push(buf);
+    if (!pushed.is_ok())
+        NESC_LOG_WARN("fn %u: completion ring overflow", fn);
+    ++c.stats.completions;
+    counters_["completions"] += 1;
+    const pcie::IrqVector vector =
+        c.irq_vector ? c.irq_vector : completion_vector(fn);
+    if (config_.irq_coalesce == 0) {
+        irq_.raise(vector);
+        return;
+    }
+    // Coalesced mode: one MSI per window, batching whatever
+    // completions accumulate in the ring meanwhile.
+    if (c.irq_pending)
+        return;
+    c.irq_pending = true;
+    simulator_.schedule_in(config_.irq_coalesce, [this, fn, vector]() {
+        FunctionContext &fc = ctx(fn);
+        fc.irq_pending = false;
+        if (fc.active)
+            irq_.raise(vector);
+    });
+    ++counters_["irqs_coalesced"];
+}
+
+} // namespace nesc::ctrl

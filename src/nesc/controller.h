@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The NeSC self-virtualizing nested storage controller (paper §V).
+ *
+ * The controller presents one physical function (PF, function 0) and
+ * up to max_vfs virtual functions on the PCIe interconnect. Per
+ * function it keeps a register page, a command ring and a completion
+ * ring; all functions share the multiplexed machinery:
+ *
+ *   per-function request queues --round-robin--> vLBA queue
+ *     --> translation unit (BTLB + block-walk unit, 2 overlapped
+ *         walks hiding extent-tree DMA latency)
+ *     --> pLBA queue --> data-transfer unit (storage media + DMA)
+ *     --> completion ring + MSI
+ *
+ * PF requests carry pLBAs already and use the out-of-band channel that
+ * bypasses translation, so a VF write-miss stall never blocks the
+ * hypervisor. VF translation faults (write to an unallocated block, or
+ * any access under a pruned subtree) set MissAddress/MissSize, raise
+ * the PF fault vector, and stall that VF until the hypervisor writes
+ * RewalkTree.
+ */
+#ifndef NESC_CTRL_CONTROLLER_H
+#define NESC_CTRL_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "extent/types.h"
+#include "nesc/btlb.h"
+#include "nesc/command.h"
+#include "pcie/dma_engine.h"
+#include "pcie/host_memory.h"
+#include "pcie/host_ring.h"
+#include "pcie/interrupts.h"
+#include "pcie/mmio.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace nesc::ctrl {
+
+/** Microarchitectural parameters of the controller. */
+struct ControllerConfig {
+    /** VF slots; the prototype supports 64 (paper §V). */
+    std::uint16_t max_vfs = 64;
+    /** BTLB capacity; the prototype caches the last 8 extents. */
+    std::uint32_t btlb_entries = 8;
+    /** Concurrent block walks (the unit overlaps two, §V.B). */
+    std::uint32_t walk_overlap = 2;
+    /** Shared vLBA queue depth. */
+    std::uint32_t vlba_queue_depth = 16;
+    /** Shared pLBA queue depth. */
+    std::uint32_t plba_queue_depth = 16;
+    /** Data transfers in flight at once. */
+    std::uint32_t max_inflight_transfers = 8;
+    /** Pipeline cost of a BTLB lookup + queue management, per block. */
+    sim::Duration translation_cost = 150;
+    /** Parse cost per tree level, on top of the node DMA. */
+    sim::Duration node_parse_cost = 150;
+    /** Completion record construction cost. */
+    sim::Duration completion_cost = 250;
+    /** Doorbell-to-fetch scheduling delay. */
+    sim::Duration doorbell_latency = 200;
+    /**
+     * Completion-interrupt coalescing window: after the first pending
+     * completion the MSI fires once this much later, batching any
+     * completions that arrive in between. 0 = interrupt per
+     * completion (prototype behaviour).
+     */
+    sim::Duration irq_coalesce = 0;
+};
+
+/** Translation fault kinds (drives the hypervisor's service path). */
+enum class FaultKind : std::uint8_t {
+    kNone = 0,
+    kWriteMiss,  ///< write to an unallocated (lazy) region
+    kPruned,     ///< access under a pruned subtree
+};
+
+/** Per-function runtime statistics. */
+struct FunctionStats {
+    std::uint64_t commands = 0;
+    std::uint64_t blocks_read = 0;
+    std::uint64_t blocks_written = 0;
+    std::uint64_t holes_zero_filled = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t completions = 0;
+};
+
+/** The NeSC controller device model. */
+class Controller : public pcie::FunctionMmioDevice {
+  public:
+    /** Raw node-kind tag as read from a tree node header. */
+    using NodeKindTag = std::uint16_t;
+
+    Controller(sim::Simulator &simulator, pcie::HostMemory &host_memory,
+               storage::BlockDevice &device,
+               pcie::InterruptController &irq,
+               const ControllerConfig &config = {});
+
+    // --- PCIe register interface (FunctionMmioDevice) ----------------
+
+    util::Result<std::uint64_t> mmio_read(pcie::FunctionId fn,
+                                          std::uint64_t offset,
+                                          unsigned size) override;
+    util::Status mmio_write(pcie::FunctionId fn, std::uint64_t offset,
+                            std::uint64_t value, unsigned size) override;
+
+    // --- Introspection ------------------------------------------------
+
+    const ControllerConfig &config() const { return config_; }
+    Btlb &btlb() { return btlb_; }
+    pcie::DmaEngine &dma() { return dma_; }
+    util::CounterGroup &counters() { return counters_; }
+    storage::BlockDevice &device() { return device_; }
+
+    /** Number of functions (PF + max_vfs). */
+    pcie::FunctionId num_functions() const
+    {
+        return static_cast<pcie::FunctionId>(config_.max_vfs + 1);
+    }
+
+    bool is_active(pcie::FunctionId fn) const;
+    const FunctionStats &stats(pcie::FunctionId fn) const;
+
+    /**
+     * Per-stage latency distributions (nanosecond samples), recorded
+     * for every completed block operation: time waiting for
+     * arbitration, time in translation (BTLB or walk), and time in
+     * the data-transfer stage including pLBA queueing. The sum of the
+     * stage means is the device-internal block latency.
+     */
+    const util::Sampler &stage_queue_wait() const { return stage_queue_; }
+    const util::Sampler &stage_translation() const { return stage_translate_; }
+    const util::Sampler &stage_transfer() const { return stage_transfer_; }
+    /** Pending fault kind of a VF (kNone when running). */
+    FaultKind fault_kind(pcie::FunctionId fn) const;
+
+    /** True when no request is queued or in flight anywhere. */
+    bool quiescent() const;
+
+  private:
+    /** One device block operation (commands split to 1 KiB blocks). */
+    struct BlockOp {
+        pcie::FunctionId fn;
+        Opcode op;
+        extent::Vlba vlba;
+        pcie::HostAddr buffer; ///< host address for this block's data
+        std::uint64_t tag;
+        // Stage timestamps for the latency-breakdown instrumentation.
+        sim::Time t_queued = 0;    ///< entered the per-function queue
+        sim::Time t_arbitrated = 0; ///< won arbitration into the vLBA queue
+        sim::Time t_translated = 0; ///< translation resolved
+    };
+
+    /** Outstanding command: blocks remaining + sticky worst status. */
+    struct PendingCommand {
+        std::uint32_t remaining;
+        CompletionStatus status;
+    };
+
+    /** Per-function device context. */
+    struct FunctionContext {
+        bool active = false;
+        pcie::HostAddr extent_tree_root = pcie::kNullHostAddr;
+        std::uint64_t device_size_blocks = 0;
+        std::uint64_t miss_address = 0; ///< byte offset in virtual device
+        std::uint32_t miss_size = 0;
+        pcie::HostAddr cmd_ring_base = pcie::kNullHostAddr;
+        pcie::HostAddr comp_ring_base = pcie::kNullHostAddr;
+        std::optional<pcie::HostRing> cmd_ring;
+        std::optional<pcie::HostRing> comp_ring;
+        bool fetch_in_progress = false;
+        bool doorbell_rearm = false;
+        bool irq_pending = false; ///< coalesced MSI scheduled
+        std::uint32_t qos_weight = 1;
+        /** Completion MSI vector; 0 selects the default for the fn. */
+        std::uint32_t irq_vector = 0;
+        FaultKind fault = FaultKind::kNone;
+        std::deque<BlockOp> queue;       ///< awaiting arbitration
+        std::deque<BlockOp> stalled_ops; ///< parked on a fault
+        std::unordered_map<std::uint64_t, PendingCommand> pending;
+        FunctionStats stats;
+    };
+
+    /** In-flight block walk state. */
+    struct Walk {
+        BlockOp op;
+        pcie::HostAddr node;
+        std::uint32_t levels = 0;
+    };
+
+    // Pipeline stages.
+    void pump();
+    void fetch_commands(pcie::FunctionId fn);
+    void arbitrate();
+    void start_walks();
+    void begin_translation(BlockOp op);
+    void walk_node(std::shared_ptr<Walk> walk);
+    void walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
+                      std::uint32_t count);
+    void finish_mapped(const BlockOp &op, const extent::Extent &extent);
+    void finish_hole(const BlockOp &op);
+    void finish_fault(const BlockOp &op, FaultKind kind);
+    void release_walker();
+    void start_transfers();
+    void start_transfer(const BlockOp &op, extent::Plba plba);
+    void start_zero_fill(const BlockOp &op);
+    void complete_block(const BlockOp &op, CompletionStatus status);
+    void post_completion(pcie::FunctionId fn, std::uint64_t tag,
+                         CompletionStatus status);
+    void handle_rewalk(pcie::FunctionId fn);
+    void fail_stalled(pcie::FunctionId fn);
+    std::uint32_t mgmt_execute(MgmtCommand command);
+
+    FunctionContext &ctx(pcie::FunctionId fn) { return contexts_[fn]; }
+
+    sim::Simulator &simulator_;
+    pcie::HostMemory &host_memory_;
+    storage::BlockDevice &device_;
+    pcie::InterruptController &irq_;
+    ControllerConfig config_;
+    pcie::DmaEngine dma_;
+    Btlb btlb_;
+
+    std::vector<FunctionContext> contexts_;
+    std::deque<BlockOp> vlba_queue_;
+    std::deque<std::pair<BlockOp, extent::Plba>> plba_queue_;
+    pcie::FunctionId rr_current_ = 0; ///< VF currently holding the turn
+    std::uint32_t rr_credit_ = 0;     ///< blocks left in the turn
+    std::uint32_t active_walks_ = 0;
+    std::uint32_t inflight_transfers_ = 0;
+
+    // PF management scratch registers.
+    std::uint32_t mgmt_vf_id_ = 0;
+    pcie::HostAddr mgmt_extent_root_ = pcie::kNullHostAddr;
+    std::uint64_t mgmt_device_size_ = 0;
+    std::uint32_t mgmt_qos_weight_ = 1;
+    std::uint32_t mgmt_status_ =
+        static_cast<std::uint32_t>(MgmtStatus::kIdle);
+
+    util::CounterGroup counters_;
+    util::Sampler stage_queue_;
+    util::Sampler stage_translate_;
+    util::Sampler stage_transfer_;
+};
+
+} // namespace nesc::ctrl
+
+#endif // NESC_CTRL_CONTROLLER_H

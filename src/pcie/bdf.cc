@@ -1,0 +1,16 @@
+#include "bdf.h"
+
+#include <cstdio>
+
+namespace nesc::pcie {
+
+std::string
+Bdf::to_string() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x.%u", bus, device,
+                  static_cast<unsigned>(function));
+    return buf;
+}
+
+} // namespace nesc::pcie

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * PCIe bus:device:function addressing.
+ *
+ * Per the SR-IOV specification the NeSC PF and its VFs share bus and
+ * device IDs and differ only in the function number; the function ID is
+ * originated by the device's PCIe interface and is unforgeable by a VM,
+ * which is what makes it a safe isolation tag for request multiplexing.
+ */
+#ifndef NESC_PCIE_BDF_H
+#define NESC_PCIE_BDF_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace nesc::pcie {
+
+/** A function identifier within one device; the PF is always 0. */
+using FunctionId = std::uint16_t;
+
+/** Function ID of the physical function per the SR-IOV spec. */
+inline constexpr FunctionId kPhysicalFunctionId = 0;
+
+/** bus:device:function PCIe address triplet. */
+struct Bdf {
+    std::uint8_t bus = 0;
+    std::uint8_t device = 0;
+    FunctionId function = 0;
+
+    auto operator<=>(const Bdf &) const = default;
+
+    /** Conventional "bb:dd.f" rendering. */
+    std::string to_string() const;
+};
+
+} // namespace nesc::pcie
+
+#endif // NESC_PCIE_BDF_H

@@ -1,0 +1,49 @@
+#include "dma_engine.h"
+
+#include <utility>
+
+namespace nesc::pcie {
+
+DmaEngine::DmaEngine(sim::Simulator &simulator, HostMemory &host_memory,
+                     const DmaConfig &config)
+    : simulator_(simulator), host_memory_(host_memory), config_(config),
+      link_(config.bytes_per_sec, config.latency)
+{
+}
+
+void
+DmaEngine::read(HostAddr addr, std::uint64_t size, ReadDone done)
+{
+    const sim::Time completion = link_.acquire(simulator_.now(), size);
+    simulator_.schedule_at(
+        completion, [this, addr, size, done = std::move(done)]() {
+            std::vector<std::byte> data(size);
+            util::Status status = host_memory_.read(addr, data);
+            if (!status.is_ok())
+                data.clear();
+            done(std::move(status), std::move(data));
+        });
+}
+
+void
+DmaEngine::write(HostAddr addr, std::vector<std::byte> data, WriteDone done)
+{
+    const sim::Time completion = link_.acquire(simulator_.now(), data.size());
+    simulator_.schedule_at(
+        completion,
+        [this, addr, data = std::move(data), done = std::move(done)]() {
+            done(host_memory_.write(addr, data));
+        });
+}
+
+void
+DmaEngine::write_zero(HostAddr addr, std::uint64_t size, WriteDone done)
+{
+    const sim::Time completion = link_.acquire(simulator_.now(), size);
+    simulator_.schedule_at(completion,
+                           [this, addr, size, done = std::move(done)]() {
+                               done(host_memory_.fill_zero(addr, size));
+                           });
+}
+
+} // namespace nesc::pcie

@@ -1,0 +1,111 @@
+#include "host_memory.h"
+
+#include <string>
+
+#include "util/units.h"
+
+namespace nesc::pcie {
+
+HostMemory::HostMemory(std::uint64_t size) : data_(size)
+{
+    // Reserve address 0 so a null HostAddr can act as a sentinel
+    // (mirrors how kernels never hand out physical page zero to DMA).
+    if (size > 8)
+        free_list_[8] = size - 8;
+}
+
+util::Status
+HostMemory::check_range(HostAddr addr, std::uint64_t size) const
+{
+    if (addr > data_.size() || size > data_.size() - addr) {
+        return util::out_of_range_error(
+            "host memory access [" + std::to_string(addr) + ", +" +
+            std::to_string(size) + ") exceeds " +
+            std::to_string(data_.size()));
+    }
+    return util::Status::ok();
+}
+
+util::Status
+HostMemory::read(HostAddr addr, std::span<std::byte> out) const
+{
+    NESC_RETURN_IF_ERROR(check_range(addr, out.size()));
+    std::memcpy(out.data(), data_.data() + addr, out.size());
+    return util::Status::ok();
+}
+
+util::Status
+HostMemory::write(HostAddr addr, std::span<const std::byte> in)
+{
+    NESC_RETURN_IF_ERROR(check_range(addr, in.size()));
+    std::memcpy(data_.data() + addr, in.data(), in.size());
+    return util::Status::ok();
+}
+
+util::Status
+HostMemory::fill_zero(HostAddr addr, std::uint64_t size)
+{
+    NESC_RETURN_IF_ERROR(check_range(addr, size));
+    std::memset(data_.data() + addr, 0, size);
+    return util::Status::ok();
+}
+
+util::Result<HostAddr>
+HostMemory::alloc(std::uint64_t size, std::uint64_t align)
+{
+    if (size == 0 || !util::is_pow2(align))
+        return util::invalid_argument_error("alloc(size=0) or bad align");
+    for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+        const HostAddr start = it->first;
+        const std::uint64_t len = it->second;
+        const HostAddr aligned = util::round_up(start, align);
+        const std::uint64_t pad = aligned - start;
+        if (len < pad || len - pad < size)
+            continue;
+        // Split the free block: [start, aligned) stays free as padding,
+        // [aligned, aligned+size) is allocated, remainder stays free.
+        const std::uint64_t remainder = len - pad - size;
+        free_list_.erase(it);
+        if (pad > 0)
+            free_list_[start] = pad;
+        if (remainder > 0)
+            free_list_[aligned + size] = remainder;
+        live_allocs_[aligned] = size;
+        allocated_bytes_ += size;
+        return aligned;
+    }
+    return util::resource_exhausted_error(
+        "host memory allocator: no region of " + std::to_string(size) +
+        " bytes available");
+}
+
+util::Status
+HostMemory::free(HostAddr addr)
+{
+    auto it = live_allocs_.find(addr);
+    if (it == live_allocs_.end()) {
+        return util::invalid_argument_error(
+            "free of unallocated host address " + std::to_string(addr));
+    }
+    std::uint64_t size = it->second;
+    allocated_bytes_ -= size;
+    live_allocs_.erase(it);
+
+    // Insert into the free list, coalescing with neighbours.
+    auto next = free_list_.lower_bound(addr);
+    if (next != free_list_.end() && addr + size == next->first) {
+        size += next->second;
+        next = free_list_.erase(next);
+    }
+    if (next != free_list_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            prev->second += size;
+            return util::Status::ok();
+        }
+    }
+    free_list_[addr] = size;
+    return util::Status::ok();
+}
+
+} // namespace nesc::pcie

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Byte-accurate host DRAM model.
+ *
+ * Both sides of the PCIe interconnect address this memory: drivers
+ * (CPU side) build extent trees, command rings and data buffers in it,
+ * and the NeSC device reads/writes it through its DMA engine. A simple
+ * first-fit allocator lets drivers carve out regions the way a kernel
+ * allocator would.
+ */
+#ifndef NESC_PCIE_HOST_MEMORY_H
+#define NESC_PCIE_HOST_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace nesc::pcie {
+
+/** An address in simulated host physical memory. */
+using HostAddr = std::uint64_t;
+
+/** Sentinel null host address (the allocator never returns 0). */
+inline constexpr HostAddr kNullHostAddr = 0;
+
+/** Flat simulated host DRAM with a first-fit region allocator. */
+class HostMemory {
+  public:
+    /** Creates @p size bytes of zeroed memory. */
+    explicit HostMemory(std::uint64_t size);
+
+    std::uint64_t size() const { return data_.size(); }
+
+    /** Copies @p out.size() bytes from @p addr. */
+    util::Status read(HostAddr addr, std::span<std::byte> out) const;
+
+    /** Copies @p in into memory at @p addr. */
+    util::Status write(HostAddr addr, std::span<const std::byte> in);
+
+    /** Reads a trivially-copyable value at @p addr. */
+    template <typename T>
+    util::Result<T>
+    read_pod(HostAddr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        auto status = read(
+            addr, std::span<std::byte>(reinterpret_cast<std::byte *>(&value),
+                                       sizeof(T)));
+        if (!status.is_ok())
+            return status;
+        return value;
+    }
+
+    /** Writes a trivially-copyable value at @p addr. */
+    template <typename T>
+    util::Status
+    write_pod(HostAddr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return write(addr, std::span<const std::byte>(
+                               reinterpret_cast<const std::byte *>(&value),
+                               sizeof(T)));
+    }
+
+    /** Zero-fills @p size bytes at @p addr. */
+    util::Status fill_zero(HostAddr addr, std::uint64_t size);
+
+    /**
+     * Allocates @p size bytes aligned to @p align (power of two).
+     * Returns RESOURCE_EXHAUSTED when no region fits.
+     */
+    util::Result<HostAddr> alloc(std::uint64_t size, std::uint64_t align = 8);
+
+    /** Releases a region previously returned by alloc(). */
+    util::Status free(HostAddr addr);
+
+    /** Bytes currently handed out by the allocator. */
+    std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+  private:
+    util::Status check_range(HostAddr addr, std::uint64_t size) const;
+
+    std::vector<std::byte> data_;
+    // Free list keyed by start address -> length; allocations tracked
+    // for validation of free().
+    std::map<HostAddr, std::uint64_t> free_list_;
+    std::map<HostAddr, std::uint64_t> live_allocs_;
+    std::uint64_t allocated_bytes_ = 0;
+};
+
+} // namespace nesc::pcie
+
+#endif // NESC_PCIE_HOST_MEMORY_H

@@ -1,0 +1,69 @@
+#include "host_ring.h"
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace nesc::pcie {
+
+util::Result<HostRing>
+HostRing::create(HostMemory &memory, HostAddr base, std::uint32_t capacity,
+                 std::uint32_t record_size)
+{
+    if (capacity == 0 || record_size == 0)
+        return util::invalid_argument_error("empty ring shape");
+    Header header{kMagic, capacity, record_size, 0, 0, 0};
+    NESC_RETURN_IF_ERROR(memory.write_pod(base, header));
+    NESC_RETURN_IF_ERROR(memory.fill_zero(
+        base + sizeof(Header),
+        static_cast<std::uint64_t>(capacity) * record_size));
+    return HostRing(memory, base, capacity, record_size);
+}
+
+util::Result<HostRing>
+HostRing::attach(HostMemory &memory, HostAddr base)
+{
+    NESC_ASSIGN_OR_RETURN(auto header, memory.read_pod<Header>(base));
+    if (header.magic != kMagic) {
+        return util::data_loss_error("no ring at host address " +
+                                     std::to_string(base));
+    }
+    return HostRing(memory, base, header.capacity, header.record_size);
+}
+
+util::Status
+HostRing::push(std::span<const std::byte> record)
+{
+    if (record.size() != record_size_)
+        return util::invalid_argument_error("record size mismatch");
+    NESC_ASSIGN_OR_RETURN(auto header, memory_->read_pod<Header>(base_));
+    if (header.tail - header.head >= capacity_)
+        return util::unavailable_error("ring full");
+    NESC_RETURN_IF_ERROR(memory_->write(slot_addr(header.tail), record));
+    header.tail++;
+    return memory_->write_pod(base_, header);
+}
+
+util::Result<bool>
+HostRing::pop(std::span<std::byte> out)
+{
+    if (out.size() != record_size_)
+        return util::invalid_argument_error("record size mismatch");
+    NESC_ASSIGN_OR_RETURN(auto header, memory_->read_pod<Header>(base_));
+    if (header.tail == header.head)
+        return false;
+    NESC_RETURN_IF_ERROR(memory_->read(slot_addr(header.head), out));
+    header.head++;
+    NESC_RETURN_IF_ERROR(memory_->write_pod(base_, header));
+    return true;
+}
+
+util::Result<std::uint32_t>
+HostRing::size() const
+{
+    NESC_ASSIGN_OR_RETURN(auto header, memory_->read_pod<Header>(base_));
+    return header.tail - header.head;
+}
+
+} // namespace nesc::pcie

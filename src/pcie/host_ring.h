@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Host-memory-resident ring buffer.
+ *
+ * The de facto standard device/driver communication structure (paper
+ * §V): the driver produces fixed-size records into a ring in host DRAM
+ * and rings a doorbell; the device consumes them (and symmetrically for
+ * completion rings). Indices are free-running 32-bit counters stored in
+ * the ring header, so both endpoints see a consistent state through
+ * plain memory reads — the timing of device-side accesses is charged
+ * separately via the DMA engine.
+ */
+#ifndef NESC_PCIE_HOST_RING_H
+#define NESC_PCIE_HOST_RING_H
+
+#include <cstdint>
+#include <span>
+
+#include "pcie/host_memory.h"
+#include "util/status.h"
+
+namespace nesc::pcie {
+
+/** Fixed-record SPSC ring living in HostMemory. */
+class HostRing {
+  public:
+    /** On-memory header preceding the record array. */
+    struct Header {
+        std::uint32_t magic;
+        std::uint32_t capacity;    ///< number of record slots
+        std::uint32_t record_size; ///< bytes per record
+        std::uint32_t head;        ///< consumer counter (free-running)
+        std::uint32_t tail;        ///< producer counter (free-running)
+        std::uint32_t pad;
+    };
+
+    static constexpr std::uint32_t kMagic = 0x4e526e67; // "NRng"
+
+    /** Bytes of host memory needed for a ring of the given shape. */
+    static std::uint64_t
+    footprint(std::uint32_t capacity, std::uint32_t record_size)
+    {
+        return sizeof(Header) +
+               static_cast<std::uint64_t>(capacity) * record_size;
+    }
+
+    /**
+     * Formats a new ring at @p base (memory must already be owned by
+     * the caller) and returns an accessor for it.
+     */
+    static util::Result<HostRing> create(HostMemory &memory, HostAddr base,
+                                         std::uint32_t capacity,
+                                         std::uint32_t record_size);
+
+    /** Attaches to a ring previously formatted at @p base. */
+    static util::Result<HostRing> attach(HostMemory &memory, HostAddr base);
+
+    /**
+     * Producer: appends one record. Fails with UNAVAILABLE when the
+     * ring is full (the driver must back off and retry).
+     */
+    util::Status push(std::span<const std::byte> record);
+
+    /**
+     * Consumer: pops the oldest record into @p out (whose size must be
+     * exactly record_size). Returns false when the ring is empty.
+     */
+    util::Result<bool> pop(std::span<std::byte> out);
+
+    /** Records currently queued. */
+    util::Result<std::uint32_t> size() const;
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t record_size() const { return record_size_; }
+    HostAddr base() const { return base_; }
+
+  private:
+    HostRing(HostMemory &memory, HostAddr base, std::uint32_t capacity,
+             std::uint32_t record_size)
+        : memory_(&memory), base_(base), capacity_(capacity),
+          record_size_(record_size)
+    {
+    }
+
+    HostAddr
+    slot_addr(std::uint32_t counter) const
+    {
+        return base_ + sizeof(Header) +
+               static_cast<std::uint64_t>(counter % capacity_) *
+                   record_size_;
+    }
+
+    HostMemory *memory_;
+    HostAddr base_;
+    std::uint32_t capacity_;
+    std::uint32_t record_size_;
+};
+
+} // namespace nesc::pcie
+
+#endif // NESC_PCIE_HOST_RING_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Message-signaled interrupt (MSI) delivery.
+ *
+ * NeSC raises interrupts toward two consumers: the hypervisor (write
+ * misses, pruned-subtree faults, VF management events through the PF)
+ * and guest VMs (request completions on their VF). Vectors are
+ * allocated per function; delivery is asynchronous with a small
+ * calibrated latency, like a real MSI write + LAPIC dispatch.
+ */
+#ifndef NESC_PCIE_INTERRUPTS_H
+#define NESC_PCIE_INTERRUPTS_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace nesc::pcie {
+
+/** MSI vector number. */
+using IrqVector = std::uint32_t;
+
+/** Asynchronous interrupt controller. */
+class InterruptController {
+  public:
+    using Handler = std::function<void()>;
+
+    /**
+     * @param delivery_latency time from device raise to handler entry
+     *        (MSI write + interrupt dispatch).
+     */
+    explicit InterruptController(sim::Simulator &simulator,
+                                 sim::Duration delivery_latency = 500)
+        : simulator_(simulator), delivery_latency_(delivery_latency)
+    {
+    }
+
+    /** Installs (or replaces) the handler for @p vector. */
+    void
+    set_handler(IrqVector vector, Handler handler)
+    {
+        handlers_[vector] = std::move(handler);
+    }
+
+    /** Removes the handler for @p vector. */
+    void clear_handler(IrqVector vector) { handlers_.erase(vector); }
+
+    /**
+     * Raises @p vector; the handler (if any) runs delivery_latency
+     * later. Raising an unhandled vector counts as spurious.
+     */
+    void
+    raise(IrqVector vector)
+    {
+        ++raised_;
+        simulator_.schedule_in(delivery_latency_, [this, vector]() {
+            auto it = handlers_.find(vector);
+            if (it == handlers_.end()) {
+                ++spurious_;
+                return;
+            }
+            ++delivered_;
+            it->second();
+        });
+    }
+
+    std::uint64_t raised() const { return raised_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t spurious() const { return spurious_; }
+    sim::Duration delivery_latency() const { return delivery_latency_; }
+
+  private:
+    sim::Simulator &simulator_;
+    sim::Duration delivery_latency_;
+    std::unordered_map<IrqVector, Handler> handlers_;
+    std::uint64_t raised_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t spurious_ = 0;
+};
+
+} // namespace nesc::pcie
+
+#endif // NESC_PCIE_INTERRUPTS_H

@@ -1,0 +1,32 @@
+#include "mmio.h"
+
+namespace nesc::pcie {
+
+util::Result<std::pair<FunctionId, std::uint64_t>>
+BarPageRouter::decode(std::uint64_t addr) const
+{
+    const std::uint64_t page = addr / page_size_;
+    if (page >= num_functions_) {
+        return util::out_of_range_error(
+            "MMIO address " + std::to_string(addr) +
+            " beyond BAR of " + std::to_string(bar_size()) + " bytes");
+    }
+    return std::pair<FunctionId, std::uint64_t>(
+        static_cast<FunctionId>(page), addr % page_size_);
+}
+
+util::Result<std::uint64_t>
+BarPageRouter::read(std::uint64_t addr, unsigned size)
+{
+    NESC_ASSIGN_OR_RETURN(auto target, decode(addr));
+    return device_.mmio_read(target.first, target.second, size);
+}
+
+util::Status
+BarPageRouter::write(std::uint64_t addr, std::uint64_t value, unsigned size)
+{
+    NESC_ASSIGN_OR_RETURN(auto target, decode(addr));
+    return device_.mmio_write(target.first, target.second, value, size);
+}
+
+} // namespace nesc::pcie

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Memory-mapped I/O routing.
+ *
+ * A device exposes base address registers (BARs); the interconnect maps
+ * each BAR into the system address space and routes loads/stores to the
+ * owning device. NeSC's prototype emulated SR-IOV by slicing one BAR
+ * into 4 KB pages — page 0 is the PF, page i is VF i — and the same
+ * slicing is modelled here by BarPageRouter.
+ */
+#ifndef NESC_PCIE_MMIO_H
+#define NESC_PCIE_MMIO_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pcie/bdf.h"
+#include "util/status.h"
+
+namespace nesc::pcie {
+
+/** Target of MMIO accesses routed by function. */
+class FunctionMmioDevice {
+  public:
+    virtual ~FunctionMmioDevice() = default;
+
+    /** 4/8-byte load at @p offset within function @p fn's register page. */
+    virtual util::Result<std::uint64_t>
+    mmio_read(FunctionId fn, std::uint64_t offset, unsigned size) = 0;
+
+    /** 4/8-byte store; doorbell and control registers live here. */
+    virtual util::Status mmio_write(FunctionId fn, std::uint64_t offset,
+                                    std::uint64_t value, unsigned size) = 0;
+};
+
+/**
+ * Routes BAR-relative addresses to (function, register offset) pairs by
+ * slicing the BAR into fixed-size pages, exactly like the prototype's
+ * SR-IOV emulation. With true SR-IOV each VF would own its own BAR; the
+ * mapping is identical from the device's point of view.
+ */
+class BarPageRouter {
+  public:
+    /**
+     * @param device register-file owner.
+     * @param page_size bytes per function page (prototype: 4 KiB).
+     * @param num_functions PF + number of supported VFs.
+     */
+    BarPageRouter(FunctionMmioDevice &device, std::uint64_t page_size,
+                  FunctionId num_functions)
+        : device_(device), page_size_(page_size),
+          num_functions_(num_functions)
+    {
+    }
+
+    /** Total BAR size implied by the page layout. */
+    std::uint64_t bar_size() const { return page_size_ * num_functions_; }
+
+    /** Routed load at BAR-relative @p addr. */
+    util::Result<std::uint64_t> read(std::uint64_t addr, unsigned size);
+
+    /** Routed store at BAR-relative @p addr. */
+    util::Status write(std::uint64_t addr, std::uint64_t value,
+                       unsigned size);
+
+    /** BAR-relative base of function @p fn's page. */
+    std::uint64_t
+    function_base(FunctionId fn) const
+    {
+        return static_cast<std::uint64_t>(fn) * page_size_;
+    }
+
+  private:
+    util::Result<std::pair<FunctionId, std::uint64_t>>
+    decode(std::uint64_t addr) const;
+
+    FunctionMmioDevice &device_;
+    std::uint64_t page_size_;
+    FunctionId num_functions_;
+};
+
+} // namespace nesc::pcie
+
+#endif // NESC_PCIE_MMIO_H

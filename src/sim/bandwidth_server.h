@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pipelined shared-resource timing primitive.
+ *
+ * A BandwidthServer models a link or media port with a fixed per-access
+ * latency and a sustained byte rate. Transfers are serialized on the
+ * resource: a transfer arriving at time t begins at max(t, busy-until),
+ * occupies the resource for bytes/rate, and completes one latency after
+ * its occupancy ends. This captures both queueing under contention and
+ * full pipelining of back-to-back transfers — the behaviour of the PCIe
+ * link and the on-board DRAM port in the NeSC prototype.
+ */
+#ifndef NESC_SIM_BANDWIDTH_SERVER_H
+#define NESC_SIM_BANDWIDTH_SERVER_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace nesc::sim {
+
+/** Serialized bandwidth/latency resource. */
+class BandwidthServer {
+  public:
+    /**
+     * @param bytes_per_sec sustained rate; 0 means infinitely fast.
+     * @param latency fixed pipeline latency added to every transfer.
+     */
+    BandwidthServer(std::uint64_t bytes_per_sec, Duration latency)
+        : bytes_per_sec_(bytes_per_sec), latency_(latency)
+    {
+    }
+
+    /**
+     * Books a @p bytes transfer that becomes eligible at @p start.
+     * Returns its completion time and advances the busy horizon.
+     */
+    Time
+    acquire(Time start, std::uint64_t bytes)
+    {
+        const Time begin = start > busy_until_ ? start : busy_until_;
+        const Duration occupancy =
+            util::transfer_time_ns(bytes, bytes_per_sec_);
+        busy_until_ = begin + occupancy;
+        total_bytes_ += bytes;
+        ++total_transfers_;
+        return busy_until_ + latency_;
+    }
+
+    /**
+     * Completion time for a transfer starting at @p start WITHOUT
+     * booking the resource (pure query, e.g. for what-if accounting).
+     */
+    Time
+    peek(Time start, std::uint64_t bytes) const
+    {
+        const Time begin = start > busy_until_ ? start : busy_until_;
+        return begin + util::transfer_time_ns(bytes, bytes_per_sec_) +
+               latency_;
+    }
+
+    Time busy_until() const { return busy_until_; }
+    std::uint64_t bytes_per_sec() const { return bytes_per_sec_; }
+    Duration latency() const { return latency_; }
+    std::uint64_t total_bytes() const { return total_bytes_; }
+    std::uint64_t total_transfers() const { return total_transfers_; }
+
+    void set_bytes_per_sec(std::uint64_t bps) { bytes_per_sec_ = bps; }
+    void set_latency(Duration latency) { latency_ = latency; }
+
+    /** Clears the busy horizon and counters (for test reuse). */
+    void
+    reset()
+    {
+        busy_until_ = 0;
+        total_bytes_ = 0;
+        total_transfers_ = 0;
+    }
+
+  private:
+    std::uint64_t bytes_per_sec_;
+    Duration latency_;
+    Time busy_until_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    std::uint64_t total_transfers_ = 0;
+};
+
+} // namespace nesc::sim
+
+#endif // NESC_SIM_BANDWIDTH_SERVER_H

@@ -1,0 +1,52 @@
+#include "simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nesc::sim {
+
+void
+Simulator::schedule_at(Time when, Callback fn)
+{
+    assert(fn && "null event callback");
+    if (when < now_)
+        when = now_; // clamp: components may schedule "immediately"
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() returns const&; the callback must be moved
+    // out before pop, so copy the small fields and move the closure via
+    // const_cast (safe: the element is removed immediately after).
+    auto &top = const_cast<Event &>(queue_.top());
+    const Time when = top.when;
+    Callback fn = std::move(top.fn);
+    queue_.pop();
+    assert(when >= now_);
+    now_ = when;
+    ++events_executed_;
+    fn();
+    return true;
+}
+
+void
+Simulator::run_until_idle()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulator::run_until(Time deadline)
+{
+    while (!queue_.empty() && queue_.top().when <= deadline)
+        step();
+    if (deadline > now_)
+        now_ = deadline;
+}
+
+} // namespace nesc::sim

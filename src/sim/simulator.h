@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * Every modelled component (the NeSC controller pipeline, DMA engine,
+ * virtqueues, interrupt delivery...) schedules closures on a single
+ * Simulator. Events at equal timestamps execute in scheduling order, so
+ * runs are fully deterministic.
+ */
+#ifndef NESC_SIM_SIMULATOR_H
+#define NESC_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nesc::sim {
+
+/** Event-driven virtual-time simulator. */
+class Simulator {
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /** Schedules @p fn at absolute time @p when (>= now). */
+    void schedule_at(Time when, Callback fn);
+
+    /** Schedules @p fn @p delay nanoseconds from now. */
+    void schedule_in(Duration delay, Callback fn)
+    {
+        schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /** True when no events are pending. */
+    bool idle() const { return queue_.empty(); }
+
+    /**
+     * Executes the earliest pending event, advancing the clock to its
+     * timestamp. Returns false when the queue is empty.
+     */
+    bool step();
+
+    /** Runs until no events remain. */
+    void run_until_idle();
+
+    /**
+     * Runs events with timestamp <= @p deadline, then advances the
+     * clock to @p deadline (if it is later than the last event).
+     */
+    void run_until(Time deadline);
+
+    /**
+     * Advances the clock by @p delay, executing any events that fall
+     * inside the window. Models a component busy-waiting in virtual
+     * time (e.g. a driver charging CPU cost).
+     */
+    void advance(Duration delay) { run_until(now_ + delay); }
+
+    std::uint64_t events_executed() const { return events_executed_; }
+
+  private:
+    struct Event {
+        Time when;
+        std::uint64_t seq; // tie-breaker: FIFO among equal timestamps
+        Callback fn;
+    };
+    struct Later {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace nesc::sim
+
+#endif // NESC_SIM_SIMULATOR_H

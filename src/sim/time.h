@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Simulated-time definitions. All NeSC timing is expressed as 64-bit
+ * nanosecond counts on a single virtual clock owned by sim::Simulator.
+ */
+#ifndef NESC_SIM_TIME_H
+#define NESC_SIM_TIME_H
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace nesc::sim {
+
+/** Absolute simulated time in nanoseconds since simulation start. */
+using Time = std::uint64_t;
+
+/** A duration in nanoseconds. */
+using Duration = std::uint64_t;
+
+inline constexpr Duration kNs = 1;
+inline constexpr Duration kUs = util::kNsPerUs;
+inline constexpr Duration kMs = util::kNsPerMs;
+inline constexpr Duration kSec = util::kNsPerSec;
+
+/** Sentinel "never" timestamp. */
+inline constexpr Time kTimeMax = UINT64_MAX;
+
+} // namespace nesc::sim
+
+#endif // NESC_SIM_TIME_H

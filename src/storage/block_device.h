@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract block storage media.
+ *
+ * A BlockDevice separates the *functional* path (bytes stored and
+ * returned) from the *timing* path (when a transfer of a given size
+ * completes on the media port). The NeSC data-transfer unit, the host
+ * baseline stack, and the filesystem all sit on this interface, so the
+ * same media model backs every virtualization technique being compared.
+ */
+#ifndef NESC_STORAGE_BLOCK_DEVICE_H
+#define NESC_STORAGE_BLOCK_DEVICE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace nesc::storage {
+
+/** Static device shape. */
+struct Geometry {
+    std::uint64_t capacity_bytes = 0;
+    /** Smallest addressable unit; NeSC operates at 1 KiB granularity. */
+    std::uint32_t logical_block_size = 1024;
+
+    std::uint64_t
+    num_blocks() const
+    {
+        return capacity_bytes / logical_block_size;
+    }
+};
+
+/** Block storage media: functional store plus a timing model. */
+class BlockDevice {
+  public:
+    virtual ~BlockDevice() = default;
+
+    virtual const Geometry &geometry() const = 0;
+
+    /**
+     * Functional read of @p out.size() bytes at byte @p offset.
+     * Fails with OUT_OF_RANGE if the span exceeds the capacity.
+     */
+    virtual util::Status read(std::uint64_t offset,
+                              std::span<std::byte> out) = 0;
+
+    /** Functional write; same range rules as read(). */
+    virtual util::Status write(std::uint64_t offset,
+                               std::span<const std::byte> in) = 0;
+
+    /**
+     * Books a @p bytes read at byte @p offset on the media that
+     * becomes eligible at @p start; returns its completion time. The
+     * offset matters for media whose cost depends on the address
+     * pattern (e.g. flash FTLs); DRAM-class media ignore it.
+     */
+    virtual sim::Time service_read(sim::Time start, std::uint64_t offset,
+                                   std::uint64_t bytes) = 0;
+
+    /** Timing for a write; see service_read(). */
+    virtual sim::Time service_write(sim::Time start, std::uint64_t offset,
+                                    std::uint64_t bytes) = 0;
+
+    /** Total bytes moved through the functional interface. */
+    virtual std::uint64_t bytes_read() const = 0;
+    virtual std::uint64_t bytes_written() const = 0;
+};
+
+} // namespace nesc::storage
+
+#endif // NESC_STORAGE_BLOCK_DEVICE_H

@@ -1,0 +1,203 @@
+#include "flash_block_device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "util/units.h"
+
+namespace nesc::storage {
+
+FlashBlockDevice::FlashBlockDevice(const FlashConfig &config)
+    : config_(config),
+      geometry_{config.capacity_bytes, config.logical_block_size},
+      data_(config.capacity_bytes)
+{
+    // Physical layout: logical pages striped over channels, plus
+    // overprovisioned spare blocks per channel.
+    const std::uint64_t logical_pages =
+        util::ceil_div(config.capacity_bytes, config.page_bytes);
+    mapping_.assign(logical_pages, kUnmapped);
+
+    const std::uint64_t pages_per_channel =
+        util::ceil_div(logical_pages, config.channels);
+    const std::uint64_t blocks_needed = util::ceil_div(
+        pages_per_channel, config.pages_per_block);
+    const auto blocks_per_channel = static_cast<std::uint32_t>(
+        static_cast<double>(blocks_needed) * (1.0 + config.overprovision) +
+        config.gc_low_watermark_blocks + 2);
+
+    channels_.resize(config.channels);
+    for (Channel &channel : channels_) {
+        channel.blocks.resize(blocks_per_channel);
+        for (std::uint32_t b = blocks_per_channel; b > 1; --b)
+            channel.free_blocks.push_back(b - 1);
+        open_fresh_block(channel);
+    }
+}
+
+void
+FlashBlockDevice::open_fresh_block(Channel &channel)
+{
+    // Caller guarantees a free block exists (GC maintains that).
+    channel.open_block = channel.free_blocks.back();
+    channel.free_blocks.pop_back();
+    EraseBlock &block = channel.blocks[channel.open_block];
+    block.open = true;
+    block.written_pages = 0;
+    block.valid_pages = 0;
+}
+
+sim::Duration
+FlashBlockDevice::collect_garbage(Channel &channel)
+{
+    // Greedy victim: the closed block with the fewest valid pages.
+    std::uint32_t victim = kUnmapped;
+    std::uint32_t best_valid = UINT32_MAX;
+    for (std::uint32_t b = 0; b < channel.blocks.size(); ++b) {
+        const EraseBlock &block = channel.blocks[b];
+        if (block.open || block.written_pages < config_.pages_per_block)
+            continue; // only full, closed blocks are victims
+        if (block.valid_pages < best_valid) {
+            best_valid = block.valid_pages;
+            victim = b;
+        }
+    }
+    if (victim == kUnmapped)
+        return 0; // nothing reclaimable yet
+
+    ++stats_.gc_runs;
+    sim::Duration cost = 0;
+    EraseBlock &block = channel.blocks[victim];
+    // Relocate the valid pages (read + program each). The relocated
+    // pages land in the open block; account for the appends.
+    for (std::uint32_t moved = 0; moved < block.valid_pages; ++moved) {
+        cost += config_.page_read_latency + config_.page_transfer +
+                config_.page_program_latency;
+        ++stats_.gc_relocations;
+        ++stats_.pages_programmed;
+        EraseBlock &open = channel.blocks[channel.open_block];
+        if (++open.written_pages >= config_.pages_per_block) {
+            open.open = false;
+            open_fresh_block(channel);
+        }
+        channel.blocks[channel.open_block].valid_pages++;
+    }
+    block.valid_pages = 0;
+    block.written_pages = 0;
+    cost += config_.block_erase_latency;
+    ++stats_.erases;
+    channel.free_blocks.push_back(victim);
+    return cost;
+}
+
+sim::Duration
+FlashBlockDevice::program_page(Channel &channel, std::uint64_t lpn)
+{
+    sim::Duration cost = 0;
+    // Invalidate the previous physical copy.
+    if (mapping_[lpn] != kUnmapped) {
+        EraseBlock &old_block = channel.blocks[mapping_[lpn]];
+        if (old_block.valid_pages > 0)
+            --old_block.valid_pages;
+    }
+    // Append into the open block.
+    EraseBlock &open = channel.blocks[channel.open_block];
+    ++open.written_pages;
+    ++open.valid_pages;
+    mapping_[lpn] = channel.open_block;
+    cost += config_.page_transfer + config_.page_program_latency;
+    ++stats_.pages_programmed;
+    ++stats_.host_pages_written;
+
+    if (open.written_pages >= config_.pages_per_block) {
+        channel.blocks[channel.open_block].open = false;
+        open_fresh_block(channel);
+    }
+    // Keep the free pool above the watermark.
+    while (channel.free_blocks.size() < config_.gc_low_watermark_blocks) {
+        const sim::Duration gc = collect_garbage(channel);
+        if (gc == 0)
+            break; // nothing reclaimable (device under-filled)
+        cost += gc;
+    }
+    return cost;
+}
+
+util::Status
+FlashBlockDevice::read(std::uint64_t offset, std::span<std::byte> out)
+{
+    if (offset > geometry_.capacity_bytes ||
+        out.size() > geometry_.capacity_bytes - offset) {
+        return util::out_of_range_error("flash read beyond capacity");
+    }
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+    bytes_read_ += out.size();
+    return util::Status::ok();
+}
+
+util::Status
+FlashBlockDevice::write(std::uint64_t offset, std::span<const std::byte> in)
+{
+    if (offset > geometry_.capacity_bytes ||
+        in.size() > geometry_.capacity_bytes - offset) {
+        return util::out_of_range_error("flash write beyond capacity");
+    }
+    std::memcpy(data_.data() + offset, in.data(), in.size());
+    bytes_written_ += in.size();
+    return util::Status::ok();
+}
+
+sim::Time
+FlashBlockDevice::service_read(sim::Time start, std::uint64_t offset,
+                               std::uint64_t bytes)
+{
+    // Pages stripe across channels: each channel serves its share in
+    // parallel; the transfer completes when the slowest channel does.
+    const std::uint64_t first_lpn = offset / config_.page_bytes;
+    const std::uint64_t last_lpn =
+        (offset + std::max<std::uint64_t>(bytes, 1) - 1) /
+        config_.page_bytes;
+    sim::Time done = start;
+    for (std::uint64_t lpn = first_lpn; lpn <= last_lpn; ++lpn) {
+        Channel &channel = channels_[channel_of(lpn)];
+        const sim::Time begin = std::max(start, channel.busy_until);
+        channel.busy_until = begin + config_.page_read_latency +
+                             config_.page_transfer;
+        done = std::max(done, channel.busy_until);
+        ++stats_.pages_read;
+    }
+    return done;
+}
+
+sim::Time
+FlashBlockDevice::service_write(sim::Time start, std::uint64_t offset,
+                                std::uint64_t bytes)
+{
+    const std::uint64_t first_lpn = offset / config_.page_bytes;
+    const std::uint64_t last_lpn =
+        (offset + std::max<std::uint64_t>(bytes, 1) - 1) /
+        config_.page_bytes;
+    sim::Time done = start;
+    for (std::uint64_t lpn = first_lpn;
+         lpn <= last_lpn && lpn < mapping_.size(); ++lpn) {
+        Channel &channel = channels_[channel_of(lpn)];
+        const sim::Time begin = std::max(start, channel.busy_until);
+        channel.busy_until = begin + program_page(channel, lpn);
+        done = std::max(done, channel.busy_until);
+    }
+    return done;
+}
+
+std::uint32_t
+FlashBlockDevice::min_free_blocks() const
+{
+    std::uint32_t least = UINT32_MAX;
+    for (const Channel &channel : channels_) {
+        least = std::min(
+            least, static_cast<std::uint32_t>(channel.free_blocks.size()));
+    }
+    return least == UINT32_MAX ? 0 : least;
+}
+
+} // namespace nesc::storage

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Flash (NAND SSD) block device model.
+ *
+ * The paper motivates NeSC with "next-generation, commercial PCIe SSDs
+ * that deliver multi-GB/s bandwidth"; the prototype itself used DRAM.
+ * This model lets every experiment run over SSD-like media instead: a
+ * page-mapped FTL over multi-channel NAND with asymmetric
+ * read/program/erase times, log-structured writes, and greedy garbage
+ * collection — so effects like write amplification and GC
+ * interference become visible through the NeSC stack.
+ *
+ * Functional contents live in a flat store (reads always return what
+ * was written); the FTL machinery — page mapping, per-channel append
+ * points, valid-page accounting, victim selection, erases — drives
+ * the *timing* and the statistics, which is where flash differs from
+ * DRAM. Channels are independent timing resources; logical pages
+ * stripe across them.
+ */
+#ifndef NESC_STORAGE_FLASH_BLOCK_DEVICE_H
+#define NESC_STORAGE_FLASH_BLOCK_DEVICE_H
+
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace nesc::storage {
+
+/** Flash geometry and timing. */
+struct FlashConfig {
+    std::uint64_t capacity_bytes = 256ULL << 20; ///< logical capacity
+    std::uint32_t logical_block_size = 1024;
+    std::uint32_t page_bytes = 4096;      ///< NAND page
+    std::uint32_t pages_per_block = 64;   ///< NAND erase block
+    std::uint32_t channels = 8;
+    /** Physical overprovisioning fraction (extra NAND beyond logical). */
+    double overprovision = 0.15;
+    /** Start GC on a channel when its free blocks drop below this. */
+    std::uint32_t gc_low_watermark_blocks = 2;
+    sim::Duration page_read_latency = 40 * 1000;     // 40 us
+    sim::Duration page_program_latency = 200 * 1000; // 200 us
+    sim::Duration block_erase_latency = 2'000 * 1000; // 2 ms
+    /** Per-page channel transfer (bus) time. */
+    sim::Duration page_transfer = 10 * 1000; // 10 us
+};
+
+/** FTL statistics. */
+struct FlashStats {
+    std::uint64_t host_pages_written = 0;
+    std::uint64_t pages_programmed = 0; ///< host + GC relocations
+    std::uint64_t pages_read = 0;
+    std::uint64_t gc_relocations = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t gc_runs = 0;
+
+    /** Programmed / host-written; 1.0 = no amplification. */
+    double
+    write_amplification() const
+    {
+        return host_pages_written
+                   ? static_cast<double>(pages_programmed) /
+                         static_cast<double>(host_pages_written)
+                   : 1.0;
+    }
+};
+
+/** The device; see file comment. */
+class FlashBlockDevice : public BlockDevice {
+  public:
+    explicit FlashBlockDevice(const FlashConfig &config);
+
+    const Geometry &geometry() const override { return geometry_; }
+
+    util::Status read(std::uint64_t offset,
+                      std::span<std::byte> out) override;
+    util::Status write(std::uint64_t offset,
+                       std::span<const std::byte> in) override;
+
+    sim::Time service_read(sim::Time start, std::uint64_t offset,
+                           std::uint64_t bytes) override;
+    sim::Time service_write(sim::Time start, std::uint64_t offset,
+                            std::uint64_t bytes) override;
+
+    std::uint64_t bytes_read() const override { return bytes_read_; }
+    std::uint64_t bytes_written() const override { return bytes_written_; }
+
+    const FlashConfig &config() const { return config_; }
+    const FlashStats &stats() const { return stats_; }
+    /** Free erase blocks on the most-pressured channel. */
+    std::uint32_t min_free_blocks() const;
+
+  private:
+    /** One NAND erase block's bookkeeping. */
+    struct EraseBlock {
+        std::uint32_t valid_pages = 0;
+        std::uint32_t written_pages = 0; ///< append cursor
+        bool open = false;               ///< current program target
+    };
+    /** Per-channel FTL state + timing horizon. */
+    struct Channel {
+        std::vector<EraseBlock> blocks;
+        std::vector<std::uint32_t> free_blocks; ///< erased, ready
+        std::uint32_t open_block = 0;
+        sim::Time busy_until = 0;
+    };
+
+    /** Logical page -> channel (static striping). */
+    std::uint32_t channel_of(std::uint64_t lpn) const
+    {
+        return static_cast<std::uint32_t>(lpn % config_.channels);
+    }
+
+    /** Books one page program on @p channel, running GC if needed. */
+    sim::Duration program_page(Channel &channel, std::uint64_t lpn);
+    /** Greedy GC: relocate the fullest-invalid block, erase it. */
+    sim::Duration collect_garbage(Channel &channel);
+    void open_fresh_block(Channel &channel);
+
+    FlashConfig config_;
+    Geometry geometry_;
+    std::vector<std::byte> data_; ///< flat functional store
+    std::vector<Channel> channels_;
+    /** lpn -> (block index within its channel), or kUnmapped. */
+    std::vector<std::uint32_t> mapping_;
+    static constexpr std::uint32_t kUnmapped = UINT32_MAX;
+    std::uint64_t bytes_read_ = 0;
+    std::uint64_t bytes_written_ = 0;
+    FlashStats stats_;
+};
+
+} // namespace nesc::storage
+
+#endif // NESC_STORAGE_FLASH_BLOCK_DEVICE_H

@@ -1,0 +1,80 @@
+#include "mem_block_device.h"
+
+#include <cstring>
+#include <string>
+
+namespace nesc::storage {
+
+MemBlockDevice::MemBlockDevice(const MemBlockDeviceConfig &config)
+    : config_(config),
+      geometry_{config.capacity_bytes, config.logical_block_size},
+      data_(config.capacity_bytes)
+{
+}
+
+util::Status
+MemBlockDevice::check_range(std::uint64_t offset, std::uint64_t size,
+                            const char *what) const
+{
+    if (offset > geometry_.capacity_bytes ||
+        size > geometry_.capacity_bytes - offset) {
+        return util::out_of_range_error(
+            std::string(what) + ": [" + std::to_string(offset) + ", +" +
+            std::to_string(size) + ") exceeds capacity " +
+            std::to_string(geometry_.capacity_bytes));
+    }
+    return util::Status::ok();
+}
+
+util::Status
+MemBlockDevice::read(std::uint64_t offset, std::span<std::byte> out)
+{
+    NESC_RETURN_IF_ERROR(check_range(offset, out.size(), "device read"));
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+    bytes_read_ += out.size();
+    return util::Status::ok();
+}
+
+util::Status
+MemBlockDevice::write(std::uint64_t offset, std::span<const std::byte> in)
+{
+    NESC_RETURN_IF_ERROR(check_range(offset, in.size(), "device write"));
+    std::memcpy(data_.data() + offset, in.data(), in.size());
+    bytes_written_ += in.size();
+    return util::Status::ok();
+}
+
+sim::Time
+MemBlockDevice::service(sim::Time start, std::uint64_t bytes,
+                        std::uint64_t bytes_per_sec)
+{
+    const sim::Time begin =
+        start > port_busy_until_ ? start : port_busy_until_;
+    port_busy_until_ = begin + util::transfer_time_ns(bytes, bytes_per_sec);
+    return port_busy_until_ + config_.access_latency;
+}
+
+sim::Time
+MemBlockDevice::service_read(sim::Time start, std::uint64_t offset,
+                             std::uint64_t bytes)
+{
+    (void)offset; // DRAM-class media: address-independent cost
+    return service(start, bytes, config_.read_bytes_per_sec);
+}
+
+sim::Time
+MemBlockDevice::service_write(sim::Time start, std::uint64_t offset,
+                              std::uint64_t bytes)
+{
+    (void)offset;
+    return service(start, bytes, config_.write_bytes_per_sec);
+}
+
+void
+MemBlockDevice::set_rates(std::uint64_t read_bps, std::uint64_t write_bps)
+{
+    config_.read_bytes_per_sec = read_bps;
+    config_.write_bytes_per_sec = write_bps;
+}
+
+} // namespace nesc::storage

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DRAM-backed block device with a configurable bandwidth/latency port.
+ *
+ * Models both the 1 GB DDR3 store of the VC707 NeSC prototype and the
+ * throttled host ramdisks the paper uses for its Figure 2 device-speed
+ * sweep. A single media port (one busy horizon) serializes reads and
+ * writes, with independent sustained rates per direction.
+ */
+#ifndef NESC_STORAGE_MEM_BLOCK_DEVICE_H
+#define NESC_STORAGE_MEM_BLOCK_DEVICE_H
+
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace nesc::storage {
+
+/** Configuration for a MemBlockDevice. */
+struct MemBlockDeviceConfig {
+    std::uint64_t capacity_bytes = 1ULL << 30; // 1 GiB, like the VC707
+    std::uint32_t logical_block_size = 1024;
+    /** Sustained media read rate in bytes/sec; 0 = infinitely fast. */
+    std::uint64_t read_bytes_per_sec = 800'000'000; // prototype: 800 MB/s
+    /** Sustained media write rate in bytes/sec. */
+    std::uint64_t write_bytes_per_sec = 1'000'000'000; // ~1 GB/s
+    /** Fixed access latency charged to every media operation. */
+    sim::Duration access_latency = 2 * sim::kUs;
+
+    /** The paper's prototype media (defaults above). */
+    static MemBlockDeviceConfig vc707_prototype() { return {}; }
+
+    /**
+     * A host ramdisk throttled to @p bytes_per_sec in both directions
+     * (Figure 2's emulated high-speed devices).
+     */
+    static MemBlockDeviceConfig
+    ramdisk(std::uint64_t bytes_per_sec,
+            std::uint64_t capacity_bytes = 1ULL << 30)
+    {
+        MemBlockDeviceConfig cfg;
+        cfg.capacity_bytes = capacity_bytes;
+        cfg.read_bytes_per_sec = bytes_per_sec;
+        cfg.write_bytes_per_sec = bytes_per_sec;
+        cfg.access_latency = 300; // DRAM-class access
+        return cfg;
+    }
+};
+
+/** In-memory block device; see MemBlockDeviceConfig. */
+class MemBlockDevice : public BlockDevice {
+  public:
+    explicit MemBlockDevice(const MemBlockDeviceConfig &config);
+
+    const Geometry &geometry() const override { return geometry_; }
+
+    util::Status read(std::uint64_t offset,
+                      std::span<std::byte> out) override;
+    util::Status write(std::uint64_t offset,
+                       std::span<const std::byte> in) override;
+
+    sim::Time service_read(sim::Time start, std::uint64_t offset,
+                           std::uint64_t bytes) override;
+    sim::Time service_write(sim::Time start, std::uint64_t offset,
+                            std::uint64_t bytes) override;
+
+    std::uint64_t bytes_read() const override { return bytes_read_; }
+    std::uint64_t bytes_written() const override { return bytes_written_; }
+
+    const MemBlockDeviceConfig &config() const { return config_; }
+
+    /** Re-throttles the media port (used by bandwidth-sweep benches). */
+    void set_rates(std::uint64_t read_bps, std::uint64_t write_bps);
+
+  private:
+    util::Status check_range(std::uint64_t offset, std::uint64_t size,
+                             const char *what) const;
+    sim::Time service(sim::Time start, std::uint64_t bytes,
+                      std::uint64_t bytes_per_sec);
+
+    MemBlockDeviceConfig config_;
+    Geometry geometry_;
+    std::vector<std::byte> data_;
+    sim::Time port_busy_until_ = 0;
+    std::uint64_t bytes_read_ = 0;
+    std::uint64_t bytes_written_ = 0;
+};
+
+} // namespace nesc::storage
+
+#endif // NESC_STORAGE_MEM_BLOCK_DEVICE_H

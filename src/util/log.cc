@@ -1,0 +1,47 @@
+#include "log.h"
+
+namespace nesc::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+log_at(LogLevel level, const char *fmt, ...)
+{
+    if (level < g_level || g_level == LogLevel::kOff)
+        return;
+    std::fprintf(stderr, "[%s] ", level_tag(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace nesc::util

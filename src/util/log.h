@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal leveled logging. Device models log sparingly; the default
+ * level is kWarn so tests and benches stay quiet unless asked.
+ */
+#ifndef NESC_UTIL_LOG_H
+#define NESC_UTIL_LOG_H
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nesc::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/** Process-wide log threshold. */
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/** printf-style emit at @p level; filtered by the global threshold. */
+void log_at(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace nesc::util
+
+#define NESC_LOG_DEBUG(...)                                                 \
+    ::nesc::util::log_at(::nesc::util::LogLevel::kDebug, __VA_ARGS__)
+#define NESC_LOG_INFO(...)                                                  \
+    ::nesc::util::log_at(::nesc::util::LogLevel::kInfo, __VA_ARGS__)
+#define NESC_LOG_WARN(...)                                                  \
+    ::nesc::util::log_at(::nesc::util::LogLevel::kWarn, __VA_ARGS__)
+#define NESC_LOG_ERROR(...)                                                 \
+    ::nesc::util::log_at(::nesc::util::LogLevel::kError, __VA_ARGS__)
+
+#endif // NESC_UTIL_LOG_H

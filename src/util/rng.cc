@@ -1,0 +1,43 @@
+#include "rng.h"
+
+#include <cmath>
+#include <vector>
+
+namespace nesc::util {
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double theta)
+{
+    if (n <= 1)
+        return 0;
+    // Cache the harmonic normalizations per (n, theta); workloads use a
+    // single configuration per run so a one-entry cache suffices.
+    static thread_local std::uint64_t cached_n = 0;
+    static thread_local double cached_theta = -1.0;
+    static thread_local std::vector<double> cdf;
+    if (cached_n != n || cached_theta != theta) {
+        cdf.resize(n);
+        double sum = 0.0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf[i] = sum;
+        }
+        for (auto &v : cdf)
+            v /= sum;
+        cached_n = n;
+        cached_theta = theta;
+    }
+    const double u = next_double();
+    // Binary search the CDF.
+    std::uint64_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+        const std::uint64_t mid = (lo + hi) / 2;
+        if (cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace nesc::util

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Measurement collection: running summaries, percentile samplers, and
+ * named counter groups used by the benchmark harness and device models.
+ */
+#ifndef NESC_UTIL_STATS_H
+#define NESC_UTIL_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nesc::util {
+
+/**
+ * Running summary of a scalar series: count, mean, min, max, stddev.
+ * O(1) memory; use Sampler when percentiles are needed.
+ */
+class Summary {
+  public:
+    void add(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+    /** Population standard deviation (Welford). */
+    double stddev() const;
+
+    void reset() { *this = Summary(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0; // Welford running mean
+    double m2_ = 0.0;   // Welford running sum of squared deltas
+};
+
+/**
+ * Stores every sample to answer percentile queries exactly. Intended
+ * for latency series of up to a few million entries.
+ */
+class Sampler {
+  public:
+    void add(double v);
+
+    std::uint64_t count() const { return samples_.size(); }
+    double mean() const;
+    /** Exact percentile, p in [0, 100]; returns 0 when empty. */
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    const std::vector<double> &samples() const { return samples_; }
+    void reset();
+
+  private:
+    void ensure_sorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+};
+
+/**
+ * A named group of integral counters, e.g. the NeSC controller's
+ * btlb_hits/btlb_misses/walk_levels. Counters auto-create at zero.
+ */
+class CounterGroup {
+  public:
+    std::uint64_t &operator[](const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Value of @p name, zero if never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** "name=value name=value ..." for logging. */
+    std::string to_string() const;
+
+    void reset() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace nesc::util
+
+#endif // NESC_UTIL_STATS_H

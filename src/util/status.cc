@@ -1,0 +1,104 @@
+#include "status.h"
+
+namespace nesc::util {
+
+const char *
+error_code_name(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk: return "OK";
+      case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+      case ErrorCode::kNotFound: return "NOT_FOUND";
+      case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+      case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case ErrorCode::kUnavailable: return "UNAVAILABLE";
+      case ErrorCode::kDataLoss: return "DATA_LOSS";
+      case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+      case ErrorCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::to_string() const
+{
+    if (is_ok())
+        return "OK";
+    std::string out = error_code_name(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+Status
+invalid_argument_error(std::string message)
+{
+    return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+
+Status
+out_of_range_error(std::string message)
+{
+    return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+
+Status
+not_found_error(std::string message)
+{
+    return Status(ErrorCode::kNotFound, std::move(message));
+}
+
+Status
+already_exists_error(std::string message)
+{
+    return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+
+Status
+permission_denied_error(std::string message)
+{
+    return Status(ErrorCode::kPermissionDenied, std::move(message));
+}
+
+Status
+resource_exhausted_error(std::string message)
+{
+    return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+
+Status
+failed_precondition_error(std::string message)
+{
+    return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+
+Status
+unavailable_error(std::string message)
+{
+    return Status(ErrorCode::kUnavailable, std::move(message));
+}
+
+Status
+data_loss_error(std::string message)
+{
+    return Status(ErrorCode::kDataLoss, std::move(message));
+}
+
+Status
+unimplemented_error(std::string message)
+{
+    return Status(ErrorCode::kUnimplemented, std::move(message));
+}
+
+Status
+internal_error(std::string message)
+{
+    return Status(ErrorCode::kInternal, std::move(message));
+}
+
+} // namespace nesc::util

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Lightweight error propagation types used across the NeSC libraries.
+ *
+ * The library avoids exceptions on hot simulated paths (mirroring the
+ * style of hardware simulators such as gem5); fallible operations return
+ * a Status or a Result<T>.
+ */
+#ifndef NESC_UTIL_STATUS_H
+#define NESC_UTIL_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nesc::util {
+
+/** Error categories shared by all subsystems. */
+enum class ErrorCode {
+    kOk = 0,
+    kInvalidArgument,   ///< Caller passed a malformed request.
+    kOutOfRange,        ///< Address/offset outside the valid range.
+    kNotFound,          ///< Named entity (file, inode, VF...) absent.
+    kAlreadyExists,     ///< Create collided with an existing entity.
+    kPermissionDenied,  ///< Filesystem or device permission check failed.
+    kResourceExhausted, ///< Out of blocks, inodes, VF slots, queue space.
+    kFailedPrecondition,///< Operation not valid in the current state.
+    kUnavailable,       ///< Transient: retry may succeed (e.g. queue full).
+    kDataLoss,          ///< Corruption detected (bad magic, torn journal).
+    kUnimplemented,     ///< Feature intentionally not supported.
+    kInternal,          ///< Invariant violation inside the library.
+};
+
+/** Human-readable name of an ErrorCode (e.g. "OUT_OF_RANGE"). */
+const char *error_code_name(ErrorCode code);
+
+/**
+ * A success-or-error result with an optional diagnostic message.
+ *
+ * Cheap to copy on the success path (no allocation); error construction
+ * allocates only for the message.
+ */
+class [[nodiscard]] Status {
+  public:
+    /** Constructs an OK status. */
+    Status() = default;
+
+    /** Constructs an error status; @p code must not be kOk. */
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+        assert(code != ErrorCode::kOk && "error Status requires non-OK code");
+    }
+
+    static Status ok() { return Status(); }
+
+    bool is_ok() const { return code_ == ErrorCode::kOk; }
+    explicit operator bool() const { return is_ok(); }
+
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK" or "CODE_NAME: message". */
+    std::string to_string() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::kOk;
+    std::string message_;
+};
+
+/** Convenience factories, one per error category. */
+Status invalid_argument_error(std::string message);
+Status out_of_range_error(std::string message);
+Status not_found_error(std::string message);
+Status already_exists_error(std::string message);
+Status permission_denied_error(std::string message);
+Status resource_exhausted_error(std::string message);
+Status failed_precondition_error(std::string message);
+Status unavailable_error(std::string message);
+Status data_loss_error(std::string message);
+Status unimplemented_error(std::string message);
+Status internal_error(std::string message);
+
+/**
+ * Value-or-Status result type.
+ *
+ * A minimal std::expected stand-in: holds either a T (status OK) or an
+ * error Status. Accessing value() on an error aborts in debug builds.
+ */
+template <typename T>
+class [[nodiscard]] Result {
+  public:
+    /** Implicit from a value: success. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Implicit from an error status; @p status must not be OK. */
+    Result(Status status) : status_(std::move(status))
+    {
+        assert(!status_.is_ok() && "Result error requires non-OK status");
+    }
+
+    bool is_ok() const { return status_.is_ok(); }
+    explicit operator bool() const { return is_ok(); }
+
+    const Status &status() const { return status_; }
+
+    T &value() &
+    {
+        assert(is_ok());
+        return *value_;
+    }
+    const T &value() const &
+    {
+        assert(is_ok());
+        return *value_;
+    }
+    T &&value() &&
+    {
+        assert(is_ok());
+        return std::move(*value_);
+    }
+
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    /** Returns the value, or @p fallback if this holds an error. */
+    T value_or(T fallback) const
+    {
+        return is_ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+} // namespace nesc::util
+
+/**
+ * Propagates an error Status from the current function.
+ * Usage: NESC_RETURN_IF_ERROR(device.write(off, data));
+ */
+#define NESC_RETURN_IF_ERROR(expr)                                          \
+    do {                                                                    \
+        ::nesc::util::Status nesc_status_ = (expr);                         \
+        if (!nesc_status_.is_ok())                                          \
+            return nesc_status_;                                            \
+    } while (0)
+
+/**
+ * Unwraps a Result<T> into a local variable, propagating errors.
+ * Usage: NESC_ASSIGN_OR_RETURN(auto ino, fs.create("/f", 0644));
+ */
+#define NESC_ASSIGN_OR_RETURN(decl, expr)                                   \
+    NESC_ASSIGN_OR_RETURN_IMPL_(                                            \
+        NESC_STATUS_CONCAT_(nesc_result_, __LINE__), decl, expr)
+
+#define NESC_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr)                        \
+    auto tmp = (expr);                                                      \
+    if (!tmp.is_ok())                                                       \
+        return tmp.status();                                                \
+    decl = std::move(tmp).value()
+
+#define NESC_STATUS_CONCAT_(a, b) NESC_STATUS_CONCAT_IMPL_(a, b)
+#define NESC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif // NESC_UTIL_STATUS_H

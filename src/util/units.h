@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Size and time unit helpers shared by all NeSC modules.
+ *
+ * Simulated time is a 64-bit count of nanoseconds (sim::Time is defined
+ * in sim/time.h as the same underlying type; util keeps the raw helpers
+ * so low-level modules need not depend on the simulator).
+ */
+#ifndef NESC_UTIL_UNITS_H
+#define NESC_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace nesc::util {
+
+// --- Sizes (bytes) ---------------------------------------------------
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Decimal units, used for bandwidth figures quoted in MB/s / GB/s. */
+inline constexpr std::uint64_t kKB = 1000;
+inline constexpr std::uint64_t kMB = 1000 * kKB;
+inline constexpr std::uint64_t kGB = 1000 * kMB;
+
+// --- Time (nanoseconds) ----------------------------------------------
+
+inline constexpr std::uint64_t kNsPerUs = 1000;
+inline constexpr std::uint64_t kNsPerMs = 1000 * kNsPerUs;
+inline constexpr std::uint64_t kNsPerSec = 1000 * kNsPerMs;
+
+/** Converts nanoseconds to (double) microseconds. */
+constexpr double
+ns_to_us(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kNsPerUs);
+}
+
+/** Converts nanoseconds to (double) milliseconds. */
+constexpr double
+ns_to_ms(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kNsPerMs);
+}
+
+/** Converts nanoseconds to (double) seconds. */
+constexpr double
+ns_to_sec(std::uint64_t ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kNsPerSec);
+}
+
+/**
+ * Time to move @p bytes at @p bytes_per_sec, rounded up to a whole
+ * nanosecond (zero-byte transfers take zero time).
+ */
+constexpr std::uint64_t
+transfer_time_ns(std::uint64_t bytes, std::uint64_t bytes_per_sec)
+{
+    if (bytes == 0 || bytes_per_sec == 0)
+        return 0;
+    // bytes * 1e9 can overflow for very large transfers; split the
+    // multiplication to stay within 64 bits for any realistic input.
+    const std::uint64_t whole_sec = bytes / bytes_per_sec;
+    const std::uint64_t rem = bytes % bytes_per_sec;
+    return whole_sec * kNsPerSec +
+           (rem * kNsPerSec + bytes_per_sec - 1) / bytes_per_sec;
+}
+
+/** Achieved bandwidth in MB/s for @p bytes moved in @p ns. */
+constexpr double
+bandwidth_mb_per_sec(std::uint64_t bytes, std::uint64_t ns)
+{
+    if (ns == 0)
+        return 0.0;
+    return static_cast<double>(bytes) /
+           static_cast<double>(kMB) / ns_to_sec(ns);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceil_div(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Rounds @p v up to a multiple of @p align (align must be non-zero). */
+constexpr std::uint64_t
+round_up(std::uint64_t v, std::uint64_t align)
+{
+    return ceil_div(v, align) * align;
+}
+
+/** Rounds @p v down to a multiple of @p align (align must be non-zero). */
+constexpr std::uint64_t
+round_down(std::uint64_t v, std::uint64_t align)
+{
+    return (v / align) * align;
+}
+
+/** True when @p v is a power of two (and non-zero). */
+constexpr bool
+is_pow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace nesc::util
+
+#endif // NESC_UTIL_UNITS_H

@@ -1,0 +1,47 @@
+#include "guest_vm.h"
+
+namespace nesc::virt {
+
+GuestVm::GuestVm(sim::Simulator &simulator,
+                 std::unique_ptr<blk::BlockIo> disk, std::string name,
+                 const GuestVmConfig &config)
+    : simulator_(simulator), name_(std::move(name)), config_(config),
+      disk_(std::move(disk))
+{
+    raw_stack_ = std::make_unique<blk::OsBlockStack>(
+        simulator_, *disk_, name_ + "-raw", config_.raw_stack);
+    fs_stack_ = std::make_unique<blk::OsBlockStack>(
+        simulator_, *disk_, name_ + "-fsstack", config_.fs_stack);
+}
+
+GuestVm::~GuestVm()
+{
+    if (fs_)
+        (void)unmount_fs();
+}
+
+util::Status
+GuestVm::format_fs()
+{
+    NESC_ASSIGN_OR_RETURN(fs_, fs::NestFs::format(*fs_stack_, config_.fs));
+    return util::Status::ok();
+}
+
+util::Status
+GuestVm::mount_fs()
+{
+    NESC_ASSIGN_OR_RETURN(fs_, fs::NestFs::mount(*fs_stack_));
+    return util::Status::ok();
+}
+
+util::Status
+GuestVm::unmount_fs()
+{
+    if (!fs_)
+        return util::Status::ok();
+    util::Status status = fs_->unmount();
+    fs_.reset();
+    return status;
+}
+
+} // namespace nesc::virt

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A guest virtual machine's storage view.
+ *
+ * A GuestVm owns a virtual disk (however it is attached: emulated,
+ * virtio, or a directly assigned NeSC VF) and replicates the guest
+ * OS's software layers over it — exactly the duplication Figure 1
+ * illustrates. It exposes:
+ *
+ *  - raw_disk(): the full guest I/O stack over the raw virtual device
+ *    (the paper's raw-device dd experiments), and
+ *  - a guest nestfs instance formatted inside the virtual disk (the
+ *    nested-filesystem configuration of the FS-overhead and
+ *    application experiments).
+ */
+#ifndef NESC_VIRT_GUEST_VM_H
+#define NESC_VIRT_GUEST_VM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocklayer/os_block_stack.h"
+#include "fs/nestfs.h"
+#include "sim/simulator.h"
+
+namespace nesc::virt {
+
+/** Guest OS parameters. */
+struct GuestVmConfig {
+    /** Software stack for raw device access (includes VFS costs). */
+    blk::OsStackConfig raw_stack;
+    /** Stack beneath the guest filesystem (no VFS layer; the syscall
+     * and VFS entry costs for file operations are charged per file op
+     * via charge_file_syscall()). */
+    blk::OsStackConfig fs_stack;
+    /** Guest filesystem parameters. */
+    fs::NestFsConfig fs;
+    /** Syscall + VFS entry cost per guest file operation. */
+    sim::Duration file_syscall_cost = 1'800;
+
+    GuestVmConfig()
+    {
+        // Raw device benchmarks model O_DIRECT (dd on the block node):
+        // no guest page cache, so device behaviour is visible.
+        raw_stack.direct_io = true;
+        fs_stack.vfs_cost = 0;
+        fs_stack.block_layer_cost = 1'200;
+        // The paper constrains guest RAM to 128 MB to keep the storage
+        // device out of cache; keep the guest cache small likewise.
+        fs_stack.cache.capacity_blocks = 2048;
+    }
+};
+
+/** One guest VM; see file comment. */
+class GuestVm {
+  public:
+    /**
+     * @param disk the attached virtual device (ownership transferred).
+     * @param name used in accounting layers.
+     */
+    GuestVm(sim::Simulator &simulator, std::unique_ptr<blk::BlockIo> disk,
+            std::string name, const GuestVmConfig &config = {});
+    ~GuestVm();
+
+    GuestVm(const GuestVm &) = delete;
+    GuestVm &operator=(const GuestVm &) = delete;
+
+    /** Raw virtual device through the full guest stack. */
+    blk::BlockIo &raw_disk() { return *raw_stack_; }
+
+    /** The attached virtual device itself (below the guest stack). */
+    blk::BlockIo &device() { return *disk_; }
+
+    /** Formats a guest filesystem inside the virtual disk. */
+    util::Status format_fs();
+
+    /** Mounts an existing guest filesystem (journal replay included). */
+    util::Status mount_fs();
+
+    /** Unmounts cleanly (flushes the guest cache). */
+    util::Status unmount_fs();
+
+    /** The guest filesystem; null before format_fs()/mount_fs(). */
+    fs::NestFs *fs() { return fs_.get(); }
+
+    /** Charges the guest syscall+VFS entry cost of one file op. */
+    void charge_file_syscall() { simulator_.advance(config_.file_syscall_cost); }
+
+    /** Keeps a dependency of the disk chain alive for this VM's life. */
+    void hold(std::shared_ptr<void> dep) { deps_.push_back(std::move(dep)); }
+
+    const std::string &name() const { return name_; }
+    blk::OsBlockStack &fs_stack() { return *fs_stack_; }
+
+  private:
+    sim::Simulator &simulator_;
+    std::string name_;
+    GuestVmConfig config_;
+    std::vector<std::shared_ptr<void>> deps_;
+    std::unique_ptr<blk::BlockIo> disk_;
+    std::unique_ptr<blk::OsBlockStack> raw_stack_;
+    std::unique_ptr<blk::OsBlockStack> fs_stack_;
+    std::unique_ptr<fs::NestFs> fs_;
+};
+
+} // namespace nesc::virt
+
+#endif // NESC_VIRT_GUEST_VM_H

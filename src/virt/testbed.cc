@@ -1,0 +1,195 @@
+#include "testbed.h"
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace nesc::virt {
+
+namespace {
+
+std::unique_ptr<storage::BlockDevice>
+make_device(const TestbedConfig &config)
+{
+    if (config.flash)
+        return std::make_unique<storage::FlashBlockDevice>(*config.flash);
+    return std::make_unique<storage::MemBlockDevice>(config.device);
+}
+
+} // namespace
+
+Testbed::Testbed(const TestbedConfig &config)
+    : config_(config), sim_(), host_memory_(config.host_memory_bytes),
+      device_(make_device(config)), irq_(sim_),
+      controller_(sim_, host_memory_, *device_, irq_, config.controller),
+      bar_(controller_, config.bar_page_size, controller_.num_functions())
+{
+}
+
+Testbed::~Testbed()
+{
+    if (hv_fs_)
+        (void)hv_fs_->unmount();
+}
+
+util::Result<std::unique_ptr<Testbed>>
+Testbed::create(const TestbedConfig &config)
+{
+    auto bed = std::unique_ptr<Testbed>(new Testbed(config));
+    NESC_RETURN_IF_ERROR(bed->init());
+    return bed;
+}
+
+util::Status
+Testbed::init()
+{
+    // 1. PF driver: data path + fault service (no FS yet).
+    pf_ = std::make_unique<drv::PfDriver>(sim_, host_memory_, bar_, irq_,
+                                          config_.pf);
+    NESC_RETURN_IF_ERROR(pf_->init());
+
+    // 2. Hypervisor filesystem over the PF data path, through the
+    //    hypervisor's own OS block stack (Fig. 1's lower half).
+    NESC_ASSIGN_OR_RETURN(std::uint64_t pf_blocks,
+                          pf_->pf_data().device_size_blocks());
+    pf_io_ = std::make_unique<drv::FunctionBlockIo>(pf_->pf_data(),
+                                                    pf_blocks);
+    hv_fs_stack_ = std::make_unique<blk::OsBlockStack>(
+        sim_, *pf_io_, "hv-fs", config_.hv_fs_stack);
+    NESC_ASSIGN_OR_RETURN(hv_fs_,
+                          fs::NestFs::format(*hv_fs_stack_, config_.hv_fs));
+    pf_->attach_filesystem(*hv_fs_);
+
+    // 3. The "Host" baseline stack: direct PF access, O_DIRECT.
+    host_raw_stack_ = std::make_unique<blk::OsBlockStack>(
+        sim_, *pf_io_, "host-raw", config_.host_raw_stack);
+    return util::Status::ok();
+}
+
+util::Result<blk::BlockIo *>
+Testbed::hv_raw_backing()
+{
+    if (!hv_raw_backing_) {
+        blk::OsStackConfig cfg = config_.host_raw_stack;
+        cfg.direct_io = true;
+        hv_raw_backing_ = std::make_unique<blk::OsBlockStack>(
+            sim_, *pf_io_, "hv-raw-backing", cfg);
+    }
+    return hv_raw_backing_.get();
+}
+
+util::Result<fs::InodeId>
+Testbed::create_backing_file(const std::string &path,
+                             std::uint64_t size_blocks, bool preallocate)
+{
+    const std::size_t slash = path.rfind('/');
+    if (slash != std::string::npos && slash > 0) {
+        NESC_RETURN_IF_ERROR(
+            hv_fs_->mkdir_p(path.substr(0, slash), 0755).status());
+    }
+    NESC_ASSIGN_OR_RETURN(fs::InodeId ino, hv_fs_->create(path, 0644));
+    NESC_RETURN_IF_ERROR(
+        hv_fs_->truncate(ino, size_blocks * fs::kFsBlockSize));
+    if (preallocate) {
+        NESC_RETURN_IF_ERROR(hv_fs_->allocate_range(ino, 0, size_blocks,
+                                                    /*zero_fill=*/false));
+    }
+    return ino;
+}
+
+util::Result<std::unique_ptr<GuestVm>>
+Testbed::create_nesc_guest(const std::string &image_path,
+                           std::uint64_t size_blocks, bool preallocate)
+{
+    // Backing file (create or reuse), VF, guest driver, guest VM.
+    fs::InodeId ino;
+    auto resolved = hv_fs_->resolve(image_path);
+    if (resolved.is_ok()) {
+        ino = resolved.value();
+    } else {
+        NESC_ASSIGN_OR_RETURN(
+            ino, create_backing_file(image_path, size_blocks, preallocate));
+    }
+    NESC_ASSIGN_OR_RETURN(pcie::FunctionId fn,
+                          pf_->create_vf(ino, size_blocks));
+
+    auto driver = std::make_shared<drv::FunctionDriver>(
+        sim_, host_memory_, bar_, irq_, fn, config_.vf_driver);
+    NESC_RETURN_IF_ERROR(driver->init());
+    auto disk =
+        std::make_unique<drv::FunctionBlockIo>(*driver, size_blocks);
+    auto vm = std::make_unique<GuestVm>(sim_, std::move(disk),
+                                        "nesc-vm", config_.guest);
+    vm->hold(driver);
+    guest_vfs_[vm.get()] = fn;
+    return vm;
+}
+
+util::Result<std::unique_ptr<GuestVm>>
+Testbed::create_virtio_guest_raw()
+{
+    NESC_ASSIGN_OR_RETURN(blk::BlockIo * backing, hv_raw_backing());
+    auto disk =
+        std::make_unique<VirtioDisk>(sim_, *backing, config_.costs);
+    return std::make_unique<GuestVm>(sim_, std::move(disk), "virtio-vm",
+                                     config_.guest);
+}
+
+util::Result<std::unique_ptr<GuestVm>>
+Testbed::create_emulated_guest_raw()
+{
+    NESC_ASSIGN_OR_RETURN(blk::BlockIo * backing, hv_raw_backing());
+    auto disk =
+        std::make_unique<EmulatedDisk>(sim_, *backing, config_.costs);
+    return std::make_unique<GuestVm>(sim_, std::move(disk), "emulated-vm",
+                                     config_.guest);
+}
+
+util::Result<std::unique_ptr<GuestVm>>
+Testbed::create_virtio_guest_file(const std::string &image_path,
+                                  std::uint64_t size_blocks,
+                                  bool preallocate)
+{
+    NESC_ASSIGN_OR_RETURN(
+        fs::InodeId ino,
+        create_backing_file(image_path, size_blocks, preallocate));
+    auto file_io = std::make_shared<FileBlockIo>(sim_, *hv_fs_, ino,
+                                                 size_blocks,
+                                                 config_.costs);
+    auto disk =
+        std::make_unique<VirtioDisk>(sim_, *file_io, config_.costs);
+    auto vm = std::make_unique<GuestVm>(sim_, std::move(disk),
+                                        "virtio-file-vm", config_.guest);
+    vm->hold(file_io);
+    return vm;
+}
+
+util::Result<std::unique_ptr<GuestVm>>
+Testbed::create_emulated_guest_file(const std::string &image_path,
+                                    std::uint64_t size_blocks,
+                                    bool preallocate)
+{
+    NESC_ASSIGN_OR_RETURN(
+        fs::InodeId ino,
+        create_backing_file(image_path, size_blocks, preallocate));
+    auto file_io = std::make_shared<FileBlockIo>(sim_, *hv_fs_, ino,
+                                                 size_blocks,
+                                                 config_.costs);
+    auto disk =
+        std::make_unique<EmulatedDisk>(sim_, *file_io, config_.costs);
+    auto vm = std::make_unique<GuestVm>(sim_, std::move(disk),
+                                        "emulated-file-vm", config_.guest);
+    vm->hold(file_io);
+    return vm;
+}
+
+util::Result<pcie::FunctionId>
+Testbed::guest_vf(const GuestVm &vm) const
+{
+    auto it = guest_vfs_.find(&vm);
+    if (it == guest_vfs_.end())
+        return util::not_found_error("VM has no NeSC VF");
+    return it->second;
+}
+
+} // namespace nesc::virt

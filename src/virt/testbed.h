@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Full-system assembly of the experimental platform (paper Table I).
+ *
+ * A Testbed wires together everything a reproduction run needs:
+ *
+ *   host DRAM model -- PCIe BAR router -- NeSC controller -- device
+ *   DRAM store, plus the hypervisor side: the PF driver (data path,
+ *   VF management, fault service) and a nestfs instance holding the
+ *   backing image files, mounted over the PF through the hypervisor's
+ *   own OS block stack.
+ *
+ * Guest factories attach VMs using each of Figure 1's techniques:
+ * direct NeSC VF assignment, virtio, and full emulation — either over
+ * the raw PF or over an image file in the hypervisor filesystem.
+ */
+#ifndef NESC_VIRT_TESTBED_H
+#define NESC_VIRT_TESTBED_H
+
+#include <memory>
+#include <string>
+
+#include "blocklayer/os_block_stack.h"
+#include "drivers/function_driver.h"
+#include "drivers/pf_driver.h"
+#include "fs/nestfs.h"
+#include "nesc/controller.h"
+#include "pcie/host_memory.h"
+#include "pcie/interrupts.h"
+#include "pcie/mmio.h"
+#include "sim/simulator.h"
+#include "storage/flash_block_device.h"
+#include "storage/mem_block_device.h"
+#include "virt/cost_model.h"
+#include "virt/guest_vm.h"
+#include "virt/virtual_disk.h"
+
+namespace nesc::virt {
+
+/** System-wide configuration. */
+struct TestbedConfig {
+    storage::MemBlockDeviceConfig device =
+        storage::MemBlockDeviceConfig::vc707_prototype();
+    /**
+     * When set, the physical media is a NAND SSD model (FTL, GC,
+     * asymmetric program/erase) instead of the prototype's DRAM; the
+     * DRAM config above is then ignored except for capacity, which the
+     * flash config's own capacity field supersedes.
+     */
+    std::optional<storage::FlashConfig> flash;
+    ctrl::ControllerConfig controller;
+    std::uint64_t host_memory_bytes = 256ULL << 20;
+    /** BAR page size used for the SR-IOV emulation (prototype: 4 KiB). */
+    std::uint64_t bar_page_size = 4096;
+    drv::PfDriverConfig pf;
+    fs::NestFsConfig hv_fs;
+    blk::OsStackConfig hv_fs_stack;   ///< hypervisor stack under its FS
+    blk::OsStackConfig host_raw_stack; ///< the "Host" baseline stack
+    drv::FunctionDriverConfig vf_driver; ///< guest VF drivers
+    CostModel costs;
+    GuestVmConfig guest;
+
+    TestbedConfig()
+    {
+        // The hypervisor filesystem's stack has no VFS layer of its
+        // own (nestfs sits above it) and keeps a modest metadata cache.
+        hv_fs_stack.vfs_cost = 0;
+        hv_fs_stack.cache.capacity_blocks = 8192;
+        // The Host baseline accesses the raw PF with O_DIRECT.
+        host_raw_stack.direct_io = true;
+    }
+};
+
+/** Assembled experimental platform; see file comment. */
+class Testbed {
+  public:
+    /** Builds the platform: device, controller, hypervisor FS. */
+    static util::Result<std::unique_ptr<Testbed>>
+    create(const TestbedConfig &config = {});
+
+    ~Testbed();
+    Testbed(const Testbed &) = delete;
+    Testbed &operator=(const Testbed &) = delete;
+
+    // --- Component access ---------------------------------------------
+
+    sim::Simulator &sim() { return sim_; }
+    pcie::HostMemory &host_memory() { return host_memory_; }
+    storage::BlockDevice &device() { return *device_; }
+    /** The flash model when configured with TestbedConfig::flash. */
+    storage::FlashBlockDevice *flash_device()
+    {
+        return dynamic_cast<storage::FlashBlockDevice *>(device_.get());
+    }
+    pcie::InterruptController &irq() { return irq_; }
+    ctrl::Controller &controller() { return controller_; }
+    pcie::BarPageRouter &bar() { return bar_; }
+    drv::PfDriver &pf() { return *pf_; }
+    fs::NestFs &hv_fs() { return *hv_fs_; }
+    const TestbedConfig &config() const { return config_; }
+    const CostModel &costs() const { return config_.costs; }
+
+    /** The paper's "Host" baseline: hypervisor I/O stack directly on
+     * the PF block device, no virtualization layer. */
+    blk::BlockIo &host_raw_io() { return *host_raw_stack_; }
+
+    // --- Backing files ---------------------------------------------------
+
+    /**
+     * Creates an image file of @p size_blocks device blocks in the
+     * hypervisor filesystem. With @p preallocate the whole range is
+     * allocated up front (no write-miss faults); otherwise allocation
+     * is lazy and NeSC guests exercise the fault path.
+     */
+    util::Result<fs::InodeId> create_backing_file(const std::string &path,
+                                                  std::uint64_t size_blocks,
+                                                  bool preallocate);
+
+    // --- Guest factories --------------------------------------------------
+
+    /**
+     * Direct device assignment through NeSC: creates (or reuses) the
+     * backing file, builds the VF, and attaches a guest whose disk is
+     * the VF itself.
+     */
+    util::Result<std::unique_ptr<GuestVm>>
+    create_nesc_guest(const std::string &image_path,
+                      std::uint64_t size_blocks, bool preallocate = true);
+
+    /** virtio guest over the raw PF (paper's raw-device comparison). */
+    util::Result<std::unique_ptr<GuestVm>> create_virtio_guest_raw();
+
+    /** Emulated-device guest over the raw PF. */
+    util::Result<std::unique_ptr<GuestVm>> create_emulated_guest_raw();
+
+    /** virtio guest backed by an image file in the hypervisor FS. */
+    util::Result<std::unique_ptr<GuestVm>>
+    create_virtio_guest_file(const std::string &image_path,
+                             std::uint64_t size_blocks,
+                             bool preallocate = true);
+
+    /** Emulated-device guest backed by an image file. */
+    util::Result<std::unique_ptr<GuestVm>>
+    create_emulated_guest_file(const std::string &image_path,
+                               std::uint64_t size_blocks,
+                               bool preallocate = true);
+
+    /** Function id of the VF attached to @p vm (NeSC guests only). */
+    util::Result<pcie::FunctionId> guest_vf(const GuestVm &vm) const;
+
+  private:
+    explicit Testbed(const TestbedConfig &config);
+
+    util::Status init();
+
+    /** Raw-PF hypervisor path shared by emulated/virtio raw guests. */
+    util::Result<blk::BlockIo *> hv_raw_backing();
+
+    TestbedConfig config_;
+    sim::Simulator sim_;
+    pcie::HostMemory host_memory_;
+    std::unique_ptr<storage::BlockDevice> device_;
+    pcie::InterruptController irq_;
+    ctrl::Controller controller_;
+    pcie::BarPageRouter bar_;
+    std::unique_ptr<drv::PfDriver> pf_;
+    std::unique_ptr<drv::FunctionBlockIo> pf_io_;
+    std::unique_ptr<blk::OsBlockStack> hv_fs_stack_;
+    std::unique_ptr<fs::NestFs> hv_fs_;
+    std::unique_ptr<blk::OsBlockStack> host_raw_stack_;
+    /** Hypervisor stack used as raw backing for emulated/virtio. */
+    std::unique_ptr<blk::OsBlockStack> hv_raw_backing_;
+    std::map<const GuestVm *, pcie::FunctionId> guest_vfs_;
+};
+
+} // namespace nesc::virt
+
+#endif // NESC_VIRT_TESTBED_H

@@ -1,0 +1,144 @@
+#include "virtual_disk.h"
+
+namespace nesc::virt {
+
+// --------------------------------------------------------------------
+// FileBlockIo
+// --------------------------------------------------------------------
+
+util::Status
+FileBlockIo::read_blocks(std::uint64_t blockno, std::uint32_t count,
+                         std::span<std::byte> out)
+{
+    (void)count; // implied by out.size()
+    simulator_.advance(costs_.hv_file_entry);
+    const std::uint64_t offset =
+        blockno * static_cast<std::uint64_t>(fs::kFsBlockSize);
+    NESC_ASSIGN_OR_RETURN(std::uint64_t got, fs_.read(ino_, offset, out));
+    // Reads past the backing file's current size are holes of the
+    // sparse image: zero-fill the remainder.
+    if (got < out.size())
+        std::fill(out.begin() + static_cast<std::ptrdiff_t>(got), out.end(),
+                  std::byte{0});
+    return util::Status::ok();
+}
+
+util::Status
+FileBlockIo::write_blocks(std::uint64_t blockno, std::uint32_t count,
+                          std::span<const std::byte> in)
+{
+    (void)count;
+    simulator_.advance(costs_.hv_file_entry);
+    const std::uint64_t offset =
+        blockno * static_cast<std::uint64_t>(fs::kFsBlockSize);
+    return fs_.write(ino_, offset, in);
+}
+
+util::Status
+FileBlockIo::flush()
+{
+    simulator_.advance(costs_.hv_file_entry);
+    return fs_.fsync(ino_);
+}
+
+// --------------------------------------------------------------------
+// EmulatedDisk
+// --------------------------------------------------------------------
+
+void
+EmulatedDisk::charge_submission(std::uint64_t bytes)
+{
+    ++requests_;
+    traps_ += costs_.emu_traps_per_request;
+    const sim::Duration per_trap =
+        costs_.vm_trap + costs_.emu_trap_handling;
+    simulator_.advance(costs_.emu_traps_per_request * per_trap +
+                       costs_.emu_per_4k * util::ceil_div(bytes, 4096));
+}
+
+void
+EmulatedDisk::charge_completion()
+{
+    ++traps_;
+    simulator_.advance(costs_.emu_completion + costs_.vm_trap);
+}
+
+util::Status
+EmulatedDisk::read_blocks(std::uint64_t blockno, std::uint32_t count,
+                          std::span<std::byte> out)
+{
+    charge_submission(out.size());
+    NESC_RETURN_IF_ERROR(backing_.read_blocks(blockno, count, out));
+    charge_completion();
+    return util::Status::ok();
+}
+
+util::Status
+EmulatedDisk::write_blocks(std::uint64_t blockno, std::uint32_t count,
+                           std::span<const std::byte> in)
+{
+    charge_submission(in.size());
+    NESC_RETURN_IF_ERROR(backing_.write_blocks(blockno, count, in));
+    charge_completion();
+    return util::Status::ok();
+}
+
+util::Status
+EmulatedDisk::flush()
+{
+    charge_submission(0);
+    NESC_RETURN_IF_ERROR(backing_.flush());
+    charge_completion();
+    return util::Status::ok();
+}
+
+// --------------------------------------------------------------------
+// VirtioDisk
+// --------------------------------------------------------------------
+
+void
+VirtioDisk::charge_submission(std::uint64_t bytes)
+{
+    ++requests_;
+    ++kicks_;
+    simulator_.advance(costs_.virtio_guest_submit + costs_.vm_trap +
+                       costs_.virtio_host_submit +
+                       costs_.virtio_per_4k * util::ceil_div(bytes, 4096));
+}
+
+void
+VirtioDisk::charge_completion()
+{
+    simulator_.advance(costs_.virtio_completion);
+}
+
+util::Status
+VirtioDisk::read_blocks(std::uint64_t blockno, std::uint32_t count,
+                        std::span<std::byte> out)
+{
+    charge_submission(out.size());
+    NESC_RETURN_IF_ERROR(backing_.read_blocks(blockno, count, out));
+    charge_completion();
+    return util::Status::ok();
+}
+
+util::Status
+VirtioDisk::write_blocks(std::uint64_t blockno, std::uint32_t count,
+                         std::span<const std::byte> in)
+{
+    charge_submission(in.size());
+    NESC_RETURN_IF_ERROR(backing_.write_blocks(blockno, count, in));
+    charge_completion();
+    return util::Status::ok();
+}
+
+util::Status
+VirtioDisk::flush()
+{
+    charge_submission(0);
+    NESC_RETURN_IF_ERROR(backing_.flush());
+    charge_completion();
+    return util::Status::ok();
+}
+
+} // namespace nesc::virt

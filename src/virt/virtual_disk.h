@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Guest-facing virtual disks: the three attachment techniques of
+ * Figure 1, all exposed as blk::BlockIo so the same guest OS stack and
+ * workloads run unchanged over each.
+ *
+ *  - EmulatedDisk:  full device emulation; every request traps on
+ *    multiple register accesses that the hypervisor's device model
+ *    decodes, then executes against the backing store.
+ *  - VirtioDisk:    paravirtual queue; one kick per request plus
+ *    host-side processing, then the backing store.
+ *  - Direct VF assignment needs no wrapper here — the guest mounts a
+ *    drv::FunctionBlockIo straight on its VF (zero hypervisor code in
+ *    the data path), which is the whole point of NeSC.
+ *
+ * The backing store is any BlockIo: the hypervisor's raw PF path for
+ * raw-device experiments, or a FileBlockIo over the hypervisor
+ * filesystem for image-file-backed disks (the nested-filesystem
+ * configuration the macrobenchmarks use).
+ */
+#ifndef NESC_VIRT_VIRTUAL_DISK_H
+#define NESC_VIRT_VIRTUAL_DISK_H
+
+#include "blocklayer/block_io.h"
+#include "fs/nestfs.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+#include "virt/cost_model.h"
+
+namespace nesc::virt {
+
+/** BlockIo over a file in the hypervisor's filesystem. */
+class FileBlockIo : public blk::BlockIo {
+  public:
+    /**
+     * @param size_blocks logical device size exported to the guest
+     *        (the file may be sparse and shorter).
+     */
+    FileBlockIo(sim::Simulator &simulator, fs::NestFs &fs, fs::InodeId ino,
+                std::uint64_t size_blocks, const CostModel &costs)
+        : simulator_(simulator), fs_(fs), ino_(ino),
+          size_blocks_(size_blocks), costs_(costs)
+    {
+    }
+
+    std::uint32_t block_size() const override { return fs::kFsBlockSize; }
+    std::uint64_t num_blocks() const override { return size_blocks_; }
+
+    util::Status read_blocks(std::uint64_t blockno, std::uint32_t count,
+                             std::span<std::byte> out) override;
+    util::Status write_blocks(std::uint64_t blockno, std::uint32_t count,
+                              std::span<const std::byte> in) override;
+    util::Status flush() override;
+
+    fs::InodeId inode() const { return ino_; }
+
+  private:
+    sim::Simulator &simulator_;
+    fs::NestFs &fs_;
+    fs::InodeId ino_;
+    std::uint64_t size_blocks_;
+    CostModel costs_;
+};
+
+/** Fully emulated storage device (Fig. 1a). */
+class EmulatedDisk : public blk::BlockIo {
+  public:
+    EmulatedDisk(sim::Simulator &simulator, blk::BlockIo &backing,
+                 const CostModel &costs)
+        : simulator_(simulator), backing_(backing), costs_(costs)
+    {
+    }
+
+    std::uint32_t block_size() const override
+    {
+        return backing_.block_size();
+    }
+    std::uint64_t num_blocks() const override
+    {
+        return backing_.num_blocks();
+    }
+
+    util::Status read_blocks(std::uint64_t blockno, std::uint32_t count,
+                             std::span<std::byte> out) override;
+    util::Status write_blocks(std::uint64_t blockno, std::uint32_t count,
+                              std::span<const std::byte> in) override;
+    util::Status flush() override;
+
+    std::uint64_t requests() const { return requests_; }
+    std::uint64_t traps() const { return traps_; }
+
+  private:
+    void charge_submission(std::uint64_t bytes);
+    void charge_completion();
+
+    sim::Simulator &simulator_;
+    blk::BlockIo &backing_;
+    CostModel costs_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t traps_ = 0;
+};
+
+/** Paravirtual virtio-blk style device (Fig. 1b). */
+class VirtioDisk : public blk::BlockIo {
+  public:
+    VirtioDisk(sim::Simulator &simulator, blk::BlockIo &backing,
+               const CostModel &costs)
+        : simulator_(simulator), backing_(backing), costs_(costs)
+    {
+    }
+
+    std::uint32_t block_size() const override
+    {
+        return backing_.block_size();
+    }
+    std::uint64_t num_blocks() const override
+    {
+        return backing_.num_blocks();
+    }
+
+    util::Status read_blocks(std::uint64_t blockno, std::uint32_t count,
+                             std::span<std::byte> out) override;
+    util::Status write_blocks(std::uint64_t blockno, std::uint32_t count,
+                              std::span<const std::byte> in) override;
+    util::Status flush() override;
+
+    std::uint64_t requests() const { return requests_; }
+    std::uint64_t kicks() const { return kicks_; }
+
+  private:
+    void charge_submission(std::uint64_t bytes);
+    void charge_completion();
+
+    sim::Simulator &simulator_;
+    blk::BlockIo &backing_;
+    CostModel costs_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t kicks_ = 0;
+};
+
+} // namespace nesc::virt
+
+#endif // NESC_VIRT_VIRTUAL_DISK_H

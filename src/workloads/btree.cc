@@ -1,0 +1,462 @@
+#include "btree.h"
+
+#include <cstring>
+
+#include "util/units.h"
+
+namespace nesc::wl {
+
+// --------------------------------------------------------------------
+// Lifecycle
+// --------------------------------------------------------------------
+
+util::Result<std::unique_ptr<BTreeIndex>>
+BTreeIndex::create(sim::Simulator &simulator, virt::GuestVm &vm,
+                   const BTreeConfig &config)
+{
+    fs::NestFs *fs = vm.fs();
+    if (fs == nullptr)
+        return util::failed_precondition_error("guest has no filesystem");
+    if (config.page_bytes < 512 || config.pool_pages < 4)
+        return util::invalid_argument_error("bad btree shape");
+
+    auto tree =
+        std::unique_ptr<BTreeIndex>(new BTreeIndex(simulator, vm, config));
+    NESC_ASSIGN_OR_RETURN(tree->ino_, fs->create(config.path, 0600));
+    tree->meta_ = MetaPage{kMetaMagic, 1, 1, 2, 0};
+    tree->meta_dirty_ = true;
+
+    // Root starts as an empty leaf (page 1).
+    NESC_ASSIGN_OR_RETURN(auto root, tree->fetch_page(1));
+    write_header(*root, NodeHeader{kNodeMagic, 1, 0, 0, 0});
+    root->dirty = true;
+    NESC_RETURN_IF_ERROR(tree->flush());
+    return tree;
+}
+
+util::Result<std::unique_ptr<BTreeIndex>>
+BTreeIndex::open(sim::Simulator &simulator, virt::GuestVm &vm,
+                 const BTreeConfig &config)
+{
+    fs::NestFs *fs = vm.fs();
+    if (fs == nullptr)
+        return util::failed_precondition_error("guest has no filesystem");
+    auto tree =
+        std::unique_ptr<BTreeIndex>(new BTreeIndex(simulator, vm, config));
+    NESC_ASSIGN_OR_RETURN(tree->ino_, fs->resolve(config.path));
+    std::vector<std::byte> page(config.page_bytes);
+    vm.charge_file_syscall();
+    NESC_ASSIGN_OR_RETURN(std::uint64_t got,
+                          fs->read(tree->ino_, 0, page));
+    if (got < sizeof(MetaPage))
+        return util::data_loss_error("btree meta page truncated");
+    std::memcpy(&tree->meta_, page.data(), sizeof(MetaPage));
+    if (tree->meta_.magic != kMetaMagic)
+        return util::data_loss_error("bad btree magic");
+    return tree;
+}
+
+// --------------------------------------------------------------------
+// Buffer pool
+// --------------------------------------------------------------------
+
+util::Status
+BTreeIndex::flush_page(Page &page)
+{
+    fs::NestFs *fs = vm_.fs();
+    vm_.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(
+        fs->write(ino_, page.pageno * config_.page_bytes, page.data));
+    page.dirty = false;
+    ++stats_.page_flushes;
+    return util::Status::ok();
+}
+
+util::Status
+BTreeIndex::evict_one()
+{
+    if (pool_.empty())
+        return util::internal_error("evicting from empty btree pool");
+    auto victim = std::prev(pool_.end());
+    if (victim->dirty)
+        NESC_RETURN_IF_ERROR(flush_page(*victim));
+    pool_map_.erase(victim->pageno);
+    pool_.erase(victim);
+    return util::Status::ok();
+}
+
+util::Result<BTreeIndex::PoolList::iterator>
+BTreeIndex::fetch_page(std::uint64_t pageno)
+{
+    auto it = pool_map_.find(pageno);
+    if (it != pool_map_.end()) {
+        ++stats_.pool_hits;
+        pool_.splice(pool_.begin(), pool_, it->second);
+        return pool_.begin();
+    }
+    ++stats_.pool_misses;
+    while (pool_.size() >= config_.pool_pages)
+        NESC_RETURN_IF_ERROR(evict_one());
+
+    fs::NestFs *fs = vm_.fs();
+    std::vector<std::byte> data(config_.page_bytes);
+    vm_.charge_file_syscall();
+    NESC_ASSIGN_OR_RETURN(
+        std::uint64_t got,
+        fs->read(ino_, pageno * config_.page_bytes, data));
+    if (got < data.size())
+        std::fill(data.begin() + static_cast<std::ptrdiff_t>(got),
+                  data.end(), std::byte{0});
+    pool_.push_front(Page{pageno, false, std::move(data)});
+    pool_map_[pageno] = pool_.begin();
+    return pool_.begin();
+}
+
+util::Result<std::uint64_t>
+BTreeIndex::alloc_page()
+{
+    const std::uint64_t pageno = meta_.num_pages++;
+    meta_dirty_ = true;
+    return pageno;
+}
+
+// --------------------------------------------------------------------
+// Node accessors
+// --------------------------------------------------------------------
+
+BTreeIndex::NodeHeader
+BTreeIndex::read_header(const Page &page)
+{
+    NodeHeader header;
+    std::memcpy(&header, page.data.data(), sizeof(header));
+    return header;
+}
+
+void
+BTreeIndex::write_header(Page &page, const NodeHeader &header)
+{
+    std::memcpy(page.data.data(), &header, sizeof(header));
+}
+
+BTreeIndex::Entry
+BTreeIndex::read_entry(const Page &page, std::uint32_t index)
+{
+    Entry entry;
+    std::memcpy(&entry,
+                page.data.data() + sizeof(NodeHeader) +
+                    index * sizeof(Entry),
+                sizeof(entry));
+    return entry;
+}
+
+void
+BTreeIndex::write_entry(Page &page, std::uint32_t index, const Entry &entry)
+{
+    std::memcpy(page.data.data() + sizeof(NodeHeader) +
+                    index * sizeof(Entry),
+                &entry, sizeof(entry));
+}
+
+namespace {
+
+/** Index of the first entry with key >= @p key (lower bound). */
+template <typename ReadEntry>
+std::uint32_t
+lower_bound_index(std::uint32_t count, std::uint64_t key, ReadEntry read)
+{
+    std::uint32_t lo = 0, hi = count;
+    while (lo < hi) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        if (read(mid).key < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Insert
+// --------------------------------------------------------------------
+
+util::Result<BTreeIndex::SplitResult>
+BTreeIndex::insert_into(std::uint64_t pageno, std::uint64_t key,
+                        std::uint64_t value)
+{
+    NESC_ASSIGN_OR_RETURN(auto page, fetch_page(pageno));
+    NodeHeader header = read_header(*page);
+    if (header.magic != kNodeMagic)
+        return util::data_loss_error("corrupt btree node");
+
+    auto entry_at = [&](std::uint32_t i) { return read_entry(*page, i); };
+
+    if (header.is_leaf) {
+        std::uint32_t pos =
+            lower_bound_index(header.count, key, entry_at);
+        if (pos < header.count && entry_at(pos).key == key)
+            return util::already_exists_error("duplicate btree key");
+
+        if (header.count == max_entries()) {
+            // Split first; then insert into the correct half.
+            NESC_ASSIGN_OR_RETURN(std::uint64_t new_pageno, alloc_page());
+            // NOTE: alloc/fetch may evict `page`; re-fetch safely.
+            NESC_ASSIGN_OR_RETURN(auto right, fetch_page(new_pageno));
+            NESC_ASSIGN_OR_RETURN(page, fetch_page(pageno));
+            header = read_header(*page);
+
+            const std::uint32_t keep = header.count / 2;
+            const std::uint32_t moved = header.count - keep;
+            NodeHeader right_header{kNodeMagic, 1, 0, header.right_sibling,
+                                    0};
+            for (std::uint32_t i = 0; i < moved; ++i)
+                write_entry(*right, i, read_entry(*page, keep + i));
+            right_header.count = static_cast<std::uint16_t>(moved);
+            write_header(*right, right_header);
+            right->dirty = true;
+
+            header.count = static_cast<std::uint16_t>(keep);
+            header.right_sibling = new_pageno;
+            write_header(*page, header);
+            page->dirty = true;
+            ++stats_.splits;
+
+            const std::uint64_t separator = read_entry(*right, 0).key;
+            // Insert into whichever side owns the key, recursively
+            // (both halves now have room).
+            NESC_RETURN_IF_ERROR(
+                insert_into(key < separator ? pageno : new_pageno, key,
+                            value)
+                    .status());
+            SplitResult result;
+            result.split = true;
+            result.separator = separator;
+            result.new_page = new_pageno;
+            return result;
+        }
+
+        // Room available: shift and insert.
+        for (std::uint32_t i = header.count; i > pos; --i)
+            write_entry(*page, i, read_entry(*page, i - 1));
+        write_entry(*page, pos, Entry{key, value});
+        ++header.count;
+        write_header(*page, header);
+        page->dirty = true;
+        return SplitResult{};
+    }
+
+    // Internal node: find the child owning the key. A separator's key
+    // equals its right child's first key, so an exact match descends
+    // right; otherwise the rightmost separator below the key wins.
+    const std::uint32_t pos = lower_bound_index(header.count, key, entry_at);
+    std::uint64_t child;
+    if (pos < header.count && entry_at(pos).key == key)
+        child = entry_at(pos).value;
+    else if (pos == 0)
+        child = header.leftmost_child;
+    else
+        child = entry_at(pos - 1).value;
+
+    NESC_ASSIGN_OR_RETURN(SplitResult child_split,
+                          insert_into(child, key, value));
+    if (!child_split.split)
+        return SplitResult{};
+
+    // Insert the new separator into this node (re-fetch: recursion may
+    // have evicted our page).
+    NESC_ASSIGN_OR_RETURN(page, fetch_page(pageno));
+    header = read_header(*page);
+    if (header.count == max_entries()) {
+        // Split this internal node, then insert the separator into
+        // the proper half.
+        NESC_ASSIGN_OR_RETURN(std::uint64_t new_pageno, alloc_page());
+        NESC_ASSIGN_OR_RETURN(auto right, fetch_page(new_pageno));
+        NESC_ASSIGN_OR_RETURN(page, fetch_page(pageno));
+        header = read_header(*page);
+
+        const std::uint32_t keep = header.count / 2;
+        // The middle separator moves UP; its child becomes the right
+        // node's leftmost child.
+        const Entry middle = read_entry(*page, keep);
+        const std::uint32_t moved = header.count - keep - 1;
+        NodeHeader right_header{kNodeMagic, 0, 0, 0, middle.value};
+        for (std::uint32_t i = 0; i < moved; ++i)
+            write_entry(*right, i, read_entry(*page, keep + 1 + i));
+        right_header.count = static_cast<std::uint16_t>(moved);
+        write_header(*right, right_header);
+        right->dirty = true;
+
+        header.count = static_cast<std::uint16_t>(keep);
+        write_header(*page, header);
+        page->dirty = true;
+        ++stats_.splits;
+
+        // Now place the child's separator into the correct half.
+        const std::uint64_t target =
+            child_split.separator < middle.key ? pageno : new_pageno;
+        NESC_ASSIGN_OR_RETURN(auto node, fetch_page(target));
+        NodeHeader node_header = read_header(*node);
+        auto node_entry = [&](std::uint32_t i) {
+            return read_entry(*node, i);
+        };
+        const std::uint32_t ins = lower_bound_index(
+            node_header.count, child_split.separator, node_entry);
+        for (std::uint32_t i = node_header.count; i > ins; --i)
+            write_entry(*node, i, read_entry(*node, i - 1));
+        write_entry(*node, ins,
+                    Entry{child_split.separator, child_split.new_page});
+        ++node_header.count;
+        write_header(*node, node_header);
+        node->dirty = true;
+
+        SplitResult result;
+        result.split = true;
+        result.separator = middle.key;
+        result.new_page = new_pageno;
+        return result;
+    }
+
+    const std::uint32_t ins = lower_bound_index(
+        header.count, child_split.separator, entry_at);
+    for (std::uint32_t i = header.count; i > ins; --i)
+        write_entry(*page, i, read_entry(*page, i - 1));
+    write_entry(*page, ins,
+                Entry{child_split.separator, child_split.new_page});
+    ++header.count;
+    write_header(*page, header);
+    page->dirty = true;
+    return SplitResult{};
+}
+
+util::Status
+BTreeIndex::insert(std::uint64_t key, std::uint64_t value)
+{
+    NESC_ASSIGN_OR_RETURN(SplitResult split,
+                          insert_into(meta_.root_page, key, value));
+    if (split.split) {
+        // Grow a new root.
+        NESC_ASSIGN_OR_RETURN(std::uint64_t new_root, alloc_page());
+        NESC_ASSIGN_OR_RETURN(auto root, fetch_page(new_root));
+        NodeHeader header{kNodeMagic, 0, 1, 0, meta_.root_page};
+        write_header(*root, header);
+        write_entry(*root, 0, Entry{split.separator, split.new_page});
+        root->dirty = true;
+        meta_.root_page = new_root;
+        ++meta_.height;
+        meta_dirty_ = true;
+    }
+    ++meta_.num_keys;
+    meta_dirty_ = true;
+    ++stats_.inserts;
+    return util::Status::ok();
+}
+
+// --------------------------------------------------------------------
+// Lookup / erase / scan
+// --------------------------------------------------------------------
+
+util::Result<std::uint64_t>
+BTreeIndex::descend_to_leaf(std::uint64_t key)
+{
+    std::uint64_t pageno = meta_.root_page;
+    for (std::uint32_t level = 0; level < meta_.height; ++level) {
+        NESC_ASSIGN_OR_RETURN(auto page, fetch_page(pageno));
+        const NodeHeader header = read_header(*page);
+        if (header.magic != kNodeMagic)
+            return util::data_loss_error("corrupt btree node");
+        if (header.is_leaf)
+            return pageno;
+        auto entry_at = [&](std::uint32_t i) {
+            return read_entry(*page, i);
+        };
+        // Child owning `key`: the rightmost entry with key <= target,
+        // else the leftmost child.
+        const std::uint32_t pos =
+            lower_bound_index(header.count, key, entry_at);
+        if (pos < header.count && entry_at(pos).key == key)
+            pageno = entry_at(pos).value;
+        else if (pos == 0)
+            pageno = header.leftmost_child;
+        else
+            pageno = entry_at(pos - 1).value;
+    }
+    return util::data_loss_error("btree deeper than its height");
+}
+
+util::Result<std::optional<std::uint64_t>>
+BTreeIndex::lookup(std::uint64_t key)
+{
+    ++stats_.lookups;
+    NESC_ASSIGN_OR_RETURN(std::uint64_t leafno, descend_to_leaf(key));
+    NESC_ASSIGN_OR_RETURN(auto leaf, fetch_page(leafno));
+    const NodeHeader header = read_header(*leaf);
+    auto entry_at = [&](std::uint32_t i) { return read_entry(*leaf, i); };
+    const std::uint32_t pos = lower_bound_index(header.count, key, entry_at);
+    if (pos < header.count && entry_at(pos).key == key)
+        return std::optional<std::uint64_t>(entry_at(pos).value);
+    return std::optional<std::uint64_t>();
+}
+
+util::Status
+BTreeIndex::erase(std::uint64_t key)
+{
+    NESC_ASSIGN_OR_RETURN(std::uint64_t leafno, descend_to_leaf(key));
+    NESC_ASSIGN_OR_RETURN(auto leaf, fetch_page(leafno));
+    NodeHeader header = read_header(*leaf);
+    auto entry_at = [&](std::uint32_t i) { return read_entry(*leaf, i); };
+    const std::uint32_t pos = lower_bound_index(header.count, key, entry_at);
+    if (pos >= header.count || entry_at(pos).key != key)
+        return util::not_found_error("btree key absent");
+    for (std::uint32_t i = pos; i + 1 < header.count; ++i)
+        write_entry(*leaf, i, read_entry(*leaf, i + 1));
+    --header.count;
+    write_header(*leaf, header);
+    leaf->dirty = true;
+    --meta_.num_keys;
+    meta_dirty_ = true;
+    ++stats_.deletes;
+    return util::Status::ok();
+}
+
+util::Result<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+BTreeIndex::scan(std::uint64_t first_key, std::size_t limit)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    NESC_ASSIGN_OR_RETURN(std::uint64_t leafno,
+                          descend_to_leaf(first_key));
+    while (leafno != 0 && out.size() < limit) {
+        NESC_ASSIGN_OR_RETURN(auto leaf, fetch_page(leafno));
+        const NodeHeader header = read_header(*leaf);
+        auto entry_at = [&](std::uint32_t i) {
+            return read_entry(*leaf, i);
+        };
+        std::uint32_t pos =
+            lower_bound_index(header.count, first_key, entry_at);
+        for (; pos < header.count && out.size() < limit; ++pos) {
+            const Entry e = entry_at(pos);
+            out.emplace_back(e.key, e.value);
+        }
+        leafno = header.right_sibling;
+    }
+    return out;
+}
+
+util::Status
+BTreeIndex::flush()
+{
+    for (Page &page : pool_)
+        if (page.dirty)
+            NESC_RETURN_IF_ERROR(flush_page(page));
+    if (meta_dirty_) {
+        std::vector<std::byte> page(config_.page_bytes);
+        std::memcpy(page.data(), &meta_, sizeof(meta_));
+        fs::NestFs *fs = vm_.fs();
+        vm_.charge_file_syscall();
+        NESC_RETURN_IF_ERROR(fs->write(ino_, 0, page));
+        meta_dirty_ = false;
+    }
+    return vm_.fs()->fsync(ino_);
+}
+
+} // namespace nesc::wl

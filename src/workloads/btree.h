@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Disk-resident B+tree index.
+ *
+ * MiniDb's heap table is addressed by row number; real OLTP engines
+ * reach rows through a B+tree index on the primary key. This module
+ * provides that index as its own substrate: a paged B+tree stored in
+ * a file on the guest filesystem, with a private buffer pool — the
+ * same double-buffering structure databases use. The OLTP workload
+ * drives it when OltpConfig::use_index is set, adding the index-probe
+ * I/O pattern (a few hot internal pages + random leaves) to the mix.
+ *
+ * Semantics: unique uint64 keys -> uint64 values; insert, point
+ * lookup, delete (leaf-local, no rebalancing — nodes may underflow,
+ * which only costs space, like many production trees before vacuum),
+ * and ascending range scans over the leaf sibling chain. Durability
+ * via flush(); the tree is not write-ahead logged (an engine pairing
+ * it with MiniDb's WAL would rebuild or log index updates — see
+ * MiniDb's recovery notes).
+ */
+#ifndef NESC_WL_BTREE_H
+#define NESC_WL_BTREE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/nestfs.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "virt/guest_vm.h"
+
+namespace nesc::wl {
+
+/** B+tree tuning. */
+struct BTreeConfig {
+    std::uint32_t page_bytes = 4096;
+    std::uint32_t pool_pages = 32;
+    std::string path = "/index.btree";
+};
+
+/** Engine statistics. */
+struct BTreeStats {
+    std::uint64_t inserts = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
+    std::uint64_t page_flushes = 0;
+};
+
+/** The index; construct via create() or open(). */
+class BTreeIndex {
+  public:
+    /** Creates a fresh (empty) index file. */
+    static util::Result<std::unique_ptr<BTreeIndex>>
+    create(sim::Simulator &simulator, virt::GuestVm &vm,
+           const BTreeConfig &config = {});
+
+    /** Opens an existing index file. */
+    static util::Result<std::unique_ptr<BTreeIndex>>
+    open(sim::Simulator &simulator, virt::GuestVm &vm,
+         const BTreeConfig &config = {});
+
+    /** Inserts key -> value; fails with ALREADY_EXISTS on duplicates. */
+    util::Status insert(std::uint64_t key, std::uint64_t value);
+
+    /** Point lookup; nullopt when absent. */
+    util::Result<std::optional<std::uint64_t>> lookup(std::uint64_t key);
+
+    /** Removes a key; fails with NOT_FOUND when absent. */
+    util::Status erase(std::uint64_t key);
+
+    /**
+     * Ascending scan: up to @p limit (key, value) pairs with
+     * key >= @p first_key, following the leaf sibling chain.
+     */
+    util::Result<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+    scan(std::uint64_t first_key, std::size_t limit);
+
+    /** Writes back dirty pages and the meta page, then fsyncs. */
+    util::Status flush();
+
+    /** Keys currently stored. */
+    std::uint64_t size() const { return meta_.num_keys; }
+    /** Tree height (1 = root is a leaf). */
+    std::uint32_t height() const { return meta_.height; }
+    const BTreeStats &stats() const { return stats_; }
+    const BTreeConfig &config() const { return config_; }
+
+  private:
+    BTreeIndex(sim::Simulator &simulator, virt::GuestVm &vm,
+               const BTreeConfig &config)
+        : simulator_(simulator), vm_(vm), config_(config)
+    {
+    }
+
+    // On-disk structures (within 4 KiB pages).
+    struct MetaPage {
+        std::uint32_t magic;
+        std::uint32_t height;
+        std::uint64_t root_page;
+        std::uint64_t num_pages;
+        std::uint64_t num_keys;
+    };
+    struct NodeHeader {
+        std::uint32_t magic;
+        std::uint16_t is_leaf;
+        std::uint16_t count;
+        std::uint64_t right_sibling; ///< leaves only; 0 at the end
+        std::uint64_t leftmost_child; ///< internal only
+    };
+    struct Entry { // leaf: key->value; internal: separator->right child
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+
+    static constexpr std::uint32_t kMetaMagic = 0x42545249; // "BTRI"
+    static constexpr std::uint32_t kNodeMagic = 0x42544e44; // "BTND"
+
+    std::uint32_t max_entries() const
+    {
+        return (config_.page_bytes - sizeof(NodeHeader)) / sizeof(Entry);
+    }
+
+    // Buffer-pool plumbing (page images of page_bytes).
+    struct Page {
+        std::uint64_t pageno;
+        bool dirty;
+        std::vector<std::byte> data;
+    };
+    using PoolList = std::list<Page>;
+    util::Result<PoolList::iterator> fetch_page(std::uint64_t pageno);
+    util::Result<std::uint64_t> alloc_page();
+    util::Status flush_page(Page &page);
+    util::Status evict_one();
+
+    // Node accessors over a pool page.
+    static NodeHeader read_header(const Page &page);
+    static void write_header(Page &page, const NodeHeader &header);
+    static Entry read_entry(const Page &page, std::uint32_t index);
+    static void write_entry(Page &page, std::uint32_t index,
+                            const Entry &entry);
+
+    /** Result of a recursive insert: set when the child split. */
+    struct SplitResult {
+        bool split = false;
+        std::uint64_t separator = 0;  ///< first key of the new node
+        std::uint64_t new_page = 0;
+    };
+    util::Result<SplitResult> insert_into(std::uint64_t pageno,
+                                          std::uint64_t key,
+                                          std::uint64_t value);
+    util::Result<std::uint64_t> descend_to_leaf(std::uint64_t key);
+
+    sim::Simulator &simulator_;
+    virt::GuestVm &vm_;
+    BTreeConfig config_;
+    fs::InodeId ino_ = fs::kInvalidInode;
+    MetaPage meta_{};
+    bool meta_dirty_ = false;
+    PoolList pool_;
+    std::unordered_map<std::uint64_t, PoolList::iterator> pool_map_;
+    BTreeStats stats_;
+};
+
+} // namespace nesc::wl
+
+#endif // NESC_WL_BTREE_H

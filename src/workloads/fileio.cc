@@ -1,0 +1,82 @@
+#include "fileio.h"
+
+#include <vector>
+
+#include "util/units.h"
+#include "workloads/dd.h"
+
+namespace nesc::wl {
+
+util::Result<FileioResult>
+run_fileio(sim::Simulator &simulator, virt::GuestVm &vm,
+           const FileioConfig &config)
+{
+    fs::NestFs *fs = vm.fs();
+    if (fs == nullptr)
+        return util::failed_precondition_error("guest has no filesystem");
+    if (config.request_bytes == 0 || config.request_bytes > config.file_bytes)
+        return util::invalid_argument_error("bad fileio request size");
+
+    util::Rng rng(config.seed);
+    FileioResult result;
+
+    // Prepare phase: create and fill the file set.
+    vm.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(fs->mkdir(config.directory, 0755).status());
+    std::vector<fs::InodeId> files;
+    std::vector<std::byte> buf(config.file_bytes);
+    for (std::uint32_t i = 0; i < config.num_files; ++i) {
+        const std::string path =
+            config.directory + "/data" + std::to_string(i);
+        vm.charge_file_syscall();
+        NESC_ASSIGN_OR_RETURN(fs::InodeId ino, fs->create(path, 0644));
+        fill_pattern(i, 0, buf);
+        vm.charge_file_syscall();
+        NESC_RETURN_IF_ERROR(fs->write(ino, 0, buf));
+        files.push_back(ino);
+    }
+    NESC_RETURN_IF_ERROR(fs->sync());
+
+    // Timed phase: random requests.
+    util::Sampler latencies;
+    std::vector<std::byte> req(config.request_bytes);
+    const std::uint64_t positions =
+        config.file_bytes - config.request_bytes + 1;
+    const sim::Time start = simulator.now();
+    for (std::uint32_t op = 0; op < config.operations; ++op) {
+        const fs::InodeId ino = files[rng.next_below(files.size())];
+        const std::uint64_t offset = rng.next_below(positions);
+        const bool is_read = rng.next_bool(config.read_ratio);
+
+        const sim::Time op_start = simulator.now();
+        vm.charge_file_syscall();
+        if (is_read) {
+            NESC_ASSIGN_OR_RETURN(std::uint64_t got,
+                                  fs->read(ino, offset, req));
+            ++result.reads;
+            result.bytes_read += got;
+        } else {
+            fill_pattern(op, offset, req);
+            NESC_RETURN_IF_ERROR(fs->write(ino, offset, req));
+            ++result.writes;
+            result.bytes_written += req.size();
+        }
+        if (config.fsync_every && (op + 1) % config.fsync_every == 0) {
+            vm.charge_file_syscall();
+            NESC_RETURN_IF_ERROR(fs->fsync(ino));
+            ++result.fsyncs;
+        }
+        latencies.add(static_cast<double>(simulator.now() - op_start));
+    }
+    result.elapsed = simulator.now() - start;
+    result.ops_per_sec =
+        result.elapsed
+            ? static_cast<double>(config.operations) /
+                  util::ns_to_sec(result.elapsed)
+            : 0.0;
+    result.mean_latency_us = latencies.mean() / 1000.0;
+    result.p95_latency_us = latencies.percentile(95.0) / 1000.0;
+    return result;
+}
+
+} // namespace nesc::wl

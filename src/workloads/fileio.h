@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SysBench fileio-style random I/O benchmark (paper Table II,
+ * "Sysbench I/O: a sequence of random file operations").
+ *
+ * Preallocates a set of files, then issues random-offset reads and
+ * writes of a fixed request size with a configurable read ratio,
+ * optionally fsyncing periodically — the access pattern of SysBench's
+ * `fileio --file-test-mode=rndrw`.
+ */
+#ifndef NESC_WL_FILEIO_H
+#define NESC_WL_FILEIO_H
+
+#include "fs/nestfs.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "virt/guest_vm.h"
+
+namespace nesc::wl {
+
+/** fileio parameters. */
+struct FileioConfig {
+    std::uint32_t num_files = 8;
+    std::uint64_t file_bytes = 512 * 1024;
+    std::uint64_t request_bytes = 4096;
+    std::uint32_t operations = 1000;
+    double read_ratio = 0.6; ///< reads fraction; rest are writes
+    std::uint32_t fsync_every = 100;
+    std::uint64_t seed = 7;
+    std::string directory = "/fileio";
+};
+
+/** fileio results. */
+struct FileioResult {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    sim::Duration elapsed = 0;
+    double ops_per_sec = 0.0;
+    double mean_latency_us = 0.0;
+    double p95_latency_us = 0.0;
+};
+
+/** Runs the fileio workload inside @p vm's filesystem. */
+util::Result<FileioResult> run_fileio(sim::Simulator &simulator,
+                                      virt::GuestVm &vm,
+                                      const FileioConfig &config);
+
+} // namespace nesc::wl
+
+#endif // NESC_WL_FILEIO_H

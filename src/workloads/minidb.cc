@@ -1,0 +1,355 @@
+#include "minidb.h"
+
+#include <cstring>
+
+#include "util/units.h"
+
+namespace nesc::wl {
+
+namespace {
+
+/** WAL record header; followed by row_bytes of row image. */
+struct WalRecord {
+    std::uint32_t magic;  ///< kWalRowMagic or kWalCommitMagic
+    std::uint32_t length; ///< payload bytes after the header
+    std::uint64_t txn_id;
+    std::uint64_t row;
+};
+
+constexpr std::uint32_t kWalRowMagic = 0x574c5257;    // "WLRW"
+constexpr std::uint32_t kWalCommitMagic = 0x574c434d; // "WLCM"
+
+} // namespace
+
+std::uint64_t
+MiniDb::num_pages() const
+{
+    return util::ceil_div(config_.rows, rows_per_page());
+}
+
+util::Result<std::unique_ptr<MiniDb>>
+MiniDb::create(sim::Simulator &simulator, virt::GuestVm &vm,
+               const MiniDbConfig &config)
+{
+    if (config.row_bytes == 0 || config.row_bytes > config.page_bytes)
+        return util::invalid_argument_error("bad MiniDb row/page shape");
+    auto db =
+        std::unique_ptr<MiniDb>(new MiniDb(simulator, vm, config));
+    NESC_RETURN_IF_ERROR(db->init_files(/*create=*/true));
+    return db;
+}
+
+util::Result<std::unique_ptr<MiniDb>>
+MiniDb::open(sim::Simulator &simulator, virt::GuestVm &vm,
+             const MiniDbConfig &config)
+{
+    auto db =
+        std::unique_ptr<MiniDb>(new MiniDb(simulator, vm, config));
+    NESC_RETURN_IF_ERROR(db->init_files(/*create=*/false));
+    NESC_RETURN_IF_ERROR(db->recover());
+    return db;
+}
+
+util::Status
+MiniDb::init_files(bool create)
+{
+    fs::NestFs *fs = vm_.fs();
+    if (fs == nullptr)
+        return util::failed_precondition_error("guest has no filesystem");
+    const std::string table_path = config_.directory + "/table";
+    const std::string wal_path = config_.directory + "/wal";
+
+    if (create) {
+        vm_.charge_file_syscall();
+        NESC_RETURN_IF_ERROR(
+            fs->mkdir(config_.directory, 0755).status());
+        NESC_ASSIGN_OR_RETURN(table_ino_, fs->create(table_path, 0600));
+        NESC_ASSIGN_OR_RETURN(wal_ino_, fs->create(wal_path, 0600));
+        // Zero-fill the table so every page exists (databases
+        // preallocate their tablespaces).
+        std::vector<std::byte> zero_page(config_.page_bytes);
+        for (std::uint64_t p = 0; p < num_pages(); ++p) {
+            NESC_RETURN_IF_ERROR(fs->write(
+                table_ino_, p * config_.page_bytes, zero_page));
+        }
+        NESC_RETURN_IF_ERROR(fs->fsync(table_ino_));
+        wal_offset_ = 0;
+    } else {
+        NESC_ASSIGN_OR_RETURN(table_ino_, fs->resolve(table_path));
+        NESC_ASSIGN_OR_RETURN(wal_ino_, fs->resolve(wal_path));
+        NESC_ASSIGN_OR_RETURN(auto wal_stat, fs->stat(wal_ino_));
+        wal_offset_ = wal_stat.size_bytes;
+    }
+    return util::Status::ok();
+}
+
+// --------------------------------------------------------------------
+// Buffer pool
+// --------------------------------------------------------------------
+
+util::Status
+MiniDb::flush_page(Page &page)
+{
+    fs::NestFs *fs = vm_.fs();
+    vm_.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(fs->write(
+        table_ino_, page.pageno * config_.page_bytes, page.data));
+    page.dirty = false;
+    ++stats_.page_flushes;
+    return util::Status::ok();
+}
+
+util::Status
+MiniDb::evict_one()
+{
+    if (pool_.empty())
+        return util::internal_error("evicting from empty buffer pool");
+    auto victim = std::prev(pool_.end());
+    if (victim->dirty)
+        NESC_RETURN_IF_ERROR(flush_page(*victim));
+    pool_map_.erase(victim->pageno);
+    pool_.erase(victim);
+    return util::Status::ok();
+}
+
+util::Result<MiniDb::PoolList::iterator>
+MiniDb::fetch_page(std::uint64_t pageno)
+{
+    auto it = pool_map_.find(pageno);
+    if (it != pool_map_.end()) {
+        ++stats_.pool_hits;
+        pool_.splice(pool_.begin(), pool_, it->second);
+        return pool_.begin();
+    }
+    ++stats_.pool_misses;
+    while (pool_.size() >= config_.pool_pages)
+        NESC_RETURN_IF_ERROR(evict_one());
+
+    fs::NestFs *fs = vm_.fs();
+    std::vector<std::byte> data(config_.page_bytes);
+    vm_.charge_file_syscall();
+    NESC_ASSIGN_OR_RETURN(
+        std::uint64_t got,
+        fs->read(table_ino_, pageno * config_.page_bytes, data));
+    if (got < data.size())
+        std::fill(data.begin() + static_cast<std::ptrdiff_t>(got),
+                  data.end(), std::byte{0});
+    pool_.push_front(Page{pageno, false, std::move(data)});
+    pool_map_[pageno] = pool_.begin();
+    return pool_.begin();
+}
+
+// --------------------------------------------------------------------
+// WAL
+// --------------------------------------------------------------------
+
+util::Status
+MiniDb::wal_append(std::span<const std::byte> record)
+{
+    fs::NestFs *fs = vm_.fs();
+    vm_.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(fs->write(wal_ino_, wal_offset_, record));
+    wal_offset_ += record.size();
+    stats_.wal_bytes += record.size();
+    return util::Status::ok();
+}
+
+util::Status
+MiniDb::wal_fsync()
+{
+    fs::NestFs *fs = vm_.fs();
+    vm_.charge_file_syscall();
+    return fs->fsync(wal_ino_);
+}
+
+// --------------------------------------------------------------------
+// Transactions
+// --------------------------------------------------------------------
+
+util::Status
+MiniDb::begin()
+{
+    if (in_txn_)
+        return util::failed_precondition_error("transaction already open");
+    in_txn_ = true;
+    txn_rows_.clear();
+    return util::Status::ok();
+}
+
+util::Result<std::vector<std::byte>>
+MiniDb::get(std::uint64_t row)
+{
+    if (row >= config_.rows)
+        return util::out_of_range_error("row beyond table");
+    // Read-your-writes within the open transaction.
+    for (auto it = txn_rows_.rbegin(); it != txn_rows_.rend(); ++it)
+        if (it->first == row)
+            return it->second;
+    NESC_ASSIGN_OR_RETURN(auto page, fetch_page(row / rows_per_page()));
+    const std::uint32_t slot = row % rows_per_page();
+    std::vector<std::byte> out(config_.row_bytes);
+    std::memcpy(out.data(),
+                page->data.data() +
+                    static_cast<std::size_t>(slot) * config_.row_bytes,
+                config_.row_bytes);
+    ++stats_.row_reads;
+    return out;
+}
+
+util::Status
+MiniDb::put(std::uint64_t row, std::span<const std::byte> data)
+{
+    if (!in_txn_)
+        return util::failed_precondition_error("put outside a transaction");
+    if (row >= config_.rows)
+        return util::out_of_range_error("row beyond table");
+    if (data.size() != config_.row_bytes)
+        return util::invalid_argument_error("row size mismatch");
+    txn_rows_.emplace_back(
+        row, std::vector<std::byte>(data.begin(), data.end()));
+    return util::Status::ok();
+}
+
+util::Status
+MiniDb::commit()
+{
+    if (!in_txn_)
+        return util::failed_precondition_error("commit without begin");
+    const std::uint64_t txn_id = next_txn_id_++;
+
+    // 1. WAL: row images then the commit record, one fsync.
+    std::vector<std::byte> rec(sizeof(WalRecord) + config_.row_bytes);
+    for (const auto &[row, image] : txn_rows_) {
+        WalRecord header{kWalRowMagic, config_.row_bytes, txn_id, row};
+        std::memcpy(rec.data(), &header, sizeof(header));
+        std::memcpy(rec.data() + sizeof(header), image.data(),
+                    config_.row_bytes);
+        NESC_RETURN_IF_ERROR(wal_append(rec));
+    }
+    WalRecord commit_rec{kWalCommitMagic, 0, txn_id, 0};
+    NESC_RETURN_IF_ERROR(wal_append(
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte *>(&commit_rec),
+            sizeof(commit_rec))));
+    NESC_RETURN_IF_ERROR(wal_fsync());
+
+    // 2. Apply to the buffer pool (pages become dirty; the table file
+    //    is updated at checkpoint).
+    for (const auto &[row, image] : txn_rows_) {
+        NESC_ASSIGN_OR_RETURN(auto page,
+                              fetch_page(row / rows_per_page()));
+        const std::uint32_t slot = row % rows_per_page();
+        std::memcpy(page->data.data() +
+                        static_cast<std::size_t>(slot) * config_.row_bytes,
+                    image.data(), config_.row_bytes);
+        page->dirty = true;
+        ++stats_.row_updates;
+    }
+    txn_rows_.clear();
+    in_txn_ = false;
+    ++stats_.transactions;
+
+    if (++txns_since_checkpoint_ >= config_.checkpoint_every)
+        NESC_RETURN_IF_ERROR(checkpoint());
+    return util::Status::ok();
+}
+
+util::Status
+MiniDb::checkpoint()
+{
+    fs::NestFs *fs = vm_.fs();
+    for (Page &page : pool_)
+        if (page.dirty)
+            NESC_RETURN_IF_ERROR(flush_page(page));
+    vm_.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(fs->fsync(table_ino_));
+    // Truncate the WAL: everything up to here is in the table.
+    vm_.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(fs->truncate(wal_ino_, 0));
+    NESC_RETURN_IF_ERROR(fs->fsync(wal_ino_));
+    wal_offset_ = 0;
+    txns_since_checkpoint_ = 0;
+    ++stats_.checkpoints;
+    return util::Status::ok();
+}
+
+// --------------------------------------------------------------------
+// Recovery
+// --------------------------------------------------------------------
+
+util::Status
+MiniDb::recover()
+{
+    fs::NestFs *fs = vm_.fs();
+    NESC_ASSIGN_OR_RETURN(auto wal_stat, fs->stat(wal_ino_));
+    const std::uint64_t wal_size = wal_stat.size_bytes;
+    if (wal_size == 0)
+        return util::Status::ok();
+
+    // Pass 1: find committed transaction ids.
+    std::vector<std::uint64_t> committed;
+    std::uint64_t offset = 0;
+    std::vector<std::byte> header_buf(sizeof(WalRecord));
+    while (offset + sizeof(WalRecord) <= wal_size) {
+        NESC_ASSIGN_OR_RETURN(std::uint64_t got,
+                              fs->read(wal_ino_, offset, header_buf));
+        if (got < sizeof(WalRecord))
+            break;
+        WalRecord header;
+        std::memcpy(&header, header_buf.data(), sizeof(header));
+        if (header.magic == kWalCommitMagic) {
+            committed.push_back(header.txn_id);
+            offset += sizeof(WalRecord);
+        } else if (header.magic == kWalRowMagic) {
+            if (offset + sizeof(WalRecord) + header.length > wal_size)
+                break; // torn record
+            offset += sizeof(WalRecord) + header.length;
+        } else {
+            break; // corruption: stop scanning
+        }
+        next_txn_id_ = std::max(next_txn_id_, header.txn_id + 1);
+    }
+
+    // Pass 2: replay row images of committed transactions in order.
+    offset = 0;
+    std::vector<std::byte> row_buf;
+    while (offset + sizeof(WalRecord) <= wal_size) {
+        NESC_ASSIGN_OR_RETURN(std::uint64_t got,
+                              fs->read(wal_ino_, offset, header_buf));
+        if (got < sizeof(WalRecord))
+            break;
+        WalRecord header;
+        std::memcpy(&header, header_buf.data(), sizeof(header));
+        if (header.magic == kWalCommitMagic) {
+            offset += sizeof(WalRecord);
+            continue;
+        }
+        if (header.magic != kWalRowMagic)
+            break;
+        const bool is_committed =
+            std::find(committed.begin(), committed.end(), header.txn_id) !=
+            committed.end();
+        if (is_committed) {
+            row_buf.resize(header.length);
+            NESC_ASSIGN_OR_RETURN(
+                got,
+                fs->read(wal_ino_, offset + sizeof(WalRecord), row_buf));
+            if (got < header.length)
+                break;
+            NESC_ASSIGN_OR_RETURN(auto page,
+                                  fetch_page(header.row / rows_per_page()));
+            const std::uint32_t slot = header.row % rows_per_page();
+            std::memcpy(page->data.data() +
+                            static_cast<std::size_t>(slot) *
+                                config_.row_bytes,
+                        row_buf.data(), config_.row_bytes);
+            page->dirty = true;
+        }
+        offset += sizeof(WalRecord) + header.length;
+    }
+    stats_.recovered_txns += committed.size();
+    // Make the replayed state durable and clear the log.
+    return checkpoint();
+}
+
+} // namespace nesc::wl

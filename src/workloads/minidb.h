@@ -1,0 +1,146 @@
+/**
+ * @file
+ * MiniDb: a small transactional storage engine standing in for the
+ * paper's MySQL/OLTP macrobenchmark (Table II).
+ *
+ * Architecture mirrors a classic RDBMS storage layer scaled down:
+ *  - a heap table file of fixed-size rows grouped into pages,
+ *  - a private buffer pool (LRU, dirty tracking) above the guest
+ *    filesystem — databases double-buffer exactly like this,
+ *  - a write-ahead log: row images appended per update, a commit
+ *    record and an fsync per transaction (durability), and
+ *  - periodic checkpoints that flush dirty pages and truncate the log.
+ *
+ * The I/O this generates — random page reads, sequential WAL appends
+ * with frequent fsyncs, bursty checkpoint writes — is the OLTP
+ * pattern whose virtualization overheads Figure 12 quantifies.
+ * recover() replays committed transactions after a crash, which the
+ * tests exercise.
+ */
+#ifndef NESC_WL_MINIDB_H
+#define NESC_WL_MINIDB_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/nestfs.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "virt/guest_vm.h"
+
+namespace nesc::wl {
+
+/** MiniDb shape and tuning. */
+struct MiniDbConfig {
+    std::uint64_t rows = 4096;
+    std::uint32_t row_bytes = 100;
+    std::uint32_t page_bytes = 4096;
+    std::uint32_t pool_pages = 64;
+    /** Checkpoint after this many committed transactions. */
+    std::uint32_t checkpoint_every = 64;
+    std::string directory = "/oltp";
+};
+
+/** Aggregate engine statistics. */
+struct MiniDbStats {
+    std::uint64_t transactions = 0;
+    std::uint64_t row_reads = 0;
+    std::uint64_t row_updates = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
+    std::uint64_t page_flushes = 0;
+    std::uint64_t wal_bytes = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t recovered_txns = 0;
+};
+
+/** The engine; see file comment. */
+class MiniDb {
+  public:
+    /** Creates the table and WAL files and zero-initializes all rows. */
+    static util::Result<std::unique_ptr<MiniDb>>
+    create(sim::Simulator &simulator, virt::GuestVm &vm,
+           const MiniDbConfig &config = {});
+
+    /**
+     * Opens an existing database and replays any committed-but-not-
+     * checkpointed transactions from the WAL.
+     */
+    static util::Result<std::unique_ptr<MiniDb>>
+    open(sim::Simulator &simulator, virt::GuestVm &vm,
+         const MiniDbConfig &config = {});
+
+    /** Starts a transaction (single-threaded engine: no nesting). */
+    util::Status begin();
+
+    /** Reads a row (inside or outside a transaction). */
+    util::Result<std::vector<std::byte>> get(std::uint64_t row);
+
+    /** Updates a row; only valid inside a transaction. */
+    util::Status put(std::uint64_t row, std::span<const std::byte> data);
+
+    /** Commits: WAL append of the commit record + fsync. */
+    util::Status commit();
+
+    /** Flushes dirty pages and truncates the WAL. */
+    util::Status checkpoint();
+
+    const MiniDbStats &stats() const { return stats_; }
+    const MiniDbConfig &config() const { return config_; }
+
+  private:
+    MiniDb(sim::Simulator &simulator, virt::GuestVm &vm,
+           const MiniDbConfig &config)
+        : simulator_(simulator), vm_(vm), config_(config)
+    {
+    }
+
+    util::Status init_files(bool create);
+    util::Status recover();
+
+    /** Buffer-pool page access. */
+    struct Page {
+        std::uint64_t pageno;
+        bool dirty;
+        std::vector<std::byte> data;
+    };
+    using PoolList = std::list<Page>;
+    util::Result<PoolList::iterator> fetch_page(std::uint64_t pageno);
+    util::Status evict_one();
+    util::Status flush_page(Page &page);
+
+    std::uint32_t rows_per_page() const
+    {
+        return config_.page_bytes / config_.row_bytes;
+    }
+    std::uint64_t num_pages() const;
+
+    // WAL plumbing.
+    util::Status wal_append(std::span<const std::byte> record);
+    util::Status wal_fsync();
+
+    sim::Simulator &simulator_;
+    virt::GuestVm &vm_;
+    MiniDbConfig config_;
+    fs::InodeId table_ino_ = fs::kInvalidInode;
+    fs::InodeId wal_ino_ = fs::kInvalidInode;
+    std::uint64_t wal_offset_ = 0;
+    std::uint64_t next_txn_id_ = 1;
+    bool in_txn_ = false;
+    std::uint32_t txns_since_checkpoint_ = 0;
+    /** Row images staged by the current transaction. */
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> txn_rows_;
+
+    PoolList pool_; ///< front = MRU
+    std::unordered_map<std::uint64_t, PoolList::iterator> pool_map_;
+    MiniDbStats stats_;
+};
+
+} // namespace nesc::wl
+
+#endif // NESC_WL_MINIDB_H

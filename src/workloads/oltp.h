@@ -1,0 +1,58 @@
+/**
+ * @file
+ * OLTP transaction driver over MiniDb (paper Table II: "MySQL serving
+ * the SysBench OLTP workload").
+ *
+ * Issues point-select and update transactions against a MiniDb table
+ * with Zipfian row popularity — SysBench OLTP's access pattern.
+ */
+#ifndef NESC_WL_OLTP_H
+#define NESC_WL_OLTP_H
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "workloads/minidb.h"
+
+namespace nesc::wl {
+
+/** OLTP driver parameters. */
+struct OltpConfig {
+    std::uint32_t transactions = 200;
+    std::uint32_t ops_per_txn = 10;
+    double read_ratio = 0.7;
+    /** Zipf skew of row popularity; 0 = uniform. */
+    double zipf_theta = 0.8;
+    std::uint64_t seed = 99;
+    MiniDbConfig db;
+    /**
+     * Route every access through a B+tree primary-key index (the way
+     * SysBench OLTP point selects actually reach rows): keys are a
+     * bijective scramble of row ids, so index probes hit random
+     * leaves while the B-tree's upper levels stay pool-hot.
+     */
+    bool use_index = false;
+};
+
+/** OLTP results. */
+struct OltpResult {
+    std::uint64_t transactions = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t updates = 0;
+    sim::Duration elapsed = 0;
+    double transactions_per_sec = 0.0;
+    double mean_txn_latency_us = 0.0;
+};
+
+/** Creates a fresh MiniDb inside @p vm and runs the OLTP mix. */
+util::Result<OltpResult> run_oltp(sim::Simulator &simulator,
+                                  virt::GuestVm &vm,
+                                  const OltpConfig &config);
+
+/** Runs the OLTP mix against an existing database. */
+util::Result<OltpResult> run_oltp_on(sim::Simulator &simulator, MiniDb &db,
+                                     const OltpConfig &config);
+
+} // namespace nesc::wl
+
+#endif // NESC_WL_OLTP_H

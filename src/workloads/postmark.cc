@@ -1,0 +1,138 @@
+#include "postmark.h"
+
+#include <vector>
+
+#include "util/units.h"
+#include "workloads/dd.h"
+
+namespace nesc::wl {
+
+namespace {
+
+std::string
+file_name(const PostmarkConfig &config, std::uint64_t id)
+{
+    return config.directory + "/f" + std::to_string(id);
+}
+
+} // namespace
+
+util::Result<PostmarkResult>
+run_postmark(sim::Simulator &simulator, virt::GuestVm &vm,
+             const PostmarkConfig &config)
+{
+    fs::NestFs *fs = vm.fs();
+    if (fs == nullptr)
+        return util::failed_precondition_error("guest has no filesystem");
+    util::Rng rng(config.seed);
+    PostmarkResult result;
+
+    // Live pool: file id -> inode.
+    std::vector<std::pair<std::uint64_t, fs::InodeId>> pool;
+    std::uint64_t next_id = 0;
+    std::vector<std::byte> buf;
+
+    auto create_one = [&]() -> util::Status {
+        const std::uint64_t id = next_id++;
+        const std::uint64_t size =
+            rng.next_in(config.min_file_bytes, config.max_file_bytes);
+        vm.charge_file_syscall();
+        NESC_ASSIGN_OR_RETURN(fs::InodeId ino,
+                              fs->create(file_name(config, id), 0644));
+        buf.resize(size);
+        fill_pattern(id, 0, buf);
+        vm.charge_file_syscall();
+        NESC_RETURN_IF_ERROR(fs->write(ino, 0, buf));
+        if (config.sync_writes)
+            NESC_RETURN_IF_ERROR(fs->fsync(ino));
+        pool.emplace_back(id, ino);
+        ++result.files_created;
+        result.bytes_written += size;
+        return util::Status::ok();
+    };
+
+    auto delete_one = [&]() -> util::Status {
+        if (pool.empty())
+            return util::Status::ok();
+        const std::size_t victim = rng.next_below(pool.size());
+        const std::uint64_t id = pool[victim].first;
+        pool[victim] = pool.back();
+        pool.pop_back();
+        vm.charge_file_syscall();
+        NESC_RETURN_IF_ERROR(fs->unlink(file_name(config, id)));
+        ++result.files_deleted;
+        return util::Status::ok();
+    };
+
+    auto read_one = [&]() -> util::Status {
+        if (pool.empty())
+            return util::Status::ok();
+        const auto &[id, ino] = pool[rng.next_below(pool.size())];
+        NESC_ASSIGN_OR_RETURN(auto st, fs->stat(ino));
+        buf.resize(st.size_bytes);
+        vm.charge_file_syscall();
+        NESC_ASSIGN_OR_RETURN(std::uint64_t got, fs->read(ino, 0, buf));
+        ++result.reads;
+        result.bytes_read += got;
+        return util::Status::ok();
+    };
+
+    auto append_one = [&]() -> util::Status {
+        if (pool.empty())
+            return util::Status::ok();
+        const auto &[id, ino] = pool[rng.next_below(pool.size())];
+        NESC_ASSIGN_OR_RETURN(auto st, fs->stat(ino));
+        const std::uint64_t add =
+            rng.next_in(config.min_file_bytes,
+                        std::max<std::uint64_t>(config.min_file_bytes,
+                                                config.max_file_bytes / 4));
+        buf.resize(add);
+        fill_pattern(id, st.size_bytes, buf);
+        vm.charge_file_syscall();
+        NESC_RETURN_IF_ERROR(fs->write(ino, st.size_bytes, buf));
+        if (config.sync_writes)
+            NESC_RETURN_IF_ERROR(fs->fsync(ino));
+        ++result.appends;
+        result.bytes_written += add;
+        return util::Status::ok();
+    };
+
+    // Phase 1: initial pool.
+    vm.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(fs->mkdir(config.directory, 0755).status());
+    for (std::uint32_t i = 0; i < config.initial_files; ++i)
+        NESC_RETURN_IF_ERROR(create_one());
+
+    // Phase 2: transactions (timed region).
+    const sim::Time start = simulator.now();
+    for (std::uint32_t t = 0; t < config.transactions; ++t) {
+        if (rng.next_bool(config.create_delete_bias)) {
+            if (rng.next_bool(0.5))
+                NESC_RETURN_IF_ERROR(create_one());
+            else
+                NESC_RETURN_IF_ERROR(delete_one());
+        } else {
+            if (rng.next_bool(0.5))
+                NESC_RETURN_IF_ERROR(read_one());
+            else
+                NESC_RETURN_IF_ERROR(append_one());
+        }
+        ++result.transactions;
+    }
+    result.elapsed = simulator.now() - start;
+
+    // Phase 3: cleanup.
+    while (!pool.empty())
+        NESC_RETURN_IF_ERROR(delete_one());
+    vm.charge_file_syscall();
+    NESC_RETURN_IF_ERROR(fs->rmdir(config.directory));
+
+    result.transactions_per_sec =
+        result.elapsed
+            ? static_cast<double>(result.transactions) /
+                  util::ns_to_sec(result.elapsed)
+            : 0.0;
+    return result;
+}
+
+} // namespace nesc::wl

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Postmark mail-server simulation (paper Table II).
+ *
+ * The classic Postmark benchmark: create an initial pool of small
+ * files, then run a transaction mix of {create, delete, read, append}
+ * against the pool, and finally delete everything. Exercises metadata
+ * churn and small-file I/O on the guest filesystem — the access
+ * pattern where nested storage virtualization hurts most.
+ */
+#ifndef NESC_WL_POSTMARK_H
+#define NESC_WL_POSTMARK_H
+
+#include "fs/nestfs.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "virt/guest_vm.h"
+
+namespace nesc::wl {
+
+/** Postmark parameters (defaults scaled down from the classic run). */
+struct PostmarkConfig {
+    std::uint32_t initial_files = 100;
+    std::uint32_t transactions = 500;
+    std::uint64_t min_file_bytes = 512;
+    std::uint64_t max_file_bytes = 16 * 1024;
+    /** Probability a transaction is create/delete (vs read/append). */
+    double create_delete_bias = 0.5;
+    std::uint64_t seed = 42;
+    /** Directory holding the file pool. */
+    std::string directory = "/postmark";
+    /** fsync after each write transaction (mail-server durability). */
+    bool sync_writes = true;
+};
+
+/** Postmark results. */
+struct PostmarkResult {
+    std::uint64_t transactions = 0;
+    std::uint64_t files_created = 0;
+    std::uint64_t files_deleted = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t appends = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    sim::Duration elapsed = 0;
+    double transactions_per_sec = 0.0;
+};
+
+/** Runs Postmark inside @p vm's filesystem. */
+util::Result<PostmarkResult> run_postmark(sim::Simulator &simulator,
+                                          virt::GuestVm &vm,
+                                          const PostmarkConfig &config);
+
+} // namespace nesc::wl
+
+#endif // NESC_WL_POSTMARK_H

@@ -1,0 +1,103 @@
+#include "trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/stats.h"
+#include "util/units.h"
+#include "workloads/dd.h"
+
+namespace nesc::wl {
+
+util::Result<ReplayResult>
+replay_trace(sim::Simulator &simulator, blk::BlockIo &target,
+             const std::vector<TraceRecord> &trace,
+             const ReplayConfig &config)
+{
+    ReplayResult result;
+    util::Sampler latencies;
+    const std::uint32_t bs = target.block_size();
+    std::vector<std::byte> buf;
+
+    const sim::Time replay_start = simulator.now();
+    const sim::Time trace_start = trace.empty() ? 0 : trace.front().issued;
+
+    for (const TraceRecord &record : trace) {
+        if (record.count == 0 ||
+            record.blockno + record.count > target.num_blocks())
+            continue; // clipped: target too small for this op
+        if (config.preserve_think_time) {
+            const sim::Time due =
+                replay_start + (record.issued - trace_start);
+            if (due > simulator.now())
+                simulator.run_until(due);
+        }
+        buf.resize(static_cast<std::size_t>(record.count) * bs);
+        const sim::Time op_start = simulator.now();
+        if (record.write) {
+            fill_pattern(config.pattern_seed, record.blockno * bs, buf);
+            NESC_RETURN_IF_ERROR(
+                target.write_blocks(record.blockno, record.count, buf));
+            ++result.writes;
+        } else {
+            NESC_RETURN_IF_ERROR(
+                target.read_blocks(record.blockno, record.count, buf));
+            ++result.reads;
+        }
+        latencies.add(static_cast<double>(simulator.now() - op_start));
+        result.bytes += buf.size();
+    }
+    result.elapsed = simulator.now() - replay_start;
+    result.mean_latency_us = latencies.mean() / 1000.0;
+    result.bandwidth_mb_s =
+        util::bandwidth_mb_per_sec(result.bytes, result.elapsed);
+    return result;
+}
+
+std::string
+trace_to_text(const std::vector<TraceRecord> &trace)
+{
+    std::string out;
+    char line[96];
+    for (const TraceRecord &record : trace) {
+        std::snprintf(line, sizeof(line),
+                      "%" PRIu64 " %c %" PRIu64 " %" PRIu32 "\n",
+                      record.issued, record.write ? 'W' : 'R',
+                      record.blockno, record.count);
+        out += line;
+    }
+    return out;
+}
+
+util::Result<std::vector<TraceRecord>>
+trace_from_text(const std::string &text)
+{
+    std::vector<TraceRecord> trace;
+    std::size_t pos = 0;
+    int lineno = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::uint64_t issued = 0, blockno = 0;
+        std::uint32_t count = 0;
+        char op = 0;
+        if (std::sscanf(line.c_str(),
+                        "%" SCNu64 " %c %" SCNu64 " %" SCNu32, &issued,
+                        &op, &blockno, &count) != 4 ||
+            (op != 'R' && op != 'W')) {
+            return util::invalid_argument_error(
+                "malformed trace line " + std::to_string(lineno) + ": " +
+                line);
+        }
+        trace.push_back(TraceRecord{issued, op == 'W', blockno, count});
+    }
+    return trace;
+}
+
+} // namespace nesc::wl

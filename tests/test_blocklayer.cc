@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the block layer: device adapter, cost decorator,
+ * buffer cache, I/O scheduler, and the assembled OS stack.
+ */
+#include <gtest/gtest.h>
+
+#include "blocklayer/buffer_cache.h"
+#include "blocklayer/costed_block_io.h"
+#include "blocklayer/device_block_io.h"
+#include "blocklayer/io_scheduler.h"
+#include "blocklayer/os_block_stack.h"
+#include "storage/mem_block_device.h"
+
+namespace nesc::blk {
+namespace {
+
+storage::MemBlockDeviceConfig
+timed_device()
+{
+    storage::MemBlockDeviceConfig cfg;
+    cfg.capacity_bytes = 4 << 20;
+    cfg.read_bytes_per_sec = 1'000'000'000;
+    cfg.write_bytes_per_sec = 1'000'000'000;
+    cfg.access_latency = 1000;
+    return cfg;
+}
+
+std::vector<std::byte>
+blocks_of(std::uint32_t count, std::uint8_t fill)
+{
+    return std::vector<std::byte>(count * 1024,
+                                  static_cast<std::byte>(fill));
+}
+
+// --- DeviceBlockIo -----------------------------------------------------
+
+TEST(DeviceBlockIo, AdvancesClockByServiceTime)
+{
+    sim::Simulator sim;
+    storage::MemBlockDevice dev(timed_device());
+    DeviceBlockIo io(sim, dev);
+    auto data = blocks_of(1, 0x11);
+    ASSERT_TRUE(io.write_blocks(0, 1, data).is_ok());
+    // 1024 B at 1 GB/s = 1024 ns + 1000 ns latency.
+    EXPECT_EQ(sim.now(), 2024u);
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE(io.read_blocks(0, 1, back).is_ok());
+    EXPECT_EQ(back, data);
+}
+
+TEST(DeviceBlockIo, SizeMismatchRejected)
+{
+    sim::Simulator sim;
+    storage::MemBlockDevice dev(timed_device());
+    DeviceBlockIo io(sim, dev);
+    std::vector<std::byte> wrong(100);
+    EXPECT_FALSE(io.read_blocks(0, 1, wrong).is_ok());
+    EXPECT_FALSE(io.write_blocks(0, 1, wrong).is_ok());
+}
+
+// --- CostedBlockIo ------------------------------------------------------
+
+TEST(CostedBlockIo, ChargesPerOpAndPerPage)
+{
+    sim::Simulator sim;
+    storage::MemBlockDeviceConfig cfg = timed_device();
+    cfg.read_bytes_per_sec = 0;
+    cfg.write_bytes_per_sec = 0;
+    cfg.access_latency = 0;
+    storage::MemBlockDevice dev(cfg);
+    DeviceBlockIo base(sim, dev);
+    CostedBlockIo costed(sim, base, "test", 500, 100);
+    auto data = blocks_of(8, 0); // 8 KiB = two 4 KiB pages
+    ASSERT_TRUE(costed.write_blocks(0, 8, data).is_ok());
+    EXPECT_EQ(sim.now(), 500u + 2 * 100u);
+    EXPECT_EQ(costed.ops(), 1u);
+    EXPECT_EQ(costed.cpu_charged(), 700u);
+}
+
+// --- BufferCache --------------------------------------------------------
+
+class BufferCacheTest : public ::testing::Test {
+  protected:
+    BufferCacheTest() : dev_(timed_device()), base_(sim_, dev_)
+    {
+        config_.capacity_blocks = 4;
+        config_.hit_cost = 10;
+        config_.miss_cost = 20;
+        cache_ = std::make_unique<BufferCache>(sim_, base_, config_);
+    }
+
+    sim::Simulator sim_;
+    storage::MemBlockDevice dev_;
+    DeviceBlockIo base_;
+    BufferCacheConfig config_;
+    std::unique_ptr<BufferCache> cache_;
+};
+
+TEST_F(BufferCacheTest, ReadMissThenHit)
+{
+    std::vector<std::byte> buf(1024);
+    ASSERT_TRUE(cache_->read_blocks(5, 1, buf).is_ok());
+    EXPECT_EQ(cache_->misses(), 1u);
+    const sim::Time after_miss = sim_.now();
+    ASSERT_TRUE(cache_->read_blocks(5, 1, buf).is_ok());
+    EXPECT_EQ(cache_->hits(), 1u);
+    // A hit costs only the lookup, no device access.
+    EXPECT_EQ(sim_.now(), after_miss + 10);
+}
+
+TEST_F(BufferCacheTest, WriteBackDefersDeviceWrite)
+{
+    auto data = blocks_of(1, 0x77);
+    ASSERT_TRUE(cache_->write_blocks(3, 1, data).is_ok());
+    EXPECT_EQ(cache_->dirty_blocks(), 1u);
+    EXPECT_EQ(dev_.bytes_written(), 0u);
+    ASSERT_TRUE(cache_->flush().is_ok());
+    EXPECT_EQ(cache_->dirty_blocks(), 0u);
+    EXPECT_EQ(dev_.bytes_written(), 1024u);
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE(dev_.read(3 * 1024, back).is_ok());
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(BufferCacheTest, EvictionWritesBackDirtyVictim)
+{
+    auto data = blocks_of(1, 0x42);
+    ASSERT_TRUE(cache_->write_blocks(0, 1, data).is_ok());
+    // Fill the 4-entry cache past capacity with clean reads.
+    std::vector<std::byte> buf(1024);
+    for (std::uint64_t b = 10; b < 15; ++b)
+        ASSERT_TRUE(cache_->read_blocks(b, 1, buf).is_ok());
+    EXPECT_GE(cache_->evictions(), 1u);
+    // The dirty block 0 was LRU and must have been written back.
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE(dev_.read(0, back).is_ok());
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(BufferCacheTest, ReadMissClustersContiguousRuns)
+{
+    std::vector<std::byte> buf(4 * 1024);
+    ASSERT_TRUE(cache_->read_blocks(0, 4, buf).is_ok());
+    // One downstream access for the whole run, 4 misses counted.
+    EXPECT_EQ(cache_->misses(), 4u);
+    EXPECT_EQ(dev_.bytes_read(), 4096u);
+}
+
+TEST_F(BufferCacheTest, WriteThroughForwardsImmediately)
+{
+    BufferCacheConfig wt = config_;
+    wt.write_through = true;
+    BufferCache cache(sim_, base_, wt);
+    auto data = blocks_of(1, 0x11);
+    ASSERT_TRUE(cache.write_blocks(7, 1, data).is_ok());
+    EXPECT_EQ(dev_.bytes_written(), 1024u);
+    EXPECT_EQ(cache.dirty_blocks(), 0u);
+}
+
+TEST_F(BufferCacheTest, FlushMergesAdjacentDirtyBlocks)
+{
+    auto data = blocks_of(1, 1);
+    // Dirty blocks 2,3,4 written individually.
+    for (std::uint64_t b = 2; b <= 4; ++b)
+        ASSERT_TRUE(cache_->write_blocks(b, 1, data).is_ok());
+    const std::uint64_t writes_before = dev_.bytes_written();
+    ASSERT_TRUE(cache_->flush().is_ok());
+    EXPECT_EQ(dev_.bytes_written() - writes_before, 3 * 1024u);
+    EXPECT_EQ(cache_->writebacks(), 3u);
+}
+
+TEST_F(BufferCacheTest, InvalidateRequiresCleanCache)
+{
+    auto data = blocks_of(1, 1);
+    ASSERT_TRUE(cache_->write_blocks(1, 1, data).is_ok());
+    EXPECT_FALSE(cache_->invalidate().is_ok());
+    ASSERT_TRUE(cache_->flush().is_ok());
+    ASSERT_TRUE(cache_->invalidate().is_ok());
+    EXPECT_EQ(cache_->cached_blocks(), 0u);
+}
+
+TEST_F(BufferCacheTest, ReadAfterWriteSeesCachedData)
+{
+    auto data = blocks_of(1, 0x99);
+    ASSERT_TRUE(cache_->write_blocks(2, 1, data).is_ok());
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE(cache_->read_blocks(2, 1, back).is_ok());
+    EXPECT_EQ(back, data);
+}
+
+// --- IoScheduler -------------------------------------------------------------
+
+class IoSchedulerTest : public ::testing::Test {
+  protected:
+    IoSchedulerTest() : dev_(timed_device()), base_(sim_, dev_)
+    {
+        config_.per_request_cost = 100;
+        sched_ = std::make_unique<IoScheduler>(sim_, base_, config_);
+    }
+
+    sim::Simulator sim_;
+    storage::MemBlockDevice dev_;
+    DeviceBlockIo base_;
+    IoSchedulerConfig config_;
+    std::unique_ptr<IoScheduler> sched_;
+};
+
+TEST_F(IoSchedulerTest, UnpluggedForwardsImmediately)
+{
+    auto data = blocks_of(1, 3);
+    ASSERT_TRUE(sched_->write_blocks(0, 1, data).is_ok());
+    EXPECT_EQ(dev_.bytes_written(), 1024u);
+    EXPECT_EQ(sched_->dispatched(), 1u);
+}
+
+TEST_F(IoSchedulerTest, PluggedWritesMergeOnUnplug)
+{
+    sched_->plug();
+    auto data = blocks_of(1, 4);
+    for (std::uint64_t b = 0; b < 4; ++b)
+        ASSERT_TRUE(sched_->write_blocks(b, 1, data).is_ok());
+    EXPECT_EQ(dev_.bytes_written(), 0u);
+    ASSERT_TRUE(sched_->unplug().is_ok());
+    EXPECT_EQ(dev_.bytes_written(), 4 * 1024u);
+    EXPECT_EQ(sched_->merges(), 3u);
+    EXPECT_EQ(sched_->dispatched(), 1u); // one merged op
+}
+
+TEST_F(IoSchedulerTest, OutOfOrderWritesSortedAndMerged)
+{
+    sched_->plug();
+    auto data = blocks_of(1, 5);
+    for (std::uint64_t b : {3u, 1u, 0u, 2u})
+        ASSERT_TRUE(sched_->write_blocks(b, 1, data).is_ok());
+    ASSERT_TRUE(sched_->unplug().is_ok());
+    // Elevator order: sorted into a single 4-block write.
+    EXPECT_EQ(sched_->dispatched(), 1u);
+    EXPECT_EQ(sched_->merges(), 3u);
+}
+
+TEST_F(IoSchedulerTest, ReadFlushesOverlappingPluggedWrites)
+{
+    sched_->plug();
+    auto data = blocks_of(1, 6);
+    ASSERT_TRUE(sched_->write_blocks(5, 1, data).is_ok());
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE(sched_->read_blocks(5, 1, back).is_ok());
+    EXPECT_EQ(back, data); // read observed the plugged write
+}
+
+TEST_F(IoSchedulerTest, AutoDispatchAtThreshold)
+{
+    IoSchedulerConfig cfg = config_;
+    cfg.max_plugged = 2;
+    IoScheduler sched(sim_, base_, cfg);
+    sched.plug();
+    auto data = blocks_of(1, 7);
+    ASSERT_TRUE(sched.write_blocks(0, 1, data).is_ok());
+    ASSERT_TRUE(sched.write_blocks(10, 1, data).is_ok());
+    // Threshold reached: dispatched without unplug.
+    EXPECT_EQ(dev_.bytes_written(), 2 * 1024u);
+}
+
+// --- OsBlockStack --------------------------------------------------------------
+
+TEST(OsBlockStack, DirectIoBypassesCache)
+{
+    sim::Simulator sim;
+    storage::MemBlockDevice dev(timed_device());
+    DeviceBlockIo base(sim, dev);
+    OsStackConfig cfg;
+    cfg.direct_io = true;
+    OsBlockStack stack(sim, base, "t", cfg);
+    EXPECT_EQ(stack.cache(), nullptr);
+    auto data = blocks_of(1, 9);
+    ASSERT_TRUE(stack.write_blocks(0, 1, data).is_ok());
+    EXPECT_EQ(dev.bytes_written(), 1024u); // straight through
+}
+
+TEST(OsBlockStack, CachedStackAbsorbsRereads)
+{
+    sim::Simulator sim;
+    storage::MemBlockDevice dev(timed_device());
+    DeviceBlockIo base(sim, dev);
+    OsStackConfig cfg;
+    OsBlockStack stack(sim, base, "t", cfg);
+    ASSERT_NE(stack.cache(), nullptr);
+    std::vector<std::byte> buf(1024);
+    ASSERT_TRUE(stack.read_blocks(0, 1, buf).is_ok());
+    ASSERT_TRUE(stack.read_blocks(0, 1, buf).is_ok());
+    EXPECT_EQ(dev.bytes_read(), 1024u); // second read from cache
+    EXPECT_EQ(stack.cache()->hits(), 1u);
+}
+
+TEST(OsBlockStack, RoundTripThroughAllLayers)
+{
+    sim::Simulator sim;
+    storage::MemBlockDevice dev(timed_device());
+    DeviceBlockIo base(sim, dev);
+    OsBlockStack stack(sim, base, "t", OsStackConfig{});
+    auto data = blocks_of(4, 0x5c);
+    ASSERT_TRUE(stack.write_blocks(8, 4, data).is_ok());
+    ASSERT_TRUE(stack.flush().is_ok());
+    std::vector<std::byte> back(4 * 1024);
+    ASSERT_TRUE(stack.read_blocks(8, 4, back).is_ok());
+    EXPECT_EQ(back, data);
+    EXPECT_GT(sim.now(), 0u); // costs were charged
+}
+
+} // namespace
+} // namespace nesc::blk

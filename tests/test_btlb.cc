@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the block translation lookaside buffer.
+ */
+#include <gtest/gtest.h>
+
+#include "nesc/btlb.h"
+
+namespace nesc::ctrl {
+namespace {
+
+using extent::Extent;
+
+TEST(Btlb, MissOnEmpty)
+{
+    Btlb btlb(8);
+    EXPECT_FALSE(btlb.lookup(1, 100).has_value());
+    EXPECT_EQ(btlb.misses(), 1u);
+    EXPECT_EQ(btlb.hits(), 0u);
+}
+
+TEST(Btlb, HitWithinInsertedExtent)
+{
+    Btlb btlb(8);
+    btlb.insert(1, Extent{100, 50, 9000});
+    auto hit = btlb.lookup(1, 120);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->translate(120), 9020u);
+    EXPECT_FALSE(btlb.lookup(1, 150).has_value()); // one past the end
+    EXPECT_FALSE(btlb.lookup(1, 99).has_value());
+}
+
+TEST(Btlb, FunctionIsolation)
+{
+    // VF 2 must never consume VF 1's cached mapping — this is the
+    // security-critical property of the shared translation cache.
+    Btlb btlb(8);
+    btlb.insert(1, Extent{0, 100, 5000});
+    EXPECT_TRUE(btlb.lookup(1, 50).has_value());
+    EXPECT_FALSE(btlb.lookup(2, 50).has_value());
+}
+
+TEST(Btlb, FifoEvictionOfOldest)
+{
+    Btlb btlb(2);
+    btlb.insert(1, Extent{0, 10, 100});
+    btlb.insert(1, Extent{10, 10, 200});
+    btlb.insert(1, Extent{20, 10, 300}); // evicts the first
+    EXPECT_FALSE(btlb.lookup(1, 5).has_value());
+    EXPECT_TRUE(btlb.lookup(1, 15).has_value());
+    EXPECT_TRUE(btlb.lookup(1, 25).has_value());
+    EXPECT_EQ(btlb.size(), 2u);
+}
+
+TEST(Btlb, DuplicateInsertIgnored)
+{
+    Btlb btlb(8);
+    btlb.insert(1, Extent{0, 10, 100});
+    btlb.insert(1, Extent{0, 10, 100});
+    EXPECT_EQ(btlb.size(), 1u);
+    EXPECT_EQ(btlb.inserts(), 1u);
+}
+
+TEST(Btlb, FlushClearsEverything)
+{
+    Btlb btlb(8);
+    btlb.insert(1, Extent{0, 10, 100});
+    btlb.insert(2, Extent{0, 10, 200});
+    btlb.flush();
+    EXPECT_EQ(btlb.size(), 0u);
+    EXPECT_EQ(btlb.flushes(), 1u);
+    EXPECT_FALSE(btlb.lookup(1, 5).has_value());
+}
+
+TEST(Btlb, FlushFunctionIsSelective)
+{
+    Btlb btlb(8);
+    btlb.insert(1, Extent{0, 10, 100});
+    btlb.insert(2, Extent{0, 10, 200});
+    btlb.flush_function(1);
+    EXPECT_FALSE(btlb.lookup(1, 5).has_value());
+    EXPECT_TRUE(btlb.lookup(2, 5).has_value());
+}
+
+TEST(Btlb, ZeroCapacityNeverCaches)
+{
+    Btlb btlb(0);
+    btlb.insert(1, Extent{0, 10, 100});
+    EXPECT_EQ(btlb.size(), 0u);
+    EXPECT_FALSE(btlb.lookup(1, 5).has_value());
+}
+
+TEST(Btlb, HitRate)
+{
+    Btlb btlb(8);
+    btlb.insert(1, Extent{0, 100, 0});
+    (void)btlb.lookup(1, 1);
+    (void)btlb.lookup(1, 2);
+    (void)btlb.lookup(1, 200); // miss
+    EXPECT_NEAR(btlb.hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Btlb, EightVfWorkingSetFits)
+{
+    // The paper sizes the BTLB so it holds "at least the last mapping
+    // for each of the last 8 VFs it serviced".
+    Btlb btlb(8);
+    for (std::uint16_t fn = 1; fn <= 8; ++fn)
+        btlb.insert(fn, Extent{0, 16, fn * 1000ULL});
+    for (std::uint16_t fn = 1; fn <= 8; ++fn)
+        EXPECT_TRUE(btlb.lookup(fn, 8).has_value()) << fn;
+}
+
+} // namespace
+} // namespace nesc::ctrl

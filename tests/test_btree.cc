@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit and property tests for the disk-resident B+tree index.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+#include "virt/testbed.h"
+#include "workloads/btree.h"
+
+namespace nesc::wl {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+  protected:
+    BTreeTest()
+    {
+        virt::TestbedConfig config;
+        config.device.capacity_bytes = 64ULL << 20;
+        config.host_memory_bytes = 64ULL << 20;
+        bed_ = std::move(virt::Testbed::create(config)).value();
+        vm_ = std::move(bed_->create_nesc_guest("/bt.img", 16384, true))
+                  .value();
+        EXPECT_TRUE(vm_->format_fs().is_ok());
+    }
+
+    std::unique_ptr<BTreeIndex>
+    make_tree(const std::string &path = "/index.btree")
+    {
+        BTreeConfig config;
+        config.path = path;
+        auto tree = BTreeIndex::create(bed_->sim(), *vm_, config);
+        EXPECT_TRUE(tree.is_ok()) << tree.status().to_string();
+        return std::move(tree).value();
+    }
+
+    std::unique_ptr<virt::Testbed> bed_;
+    std::unique_ptr<virt::GuestVm> vm_;
+};
+
+TEST_F(BTreeTest, EmptyTreeLookupsMiss)
+{
+    auto tree = make_tree();
+    auto found = tree->lookup(42);
+    ASSERT_TRUE(found.is_ok());
+    EXPECT_FALSE(found->has_value());
+    EXPECT_EQ(tree->size(), 0u);
+    EXPECT_EQ(tree->height(), 1u);
+}
+
+TEST_F(BTreeTest, InsertLookupRoundTrip)
+{
+    auto tree = make_tree();
+    ASSERT_TRUE(tree->insert(10, 100).is_ok());
+    ASSERT_TRUE(tree->insert(5, 50).is_ok());
+    ASSERT_TRUE(tree->insert(20, 200).is_ok());
+    EXPECT_EQ(tree->size(), 3u);
+    EXPECT_EQ(**tree->lookup(10), 100u);
+    EXPECT_EQ(**tree->lookup(5), 50u);
+    EXPECT_EQ(**tree->lookup(20), 200u);
+    EXPECT_FALSE((*tree->lookup(15)).has_value());
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected)
+{
+    auto tree = make_tree();
+    ASSERT_TRUE(tree->insert(7, 70).is_ok());
+    EXPECT_EQ(tree->insert(7, 71).code(),
+              util::ErrorCode::kAlreadyExists);
+    EXPECT_EQ(**tree->lookup(7), 70u);
+    EXPECT_EQ(tree->size(), 1u);
+}
+
+TEST_F(BTreeTest, EraseRemovesAndAllowsReinsert)
+{
+    auto tree = make_tree();
+    ASSERT_TRUE(tree->insert(3, 30).is_ok());
+    ASSERT_TRUE(tree->erase(3).is_ok());
+    EXPECT_FALSE((*tree->lookup(3)).has_value());
+    EXPECT_EQ(tree->erase(3).code(), util::ErrorCode::kNotFound);
+    ASSERT_TRUE(tree->insert(3, 31).is_ok());
+    EXPECT_EQ(**tree->lookup(3), 31u);
+}
+
+TEST_F(BTreeTest, GrowsThroughLeafAndRootSplits)
+{
+    auto tree = make_tree();
+    // One 4 KiB leaf holds ~254 entries; 2000 forces splits and at
+    // least one root split.
+    for (std::uint64_t k = 0; k < 2000; ++k)
+        ASSERT_TRUE(tree->insert(k * 3, k).is_ok()) << k;
+    EXPECT_GT(tree->height(), 1u);
+    EXPECT_GT(tree->stats().splits, 4u);
+    EXPECT_EQ(tree->size(), 2000u);
+    for (std::uint64_t k = 0; k < 2000; ++k) {
+        auto found = tree->lookup(k * 3);
+        ASSERT_TRUE(found.is_ok());
+        ASSERT_TRUE(found->has_value()) << k;
+        ASSERT_EQ(**found, k);
+        EXPECT_FALSE((*tree->lookup(k * 3 + 1)).has_value());
+    }
+}
+
+TEST_F(BTreeTest, ScanFollowsLeafChain)
+{
+    auto tree = make_tree();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        ASSERT_TRUE(tree->insert(k * 2, k).is_ok());
+    auto scan = tree->scan(500, 100);
+    ASSERT_TRUE(scan.is_ok());
+    ASSERT_EQ(scan->size(), 100u);
+    for (std::size_t i = 0; i < scan->size(); ++i) {
+        EXPECT_EQ((*scan)[i].first, 500 + i * 2);
+        EXPECT_EQ((*scan)[i].second, (500 + i * 2) / 2);
+    }
+    // Scan past the end returns what exists.
+    auto tail = tree->scan(1990, 100);
+    ASSERT_TRUE(tail.is_ok());
+    EXPECT_EQ(tail->size(), 5u); // 1990..1998
+}
+
+TEST_F(BTreeTest, PersistsAcrossFlushAndReopen)
+{
+    BTreeConfig config;
+    config.path = "/persist.btree";
+    {
+        auto tree = BTreeIndex::create(bed_->sim(), *vm_, config);
+        ASSERT_TRUE(tree.is_ok());
+        for (std::uint64_t k = 0; k < 600; ++k)
+            ASSERT_TRUE((*tree)->insert(k, k * 10).is_ok());
+        ASSERT_TRUE((*tree)->flush().is_ok());
+    }
+    auto tree = BTreeIndex::open(bed_->sim(), *vm_, config);
+    ASSERT_TRUE(tree.is_ok()) << tree.status().to_string();
+    EXPECT_EQ((*tree)->size(), 600u);
+    for (std::uint64_t k = 0; k < 600; ++k)
+        ASSERT_EQ(**(*tree)->lookup(k), k * 10) << k;
+}
+
+class BTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreeProperty, RandomOpsMatchStdMap)
+{
+    virt::TestbedConfig config;
+    config.device.capacity_bytes = 64ULL << 20;
+    config.host_memory_bytes = 64ULL << 20;
+    auto bed = std::move(virt::Testbed::create(config)).value();
+    auto vm =
+        std::move(bed->create_nesc_guest("/btp.img", 16384, true)).value();
+    ASSERT_TRUE(vm->format_fs().is_ok());
+    BTreeConfig tree_config;
+    tree_config.pool_pages = 8; // small pool: force eviction traffic
+    auto tree =
+        std::move(BTreeIndex::create(bed->sim(), *vm, tree_config)).value();
+
+    util::Rng rng(GetParam());
+    std::map<std::uint64_t, std::uint64_t> reference;
+    for (int op = 0; op < 3000; ++op) {
+        const std::uint64_t key = rng.next_below(800); // dense: collisions
+        const int kind = static_cast<int>(rng.next_below(10));
+        if (kind < 5) { // insert
+            const std::uint64_t value = rng.next();
+            auto status = tree->insert(key, value);
+            if (reference.contains(key)) {
+                ASSERT_EQ(status.code(), util::ErrorCode::kAlreadyExists);
+            } else {
+                ASSERT_TRUE(status.is_ok());
+                reference[key] = value;
+            }
+        } else if (kind < 8) { // lookup
+            auto found = tree->lookup(key);
+            ASSERT_TRUE(found.is_ok());
+            auto it = reference.find(key);
+            if (it == reference.end()) {
+                ASSERT_FALSE(found->has_value()) << "key " << key;
+            } else {
+                ASSERT_TRUE(found->has_value()) << "key " << key;
+                ASSERT_EQ(**found, it->second);
+            }
+        } else { // erase
+            auto status = tree->erase(key);
+            if (reference.erase(key))
+                ASSERT_TRUE(status.is_ok());
+            else
+                ASSERT_EQ(status.code(), util::ErrorCode::kNotFound);
+        }
+        ASSERT_EQ(tree->size(), reference.size());
+    }
+
+    // Full-content comparison via a scan.
+    auto all = tree->scan(0, reference.size() + 10);
+    ASSERT_TRUE(all.is_ok());
+    ASSERT_EQ(all->size(), reference.size());
+    auto it = reference.begin();
+    for (const auto &[key, value] : *all) {
+        ASSERT_EQ(key, it->first);
+        ASSERT_EQ(value, it->second);
+        ++it;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeProperty,
+                         ::testing::Values(101, 202, 303));
+
+} // namespace
+} // namespace nesc::wl

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the host-side drivers: FunctionDriver (rings, async
+ * submissions, sync wrappers, BlockIo adapter) and PfDriver (VF
+ * lifecycle, tree construction from FIEMAP, fault service, pruning,
+ * allocation denial).
+ */
+#include <gtest/gtest.h>
+
+#include "extent/walker.h"
+#include "fs/extent_map.h"
+#include "virt/testbed.h"
+#include "workloads/dd.h"
+
+namespace nesc::drv {
+namespace {
+
+virt::TestbedConfig
+small_config()
+{
+    virt::TestbedConfig config;
+    config.device.capacity_bytes = 64ULL << 20;
+    config.host_memory_bytes = 64ULL << 20;
+    return config;
+}
+
+class DriversTest : public ::testing::Test {
+  protected:
+    DriversTest()
+    {
+        auto bed = virt::Testbed::create(small_config());
+        EXPECT_TRUE(bed.is_ok()) << bed.status().to_string();
+        bed_ = std::move(bed).value();
+    }
+
+    std::unique_ptr<virt::Testbed> bed_;
+};
+
+// --- FunctionDriver -----------------------------------------------------
+
+TEST_F(DriversTest, PfSyncRoundTrip)
+{
+    auto &pf = bed_->pf().pf_data();
+    const std::uint64_t base =
+        bed_->device().geometry().num_blocks() - 128;
+    std::vector<std::byte> out(8 * 1024), in(8 * 1024);
+    wl::fill_pattern(21, 0, out);
+    ASSERT_TRUE(pf.write_sync(base, 8, out).is_ok());
+    ASSERT_TRUE(pf.read_sync(base, 8, in).is_ok());
+    EXPECT_EQ(out, in);
+    EXPECT_GE(pf.submitted(), 4u); // split into 4 KiB commands
+    EXPECT_EQ(pf.completed(), pf.submitted() - 2); // 2 requests, many chunks
+}
+
+TEST_F(DriversTest, AsyncSubmissionsCompleteIndependently)
+{
+    auto &pf = bed_->pf().pf_data();
+    const std::uint64_t base =
+        bed_->device().geometry().num_blocks() - 64;
+    auto buffer = bed_->host_memory().alloc(16 * 1024, 64);
+    ASSERT_TRUE(buffer.is_ok());
+    int completions = 0;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(pf.submit(ctrl::Opcode::kRead, base + i * 4, 4,
+                              *buffer + i * 4096,
+                              [&](ctrl::CompletionStatus s) {
+                                  EXPECT_EQ(s,
+                                            ctrl::CompletionStatus::kOk);
+                                  ++completions;
+                              })
+                        .is_ok());
+    }
+    bed_->sim().run_until_idle();
+    EXPECT_EQ(completions, 4);
+}
+
+TEST_F(DriversTest, SubmitValidatesArguments)
+{
+    auto &pf = bed_->pf().pf_data();
+    EXPECT_FALSE(
+        pf.submit(ctrl::Opcode::kRead, 0, 0, 4096, nullptr).is_ok());
+}
+
+TEST_F(DriversTest, SyncBufferSizeMismatchRejected)
+{
+    auto &pf = bed_->pf().pf_data();
+    std::vector<std::byte> wrong(100);
+    EXPECT_FALSE(pf.read_sync(0, 1, wrong).is_ok());
+    EXPECT_FALSE(pf.write_sync(0, 1, wrong).is_ok());
+}
+
+TEST_F(DriversTest, RegisterAccessHelpers)
+{
+    auto &pf = bed_->pf().pf_data();
+    auto size = pf.device_size_blocks();
+    ASSERT_TRUE(size.is_ok());
+    EXPECT_EQ(*size, bed_->device().geometry().num_blocks());
+}
+
+// --- PfDriver: VF management ----------------------------------------------
+
+TEST_F(DriversTest, CreateVfBuildsTreeMatchingFiemap)
+{
+    auto ino = bed_->create_backing_file("/tree.img", 2048, true);
+    ASSERT_TRUE(ino.is_ok());
+    auto fn = bed_->pf().create_vf(*ino, 2048);
+    ASSERT_TRUE(fn.is_ok());
+
+    // The serialized tree must enumerate to exactly the FIEMAP.
+    auto root =
+        bed_->controller().mmio_read(*fn, ctrl::reg::kExtentTreeRoot, 8);
+    ASSERT_TRUE(root.is_ok());
+    auto from_tree = extent::enumerate(bed_->host_memory(), *root);
+    ASSERT_TRUE(from_tree.is_ok());
+    auto from_fs = bed_->hv_fs().fiemap(*ino);
+    ASSERT_TRUE(from_fs.is_ok());
+    EXPECT_EQ(*from_tree, *from_fs);
+}
+
+TEST_F(DriversTest, DeleteVfReleasesTreeMemory)
+{
+    auto ino = bed_->create_backing_file("/del.img", 1024, true);
+    ASSERT_TRUE(ino.is_ok());
+    const std::uint64_t before = bed_->host_memory().allocated_bytes();
+    auto fn = bed_->pf().create_vf(*ino, 1024);
+    ASSERT_TRUE(fn.is_ok());
+    EXPECT_GT(bed_->host_memory().allocated_bytes(), before);
+    ASSERT_TRUE(bed_->pf().delete_vf(*fn).is_ok());
+    EXPECT_EQ(bed_->host_memory().allocated_bytes(), before);
+    EXPECT_FALSE(bed_->controller().is_active(*fn));
+    EXPECT_FALSE(bed_->pf().delete_vf(*fn).is_ok()); // double delete
+}
+
+TEST_F(DriversTest, WriteMissServiceAllocatesAndResumes)
+{
+    auto vm = bed_->create_nesc_guest("/lazy.img", 4096, false);
+    ASSERT_TRUE(vm.is_ok());
+    std::vector<std::byte> data(4 * 1024, std::byte{0x2d});
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(100, 4, data).is_ok());
+    EXPECT_GE(bed_->pf().write_misses_serviced(), 1u);
+    EXPECT_GE(bed_->pf().faults_serviced(), 1u);
+
+    // The hypervisor file now has the blocks allocated.
+    auto ino = bed_->hv_fs().resolve("/lazy.img");
+    ASSERT_TRUE(ino.is_ok());
+    auto extents = bed_->hv_fs().fiemap(*ino);
+    ASSERT_TRUE(extents.is_ok());
+    EXPECT_TRUE(fs::map_lookup(*extents, 100).has_value());
+}
+
+TEST_F(DriversTest, AllocationBatchingAmortizesFaults)
+{
+    // Streaming 128 KiB into a lazy image with a 32-block batch should
+    // fault ~4 times, not 128.
+    auto vm = bed_->create_nesc_guest("/batch.img", 4096, false);
+    ASSERT_TRUE(vm.is_ok());
+    std::vector<std::byte> data(128 * 1024, std::byte{1});
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(0, 128, data).is_ok());
+    EXPECT_LE(bed_->pf().write_misses_serviced(), 8u);
+    EXPECT_GE(bed_->pf().write_misses_serviced(), 2u);
+}
+
+TEST_F(DriversTest, AllocationDeniedFailsWrites)
+{
+    auto vm = bed_->create_nesc_guest("/quota.img", 4096, false);
+    ASSERT_TRUE(vm.is_ok());
+    auto fn = bed_->guest_vf(**vm);
+    ASSERT_TRUE(fn.is_ok());
+    bed_->pf().set_allocation_denied(*fn, true);
+
+    std::vector<std::byte> data(1024, std::byte{1});
+    auto status = (*vm)->raw_disk().write_blocks(0, 1, data);
+    EXPECT_FALSE(status.is_ok());
+
+    // Re-enable and retry: the write now succeeds.
+    bed_->pf().set_allocation_denied(*fn, false);
+    EXPECT_TRUE((*vm)->raw_disk().write_blocks(0, 1, data).is_ok());
+}
+
+TEST_F(DriversTest, PruneFaultRegeneratesMapping)
+{
+    auto vm = bed_->create_nesc_guest("/prune.img", 2048, true);
+    ASSERT_TRUE(vm.is_ok());
+    auto fn = bed_->guest_vf(**vm);
+    ASSERT_TRUE(fn.is_ok());
+
+    std::vector<std::byte> data(1024, std::byte{0x5e});
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(700, 1, data).is_ok());
+
+    // Fragment the mapping enough to have internal nodes, then prune.
+    // (A preallocated contiguous file may be a single extent; prune of
+    // a leaf-only tree is a no-op, so this exercise only asserts when
+    // subtrees were actually pruned.)
+    auto pruned = bed_->pf().prune_vf_tree(*fn, 0, 2048);
+    ASSERT_TRUE(pruned.is_ok());
+    ASSERT_TRUE(bed_->pf().flush_btlb().is_ok());
+
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE((*vm)->raw_disk().read_blocks(700, 1, back).is_ok());
+    EXPECT_EQ(back, data);
+    if (*pruned > 0) {
+        EXPECT_GE(bed_->pf().prune_faults_serviced(), 1u);
+    }
+}
+
+TEST_F(DriversTest, TrampolineModeStillMovesCorrectData)
+{
+    virt::TestbedConfig config = small_config();
+    config.vf_driver.trampoline = true;
+    auto bed = virt::Testbed::create(config);
+    ASSERT_TRUE(bed.is_ok());
+    auto vm = (*bed)->create_nesc_guest("/t.img", 1024, true);
+    ASSERT_TRUE(vm.is_ok());
+    std::vector<std::byte> out(4 * 1024), in(4 * 1024);
+    wl::fill_pattern(5, 0, out);
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(0, 4, out).is_ok());
+    ASSERT_TRUE((*vm)->raw_disk().read_blocks(0, 4, in).is_ok());
+    EXPECT_EQ(out, in);
+}
+
+TEST_F(DriversTest, MultipleVfsOverDistinctFiles)
+{
+    std::vector<std::unique_ptr<virt::GuestVm>> vms;
+    for (int i = 0; i < 3; ++i) {
+        auto vm = bed_->create_nesc_guest(
+            "/multi" + std::to_string(i) + ".img", 1024, true);
+        ASSERT_TRUE(vm.is_ok()) << vm.status().to_string();
+        vms.push_back(std::move(vm).value());
+    }
+    EXPECT_EQ(bed_->pf().vfs().size(), 3u);
+    // Each writes its own pattern; all must read back correctly.
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+        std::vector<std::byte> data(1024,
+                                    static_cast<std::byte>(0x10 + i));
+        ASSERT_TRUE(
+            vms[i]->raw_disk().write_blocks(10, 1, data).is_ok());
+    }
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+        std::vector<std::byte> back(1024);
+        ASSERT_TRUE(vms[i]->raw_disk().read_blocks(10, 1, back).is_ok());
+        EXPECT_EQ(back[0], static_cast<std::byte>(0x10 + i));
+    }
+}
+
+} // namespace
+} // namespace nesc::drv

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the paper's §IV.D extension features implemented beyond
+ * the prototype: shared extent trees, QoS arbitration weights,
+ * device-side statistics registers, interrupt coalescing, and the
+ * dedup/BTLB-flush interaction.
+ */
+#include <gtest/gtest.h>
+
+#include "extent/walker.h"
+#include "util/rng.h"
+#include "virt/testbed.h"
+#include "workloads/dd.h"
+
+namespace nesc {
+namespace {
+
+virt::TestbedConfig
+small_config()
+{
+    virt::TestbedConfig config;
+    config.device.capacity_bytes = 64ULL << 20;
+    config.host_memory_bytes = 64ULL << 20;
+    return config;
+}
+
+class ExtensionsTest : public ::testing::Test {
+  protected:
+    ExtensionsTest()
+    {
+        auto bed = virt::Testbed::create(small_config());
+        EXPECT_TRUE(bed.is_ok()) << bed.status().to_string();
+        bed_ = std::move(bed).value();
+    }
+
+    std::unique_ptr<virt::Testbed> bed_;
+};
+
+// --- Shared extent trees (paper §IV.B) --------------------------------------
+
+TEST_F(ExtensionsTest, SharedTreeVfsSeeEachOthersWrites)
+{
+    auto ino = bed_->create_backing_file("/shared.img", 4096, true);
+    ASSERT_TRUE(ino.is_ok());
+    auto fn1 = bed_->pf().create_vf(*ino, 4096);
+    ASSERT_TRUE(fn1.is_ok());
+    auto fn2 = bed_->pf().create_vf_shared(*fn1, 4096);
+    ASSERT_TRUE(fn2.is_ok()) << fn2.status().to_string();
+    EXPECT_NE(*fn1, *fn2);
+
+    // Both VFs report the same tree root.
+    auto root1 =
+        bed_->controller().mmio_read(*fn1, ctrl::reg::kExtentTreeRoot, 8);
+    auto root2 =
+        bed_->controller().mmio_read(*fn2, ctrl::reg::kExtentTreeRoot, 8);
+    ASSERT_TRUE(root1.is_ok() && root2.is_ok());
+    EXPECT_EQ(*root1, *root2);
+
+    // Data written through one VF reads back through the other.
+    drv::FunctionDriver d1(bed_->sim(), bed_->host_memory(), bed_->bar(),
+                           bed_->irq(), *fn1, bed_->config().vf_driver);
+    drv::FunctionDriver d2(bed_->sim(), bed_->host_memory(), bed_->bar(),
+                           bed_->irq(), *fn2, bed_->config().vf_driver);
+    ASSERT_TRUE(d1.init().is_ok());
+    ASSERT_TRUE(d2.init().is_ok());
+    std::vector<std::byte> out(4 * 1024), in(4 * 1024);
+    wl::fill_pattern(71, 0, out);
+    ASSERT_TRUE(d1.write_sync(100, 4, out).is_ok());
+    ASSERT_TRUE(d2.read_sync(100, 4, in).is_ok());
+    EXPECT_EQ(out, in);
+}
+
+TEST_F(ExtensionsTest, SharedTreeOwnerDeleteRefusedUntilSharersGone)
+{
+    auto ino = bed_->create_backing_file("/owner.img", 1024, true);
+    ASSERT_TRUE(ino.is_ok());
+    auto fn1 = bed_->pf().create_vf(*ino, 1024);
+    ASSERT_TRUE(fn1.is_ok());
+    auto fn2 = bed_->pf().create_vf_shared(*fn1, 1024);
+    ASSERT_TRUE(fn2.is_ok());
+
+    EXPECT_EQ(bed_->pf().delete_vf(*fn1).code(),
+              util::ErrorCode::kFailedPrecondition);
+    ASSERT_TRUE(bed_->pf().delete_vf(*fn2).is_ok());
+    EXPECT_TRUE(bed_->pf().delete_vf(*fn1).is_ok());
+}
+
+TEST_F(ExtensionsTest, SharedTreeFaultServiceUpdatesAllSharers)
+{
+    // Lazy image: a write through VF2 faults; after service both VFs
+    // must be able to read the block through the rebuilt shared tree.
+    auto ino = bed_->create_backing_file("/lazy-shared.img", 4096, false);
+    ASSERT_TRUE(ino.is_ok());
+    auto fn1 = bed_->pf().create_vf(*ino, 4096);
+    ASSERT_TRUE(fn1.is_ok());
+    auto fn2 = bed_->pf().create_vf_shared(*fn1, 4096);
+    ASSERT_TRUE(fn2.is_ok());
+
+    drv::FunctionDriver d1(bed_->sim(), bed_->host_memory(), bed_->bar(),
+                           bed_->irq(), *fn1, bed_->config().vf_driver);
+    drv::FunctionDriver d2(bed_->sim(), bed_->host_memory(), bed_->bar(),
+                           bed_->irq(), *fn2, bed_->config().vf_driver);
+    ASSERT_TRUE(d1.init().is_ok());
+    ASSERT_TRUE(d2.init().is_ok());
+
+    std::vector<std::byte> out(1024), in(1024);
+    wl::fill_pattern(72, 0, out);
+    ASSERT_TRUE(d2.write_sync(500, 1, out).is_ok());
+    EXPECT_GE(bed_->pf().write_misses_serviced(), 1u);
+    ASSERT_TRUE(d1.read_sync(500, 1, in).is_ok());
+    EXPECT_EQ(out, in);
+
+    // Roots stayed in sync after the rebuild.
+    auto root1 =
+        bed_->controller().mmio_read(*fn1, ctrl::reg::kExtentTreeRoot, 8);
+    auto root2 =
+        bed_->controller().mmio_read(*fn2, ctrl::reg::kExtentTreeRoot, 8);
+    EXPECT_EQ(*root1, *root2);
+}
+
+// --- QoS weights (paper §IV.D) ------------------------------------------------
+
+TEST_F(ExtensionsTest, QosWeightRegisterRoundTrip)
+{
+    auto vm = bed_->create_nesc_guest("/qos.img", 1024, true);
+    ASSERT_TRUE(vm.is_ok());
+    auto fn = bed_->guest_vf(**vm);
+    ASSERT_TRUE(fn.is_ok());
+    EXPECT_EQ(*bed_->controller().mmio_read(*fn, ctrl::reg::kQosWeight, 8),
+              1u);
+    ASSERT_TRUE(bed_->pf().set_qos_weight(*fn, 4).is_ok());
+    EXPECT_EQ(*bed_->controller().mmio_read(*fn, ctrl::reg::kQosWeight, 8),
+              4u);
+    // Weight 0 and unknown VF rejected.
+    EXPECT_FALSE(bed_->pf().set_qos_weight(*fn, 0).is_ok());
+    EXPECT_FALSE(bed_->pf().set_qos_weight(63, 2).is_ok());
+}
+
+TEST_F(ExtensionsTest, QosWeightSkewsServiceShare)
+{
+    // Two equally aggressive closed-loop clients; VF1 gets weight 4.
+    auto vm1 = bed_->create_nesc_guest("/qos1.img", 8192, true);
+    auto vm2 = bed_->create_nesc_guest("/qos2.img", 8192, true);
+    ASSERT_TRUE(vm1.is_ok() && vm2.is_ok());
+    auto fn1 = *bed_->guest_vf(**vm1);
+    auto fn2 = *bed_->guest_vf(**vm2);
+    ASSERT_TRUE(bed_->pf().set_qos_weight(fn1, 4).is_ok());
+
+    struct Client {
+        std::unique_ptr<drv::FunctionDriver> driver;
+        pcie::HostAddr buffer;
+        std::uint64_t completed = 0;
+        util::Rng rng{11};
+    };
+    Client clients[2];
+    const pcie::FunctionId fns[2] = {fn1, fn2};
+    for (int i = 0; i < 2; ++i) {
+        clients[i].driver = std::make_unique<drv::FunctionDriver>(
+            bed_->sim(), bed_->host_memory(), bed_->bar(), bed_->irq(),
+            fns[i], bed_->config().vf_driver);
+        ASSERT_TRUE(clients[i].driver->init().is_ok());
+        auto buf = bed_->host_memory().alloc(4096ULL * 16, 64);
+        ASSERT_TRUE(buf.is_ok());
+        clients[i].buffer = *buf;
+    }
+    const sim::Time deadline = bed_->sim().now() + 20 * sim::kMs;
+    std::function<void(int, std::uint32_t)> submit =
+        [&](int i, std::uint32_t slot) {
+            if (bed_->sim().now() >= deadline)
+                return;
+            (void)clients[i].driver->submit(
+                ctrl::Opcode::kRead,
+                clients[i].rng.next_below(8192 - 4), 4,
+                clients[i].buffer + slot * 4096,
+                [&, i, slot](ctrl::CompletionStatus) {
+                    ++clients[i].completed;
+                    submit(i, slot);
+                });
+        };
+    for (int i = 0; i < 2; ++i)
+        for (std::uint32_t slot = 0; slot < 16; ++slot)
+            submit(i, slot);
+    bed_->sim().run_until(deadline);
+    bed_->sim().run_until_idle();
+
+    // The weighted VF must receive measurably more service; with both
+    // saturating the device, roughly weight-proportional.
+    EXPECT_GT(clients[0].completed, clients[1].completed * 2);
+}
+
+// --- Stats registers ------------------------------------------------------------
+
+TEST_F(ExtensionsTest, StatsRegistersTrackTraffic)
+{
+    auto vm = bed_->create_nesc_guest("/stats.img", 1024, true);
+    ASSERT_TRUE(vm.is_ok());
+    auto fn = *bed_->guest_vf(**vm);
+    std::vector<std::byte> buf(8 * 1024);
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(0, 8, buf).is_ok());
+    ASSERT_TRUE((*vm)->raw_disk().read_blocks(0, 8, buf).is_ok());
+    EXPECT_EQ(*bed_->controller().mmio_read(
+                  fn, ctrl::reg::kStatBlocksWritten, 8),
+              8u);
+    EXPECT_EQ(
+        *bed_->controller().mmio_read(fn, ctrl::reg::kStatBlocksRead, 8),
+        8u);
+    EXPECT_EQ(*bed_->controller().mmio_read(fn, ctrl::reg::kStatFaults, 8),
+              0u);
+}
+
+// --- Interrupt coalescing ---------------------------------------------------------
+
+TEST(InterruptCoalescing, FewerMsisSameData)
+{
+    virt::TestbedConfig config;
+    config.device.capacity_bytes = 64ULL << 20;
+    config.host_memory_bytes = 64ULL << 20;
+    config.controller.irq_coalesce = 20 * sim::kUs;
+    auto bed = virt::Testbed::create(config);
+    ASSERT_TRUE(bed.is_ok());
+    auto vm = (*bed)->create_nesc_guest("/coal.img", 8192, true);
+    ASSERT_TRUE(vm.is_ok());
+
+    // Async burst: 16 requests in flight, coalesced completions.
+    auto fn = *(*bed)->guest_vf(**vm);
+    drv::FunctionDriver driver((*bed)->sim(), (*bed)->host_memory(),
+                               (*bed)->bar(), (*bed)->irq(), fn,
+                               (*bed)->config().vf_driver);
+    ASSERT_TRUE(driver.init().is_ok());
+    auto buffer = (*bed)->host_memory().alloc(16 * 4096, 64);
+    ASSERT_TRUE(buffer.is_ok());
+    int completed = 0;
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(driver
+                        .submit(ctrl::Opcode::kRead, i * 4, 4,
+                                *buffer + i * 4096,
+                                [&](ctrl::CompletionStatus s) {
+                                    EXPECT_EQ(
+                                        s, ctrl::CompletionStatus::kOk);
+                                    ++completed;
+                                })
+                        .is_ok());
+    }
+    (*bed)->sim().run_until_idle();
+    EXPECT_EQ(completed, 16);
+    // Far fewer interrupts than completions were raised for this VF.
+    EXPECT_GT((*bed)->controller().counters().get("irqs_coalesced"), 0u);
+    EXPECT_LT((*bed)->irq().raised(), 16u + 4u /* faults, mgmt */);
+}
+
+// --- Dedup + BTLB flush (paper §V.B) -------------------------------------------
+
+TEST_F(ExtensionsTest, DedupStyleRemapWithBtlbFlush)
+{
+    // The hypervisor moves a file's physical blocks (as dedup or
+    // defrag would), rebuilds the VF tree, and flushes the BTLB so no
+    // stale translation survives. The VF must read the same data from
+    // the new location.
+    auto ino = bed_->create_backing_file("/dedup.img", 256, true);
+    ASSERT_TRUE(ino.is_ok());
+    auto vm = bed_->create_nesc_guest("/dedup.img", 256, true);
+    ASSERT_TRUE(vm.is_ok());
+    auto fn = *bed_->guest_vf(**vm);
+
+    std::vector<std::byte> data(1024);
+    wl::fill_pattern(77, 0, data);
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(10, 1, data).is_ok());
+
+    // Hypervisor-side move: copy the file to a new file (new physical
+    // blocks), then repoint the VF at the copy's mapping by rebuilding
+    // a tree from the new file and flushing the BTLB.
+    auto &fs = bed_->hv_fs();
+    std::vector<std::byte> whole(256 * 1024);
+    ASSERT_TRUE(fs.read(*ino, 0, whole).is_ok());
+    auto copy = fs.create("/dedup-copy.img", 0644);
+    ASSERT_TRUE(copy.is_ok());
+    ASSERT_TRUE(fs.write(*copy, 0, whole).is_ok());
+    ASSERT_TRUE(fs.sync().is_ok());
+    auto extents = fs.fiemap(*copy);
+    ASSERT_TRUE(extents.is_ok());
+    auto image = extent::ExtentTreeImage::build(bed_->host_memory(),
+                                                *extents);
+    ASSERT_TRUE(image.is_ok());
+    ASSERT_TRUE(bed_->controller()
+                    .mmio_write(fn, ctrl::reg::kExtentTreeRoot,
+                                image->root(), 8)
+                    .is_ok());
+    ASSERT_TRUE(bed_->pf().flush_btlb().is_ok());
+
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE((*vm)->raw_disk().read_blocks(10, 1, back).is_ok());
+    EXPECT_EQ(back, data);
+}
+
+} // namespace
+} // namespace nesc

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit and property tests for the extent-tree module: wire layout,
+ * builder, software walker, pruning, and lifecycle.
+ */
+#include <gtest/gtest.h>
+
+#include "extent/tree_image.h"
+#include "extent/types.h"
+#include "extent/walker.h"
+#include "util/rng.h"
+
+namespace nesc::extent {
+namespace {
+
+// --- Types ------------------------------------------------------------
+
+TEST(ExtentTypes, ContainsAndTranslate)
+{
+    Extent e{100, 50, 7000};
+    EXPECT_TRUE(e.contains(100));
+    EXPECT_TRUE(e.contains(149));
+    EXPECT_FALSE(e.contains(150));
+    EXPECT_FALSE(e.contains(99));
+    EXPECT_EQ(e.translate(100), 7000u);
+    EXPECT_EQ(e.translate(149), 7049u);
+    EXPECT_EQ(e.end_vblock(), 150u);
+}
+
+TEST(ExtentTypes, ListValidation)
+{
+    EXPECT_TRUE(is_valid_extent_list({}));
+    EXPECT_TRUE(is_valid_extent_list({{0, 5, 10}, {5, 5, 100}}));
+    EXPECT_TRUE(is_valid_extent_list({{0, 5, 10}, {8, 5, 100}})); // gap ok
+    EXPECT_FALSE(is_valid_extent_list({{0, 5, 10}, {4, 5, 100}})); // overlap
+    EXPECT_FALSE(is_valid_extent_list({{5, 5, 10}, {0, 3, 100}})); // unsorted
+    EXPECT_FALSE(is_valid_extent_list({{0, 0, 10}}));              // empty
+    EXPECT_EQ(total_mapped_blocks({{0, 5, 0}, {9, 7, 0}}), 12u);
+}
+
+// --- Builder shapes ----------------------------------------------------
+
+TEST(TreeImage, EmptyListYieldsLeafRoot)
+{
+    pcie::HostMemory mem(1 << 20);
+    auto image = ExtentTreeImage::build(mem, {});
+    ASSERT_TRUE(image.is_ok());
+    EXPECT_EQ(image->depth(), 0u);
+    EXPECT_EQ(image->num_nodes(), 1u);
+    auto result = lookup(mem, image->root(), 0);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result->outcome, LookupOutcome::kHole);
+}
+
+TEST(TreeImage, SingleExtentSingleLeaf)
+{
+    pcie::HostMemory mem(1 << 20);
+    auto image = ExtentTreeImage::build(mem, {{0, 1000, 5000}});
+    ASSERT_TRUE(image.is_ok());
+    EXPECT_EQ(image->depth(), 0u);
+    EXPECT_EQ(image->num_nodes(), 1u);
+    auto result = lookup(mem, image->root(), 512);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result->outcome, LookupOutcome::kMapped);
+    EXPECT_EQ(result->extent.translate(512), 5512u);
+    EXPECT_EQ(result->nodes_visited, 1u);
+}
+
+TEST(TreeImage, GrowsLevelsWithExtentCount)
+{
+    pcie::HostMemory mem(8 << 20);
+    TreeConfig config;
+    config.fanout = 4;
+    ExtentList extents;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        extents.push_back(Extent{i * 2, 1, 100 + i});
+    auto image = ExtentTreeImage::build(mem, extents, config);
+    ASSERT_TRUE(image.is_ok());
+    // 64 extents at fanout 4: leaves 16 -> 4 -> 1 root. Depth 2.
+    EXPECT_EQ(image->depth(), 2u);
+    EXPECT_EQ(image->num_nodes(), 16u + 4u + 1u);
+}
+
+TEST(TreeImage, RejectsBadInput)
+{
+    pcie::HostMemory mem(1 << 20);
+    EXPECT_FALSE(
+        ExtentTreeImage::build(mem, {{4, 5, 0}, {0, 3, 0}}).is_ok());
+    TreeConfig config;
+    config.fanout = 1;
+    EXPECT_FALSE(ExtentTreeImage::build(mem, {}, config).is_ok());
+}
+
+TEST(TreeImage, DestroyReleasesAllMemory)
+{
+    pcie::HostMemory mem(8 << 20);
+    const std::uint64_t baseline = mem.allocated_bytes();
+    {
+        ExtentList extents;
+        for (std::uint64_t i = 0; i < 500; ++i)
+            extents.push_back(Extent{i * 3, 2, i * 10});
+        auto image = ExtentTreeImage::build(mem, extents);
+        ASSERT_TRUE(image.is_ok());
+        EXPECT_GT(mem.allocated_bytes(), baseline);
+        // Destructor runs here.
+    }
+    EXPECT_EQ(mem.allocated_bytes(), baseline);
+}
+
+TEST(TreeImage, MoveTransfersOwnership)
+{
+    pcie::HostMemory mem(1 << 20);
+    auto image = ExtentTreeImage::build(mem, {{0, 10, 50}});
+    ASSERT_TRUE(image.is_ok());
+    ExtentTreeImage moved = std::move(image).value();
+    EXPECT_NE(moved.root(), pcie::kNullHostAddr);
+    EXPECT_EQ(moved.num_nodes(), 1u);
+    ASSERT_TRUE(moved.destroy().is_ok());
+    EXPECT_EQ(mem.allocated_bytes(), 0u);
+}
+
+// --- Walker outcomes ------------------------------------------------------
+
+TEST(Walker, HoleBetweenExtents)
+{
+    pcie::HostMemory mem(1 << 20);
+    auto image =
+        ExtentTreeImage::build(mem, {{0, 10, 100}, {20, 10, 200}});
+    ASSERT_TRUE(image.is_ok());
+    auto hole = lookup(mem, image->root(), 15);
+    ASSERT_TRUE(hole.is_ok());
+    EXPECT_EQ(hole->outcome, LookupOutcome::kHole);
+    auto past = lookup(mem, image->root(), 35);
+    ASSERT_TRUE(past.is_ok());
+    EXPECT_EQ(past->outcome, LookupOutcome::kHole);
+}
+
+TEST(Walker, ExactBoundaries)
+{
+    pcie::HostMemory mem(1 << 20);
+    auto image = ExtentTreeImage::build(mem, {{10, 5, 100}});
+    ASSERT_TRUE(image.is_ok());
+    EXPECT_EQ(lookup(mem, image->root(), 9)->outcome,
+              LookupOutcome::kHole);
+    EXPECT_EQ(lookup(mem, image->root(), 10)->outcome,
+              LookupOutcome::kMapped);
+    EXPECT_EQ(lookup(mem, image->root(), 14)->outcome,
+              LookupOutcome::kMapped);
+    EXPECT_EQ(lookup(mem, image->root(), 15)->outcome,
+              LookupOutcome::kHole);
+}
+
+TEST(Walker, NullRootRejected)
+{
+    pcie::HostMemory mem(4096);
+    EXPECT_FALSE(lookup(mem, pcie::kNullHostAddr, 0).is_ok());
+    EXPECT_FALSE(enumerate(mem, pcie::kNullHostAddr).is_ok());
+}
+
+TEST(Walker, CorruptNodeDetected)
+{
+    pcie::HostMemory mem(4096);
+    ASSERT_TRUE(mem.fill_zero(64, 128).is_ok());
+    auto result = lookup(mem, 64, 0);
+    EXPECT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), util::ErrorCode::kDataLoss);
+}
+
+TEST(Walker, VisitsOneNodePerLevel)
+{
+    pcie::HostMemory mem(8 << 20);
+    TreeConfig config;
+    config.fanout = 4;
+    ExtentList extents;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        extents.push_back(Extent{i, 1, i + 1000});
+    auto image = ExtentTreeImage::build(mem, extents, config);
+    ASSERT_TRUE(image.is_ok());
+    auto result = lookup(mem, image->root(), 33);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result->outcome, LookupOutcome::kMapped);
+    EXPECT_EQ(result->nodes_visited, image->depth() + 1);
+}
+
+TEST(Walker, EnumerateReturnsOriginalExtents)
+{
+    pcie::HostMemory mem(8 << 20);
+    TreeConfig config;
+    config.fanout = 5;
+    ExtentList extents;
+    for (std::uint64_t i = 0; i < 123; ++i)
+        extents.push_back(Extent{i * 4, 3, i * 100});
+    auto image = ExtentTreeImage::build(mem, extents, config);
+    ASSERT_TRUE(image.is_ok());
+    auto out = enumerate(mem, image->root());
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(*out, extents);
+}
+
+// --- Pruning ----------------------------------------------------------------
+
+TEST(TreeImage, PruneMakesSubtreeUnreachable)
+{
+    pcie::HostMemory mem(8 << 20);
+    TreeConfig config;
+    config.fanout = 4;
+    ExtentList extents;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        extents.push_back(Extent{i, 1, i + 1000});
+    auto image = ExtentTreeImage::build(mem, extents, config);
+    ASSERT_TRUE(image.is_ok());
+    const std::size_t nodes_before = image->num_nodes();
+
+    auto pruned = image->prune_range(16, 16);
+    ASSERT_TRUE(pruned.is_ok());
+    EXPECT_GE(*pruned, 1u);
+    EXPECT_LT(image->num_nodes(), nodes_before);
+    EXPECT_EQ(image->pruned_count(), *pruned);
+
+    // Inside the pruned range: kPruned. Outside: still mapped.
+    EXPECT_EQ(lookup(mem, image->root(), 20)->outcome,
+              LookupOutcome::kPruned);
+    EXPECT_EQ(lookup(mem, image->root(), 5)->outcome,
+              LookupOutcome::kMapped);
+    EXPECT_EQ(lookup(mem, image->root(), 50)->outcome,
+              LookupOutcome::kMapped);
+}
+
+TEST(TreeImage, PruneLeafOnlyTreeIsNoop)
+{
+    pcie::HostMemory mem(1 << 20);
+    auto image = ExtentTreeImage::build(mem, {{0, 100, 500}});
+    ASSERT_TRUE(image.is_ok());
+    auto pruned = image->prune_range(0, 100);
+    ASSERT_TRUE(pruned.is_ok());
+    EXPECT_EQ(*pruned, 0u);
+    EXPECT_EQ(lookup(mem, image->root(), 50)->outcome,
+              LookupOutcome::kMapped);
+}
+
+TEST(TreeImage, EnumerateSkipsPruned)
+{
+    pcie::HostMemory mem(8 << 20);
+    TreeConfig config;
+    config.fanout = 4;
+    ExtentList extents;
+    for (std::uint64_t i = 0; i < 32; ++i)
+        extents.push_back(Extent{i, 1, i});
+    auto image = ExtentTreeImage::build(mem, extents, config);
+    ASSERT_TRUE(image.is_ok());
+    ASSERT_TRUE(image->prune_range(0, 8).is_ok());
+    auto out = enumerate(mem, image->root());
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_LT(out->size(), extents.size());
+}
+
+// --- Property tests: random mappings vs. reference ---------------------------
+
+/** Reference lookup on the flat list. */
+LookupOutcome
+reference_lookup(const ExtentList &extents, Vlba vlba, Plba *plba)
+{
+    for (const Extent &e : extents) {
+        if (e.contains(vlba)) {
+            *plba = e.translate(vlba);
+            return LookupOutcome::kMapped;
+        }
+    }
+    return LookupOutcome::kHole;
+}
+
+class TreeProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeProperty, RandomTreesMatchReferenceLookups)
+{
+    const std::uint32_t fanout = GetParam();
+    util::Rng rng(fanout * 7919 + 13);
+    pcie::HostMemory mem(32 << 20);
+
+    for (int trial = 0; trial < 10; ++trial) {
+        // Random sorted extent list with random gaps.
+        ExtentList extents;
+        Vlba cursor = rng.next_below(4);
+        const std::uint64_t count = 1 + rng.next_below(300);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint64_t len = 1 + rng.next_below(16);
+            extents.push_back(
+                Extent{cursor, len, 10'000 + rng.next_below(1'000'000)});
+            cursor += len + rng.next_below(8); // gaps ~half the time
+        }
+        ASSERT_TRUE(is_valid_extent_list(extents));
+
+        TreeConfig config;
+        config.fanout = fanout;
+        auto image = ExtentTreeImage::build(mem, extents, config);
+        ASSERT_TRUE(image.is_ok());
+
+        for (int q = 0; q < 200; ++q) {
+            const Vlba vlba = rng.next_below(cursor + 20);
+            Plba want_plba = 0;
+            const LookupOutcome want =
+                reference_lookup(extents, vlba, &want_plba);
+            auto got = lookup(mem, image->root(), vlba);
+            ASSERT_TRUE(got.is_ok());
+            ASSERT_EQ(got->outcome, want)
+                << "fanout=" << fanout << " vlba=" << vlba;
+            if (want == LookupOutcome::kMapped) {
+                ASSERT_EQ(got->extent.translate(vlba), want_plba);
+            }
+        }
+        ASSERT_TRUE(image->destroy().is_ok());
+        ASSERT_EQ(mem.allocated_bytes(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, TreeProperty,
+                         ::testing::Values(2, 3, 4, 8, 16, 64, 341));
+
+} // namespace
+} // namespace nesc::extent

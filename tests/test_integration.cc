@@ -1,0 +1,209 @@
+/**
+ * @file
+ * End-to-end integration tests: full testbed, guests attached via each
+ * virtualization technique, data integrity across the whole stack, and
+ * the paper's qualitative performance ordering.
+ */
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+#include "virt/testbed.h"
+#include "workloads/dd.h"
+
+namespace nesc {
+namespace {
+
+using virt::Testbed;
+using virt::TestbedConfig;
+
+TestbedConfig
+small_config()
+{
+    TestbedConfig config;
+    config.device.capacity_bytes = 64ULL << 20; // 64 MiB device
+    config.host_memory_bytes = 64ULL << 20;
+    return config;
+}
+
+TEST(Integration, TestbedComesUp)
+{
+    auto bed = Testbed::create(small_config());
+    ASSERT_TRUE(bed.is_ok()) << bed.status().to_string();
+    EXPECT_TRUE((*bed)->controller().is_active(pcie::kPhysicalFunctionId));
+    EXPECT_GT((*bed)->hv_fs().free_blocks(), 0u);
+}
+
+TEST(Integration, HostRawPathMovesData)
+{
+    auto bed_or = Testbed::create(small_config());
+    ASSERT_TRUE(bed_or.is_ok()) << bed_or.status().to_string();
+    auto &bed = **bed_or;
+
+    // Write a pattern through the Host baseline and read it back.
+    blk::BlockIo &io = bed.host_raw_io();
+    std::vector<std::byte> out(16 * 1024), in(16 * 1024);
+    wl::fill_pattern(3, 0, out);
+    // Use blocks far from the hypervisor FS metadata.
+    const std::uint64_t base = io.num_blocks() - 64;
+    ASSERT_TRUE(io.write_blocks(base, 16, out).is_ok());
+    ASSERT_TRUE(io.read_blocks(base, 16, in).is_ok());
+    EXPECT_EQ(out, in);
+    EXPECT_GT(bed.sim().now(), 0u);
+}
+
+TEST(Integration, NescGuestReadsWritesThroughVf)
+{
+    auto bed_or = Testbed::create(small_config());
+    ASSERT_TRUE(bed_or.is_ok()) << bed_or.status().to_string();
+    auto &bed = **bed_or;
+
+    auto vm_or = bed.create_nesc_guest("/images/vm0.img", 8192,
+                                       /*preallocate=*/true);
+    ASSERT_TRUE(vm_or.is_ok()) << vm_or.status().to_string();
+    auto &vm = **vm_or;
+
+    std::vector<std::byte> out(8 * 1024), in(8 * 1024);
+    wl::fill_pattern(7, 0, out);
+    ASSERT_TRUE(vm.raw_disk().write_blocks(100, 8, out).is_ok());
+    ASSERT_TRUE(vm.raw_disk().read_blocks(100, 8, in).is_ok());
+    EXPECT_EQ(out, in);
+
+    // The data must have landed in the backing file, translated through
+    // the extent tree: read it via the hypervisor filesystem.
+    auto ino = bed.hv_fs().resolve("/images/vm0.img");
+    ASSERT_TRUE(ino.is_ok());
+    std::vector<std::byte> via_fs(8 * 1024);
+    auto got = bed.hv_fs().read(*ino, 100 * 1024, via_fs);
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    EXPECT_EQ(*got, via_fs.size());
+    EXPECT_EQ(out, via_fs);
+}
+
+TEST(Integration, NescGuestLazyAllocationFaultPath)
+{
+    auto bed_or = Testbed::create(small_config());
+    ASSERT_TRUE(bed_or.is_ok());
+    auto &bed = **bed_or;
+
+    // No preallocation: the first write to each region must fault,
+    // interrupt the hypervisor, allocate, and rewalk.
+    auto vm_or = bed.create_nesc_guest("/images/lazy.img", 8192,
+                                       /*preallocate=*/false);
+    ASSERT_TRUE(vm_or.is_ok()) << vm_or.status().to_string();
+    auto &vm = **vm_or;
+
+    std::vector<std::byte> out(4 * 1024), in(4 * 1024);
+    wl::fill_pattern(9, 0, out);
+    ASSERT_TRUE(vm.raw_disk().write_blocks(500, 4, out).is_ok());
+    ASSERT_TRUE(vm.raw_disk().read_blocks(500, 4, in).is_ok());
+    EXPECT_EQ(out, in);
+    EXPECT_GE(bed.pf().write_misses_serviced(), 1u);
+    EXPECT_GE(bed.controller().counters().get("write_miss_faults"), 1u);
+}
+
+TEST(Integration, NescGuestHolesReadAsZeros)
+{
+    auto bed_or = Testbed::create(small_config());
+    ASSERT_TRUE(bed_or.is_ok());
+    auto &bed = **bed_or;
+    auto vm_or = bed.create_nesc_guest("/images/holey.img", 8192,
+                                       /*preallocate=*/false);
+    ASSERT_TRUE(vm_or.is_ok());
+    auto &vm = **vm_or;
+
+    std::vector<std::byte> in(4 * 1024, std::byte{0xff});
+    ASSERT_TRUE(vm.raw_disk().read_blocks(1000, 4, in).is_ok());
+    for (std::byte b : in)
+        EXPECT_EQ(b, std::byte{0});
+    EXPECT_GE(bed.controller().counters().get("holes_zero_filled"), 1u);
+}
+
+TEST(Integration, VirtioAndEmulatedGuestsMoveData)
+{
+    auto bed_or = Testbed::create(small_config());
+    ASSERT_TRUE(bed_or.is_ok());
+    auto &bed = **bed_or;
+
+    for (auto maker : {&Testbed::create_virtio_guest_raw,
+                       &Testbed::create_emulated_guest_raw}) {
+        auto vm_or = (bed.*maker)();
+        ASSERT_TRUE(vm_or.is_ok()) << vm_or.status().to_string();
+        auto &vm = **vm_or;
+        std::vector<std::byte> out(4 * 1024), in(4 * 1024);
+        wl::fill_pattern(11, 0, out);
+        const std::uint64_t base = vm.device().num_blocks() - 32;
+        ASSERT_TRUE(vm.raw_disk().write_blocks(base, 4, out).is_ok());
+        ASSERT_TRUE(vm.raw_disk().read_blocks(base, 4, in).is_ok());
+        EXPECT_EQ(out, in);
+    }
+}
+
+TEST(Integration, PerformanceOrderingMatchesPaper)
+{
+    // The paper's core result (Figs. 9/10): NeSC ~= Host, substantially
+    // faster than virtio, which is substantially faster than emulation.
+    auto bed_or = Testbed::create(small_config());
+    ASSERT_TRUE(bed_or.is_ok());
+    auto &bed = **bed_or;
+
+    auto nesc_vm = bed.create_nesc_guest("/images/perf.img", 8192, true);
+    ASSERT_TRUE(nesc_vm.is_ok());
+    auto virtio_vm = bed.create_virtio_guest_raw();
+    ASSERT_TRUE(virtio_vm.is_ok());
+    auto emu_vm = bed.create_emulated_guest_raw();
+    ASSERT_TRUE(emu_vm.is_ok());
+
+    wl::DdConfig dd;
+    dd.request_bytes = 4096;
+    dd.total_bytes = 256 * 1024;
+    dd.write = true;
+
+    auto host = wl::run_dd_raw(bed.sim(), bed.host_raw_io(), dd);
+    ASSERT_TRUE(host.is_ok());
+    auto nesc = wl::run_dd_raw(bed.sim(), (*nesc_vm)->raw_disk(), dd);
+    ASSERT_TRUE(nesc.is_ok());
+    dd.start_offset = (bed.device().geometry().num_blocks() - 2048) * 1024;
+    auto virtio = wl::run_dd_raw(bed.sim(), (*virtio_vm)->raw_disk(), dd);
+    ASSERT_TRUE(virtio.is_ok());
+    auto emu = wl::run_dd_raw(bed.sim(), (*emu_vm)->raw_disk(), dd);
+    ASSERT_TRUE(emu.is_ok());
+
+    // NeSC within 2x of host; virtio at least 2x slower than NeSC;
+    // emulation at least 2x slower than virtio (loose bounds — the
+    // bench binaries report exact ratios).
+    EXPECT_LT(nesc->mean_latency_us, host->mean_latency_us * 2.0);
+    EXPECT_GT(virtio->mean_latency_us, nesc->mean_latency_us * 2.0);
+    EXPECT_GT(emu->mean_latency_us, virtio->mean_latency_us * 2.0);
+}
+
+TEST(Integration, NestedFilesystemInsideNescGuest)
+{
+    auto bed_or = Testbed::create(small_config());
+    ASSERT_TRUE(bed_or.is_ok());
+    auto &bed = **bed_or;
+    auto vm_or = bed.create_nesc_guest("/images/fsvm.img", 16384, true);
+    ASSERT_TRUE(vm_or.is_ok());
+    auto &vm = **vm_or;
+
+    ASSERT_TRUE(vm.format_fs().is_ok());
+    auto ino = vm.fs()->create("/hello.txt", 0644);
+    ASSERT_TRUE(ino.is_ok()) << ino.status().to_string();
+    const std::string text = "nested filesystems, hardware-mapped";
+    ASSERT_TRUE(vm.fs()
+                    ->write(*ino, 0,
+                            std::span<const std::byte>(
+                                reinterpret_cast<const std::byte *>(
+                                    text.data()),
+                                text.size()))
+                    .is_ok());
+    ASSERT_TRUE(vm.fs()->fsync(*ino).is_ok());
+
+    std::vector<std::byte> back(text.size());
+    auto got = vm.fs()->read(*ino, 0, back);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(*got, text.size());
+    EXPECT_EQ(std::memcmp(back.data(), text.data(), text.size()), 0);
+}
+
+} // namespace
+} // namespace nesc

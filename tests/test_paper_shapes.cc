@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Regression tests pinning the paper's qualitative results (the
+ * figures' shapes) at reduced scale, so a change that breaks the
+ * reproduction fails CI rather than silently skewing the benches.
+ */
+#include <gtest/gtest.h>
+
+#include "blocklayer/device_block_io.h"
+#include "blocklayer/os_block_stack.h"
+#include "storage/mem_block_device.h"
+#include "virt/testbed.h"
+#include "virt/virtual_disk.h"
+#include "workloads/dd.h"
+
+namespace nesc {
+namespace {
+
+virt::TestbedConfig
+small_config()
+{
+    virt::TestbedConfig config;
+    config.device.capacity_bytes = 96ULL << 20;
+    config.host_memory_bytes = 96ULL << 20;
+    return config;
+}
+
+struct Measured {
+    double host_us, nesc_us, virtio_us, emu_us;
+    double host_bw, nesc_bw, virtio_bw, emu_bw;
+};
+
+Measured
+measure(virt::Testbed &bed, virt::GuestVm &nesc_vm, virt::GuestVm &vt_vm,
+        virt::GuestVm &emu_vm, std::uint64_t bs, bool write)
+{
+    wl::DdConfig dd;
+    dd.request_bytes = bs;
+    dd.total_bytes = 32 * bs;
+    dd.write = write;
+    auto host = *wl::run_dd_raw(bed.sim(), bed.host_raw_io(), dd);
+    auto ns = *wl::run_dd_raw(bed.sim(), nesc_vm.raw_disk(), dd);
+    dd.start_offset = 64ULL << 20;
+    auto vt = *wl::run_dd_raw(bed.sim(), vt_vm.raw_disk(), dd);
+    auto em = *wl::run_dd_raw(bed.sim(), emu_vm.raw_disk(), dd);
+    return Measured{host.mean_latency_us, ns.mean_latency_us,
+                    vt.mean_latency_us,  em.mean_latency_us,
+                    host.bandwidth_mb_s, ns.bandwidth_mb_s,
+                    vt.bandwidth_mb_s,   em.bandwidth_mb_s};
+}
+
+class PaperShapes : public ::testing::Test {
+  protected:
+    PaperShapes()
+    {
+        bed_ = std::move(virt::Testbed::create(small_config())).value();
+        nesc_vm_ = std::move(bed_->create_nesc_guest("/shape.img",
+                                                     32768, true))
+                       .value();
+        virtio_vm_ = std::move(bed_->create_virtio_guest_raw()).value();
+        emu_vm_ = std::move(bed_->create_emulated_guest_raw()).value();
+    }
+
+    std::unique_ptr<virt::Testbed> bed_;
+    std::unique_ptr<virt::GuestVm> nesc_vm_;
+    std::unique_ptr<virt::GuestVm> virtio_vm_;
+    std::unique_ptr<virt::GuestVm> emu_vm_;
+};
+
+TEST_F(PaperShapes, Fig9SmallBlockLatencyRatios)
+{
+    // Paper: NeSC ~= Host; >6x faster than virtio; >20x faster than
+    // emulation for accesses under 4 KiB (we assert >5x / >15x to
+    // leave calibration headroom).
+    for (std::uint64_t bs : {512u, 1024u, 2048u}) {
+        const Measured m = measure(*bed_, *nesc_vm_, *virtio_vm_,
+                                   *emu_vm_, bs, false);
+        EXPECT_LT(m.nesc_us, m.host_us * 1.10) << bs;
+        EXPECT_GT(m.virtio_us, m.nesc_us * 5.0) << bs;
+        EXPECT_GT(m.emu_us, m.nesc_us * 15.0) << bs;
+    }
+}
+
+TEST_F(PaperShapes, Fig10MidBlockBandwidthRatios)
+{
+    // Paper: >2.5x virtio for <16 KiB reads; ~3x for 32 KiB writes;
+    // NeSC within ~10% of Host.
+    const Measured r8k = measure(*bed_, *nesc_vm_, *virtio_vm_,
+                                 *emu_vm_, 8192, false);
+    EXPECT_GT(r8k.nesc_bw, r8k.virtio_bw * 2.5);
+    EXPECT_GT(r8k.nesc_bw, r8k.host_bw * 0.9);
+    const Measured w32k = measure(*bed_, *nesc_vm_, *virtio_vm_,
+                                  *emu_vm_, 32768, true);
+    EXPECT_GT(w32k.nesc_bw, w32k.virtio_bw * 2.2);
+}
+
+TEST_F(PaperShapes, Fig10LargeBlockConvergence)
+{
+    // Paper: NeSC and virtio bandwidths converge for >=2 MiB blocks.
+    const Measured small = measure(*bed_, *nesc_vm_, *virtio_vm_,
+                                   *emu_vm_, 32768, false);
+    const Measured large = measure(*bed_, *nesc_vm_, *virtio_vm_,
+                                   *emu_vm_, 2 << 20, false);
+    const double small_ratio = small.nesc_bw / small.virtio_bw;
+    const double large_ratio = large.nesc_bw / large.virtio_bw;
+    EXPECT_GT(small_ratio, 2.0);
+    EXPECT_LT(large_ratio, 1.3); // converged within 30%
+}
+
+TEST_F(PaperShapes, Fig2SpeedupGrowsWithDeviceBandwidth)
+{
+    const virt::CostModel costs;
+    double prev = 0.0;
+    for (std::uint64_t mbps : {100u, 800u, 3600u}) {
+        sim::Simulator sim;
+        storage::MemBlockDevice device(
+            storage::MemBlockDeviceConfig::ramdisk(mbps * 1'000'000ULL,
+                                                   32ULL << 20));
+        blk::DeviceBlockIo device_io(sim, device);
+        blk::OsStackConfig direct_cfg;
+        direct_cfg.direct_io = true;
+        blk::OsBlockStack direct(sim, device_io, "d", direct_cfg);
+        blk::OsBlockStack hv(sim, device_io, "h", direct_cfg);
+        virt::VirtioDisk virtio(sim, hv, costs);
+        blk::OsBlockStack guest(sim, virtio, "g", direct_cfg);
+
+        wl::DdConfig dd;
+        dd.request_bytes = 256 * 1024;
+        dd.total_bytes = 4ULL << 20;
+        dd.write = true;
+        auto d = *wl::run_dd_raw(sim, direct, dd);
+        dd.start_offset = 16ULL << 20;
+        auto v = *wl::run_dd_raw(sim, guest, dd);
+        const double speedup = d.bandwidth_mb_s / v.bandwidth_mb_s;
+        EXPECT_GT(speedup, prev) << mbps;
+        prev = speedup;
+    }
+    EXPECT_GT(prev, 1.8); // ~2x at 3.6 GB/s (paper Fig. 2)
+}
+
+TEST_F(PaperShapes, Fig11FilesystemOverheadStructure)
+{
+    // Paper: FS adds a small ~constant to NeSC and a much larger one
+    // to virtio; NeSC+FS is comparable to (here: at most) RAW virtio.
+    ASSERT_TRUE(nesc_vm_->format_fs().is_ok());
+    ASSERT_TRUE(virtio_vm_->format_fs().is_ok());
+
+    auto fs_latency = [&](virt::GuestVm &vm, const char *name) {
+        auto ino = vm.fs()->create(std::string("/f11-") + name, 0644);
+        EXPECT_TRUE(ino.is_ok());
+        wl::DdConfig dd;
+        dd.request_bytes = 4096;
+        dd.total_bytes = 24 * 4096;
+        dd.write = true;
+        return (*wl::run_dd_file(bed_->sim(), vm, *ino, dd))
+            .mean_latency_us;
+    };
+    auto raw_latency = [&](virt::GuestVm &vm, std::uint64_t off) {
+        wl::DdConfig dd;
+        dd.request_bytes = 4096;
+        dd.total_bytes = 24 * 4096;
+        dd.write = true;
+        dd.start_offset = off;
+        return (*wl::run_dd_raw(bed_->sim(), vm.raw_disk(), dd))
+            .mean_latency_us;
+    };
+    const double nesc_raw = raw_latency(*nesc_vm_, 8ULL << 20);
+    const double nesc_fs = fs_latency(*nesc_vm_, "n");
+    const double virtio_raw = raw_latency(*virtio_vm_, 64ULL << 20);
+    const double virtio_fs = fs_latency(*virtio_vm_, "v");
+
+    const double nesc_delta = nesc_fs - nesc_raw;
+    const double virtio_delta = virtio_fs - virtio_raw;
+    EXPECT_GT(nesc_delta, 0.0);
+    EXPECT_GT(virtio_delta, nesc_delta * 3.0);
+    EXPECT_GT(virtio_fs, nesc_fs * 4.0);   // paper: >4x below 8 KiB
+    EXPECT_LT(nesc_fs, virtio_raw * 1.25); // NeSC+FS ~ raw virtio
+}
+
+} // namespace
+} // namespace nesc

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Unit tests for the PCIe model: host memory + allocator, rings, DMA
+ * engine, interrupts, BAR routing, BDF.
+ */
+#include <gtest/gtest.h>
+
+#include "pcie/bdf.h"
+#include "pcie/dma_engine.h"
+#include "pcie/host_memory.h"
+#include "pcie/host_ring.h"
+#include "pcie/interrupts.h"
+#include "pcie/mmio.h"
+
+namespace nesc::pcie {
+namespace {
+
+// --- HostMemory ---------------------------------------------------------
+
+TEST(HostMemory, ReadWriteRoundTrip)
+{
+    HostMemory mem(1 << 20);
+    std::vector<std::byte> out(256), in(256);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::byte>(i);
+    ASSERT_TRUE(mem.write(1000, out).is_ok());
+    ASSERT_TRUE(mem.read(1000, in).is_ok());
+    EXPECT_EQ(out, in);
+}
+
+TEST(HostMemory, PodHelpers)
+{
+    HostMemory mem(4096);
+    struct Pod {
+        std::uint32_t a;
+        std::uint64_t b;
+    };
+    ASSERT_TRUE(mem.write_pod(64, Pod{7, 9}).is_ok());
+    auto read = mem.read_pod<Pod>(64);
+    ASSERT_TRUE(read.is_ok());
+    EXPECT_EQ(read->a, 7u);
+    EXPECT_EQ(read->b, 9u);
+}
+
+TEST(HostMemory, OutOfRangeRejected)
+{
+    HostMemory mem(1024);
+    std::vector<std::byte> buf(64);
+    EXPECT_FALSE(mem.read(1024, buf).is_ok());
+    EXPECT_FALSE(mem.write(1000, buf).is_ok());
+    EXPECT_TRUE(mem.write(960, buf).is_ok());
+}
+
+TEST(HostMemory, FillZero)
+{
+    HostMemory mem(1024);
+    std::vector<std::byte> ones(128, std::byte{0xff});
+    ASSERT_TRUE(mem.write(0, ones).is_ok());
+    ASSERT_TRUE(mem.fill_zero(0, 128).is_ok());
+    std::vector<std::byte> back(128, std::byte{1});
+    ASSERT_TRUE(mem.read(0, back).is_ok());
+    for (std::byte b : back)
+        EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(HostMemoryAllocator, NeverReturnsNull)
+{
+    HostMemory mem(1 << 16);
+    auto a = mem.alloc(64);
+    ASSERT_TRUE(a.is_ok());
+    EXPECT_NE(*a, kNullHostAddr);
+}
+
+TEST(HostMemoryAllocator, RespectsAlignment)
+{
+    HostMemory mem(1 << 16);
+    auto a = mem.alloc(10, 64);
+    ASSERT_TRUE(a.is_ok());
+    EXPECT_EQ(*a % 64, 0u);
+    auto b = mem.alloc(10, 4096);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(*b % 4096, 0u);
+}
+
+TEST(HostMemoryAllocator, FreeAndCoalesce)
+{
+    HostMemory mem(1 << 16);
+    auto a = mem.alloc(1000, 8);
+    auto b = mem.alloc(1000, 8);
+    auto c = mem.alloc(1000, 8);
+    ASSERT_TRUE(a.is_ok() && b.is_ok() && c.is_ok());
+    EXPECT_EQ(mem.allocated_bytes(), 3000u);
+    ASSERT_TRUE(mem.free(*b).is_ok());
+    ASSERT_TRUE(mem.free(*a).is_ok());
+    ASSERT_TRUE(mem.free(*c).is_ok());
+    EXPECT_EQ(mem.allocated_bytes(), 0u);
+    // After full coalescing a near-full-size allocation must succeed.
+    auto big = mem.alloc((1 << 16) - 64, 8);
+    EXPECT_TRUE(big.is_ok());
+}
+
+TEST(HostMemoryAllocator, DoubleFreeRejected)
+{
+    HostMemory mem(4096);
+    auto a = mem.alloc(64);
+    ASSERT_TRUE(a.is_ok());
+    EXPECT_TRUE(mem.free(*a).is_ok());
+    EXPECT_FALSE(mem.free(*a).is_ok());
+}
+
+TEST(HostMemoryAllocator, Exhaustion)
+{
+    HostMemory mem(4096);
+    EXPECT_EQ(mem.alloc(1 << 20).status().code(),
+              util::ErrorCode::kResourceExhausted);
+    EXPECT_FALSE(mem.alloc(0).is_ok());
+    EXPECT_FALSE(mem.alloc(8, 3).is_ok()); // non-pow2 alignment
+}
+
+// --- HostRing -------------------------------------------------------------
+
+TEST(HostRing, PushPopRoundTrip)
+{
+    HostMemory mem(1 << 16);
+    auto ring = HostRing::create(mem, 256, 8, 16);
+    ASSERT_TRUE(ring.is_ok());
+    std::vector<std::byte> rec(16);
+    rec[0] = std::byte{42};
+    ASSERT_TRUE(ring->push(rec).is_ok());
+    EXPECT_EQ(*ring->size(), 1u);
+    std::vector<std::byte> out(16);
+    auto popped = ring->pop(out);
+    ASSERT_TRUE(popped.is_ok());
+    EXPECT_TRUE(*popped);
+    EXPECT_EQ(out[0], std::byte{42});
+    EXPECT_EQ(*ring->size(), 0u);
+}
+
+TEST(HostRing, EmptyPopReturnsFalse)
+{
+    HostMemory mem(1 << 16);
+    auto ring = HostRing::create(mem, 256, 4, 8);
+    ASSERT_TRUE(ring.is_ok());
+    std::vector<std::byte> out(8);
+    auto popped = ring->pop(out);
+    ASSERT_TRUE(popped.is_ok());
+    EXPECT_FALSE(*popped);
+}
+
+TEST(HostRing, FullPushUnavailable)
+{
+    HostMemory mem(1 << 16);
+    auto ring = HostRing::create(mem, 256, 2, 8);
+    ASSERT_TRUE(ring.is_ok());
+    std::vector<std::byte> rec(8);
+    ASSERT_TRUE(ring->push(rec).is_ok());
+    ASSERT_TRUE(ring->push(rec).is_ok());
+    EXPECT_EQ(ring->push(rec).code(), util::ErrorCode::kUnavailable);
+}
+
+TEST(HostRing, WrapsAroundManyTimes)
+{
+    HostMemory mem(1 << 16);
+    auto ring = HostRing::create(mem, 256, 4, 8);
+    ASSERT_TRUE(ring.is_ok());
+    std::vector<std::byte> rec(8), out(8);
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        rec[0] = static_cast<std::byte>(i);
+        ASSERT_TRUE(ring->push(rec).is_ok());
+        ASSERT_TRUE(*ring->pop(out));
+        EXPECT_EQ(out[0], static_cast<std::byte>(i));
+    }
+}
+
+TEST(HostRing, AttachSeesProducerState)
+{
+    HostMemory mem(1 << 16);
+    auto producer = HostRing::create(mem, 512, 8, 8);
+    ASSERT_TRUE(producer.is_ok());
+    std::vector<std::byte> rec(8);
+    rec[3] = std::byte{9};
+    ASSERT_TRUE(producer->push(rec).is_ok());
+
+    auto consumer = HostRing::attach(mem, 512);
+    ASSERT_TRUE(consumer.is_ok());
+    EXPECT_EQ(consumer->capacity(), 8u);
+    std::vector<std::byte> out(8);
+    ASSERT_TRUE(*consumer->pop(out));
+    EXPECT_EQ(out[3], std::byte{9});
+    // The producer observes the consumption through shared memory.
+    EXPECT_EQ(*producer->size(), 0u);
+}
+
+TEST(HostRing, AttachRejectsGarbage)
+{
+    HostMemory mem(4096);
+    EXPECT_FALSE(HostRing::attach(mem, 128).is_ok());
+}
+
+TEST(HostRing, RecordSizeValidated)
+{
+    HostMemory mem(1 << 16);
+    auto ring = HostRing::create(mem, 256, 4, 8);
+    std::vector<std::byte> wrong(4);
+    EXPECT_FALSE(ring->push(wrong).is_ok());
+    EXPECT_FALSE(ring->pop(wrong).is_ok());
+}
+
+// --- DmaEngine -------------------------------------------------------------
+
+TEST(DmaEngine, ReadDeliversDataAsync)
+{
+    sim::Simulator sim;
+    HostMemory mem(4096);
+    std::vector<std::byte> data(64);
+    data[0] = std::byte{0x5a};
+    ASSERT_TRUE(mem.write(100, data).is_ok());
+
+    DmaEngine dma(sim, mem, DmaConfig{1'000'000'000, 500});
+    bool done = false;
+    dma.read(100, 64, [&](util::Status s, std::vector<std::byte> payload) {
+        EXPECT_TRUE(s.is_ok());
+        ASSERT_EQ(payload.size(), 64u);
+        EXPECT_EQ(payload[0], std::byte{0x5a});
+        done = true;
+    });
+    EXPECT_FALSE(done); // asynchronous
+    sim.run_until_idle();
+    EXPECT_TRUE(done);
+    EXPECT_GE(sim.now(), 500u); // at least the link latency
+}
+
+TEST(DmaEngine, WriteLandsInHostMemory)
+{
+    sim::Simulator sim;
+    HostMemory mem(4096);
+    DmaEngine dma(sim, mem);
+    std::vector<std::byte> data(32, std::byte{7});
+    bool done = false;
+    dma.write(200, data, [&](util::Status s) {
+        EXPECT_TRUE(s.is_ok());
+        done = true;
+    });
+    sim.run_until_idle();
+    ASSERT_TRUE(done);
+    std::vector<std::byte> back(32);
+    ASSERT_TRUE(mem.read(200, back).is_ok());
+    EXPECT_EQ(back, data);
+}
+
+TEST(DmaEngine, WriteZeroFills)
+{
+    sim::Simulator sim;
+    HostMemory mem(4096);
+    std::vector<std::byte> ones(64, std::byte{0xff});
+    ASSERT_TRUE(mem.write(300, ones).is_ok());
+    DmaEngine dma(sim, mem);
+    dma.write_zero(300, 64, [](util::Status s) { EXPECT_TRUE(s.is_ok()); });
+    sim.run_until_idle();
+    std::vector<std::byte> back(64, std::byte{1});
+    ASSERT_TRUE(mem.read(300, back).is_ok());
+    for (std::byte b : back)
+        EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(DmaEngine, OutOfRangeReportedInCallback)
+{
+    sim::Simulator sim;
+    HostMemory mem(1024);
+    DmaEngine dma(sim, mem);
+    bool done = false;
+    dma.read(2048, 64, [&](util::Status s, std::vector<std::byte>) {
+        EXPECT_FALSE(s.is_ok());
+        done = true;
+    });
+    sim.run_until_idle();
+    EXPECT_TRUE(done);
+}
+
+TEST(DmaEngine, TransfersSerializeOnTheLink)
+{
+    sim::Simulator sim;
+    HostMemory mem(1 << 20);
+    DmaEngine dma(sim, mem, DmaConfig{1'000'000, 0}); // 1 MB/s: slow
+    sim::Time first = 0, second = 0;
+    dma.read(0, 1000, [&](util::Status, std::vector<std::byte>) {
+        first = sim.now();
+    });
+    dma.read(0, 1000, [&](util::Status, std::vector<std::byte>) {
+        second = sim.now();
+    });
+    sim.run_until_idle();
+    EXPECT_EQ(first, 1'000'000u);
+    EXPECT_EQ(second, 2'000'000u);
+    EXPECT_EQ(dma.total_bytes(), 2000u);
+}
+
+// --- InterruptController ---------------------------------------------------
+
+TEST(Interrupts, DeliversAfterLatency)
+{
+    sim::Simulator sim;
+    InterruptController irq(sim, 700);
+    sim::Time fired_at = 0;
+    irq.set_handler(5, [&]() { fired_at = sim.now(); });
+    irq.raise(5);
+    sim.run_until_idle();
+    EXPECT_EQ(fired_at, 700u);
+    EXPECT_EQ(irq.raised(), 1u);
+    EXPECT_EQ(irq.delivered(), 1u);
+}
+
+TEST(Interrupts, UnhandledVectorIsSpurious)
+{
+    sim::Simulator sim;
+    InterruptController irq(sim);
+    irq.raise(9);
+    sim.run_until_idle();
+    EXPECT_EQ(irq.spurious(), 1u);
+}
+
+TEST(Interrupts, ClearHandlerStopsDelivery)
+{
+    sim::Simulator sim;
+    InterruptController irq(sim);
+    int count = 0;
+    irq.set_handler(1, [&]() { ++count; });
+    irq.raise(1);
+    sim.run_until_idle();
+    irq.clear_handler(1);
+    irq.raise(1);
+    sim.run_until_idle();
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(irq.spurious(), 1u);
+}
+
+// --- Bdf / BarPageRouter ----------------------------------------------------
+
+TEST(Bdf, Formatting)
+{
+    Bdf bdf{3, 0x1f, 2};
+    EXPECT_EQ(bdf.to_string(), "03:1f.2");
+    EXPECT_EQ(Bdf{}.to_string(), "00:00.0");
+}
+
+class EchoDevice : public FunctionMmioDevice {
+  public:
+    util::Result<std::uint64_t>
+    mmio_read(FunctionId fn, std::uint64_t offset, unsigned) override
+    {
+        return (static_cast<std::uint64_t>(fn) << 32) | offset;
+    }
+    util::Status
+    mmio_write(FunctionId fn, std::uint64_t offset, std::uint64_t value,
+               unsigned) override
+    {
+        last_fn = fn;
+        last_offset = offset;
+        last_value = value;
+        return util::Status::ok();
+    }
+    FunctionId last_fn = 0;
+    std::uint64_t last_offset = 0;
+    std::uint64_t last_value = 0;
+};
+
+TEST(BarPageRouter, RoutesByPage)
+{
+    EchoDevice device;
+    BarPageRouter bar(device, 4096, 4);
+    EXPECT_EQ(bar.bar_size(), 4096u * 4);
+    // Page 1, offset 128 => VF1 (the paper's worked example: address
+    // 4224 in the BAR routes to offset 128 of the first VF).
+    auto read = bar.read(4096 + 128, 8);
+    ASSERT_TRUE(read.is_ok());
+    EXPECT_EQ(*read, (1ULL << 32) | 128u);
+
+    ASSERT_TRUE(bar.write(3 * 4096 + 8, 77, 8).is_ok());
+    EXPECT_EQ(device.last_fn, 3);
+    EXPECT_EQ(device.last_offset, 8u);
+    EXPECT_EQ(device.last_value, 77u);
+}
+
+TEST(BarPageRouter, RejectsBeyondBar)
+{
+    EchoDevice device;
+    BarPageRouter bar(device, 4096, 2);
+    EXPECT_FALSE(bar.read(2 * 4096, 8).is_ok());
+    EXPECT_FALSE(bar.write(100 * 4096, 1, 8).is_ok());
+}
+
+TEST(BarPageRouter, FunctionBase)
+{
+    EchoDevice device;
+    BarPageRouter bar(device, 4096, 8);
+    EXPECT_EQ(bar.function_base(0), 0u);
+    EXPECT_EQ(bar.function_base(5), 5u * 4096);
+}
+
+} // namespace
+} // namespace nesc::pcie

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator and BandwidthServer.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/bandwidth_server.h"
+#include "sim/simulator.h"
+
+namespace nesc::sim {
+namespace {
+
+TEST(Simulator, StartsAtZeroAndIdle)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_TRUE(sim.idle());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesInTimestampOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(30, [&]() { order.push_back(3); });
+    sim.schedule_at(10, [&]() { order.push_back(1); });
+    sim.schedule_at(20, [&]() { order.push_back(2); });
+    sim.run_until_idle();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule_at(100, [&order, i]() { order.push_back(i); });
+    sim.run_until_idle();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative)
+{
+    Simulator sim;
+    sim.schedule_at(50, [] {});
+    sim.run_until_idle();
+    Time fired_at = 0;
+    sim.schedule_in(25, [&]() { fired_at = sim.now(); });
+    sim.run_until_idle();
+    EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow)
+{
+    Simulator sim;
+    sim.schedule_at(100, [] {});
+    sim.run_until_idle();
+    bool fired = false;
+    sim.schedule_at(10, [&]() { fired = true; }); // in the past
+    sim.run_until_idle();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 10)
+            sim.schedule_in(5, chain);
+    };
+    sim.schedule_at(0, chain);
+    sim.run_until_idle();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(sim.now(), 45u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastLastEvent)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.schedule_at(10, [&]() { fired = true; });
+    sim.run_until(100);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunUntilDoesNotExecuteLaterEvents)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.schedule_at(200, [&]() { fired = true; });
+    sim.run_until(100);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.now(), 100u);
+    sim.run_until_idle();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, AdvanceExecutesWindowedEvents)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule_at(5, [&]() { ++count; });
+    sim.schedule_at(15, [&]() { ++count; });
+    sim.advance(10);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, ReentrantSteppingFromEvent)
+{
+    // Drivers block synchronously by stepping the simulator from
+    // within an event (e.g. fault service inside an IRQ). The engine
+    // must tolerate nested step() calls.
+    Simulator sim;
+    bool inner_fired = false;
+    bool outer_done = false;
+    sim.schedule_at(10, [&]() {
+        sim.schedule_in(5, [&]() { inner_fired = true; });
+        while (!inner_fired)
+            ASSERT_TRUE(sim.step());
+        outer_done = true;
+    });
+    sim.run_until_idle();
+    EXPECT_TRUE(inner_fired);
+    EXPECT_TRUE(outer_done);
+    EXPECT_EQ(sim.now(), 15u);
+}
+
+TEST(Simulator, CountsExecutedEvents)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.schedule_in(i, [] {});
+    sim.run_until_idle();
+    EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+// --- BandwidthServer ----------------------------------------------------
+
+TEST(BandwidthServer, LatencyOnlyWhenInfinitelyFast)
+{
+    BandwidthServer server(0, 100);
+    EXPECT_EQ(server.acquire(0, 4096), 100u);
+    EXPECT_EQ(server.acquire(0, 1 << 20), 100u);
+}
+
+TEST(BandwidthServer, TransferTimeMatchesRate)
+{
+    BandwidthServer server(1'000'000'000, 0); // 1 GB/s
+    EXPECT_EQ(server.acquire(0, 1'000'000), 1'000'000u); // 1 MB -> 1 ms
+}
+
+TEST(BandwidthServer, SerializesBackToBackTransfers)
+{
+    BandwidthServer server(1'000'000'000, 50);
+    const Time first = server.acquire(0, 1'000'000);
+    const Time second = server.acquire(0, 1'000'000);
+    EXPECT_EQ(first, 1'000'000u + 50u);
+    // Second transfer queues behind the first's occupancy.
+    EXPECT_EQ(second, 2'000'000u + 50u);
+}
+
+TEST(BandwidthServer, IdleGapsAreNotCharged)
+{
+    BandwidthServer server(1'000'000'000, 0);
+    (void)server.acquire(0, 1'000'000);
+    // Arrives long after the first finished: no queueing.
+    EXPECT_EQ(server.acquire(10'000'000, 1'000'000), 11'000'000u);
+}
+
+TEST(BandwidthServer, PeekDoesNotBook)
+{
+    BandwidthServer server(1'000'000'000, 0);
+    const Time peeked = server.peek(0, 1'000'000);
+    EXPECT_EQ(peeked, 1'000'000u);
+    EXPECT_EQ(server.busy_until(), 0u);
+    EXPECT_EQ(server.acquire(0, 1'000'000), peeked);
+}
+
+TEST(BandwidthServer, TracksTotals)
+{
+    BandwidthServer server(1'000'000, 0);
+    (void)server.acquire(0, 100);
+    (void)server.acquire(0, 200);
+    EXPECT_EQ(server.total_bytes(), 300u);
+    EXPECT_EQ(server.total_transfers(), 2u);
+    server.reset();
+    EXPECT_EQ(server.total_bytes(), 0u);
+    EXPECT_EQ(server.busy_until(), 0u);
+}
+
+} // namespace
+} // namespace nesc::sim

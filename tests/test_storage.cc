@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for storage devices.
+ */
+#include <gtest/gtest.h>
+
+#include "storage/mem_block_device.h"
+
+namespace nesc::storage {
+namespace {
+
+MemBlockDeviceConfig
+tiny()
+{
+    MemBlockDeviceConfig cfg;
+    cfg.capacity_bytes = 1 << 20;
+    cfg.read_bytes_per_sec = 1'000'000'000;
+    cfg.write_bytes_per_sec = 2'000'000'000;
+    cfg.access_latency = 100;
+    return cfg;
+}
+
+TEST(MemBlockDevice, GeometryReflectsConfig)
+{
+    MemBlockDevice dev(tiny());
+    EXPECT_EQ(dev.geometry().capacity_bytes, 1u << 20);
+    EXPECT_EQ(dev.geometry().logical_block_size, 1024u);
+    EXPECT_EQ(dev.geometry().num_blocks(), 1024u);
+}
+
+TEST(MemBlockDevice, ReadsBackWrites)
+{
+    MemBlockDevice dev(tiny());
+    std::vector<std::byte> out(4096), in(4096);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::byte>(i * 13);
+    ASSERT_TRUE(dev.write(8192, out).is_ok());
+    ASSERT_TRUE(dev.read(8192, in).is_ok());
+    EXPECT_EQ(out, in);
+    EXPECT_EQ(dev.bytes_written(), 4096u);
+    EXPECT_EQ(dev.bytes_read(), 4096u);
+}
+
+TEST(MemBlockDevice, FreshDeviceReadsZero)
+{
+    MemBlockDevice dev(tiny());
+    std::vector<std::byte> in(512, std::byte{0xaa});
+    ASSERT_TRUE(dev.read(0, in).is_ok());
+    for (std::byte b : in)
+        EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(MemBlockDevice, RejectsOutOfRange)
+{
+    MemBlockDevice dev(tiny());
+    std::vector<std::byte> buf(1024);
+    EXPECT_EQ(dev.read((1 << 20), buf).code(),
+              util::ErrorCode::kOutOfRange);
+    EXPECT_EQ(dev.write((1 << 20) - 512, buf).code(),
+              util::ErrorCode::kOutOfRange);
+    // Exactly at the end is fine.
+    EXPECT_TRUE(dev.read((1 << 20) - 1024, buf).is_ok());
+}
+
+TEST(MemBlockDevice, TimingUsesPerDirectionRates)
+{
+    MemBlockDevice dev(tiny());
+    // 1 MB read at 1 GB/s = 1 ms + 100 ns latency.
+    EXPECT_EQ(dev.service_read(0, 0, 1'000'000), 1'000'000u + 100u);
+    // Port is serialized: the write queues behind the read occupancy.
+    EXPECT_EQ(dev.service_write(0, 0, 1'000'000),
+              1'000'000u + 500'000u + 100u);
+}
+
+TEST(MemBlockDevice, SetRatesRethrottles)
+{
+    MemBlockDevice dev(tiny());
+    dev.set_rates(500'000'000, 500'000'000);
+    EXPECT_EQ(dev.service_read(0, 0, 1'000'000), 2'000'000u + 100u);
+}
+
+TEST(MemBlockDevice, InfinitelyFastWhenRateZero)
+{
+    MemBlockDeviceConfig cfg = tiny();
+    cfg.read_bytes_per_sec = 0;
+    cfg.access_latency = 0;
+    MemBlockDevice dev(cfg);
+    EXPECT_EQ(dev.service_read(42, 0, 1 << 20), 42u);
+}
+
+TEST(MemBlockDevice, PresetConfigs)
+{
+    const auto proto = MemBlockDeviceConfig::vc707_prototype();
+    EXPECT_EQ(proto.capacity_bytes, 1ULL << 30);
+    EXPECT_EQ(proto.read_bytes_per_sec, 800'000'000u);
+    const auto ram = MemBlockDeviceConfig::ramdisk(3'600'000'000ULL);
+    EXPECT_EQ(ram.read_bytes_per_sec, 3'600'000'000ULL);
+    EXPECT_EQ(ram.write_bytes_per_sec, 3'600'000'000ULL);
+}
+
+} // namespace
+} // namespace nesc::storage

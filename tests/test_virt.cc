@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the virtualization layer: FileBlockIo, the emulated
+ * and virtio virtual disks, GuestVm, and the cost structure of the
+ * three attachment techniques.
+ */
+#include <gtest/gtest.h>
+
+#include "blocklayer/device_block_io.h"
+#include "storage/mem_block_device.h"
+#include "virt/testbed.h"
+#include "virt/virtual_disk.h"
+#include "workloads/dd.h"
+
+namespace nesc::virt {
+namespace {
+
+TestbedConfig
+small_config()
+{
+    TestbedConfig config;
+    config.device.capacity_bytes = 64ULL << 20;
+    config.host_memory_bytes = 64ULL << 20;
+    return config;
+}
+
+class VirtTest : public ::testing::Test {
+  protected:
+    VirtTest()
+    {
+        auto bed = Testbed::create(small_config());
+        EXPECT_TRUE(bed.is_ok()) << bed.status().to_string();
+        bed_ = std::move(bed).value();
+    }
+
+    std::unique_ptr<Testbed> bed_;
+};
+
+// --- FileBlockIo ---------------------------------------------------------
+
+TEST_F(VirtTest, FileBlockIoRoundTrip)
+{
+    auto ino = bed_->create_backing_file("/fio.img", 256, true);
+    ASSERT_TRUE(ino.is_ok());
+    FileBlockIo io(bed_->sim(), bed_->hv_fs(), *ino, 256, CostModel{});
+    EXPECT_EQ(io.num_blocks(), 256u);
+    std::vector<std::byte> out(2048), in(2048);
+    wl::fill_pattern(31, 0, out);
+    ASSERT_TRUE(io.write_blocks(10, 2, out).is_ok());
+    ASSERT_TRUE(io.read_blocks(10, 2, in).is_ok());
+    EXPECT_EQ(out, in);
+}
+
+TEST_F(VirtTest, FileBlockIoSparseReadsZero)
+{
+    auto ino = bed_->create_backing_file("/sparse.img", 256, false);
+    ASSERT_TRUE(ino.is_ok());
+    FileBlockIo io(bed_->sim(), bed_->hv_fs(), *ino, 256, CostModel{});
+    std::vector<std::byte> buf(1024, std::byte{0xee});
+    ASSERT_TRUE(io.read_blocks(200, 1, buf).is_ok());
+    for (std::byte b : buf)
+        EXPECT_EQ(b, std::byte{0});
+}
+
+// --- Virtual disks: cost structure -------------------------------------------
+
+TEST(VirtualDisk, VirtioChargesFixedOverheadPerRequest)
+{
+    sim::Simulator sim;
+    storage::MemBlockDeviceConfig cfg;
+    cfg.capacity_bytes = 4 << 20;
+    cfg.read_bytes_per_sec = 0;
+    cfg.write_bytes_per_sec = 0;
+    cfg.access_latency = 0;
+    storage::MemBlockDevice dev(cfg);
+    blk::DeviceBlockIo backing(sim, dev);
+    CostModel costs;
+    VirtioDisk disk(sim, backing, costs);
+
+    std::vector<std::byte> buf(1024);
+    const sim::Time t0 = sim.now();
+    ASSERT_TRUE(disk.read_blocks(0, 1, buf).is_ok());
+    const sim::Duration per_request = sim.now() - t0;
+    const sim::Duration expected =
+        costs.virtio_guest_submit + costs.vm_trap +
+        costs.virtio_host_submit + costs.virtio_per_4k +
+        costs.virtio_completion;
+    EXPECT_EQ(per_request, expected);
+    EXPECT_EQ(disk.requests(), 1u);
+    EXPECT_EQ(disk.kicks(), 1u);
+}
+
+TEST(VirtualDisk, EmulationChargesPerTrap)
+{
+    sim::Simulator sim;
+    storage::MemBlockDeviceConfig cfg;
+    cfg.capacity_bytes = 4 << 20;
+    cfg.read_bytes_per_sec = 0;
+    cfg.write_bytes_per_sec = 0;
+    cfg.access_latency = 0;
+    storage::MemBlockDevice dev(cfg);
+    blk::DeviceBlockIo backing(sim, dev);
+    CostModel costs;
+    EmulatedDisk disk(sim, backing, costs);
+
+    std::vector<std::byte> buf(1024);
+    ASSERT_TRUE(disk.read_blocks(0, 1, buf).is_ok());
+    EXPECT_EQ(disk.traps(), costs.emu_traps_per_request + 1); // + irq
+    // Emulation must cost more than virtio for the same request.
+    sim::Simulator sim2;
+    storage::MemBlockDevice dev2(cfg);
+    blk::DeviceBlockIo backing2(sim2, dev2);
+    VirtioDisk virtio(sim2, backing2, costs);
+    ASSERT_TRUE(virtio.read_blocks(0, 1, buf).is_ok());
+    EXPECT_GT(sim.now(), sim2.now());
+}
+
+TEST(VirtualDisk, DataIntegrityThroughBothPaths)
+{
+    sim::Simulator sim;
+    storage::MemBlockDeviceConfig cfg;
+    cfg.capacity_bytes = 4 << 20;
+    storage::MemBlockDevice dev(cfg);
+    blk::DeviceBlockIo backing(sim, dev);
+    CostModel costs;
+    EmulatedDisk emu(sim, backing, costs);
+    VirtioDisk virtio(sim, backing, costs);
+
+    std::vector<std::byte> a(1024, std::byte{0x21});
+    std::vector<std::byte> b(1024, std::byte{0x43});
+    ASSERT_TRUE(emu.write_blocks(0, 1, a).is_ok());
+    ASSERT_TRUE(virtio.write_blocks(1, 1, b).is_ok());
+    std::vector<std::byte> back(1024);
+    ASSERT_TRUE(virtio.read_blocks(0, 1, back).is_ok());
+    EXPECT_EQ(back, a);
+    ASSERT_TRUE(emu.read_blocks(1, 1, back).is_ok());
+    EXPECT_EQ(back, b);
+}
+
+// --- GuestVm -------------------------------------------------------------------
+
+TEST_F(VirtTest, GuestFormatsAndRemountsItsFilesystem)
+{
+    auto vm = bed_->create_nesc_guest("/g.img", 8192, true);
+    ASSERT_TRUE(vm.is_ok());
+    ASSERT_TRUE((*vm)->format_fs().is_ok());
+    auto ino = (*vm)->fs()->create("/f", 0644);
+    ASSERT_TRUE(ino.is_ok());
+    std::vector<std::byte> data(3000, std::byte{0x3f});
+    ASSERT_TRUE((*vm)->fs()->write(*ino, 0, data).is_ok());
+    ASSERT_TRUE((*vm)->unmount_fs().is_ok());
+
+    ASSERT_TRUE((*vm)->mount_fs().is_ok());
+    auto again = (*vm)->fs()->resolve("/f");
+    ASSERT_TRUE(again.is_ok());
+    std::vector<std::byte> back(3000);
+    ASSERT_EQ(*(*vm)->fs()->read(*again, 0, back), 3000u);
+    EXPECT_EQ(back, data);
+}
+
+TEST_F(VirtTest, GuestFilesystemSurvivesVmTeardownAndReattach)
+{
+    // Write through one VM, destroy it, attach a new VM to the same
+    // backing image, and read the data back — persistence across VM
+    // lifecycles through the hypervisor file.
+    {
+        auto vm = bed_->create_nesc_guest("/persist.img", 8192, true);
+        ASSERT_TRUE(vm.is_ok());
+        ASSERT_TRUE((*vm)->format_fs().is_ok());
+        auto ino = (*vm)->fs()->create("/keep", 0644);
+        ASSERT_TRUE(ino.is_ok());
+        std::vector<std::byte> data(512, std::byte{0x77});
+        ASSERT_TRUE((*vm)->fs()->write(*ino, 0, data).is_ok());
+        ASSERT_TRUE((*vm)->unmount_fs().is_ok());
+        auto fn = bed_->guest_vf(**vm);
+        ASSERT_TRUE(fn.is_ok());
+        // Tear down the VF before the VM goes away.
+        ASSERT_TRUE(bed_->pf().delete_vf(*fn).is_ok());
+    }
+    auto vm2 = bed_->create_nesc_guest("/persist.img", 8192, true);
+    ASSERT_TRUE(vm2.is_ok());
+    ASSERT_TRUE((*vm2)->mount_fs().is_ok());
+    auto ino = (*vm2)->fs()->resolve("/keep");
+    ASSERT_TRUE(ino.is_ok());
+    std::vector<std::byte> back(512);
+    ASSERT_EQ(*(*vm2)->fs()->read(*ino, 0, back), 512u);
+    for (std::byte b : back)
+        EXPECT_EQ(b, std::byte{0x77});
+}
+
+TEST_F(VirtTest, HostBaselineFasterThanAnyVirtualization)
+{
+    auto nesc_vm = bed_->create_nesc_guest("/o.img", 8192, true);
+    ASSERT_TRUE(nesc_vm.is_ok());
+    auto virtio_vm = bed_->create_virtio_guest_raw();
+    ASSERT_TRUE(virtio_vm.is_ok());
+
+    wl::DdConfig dd;
+    dd.request_bytes = 4096;
+    dd.total_bytes = 128 * 1024;
+    dd.write = true;
+    auto host = wl::run_dd_raw(bed_->sim(), bed_->host_raw_io(), dd);
+    ASSERT_TRUE(host.is_ok());
+    auto nesc_r = wl::run_dd_raw(bed_->sim(), (*nesc_vm)->raw_disk(), dd);
+    ASSERT_TRUE(nesc_r.is_ok());
+    dd.start_offset = 32ULL << 20;
+    auto virtio = wl::run_dd_raw(bed_->sim(), (*virtio_vm)->raw_disk(), dd);
+    ASSERT_TRUE(virtio.is_ok());
+
+    EXPECT_LE(host->mean_latency_us, nesc_r->mean_latency_us);
+    EXPECT_LT(nesc_r->mean_latency_us, virtio->mean_latency_us);
+}
+
+TEST_F(VirtTest, FileBackedGuestsShareTheHypervisorFilesystem)
+{
+    auto vm = bed_->create_virtio_guest_file("/vimg.img", 4096, true);
+    ASSERT_TRUE(vm.is_ok());
+    std::vector<std::byte> data(1024, std::byte{0x5d});
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(42, 1, data).is_ok());
+    ASSERT_TRUE((*vm)->device().flush().is_ok());
+
+    auto ino = bed_->hv_fs().resolve("/vimg.img");
+    ASSERT_TRUE(ino.is_ok());
+    std::vector<std::byte> back(1024);
+    auto got = bed_->hv_fs().read(*ino, 42 * 1024, back);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(back, data);
+}
+
+} // namespace
+} // namespace nesc::virt
