@@ -1,5 +1,6 @@
 #include "function_driver.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -107,11 +108,38 @@ FunctionDriver::submit(Opcode op, std::uint64_t vlba, std::uint32_t nblocks,
         return util::invalid_argument_error("zero-length request");
 
     const std::uint64_t request_id = next_request_++;
+    PendingRequest req;
+    req.done = std::move(done);
+    req.op = op;
+    req.vlba = vlba;
+    req.nblocks = nblocks;
+    req.buffer = buffer;
+    requests_[request_id] = std::move(req);
+    util::Status issued = issue_chunks(request_id);
+    if (!issued.is_ok())
+        requests_.erase(request_id);
+    return issued;
+}
+
+util::Status
+FunctionDriver::issue_chunks(std::uint64_t request_id)
+{
+    // Copy the request shape up front: the ring-full wait below steps
+    // the simulator, which can re-enter the completion handler and
+    // rehash/mutate requests_.
+    const PendingRequest &entry = requests_.at(request_id);
+    const Opcode op = entry.op;
+    const std::uint64_t vlba = entry.vlba;
+    const std::uint32_t nblocks = entry.nblocks;
+    const pcie::HostAddr buffer = entry.buffer;
     const std::uint32_t chunks =
         static_cast<std::uint32_t>(util::ceil_div(nblocks,
                                                   config_.max_chunk_blocks));
-    requests_[request_id] =
-        PendingRequest{chunks, CompletionStatus::kOk, std::move(done)};
+    {
+        PendingRequest &req = requests_.at(request_id);
+        req.chunks_remaining = chunks;
+        req.status = CompletionStatus::kOk;
+    }
 
     std::uint32_t submitted_blocks = 0;
     while (submitted_blocks < nblocks) {
@@ -145,6 +173,16 @@ FunctionDriver::submit(Opcode op, std::uint64_t vlba, std::uint32_t nblocks,
         ++submitted_;
     }
     ring_doorbell();
+
+    auto it = requests_.find(request_id);
+    if (it != requests_.end() && config_.request_timeout != 0) {
+        PendingRequest &req = it->second;
+        req.deadline = simulator_.now() + config_.request_timeout;
+        const std::uint64_t gen = req.generation;
+        simulator_.schedule_at(req.deadline, [this, request_id, gen]() {
+            check_timeout(request_id, gen);
+        });
+    }
     return util::Status::ok();
 }
 
@@ -154,6 +192,7 @@ FunctionDriver::handle_completion_irq()
     if (!comp_ring_)
         return;
     std::vector<std::byte> buf(sizeof(CompletionRecord));
+    bool need_flr = false;
     for (;;) {
         auto popped = comp_ring_->pop(buf);
         if (!popped.is_ok() || !popped.value())
@@ -175,14 +214,128 @@ FunctionDriver::handle_completion_irq()
         if (rec.status != static_cast<std::uint32_t>(CompletionStatus::kOk))
             req_it->second.status =
                 static_cast<CompletionStatus>(rec.status);
-        if (--req_it->second.chunks_remaining == 0) {
-            Done done = std::move(req_it->second.done);
-            const CompletionStatus status = req_it->second.status;
-            requests_.erase(req_it);
-            ++completed_;
-            if (done)
-                done(status);
+        if (--req_it->second.chunks_remaining != 0)
+            continue;
+
+        PendingRequest &req = req_it->second;
+        const CompletionStatus status = req.status;
+        if (status == CompletionStatus::kAborted &&
+            config_.max_flr_recoveries != 0) {
+            // The device tore the command down (watchdog). Recover
+            // with a function-level reset — but only after the pop
+            // loop, since the reset reattaches this very ring.
+            need_flr = true;
+            continue;
         }
+        if (ctrl::completion_status_retryable(status) &&
+            status != CompletionStatus::kAborted &&
+            req.attempts < config_.max_retries) {
+            ++req.attempts;
+            ++retries_;
+            const std::uint64_t gen = ++req.generation;
+            const sim::Duration delay = config_.retry_backoff
+                                        << (req.attempts - 1);
+            simulator_.schedule_in(delay, [this, request_id, gen]() {
+                resubmit(request_id, gen);
+            });
+            continue;
+        }
+        Done done = std::move(req.done);
+        requests_.erase(req_it);
+        ++completed_;
+        if (done)
+            done(status);
+    }
+    if (need_flr)
+        flr_recover();
+}
+
+void
+FunctionDriver::resubmit(std::uint64_t request_id, std::uint64_t generation)
+{
+    auto it = requests_.find(request_id);
+    if (it == requests_.end() || it->second.generation != generation)
+        return; // superseded by a newer submission or already done
+    util::Status issued = issue_chunks(request_id);
+    if (!issued.is_ok())
+        fail_request(request_id, CompletionStatus::kInternalError);
+}
+
+void
+FunctionDriver::check_timeout(std::uint64_t request_id,
+                              std::uint64_t generation)
+{
+    auto it = requests_.find(request_id);
+    if (it == requests_.end() || it->second.generation != generation)
+        return; // completed or resubmitted since the timer was armed
+    if (simulator_.now() < it->second.deadline)
+        return;
+    ++timeouts_;
+    // Always reset: even when the request is out of FLR budget the
+    // function must be unwedged, or every later request hangs too.
+    flr_recover();
+}
+
+void
+FunctionDriver::fail_request(std::uint64_t request_id,
+                             CompletionStatus status)
+{
+    auto it = requests_.find(request_id);
+    if (it == requests_.end())
+        return;
+    Done done = std::move(it->second.done);
+    requests_.erase(it);
+    ++completed_;
+    if (done)
+        done(status);
+}
+
+void
+FunctionDriver::flr_recover()
+{
+    ++flr_recoveries_;
+    (void)reg_write(ctrl::reg::kFnReset, 1);
+    // The reset dropped the device-side ring attachments and cleared
+    // the ring-base registers; recreate the rings over the same host
+    // memory and reprogram them.
+    auto cmd = pcie::HostRing::create(host_memory_, cmd_ring_mem_,
+                                      config_.ring_entries,
+                                      sizeof(CommandRecord));
+    auto comp = pcie::HostRing::create(host_memory_, comp_ring_mem_,
+                                       config_.ring_entries,
+                                       sizeof(CompletionRecord));
+    std::vector<std::uint64_t> ids;
+    ids.reserve(requests_.size());
+    for (const auto &[id, req] : requests_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    if (!cmd.is_ok() || !comp.is_ok()) {
+        for (std::uint64_t id : ids)
+            fail_request(id, CompletionStatus::kInternalError);
+        return;
+    }
+    cmd_ring_ = std::move(cmd).value();
+    comp_ring_ = std::move(comp).value();
+    (void)reg_write(ctrl::reg::kCmdRingBase, cmd_ring_mem_);
+    (void)reg_write(ctrl::reg::kCompRingBase, comp_ring_mem_);
+    // Every outstanding tag died with the reset.
+    tag_to_request_.clear();
+    // Resubmit all outstanding requests (the reset aborted them on
+    // the device whether or not they had completed kAborted yet);
+    // requests over their FLR budget fail to the caller instead.
+    for (std::uint64_t id : ids) {
+        auto it = requests_.find(id);
+        if (it == requests_.end())
+            continue;
+        PendingRequest &req = it->second;
+        ++req.generation;
+        if (++req.flr_recoveries > config_.max_flr_recoveries) {
+            fail_request(id, CompletionStatus::kAborted);
+            continue;
+        }
+        util::Status issued = issue_chunks(id);
+        if (!issued.is_ok())
+            fail_request(id, CompletionStatus::kInternalError);
     }
 }
 

@@ -49,6 +49,25 @@ struct FunctionDriverConfig {
     bool trampoline = false;
     /** CPU memcpy bandwidth for trampoline copies. */
     std::uint64_t copy_bytes_per_sec = 6'000'000'000;
+    /**
+     * Resubmissions per request on retryable completion statuses
+     * (media errors). 0 surfaces the first error to the caller.
+     */
+    std::uint32_t max_retries = 3;
+    /** Backoff before the first retry; doubles per attempt. */
+    sim::Duration retry_backoff = 10'000; // 10 us
+    /**
+     * Watchdog on the driver side: a request outstanding longer than
+     * this triggers a function-level reset and resubmission. 0 (the
+     * default) disables timeout detection.
+     */
+    sim::Duration request_timeout = 0;
+    /**
+     * Function-level resets a single request may ride through before
+     * the driver fails it with kAborted. 0 disables FLR recovery
+     * (device aborts surface to the caller immediately).
+     */
+    std::uint32_t max_flr_recoveries = 2;
 };
 
 /** Driver instance bound to one function; see file comment. */
@@ -99,6 +118,12 @@ class FunctionDriver {
     pcie::FunctionId function() const { return fn_; }
     std::uint64_t submitted() const { return submitted_; }
     std::uint64_t completed() const { return completed_; }
+    /** Chunk resubmissions taken after retryable completion errors. */
+    std::uint64_t retries() const { return retries_; }
+    /** Requests that hit the driver-side request_timeout. */
+    std::uint64_t timeouts() const { return timeouts_; }
+    /** Function-level resets this driver performed to recover. */
+    std::uint64_t flr_recoveries() const { return flr_recoveries_; }
 
     /** Direct register access, charged at MMIO cost. */
     util::Result<std::uint64_t> reg_read(std::uint64_t offset);
@@ -108,6 +133,21 @@ class FunctionDriver {
     void handle_completion_irq();
     void ring_doorbell();
     util::Status push_command(const ctrl::CommandRecord &record);
+    /** (Re)issues all chunks of a request and arms its timeout. */
+    util::Status issue_chunks(std::uint64_t request_id);
+    /** Scheduled backoff expiry; ignored when @p generation is stale. */
+    void resubmit(std::uint64_t request_id, std::uint64_t generation);
+    /** Scheduled timeout check; ignored when @p generation is stale. */
+    void check_timeout(std::uint64_t request_id,
+                       std::uint64_t generation);
+    /** Fails @p request_id with @p status and fires its callback. */
+    void fail_request(std::uint64_t request_id,
+                      ctrl::CompletionStatus status);
+    /**
+     * Resets the function, reattaches the rings, and resubmits every
+     * outstanding request (failing those over their FLR budget).
+     */
+    void flr_recover();
 
     sim::Simulator &simulator_;
     pcie::HostMemory &host_memory_;
@@ -122,11 +162,25 @@ class FunctionDriver {
     std::optional<pcie::HostRing> comp_ring_;
 
     std::uint64_t next_tag_ = 1;
-    /** Multi-chunk request bookkeeping: chunks left + user callback. */
+    /**
+     * Multi-chunk request bookkeeping. The shape of the request (op,
+     * vlba, nblocks, buffer) is kept so the driver can resubmit it
+     * after a retryable error or a function-level reset; `generation`
+     * invalidates backoff/timeout events scheduled for a superseded
+     * submission of the same request.
+     */
     struct PendingRequest {
-        std::uint32_t chunks_remaining;
-        ctrl::CompletionStatus status;
+        std::uint32_t chunks_remaining = 0;
+        ctrl::CompletionStatus status = ctrl::CompletionStatus::kOk;
         Done done;
+        ctrl::Opcode op = ctrl::Opcode::kRead;
+        std::uint64_t vlba = 0;
+        std::uint32_t nblocks = 0;
+        pcie::HostAddr buffer = pcie::kNullHostAddr;
+        std::uint32_t attempts = 0;       ///< retries taken so far
+        std::uint32_t flr_recoveries = 0; ///< resets ridden through
+        std::uint64_t generation = 0;
+        sim::Time deadline = 0;
     };
     std::uint64_t next_request_ = 1;
     std::unordered_map<std::uint64_t, PendingRequest> requests_;
@@ -134,6 +188,9 @@ class FunctionDriver {
 
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t flr_recoveries_ = 0;
 };
 
 /**

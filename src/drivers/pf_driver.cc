@@ -226,6 +226,20 @@ PfDriver::service_fault(pcie::FunctionId fn)
     std::uint64_t nblocks =
         util::ceil_div(miss_size, ctrl::kDeviceBlockSize);
 
+    NESC_ASSIGN_OR_RETURN(std::uint64_t fault_kind,
+                          reg_read(fn, ctrl::reg::kFaultKind));
+    if (static_cast<ctrl::FaultKind>(fault_kind) ==
+        ctrl::FaultKind::kTreeCorrupt) {
+        // The device hit garbage walking this VF's tree. No
+        // allocation is missing; either hand the VF a clean tree and
+        // rewalk, or reset the function and let its driver resubmit.
+        ++tree_corrupt_serviced_;
+        if (config_.media_error_policy == MediaErrorPolicy::kReset)
+            return reg_write(fn, ctrl::reg::kFnReset, 1);
+        NESC_RETURN_IF_ERROR(rebuild_tree(fn));
+        return reg_write(fn, ctrl::reg::kRewalkTree, 1);
+    }
+
     if (allocation_denied_[fn]) {
         // Quota exhausted: tell the device to fail the stalled writes
         // (Figure 5b's "cannot allocate" leg).
@@ -280,10 +294,26 @@ PfDriver::rebuild_tree(pcie::FunctionId fn)
     NESC_ASSIGN_OR_RETURN(
         auto image,
         extent::ExtentTreeImage::build(host_memory_, extents, config_.tree));
+    // Repoint every sharer through the PF mgmt block: the per-function
+    // ExtentTreeRoot register is PF-page-only, and the mgmt command
+    // also flushes the member's stale BTLB entries.
     for (const auto &[member, member_owner] : tree_owner_) {
-        if (member_owner == owner) {
-            NESC_RETURN_IF_ERROR(reg_write(
-                member, ctrl::reg::kExtentTreeRoot, image.root()));
+        if (member_owner != owner)
+            continue;
+        NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kMgmtVfId, member));
+        NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kMgmtExtentRoot,
+                                       image.root()));
+        NESC_RETURN_IF_ERROR(reg_write(
+            pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+            static_cast<std::uint64_t>(ctrl::MgmtCommand::kSetExtentRoot)));
+        NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kMgmtStatus));
+        if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk)) {
+            return util::internal_error(
+                "device rejected extent-root update");
         }
     }
     auto it = trees_.find(owner);

@@ -30,6 +30,19 @@
 
 namespace nesc::drv {
 
+/**
+ * How the hypervisor services a media/metadata corruption fault
+ * (FaultKind::kTreeCorrupt): the device detected garbage while
+ * walking a VF's extent tree (bad node magic/kind/bounds, or a
+ * poisoned DMA read) and faulted the VF.
+ */
+enum class MediaErrorPolicy : std::uint8_t {
+    /** Regenerate the tree from the filesystem and rewalk (default). */
+    kRebuild = 0,
+    /** Function-level-reset the VF; its driver resubmits. */
+    kReset = 1,
+};
+
 /** PF driver tuning. */
 struct PfDriverConfig {
     FunctionDriverConfig function;
@@ -40,6 +53,8 @@ struct PfDriverConfig {
     /** Allocate this many blocks per write-miss service (batching
      * amortizes faults on streaming writes; 0 means exactly the miss). */
     std::uint64_t allocation_batch_blocks = 32;
+    /** Service policy for tree-corruption faults. */
+    MediaErrorPolicy media_error_policy = MediaErrorPolicy::kRebuild;
 };
 
 /** Hypervisor view of one created VF. */
@@ -140,6 +155,10 @@ class PfDriver {
     {
         return prune_faults_serviced_;
     }
+    std::uint64_t tree_corrupt_serviced() const
+    {
+        return tree_corrupt_serviced_;
+    }
 
     /**
      * Deny further allocations for @p fn: the next write-miss fault is
@@ -174,6 +193,7 @@ class PfDriver {
     std::uint64_t faults_serviced_ = 0;
     std::uint64_t write_misses_serviced_ = 0;
     std::uint64_t prune_faults_serviced_ = 0;
+    std::uint64_t tree_corrupt_serviced_ = 0;
 };
 
 } // namespace nesc::drv

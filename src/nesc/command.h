@@ -34,7 +34,25 @@ enum class CompletionStatus : std::uint32_t {
     kOutOfRange = 1,   ///< vLBA beyond the virtual device size
     kWriteFailed = 2,  ///< hypervisor could not allocate storage
     kInternalError = 3,
+    kReadMediaError = 4,  ///< storage media failed the read
+    kWriteMediaError = 5, ///< storage media failed the write
+    kAborted = 6,         ///< aborted by watchdog or function reset
 };
+
+/**
+ * Statuses a driver may retry: media errors can be transient (the
+ * device cannot tell a transient media hiccup from a grown defect, so
+ * it reports both the same way and leaves the retry policy to the
+ * host), and kAborted means the command was torn down, not that it
+ * failed — a resubmission after recovery is well-defined.
+ */
+constexpr bool
+completion_status_retryable(CompletionStatus status)
+{
+    return status == CompletionStatus::kReadMediaError ||
+           status == CompletionStatus::kWriteMediaError ||
+           status == CompletionStatus::kAborted;
+}
 
 /** Command ring record (driver -> device). */
 struct CommandRecord {
@@ -77,6 +95,22 @@ inline constexpr std::uint64_t kStatBlocksWritten = 0x48; // RO
 inline constexpr std::uint64_t kStatFaults = 0x50;        // RO
 /** QoS service weight of this function (set through PF mgmt). */
 inline constexpr std::uint64_t kQosWeight = 0x58; // RO
+/**
+ * Command watchdog: commands outstanding longer than this many
+ * nanoseconds complete with kAborted. 0 (reset value) disables it.
+ */
+inline constexpr std::uint64_t kWatchdogNs = 0x60; // RW
+/**
+ * Function-level reset: any non-zero write aborts the function's
+ * queued, stalled, and in-flight operations, clears its rings, fault
+ * state, and driver-owned registers. Hypervisor-owned configuration
+ * (extent root, device size, QoS weight, active state) is preserved.
+ */
+inline constexpr std::uint64_t kFnReset = 0x68; // WO
+/** Pending fault kind (FaultKind); 0 when the function is running. */
+inline constexpr std::uint64_t kFaultKind = 0x70;      // RO
+inline constexpr std::uint64_t kStatAbortedOps = 0x78; // RO
+inline constexpr std::uint64_t kStatFnResets = 0x7c;   // RO
 
 // PF-only management block (paper: VFs are created/deleted and their
 // storage subsets controlled through the PF interface).
@@ -105,6 +139,14 @@ enum class MgmtCommand : std::uint32_t {
      * priorities for each VF").
      */
     kSetQosWeight = 5,
+    /**
+     * Repoints the extent tree of the VF in kMgmtVfId at
+     * kMgmtExtentRoot and flushes that VF's BTLB entries. This is the
+     * only way to change a live VF's mapping: the per-function
+     * ExtentTreeRoot register is read-only outside the PF, so a guest
+     * cannot repoint its own tree at a self-crafted mapping.
+     */
+    kSetExtentRoot = 6,
 };
 
 /** kMgmtStatus values. */

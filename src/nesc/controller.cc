@@ -1,5 +1,6 @@
 #include "controller.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -7,6 +8,13 @@
 #include "util/log.h"
 
 namespace nesc::ctrl {
+
+namespace {
+// Walk sanity bounds: no well-formed tree the hypervisor can build
+// exceeds these, so crossing one means the node bytes are garbage.
+constexpr std::uint32_t kMaxNodeEntries = 4096;
+constexpr std::uint32_t kMaxWalkDepth = 64;
+} // namespace
 
 using extent::ExtentPtrRecord;
 using extent::NodeHeaderRecord;
@@ -83,6 +91,11 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
       case reg::kStatBlocksRead: return c.stats.blocks_read;
       case reg::kStatBlocksWritten: return c.stats.blocks_written;
       case reg::kStatFaults: return c.stats.faults;
+      case reg::kStatAbortedOps: return c.stats.aborted_ops;
+      case reg::kStatFnResets: return c.stats.fn_resets;
+      case reg::kWatchdogNs: return c.watchdog_ns;
+      case reg::kFaultKind:
+        return static_cast<std::uint64_t>(c.fault);
       case reg::kQosWeight:
         return static_cast<std::uint64_t>(c.qos_weight);
       case reg::kInterruptVector:
@@ -118,11 +131,22 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
 
     switch (offset) {
       case reg::kExtentTreeRoot:
-        // The VF's tree root itself is hypervisor-controlled; VFs are
-        // created through the PF mgmt block. Allow rewrites through
-        // the VF page too (the hypervisor maps it privately when
-        // servicing faults).
+        // Hypervisor-owned: a guest must never repoint its own tree at
+        // a self-crafted mapping. Live VF root updates go through the
+        // PF mgmt block (kSetExtentRoot), which also flushes the VF's
+        // stale BTLB entries.
+        if (!is_pf)
+            return util::permission_denied_error(
+                "ExtentTreeRoot is PF-owned");
         c.extent_tree_root = value;
+        return util::Status::ok();
+      case reg::kWatchdogNs:
+        c.watchdog_ns = value;
+        arm_watchdog(fn);
+        return util::Status::ok();
+      case reg::kFnReset:
+        if (value != 0)
+            function_level_reset(fn);
         return util::Status::ok();
       case reg::kCmdRingBase:
         c.cmd_ring_base = value;
@@ -210,9 +234,13 @@ Controller::mgmt_execute(MgmtCommand command)
         FunctionContext &c = ctx(fn);
         if (!c.active)
             return err;
-        if (!c.queue.empty() || !c.pending.empty() ||
-            !c.stalled_ops.empty())
-            return err; // refuse to delete a busy VF
+        // Refuse to delete a non-quiescent VF: beyond its own queues,
+        // ops may sit in the shared vLBA/pLBA queues, in the transfer
+        // stage (tracked by `pending`), or in a doorbell fetch that
+        // has not landed yet — deleting then would strand commands
+        // with no completion.
+        if (!function_quiescent(fn))
+            return err;
         c = FunctionContext{};
         btlb_.flush_function(fn);
         ++counters_["vfs_deleted"];
@@ -240,6 +268,19 @@ Controller::mgmt_execute(MgmtCommand command)
             return err;
         ctx(fn).qos_weight = mgmt_qos_weight_;
         ++counters_["qos_updates"];
+        return ok;
+      }
+      case MgmtCommand::kSetExtentRoot: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        FunctionContext &c = ctx(fn);
+        if (!c.active)
+            return err;
+        c.extent_tree_root = mgmt_extent_root_;
+        // Cached translations may derive from the old tree.
+        btlb_.flush_function(fn);
+        ++counters_["extent_root_updates"];
         return ok;
       }
     }
@@ -297,8 +338,8 @@ Controller::fetch_commands(pcie::FunctionId fn)
         }
 
         // Split into 1 KiB device-block operations (paper §IV.C).
-        c.pending[rec.tag] =
-            PendingCommand{rec.nblocks, CompletionStatus::kOk};
+        c.pending[rec.tag] = PendingCommand{
+            rec.nblocks, CompletionStatus::kOk, simulator_.now()};
         for (std::uint32_t b = 0; b < rec.nblocks; ++b) {
             BlockOp op{fn, opcode, rec.vlba + b,
                        rec.host_buffer +
@@ -310,6 +351,7 @@ Controller::fetch_commands(pcie::FunctionId fn)
         }
     }
     counters_["commands_fetched"] += fetched;
+    arm_watchdog(fn);
     if (c.doorbell_rearm) {
         c.doorbell_rearm = false;
         c.fetch_in_progress = true;
@@ -460,18 +502,26 @@ Controller::walk_node(std::shared_ptr<Walk> walk)
                            std::vector<std::byte> data) {
                   if (!status.is_ok() ||
                       data.size() < sizeof(NodeHeaderRecord)) {
-                      complete_block(walk->op,
-                                     CompletionStatus::kInternalError);
+                      // Poisoned or failed node read: contain it to
+                      // the faulting VF instead of killing the op with
+                      // an opaque internal error.
+                      finish_fault(walk->op, FaultKind::kTreeCorrupt);
                       release_walker();
                       pump();
                       return;
                   }
                   NodeHeaderRecord header;
                   std::memcpy(&header, data.data(), sizeof(header));
-                  if (header.magic != extent::kNodeMagic ||
-                      walk->levels > 64) {
-                      complete_block(walk->op,
-                                     CompletionStatus::kInternalError);
+                  const bool kind_ok =
+                      header.kind == static_cast<NodeKindTag>(
+                                         NodeKind::kInternal) ||
+                      header.kind ==
+                          static_cast<NodeKindTag>(NodeKind::kLeaf);
+                  if (header.magic != extent::kNodeMagic || !kind_ok ||
+                      header.count > kMaxNodeEntries ||
+                      header.depth > kMaxWalkDepth ||
+                      walk->levels > kMaxWalkDepth) {
+                      finish_fault(walk->op, FaultKind::kTreeCorrupt);
                       release_walker();
                       pump();
                       return;
@@ -494,7 +544,7 @@ Controller::walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
         [this, walk, kind, count](util::Status status,
                                   std::vector<std::byte> data) {
             if (!status.is_ok()) {
-                complete_block(walk->op, CompletionStatus::kInternalError);
+                finish_fault(walk->op, FaultKind::kTreeCorrupt);
                 release_walker();
                 pump();
                 return;
@@ -564,9 +614,16 @@ Controller::release_walker()
 void
 Controller::finish_mapped(const BlockOp &op, const extent::Extent &extent)
 {
+    const extent::Plba plba = extent.translate(op.vlba);
+    if (plba >= device_.geometry().num_blocks()) {
+        // The extent points outside the physical device: the tree (or
+        // a BTLB entry derived from it) is corrupt.
+        finish_fault(op, FaultKind::kTreeCorrupt);
+        return;
+    }
     BlockOp stamped = op;
     stamped.t_translated = simulator_.now();
-    plba_queue_.emplace_back(stamped, extent.translate(op.vlba));
+    plba_queue_.emplace_back(stamped, plba);
 }
 
 void
@@ -592,8 +649,16 @@ Controller::finish_fault(const BlockOp &op, FaultKind kind)
     c.miss_address = op.vlba * static_cast<std::uint64_t>(kDeviceBlockSize);
     c.miss_size = kDeviceBlockSize;
     ++c.stats.faults;
-    counters_[kind == FaultKind::kWriteMiss ? "write_miss_faults"
-                                            : "prune_faults"] += 1;
+    switch (kind) {
+      case FaultKind::kWriteMiss: ++counters_["write_miss_faults"]; break;
+      case FaultKind::kPruned: ++counters_["prune_faults"]; break;
+      case FaultKind::kTreeCorrupt:
+        ++counters_["tree_corrupt_faults"];
+        // Any cached translation may derive from the corrupt tree.
+        btlb_.flush_function(op.fn);
+        break;
+      case FaultKind::kNone: break;
+    }
     irq_.raise(kFaultVector);
 }
 
@@ -626,8 +691,15 @@ Controller::fail_stalled(pcie::FunctionId fn)
     c.miss_size = 0;
     std::deque<BlockOp> parked;
     parked.swap(c.stalled_ops);
+    // Only writes missed: reads parked behind the fault were stalled
+    // by ordering alone, so requeue them (ahead of newer arrivals,
+    // preserving their relative order) and the VF resumes cleanly.
+    for (auto it = parked.rbegin(); it != parked.rend(); ++it)
+        if (it->op == Opcode::kRead)
+            c.queue.push_front(*it);
     for (const BlockOp &op : parked)
-        complete_block(op, CompletionStatus::kWriteFailed);
+        if (op.op != Opcode::kRead)
+            complete_block(op, CompletionStatus::kWriteFailed);
     ++counters_["write_failures"];
     pump();
 }
@@ -666,7 +738,9 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
             util::Status status = device_.read(media_offset, data);
             if (!status.is_ok()) {
                 --inflight_transfers_;
-                complete_block(op, CompletionStatus::kInternalError);
+                ++ctx(op.fn).stats.media_errors;
+                ++counters_["media_read_errors"];
+                complete_block(op, CompletionStatus::kReadMediaError);
                 pump();
                 return;
             }
@@ -701,12 +775,16 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
                   simulator_.schedule_at(
                       media_done, [this, op, wstatus]() {
                           --inflight_transfers_;
+                          if (!wstatus.is_ok()) {
+                              ++ctx(op.fn).stats.media_errors;
+                              ++counters_["media_write_errors"];
+                              complete_block(
+                                  op, CompletionStatus::kWriteMediaError);
+                              pump();
+                              return;
+                          }
                           ctx(op.fn).stats.blocks_written += 1;
-                          complete_block(op,
-                                         wstatus.is_ok()
-                                             ? CompletionStatus::kOk
-                                             : CompletionStatus::
-                                                   kInternalError);
+                          complete_block(op, CompletionStatus::kOk);
                           pump();
                       });
               });
@@ -808,6 +886,126 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
             irq_.raise(vector);
     });
     ++counters_["irqs_coalesced"];
+}
+
+// --------------------------------------------------------------------
+// Error containment
+// --------------------------------------------------------------------
+
+void
+Controller::arm_watchdog(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    if (c.watchdog_ns == 0 || c.watchdog_armed || c.pending.empty())
+        return;
+    // One timer per function, aimed at the oldest command's deadline.
+    sim::Time earliest = ~sim::Time{0};
+    for (const auto &[tag, cmd] : c.pending)
+        earliest = std::min(earliest, cmd.t_start);
+    const sim::Time expiry =
+        std::max(earliest + c.watchdog_ns, simulator_.now());
+    c.watchdog_armed = true;
+    simulator_.schedule_at(expiry, [this, fn]() { watchdog_fire(fn); });
+}
+
+void
+Controller::watchdog_fire(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    c.watchdog_armed = false;
+    if (!c.active || c.watchdog_ns == 0)
+        return;
+    const sim::Time now = simulator_.now();
+    std::vector<std::uint64_t> expired;
+    for (const auto &[tag, cmd] : c.pending)
+        if (now - cmd.t_start >= c.watchdog_ns)
+            expired.push_back(tag);
+    for (std::uint64_t tag : expired)
+        abort_command(fn, tag);
+    arm_watchdog(fn); // younger commands keep their own deadline
+    pump();
+}
+
+void
+Controller::abort_command(pcie::FunctionId fn, std::uint64_t tag)
+{
+    FunctionContext &c = ctx(fn);
+    auto it = c.pending.find(tag);
+    if (it == c.pending.end())
+        return;
+    // Tear down every queued copy of the command; blocks already in
+    // the transfer stage drop on completion via the pending-map miss.
+    std::erase_if(c.queue,
+                  [tag](const BlockOp &op) { return op.tag == tag; });
+    std::erase_if(c.stalled_ops,
+                  [tag](const BlockOp &op) { return op.tag == tag; });
+    purge_shared_queues(fn, tag);
+    c.pending.erase(it);
+    ++c.stats.aborted_ops;
+    ++counters_["aborted_ops"];
+    // Fault state (if any) stays latched: an abort is a deadline miss,
+    // not a recovery — the hypervisor services the fault or the driver
+    // escalates to a function-level reset.
+    simulator_.schedule_in(config_.completion_cost, [this, fn, tag]() {
+        post_completion(fn, tag, CompletionStatus::kAborted);
+    });
+}
+
+void
+Controller::function_level_reset(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    if (!c.active)
+        return;
+    purge_shared_queues(fn, std::nullopt);
+    c.queue.clear();
+    c.stalled_ops.clear();
+    c.pending.clear(); // in-flight transfers drop on the pending miss
+    c.fault = FaultKind::kNone;
+    c.miss_address = 0;
+    c.miss_size = 0;
+    c.cmd_ring.reset();
+    c.comp_ring.reset();
+    c.cmd_ring_base = pcie::kNullHostAddr;
+    c.comp_ring_base = pcie::kNullHostAddr;
+    c.fetch_in_progress = false;
+    c.doorbell_rearm = false;
+    c.irq_pending = false;
+    c.irq_vector = 0;
+    c.watchdog_ns = 0;
+    c.watchdog_armed = false;
+    btlb_.flush_function(fn);
+    ++c.stats.fn_resets;
+    ++counters_["fn_resets"];
+    pump();
+}
+
+void
+Controller::purge_shared_queues(pcie::FunctionId fn,
+                                std::optional<std::uint64_t> tag)
+{
+    auto match = [fn, tag](const BlockOp &op) {
+        return op.fn == fn && (!tag || op.tag == *tag);
+    };
+    std::erase_if(vlba_queue_, match);
+    std::erase_if(plba_queue_,
+                  [&](const auto &entry) { return match(entry.first); });
+}
+
+bool
+Controller::function_quiescent(pcie::FunctionId fn) const
+{
+    const FunctionContext &c = contexts_[fn];
+    if (!c.queue.empty() || !c.stalled_ops.empty() ||
+        !c.pending.empty() || c.fetch_in_progress)
+        return false;
+    for (const BlockOp &op : vlba_queue_)
+        if (op.fn == fn)
+            return false;
+    for (const auto &[op, plba] : plba_queue_)
+        if (op.fn == fn)
+            return false;
+    return true;
 }
 
 } // namespace nesc::ctrl

@@ -79,8 +79,9 @@ struct ControllerConfig {
 /** Translation fault kinds (drives the hypervisor's service path). */
 enum class FaultKind : std::uint8_t {
     kNone = 0,
-    kWriteMiss,  ///< write to an unallocated (lazy) region
-    kPruned,     ///< access under a pruned subtree
+    kWriteMiss,   ///< write to an unallocated (lazy) region
+    kPruned,      ///< access under a pruned subtree
+    kTreeCorrupt, ///< extent-tree node failed a sanity check
 };
 
 /** Per-function runtime statistics. */
@@ -91,6 +92,9 @@ struct FunctionStats {
     std::uint64_t holes_zero_filled = 0;
     std::uint64_t faults = 0;
     std::uint64_t completions = 0;
+    std::uint64_t media_errors = 0; ///< block ops failed by the media
+    std::uint64_t aborted_ops = 0;  ///< commands aborted (watchdog/FLR)
+    std::uint64_t fn_resets = 0;    ///< function-level resets taken
 };
 
 /** The NeSC controller device model. */
@@ -163,6 +167,7 @@ class Controller : public pcie::FunctionMmioDevice {
     struct PendingCommand {
         std::uint32_t remaining;
         CompletionStatus status;
+        sim::Time t_start = 0; ///< fetch time, for the command watchdog
     };
 
     /** Per-function device context. */
@@ -182,6 +187,9 @@ class Controller : public pcie::FunctionMmioDevice {
         std::uint32_t qos_weight = 1;
         /** Completion MSI vector; 0 selects the default for the fn. */
         std::uint32_t irq_vector = 0;
+        /** Command watchdog period in ns; 0 disables it. */
+        sim::Duration watchdog_ns = 0;
+        bool watchdog_armed = false; ///< an expiry check is scheduled
         FaultKind fault = FaultKind::kNone;
         std::deque<BlockOp> queue;       ///< awaiting arbitration
         std::deque<BlockOp> stalled_ops; ///< parked on a fault
@@ -218,6 +226,17 @@ class Controller : public pcie::FunctionMmioDevice {
     void handle_rewalk(pcie::FunctionId fn);
     void fail_stalled(pcie::FunctionId fn);
     std::uint32_t mgmt_execute(MgmtCommand command);
+
+    // Error containment.
+    void arm_watchdog(pcie::FunctionId fn);
+    void watchdog_fire(pcie::FunctionId fn);
+    void abort_command(pcie::FunctionId fn, std::uint64_t tag);
+    void function_level_reset(pcie::FunctionId fn);
+    /** Drops @p fn's ops (optionally one tag) from the shared queues. */
+    void purge_shared_queues(pcie::FunctionId fn,
+                             std::optional<std::uint64_t> tag);
+    /** True when the fn is fully idle (nothing queued or in flight). */
+    bool function_quiescent(pcie::FunctionId fn) const;
 
     FunctionContext &ctx(pcie::FunctionId fn) { return contexts_[fn]; }
 

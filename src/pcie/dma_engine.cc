@@ -21,6 +21,8 @@ DmaEngine::read(HostAddr addr, std::uint64_t size, ReadDone done)
             util::Status status = host_memory_.read(addr, data);
             if (!status.is_ok())
                 data.clear();
+            else if (read_fault_hook_)
+                read_fault_hook_(addr, data, status);
             done(std::move(status), std::move(data));
         });
 }

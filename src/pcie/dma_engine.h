@@ -37,6 +37,15 @@ class DmaEngine {
     using ReadDone =
         std::function<void(util::Status, std::vector<std::byte>)>;
     using WriteDone = std::function<void(util::Status)>;
+    /**
+     * Fault-injection hook invoked on every completed DMA read, after
+     * the functional copy but before delivery. The hook may rewrite
+     * the payload (bus corruption) or replace the status with an error
+     * (poisoned TLP). Used by the fault-injection harness to poison
+     * extent-tree node reads in flight.
+     */
+    using ReadFaultHook = std::function<void(
+        HostAddr addr, std::vector<std::byte> &data, util::Status &status)>;
 
     DmaEngine(sim::Simulator &simulator, HostMemory &host_memory,
               const DmaConfig &config = {});
@@ -67,11 +76,18 @@ class DmaEngine {
     std::uint64_t total_transfers() const { return link_.total_transfers(); }
     const DmaConfig &config() const { return config_; }
 
+    /** Installs (or clears, with nullptr) the read fault hook. */
+    void set_read_fault_hook(ReadFaultHook hook)
+    {
+        read_fault_hook_ = std::move(hook);
+    }
+
   private:
     sim::Simulator &simulator_;
     HostMemory &host_memory_;
     DmaConfig config_;
     sim::BandwidthServer link_;
+    ReadFaultHook read_fault_hook_;
 };
 
 } // namespace nesc::pcie

@@ -1,0 +1,108 @@
+#include "faulty_block_device.h"
+
+namespace nesc::storage {
+
+FaultyBlockDevice::FaultyBlockDevice(BlockDevice &inner,
+                                     const FaultPlan &plan)
+    : inner_(inner), plan_(plan), rng_(plan.seed)
+{
+}
+
+bool
+FaultyBlockDevice::overlaps_bad_range(std::uint64_t offset,
+                                      std::uint64_t bytes) const
+{
+    const std::uint32_t bs = inner_.geometry().logical_block_size;
+    const std::uint64_t first = offset / bs;
+    const std::uint64_t last = bytes ? (offset + bytes - 1) / bs : first;
+    for (const BadBlockRange &range : plan_.bad_blocks) {
+        if (range.nblocks == 0)
+            continue;
+        if (first <= range.first_block + range.nblocks - 1 &&
+            last >= range.first_block)
+            return true;
+    }
+    return false;
+}
+
+InjectedFault
+FaultyBlockDevice::draw(bool is_read, std::uint64_t offset,
+                        std::uint64_t bytes)
+{
+    const std::uint64_t index = op_index_++;
+    for (const ScheduledFault &sched : plan_.schedule) {
+        if (sched.op_index == index && sched.kind != InjectedFault::kNone)
+            return sched.kind;
+    }
+    if (overlaps_bad_range(offset, bytes)) {
+        ++counters_["bad_block_hits"];
+        return is_read ? InjectedFault::kReadError
+                       : InjectedFault::kWriteError;
+    }
+    // One RNG draw per class keeps the stream deterministic regardless
+    // of which probabilities are enabled: every op consumes the same
+    // number of draws.
+    const bool transient = rng_.next_bool(plan_.transient_prob);
+    const bool hard = rng_.next_bool(is_read ? plan_.read_error_prob
+                                             : plan_.write_error_prob);
+    const bool corrupt = rng_.next_bool(plan_.corrupt_prob);
+    if (transient)
+        return InjectedFault::kTransient;
+    if (hard)
+        return is_read ? InjectedFault::kReadError
+                       : InjectedFault::kWriteError;
+    if (corrupt && is_read)
+        return InjectedFault::kCorrupt;
+    return InjectedFault::kNone;
+}
+
+util::Status
+FaultyBlockDevice::read(std::uint64_t offset, std::span<std::byte> out)
+{
+    switch (draw(/*is_read=*/true, offset, out.size())) {
+      case InjectedFault::kReadError:
+        ++counters_["injected_faults"];
+        ++counters_["read_media_errors"];
+        return util::data_loss_error("injected media read error");
+      case InjectedFault::kTransient:
+        ++counters_["injected_faults"];
+        ++counters_["transient_faults"];
+        return util::unavailable_error("injected transient read fault");
+      case InjectedFault::kCorrupt: {
+        NESC_RETURN_IF_ERROR(inner_.read(offset, out));
+        if (!out.empty()) {
+            ++counters_["injected_faults"];
+            ++counters_["silent_corruptions"];
+            const std::uint64_t bit = rng_.next_below(out.size() * 8);
+            out[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+        }
+        return util::Status::ok();
+      }
+      case InjectedFault::kWriteError:
+      case InjectedFault::kNone:
+        break;
+    }
+    return inner_.read(offset, out);
+}
+
+util::Status
+FaultyBlockDevice::write(std::uint64_t offset, std::span<const std::byte> in)
+{
+    switch (draw(/*is_read=*/false, offset, in.size())) {
+      case InjectedFault::kWriteError:
+        ++counters_["injected_faults"];
+        ++counters_["write_media_errors"];
+        return util::data_loss_error("injected media write error");
+      case InjectedFault::kTransient:
+        ++counters_["injected_faults"];
+        ++counters_["transient_faults"];
+        return util::unavailable_error("injected transient write fault");
+      case InjectedFault::kReadError:
+      case InjectedFault::kCorrupt:
+      case InjectedFault::kNone:
+        break;
+    }
+    return inner_.write(offset, in);
+}
+
+} // namespace nesc::storage

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fault-injecting decorator over any BlockDevice.
+ *
+ * Real storage controllers are qualified against media failures, not
+ * just the happy path; this decorator lets every test and bench run
+ * the same pipeline under a deterministic error model. A seeded
+ * FaultPlan drives four fault classes:
+ *
+ *   - hard media errors (DATA_LOSS) on reads and/or writes, drawn
+ *     per-operation from independent probabilities;
+ *   - transient errors (UNAVAILABLE) that a fresh retry of the same
+ *     operation may survive;
+ *   - latent bad-block ranges that fail every access overlapping them
+ *     (the classic grown-defect list);
+ *   - silent bit corruption: the read succeeds but one bit of the
+ *     returned payload is flipped (detectable only end-to-end).
+ *
+ * Faults can also be scheduled by operation index, which gives tests
+ * single-shot deterministic triggers without probability tuning. The
+ * timing path (service_read/service_write) is forwarded untouched:
+ * failed media operations still occupy the media port, as they do on
+ * real hardware.
+ */
+#ifndef NESC_STORAGE_FAULTY_BLOCK_DEVICE_H
+#define NESC_STORAGE_FAULTY_BLOCK_DEVICE_H
+
+#include <vector>
+
+#include "storage/block_device.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace nesc::storage {
+
+/** Fault classes the decorator can inject. */
+enum class InjectedFault : std::uint8_t {
+    kNone = 0,
+    kReadError,  ///< hard media error on a read (DATA_LOSS)
+    kWriteError, ///< hard media error on a write (DATA_LOSS)
+    kTransient,  ///< transient failure (UNAVAILABLE); retry may succeed
+    kCorrupt,    ///< silent single-bit flip in returned read data
+};
+
+/** A block range that always fails (grown media defect). */
+struct BadBlockRange {
+    std::uint64_t first_block = 0;
+    std::uint64_t nblocks = 0;
+};
+
+/** A single-shot fault triggered at the Nth media operation. */
+struct ScheduledFault {
+    /** Zero-based index in the combined read+write operation stream. */
+    std::uint64_t op_index = 0;
+    InjectedFault kind = InjectedFault::kNone;
+};
+
+/** Seeded description of what to inject and how often. */
+struct FaultPlan {
+    std::uint64_t seed = 1;
+    /** Per-read probability of a hard media error. */
+    double read_error_prob = 0.0;
+    /** Per-write probability of a hard media error. */
+    double write_error_prob = 0.0;
+    /** Per-op probability of a transient UNAVAILABLE (both directions). */
+    double transient_prob = 0.0;
+    /** Per-read probability of a silent bit flip in the payload. */
+    double corrupt_prob = 0.0;
+    /** Ranges (device blocks) that fail every overlapping access. */
+    std::vector<BadBlockRange> bad_blocks;
+    /** Deterministic single-shot triggers, by media-op index. */
+    std::vector<ScheduledFault> schedule;
+};
+
+/** BlockDevice decorator injecting faults per a FaultPlan. */
+class FaultyBlockDevice : public BlockDevice {
+  public:
+    /** @p inner must outlive the decorator. */
+    FaultyBlockDevice(BlockDevice &inner, const FaultPlan &plan);
+
+    const Geometry &geometry() const override { return inner_.geometry(); }
+
+    util::Status read(std::uint64_t offset,
+                      std::span<std::byte> out) override;
+    util::Status write(std::uint64_t offset,
+                       std::span<const std::byte> in) override;
+
+    sim::Time
+    service_read(sim::Time start, std::uint64_t offset,
+                 std::uint64_t bytes) override
+    {
+        return inner_.service_read(start, offset, bytes);
+    }
+    sim::Time
+    service_write(sim::Time start, std::uint64_t offset,
+                  std::uint64_t bytes) override
+    {
+        return inner_.service_write(start, offset, bytes);
+    }
+
+    std::uint64_t bytes_read() const override { return inner_.bytes_read(); }
+    std::uint64_t bytes_written() const override
+    {
+        return inner_.bytes_written();
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+    BlockDevice &inner() { return inner_; }
+
+    /**
+     * Injection accounting: `injected_faults` (total) plus one counter
+     * per class (`read_media_errors`, `write_media_errors`,
+     * `transient_faults`, `silent_corruptions`, `bad_block_hits`).
+     */
+    const util::CounterGroup &counters() const { return counters_; }
+
+    /** Media operations observed so far (schedule index space). */
+    std::uint64_t ops_seen() const { return op_index_; }
+
+  private:
+    /** Picks the fault (if any) for the current op; advances the RNG. */
+    InjectedFault draw(bool is_read, std::uint64_t offset,
+                       std::uint64_t bytes);
+    bool overlaps_bad_range(std::uint64_t offset, std::uint64_t bytes) const;
+
+    BlockDevice &inner_;
+    FaultPlan plan_;
+    util::Rng rng_;
+    util::CounterGroup counters_;
+    std::uint64_t op_index_ = 0;
+};
+
+} // namespace nesc::storage
+
+#endif // NESC_STORAGE_FAULTY_BLOCK_DEVICE_H

@@ -264,13 +264,23 @@ TEST_F(ControllerTest, WriteMissRaisesFaultAndStalls)
     EXPECT_EQ(*controller_.mmio_read(fn, reg::kMissSize, 4),
               kDeviceBlockSize);
 
-    // Service the fault by hand: extend the mapping and rewalk.
+    // Service the fault by hand: extend the mapping, repoint the root
+    // through the PF mgmt block, and rewalk.
     auto image = extent::ExtentTreeImage::build(
         host_memory_, {{0, 8, 1000}, {20, 1, 3000}});
     ASSERT_TRUE(image.is_ok());
+    ASSERT_TRUE(controller_.mmio_write(0, reg::kMgmtVfId, fn, 8).is_ok());
     ASSERT_TRUE(controller_
-                    .mmio_write(fn, reg::kExtentTreeRoot, image->root(), 8)
+                    .mmio_write(0, reg::kMgmtExtentRoot, image->root(), 8)
                     .is_ok());
+    ASSERT_TRUE(controller_
+                    .mmio_write(0, reg::kMgmtCommand,
+                                static_cast<std::uint64_t>(
+                                    MgmtCommand::kSetExtentRoot),
+                                8)
+                    .is_ok());
+    ASSERT_EQ(*controller_.mmio_read(0, reg::kMgmtStatus, 4),
+              static_cast<std::uint64_t>(MgmtStatus::kOk));
     ASSERT_TRUE(
         controller_.mmio_write(fn, reg::kRewalkTree, 1, 4).is_ok());
     sim_.run_until_idle();
@@ -424,6 +434,136 @@ TEST_F(ControllerTest, DeleteBusyVfRefused)
                     .is_ok());
     EXPECT_EQ(*controller_.mmio_read(0, reg::kMgmtStatus, 4),
               static_cast<std::uint64_t>(MgmtStatus::kError));
+}
+
+TEST_F(ControllerTest, VfExtentRootWriteDenied)
+{
+    // Isolation: a guest must not be able to repoint its own extent
+    // tree at a self-crafted mapping covering other VFs' blocks.
+    const auto fn = create_vf({{0, 8, 1000}}, 32);
+    const std::uint64_t root =
+        *controller_.mmio_read(fn, reg::kExtentTreeRoot, 8);
+    EXPECT_EQ(controller_.mmio_write(fn, reg::kExtentTreeRoot, 0xdead00, 8)
+                  .code(),
+              util::ErrorCode::kPermissionDenied);
+    EXPECT_EQ(*controller_.mmio_read(fn, reg::kExtentTreeRoot, 8), root);
+
+    // The sanctioned path — PF mgmt kSetExtentRoot — does work.
+    auto image = extent::ExtentTreeImage::build(host_memory_,
+                                                {{0, 8, 2000}});
+    ASSERT_TRUE(image.is_ok());
+    ASSERT_TRUE(controller_.mmio_write(0, reg::kMgmtVfId, fn, 8).is_ok());
+    ASSERT_TRUE(controller_
+                    .mmio_write(0, reg::kMgmtExtentRoot, image->root(), 8)
+                    .is_ok());
+    ASSERT_TRUE(controller_
+                    .mmio_write(0, reg::kMgmtCommand,
+                                static_cast<std::uint64_t>(
+                                    MgmtCommand::kSetExtentRoot),
+                                8)
+                    .is_ok());
+    EXPECT_EQ(*controller_.mmio_read(0, reg::kMgmtStatus, 4),
+              static_cast<std::uint64_t>(MgmtStatus::kOk));
+    EXPECT_EQ(*controller_.mmio_read(fn, reg::kExtentTreeRoot, 8),
+              image->root());
+}
+
+TEST_F(ControllerTest, DeleteVfWithPendingFetchRefused)
+{
+    // A doorbell whose fetch has not landed yet must also count as
+    // busy: deleting then would strand the command with no completion.
+    const auto fn = create_vf({{0, 8, 1000}}, 8);
+    auto driver = make_driver(fn);
+    auto buffer = host_memory_.alloc(1024, 64);
+    ASSERT_TRUE(buffer.is_ok());
+    bool completed = false;
+    ASSERT_TRUE(driver
+                    ->submit(Opcode::kRead, 0, 1, *buffer,
+                             [&](CompletionStatus) { completed = true; })
+                    .is_ok());
+    // Doorbell rung, fetch still in flight (doorbell_latency pending).
+    ASSERT_TRUE(controller_.mmio_write(0, reg::kMgmtVfId, fn, 8).is_ok());
+    ASSERT_TRUE(controller_
+                    .mmio_write(0, reg::kMgmtCommand,
+                                static_cast<std::uint64_t>(
+                                    MgmtCommand::kDeleteVf),
+                                8)
+                    .is_ok());
+    EXPECT_EQ(*controller_.mmio_read(0, reg::kMgmtStatus, 4),
+              static_cast<std::uint64_t>(MgmtStatus::kError));
+
+    sim_.run_until_idle();
+    EXPECT_TRUE(completed);
+    // Quiescent now: the delete goes through.
+    ASSERT_TRUE(controller_
+                    .mmio_write(0, reg::kMgmtCommand,
+                                static_cast<std::uint64_t>(
+                                    MgmtCommand::kDeleteVf),
+                                8)
+                    .is_ok());
+    EXPECT_EQ(*controller_.mmio_read(0, reg::kMgmtStatus, 4),
+              static_cast<std::uint64_t>(MgmtStatus::kOk));
+}
+
+TEST_F(ControllerTest, FailMissFailsWritesAndResumesReads)
+{
+    // Park two unmapped writes and one mapped read behind the fault,
+    // then FailMiss: the writes complete kWriteFailed, the read is
+    // requeued and completes kOk, and the VF keeps working.
+    const auto fn = create_vf({{0, 8, 1000}}, 32);
+    auto driver = make_driver(fn);
+    auto buffer = host_memory_.alloc(4 * 1024, 64);
+    ASSERT_TRUE(buffer.is_ok());
+
+    // Back-to-back: the two unmapped writes occupy both walkers; the
+    // read arrives while they are busy, so when the first write
+    // faults the read is parked in the stalled queue behind it.
+    CompletionStatus w1 = CompletionStatus::kOk, w2 = w1, r1 = w1;
+    bool w1_done = false, w2_done = false, r1_done = false;
+    ASSERT_TRUE(driver
+                    ->submit(Opcode::kWrite, 20, 1, *buffer,
+                             [&](CompletionStatus s) {
+                                 w1 = s;
+                                 w1_done = true;
+                             })
+                    .is_ok());
+    ASSERT_TRUE(driver
+                    ->submit(Opcode::kWrite, 21, 1, *buffer,
+                             [&](CompletionStatus s) {
+                                 w2 = s;
+                                 w2_done = true;
+                             })
+                    .is_ok());
+    ASSERT_TRUE(driver
+                    ->submit(Opcode::kRead, 0, 1, *buffer,
+                             [&](CompletionStatus s) {
+                                 r1 = s;
+                                 r1_done = true;
+                             })
+                    .is_ok());
+    sim_.run_until_idle();
+    ASSERT_EQ(controller_.fault_kind(fn), FaultKind::kWriteMiss);
+    ASSERT_FALSE(w1_done);
+    ASSERT_FALSE(w2_done);
+    ASSERT_FALSE(r1_done);
+
+    ASSERT_TRUE(controller_.mmio_write(0, reg::kMgmtVfId, fn, 8).is_ok());
+    ASSERT_TRUE(controller_
+                    .mmio_write(0, reg::kMgmtCommand,
+                                static_cast<std::uint64_t>(
+                                    MgmtCommand::kFailMiss),
+                                8)
+                    .is_ok());
+    sim_.run_until_idle();
+    EXPECT_TRUE(w1_done && w2_done && r1_done);
+    EXPECT_EQ(w1, CompletionStatus::kWriteFailed);
+    EXPECT_EQ(w2, CompletionStatus::kWriteFailed);
+    EXPECT_EQ(r1, CompletionStatus::kOk);
+    EXPECT_EQ(controller_.fault_kind(fn), FaultKind::kNone);
+
+    // The VF resumed cleanly: a mapped write goes through.
+    std::vector<std::byte> data(1024, std::byte{0x5a});
+    EXPECT_TRUE(driver->write_sync(0, 1, data).is_ok());
 }
 
 TEST_F(ControllerTest, QuiescentReflectsPipelineState)

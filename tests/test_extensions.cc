@@ -281,9 +281,21 @@ TEST_F(ExtensionsTest, DedupStyleRemapWithBtlbFlush)
     auto image = extent::ExtentTreeImage::build(bed_->host_memory(),
                                                 *extents);
     ASSERT_TRUE(image.is_ok());
+    // VF root updates go through the PF mgmt block (the per-function
+    // register is PF-page-only); kSetExtentRoot flushes the VF's BTLB
+    // entries, and the explicit full flush models the dedup pass.
     ASSERT_TRUE(bed_->controller()
-                    .mmio_write(fn, ctrl::reg::kExtentTreeRoot,
+                    .mmio_write(0, ctrl::reg::kMgmtVfId, fn, 8)
+                    .is_ok());
+    ASSERT_TRUE(bed_->controller()
+                    .mmio_write(0, ctrl::reg::kMgmtExtentRoot,
                                 image->root(), 8)
+                    .is_ok());
+    ASSERT_TRUE(bed_->controller()
+                    .mmio_write(0, ctrl::reg::kMgmtCommand,
+                                static_cast<std::uint64_t>(
+                                    ctrl::MgmtCommand::kSetExtentRoot),
+                                8)
                     .is_ok());
     ASSERT_TRUE(bed_->pf().flush_btlb().is_ok());
 
