@@ -74,5 +74,6 @@ main()
                  1);
     }
     bench::print_table(table);
+    bench::print_event_rate();
     return 0;
 }

@@ -79,5 +79,6 @@ main()
             .add(us, 2);
     }
     bench::print_table(table);
+    bench::print_event_rate();
     return 0;
 }

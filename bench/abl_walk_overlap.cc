@@ -82,5 +82,6 @@ main()
             .add(util::ns_to_us(elapsed) / total_ops, 2);
     }
     bench::print_table(table);
+    bench::print_event_rate();
     return 0;
 }

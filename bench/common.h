@@ -11,15 +11,41 @@
 #ifndef NESC_BENCH_COMMON_H
 #define NESC_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "sim/simulator.h"
 #include "util/table.h"
 #include "virt/testbed.h"
 
 namespace nesc::bench {
+
+/** Wall-clock anchor for simulator-throughput reporting. */
+inline const std::chrono::steady_clock::time_point g_bench_start =
+    std::chrono::steady_clock::now();
+
+/**
+ * Prints the host-side simulation rate: events executed across every
+ * Simulator in this process divided by wall-clock time since start.
+ * Wall-clock, so useful for tracking simulator overhead trends but
+ * deliberately not machine-parsed by the perf smoke checks.
+ */
+inline void
+print_event_rate()
+{
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      g_bench_start)
+            .count();
+    const std::uint64_t events = sim::Simulator::total_events_executed();
+    std::printf("[sim] %llu events, %.2f s wall, %.0f kevents/s\n",
+                static_cast<unsigned long long>(events), secs,
+                secs > 0 ? static_cast<double>(events) / secs / 1000.0
+                         : 0.0);
+}
 
 /** Standard bench testbed: 128 MiB prototype-like device. */
 inline virt::TestbedConfig

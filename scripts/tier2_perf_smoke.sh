@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Tier-2 check: translation-path performance smoke. Builds Release,
+# runs the A-series ablation benches, and diffs the machine-readable
+# metrics of abl_walk_coalesce (BENCH_PR3.json — simulated and fully
+# deterministic) against the checked-in baseline. Fails on any metric
+# regressing by more than 20%, honouring each metric's direction.
+#
+# Usage: scripts/tier2_perf_smoke.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$(realpath -m "${1:-$repo/build-perf}")"
+baseline="$repo/scripts/perf_baseline_pr3.json"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j "$(nproc)" --target \
+  abl_btlb abl_walk_overlap abl_walk_coalesce abl_tree_depth \
+  abl_queue_depth
+
+# The benches must run to completion; abl_walk_coalesce also writes
+# the metrics file compared below.
+run="$build/perf-smoke"
+mkdir -p "$run"
+for bench in abl_btlb abl_walk_overlap abl_tree_depth abl_queue_depth \
+             abl_walk_coalesce; do
+  echo "--- running $bench ---"
+  (cd "$run" && "$build/bench/$bench" > "$bench.out")
+done
+
+python3 - "$baseline" "$run/BENCH_PR3.json" <<'EOF'
+import json
+import sys
+
+TOLERANCE = 0.20      # relative regression allowed
+ABS_FLOOR = 0.05      # ignore regressions on near-zero metrics
+
+with open(sys.argv[1]) as f:
+    baseline = {m["metric"]: m for m in json.load(f)["metrics"]}
+with open(sys.argv[2]) as f:
+    fresh = {m["metric"]: m for m in json.load(f)["metrics"]}
+
+failures = []
+for name, base in baseline.items():
+    if name not in fresh:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    old, new = base["value"], fresh[name]["value"]
+    if base["higher_is_better"]:
+        regressed = new < old * (1 - TOLERANCE)
+    else:
+        regressed = new > old * (1 + TOLERANCE)
+    if regressed and abs(new - old) < ABS_FLOOR:
+        regressed = False  # noise floor on tiny absolute values
+    marker = "FAIL" if regressed else "ok"
+    print(f"{marker:>4}  {name}: baseline {old:.4f} -> {new:.4f}")
+    if regressed:
+        failures.append(f"{name}: {old:.4f} -> {new:.4f}")
+
+if failures:
+    print("\nperf smoke FAILED (>20% regression):")
+    for failure in failures:
+        print("  " + failure)
+    sys.exit(1)
+print("\nperf smoke OK")
+EOF

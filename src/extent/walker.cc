@@ -32,6 +32,7 @@ lookup(const pcie::HostMemory &memory, pcie::HostAddr root, Vlba vlba)
     for (int level = 0; level < 64; ++level) {
         NESC_ASSIGN_OR_RETURN(auto header, read_header(memory, node));
         ++result.nodes_visited;
+        result.path.push_back(node);
 
         if (header.kind == static_cast<std::uint16_t>(NodeKind::kLeaf)) {
             for (std::uint32_t i = 0; i < header.count; ++i) {

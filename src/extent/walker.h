@@ -11,6 +11,7 @@
 #define NESC_EXTENT_WALKER_H
 
 #include <cstdint>
+#include <vector>
 
 #include "extent/layout.h"
 #include "extent/types.h"
@@ -33,6 +34,12 @@ struct LookupResult {
     Extent extent{};
     /** Nodes visited, root inclusive (the walk's DMA count). */
     std::uint32_t nodes_visited = 0;
+    /**
+     * Host addresses of the visited nodes, root first. This is the
+     * exact node set a device walk DMA-reads for the same vLBA, so
+     * tests can predict node-cache contents and DMA counts from it.
+     */
+    std::vector<pcie::HostAddr> path;
 };
 
 /**

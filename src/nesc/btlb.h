@@ -2,29 +2,96 @@
  * @file
  * Block Translation Lookaside Buffer (paper §V.B).
  *
- * A small fully-associative cache of the most recent extents used in
- * translation, tagged by function so one VF can never consume another
- * VF's mapping. FIFO replacement of the oldest entry, exactly as
- * described ("evicting the oldest entry"); with 8 entries it holds at
- * least the last mapping of each of the last 8 VFs serviced.
+ * A small cache of the most recent extents used in translation, tagged
+ * by function so one VF can never consume another VF's mapping. Two
+ * organisations are supported:
+ *
+ *  - **Fully associative, FIFO replacement** (the paper's prototype:
+ *    8 entries, "evicting the oldest entry"). Lookup is a linear scan
+ *    in insertion order — fine at 8 entries, O(n) beyond.
+ *
+ *  - **Set associative, pseudo-LRU replacement** (the scaled fast
+ *    path). The cache is sets x ways; the set index is derived from
+ *    the function id and the vLBA's *range granule* (vlba >>
+ *    range_shift), so a lookup probes exactly one set — O(ways) =
+ *    O(1) regardless of capacity. Because entries are variable-length
+ *    extents, an extent spanning several granules is only guaranteed
+ *    to hit in the granule it was inserted under; neighbouring
+ *    granules re-walk and insert their own copy. Replacement is
+ *    tree-pLRU per set.
+ *
+ * Both modes reject an insert equal to a cached entry, and replace
+ * (rather than shadow) cached entries of the same function that
+ * overlap the new extent without being equal — the fresh walk is
+ * authoritative, and keeping both would make hits depend
+ * nondeterministically on insertion order.
  */
 #ifndef NESC_CTRL_BTLB_H
 #define NESC_CTRL_BTLB_H
 
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "extent/types.h"
 #include "pcie/bdf.h"
 
 namespace nesc::ctrl {
 
-/** Fully associative, FIFO-replacement extent cache. */
+/** Geometry of the BTLB. */
+struct BtlbConfig {
+    /**
+     * Total capacity; 0 disables the cache entirely. In
+     * set-associative mode the effective capacity is sets x ways after
+     * normalisation (both rounded down to powers of two).
+     */
+    std::uint32_t entries = 8;
+    /** Number of sets; <= 1 selects the fully-associative paper mode. */
+    std::uint32_t sets = 0;
+    /** log2 of the set-index granule in blocks (range tag width). */
+    std::uint32_t range_shift = 6;
+};
+
+/** Function-tagged extent cache; see file comment for the two modes. */
 class Btlb {
   public:
-    /** @param entries capacity; 0 disables the cache entirely. */
-    explicit Btlb(std::uint32_t entries) : capacity_(entries) {}
+    /** Paper mode: fully associative with @p entries slots. */
+    explicit Btlb(std::uint32_t entries)
+        : Btlb(BtlbConfig{entries, 0, 6})
+    {
+    }
+
+    explicit Btlb(const BtlbConfig &config) { configure(config); }
+
+    /**
+     * Reconfigures the geometry (normalising sets and ways to powers
+     * of two) and flushes every entry. Statistics persist.
+     */
+    void
+    configure(const BtlbConfig &config)
+    {
+        entries_.clear();
+        ways_.clear();
+        plru_.clear();
+        config_ = config;
+        if (config.sets <= 1 || config.entries == 0) {
+            // Fully-associative paper mode.
+            sets_ = 1;
+            ways_per_set_ = config.entries;
+            capacity_ = config.entries;
+            fully_associative_ = true;
+            return;
+        }
+        fully_associative_ = false;
+        sets_ = std::bit_floor(config.sets);
+        ways_per_set_ = std::max<std::uint32_t>(
+            1, std::bit_floor(config.entries / sets_));
+        capacity_ = sets_ * ways_per_set_;
+        ways_.assign(capacity_, Way{});
+        plru_.assign(sets_, 0);
+    }
 
     /**
      * Looks up @p vlba for function @p fn; returns the covering extent
@@ -33,30 +100,97 @@ class Btlb {
     std::optional<extent::Extent>
     lookup(pcie::FunctionId fn, extent::Vlba vlba)
     {
-        for (const Entry &e : entries_) {
-            if (e.fn == fn && e.extent.contains(vlba)) {
+        if (fully_associative_) {
+            for (const Entry &e : entries_) {
+                ++probes_;
+                if (e.fn == fn && e.extent.contains(vlba)) {
+                    ++hits_;
+                    return e.extent;
+                }
+            }
+            ++misses_;
+            return std::nullopt;
+        }
+        if (capacity_ == 0) {
+            ++misses_;
+            return std::nullopt;
+        }
+        const std::uint32_t set = set_index(fn, vlba);
+        for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+            ++probes_;
+            Way &way = ways_[set * ways_per_set_ + w];
+            if (way.valid && way.fn == fn && way.extent.contains(vlba)) {
                 ++hits_;
-                return e.extent;
+                plru_touch(set, w);
+                return way.extent;
             }
         }
         ++misses_;
         return std::nullopt;
     }
 
-    /** Inserts a translation, evicting the oldest entry when full. */
+    /**
+     * Inserts a translation. @p vlba_hint is the vLBA whose miss
+     * produced the walk; in set-associative mode it selects the set so
+     * the very next lookup of that granule hits.
+     */
     void
-    insert(pcie::FunctionId fn, const extent::Extent &extent)
+    insert(pcie::FunctionId fn, const extent::Extent &extent,
+           extent::Vlba vlba_hint)
     {
         if (capacity_ == 0)
             return;
-        // Avoid duplicate entries for the same extent.
-        for (const Entry &e : entries_)
-            if (e.fn == fn && e.extent == extent)
-                return;
-        if (entries_.size() >= capacity_)
-            entries_.pop_front();
-        entries_.push_back(Entry{fn, extent});
+        if (fully_associative_) {
+            for (auto it = entries_.begin(); it != entries_.end();) {
+                if (it->fn == fn && it->extent == extent)
+                    return; // exact duplicate
+                if (it->fn == fn && overlaps(it->extent, extent)) {
+                    // Stale mapping superseded by the fresh walk.
+                    it = entries_.erase(it);
+                    ++overlap_evictions_;
+                    continue;
+                }
+                ++it;
+            }
+            if (entries_.size() >= capacity_)
+                entries_.pop_front();
+            entries_.push_back(Entry{fn, extent});
+            ++inserts_;
+            return;
+        }
+        const std::uint32_t set = set_index(fn, vlba_hint);
+        std::uint32_t victim = ways_per_set_; // invalid sentinel
+        for (std::uint32_t w = 0; w < ways_per_set_; ++w) {
+            Way &way = ways_[set * ways_per_set_ + w];
+            if (!way.valid) {
+                if (victim == ways_per_set_)
+                    victim = w;
+                continue;
+            }
+            if (way.fn == fn && way.extent == extent)
+                return; // exact duplicate in this set
+            if (way.fn == fn && overlaps(way.extent, extent)) {
+                way.valid = false;
+                ++overlap_evictions_;
+                if (victim == ways_per_set_)
+                    victim = w;
+            }
+        }
+        if (victim == ways_per_set_)
+            victim = plru_victim(set);
+        Way &way = ways_[set * ways_per_set_ + victim];
+        way.valid = true;
+        way.fn = fn;
+        way.extent = extent;
+        plru_touch(set, victim);
         ++inserts_;
+    }
+
+    /** Paper-mode insert: the hint defaults to the extent start. */
+    void
+    insert(pcie::FunctionId fn, const extent::Extent &extent)
+    {
+        insert(fn, extent, extent.first_vblock);
     }
 
     /** Drops every entry (PF-initiated flush, e.g. for dedup). */
@@ -64,6 +198,8 @@ class Btlb {
     flush()
     {
         entries_.clear();
+        for (Way &way : ways_)
+            way.valid = false;
         ++flushes_;
     }
 
@@ -72,14 +208,37 @@ class Btlb {
     flush_function(pcie::FunctionId fn)
     {
         std::erase_if(entries_, [fn](const Entry &e) { return e.fn == fn; });
+        for (Way &way : ways_)
+            if (way.valid && way.fn == fn)
+                way.valid = false;
+        ++function_flushes_;
     }
 
     std::uint32_t capacity() const { return capacity_; }
-    std::size_t size() const { return entries_.size(); }
+    bool fully_associative() const { return fully_associative_; }
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_per_set_; }
+    std::uint32_t range_shift() const { return config_.range_shift; }
+
+    std::size_t
+    size() const
+    {
+        if (fully_associative_)
+            return entries_.size();
+        std::size_t live = 0;
+        for (const Way &way : ways_)
+            live += way.valid ? 1 : 0;
+        return live;
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t inserts() const { return inserts_; }
     std::uint64_t flushes() const { return flushes_; }
+    std::uint64_t function_flushes() const { return function_flushes_; }
+    std::uint64_t overlap_evictions() const { return overlap_evictions_; }
+    /** Tag comparisons performed across all lookups (probe cost). */
+    std::uint64_t probes() const { return probes_; }
 
     double
     hit_rate() const
@@ -88,18 +247,94 @@ class Btlb {
         return total ? static_cast<double>(hits_) / total : 0.0;
     }
 
+    /** Mean tag comparisons per lookup — the O(1) evidence. */
+    double
+    mean_probe_length() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(probes_) / total : 0.0;
+    }
+
   private:
     struct Entry {
         pcie::FunctionId fn;
         extent::Extent extent;
     };
+    struct Way {
+        bool valid = false;
+        pcie::FunctionId fn = 0;
+        extent::Extent extent;
+    };
 
-    std::uint32_t capacity_;
-    std::deque<Entry> entries_; ///< front = oldest
+    static bool
+    overlaps(const extent::Extent &a, const extent::Extent &b)
+    {
+        return a.first_vblock < b.end_vblock() &&
+               b.first_vblock < a.end_vblock();
+    }
+
+    std::uint32_t
+    set_index(pcie::FunctionId fn, extent::Vlba vlba) const
+    {
+        // Additive fn scramble keeps consecutive granules of one
+        // function spread round-robin across sets (no hash clumping on
+        // sequential workloads) while separating functions.
+        const std::uint64_t granule = vlba >> config_.range_shift;
+        return static_cast<std::uint32_t>(
+            (granule + static_cast<std::uint64_t>(fn) * 0x9E3779B9ULL) &
+            (sets_ - 1));
+    }
+
+    /** Tree-pLRU victim for @p set (ways is a power of two). */
+    std::uint32_t
+    plru_victim(std::uint32_t set) const
+    {
+        const std::uint64_t bits = plru_[set];
+        std::uint32_t node = 0;
+        while (node < ways_per_set_ - 1) {
+            const std::uint64_t b = (bits >> node) & 1;
+            node = 2 * node + 1 + static_cast<std::uint32_t>(b);
+        }
+        return node - (ways_per_set_ - 1);
+    }
+
+    /** Points the pLRU tree away from just-used @p way. */
+    void
+    plru_touch(std::uint32_t set, std::uint32_t way)
+    {
+        if (ways_per_set_ <= 1)
+            return;
+        std::uint64_t bits = plru_[set];
+        std::uint32_t node = way + (ways_per_set_ - 1);
+        while (node > 0) {
+            const std::uint32_t parent = (node - 1) / 2;
+            const bool came_right = node == 2 * parent + 2;
+            if (came_right)
+                bits &= ~(1ULL << parent);
+            else
+                bits |= 1ULL << parent;
+            node = parent;
+        }
+        plru_[set] = bits;
+    }
+
+    BtlbConfig config_;
+    bool fully_associative_ = true;
+    std::uint32_t capacity_ = 0;
+    std::uint32_t sets_ = 1;
+    std::uint32_t ways_per_set_ = 0;
+
+    std::deque<Entry> entries_;    ///< FA mode; front = oldest
+    std::vector<Way> ways_;        ///< SA mode; sets_ x ways_per_set_
+    std::vector<std::uint64_t> plru_; ///< SA mode; tree bits per set
+
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t inserts_ = 0;
     std::uint64_t flushes_ = 0;
+    std::uint64_t function_flushes_ = 0;
+    std::uint64_t overlap_evictions_ = 0;
+    std::uint64_t probes_ = 0;
 };
 
 } // namespace nesc::ctrl

@@ -120,7 +120,48 @@ inline constexpr std::uint64_t kMgmtDeviceSize = 0x90;  // RW (blocks)
 inline constexpr std::uint64_t kMgmtCommand = 0x98;     // WO
 inline constexpr std::uint64_t kMgmtStatus = 0x9c;      // RO
 inline constexpr std::uint64_t kMgmtQosWeight = 0xa0;   // RW
+
+// Translation fast-path block (PF-only). The paper's prototype is an
+// 8-entry fully-associative BTLB with no node cache and no miss
+// coalescing; these registers scale the translation unit beyond it.
+/**
+ * BTLB geometry: bits[15:0] sets, bits[31:16] ways, bits[39:32]
+ * range-granule shift (log2 blocks). sets <= 1 selects the paper's
+ * fully-associative FIFO mode with `ways` entries; sets >= 2 selects
+ * the set-associative pseudo-LRU organisation (sets and ways are
+ * normalised down to powers of two). Writing reconfigures and flushes
+ * the cache.
+ */
+inline constexpr std::uint64_t kBtlbGeometry = 0xa8;       // RW
+inline constexpr std::uint64_t kStatBtlbHits = 0xb0;       // RO
+inline constexpr std::uint64_t kStatBtlbMisses = 0xb8;     // RO
+/**
+ * Extent-node-cache SRAM budget in bytes; 0 (reset value) disables
+ * the cache. Writing rebudgets and evicts down to the new size.
+ */
+inline constexpr std::uint64_t kNodeCacheBytes = 0xc0;     // RW
+inline constexpr std::uint64_t kStatNodeCacheHits = 0xc8;  // RO
+inline constexpr std::uint64_t kStatNodeCacheMisses = 0xd0; // RO
+/**
+ * Walk-miss coalescing (MSHR) control: 0 disables; a non-zero value
+ * enables it with that coalescing window in blocks (concurrent misses
+ * of the same function within the window of an in-flight walk attach
+ * to it instead of launching their own).
+ */
+inline constexpr std::uint64_t kWalkCoalesce = 0xd8;       // RW
+inline constexpr std::uint64_t kStatWalkCoalesced = 0xe0;  // RO
+inline constexpr std::uint64_t kStatWalkReplays = 0xe8;    // RO
 } // namespace reg
+
+/** Packs a kBtlbGeometry register value. */
+constexpr std::uint64_t
+encode_btlb_geometry(std::uint32_t sets, std::uint32_t ways,
+                     std::uint32_t range_shift)
+{
+    return (static_cast<std::uint64_t>(sets) & 0xffff) |
+           ((static_cast<std::uint64_t>(ways) & 0xffff) << 16) |
+           ((static_cast<std::uint64_t>(range_shift) & 0xff) << 32);
+}
 
 /** kMgmtCommand values. */
 enum class MgmtCommand : std::uint32_t {

@@ -28,7 +28,11 @@ Controller::Controller(sim::Simulator &simulator,
                        const ControllerConfig &config)
     : simulator_(simulator), host_memory_(host_memory), device_(device),
       irq_(irq), config_(config), dma_(simulator, host_memory),
-      btlb_(config.btlb_entries),
+      btlb_(BtlbConfig{config.btlb_entries, config.btlb_sets,
+                       config.btlb_range_shift}),
+      node_cache_(config.node_cache_bytes),
+      walk_coalescing_(config.walk_coalescing),
+      coalesce_window_(config.coalesce_window_blocks),
       contexts_(static_cast<std::size_t>(config.max_vfs) + 1)
 {
     // The PF is permanently active and spans the whole physical device.
@@ -113,6 +117,56 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
         if (fn != pcie::kPhysicalFunctionId)
             return util::permission_denied_error("mgmt regs are PF-only");
         return static_cast<std::uint64_t>(mgmt_vf_id_);
+      // Translation fast-path block: PF-only, including the stats —
+      // global cache occupancy is a cross-VF side channel.
+      case reg::kBtlbGeometry:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return encode_btlb_geometry(
+            btlb_.fully_associative() ? 0 : btlb_.sets(),
+            btlb_.fully_associative() ? btlb_.capacity() : btlb_.ways(),
+            btlb_.range_shift());
+      case reg::kStatBtlbHits:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return btlb_.hits();
+      case reg::kStatBtlbMisses:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return btlb_.misses();
+      case reg::kNodeCacheBytes:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return node_cache_.budget_bytes();
+      case reg::kStatNodeCacheHits:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return node_cache_.hits();
+      case reg::kStatNodeCacheMisses:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return node_cache_.misses();
+      case reg::kWalkCoalesce:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return walk_coalescing_ ? coalesce_window_ : 0;
+      case reg::kStatWalkCoalesced:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return counters_.get("walk_coalesced");
+      case reg::kStatWalkReplays:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        return counters_.get("walk_replays");
       default:
         return util::invalid_argument_error("unknown register read at " +
                                             std::to_string(offset));
@@ -202,6 +256,36 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         mgmt_status_ =
             mgmt_execute(static_cast<MgmtCommand>(value));
         return util::Status::ok();
+      case reg::kBtlbGeometry: {
+        if (!is_pf)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        const auto sets = static_cast<std::uint32_t>(value & 0xffff);
+        const auto ways =
+            static_cast<std::uint32_t>((value >> 16) & 0xffff);
+        const auto shift =
+            static_cast<std::uint32_t>((value >> 32) & 0xff);
+        BtlbConfig geometry;
+        geometry.sets = sets;
+        geometry.entries = sets <= 1 ? ways : sets * ways;
+        geometry.range_shift = shift;
+        btlb_.configure(geometry); // flushes every entry
+        ++counters_["btlb_reconfigs"];
+        return util::Status::ok();
+      }
+      case reg::kNodeCacheBytes:
+        if (!is_pf)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        node_cache_.set_budget(value);
+        return util::Status::ok();
+      case reg::kWalkCoalesce:
+        if (!is_pf)
+            return util::permission_denied_error(
+                "translation regs are PF-only");
+        walk_coalescing_ = value != 0;
+        coalesce_window_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
       default:
         return util::invalid_argument_error("unknown register write at " +
                                             std::to_string(offset));
@@ -243,11 +327,15 @@ Controller::mgmt_execute(MgmtCommand command)
             return err;
         c = FunctionContext{};
         btlb_.flush_function(fn);
+        node_cache_.invalidate_function(fn);
         ++counters_["vfs_deleted"];
         return ok;
       }
       case MgmtCommand::kFlushBtlb:
+        // The PF flush covers every cached translation product: BTLB
+        // extents and node images alike (dedup/defrag moved blocks).
         btlb_.flush();
+        node_cache_.flush();
         ++counters_["btlb_pf_flushes"];
         return ok;
       case MgmtCommand::kFailMiss: {
@@ -278,8 +366,12 @@ Controller::mgmt_execute(MgmtCommand command)
         if (!c.active)
             return err;
         c.extent_tree_root = mgmt_extent_root_;
-        // Cached translations may derive from the old tree.
+        // Cached translations and node images may derive from the old
+        // tree, and an in-flight walk would deliver a stale result:
+        // the generation bump makes such walks replay on resolution.
+        ++c.tree_generation;
         btlb_.flush_function(fn);
+        node_cache_.invalidate_function(fn);
         ++counters_["extent_root_updates"];
         return ok;
       }
@@ -477,9 +569,28 @@ Controller::begin_translation(BlockOp op)
         return;
     }
     counters_["btlb_misses"] += 1;
+    if (walk_coalescing_ && !op.no_coalesce) {
+        // MSHR attachment: a concurrent miss near an in-flight walk of
+        // the same function rides that walk instead of spawning its
+        // own — one set of node DMAs serves the whole burst.
+        for (const auto &walk : inflight_walks_) {
+            if (walk->op.fn != op.fn)
+                continue;
+            const extent::Vlba a = walk->op.vlba;
+            const extent::Vlba b = op.vlba;
+            if ((a > b ? a - b : b - a) > coalesce_window_)
+                continue;
+            walk->secondaries.push_back(op);
+            ++counters_["walk_coalesced"];
+            release_walker();
+            pump();
+            return;
+        }
+    }
     auto walk = std::make_shared<Walk>();
     walk->op = op;
     walk->node = c.extent_tree_root;
+    walk->generation = c.tree_generation;
     if (walk->node == pcie::kNullHostAddr) {
         // No tree at all: treat as a fully pruned mapping.
         finish_fault(op, FaultKind::kPruned);
@@ -487,6 +598,7 @@ Controller::begin_translation(BlockOp op)
         pump();
         return;
     }
+    inflight_walks_.push_back(walk);
     walk_node(walk);
 }
 
@@ -494,20 +606,41 @@ void
 Controller::walk_node(std::shared_ptr<Walk> walk)
 {
     // Level latency = header DMA + entries DMA + parse; the two DMA
-    // transactions are what the overlapped walkers hide (§V.B).
+    // transactions are what the overlapped walkers hide (§V.B) and
+    // what the node cache removes entirely on a hit.
     ++walk->levels;
+    if (node_cache_.enabled()) {
+        if (const ExtentNodeCache::Node *cached =
+                node_cache_.lookup(walk->op.fn, walk->node)) {
+            counters_["node_cache_hits"] += 1;
+            if (walk->levels > kMaxWalkDepth) {
+                walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
+                return;
+            }
+            simulator_.schedule_in(
+                config_.node_parse_cost,
+                [this, walk, header = cached->header,
+                 data = cached->entries]() {
+                    if (walk_canceled(walk))
+                        return;
+                    walk_process(walk, header.kind, header.count, data);
+                });
+            return;
+        }
+        counters_["node_cache_misses"] += 1;
+    }
     counters_["walk_node_reads"] += 1;
     dma_.read(walk->node, sizeof(NodeHeaderRecord),
               [this, walk](util::Status status,
                            std::vector<std::byte> data) {
+                  if (walk_canceled(walk))
+                      return;
                   if (!status.is_ok() ||
                       data.size() < sizeof(NodeHeaderRecord)) {
                       // Poisoned or failed node read: contain it to
                       // the faulting VF instead of killing the op with
                       // an opaque internal error.
-                      finish_fault(walk->op, FaultKind::kTreeCorrupt);
-                      release_walker();
-                      pump();
+                      walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
                       return;
                   }
                   NodeHeaderRecord header;
@@ -521,9 +654,7 @@ Controller::walk_node(std::shared_ptr<Walk> walk)
                       header.count > kMaxNodeEntries ||
                       header.depth > kMaxWalkDepth ||
                       walk->levels > kMaxWalkDepth) {
-                      finish_fault(walk->op, FaultKind::kTreeCorrupt);
-                      release_walker();
-                      pump();
+                      walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
                       return;
                   }
                   simulator_.schedule_in(
@@ -543,65 +674,161 @@ Controller::walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
         extent::entry_addr(walk->node, 0), bytes,
         [this, walk, kind, count](util::Status status,
                                   std::vector<std::byte> data) {
+            if (walk_canceled(walk))
+                return;
             if (!status.is_ok()) {
-                finish_fault(walk->op, FaultKind::kTreeCorrupt);
-                release_walker();
-                pump();
+                walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
                 return;
             }
-            const extent::Vlba vlba = walk->op.vlba;
-
-            if (kind == static_cast<NodeKindTag>(NodeKind::kLeaf)) {
-                for (std::uint32_t i = 0; i < count; ++i) {
-                    ExtentPtrRecord rec;
-                    std::memcpy(&rec,
-                                data.data() + i * extent::kEntrySize,
-                                sizeof(rec));
-                    const extent::Extent ext{rec.first_vblock, rec.nblocks,
-                                             rec.first_pblock};
-                    if (ext.contains(vlba)) {
-                        btlb_.insert(walk->op.fn, ext);
-                        finish_mapped(walk->op, ext);
-                        release_walker();
-                        pump();
-                        return;
-                    }
-                    if (rec.first_vblock > vlba)
-                        break;
-                }
-                finish_hole(walk->op);
-                release_walker();
-                pump();
-                return;
+            if (node_cache_.enabled()) {
+                // The node passed the header sanity checks; cache the
+                // image so the next walk skips both DMA reads.
+                NodeHeaderRecord header{extent::kNodeMagic, kind,
+                                        static_cast<std::uint16_t>(count),
+                                        0};
+                node_cache_.insert(walk->op.fn, walk->node, header, data);
             }
-
-            // Internal node: find the covering child.
-            for (std::uint32_t i = 0; i < count; ++i) {
-                NodePtrRecord rec;
-                std::memcpy(&rec, data.data() + i * extent::kEntrySize,
-                            sizeof(rec));
-                if (vlba >= rec.first_vblock &&
-                    vlba < rec.first_vblock + rec.nblocks) {
-                    if (rec.child == pcie::kNullHostAddr) {
-                        finish_fault(walk->op, FaultKind::kPruned);
-                        release_walker();
-                        pump();
-                        return;
-                    }
-                    walk->node = rec.child;
-                    simulator_.schedule_in(config_.node_parse_cost,
-                                           [this, walk]() {
-                                               walk_node(walk);
-                                           });
-                    return;
-                }
-                if (rec.first_vblock > vlba)
-                    break;
-            }
-            finish_hole(walk->op);
-            release_walker();
-            pump();
+            walk_process(walk, kind, count, data);
         });
+}
+
+void
+Controller::walk_process(std::shared_ptr<Walk> walk, NodeKindTag kind,
+                         std::uint32_t count,
+                         const std::vector<std::byte> &data)
+{
+    const extent::Vlba vlba = walk->op.vlba;
+
+    if (kind == static_cast<NodeKindTag>(NodeKind::kLeaf)) {
+        for (std::uint32_t i = 0; i < count; ++i) {
+            ExtentPtrRecord rec;
+            std::memcpy(&rec, data.data() + i * extent::kEntrySize,
+                        sizeof(rec));
+            const extent::Extent ext{rec.first_vblock, rec.nblocks,
+                                     rec.first_pblock};
+            if (ext.contains(vlba)) {
+                walk_resolved_mapped(walk, ext);
+                return;
+            }
+            if (rec.first_vblock > vlba)
+                break;
+        }
+        walk_resolved_hole(walk);
+        return;
+    }
+
+    // Internal node: find the covering child.
+    for (std::uint32_t i = 0; i < count; ++i) {
+        NodePtrRecord rec;
+        std::memcpy(&rec, data.data() + i * extent::kEntrySize,
+                    sizeof(rec));
+        if (vlba >= rec.first_vblock &&
+            vlba < rec.first_vblock + rec.nblocks) {
+            if (rec.child == pcie::kNullHostAddr) {
+                walk_resolved_fault(walk, FaultKind::kPruned);
+                return;
+            }
+            walk->node = rec.child;
+            simulator_.schedule_in(config_.node_parse_cost,
+                                   [this, walk]() { walk_node(walk); });
+            return;
+        }
+        if (rec.first_vblock > vlba)
+            break;
+    }
+    walk_resolved_hole(walk);
+}
+
+bool
+Controller::walk_canceled(const std::shared_ptr<Walk> &walk)
+{
+    FunctionContext &c = ctx(walk->op.fn);
+    if (c.active && walk->generation == c.tree_generation)
+        return false;
+    // The mapping moved under the walk (SetExtentRoot, rewalk, reset)
+    // or the function is gone: the result would be stale, so the ops
+    // go back through translation against the current tree.
+    retire_walk(walk);
+    if (c.active) {
+        std::vector<BlockOp> ops;
+        ops.reserve(1 + walk->secondaries.size());
+        ops.push_back(walk->op);
+        ops.insert(ops.end(), walk->secondaries.begin(),
+                   walk->secondaries.end());
+        replay_ops(std::move(ops), false);
+    }
+    release_walker();
+    pump();
+    return true;
+}
+
+void
+Controller::walk_resolved_mapped(const std::shared_ptr<Walk> &walk,
+                                 const extent::Extent &extent)
+{
+    retire_walk(walk);
+    btlb_.insert(walk->op.fn, extent, walk->op.vlba);
+    finish_mapped(walk->op, extent);
+    std::vector<BlockOp> replay;
+    for (BlockOp &s : walk->secondaries) {
+        if (extent.contains(s.vlba)) {
+            // The attached miss resolves with the primary's extent:
+            // zero extra DMA for it.
+            ++counters_["walk_coalesced_resolved"];
+            finish_mapped(s, extent);
+        } else {
+            replay.push_back(s);
+        }
+    }
+    if (!replay.empty())
+        replay_ops(std::move(replay), true);
+    release_walker();
+    pump();
+}
+
+void
+Controller::walk_resolved_hole(const std::shared_ptr<Walk> &walk)
+{
+    retire_walk(walk);
+    finish_hole(walk->op);
+    // A hole only says the primary's vLBA is unmapped; secondaries
+    // re-translate individually.
+    if (!walk->secondaries.empty())
+        replay_ops(std::move(walk->secondaries), true);
+    release_walker();
+    pump();
+}
+
+void
+Controller::walk_resolved_fault(const std::shared_ptr<Walk> &walk,
+                                FaultKind kind)
+{
+    retire_walk(walk);
+    finish_fault(walk->op, kind);
+    // Secondaries park behind the same fault, after the primary, so a
+    // rewalk re-issues them in arrival order.
+    FunctionContext &c = ctx(walk->op.fn);
+    for (BlockOp &s : walk->secondaries)
+        c.stalled_ops.push_back(s);
+    release_walker();
+    pump();
+}
+
+void
+Controller::retire_walk(const std::shared_ptr<Walk> &walk)
+{
+    std::erase(inflight_walks_, walk);
+}
+
+void
+Controller::replay_ops(std::vector<BlockOp> ops, bool mark_no_coalesce)
+{
+    counters_["walk_replays"] += ops.size();
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+        if (mark_no_coalesce)
+            it->no_coalesce = true;
+        vlba_queue_.push_front(*it);
+    }
 }
 
 void
@@ -654,8 +881,10 @@ Controller::finish_fault(const BlockOp &op, FaultKind kind)
       case FaultKind::kPruned: ++counters_["prune_faults"]; break;
       case FaultKind::kTreeCorrupt:
         ++counters_["tree_corrupt_faults"];
-        // Any cached translation may derive from the corrupt tree.
+        // Any cached translation or node image may derive from the
+        // corrupt tree.
         btlb_.flush_function(op.fn);
+        node_cache_.invalidate_function(op.fn);
         break;
       case FaultKind::kNone: break;
     }
@@ -671,6 +900,11 @@ Controller::handle_rewalk(pcie::FunctionId fn)
     c.fault = FaultKind::kNone;
     c.miss_address = 0;
     c.miss_size = 0;
+    // The hypervisor serviced the fault by editing the tree: cached
+    // node images are stale, and any walk still in flight for this
+    // function must not deliver a result derived from the old tree.
+    ++c.tree_generation;
+    node_cache_.invalidate_function(fn);
     // Re-issue parked operations ahead of anything newly queued.
     while (!c.stalled_ops.empty()) {
         c.queue.push_front(c.stalled_ops.back());
@@ -975,6 +1209,10 @@ Controller::function_level_reset(pcie::FunctionId fn)
     c.watchdog_ns = 0;
     c.watchdog_armed = false;
     btlb_.flush_function(fn);
+    node_cache_.invalidate_function(fn);
+    // In-flight walks for this fn carry ops of torn-down commands;
+    // cancel them (the replayed ops then drop on the pending miss).
+    ++c.tree_generation;
     ++c.stats.fn_resets;
     ++counters_["fn_resets"];
     pump();

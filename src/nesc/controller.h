@@ -33,6 +33,7 @@
 #include "extent/types.h"
 #include "nesc/btlb.h"
 #include "nesc/command.h"
+#include "nesc/node_cache.h"
 #include "pcie/dma_engine.h"
 #include "pcie/host_memory.h"
 #include "pcie/host_ring.h"
@@ -51,6 +52,27 @@ struct ControllerConfig {
     std::uint16_t max_vfs = 64;
     /** BTLB capacity; the prototype caches the last 8 extents. */
     std::uint32_t btlb_entries = 8;
+    /**
+     * BTLB sets; <= 1 keeps the paper's fully-associative FIFO mode,
+     * >= 2 selects the set-associative pseudo-LRU organisation (see
+     * btlb.h). Reconfigurable at runtime via reg::kBtlbGeometry.
+     */
+    std::uint32_t btlb_sets = 0;
+    /** log2 of the BTLB set-index granule in blocks. */
+    std::uint32_t btlb_range_shift = 6;
+    /**
+     * Extent-node-cache SRAM budget in bytes; 0 (the paper's
+     * prototype) disables it. See node_cache.h.
+     */
+    std::uint64_t node_cache_bytes = 0;
+    /**
+     * MSHR-style walk-miss coalescing: concurrent BTLB misses of one
+     * function within coalesce_window_blocks of an in-flight walk
+     * attach to it instead of launching their own tree walk. Off in
+     * the paper's prototype.
+     */
+    bool walk_coalescing = false;
+    std::uint32_t coalesce_window_blocks = 256;
     /** Concurrent block walks (the unit overlaps two, §V.B). */
     std::uint32_t walk_overlap = 2;
     /** Shared vLBA queue depth. */
@@ -120,6 +142,7 @@ class Controller : public pcie::FunctionMmioDevice {
 
     const ControllerConfig &config() const { return config_; }
     Btlb &btlb() { return btlb_; }
+    ExtentNodeCache &node_cache() { return node_cache_; }
     pcie::DmaEngine &dma() { return dma_; }
     util::CounterGroup &counters() { return counters_; }
     storage::BlockDevice &device() { return device_; }
@@ -157,6 +180,12 @@ class Controller : public pcie::FunctionMmioDevice {
         extent::Vlba vlba;
         pcie::HostAddr buffer; ///< host address for this block's data
         std::uint64_t tag;
+        /**
+         * Set when the op was replayed after riding an in-flight walk
+         * that did not resolve it; a replayed op always launches its
+         * own walk, bounding coalescing to one round per op.
+         */
+        bool no_coalesce = false;
         // Stage timestamps for the latency-breakdown instrumentation.
         sim::Time t_queued = 0;    ///< entered the per-function queue
         sim::Time t_arbitrated = 0; ///< won arbitration into the vLBA queue
@@ -191,6 +220,13 @@ class Controller : public pcie::FunctionMmioDevice {
         sim::Duration watchdog_ns = 0;
         bool watchdog_armed = false; ///< an expiry check is scheduled
         FaultKind fault = FaultKind::kNone;
+        /**
+         * Bumped whenever the function's mapping may have changed
+         * (SetExtentRoot, RewalkTree, reset, delete). A walk started
+         * under an older generation replays instead of delivering a
+         * result derived from the stale tree.
+         */
+        std::uint64_t tree_generation = 0;
         std::deque<BlockOp> queue;       ///< awaiting arbitration
         std::deque<BlockOp> stalled_ops; ///< parked on a fault
         std::unordered_map<std::uint64_t, PendingCommand> pending;
@@ -202,6 +238,14 @@ class Controller : public pcie::FunctionMmioDevice {
         BlockOp op;
         pcie::HostAddr node;
         std::uint32_t levels = 0;
+        /** Mapping generation of the function when the walk started. */
+        std::uint64_t generation = 0;
+        /**
+         * MSHR-attached misses: ops whose BTLB miss landed within the
+         * coalescing window of this walk while it was in flight. They
+         * resolve with the walk's extent when covered, else replay.
+         */
+        std::vector<BlockOp> secondaries;
     };
 
     // Pipeline stages.
@@ -213,6 +257,25 @@ class Controller : public pcie::FunctionMmioDevice {
     void walk_node(std::shared_ptr<Walk> walk);
     void walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
                       std::uint32_t count);
+    void walk_process(std::shared_ptr<Walk> walk, NodeKindTag kind,
+                      std::uint32_t count,
+                      const std::vector<std::byte> &data);
+    /**
+     * True when the walk's function was deleted or its mapping
+     * generation moved while the walk was in flight; the walk is then
+     * retired and its ops replayed (stale results are never used).
+     */
+    bool walk_canceled(const std::shared_ptr<Walk> &walk);
+    // Walk resolution: retire the walk, settle its secondaries,
+    // release the walker slot.
+    void walk_resolved_mapped(const std::shared_ptr<Walk> &walk,
+                              const extent::Extent &extent);
+    void walk_resolved_hole(const std::shared_ptr<Walk> &walk);
+    void walk_resolved_fault(const std::shared_ptr<Walk> &walk,
+                             FaultKind kind);
+    void retire_walk(const std::shared_ptr<Walk> &walk);
+    /** Prepends @p ops to the vLBA queue for another translation pass. */
+    void replay_ops(std::vector<BlockOp> ops, bool mark_no_coalesce);
     void finish_mapped(const BlockOp &op, const extent::Extent &extent);
     void finish_hole(const BlockOp &op);
     void finish_fault(const BlockOp &op, FaultKind kind);
@@ -247,10 +310,16 @@ class Controller : public pcie::FunctionMmioDevice {
     ControllerConfig config_;
     pcie::DmaEngine dma_;
     Btlb btlb_;
+    ExtentNodeCache node_cache_;
+    /** Runtime coalescing knobs (reg::kWalkCoalesce overrides config). */
+    bool walk_coalescing_ = false;
+    std::uint32_t coalesce_window_ = 0;
 
     std::vector<FunctionContext> contexts_;
     std::deque<BlockOp> vlba_queue_;
     std::deque<std::pair<BlockOp, extent::Plba>> plba_queue_;
+    /** Primary walks in flight, for MSHR attachment. */
+    std::vector<std::shared_ptr<Walk>> inflight_walks_;
     pcie::FunctionId rr_current_ = 0; ///< VF currently holding the turn
     std::uint32_t rr_credit_ = 0;     ///< blocks left in the turn
     std::uint32_t active_walks_ = 0;

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Device-side extent-node cache.
+ *
+ * The block-walk unit resolves a BTLB miss by DMA-reading one tree
+ * node per level (header + entry array). Under deep trees and many
+ * VFs those interior nodes are re-read constantly — every walk starts
+ * at the root. This cache models a bounded on-device SRAM that keeps
+ * recently fetched, sanity-checked node images so subsequent walks
+ * skip the per-level DMA round-trips entirely and pay only the parse
+ * cost.
+ *
+ * Entries are tagged by *function id* as well as host address: a VF
+ * can never translate through a node cached from another VF's tree,
+ * even if the hypervisor maps shared subtrees at the same address —
+ * isolation is structural, not a lookup-time check. Invalidation is
+ * per function (RewalkTree, SetExtentRoot, DeleteVf, FnReset, tree
+ * corruption) or global (PF BTLB flush), mirroring the BTLB rules.
+ *
+ * Replacement is LRU over a byte budget: a cached node charges its
+ * header plus entry bytes, so big-fanout nodes cost proportionally
+ * more of the SRAM than slim ones.
+ */
+#ifndef NESC_CTRL_NODE_CACHE_H
+#define NESC_CTRL_NODE_CACHE_H
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "extent/layout.h"
+#include "pcie/bdf.h"
+#include "pcie/host_memory.h"
+
+namespace nesc::ctrl {
+
+/** LRU cache of extent-tree node images, keyed by (fn, host addr). */
+class ExtentNodeCache {
+  public:
+    /** A cached node: validated header plus raw entry bytes. */
+    struct Node {
+        extent::NodeHeaderRecord header{};
+        std::vector<std::byte> entries;
+    };
+
+    explicit ExtentNodeCache(std::uint64_t budget_bytes = 0)
+        : budget_bytes_(budget_bytes)
+    {
+    }
+
+    /** A zero budget disables the cache (the paper's configuration). */
+    bool enabled() const { return budget_bytes_ > 0; }
+    std::uint64_t budget_bytes() const { return budget_bytes_; }
+
+    /** Rebudgets the SRAM, evicting LRU entries down to the new size. */
+    void
+    set_budget(std::uint64_t bytes)
+    {
+        budget_bytes_ = bytes;
+        evict_to_fit(0);
+    }
+
+    /** Returns the cached node or nullptr; a hit refreshes its LRU age. */
+    const Node *
+    lookup(pcie::FunctionId fn, pcie::HostAddr addr)
+    {
+        auto it = index_.find(key(fn, addr));
+        if (it == index_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second); // move to MRU
+        ++hits_;
+        return &it->second->node;
+    }
+
+    /**
+     * Caches a validated node image. Oversized nodes (footprint above
+     * the whole budget) are not cached; an existing image for the same
+     * key is replaced.
+     */
+    void
+    insert(pcie::FunctionId fn, pcie::HostAddr addr,
+           const extent::NodeHeaderRecord &header,
+           std::vector<std::byte> entry_bytes)
+    {
+        if (!enabled())
+            return;
+        const std::uint64_t footprint =
+            sizeof(extent::NodeHeaderRecord) + entry_bytes.size();
+        if (footprint > budget_bytes_)
+            return;
+        const std::uint64_t k = key(fn, addr);
+        if (auto it = index_.find(k); it != index_.end())
+            erase(it->second);
+        evict_to_fit(footprint);
+        lru_.push_front(CacheEntry{k, fn, footprint,
+                                   Node{header, std::move(entry_bytes)}});
+        index_[k] = lru_.begin();
+        bytes_used_ += footprint;
+        ++inserts_;
+    }
+
+    /** Drops every node cached for @p fn. */
+    void
+    invalidate_function(pcie::FunctionId fn)
+    {
+        for (auto it = lru_.begin(); it != lru_.end();) {
+            if (it->fn == fn)
+                it = erase(it);
+            else
+                ++it;
+        }
+        ++function_invalidations_;
+    }
+
+    /** Drops everything (PF flush). */
+    void
+    flush()
+    {
+        lru_.clear();
+        index_.clear();
+        bytes_used_ = 0;
+        ++flushes_;
+    }
+
+    std::size_t size() const { return lru_.size(); }
+    std::uint64_t bytes_used() const { return bytes_used_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t inserts() const { return inserts_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t flushes() const { return flushes_; }
+    std::uint64_t function_invalidations() const
+    {
+        return function_invalidations_;
+    }
+
+    double
+    hit_rate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+  private:
+    struct CacheEntry {
+        std::uint64_t key;
+        pcie::FunctionId fn;
+        std::uint64_t footprint;
+        Node node;
+    };
+    using Lru = std::list<CacheEntry>;
+
+    /** Host addresses fit in 48 bits; the fn tag rides in the top 16. */
+    static std::uint64_t
+    key(pcie::FunctionId fn, pcie::HostAddr addr)
+    {
+        assert(addr < (1ULL << 48));
+        return (static_cast<std::uint64_t>(fn) << 48) | addr;
+    }
+
+    Lru::iterator
+    erase(Lru::iterator it)
+    {
+        bytes_used_ -= it->footprint;
+        index_.erase(it->key);
+        return lru_.erase(it);
+    }
+
+    void
+    evict_to_fit(std::uint64_t incoming)
+    {
+        while (!lru_.empty() && bytes_used_ + incoming > budget_bytes_) {
+            auto last = std::prev(lru_.end());
+            erase(last);
+            ++evictions_;
+        }
+    }
+
+    std::uint64_t budget_bytes_;
+    Lru lru_; ///< front = MRU
+    std::unordered_map<std::uint64_t, Lru::iterator> index_;
+    std::uint64_t bytes_used_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t inserts_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t flushes_ = 0;
+    std::uint64_t function_invalidations_ = 0;
+};
+
+} // namespace nesc::ctrl
+
+#endif // NESC_CTRL_NODE_CACHE_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Small-buffer-optimized event callback.
+ *
+ * The simulator schedules millions of closures per run; with
+ * `std::function` every capture larger than the library's small-object
+ * buffer costs a heap allocation on the scheduling hot path. Callback
+ * is a move-only callable wrapper with an inline buffer sized for the
+ * controller's largest common capture set (a BlockOp plus a couple of
+ * pointers), so steady-state scheduling allocates nothing. Oversized
+ * or alignment-exotic captures fall back to the heap transparently.
+ */
+#ifndef NESC_SIM_CALLBACK_H
+#define NESC_SIM_CALLBACK_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nesc::sim {
+
+/** Move-only `void()` wrapper with inline storage for small captures. */
+class Callback {
+  public:
+    /** Inline capture budget; larger callables are heap-allocated. */
+    static constexpr std::size_t kInlineBytes = 88;
+
+    Callback() = default;
+    Callback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    Callback(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fits_inline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &inline_ops<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &heap_ops<Fn>;
+        }
+    }
+
+    Callback(Callback &&other) noexcept { move_from(other); }
+
+    Callback &
+    operator=(Callback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    Callback(const Callback &) = delete;
+    Callback &operator=(const Callback &) = delete;
+
+    ~Callback() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *);
+        /** Move-constructs into @p dst from @p src, destroying @p src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fits_inline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inline_ops = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *dst, void *src) noexcept {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *p) noexcept {
+            std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heap_ops = {
+        [](void *p) {
+            (**std::launder(reinterpret_cast<Fn **>(p)))();
+        },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
+        },
+        [](void *p) noexcept {
+            delete *std::launder(reinterpret_cast<Fn **>(p));
+        },
+    };
+
+    void
+    move_from(Callback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+} // namespace nesc::sim
+
+#endif // NESC_SIM_CALLBACK_H

@@ -1,5 +1,6 @@
 #include "simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -11,7 +12,8 @@ Simulator::schedule_at(Time when, Callback fn)
     assert(fn && "null event callback");
     if (when < now_)
         when = now_; // clamp: components may schedule "immediately"
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    queue_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool
@@ -19,17 +21,14 @@ Simulator::step()
 {
     if (queue_.empty())
         return false;
-    // priority_queue::top() returns const&; the callback must be moved
-    // out before pop, so copy the small fields and move the closure via
-    // const_cast (safe: the element is removed immediately after).
-    auto &top = const_cast<Event &>(queue_.top());
-    const Time when = top.when;
-    Callback fn = std::move(top.fn);
-    queue_.pop();
-    assert(when >= now_);
-    now_ = when;
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event event = std::move(queue_.back());
+    queue_.pop_back();
+    assert(event.when >= now_);
+    now_ = event.when;
     ++events_executed_;
-    fn();
+    ++g_total_events_;
+    event.fn();
     return true;
 }
 
@@ -43,7 +42,7 @@ Simulator::run_until_idle()
 void
 Simulator::run_until(Time deadline)
 {
-    while (!queue_.empty() && queue_.top().when <= deadline)
+    while (!queue_.empty() && queue_.front().when <= deadline)
         step();
     if (deadline > now_)
         now_ = deadline;

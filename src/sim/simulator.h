@@ -6,15 +6,20 @@
  * virtqueues, interrupt delivery...) schedules closures on a single
  * Simulator. Events at equal timestamps execute in scheduling order, so
  * runs are fully deterministic.
+ *
+ * The event queue is a binary heap over a plain vector (reservable, so
+ * steady-state scheduling never reallocates) and callbacks use
+ * sim::Callback's inline storage, so the hot path is allocation-free
+ * for typical pipeline closures.
  */
 #ifndef NESC_SIM_SIMULATOR_H
 #define NESC_SIM_SIMULATOR_H
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace nesc::sim {
@@ -22,7 +27,12 @@ namespace nesc::sim {
 /** Event-driven virtual-time simulator. */
 class Simulator {
   public:
-    using Callback = std::function<void()>;
+    using Callback = sim::Callback;
+
+    /** Pre-sized event-queue capacity (events, not bytes). */
+    static constexpr std::size_t kDefaultReserve = 4096;
+
+    Simulator() { queue_.reserve(kDefaultReserve); }
 
     /** Current simulated time. */
     Time now() const { return now_; }
@@ -35,6 +45,9 @@ class Simulator {
     {
         schedule_at(now_ + delay, std::move(fn));
     }
+
+    /** Grows the event-queue capacity to at least @p events. */
+    void reserve(std::size_t events) { queue_.reserve(events); }
 
     /** True when no events are pending. */
     bool idle() const { return queue_.empty(); }
@@ -63,6 +76,16 @@ class Simulator {
 
     std::uint64_t events_executed() const { return events_executed_; }
 
+    /**
+     * Events executed by every Simulator instance in this process
+     * (benches report wall-clock events/sec off it). Single-threaded,
+     * like the simulators themselves.
+     */
+    static std::uint64_t total_events_executed()
+    {
+        return g_total_events_;
+    }
+
   private:
     struct Event {
         Time when;
@@ -82,7 +105,10 @@ class Simulator {
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /** Min-heap on (when, seq) maintained with std::push/pop_heap. */
+    std::vector<Event> queue_;
+
+    static inline std::uint64_t g_total_events_ = 0;
 };
 
 } // namespace nesc::sim

@@ -1,5 +1,6 @@
 #include "minidb.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/units.h"

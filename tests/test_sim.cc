@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "sim/bandwidth_server.h"
@@ -193,6 +195,57 @@ TEST(BandwidthServer, TracksTotals)
     server.reset();
     EXPECT_EQ(server.total_bytes(), 0u);
     EXPECT_EQ(server.busy_until(), 0u);
+}
+
+TEST(Callback, MoveOnlyCapturesWork)
+{
+    // The event-queue callback must carry move-only state (the DMA
+    // layer captures buffers); std::function could not.
+    auto data = std::make_unique<int>(41);
+    int result = 0;
+    Callback cb([d = std::move(data), &result]() { result = *d + 1; });
+    ASSERT_TRUE(static_cast<bool>(cb));
+    cb();
+    EXPECT_EQ(result, 42);
+}
+
+TEST(Callback, LargeCaptureFallsBackToHeap)
+{
+    // A capture bigger than the inline buffer still works (heap path).
+    struct Big {
+        std::byte bytes[256]{};
+    } big;
+    big.bytes[0] = std::byte{7};
+    int got = 0;
+    Callback cb([big, &got]() { got = static_cast<int>(big.bytes[0]); });
+    Callback moved = std::move(cb);
+    moved();
+    EXPECT_EQ(got, 7);
+}
+
+TEST(Callback, MoveTransfersOwnership)
+{
+    int calls = 0;
+    Callback a([&calls]() { ++calls; });
+    Callback b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    b();
+    b = Callback([&calls]() { calls += 10; });
+    b();
+    EXPECT_EQ(calls, 11);
+}
+
+TEST(Simulator, ReserveAndEventAccounting)
+{
+    Simulator sim;
+    sim.reserve(10'000);
+    const std::uint64_t before = Simulator::total_events_executed();
+    const std::uint64_t executed_before = sim.events_executed();
+    for (int i = 0; i < 100; ++i)
+        sim.schedule_at(i, []() {});
+    sim.run_until_idle();
+    EXPECT_EQ(sim.events_executed() - executed_before, 100u);
+    EXPECT_GE(Simulator::total_events_executed() - before, 100u);
 }
 
 } // namespace
