@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-2 check: adversarial fuzz smoke. Builds with ASan+UBSan and runs
+# the adversarial-guest suite — descriptor/ring validation, DMA-window,
+# quarantine tests, and the seeded misbehavior fuzzer — under the
+# sanitizers. The fuzzer's containment invariants (victim untouched,
+# canary byte-identical, no assertion fired) are checked by the tests
+# themselves; the sanitizers add "and no memory error anywhere in the
+# device model while hostile input is flowing".
+#
+# NESC_FUZZ_EVENTS bounds the per-seed event count so the sanitized run
+# fits a smoke-test time budget; unset it (or raise it) for a deeper
+# soak.
+#
+# Usage: scripts/tier2_fuzz_smoke.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-asan}"
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNESC_SANITIZE=ON
+cmake --build "$build" -j "$(nproc)" --target test_adversarial
+
+# halt_on_error: a sanitizer report is a test failure, not a warning.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export NESC_FUZZ_EVENTS="${NESC_FUZZ_EVENTS:-2500}"
+
+"$build/tests/test_adversarial"

@@ -339,6 +339,44 @@ FunctionDriver::flr_recover()
     }
 }
 
+namespace {
+/**
+ * Maps a final completion status onto the util::Status error classes
+ * the sync helpers surface. The mapping must preserve retryability:
+ * kUnavailable is the conventional "transient, retry may succeed"
+ * class, so only statuses that completion_status_retryable() admits
+ * may use it — a kOutOfRange or kMalformed completion folded into
+ * kUnavailable would send callers into a retry loop against a
+ * deterministic rejection.
+ */
+util::Status
+completion_to_status(CompletionStatus status)
+{
+    const std::string detail =
+        "device completion status " +
+        std::to_string(static_cast<std::uint32_t>(status));
+    switch (status) {
+      case CompletionStatus::kOk:
+        return util::Status::ok();
+      case CompletionStatus::kOutOfRange:
+        return util::out_of_range_error(detail);
+      case CompletionStatus::kWriteFailed:
+        return util::resource_exhausted_error(detail);
+      case CompletionStatus::kInternalError:
+        return util::internal_error(detail);
+      case CompletionStatus::kMalformed:
+        return util::invalid_argument_error(detail);
+      case CompletionStatus::kDmaFault:
+        return util::permission_denied_error(detail);
+      case CompletionStatus::kReadMediaError:
+      case CompletionStatus::kWriteMediaError:
+      case CompletionStatus::kAborted:
+        return util::unavailable_error(detail);
+    }
+    return util::internal_error(detail);
+}
+} // namespace
+
 util::Status
 FunctionDriver::read_sync(std::uint64_t vlba, std::uint32_t nblocks,
                           std::span<std::byte> out)
@@ -369,9 +407,7 @@ FunctionDriver::read_sync(std::uint64_t vlba, std::uint32_t nblocks,
     }
     if (status != CompletionStatus::kOk) {
         (void)host_memory_.free(buffer);
-        return util::unavailable_error(
-            "device completion status " +
-            std::to_string(static_cast<std::uint32_t>(status)));
+        return completion_to_status(status);
     }
     // Copy out of the DMA buffer; with trampoline buffers this is the
     // prototype's mandatory bounce copy, charged at memcpy bandwidth.
@@ -418,11 +454,8 @@ FunctionDriver::write_sync(std::uint64_t vlba, std::uint32_t nblocks,
         }
     }
     (void)host_memory_.free(buffer);
-    if (status != CompletionStatus::kOk) {
-        return util::unavailable_error(
-            "device completion status " +
-            std::to_string(static_cast<std::uint32_t>(status)));
-    }
+    if (status != CompletionStatus::kOk)
+        return completion_to_status(status);
     return util::Status::ok();
 }
 

@@ -133,6 +133,16 @@ ExtentTreeImage::footprint_bytes() const
     return nodes_.size() * node_footprint(config_.fanout);
 }
 
+std::pair<pcie::HostAddr, std::uint64_t>
+ExtentTreeImage::bounds() const
+{
+    if (nodes_.empty())
+        return {pcie::kNullHostAddr, 0};
+    const auto [lo, hi] =
+        std::minmax_element(nodes_.begin(), nodes_.end());
+    return {*lo, *hi - *lo + node_footprint(config_.fanout)};
+}
+
 util::Result<pcie::HostAddr>
 ExtentTreeImage::alloc_node(NodeKind kind, std::uint16_t depth,
                             std::uint16_t count)

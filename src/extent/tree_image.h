@@ -64,6 +64,15 @@ class ExtentTreeImage {
     std::uint64_t footprint_bytes() const;
 
     /**
+     * Bounding host-memory range [base, base + size) of the resident
+     * nodes. A hypervisor confining a VF with DMA windows uses this to
+     * grant the device's walks access to the VF's translation
+     * structures — the tree is hypervisor-owned, so it never lies
+     * inside the guest's own buffers. {kNullHostAddr, 0} when empty.
+     */
+    std::pair<pcie::HostAddr, std::uint64_t> bounds() const;
+
+    /**
      * Prunes every subtree whose coverage intersects [@p first_vblock,
      * +@p nblocks): child pointers become null and subtree nodes are
      * freed. Returns the number of subtrees pruned. Pruning never

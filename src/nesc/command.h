@@ -37,6 +37,8 @@ enum class CompletionStatus : std::uint32_t {
     kReadMediaError = 4,  ///< storage media failed the read
     kWriteMediaError = 5, ///< storage media failed the write
     kAborted = 6,         ///< aborted by watchdog or function reset
+    kMalformed = 7,       ///< descriptor failed validation at fetch
+    kDmaFault = 8,        ///< buffer DMA refused (window violation)
 };
 
 /**
@@ -44,7 +46,10 @@ enum class CompletionStatus : std::uint32_t {
  * device cannot tell a transient media hiccup from a grown defect, so
  * it reports both the same way and leaves the retry policy to the
  * host), and kAborted means the command was torn down, not that it
- * failed — a resubmission after recovery is well-defined.
+ * failed — a resubmission after recovery is well-defined. kMalformed
+ * and kDmaFault are NOT retryable: resubmitting the same rejected
+ * descriptor can only fail the same way (and feeds the quarantine
+ * fault counter).
  */
 constexpr bool
 completion_status_retryable(CompletionStatus status)
@@ -101,6 +106,13 @@ inline constexpr std::uint64_t kQosWeight = 0x58; // RO
  */
 inline constexpr std::uint64_t kWatchdogNs = 0x60; // RW
 /**
+ * Implemented width of the kWatchdogNs field: writes are truncated to
+ * this many bits (max ~275 s). Bounding the field keeps a hostile
+ * guest from arming a deadline centuries in the future, which would
+ * drag the device's shared timebase along with it.
+ */
+inline constexpr std::uint32_t kWatchdogNsBits = 38;
+/**
  * Function-level reset: any non-zero write aborts the function's
  * queued, stalled, and in-flight operations, clears its rings, fault
  * state, and driver-owned registers. Hypervisor-owned configuration
@@ -151,7 +163,42 @@ inline constexpr std::uint64_t kStatNodeCacheMisses = 0xd0; // RO
 inline constexpr std::uint64_t kWalkCoalesce = 0xd8;       // RW
 inline constexpr std::uint64_t kStatWalkCoalesced = 0xe0;  // RO
 inline constexpr std::uint64_t kStatWalkReplays = 0xe8;    // RO
+
+// Adversarial-guest containment block. Per-function quarantine state
+// is read-only on the function's own page (the hypervisor reads a
+// VF's page directly); the windows and thresholds that drive it are
+// programmed through PF-only registers.
+/** 1 while the function is quarantined, else 0. */
+inline constexpr std::uint64_t kQuarantineStatus = 0xf0;    // RO
+/** QuarantineCause of the current quarantine (0 when running). */
+inline constexpr std::uint64_t kQuarantineCause = 0xf8;     // RO
+inline constexpr std::uint64_t kStatMalformed = 0x100;      // RO
+inline constexpr std::uint64_t kStatDmaViolations = 0x108;  // RO
+/** VF writes to PF-only registers, rejected and counted. */
+inline constexpr std::uint64_t kStatRegViolations = 0x110;  // RO
+/**
+ * Staged DMA-window range for MgmtCommand::kAddDmaWindow (PF-only,
+ * like the mgmt block): base host address and byte length.
+ */
+inline constexpr std::uint64_t kDmaWindowBase = 0x118;      // RW (PF)
+inline constexpr std::uint64_t kDmaWindowSize = 0x120;      // RW (PF)
+/**
+ * Quarantine trigger: this many validation faults (malformed
+ * descriptors, ring-header corruption) within QuarantineWindowNs
+ * quarantines the function. 0 disables storm-triggered quarantine;
+ * DMA-window violations always quarantine immediately.
+ */
+inline constexpr std::uint64_t kQuarantineThreshold = 0x128; // RW (PF)
+inline constexpr std::uint64_t kQuarantineWindowNs = 0x130;  // RW (PF)
 } // namespace reg
+
+/** Why a function is quarantined (reg::kQuarantineCause). */
+enum class QuarantineCause : std::uint8_t {
+    kNone = 0,
+    kMalformedStorm = 1, ///< validation-fault threshold exceeded
+    kDmaViolation = 2,   ///< device DMA outside the function's windows
+    kRingCorrupt = 3,    ///< command-ring header failed validation
+};
 
 /** Packs a kBtlbGeometry register value. */
 constexpr std::uint64_t
@@ -188,6 +235,23 @@ enum class MgmtCommand : std::uint32_t {
      * cannot repoint its own tree at a self-crafted mapping.
      */
     kSetExtentRoot = 6,
+    /**
+     * Grants the VF in kMgmtVfId DMA access to the staged range
+     * [kDmaWindowBase, kDmaWindowBase + kDmaWindowSize) and enables
+     * window enforcement for it. A confined VF's device-initiated
+     * DMA (rings, data buffers, extent-node fetches) must land
+     * inside its windows; anything else quarantines the VF.
+     */
+    kAddDmaWindow = 7,
+    /** Drops the VF's windows, returning it to unconfined DMA. */
+    kClearDmaWindows = 8,
+    /**
+     * Releases the VF in kMgmtVfId from quarantine via a
+     * function-level reset. This is the only way out: the VF's own
+     * FnReset register is ignored while quarantined, so a hostile
+     * guest cannot un-quarantine itself.
+     */
+    kReleaseQuarantine = 9,
 };
 
 /** kMgmtStatus values. */

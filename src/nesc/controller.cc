@@ -14,6 +14,9 @@ namespace {
 // exceeds these, so crossing one means the node bytes are garbage.
 constexpr std::uint32_t kMaxNodeEntries = 4096;
 constexpr std::uint32_t kMaxWalkDepth = 64;
+// No driver needs a deeper command ring; a bigger claimed capacity
+// means the guest-written header is garbage.
+constexpr std::uint32_t kMaxRingCapacity = 1u << 20;
 } // namespace
 
 using extent::ExtentPtrRecord;
@@ -33,12 +36,20 @@ Controller::Controller(sim::Simulator &simulator,
       node_cache_(config.node_cache_bytes),
       walk_coalescing_(config.walk_coalescing),
       coalesce_window_(config.coalesce_window_blocks),
-      contexts_(static_cast<std::size_t>(config.max_vfs) + 1)
+      contexts_(static_cast<std::size_t>(config.max_vfs) + 1),
+      quarantine_threshold_(config.quarantine_threshold),
+      quarantine_window_(config.quarantine_window)
 {
     // The PF is permanently active and spans the whole physical device.
     FunctionContext &pf = contexts_[pcie::kPhysicalFunctionId];
     pf.active = true;
     pf.device_size_blocks = device_.geometry().num_blocks();
+    // Every attributed DMA the device issues is policed by the
+    // PF-programmed window table; a violation quarantines the fn.
+    dma_.set_window_table(&dma_windows_);
+    dma_.set_violation_hook(
+        [this](pcie::FunctionId fn, pcie::HostAddr addr,
+               std::uint64_t size) { note_dma_violation(fn, addr, size); });
 }
 
 bool
@@ -57,6 +68,18 @@ FaultKind
 Controller::fault_kind(pcie::FunctionId fn) const
 {
     return contexts_.at(fn).fault;
+}
+
+bool
+Controller::quarantined(pcie::FunctionId fn) const
+{
+    return contexts_.at(fn).quarantined;
+}
+
+QuarantineCause
+Controller::quarantine_cause(pcie::FunctionId fn) const
+{
+    return contexts_.at(fn).quarantine_cause;
 }
 
 bool
@@ -167,6 +190,36 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
             return util::permission_denied_error(
                 "translation regs are PF-only");
         return counters_.get("walk_replays");
+      // Containment block: quarantine state and misbehavior counters
+      // are readable on the function's own page (the hypervisor reads
+      // a VF's page directly when triaging); the knobs are PF-only.
+      case reg::kQuarantineStatus:
+        return c.quarantined ? std::uint64_t{1} : std::uint64_t{0};
+      case reg::kQuarantineCause:
+        return static_cast<std::uint64_t>(c.quarantine_cause);
+      case reg::kStatMalformed: return c.stats.malformed;
+      case reg::kStatDmaViolations: return c.stats.dma_violations;
+      case reg::kStatRegViolations: return c.stats.reg_violations;
+      case reg::kDmaWindowBase:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "containment regs are PF-only");
+        return dma_window_base_;
+      case reg::kDmaWindowSize:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "containment regs are PF-only");
+        return dma_window_size_;
+      case reg::kQuarantineThreshold:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "containment regs are PF-only");
+        return quarantine_threshold_;
+      case reg::kQuarantineWindowNs:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "containment regs are PF-only");
+        return static_cast<std::uint64_t>(quarantine_window_);
       default:
         return util::invalid_argument_error("unknown register read at " +
                                             std::to_string(offset));
@@ -182,6 +235,14 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         return util::out_of_range_error("no such function");
     FunctionContext &c = ctx(fn);
     const bool is_pf = fn == pcie::kPhysicalFunctionId;
+    if (!is_pf && pf_only_write(offset)) {
+        // One choke point for the whole privileged surface: hostile
+        // guests probe it, so the rejection is also counted where the
+        // hypervisor can see it.
+        ++c.stats.reg_violations;
+        ++counters_["reg_violations"];
+        return util::permission_denied_error("register is PF-only");
+    }
 
     switch (offset) {
       case reg::kExtentTreeRoot:
@@ -189,22 +250,28 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         // a self-crafted mapping. Live VF root updates go through the
         // PF mgmt block (kSetExtentRoot), which also flushes the VF's
         // stale BTLB entries.
-        if (!is_pf)
-            return util::permission_denied_error(
-                "ExtentTreeRoot is PF-owned");
         c.extent_tree_root = value;
         return util::Status::ok();
       case reg::kWatchdogNs:
-        c.watchdog_ns = value;
+        // The register field is kWatchdogNsBits wide: a guest writing
+        // an absurd timeout gets it truncated like hardware would,
+        // instead of arming a timer centuries out (which would let one
+        // function fast-forward — or, by wrapping the 64-bit clock,
+        // livelock — the device's shared timebase).
+        c.watchdog_ns =
+            value & ((std::uint64_t{1} << reg::kWatchdogNsBits) - 1);
         arm_watchdog(fn);
         return util::Status::ok();
       case reg::kFnReset:
-        if (value != 0)
+        // A quarantined guest must not reset itself back to life; only
+        // the PF's kReleaseQuarantine performs the releasing FLR.
+        if (value != 0 && !c.quarantined)
             function_level_reset(fn);
         return util::Status::ok();
       case reg::kCmdRingBase:
         c.cmd_ring_base = value;
         c.cmd_ring.reset();
+        c.cmd_shadow_valid = false;
         return util::Status::ok();
       case reg::kCompRingBase:
         c.comp_ring_base = value;
@@ -213,6 +280,12 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
       case reg::kDoorbell: {
         if (!c.active)
             return util::failed_precondition_error("doorbell on inactive fn");
+        if (c.quarantined) {
+            // Posted write into a sealed function: dropped, counted.
+            ++c.stats.doorbells_ignored;
+            ++counters_["doorbells_ignored"];
+            return util::Status::ok();
+        }
         if (c.fetch_in_progress) {
             // Remember that more work arrived while a fetch was busy.
             c.doorbell_rearm = true;
@@ -224,42 +297,29 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         return util::Status::ok();
       }
       case reg::kRewalkTree:
-        if (value != 0)
+        if (value != 0 && !c.quarantined)
             handle_rewalk(fn);
         return util::Status::ok();
       case reg::kInterruptVector:
         c.irq_vector = static_cast<std::uint32_t>(value);
         return util::Status::ok();
       case reg::kMgmtVfId:
-        if (!is_pf)
-            return util::permission_denied_error("mgmt regs are PF-only");
         mgmt_vf_id_ = static_cast<std::uint32_t>(value);
         return util::Status::ok();
       case reg::kMgmtExtentRoot:
-        if (!is_pf)
-            return util::permission_denied_error("mgmt regs are PF-only");
         mgmt_extent_root_ = value;
         return util::Status::ok();
       case reg::kMgmtDeviceSize:
-        if (!is_pf)
-            return util::permission_denied_error("mgmt regs are PF-only");
         mgmt_device_size_ = value;
         return util::Status::ok();
       case reg::kMgmtQosWeight:
-        if (!is_pf)
-            return util::permission_denied_error("mgmt regs are PF-only");
         mgmt_qos_weight_ = static_cast<std::uint32_t>(value);
         return util::Status::ok();
       case reg::kMgmtCommand:
-        if (!is_pf)
-            return util::permission_denied_error("mgmt regs are PF-only");
         mgmt_status_ =
             mgmt_execute(static_cast<MgmtCommand>(value));
         return util::Status::ok();
       case reg::kBtlbGeometry: {
-        if (!is_pf)
-            return util::permission_denied_error(
-                "translation regs are PF-only");
         const auto sets = static_cast<std::uint32_t>(value & 0xffff);
         const auto ways =
             static_cast<std::uint32_t>((value >> 16) & 0xffff);
@@ -274,21 +334,50 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         return util::Status::ok();
       }
       case reg::kNodeCacheBytes:
-        if (!is_pf)
-            return util::permission_denied_error(
-                "translation regs are PF-only");
         node_cache_.set_budget(value);
         return util::Status::ok();
       case reg::kWalkCoalesce:
-        if (!is_pf)
-            return util::permission_denied_error(
-                "translation regs are PF-only");
         walk_coalescing_ = value != 0;
         coalesce_window_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kDmaWindowBase:
+        dma_window_base_ = value;
+        return util::Status::ok();
+      case reg::kDmaWindowSize:
+        dma_window_size_ = value;
+        return util::Status::ok();
+      case reg::kQuarantineThreshold:
+        quarantine_threshold_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kQuarantineWindowNs:
+        quarantine_window_ = static_cast<sim::Duration>(value);
         return util::Status::ok();
       default:
         return util::invalid_argument_error("unknown register write at " +
                                             std::to_string(offset));
+    }
+}
+
+bool
+Controller::pf_only_write(std::uint64_t offset)
+{
+    switch (offset) {
+      case reg::kExtentTreeRoot:
+      case reg::kMgmtVfId:
+      case reg::kMgmtExtentRoot:
+      case reg::kMgmtDeviceSize:
+      case reg::kMgmtQosWeight:
+      case reg::kMgmtCommand:
+      case reg::kBtlbGeometry:
+      case reg::kNodeCacheBytes:
+      case reg::kWalkCoalesce:
+      case reg::kDmaWindowBase:
+      case reg::kDmaWindowSize:
+      case reg::kQuarantineThreshold:
+      case reg::kQuarantineWindowNs:
+        return true;
+      default:
+        return false;
     }
 }
 
@@ -308,6 +397,8 @@ Controller::mgmt_execute(MgmtCommand command)
         c.active = true;
         c.extent_tree_root = mgmt_extent_root_;
         c.device_size_blocks = mgmt_device_size_;
+        // A fresh VF never inherits the previous occupant's windows.
+        dma_windows_.clear(static_cast<pcie::FunctionId>(mgmt_vf_id_));
         ++counters_["vfs_created"];
         return ok;
       }
@@ -328,6 +419,7 @@ Controller::mgmt_execute(MgmtCommand command)
         c = FunctionContext{};
         btlb_.flush_function(fn);
         node_cache_.invalidate_function(fn);
+        dma_windows_.clear(fn);
         ++counters_["vfs_deleted"];
         return ok;
       }
@@ -375,6 +467,37 @@ Controller::mgmt_execute(MgmtCommand command)
         ++counters_["extent_root_updates"];
         return ok;
       }
+      case MgmtCommand::kAddDmaWindow: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        if (!ctx(fn).active)
+            return err;
+        if (!dma_windows_.add(fn, dma_window_base_, dma_window_size_)
+                 .is_ok())
+            return err;
+        ++counters_["dma_windows_added"];
+        return ok;
+      }
+      case MgmtCommand::kClearDmaWindows: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        if (!ctx(fn).active)
+            return err;
+        dma_windows_.clear(fn);
+        return ok;
+      }
+      case MgmtCommand::kReleaseQuarantine: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        FunctionContext &c = ctx(fn);
+        if (!c.active || !c.quarantined)
+            return err;
+        release_quarantine(fn);
+        return ok;
+      }
     }
     return err;
 }
@@ -388,15 +511,50 @@ Controller::fetch_commands(pcie::FunctionId fn)
 {
     FunctionContext &c = ctx(fn);
     c.fetch_in_progress = false;
-    if (!c.active)
+    if (!c.active || c.quarantined)
         return;
     if (!c.cmd_ring) {
         auto ring = pcie::HostRing::attach(host_memory_, c.cmd_ring_base);
         if (!ring.is_ok()) {
             NESC_LOG_WARN("fn %u: doorbell with no command ring", fn);
+            ++c.stats.ring_corruptions;
+            ++counters_["ring_corruptions"];
+            note_validation_fault(fn, QuarantineCause::kRingCorrupt);
             return;
         }
-        c.cmd_ring = std::move(ring).value();
+        pcie::HostRing attached = std::move(ring).value();
+        if (attached.record_size() != sizeof(CommandRecord) ||
+            attached.capacity() == 0 ||
+            attached.capacity() > kMaxRingCapacity) {
+            NESC_LOG_WARN("fn %u: command ring shape rejected", fn);
+            ++c.stats.ring_corruptions;
+            ++counters_["ring_corruptions"];
+            note_validation_fault(fn, QuarantineCause::kRingCorrupt);
+            return;
+        }
+        // The ring itself is a device-DMA target: a confined guest's
+        // ring must sit inside its windows like any other buffer.
+        if (!dma_
+                 .check_window(fn, attached.base(),
+                               pcie::HostRing::footprint(
+                                   attached.capacity(),
+                                   attached.record_size()))
+                 .is_ok())
+            return; // the violation hook has quarantined the fn
+        c.cmd_ring = std::move(attached);
+        c.cmd_shadow_valid = false;
+    }
+
+    // Header sanity plus shadow-counter cross-check before trusting a
+    // single record: the header lives in guest-writable memory, so it
+    // is evidence of driver intent, never authority over device state.
+    if (util::Status ring_ok = validate_cmd_ring(c); !ring_ok.is_ok()) {
+        NESC_LOG_WARN("fn %u: command ring rejected: %s", fn,
+                      ring_ok.message().c_str());
+        ++c.stats.ring_corruptions;
+        ++counters_["ring_corruptions"];
+        note_validation_fault(fn, QuarantineCause::kRingCorrupt);
+        return;
     }
 
     // Drain the ring; descriptor DMA is booked per record.
@@ -404,13 +562,35 @@ Controller::fetch_commands(pcie::FunctionId fn)
     std::uint64_t fetched = 0;
     for (;;) {
         auto popped = c.cmd_ring->pop(rec_buf);
-        if (!popped.is_ok() || !popped.value())
+        if (!popped.is_ok()) {
+            // The header went bad between records (torn mid-drain).
+            ++c.stats.ring_corruptions;
+            ++counters_["ring_corruptions"];
+            note_validation_fault(fn, QuarantineCause::kRingCorrupt);
             break;
+        }
+        if (!popped.value())
+            break;
+        ++c.cmd_shadow_head; // mirror our own consumer advance
         dma_.book(sizeof(CommandRecord));
         CommandRecord rec;
         std::memcpy(&rec, rec_buf.data(), sizeof(rec));
         ++fetched;
         ++c.stats.commands;
+
+        if (util::Status valid = validate_command(c, rec);
+            !valid.is_ok()) {
+            ++c.stats.malformed;
+            ++counters_["malformed_commands"];
+            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
+            complete_block(BlockOp{fn, static_cast<Opcode>(rec.opcode), 0,
+                                   0, rec.tag},
+                           CompletionStatus::kMalformed);
+            note_validation_fault(fn, QuarantineCause::kMalformedStorm);
+            if (c.quarantined)
+                break; // the fault storm tipped over mid-drain
+            continue;
+        }
 
         const auto opcode = static_cast<Opcode>(rec.opcode);
         if (opcode == Opcode::kFlush) {
@@ -421,12 +601,30 @@ Controller::fetch_commands(pcie::FunctionId fn)
                            CompletionStatus::kOk);
             continue;
         }
-        if (rec.nblocks == 0 ||
-            (opcode != Opcode::kRead && opcode != Opcode::kWrite)) {
+        if (rec.vlba >= c.device_size_blocks) {
+            // Entirely out of range: reject at fetch instead of
+            // expanding nblocks block ops that would each bounce off
+            // the same bound in translation.
             c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
             complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
-                           CompletionStatus::kInternalError);
+                           CompletionStatus::kOutOfRange);
             continue;
+        }
+        // Check the data buffer against the DMA windows now, so a
+        // confined guest pointing a descriptor out of its sandbox gets
+        // a precise kDmaFault (then quarantine) before the device
+        // touches anything.
+        const std::uint64_t buffer_len =
+            static_cast<std::uint64_t>(rec.nblocks) * kDeviceBlockSize;
+        if (!dma_windows_.check(fn, rec.host_buffer, buffer_len)
+                 .is_ok()) {
+            ++c.stats.dma_violations;
+            ++counters_["dma_violations"];
+            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
+            complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
+                           CompletionStatus::kDmaFault);
+            quarantine(fn, QuarantineCause::kDmaViolation);
+            break;
         }
 
         // Split into 1 KiB device-block operations (paper §IV.C).
@@ -443,6 +641,10 @@ Controller::fetch_commands(pcie::FunctionId fn)
         }
     }
     counters_["commands_fetched"] += fetched;
+    if (c.quarantined) {
+        pump(); // other functions' work continues; this one is sealed
+        return;
+    }
     arm_watchdog(fn);
     if (c.doorbell_rearm) {
         c.doorbell_rearm = false;
@@ -451,6 +653,162 @@ Controller::fetch_commands(pcie::FunctionId fn)
                                [this, fn]() { fetch_commands(fn); });
     }
     pump();
+}
+
+// --------------------------------------------------------------------
+// Untrusted-guest containment
+// --------------------------------------------------------------------
+
+util::Status
+Controller::validate_cmd_ring(FunctionContext &c)
+{
+    NESC_ASSIGN_OR_RETURN(auto header, c.cmd_ring->load_header());
+    if (!c.cmd_shadow_valid) {
+        // First sight of this ring: adopt its counters as the baseline.
+        c.cmd_shadow_head = header.head;
+        c.cmd_shadow_tail = header.tail;
+        c.cmd_shadow_valid = true;
+    }
+    // head is the device's counter; the producer never writes it.
+    if (header.head != c.cmd_shadow_head)
+        return util::data_loss_error("ring consumer counter rewritten");
+    // tail may only advance. With free-running 32-bit counters a
+    // backward step shows up as a wrapping advance in the top half of
+    // the range, which no real producer can reach between doorbells.
+    const std::uint32_t advance = header.tail - c.cmd_shadow_tail;
+    if (advance > 0x7fffffffu)
+        return util::data_loss_error("ring producer counter regressed");
+    c.cmd_shadow_tail = header.tail;
+    return util::Status::ok();
+}
+
+util::Status
+Controller::validate_command(const FunctionContext &c,
+                             const CommandRecord &rec) const
+{
+    const auto opcode = static_cast<Opcode>(rec.opcode);
+    if (opcode != Opcode::kRead && opcode != Opcode::kWrite &&
+        opcode != Opcode::kFlush)
+        return util::invalid_argument_error("unknown opcode");
+    if (opcode == Opcode::kFlush)
+        return util::Status::ok(); // carries no range or buffer
+    if (rec.nblocks == 0)
+        return util::invalid_argument_error("zero-length command");
+    if (rec.nblocks > config_.max_command_blocks)
+        return util::invalid_argument_error("nblocks beyond device limit");
+    if (rec.vlba + rec.nblocks < rec.vlba)
+        return util::invalid_argument_error("vLBA range wraps");
+    if (rec.host_buffer == pcie::kNullHostAddr)
+        return util::invalid_argument_error("null data buffer");
+    if (rec.host_buffer % 4 != 0)
+        return util::invalid_argument_error("misaligned data buffer");
+    const std::uint64_t len =
+        static_cast<std::uint64_t>(rec.nblocks) * kDeviceBlockSize;
+    if (rec.host_buffer + len < rec.host_buffer)
+        return util::invalid_argument_error("buffer range wraps");
+    (void)c;
+    return util::Status::ok();
+}
+
+void
+Controller::note_validation_fault(pcie::FunctionId fn,
+                                  QuarantineCause cause)
+{
+    // The PF is trusted infrastructure; misprogramming it is a
+    // hypervisor bug, not guest hostility.
+    if (fn == pcie::kPhysicalFunctionId)
+        return;
+    FunctionContext &c = ctx(fn);
+    if (c.quarantined)
+        return;
+    const sim::Time now = simulator_.now();
+    c.recent_validation_faults.push_back(now);
+    while (!c.recent_validation_faults.empty() &&
+           c.recent_validation_faults.front() + quarantine_window_ < now)
+        c.recent_validation_faults.pop_front();
+    if (quarantine_threshold_ != 0 &&
+        c.recent_validation_faults.size() >= quarantine_threshold_)
+        quarantine(fn, cause);
+}
+
+void
+Controller::note_dma_violation(pcie::FunctionId fn, pcie::HostAddr addr,
+                               std::uint64_t size)
+{
+    if (fn >= contexts_.size() || fn == pcie::kPhysicalFunctionId)
+        return;
+    FunctionContext &c = ctx(fn);
+    ++c.stats.dma_violations;
+    ++counters_["dma_violations"];
+    NESC_LOG_WARN("fn %u: DMA window violation at %llu+%llu", fn,
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(size));
+    // No storm counting for a sandbox escape attempt: one strike.
+    quarantine(fn, QuarantineCause::kDmaViolation);
+}
+
+void
+Controller::quarantine(pcie::FunctionId fn, QuarantineCause cause)
+{
+    if (fn == pcie::kPhysicalFunctionId)
+        return;
+    FunctionContext &c = ctx(fn);
+    if (c.quarantined)
+        return;
+    c.quarantined = true;
+    c.quarantine_cause = cause;
+    ++c.stats.quarantines;
+    ++counters_["quarantines"];
+    // Tear down everything in flight, scoped exactly to this fn.
+    purge_shared_queues(fn, std::nullopt);
+    c.queue.clear();
+    c.stalled_ops.clear();
+    c.fault = FaultKind::kNone;
+    c.miss_address = 0;
+    c.miss_size = 0;
+    c.doorbell_rearm = false;
+    // Results derived from the pre-quarantine state must not land:
+    // the generation bump cancels in-flight walks, and any transfer
+    // completion drops on the pending-map miss below.
+    ++c.tree_generation;
+    btlb_.flush_function(fn);
+    node_cache_.invalidate_function(fn);
+    // In-flight commands complete kAborted toward the guest, in tag
+    // order for determinism (pending is an unordered map).
+    std::vector<std::uint64_t> tags;
+    tags.reserve(c.pending.size());
+    for (const auto &[tag, cmd] : c.pending)
+        tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    c.pending.clear();
+    c.stats.aborted_ops += tags.size();
+    counters_["aborted_ops"] += tags.size();
+    for (std::uint64_t tag : tags) {
+        simulator_.schedule_in(config_.completion_cost,
+                               [this, fn, tag]() {
+                                   post_completion(
+                                       fn, tag,
+                                       CompletionStatus::kAborted);
+                               });
+    }
+    // One PF notification per quarantine entry; the per-fault IRQs a
+    // misbehaving guest could otherwise storm with are suppressed
+    // while it stays quarantined.
+    irq_.raise(kFaultVector);
+    pump();
+}
+
+void
+Controller::release_quarantine(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    c.quarantined = false;
+    c.quarantine_cause = QuarantineCause::kNone;
+    c.recent_validation_faults.clear();
+    ++counters_["quarantine_releases"];
+    // The releasing FLR rebuilds the fn from scratch: rings detached
+    // (the guest re-programs them), queues empty, fault state clear.
+    function_level_reset(fn);
 }
 
 void
@@ -487,7 +845,8 @@ Controller::arbitrate()
     // weight must survive that, not just batch arrivals.
     auto eligible = [this](pcie::FunctionId fn) {
         const FunctionContext &c = contexts_[fn];
-        return c.active && c.fault == FaultKind::kNone && !c.queue.empty();
+        return c.active && !c.quarantined &&
+               c.fault == FaultKind::kNone && !c.queue.empty();
     };
     const std::uint32_t nfuncs = config_.max_vfs;
     std::uint32_t scanned = 0;
@@ -543,7 +902,7 @@ void
 Controller::begin_translation(BlockOp op)
 {
     FunctionContext &c = ctx(op.fn);
-    if (!c.active) { // VF deleted while queued
+    if (!c.active || c.quarantined) { // deleted or sealed while queued
         release_walker();
         pump();
         return;
@@ -630,7 +989,7 @@ Controller::walk_node(std::shared_ptr<Walk> walk)
         counters_["node_cache_misses"] += 1;
     }
     counters_["walk_node_reads"] += 1;
-    dma_.read(walk->node, sizeof(NodeHeaderRecord),
+    dma_.read(walk->op.fn, walk->node, sizeof(NodeHeaderRecord),
               [this, walk](util::Status status,
                            std::vector<std::byte> data) {
                   if (walk_canceled(walk))
@@ -671,7 +1030,7 @@ Controller::walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
     const std::uint64_t bytes =
         static_cast<std::uint64_t>(count) * extent::kEntrySize;
     dma_.read(
-        extent::entry_addr(walk->node, 0), bytes,
+        walk->op.fn, extent::entry_addr(walk->node, 0), bytes,
         [this, walk, kind, count](util::Status status,
                                   std::vector<std::byte> data) {
             if (walk_canceled(walk))
@@ -749,7 +1108,7 @@ Controller::walk_canceled(const std::shared_ptr<Walk> &walk)
     // or the function is gone: the result would be stale, so the ops
     // go back through translation against the current tree.
     retire_walk(walk);
-    if (c.active) {
+    if (c.active && !c.quarantined) {
         std::vector<BlockOp> ops;
         ops.reserve(1 + walk->secondaries.size());
         ops.push_back(walk->op);
@@ -869,6 +1228,8 @@ void
 Controller::finish_fault(const BlockOp &op, FaultKind kind)
 {
     FunctionContext &c = ctx(op.fn);
+    if (c.quarantined)
+        return; // op already aborted; no fault latch, no PF IRQ storm
     c.stalled_ops.push_back(op);
     if (c.fault != FaultKind::kNone)
         return; // already faulted; hypervisor will service in order
@@ -978,15 +1339,20 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
                 pump();
                 return;
             }
-            dma_.write(op.buffer, std::move(data),
+            dma_.write(op.fn, op.buffer, std::move(data),
                        [this, op](util::Status dma_status) {
                            --inflight_transfers_;
                            ctx(op.fn).stats.blocks_read += 1;
-                           complete_block(op,
-                                          dma_status.is_ok()
-                                              ? CompletionStatus::kOk
-                                              : CompletionStatus::
-                                                    kInternalError);
+                           CompletionStatus s = CompletionStatus::kOk;
+                           if (!dma_status.is_ok()) {
+                               s = dma_status.code() ==
+                                           util::ErrorCode::
+                                               kPermissionDenied
+                                       ? CompletionStatus::kDmaFault
+                                       : CompletionStatus::
+                                             kInternalError;
+                           }
+                           complete_block(op, s);
                            pump();
                        });
         });
@@ -994,12 +1360,17 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
     }
 
     // Write: DMA the payload from host memory, then media write.
-    dma_.read(op.buffer, kDeviceBlockSize,
+    dma_.read(op.fn, op.buffer, kDeviceBlockSize,
               [this, op, media_offset](util::Status status,
                                        std::vector<std::byte> data) {
                   if (!status.is_ok()) {
                       --inflight_transfers_;
-                      complete_block(op, CompletionStatus::kInternalError);
+                      complete_block(
+                          op,
+                          status.code() ==
+                                  util::ErrorCode::kPermissionDenied
+                              ? CompletionStatus::kDmaFault
+                              : CompletionStatus::kInternalError);
                       pump();
                       return;
                   }
@@ -1032,13 +1403,17 @@ Controller::start_zero_fill(const BlockOp &original)
     ++inflight_transfers_;
     ctx(op.fn).stats.holes_zero_filled += 1;
     counters_["holes_zero_filled"] += 1;
-    dma_.write_zero(op.buffer, kDeviceBlockSize,
+    dma_.write_zero(op.fn, op.buffer, kDeviceBlockSize,
                     [this, op](util::Status status) {
                         --inflight_transfers_;
-                        complete_block(op, status.is_ok()
-                                               ? CompletionStatus::kOk
-                                               : CompletionStatus::
-                                                     kInternalError);
+                        CompletionStatus s = CompletionStatus::kOk;
+                        if (!status.is_ok()) {
+                            s = status.code() ==
+                                        util::ErrorCode::kPermissionDenied
+                                    ? CompletionStatus::kDmaFault
+                                    : CompletionStatus::kInternalError;
+                        }
+                        complete_block(op, s);
                         pump();
                     });
 }
@@ -1091,15 +1466,42 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
             NESC_LOG_WARN("fn %u: completion with no completion ring", fn);
             return;
         }
-        c.comp_ring = std::move(ring).value();
+        pcie::HostRing attached = std::move(ring).value();
+        if (attached.record_size() != sizeof(CompletionRecord) ||
+            attached.capacity() == 0 ||
+            attached.capacity() > kMaxRingCapacity) {
+            NESC_LOG_WARN("fn %u: completion ring shape rejected", fn);
+            ++c.stats.ring_corruptions;
+            ++counters_["ring_corruptions"];
+            note_validation_fault(fn, QuarantineCause::kRingCorrupt);
+            return;
+        }
+        // Completions are device writes into guest memory: a confined
+        // fn's completion ring must also sit inside its windows.
+        if (!dma_
+                 .check_window(fn, attached.base(),
+                               pcie::HostRing::footprint(
+                                   attached.capacity(),
+                                   attached.record_size()))
+                 .is_ok())
+            return; // the violation hook has quarantined the fn
+        c.comp_ring = std::move(attached);
     }
     CompletionRecord rec{tag, static_cast<std::uint32_t>(status), 0};
     std::vector<std::byte> buf(sizeof(rec));
     std::memcpy(buf.data(), &rec, sizeof(rec));
     dma_.book(sizeof(rec));
     util::Status pushed = c.comp_ring->push(buf);
-    if (!pushed.is_ok())
-        NESC_LOG_WARN("fn %u: completion ring overflow", fn);
+    if (!pushed.is_ok()) {
+        NESC_LOG_WARN("fn %u: completion ring push failed: %s", fn,
+                      pushed.message().c_str());
+        if (pushed.code() == util::ErrorCode::kDataLoss) {
+            // Corrupted header (not mere overflow): misbehavior.
+            ++c.stats.ring_corruptions;
+            ++counters_["ring_corruptions"];
+            note_validation_fault(fn, QuarantineCause::kRingCorrupt);
+        }
+    }
     ++c.stats.completions;
     counters_["completions"] += 1;
     const pcie::IrqVector vector =
@@ -1136,8 +1538,12 @@ Controller::arm_watchdog(pcie::FunctionId fn)
     sim::Time earliest = ~sim::Time{0};
     for (const auto &[tag, cmd] : c.pending)
         earliest = std::min(earliest, cmd.t_start);
-    const sim::Time expiry =
-        std::max(earliest + c.watchdog_ns, simulator_.now());
+    // Saturate: a deadline past the end of time must never wrap into
+    // the past and spin the fire/rearm pair at a single timestamp.
+    const sim::Time deadline =
+        earliest > ~sim::Time{0} - c.watchdog_ns ? ~sim::Time{0}
+                                                 : earliest + c.watchdog_ns;
+    const sim::Time expiry = std::max(deadline, simulator_.now());
     c.watchdog_armed = true;
     simulator_.schedule_at(expiry, [this, fn]() { watchdog_fire(fn); });
 }
@@ -1202,6 +1608,7 @@ Controller::function_level_reset(pcie::FunctionId fn)
     c.comp_ring.reset();
     c.cmd_ring_base = pcie::kNullHostAddr;
     c.comp_ring_base = pcie::kNullHostAddr;
+    c.cmd_shadow_valid = false;
     c.fetch_in_progress = false;
     c.doorbell_rearm = false;
     c.irq_pending = false;

@@ -96,6 +96,22 @@ struct ControllerConfig {
      * completion (prototype behaviour).
      */
     sim::Duration irq_coalesce = 0;
+    /**
+     * Guest-misbehavior quarantine: this many validation faults
+     * (malformed descriptors, corrupted ring headers) within
+     * quarantine_window moves the function to quarantine. 0 disables
+     * the storm trigger. DMA-window violations quarantine
+     * immediately regardless. Runtime-tunable via PF-only registers.
+     */
+    std::uint32_t quarantine_threshold = 8;
+    sim::Duration quarantine_window = 1'000'000; // 1 ms
+    /**
+     * Largest nblocks a single CommandRecord may carry; bigger values
+     * are rejected kMalformed before any per-block state is
+     * allocated (a hostile nblocks of ~2^32 would otherwise expand
+     * into billions of queued block ops).
+     */
+    std::uint32_t max_command_blocks = 65536; // 64 MiB per command
 };
 
 /** Translation fault kinds (drives the hypervisor's service path). */
@@ -117,6 +133,12 @@ struct FunctionStats {
     std::uint64_t media_errors = 0; ///< block ops failed by the media
     std::uint64_t aborted_ops = 0;  ///< commands aborted (watchdog/FLR)
     std::uint64_t fn_resets = 0;    ///< function-level resets taken
+    std::uint64_t malformed = 0;    ///< descriptors rejected kMalformed
+    std::uint64_t ring_corruptions = 0; ///< ring headers failing checks
+    std::uint64_t dma_violations = 0;   ///< DMA refused by the windows
+    std::uint64_t reg_violations = 0;   ///< PF-only reg writes rejected
+    std::uint64_t quarantines = 0;      ///< times quarantined
+    std::uint64_t doorbells_ignored = 0; ///< doorbells while quarantined
 };
 
 /** The NeSC controller device model. */
@@ -168,6 +190,12 @@ class Controller : public pcie::FunctionMmioDevice {
     const util::Sampler &stage_transfer() const { return stage_transfer_; }
     /** Pending fault kind of a VF (kNone when running). */
     FaultKind fault_kind(pcie::FunctionId fn) const;
+    /** True while @p fn is quarantined. */
+    bool quarantined(pcie::FunctionId fn) const;
+    /** Cause of @p fn's quarantine (kNone when running). */
+    QuarantineCause quarantine_cause(pcie::FunctionId fn) const;
+    /** The per-function DMA permission table (PF-programmed). */
+    const pcie::DmaWindowTable &dma_windows() const { return dma_windows_; }
 
     /** True when no request is queued or in flight anywhere. */
     bool quiescent() const;
@@ -220,6 +248,26 @@ class Controller : public pcie::FunctionMmioDevice {
         sim::Duration watchdog_ns = 0;
         bool watchdog_armed = false; ///< an expiry check is scheduled
         FaultKind fault = FaultKind::kNone;
+        /**
+         * Quarantine state: doorbells ignored, no translation or
+         * transfer service, fault IRQs suppressed. Only the PF's
+         * kReleaseQuarantine lifts it; the VF's own FnReset is
+         * latched out while quarantined.
+         */
+        bool quarantined = false;
+        QuarantineCause quarantine_cause = QuarantineCause::kNone;
+        /** Validation-fault timestamps inside the storm window. */
+        std::deque<sim::Time> recent_validation_faults;
+        /**
+         * Device-side shadow of the command ring's free-running
+         * counters, snapped at attach and advanced only by this
+         * consumer. A guest rewriting head (the device's counter) or
+         * regressing tail is detected by divergence from the shadow
+         * — shared memory is evidence, never authority.
+         */
+        std::uint32_t cmd_shadow_head = 0;
+        std::uint32_t cmd_shadow_tail = 0;
+        bool cmd_shadow_valid = false;
         /**
          * Bumped whenever the function's mapping may have changed
          * (SetExtentRoot, RewalkTree, reset, delete). A walk started
@@ -290,6 +338,24 @@ class Controller : public pcie::FunctionMmioDevice {
     void fail_stalled(pcie::FunctionId fn);
     std::uint32_t mgmt_execute(MgmtCommand command);
 
+    // Untrusted-guest containment.
+    /** True when a VF write to @p offset must be rejected (PF-only). */
+    static bool pf_only_write(std::uint64_t offset);
+    /** OK, or why the descriptor must be rejected kMalformed. */
+    util::Status validate_command(const FunctionContext &c,
+                                  const CommandRecord &rec) const;
+    /** Validates the ring header + shadow counters before a drain. */
+    util::Status validate_cmd_ring(FunctionContext &c);
+    /** Counts a validation fault; quarantines past the threshold. */
+    void note_validation_fault(pcie::FunctionId fn, QuarantineCause cause);
+    /** DMA-window violation hook (immediate quarantine). */
+    void note_dma_violation(pcie::FunctionId fn, pcie::HostAddr addr,
+                            std::uint64_t size);
+    /** Moves @p fn to quarantine: aborts in-flight, seals doorbells. */
+    void quarantine(pcie::FunctionId fn, QuarantineCause cause);
+    /** PF-initiated release: FnReset + fault-history clear. */
+    void release_quarantine(pcie::FunctionId fn);
+
     // Error containment.
     void arm_watchdog(pcie::FunctionId fn);
     void watchdog_fire(pcie::FunctionId fn);
@@ -308,6 +374,7 @@ class Controller : public pcie::FunctionMmioDevice {
     storage::BlockDevice &device_;
     pcie::InterruptController &irq_;
     ControllerConfig config_;
+    pcie::DmaWindowTable dma_windows_;
     pcie::DmaEngine dma_;
     Btlb btlb_;
     ExtentNodeCache node_cache_;
@@ -332,6 +399,11 @@ class Controller : public pcie::FunctionMmioDevice {
     std::uint32_t mgmt_qos_weight_ = 1;
     std::uint32_t mgmt_status_ =
         static_cast<std::uint32_t>(MgmtStatus::kIdle);
+    // Staged DMA-window range and runtime quarantine tuning (PF-only).
+    pcie::HostAddr dma_window_base_ = pcie::kNullHostAddr;
+    std::uint64_t dma_window_size_ = 0;
+    std::uint32_t quarantine_threshold_ = 0;
+    sim::Duration quarantine_window_ = 0;
 
     util::CounterGroup counters_;
     util::Sampler stage_queue_;

@@ -11,6 +11,77 @@ DmaEngine::DmaEngine(sim::Simulator &simulator, HostMemory &host_memory,
 {
 }
 
+util::Status
+DmaEngine::check_window(FunctionId fn, HostAddr addr, std::uint64_t size)
+{
+    return precheck(fn, addr, size);
+}
+
+util::Status
+DmaEngine::precheck(FunctionId fn, HostAddr addr, std::uint64_t size)
+{
+    if (window_table_ == nullptr)
+        return util::Status::ok();
+    util::Status checked = window_table_->check(fn, addr, size);
+    if (!checked.is_ok()) {
+        ++window_violations_;
+        if (violation_hook_)
+            violation_hook_(fn, addr, size);
+    }
+    return checked;
+}
+
+void
+DmaEngine::read(FunctionId fn, HostAddr addr, std::uint64_t size,
+                ReadDone done)
+{
+    util::Status checked = precheck(fn, addr, size);
+    if (!checked.is_ok()) {
+        // Refused before any data moves: the completion carries the
+        // link latency (the TLP round trip happened) but no payload
+        // time and no host-memory access.
+        simulator_.schedule_in(
+            config_.latency,
+            [checked = std::move(checked), done = std::move(done)]() {
+                done(checked, {});
+            });
+        return;
+    }
+    read(addr, size, std::move(done));
+}
+
+void
+DmaEngine::write(FunctionId fn, HostAddr addr, std::vector<std::byte> data,
+                 WriteDone done)
+{
+    util::Status checked = precheck(fn, addr, data.size());
+    if (!checked.is_ok()) {
+        simulator_.schedule_in(
+            config_.latency,
+            [checked = std::move(checked), done = std::move(done)]() {
+                done(checked);
+            });
+        return;
+    }
+    write(addr, std::move(data), std::move(done));
+}
+
+void
+DmaEngine::write_zero(FunctionId fn, HostAddr addr, std::uint64_t size,
+                      WriteDone done)
+{
+    util::Status checked = precheck(fn, addr, size);
+    if (!checked.is_ok()) {
+        simulator_.schedule_in(
+            config_.latency,
+            [checked = std::move(checked), done = std::move(done)]() {
+                done(checked);
+            });
+        return;
+    }
+    write_zero(addr, size, std::move(done));
+}
+
 void
 DmaEngine::read(HostAddr addr, std::uint64_t size, ReadDone done)
 {

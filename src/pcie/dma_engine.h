@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "pcie/bdf.h"
+#include "pcie/dma_window.h"
 #include "pcie/host_memory.h"
 #include "sim/bandwidth_server.h"
 #include "sim/simulator.h"
@@ -46,21 +48,49 @@ class DmaEngine {
      */
     using ReadFaultHook = std::function<void(
         HostAddr addr, std::vector<std::byte> &data, util::Status &status)>;
+    /**
+     * Invoked synchronously whenever an attributed transfer (or an
+     * explicit check_window() call) violates the function's DMA
+     * windows, before the transfer is failed. The controller hooks
+     * this to count the violation and quarantine the function.
+     */
+    using ViolationHook =
+        std::function<void(FunctionId fn, HostAddr addr,
+                           std::uint64_t size)>;
 
     DmaEngine(sim::Simulator &simulator, HostMemory &host_memory,
               const DmaConfig &config = {});
 
     /**
      * Reads @p size bytes from host memory at @p addr; @p done fires
-     * when the transfer completes on the link.
+     * when the transfer completes on the link. The unattributed form
+     * is for trusted (hypervisor/PF) transfers and skips the window
+     * check.
      */
     void read(HostAddr addr, std::uint64_t size, ReadDone done);
+
+    /**
+     * Reads on behalf of @p fn: the access must fall inside @p fn's
+     * DMA windows (when enforced), else the transfer is refused —
+     * @p done fires with PERMISSION_DENIED after the link latency and
+     * host memory is never touched.
+     */
+    void read(FunctionId fn, HostAddr addr, std::uint64_t size,
+              ReadDone done);
 
     /** Writes @p data to host memory at @p addr. */
     void write(HostAddr addr, std::vector<std::byte> data, WriteDone done);
 
+    /** Window-checked write on behalf of @p fn. */
+    void write(FunctionId fn, HostAddr addr, std::vector<std::byte> data,
+               WriteDone done);
+
     /** Writes @p size zero bytes to host memory at @p addr (hole reads). */
     void write_zero(HostAddr addr, std::uint64_t size, WriteDone done);
+
+    /** Window-checked zero-fill on behalf of @p fn. */
+    void write_zero(FunctionId fn, HostAddr addr, std::uint64_t size,
+                    WriteDone done);
 
     /**
      * Timing-only booking of the link for @p bytes starting at now;
@@ -82,12 +112,48 @@ class DmaEngine {
         read_fault_hook_ = std::move(hook);
     }
 
+    /**
+     * Attaches the permission table consulted by the attributed
+     * transfer forms; nullptr (the default) disables checking. The
+     * table must outlive the engine.
+     */
+    void set_window_table(const DmaWindowTable *table)
+    {
+        window_table_ = table;
+    }
+
+    /** Installs (or clears) the window-violation hook. */
+    void set_violation_hook(ViolationHook hook)
+    {
+        violation_hook_ = std::move(hook);
+    }
+
+    /**
+     * Checks [addr, addr + size) against @p fn's windows without
+     * transferring, counting violations and firing the hook exactly
+     * like an attributed transfer would. Used for accesses whose data
+     * movement is modelled elsewhere (ring reads are functional, with
+     * timing booked per record).
+     */
+    util::Status check_window(FunctionId fn, HostAddr addr,
+                              std::uint64_t size);
+
+    /** Attributed transfers refused by the window table. */
+    std::uint64_t window_violations() const { return window_violations_; }
+
   private:
+    /** OK, or the violation status after counting + hook. */
+    util::Status precheck(FunctionId fn, HostAddr addr,
+                          std::uint64_t size);
+
     sim::Simulator &simulator_;
     HostMemory &host_memory_;
     DmaConfig config_;
     sim::BandwidthServer link_;
     ReadFaultHook read_fault_hook_;
+    const DmaWindowTable *window_table_ = nullptr;
+    ViolationHook violation_hook_;
+    std::uint64_t window_violations_ = 0;
 };
 
 } // namespace nesc::pcie

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-function DMA windows: an IOMMU-like permission table.
+ *
+ * NeSC's isolation claim is that a VF "cannot compromise data not
+ * explicitly mapped into its virtual device" (paper §IV), yet every
+ * field a guest driver writes into host memory — ring bases, buffer
+ * pointers — is an arbitrary host address the device would otherwise
+ * dereference on the guest's behalf. The window table closes that
+ * confused-deputy hole: the hypervisor programs, per function, the
+ * host-memory ranges the device may touch for that function (its
+ * rings, its DMA buffers, its extent-tree image), and the DMA engine
+ * refuses everything else before a byte moves.
+ *
+ * Enforcement is opt-in per function: a function with no table entry
+ * (the PF, or a VF on a pre-windows hypervisor) is unrestricted,
+ * which keeps the table backwards-compatible with flows that predate
+ * it. Once the PF adds a window for a VF, that VF is confined to its
+ * windows until they are cleared.
+ */
+#ifndef NESC_PCIE_DMA_WINDOW_H
+#define NESC_PCIE_DMA_WINDOW_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pcie/bdf.h"
+#include "pcie/host_memory.h"
+#include "util/status.h"
+
+namespace nesc::pcie {
+
+/** Per-function table of permitted host-memory ranges. */
+class DmaWindowTable {
+  public:
+    /** One permitted range [base, base + size). */
+    struct Window {
+        HostAddr base = kNullHostAddr;
+        std::uint64_t size = 0;
+    };
+
+    /**
+     * Grants @p fn access to [base, base + size) and enables
+     * enforcement for it. Zero-size or overflowing windows are
+     * rejected.
+     */
+    util::Status
+    add(FunctionId fn, HostAddr base, std::uint64_t size)
+    {
+        if (size == 0)
+            return util::invalid_argument_error("empty DMA window");
+        if (base + size < base)
+            return util::invalid_argument_error("DMA window wraps");
+        windows_[fn].push_back(Window{base, size});
+        return util::Status::ok();
+    }
+
+    /** Drops every window of @p fn, disabling enforcement for it. */
+    void clear(FunctionId fn) { windows_.erase(fn); }
+
+    /** True when @p fn's DMA is confined to programmed windows. */
+    bool
+    enforced(FunctionId fn) const
+    {
+        return windows_.find(fn) != windows_.end();
+    }
+
+    /** Number of windows programmed for @p fn. */
+    std::size_t
+    window_count(FunctionId fn) const
+    {
+        auto it = windows_.find(fn);
+        return it == windows_.end() ? 0 : it->second.size();
+    }
+
+    /**
+     * Checks a device-initiated access of [addr, addr + size) on
+     * behalf of @p fn. Unenforced functions always pass; enforced
+     * ones must land entirely inside a single window.
+     */
+    util::Status
+    check(FunctionId fn, HostAddr addr, std::uint64_t size) const
+    {
+        auto it = windows_.find(fn);
+        if (it == windows_.end())
+            return util::Status::ok();
+        if (addr + size < addr)
+            return violation(fn, addr, size);
+        for (const Window &w : it->second) {
+            if (addr >= w.base && addr + size <= w.base + w.size)
+                return util::Status::ok();
+        }
+        return violation(fn, addr, size);
+    }
+
+  private:
+    static util::Status
+    violation(FunctionId fn, HostAddr addr, std::uint64_t size)
+    {
+        return util::permission_denied_error(
+            "DMA window violation: fn " + std::to_string(fn) + " at " +
+            std::to_string(addr) + "+" + std::to_string(size));
+    }
+
+    std::unordered_map<FunctionId, std::vector<Window>> windows_;
+};
+
+} // namespace nesc::pcie
+
+#endif // NESC_PCIE_DMA_WINDOW_H

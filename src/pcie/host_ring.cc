@@ -29,7 +29,33 @@ HostRing::attach(HostMemory &memory, HostAddr base)
         return util::data_loss_error("no ring at host address " +
                                      std::to_string(base));
     }
+    NESC_RETURN_IF_ERROR(validate_header(header));
     return HostRing(memory, base, header.capacity, header.record_size);
+}
+
+util::Status
+HostRing::validate_header(const Header &header)
+{
+    if (header.magic != kMagic)
+        return util::data_loss_error("ring magic clobbered");
+    if (header.capacity == 0 || header.record_size == 0)
+        return util::data_loss_error("ring shape emptied");
+    // Free-running counters: the used count is the wrapping 32-bit
+    // difference, so a regressed or torn tail/head pair shows up as
+    // more records queued than slots exist.
+    if (header.tail - header.head > header.capacity)
+        return util::data_loss_error("ring counters inconsistent");
+    return util::Status::ok();
+}
+
+util::Result<HostRing::Header>
+HostRing::load_header() const
+{
+    NESC_ASSIGN_OR_RETURN(auto header, memory_->read_pod<Header>(base_));
+    NESC_RETURN_IF_ERROR(validate_header(header));
+    if (header.capacity != capacity_ || header.record_size != record_size_)
+        return util::data_loss_error("ring shape changed after attach");
+    return header;
 }
 
 util::Status
@@ -37,7 +63,7 @@ HostRing::push(std::span<const std::byte> record)
 {
     if (record.size() != record_size_)
         return util::invalid_argument_error("record size mismatch");
-    NESC_ASSIGN_OR_RETURN(auto header, memory_->read_pod<Header>(base_));
+    NESC_ASSIGN_OR_RETURN(auto header, load_header());
     if (header.tail - header.head >= capacity_)
         return util::unavailable_error("ring full");
     NESC_RETURN_IF_ERROR(memory_->write(slot_addr(header.tail), record));
@@ -50,7 +76,7 @@ HostRing::pop(std::span<std::byte> out)
 {
     if (out.size() != record_size_)
         return util::invalid_argument_error("record size mismatch");
-    NESC_ASSIGN_OR_RETURN(auto header, memory_->read_pod<Header>(base_));
+    NESC_ASSIGN_OR_RETURN(auto header, load_header());
     if (header.tail == header.head)
         return false;
     NESC_RETURN_IF_ERROR(memory_->read(slot_addr(header.head), out));
@@ -62,7 +88,7 @@ HostRing::pop(std::span<std::byte> out)
 util::Result<std::uint32_t>
 HostRing::size() const
 {
-    NESC_ASSIGN_OR_RETURN(auto header, memory_->read_pod<Header>(base_));
+    NESC_ASSIGN_OR_RETURN(auto header, load_header());
     return header.tail - header.head;
 }
 

@@ -36,6 +36,17 @@ class HostRing {
 
     static constexpr std::uint32_t kMagic = 0x4e526e67; // "NRng"
 
+    /**
+     * Structural validity of a header image: magic, non-empty shape,
+     * and free-running counter consistency (the used count tail - head
+     * is computed in wrapping 32-bit arithmetic, so any corruption
+     * that regresses tail below head shows up as used > capacity).
+     * The ring lives in memory the producer can scribble over, so
+     * every accessor revalidates instead of trusting its attach-time
+     * snapshot.
+     */
+    static util::Status validate_header(const Header &header);
+
     /** Bytes of host memory needed for a ring of the given shape. */
     static std::uint64_t
     footprint(std::uint32_t capacity, std::uint32_t record_size)
@@ -63,12 +74,26 @@ class HostRing {
 
     /**
      * Consumer: pops the oldest record into @p out (whose size must be
-     * exactly record_size). Returns false when the ring is empty.
+     * exactly record_size). Returns false when the ring is empty, and
+     * DATA_LOSS when the header no longer validates or its shape
+     * changed since attach.
      */
     util::Result<bool> pop(std::span<std::byte> out);
 
-    /** Records currently queued. */
+    /**
+     * Records currently queued. A corrupted header (counters
+     * inconsistent, magic or shape clobbered) surfaces as DATA_LOSS
+     * rather than a bogus huge count.
+     */
     util::Result<std::uint32_t> size() const;
+
+    /**
+     * Reads and validates the current header, additionally rejecting
+     * any shape (capacity/record_size) change since this accessor was
+     * created — a producer must not resize a live ring under its
+     * consumer.
+     */
+    util::Result<Header> load_header() const;
 
     std::uint32_t capacity() const { return capacity_; }
     std::uint32_t record_size() const { return record_size_; }

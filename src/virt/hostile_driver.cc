@@ -1,0 +1,305 @@
+#include "hostile_driver.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/log.h"
+
+namespace nesc::virt {
+
+using ctrl::CommandRecord;
+using ctrl::CompletionRecord;
+using ctrl::Opcode;
+namespace reg = ctrl::reg;
+
+namespace {
+constexpr std::uint64_t kAlign = 64;
+
+std::uint64_t
+align_up(std::uint64_t v)
+{
+    return (v + kAlign - 1) & ~(kAlign - 1);
+}
+} // namespace
+
+HostileDriver::HostileDriver(sim::Simulator &simulator,
+                             pcie::HostMemory &host_memory,
+                             pcie::BarPageRouter &bar, pcie::FunctionId fn,
+                             std::uint64_t seed,
+                             const HostileDriverConfig &config)
+    : simulator_(simulator), host_memory_(host_memory), bar_(bar), fn_(fn),
+      config_(config), rng_(seed)
+{
+}
+
+util::Status
+HostileDriver::init()
+{
+    NESC_ASSIGN_OR_RETURN(
+        device_blocks_,
+        bar_.read(bar_.function_base(fn_) + reg::kDeviceSize, 8));
+    const std::uint64_t cmd_fp = align_up(pcie::HostRing::footprint(
+        config_.ring_entries, sizeof(CommandRecord)));
+    const std::uint64_t comp_fp = align_up(pcie::HostRing::footprint(
+        config_.ring_entries * 2, sizeof(CompletionRecord)));
+    region_size_ = cmd_fp + comp_fp + config_.buffer_bytes;
+    NESC_ASSIGN_OR_RETURN(region_base_,
+                          host_memory_.alloc(region_size_, 4096));
+    cmd_ring_base_ = region_base_;
+    comp_ring_base_ = region_base_ + cmd_fp;
+    buffer_base_ = comp_ring_base_ + comp_fp;
+    repair();
+    return util::Status::ok();
+}
+
+void
+HostileDriver::repair()
+{
+    // Reformat both rings in place and reprogram the bases; the base
+    // write makes the device drop its attachment and re-validate from
+    // scratch, exactly like a real driver re-initializing after a
+    // reset.
+    (void)pcie::HostRing::create(host_memory_, cmd_ring_base_,
+                                 config_.ring_entries,
+                                 sizeof(CommandRecord));
+    (void)pcie::HostRing::create(host_memory_, comp_ring_base_,
+                                 config_.ring_entries * 2,
+                                 sizeof(CompletionRecord));
+    reg_write(reg::kCmdRingBase, cmd_ring_base_);
+    reg_write(reg::kCompRingBase, comp_ring_base_);
+}
+
+void
+HostileDriver::step()
+{
+    ++events_;
+    const std::uint32_t total =
+        config_.w_well_formed + config_.w_malformed + config_.w_oob_buffer +
+        config_.w_ring_corrupt + config_.w_doorbell_spam +
+        config_.w_reg_probe + config_.w_ring_repoint +
+        config_.w_self_repair;
+    std::uint64_t pick = rng_.next_below(total);
+    auto in_class = [&pick](std::uint32_t weight) {
+        if (pick < weight)
+            return true;
+        pick -= weight;
+        return false;
+    };
+    if (in_class(config_.w_well_formed))
+        return submit_well_formed();
+    if (in_class(config_.w_malformed))
+        return submit_malformed();
+    if (in_class(config_.w_oob_buffer))
+        return submit_oob_buffer();
+    if (in_class(config_.w_ring_corrupt))
+        return corrupt_ring_header();
+    if (in_class(config_.w_doorbell_spam))
+        return doorbell_spam();
+    if (in_class(config_.w_reg_probe))
+        return reg_probe();
+    if (in_class(config_.w_ring_repoint))
+        return ring_repoint();
+    repair();
+}
+
+void
+HostileDriver::submit_well_formed()
+{
+    if (device_blocks_ == 0)
+        return;
+    CommandRecord rec{};
+    const std::uint32_t nblocks = static_cast<std::uint32_t>(
+        rng_.next_in(1, 4));
+    const std::uint64_t max_slots =
+        config_.buffer_bytes / ctrl::kDeviceBlockSize;
+    if (max_slots < nblocks)
+        return;
+    rec.vlba = rng_.next_below(
+        device_blocks_ > nblocks ? device_blocks_ - nblocks : 1);
+    rec.nblocks = nblocks;
+    const double kind = rng_.next_double();
+    rec.opcode = static_cast<std::uint8_t>(
+        kind < 0.45 ? Opcode::kRead
+                    : (kind < 0.9 ? Opcode::kWrite : Opcode::kFlush));
+    rec.host_buffer =
+        buffer_base_ + rng_.next_below(max_slots - nblocks + 1) *
+                           ctrl::kDeviceBlockSize;
+    rec.tag = next_tag_++;
+    push_raw(rec);
+    doorbell();
+    ++well_formed_;
+}
+
+void
+HostileDriver::submit_malformed()
+{
+    CommandRecord rec{};
+    rec.vlba = rng_.next_below(device_blocks_ ? device_blocks_ : 1);
+    rec.nblocks = 1;
+    rec.opcode = static_cast<std::uint8_t>(Opcode::kWrite);
+    rec.host_buffer = buffer_base_;
+    rec.tag = next_tag_++;
+    switch (rng_.next_below(6)) {
+      case 0: // unknown opcode
+        rec.opcode = static_cast<std::uint8_t>(rng_.next_in(4, 255));
+        break;
+      case 1: // zero-length command
+        rec.nblocks = 0;
+        break;
+      case 2: // nblocks bomb (would expand to millions of block ops)
+        rec.nblocks = static_cast<std::uint32_t>(
+            rng_.next_in(1u << 20, 0xffffffffu));
+        break;
+      case 3: // vLBA range wraps the 64-bit space
+        rec.vlba = ~std::uint64_t{0} - rng_.next_below(4);
+        rec.nblocks = 8;
+        break;
+      case 4: // null data buffer
+        rec.host_buffer = pcie::kNullHostAddr;
+        break;
+      default: // misaligned data buffer
+        rec.host_buffer = buffer_base_ + 1 + rng_.next_below(3);
+        break;
+    }
+    push_raw(rec);
+    doorbell();
+}
+
+void
+HostileDriver::submit_oob_buffer()
+{
+    // A descriptor whose fields all validate but whose buffer points
+    // outside this guest's sandbox: the classic confused-deputy DMA
+    // attack the windows exist to stop. Reads are the nastier case
+    // (the device would *write* host memory), so emit mostly those.
+    if (region_base_ <= 8192)
+        return;
+    CommandRecord rec{};
+    rec.vlba = rng_.next_below(device_blocks_ ? device_blocks_ : 1);
+    rec.nblocks = static_cast<std::uint32_t>(rng_.next_in(1, 4));
+    rec.opcode = static_cast<std::uint8_t>(
+        rng_.next_bool(0.75) ? Opcode::kRead : Opcode::kWrite);
+    rec.host_buffer =
+        (rng_.next_in(4096, region_base_ - 8192)) & ~std::uint64_t{3};
+    rec.tag = next_tag_++;
+    push_raw(rec);
+    doorbell();
+}
+
+void
+HostileDriver::corrupt_ring_header()
+{
+    const pcie::HostAddr base =
+        rng_.next_bool(0.7) ? cmd_ring_base_ : comp_ring_base_;
+    auto header = host_memory_.read_pod<pcie::HostRing::Header>(base);
+    if (!header.is_ok())
+        return;
+    pcie::HostRing::Header h = header.value();
+    switch (rng_.next_below(6)) {
+      case 0: h.magic = static_cast<std::uint32_t>(rng_.next()); break;
+      case 1: h.capacity = static_cast<std::uint32_t>(rng_.next()); break;
+      case 2:
+        h.record_size = static_cast<std::uint32_t>(rng_.next_below(512));
+        break;
+      case 3: // rewind the consumer counter the device owns
+        h.head -= static_cast<std::uint32_t>(rng_.next_in(1, 64));
+        break;
+      case 4: // regress the producer counter
+        h.tail -= static_cast<std::uint32_t>(rng_.next_in(1, 64));
+        break;
+      default: // claim a full ring's worth of phantom records
+        h.tail = h.head + h.capacity + static_cast<std::uint32_t>(
+                                           rng_.next_in(1, 1024));
+        break;
+    }
+    (void)host_memory_.write_pod(base, h);
+    doorbell();
+    // Sometimes restore a sane ring afterwards so the stream does not
+    // degenerate into permanent quarantine.
+    if (rng_.next_bool(0.25))
+        repair();
+}
+
+void
+HostileDriver::doorbell_spam()
+{
+    const std::uint64_t n = rng_.next_in(1, 8);
+    for (std::uint64_t i = 0; i < n; ++i)
+        doorbell();
+}
+
+void
+HostileDriver::reg_probe()
+{
+    static constexpr std::uint64_t kTargets[] = {
+        reg::kExtentTreeRoot,   reg::kMissAddress,
+        reg::kRewalkTree,       reg::kInterruptVector,
+        reg::kWatchdogNs,       reg::kMgmtVfId,
+        reg::kMgmtExtentRoot,   reg::kMgmtDeviceSize,
+        reg::kMgmtCommand,      reg::kMgmtQosWeight,
+        reg::kBtlbGeometry,     reg::kNodeCacheBytes,
+        reg::kWalkCoalesce,     reg::kDmaWindowBase,
+        reg::kDmaWindowSize,    reg::kQuarantineThreshold,
+        reg::kQuarantineWindowNs,
+    };
+    if (rng_.next_bool(0.7)) {
+        const std::uint64_t offset =
+            kTargets[rng_.next_below(std::size(kTargets))];
+        reg_write(offset, rng_.next());
+    } else {
+        // Fully random (usually unmapped) offset inside the page.
+        reg_write(rng_.next_below(4096 / 8) * 8, rng_.next());
+    }
+}
+
+void
+HostileDriver::ring_repoint()
+{
+    const std::uint64_t which = rng_.next_below(4);
+    const std::uint64_t reg_off =
+        rng_.next_bool(0.7) ? reg::kCmdRingBase : reg::kCompRingBase;
+    pcie::HostAddr target = pcie::kNullHostAddr;
+    switch (which) {
+      case 0: // null base
+        break;
+      case 1: // own data buffer: real memory, but not a ring
+        target = buffer_base_;
+        break;
+      case 2: // unaligned mid-ring address
+        target = cmd_ring_base_ + 1 + rng_.next_below(31);
+        break;
+      default: // foreign memory outside the sandbox
+        target = (region_base_ > 8192
+                      ? rng_.next_in(4096, region_base_ - 4096)
+                      : 4096) &
+                 ~std::uint64_t{3};
+        break;
+    }
+    reg_write(reg_off, target);
+    doorbell();
+}
+
+void
+HostileDriver::push_raw(const CommandRecord &rec)
+{
+    auto ring = pcie::HostRing::attach(host_memory_, cmd_ring_base_);
+    if (!ring.is_ok())
+        return; // header currently trashed; the doorbell still fires
+    std::vector<std::byte> buf(sizeof(rec));
+    std::memcpy(buf.data(), &rec, sizeof(rec));
+    (void)ring.value().push(buf);
+}
+
+void
+HostileDriver::doorbell()
+{
+    (void)bar_.write(bar_.function_base(fn_) + reg::kDoorbell, 1, 8);
+}
+
+void
+HostileDriver::reg_write(std::uint64_t offset, std::uint64_t value)
+{
+    (void)bar_.write(bar_.function_base(fn_) + offset, value, 8);
+}
+
+} // namespace nesc::virt

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic misbehaving-guest driver for adversarial testing.
+ *
+ * A HostileDriver plays the role of a compromised or buggy guest: it
+ * owns a NeSC VF like drv::FunctionDriver does, but instead of the
+ * driver contract it emits a seeded stream of protocol violations —
+ * malformed descriptors, corrupted ring headers, rewound counters,
+ * out-of-sandbox DMA pointers, doorbell storms, and probes of PF-only
+ * registers — interleaved with well-formed commands so the device
+ * cannot pass the test by rejecting everything.
+ *
+ * Everything the driver mutates directly lives in memory it allocated
+ * itself (its rings and staging buffers): like a real guest it can
+ * only scribble on its own pages, and attacks on the rest of the host
+ * can only be expressed *through the device* (descriptor buffer
+ * pointers, ring-base registers). That is exactly the surface the
+ * controller's validation and DMA windows must seal, so the
+ * adversarial tests can treat "no byte outside the driver's own
+ * region changed" as the containment invariant.
+ *
+ * The stream is a pure function of the seed: every mutation draws
+ * from one util::Rng, so a failing seed replays exactly.
+ */
+#ifndef NESC_VIRT_HOSTILE_DRIVER_H
+#define NESC_VIRT_HOSTILE_DRIVER_H
+
+#include <cstdint>
+
+#include "nesc/command.h"
+#include "pcie/host_memory.h"
+#include "pcie/host_ring.h"
+#include "pcie/mmio.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nesc::virt {
+
+/** Relative weights of the misbehavior classes (see step()). */
+struct HostileDriverConfig {
+    std::uint32_t ring_entries = 64;
+    /** Staging-buffer bytes for well-formed command payloads. */
+    std::uint64_t buffer_bytes = 64 * 1024;
+    // Event-class weights; an event class with weight 0 never fires.
+    std::uint32_t w_well_formed = 4;   ///< valid read/write/flush
+    std::uint32_t w_malformed = 3;     ///< descriptor field garbage
+    std::uint32_t w_oob_buffer = 2;    ///< buffer pointer out of sandbox
+    std::uint32_t w_ring_corrupt = 3;  ///< scribble on the ring header
+    std::uint32_t w_doorbell_spam = 2; ///< doorbells with nothing queued
+    std::uint32_t w_reg_probe = 2;     ///< random/PF-only register writes
+    std::uint32_t w_ring_repoint = 1;  ///< rebase rings at garbage
+    std::uint32_t w_self_repair = 2;   ///< rebuild rings, resume normal
+};
+
+/** Seeded misbehaving VF driver; see file comment. */
+class HostileDriver {
+  public:
+    HostileDriver(sim::Simulator &simulator, pcie::HostMemory &host_memory,
+                  pcie::BarPageRouter &bar, pcie::FunctionId fn,
+                  std::uint64_t seed,
+                  const HostileDriverConfig &config = {});
+
+    /** Allocates rings/buffers and programs the ring bases. */
+    util::Status init();
+
+    /**
+     * Emits one misbehavior event (class drawn from the seeded Rng).
+     * Safe to call while quarantined — the hostile guest keeps
+     * hammering a sealed function, which is itself a case worth
+     * covering.
+     */
+    void step();
+
+    /** Events emitted so far. */
+    std::uint64_t events() const { return events_; }
+    /** Well-formed commands submitted (subset of events). */
+    std::uint64_t well_formed_submitted() const { return well_formed_; }
+
+    pcie::FunctionId function() const { return fn_; }
+    /** Sandbox range: everything this guest legitimately owns. */
+    pcie::HostAddr region_base() const { return region_base_; }
+    std::uint64_t region_size() const { return region_size_; }
+
+    /**
+     * Restores both rings to a pristine, well-formed state (the
+     * self-repair event does this probabilistically; tests call it
+     * directly after a quarantine release).
+     */
+    void repair();
+
+  private:
+    void submit_well_formed();
+    void submit_malformed();
+    void submit_oob_buffer();
+    void corrupt_ring_header();
+    void doorbell_spam();
+    void reg_probe();
+    void ring_repoint();
+    /** Pushes a raw record; header corruption makes this fail silently. */
+    void push_raw(const ctrl::CommandRecord &rec);
+    void doorbell();
+    void reg_write(std::uint64_t offset, std::uint64_t value);
+
+    sim::Simulator &simulator_;
+    pcie::HostMemory &host_memory_;
+    pcie::BarPageRouter &bar_;
+    pcie::FunctionId fn_;
+    HostileDriverConfig config_;
+    util::Rng rng_;
+
+    // One contiguous sandbox allocation: [cmd ring][comp ring][buffers].
+    pcie::HostAddr region_base_ = pcie::kNullHostAddr;
+    std::uint64_t region_size_ = 0;
+    pcie::HostAddr cmd_ring_base_ = pcie::kNullHostAddr;
+    pcie::HostAddr comp_ring_base_ = pcie::kNullHostAddr;
+    pcie::HostAddr buffer_base_ = pcie::kNullHostAddr;
+    std::uint64_t device_blocks_ = 0;
+
+    std::uint64_t events_ = 0;
+    std::uint64_t well_formed_ = 0;
+    std::uint64_t next_tag_ = 1;
+};
+
+} // namespace nesc::virt
+
+#endif // NESC_VIRT_HOSTILE_DRIVER_H

@@ -197,7 +197,9 @@ TEST(ControllerEdge, MalformedOpcodeCompletesWithError)
                     .is_ok());
     bed->sim().run_until_idle();
     EXPECT_TRUE(done);
-    EXPECT_EQ(status, ctrl::CompletionStatus::kInternalError);
+    // The descriptor validator rejects unknown opcodes at fetch with
+    // the dedicated (non-retryable) kMalformed status.
+    EXPECT_EQ(status, ctrl::CompletionStatus::kMalformed);
 }
 
 } // namespace
