@@ -200,38 +200,16 @@ run_point(std::uint32_t hostile_rate)
     return result;
 }
 
-struct Metric {
-    const char *name;
-    double value;
-    bool higher_is_better;
-};
+using Metric = bench::BenchMetric;
 
 void
 write_json(const std::vector<Metric> &metrics)
 {
-    std::FILE *f = std::fopen("BENCH_PR4.json", "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "FATAL: cannot write BENCH_PR4.json\n");
-        std::exit(1);
-    }
-    std::fprintf(f, "{\n  \"pr\": 4,\n");
-    std::fprintf(f,
-                 "  \"description\": \"adversarial-guest hardening: "
-                 "victim IOPS/latency isolation vs hostile misbehavior "
-                 "rate (simulated, deterministic)\",\n");
-    std::fprintf(f, "  \"metrics\": [\n");
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-        std::fprintf(
-            f,
-            "    {\"metric\": \"%s\", \"value\": %.4f, "
-            "\"higher_is_better\": %s}%s\n",
-            metrics[i].name, metrics[i].value,
-            metrics[i].higher_is_better ? "true" : "false",
-            i + 1 < metrics.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote BENCH_PR4.json (%zu metrics)\n", metrics.size());
+    bench::emit_bench_json(
+        "BENCH_PR4.json", 4,
+        "adversarial-guest hardening: victim IOPS/latency isolation vs "
+        "hostile misbehavior rate (simulated, deterministic)",
+        metrics);
 }
 
 } // namespace

@@ -10,7 +10,16 @@
  * multiple node DMAs), and four contending VFs (arbitration wait
  * appears). This is the classic architecture-paper latency-stack
  * figure for the design.
+ *
+ * Every scenario runs with lifecycle tracing enabled, and each row is
+ * cross-checked against the tracer: the per-stage span totals must
+ * reproduce the stage-histogram accounting within 1% (they are cut
+ * from the same timestamps, so they in fact agree exactly; the bench
+ * exits non-zero if they ever diverge). With --trace <path>, the
+ * 4-VF-contention scenario's Chrome trace JSON is written to <path>.
  */
+#include <cmath>
+
 #include "bench/common.h"
 #include "util/rng.h"
 #include "workloads/dd.h"
@@ -19,7 +28,39 @@ using namespace nesc;
 
 namespace {
 
-void
+/**
+ * True when the trace-derived totals for @p stage agree with the
+ * stage histogram @p hist on count and mean (1% tolerance).
+ */
+bool
+stage_agrees(const obs::Tracer &tracer, obs::Stage stage,
+             const obs::LogHistogram &hist, const char *scenario)
+{
+    const obs::StageTotals totals = tracer.totals(stage);
+    const double trace_mean =
+        totals.count > 0
+            ? static_cast<double>(totals.total_ns) /
+                  static_cast<double>(totals.count)
+            : 0.0;
+    const bool count_ok = totals.count == hist.count();
+    const bool mean_ok =
+        hist.mean() == 0.0
+            ? trace_mean == 0.0
+            : std::fabs(trace_mean - hist.mean()) <= 0.01 * hist.mean();
+    if (!count_ok || !mean_ok) {
+        std::fprintf(stderr,
+                     "FATAL %s: trace/%s disagrees with histogram: "
+                     "count %llu vs %llu, mean %.1f vs %.1f ns\n",
+                     scenario, obs::stage_name(stage),
+                     static_cast<unsigned long long>(totals.count),
+                     static_cast<unsigned long long>(hist.count()),
+                     trace_mean, hist.mean());
+        return false;
+    }
+    return true;
+}
+
+bool
 report_row(util::Table &table, const char *scenario, virt::Testbed &bed)
 {
     const auto &queue = bed.controller().stage_queue_wait();
@@ -34,13 +75,20 @@ report_row(util::Table &table, const char *scenario, virt::Testbed &bed)
         .add(transfer.mean() / 1000.0, 2)
         .add(total / 1000.0, 2)
         .add(static_cast<std::uint64_t>(queue.count()));
+    const obs::Tracer &tracer = bed.controller().tracer();
+    return stage_agrees(tracer, obs::Stage::kQueueWait, queue, scenario) &&
+           stage_agrees(tracer, obs::Stage::kTranslate, translate,
+                        scenario) &&
+           stage_agrees(tracer, obs::Stage::kTransfer, transfer, scenario);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_path = bench::trace_arg(argc, argv);
+    bool agreed = true;
     bench::print_header(
         "Ablation A9", "per-block latency breakdown by pipeline stage",
         "instrumentation study: transfer dominates the common case; "
@@ -54,6 +102,7 @@ main()
         auto bed = bench::must(virt::Testbed::create(
                                    bench::default_config()),
                                "testbed");
+        bed->controller().enable_tracing();
         auto vm = bench::must(bed->create_nesc_guest("/seq.img", 16384,
                                                      true),
                               "guest");
@@ -62,7 +111,7 @@ main()
         dd.total_bytes = 8ULL << 20;
         bench::must(wl::run_dd_raw(bed->sim(), vm->raw_disk(), dd),
                     "dd");
-        report_row(table, "sequential/contiguous", *bed);
+        agreed &= report_row(table, "sequential/contiguous", *bed);
     }
 
     { // 2. Random reads on a fragmented file, BTLB disabled.
@@ -70,6 +119,7 @@ main()
         config.controller.btlb_entries = 0;
         config.pf.tree.fanout = 8;
         auto bed = bench::must(virt::Testbed::create(config), "testbed");
+        bed->controller().enable_tracing();
         auto &fs = bed->hv_fs();
         const std::uint64_t blocks = 2048;
         auto ino = bench::must(fs.create("/frag.img", 0644), "create");
@@ -87,13 +137,17 @@ main()
                                rng.next_below(blocks), 1, buf),
                            "read");
         }
-        report_row(table, "random/fragmented/no-BTLB", *bed);
+        agreed &= report_row(table, "random/fragmented/no-BTLB", *bed);
     }
 
     { // 3. Four VFs contending with deep queues.
         auto bed = bench::must(virt::Testbed::create(
                                    bench::default_config()),
                                "testbed");
+        // Big enough that the ring never wraps: the exported JSON then
+        // carries every span, so the trace smoke can re-derive the
+        // stage stack from the file alone.
+        bed->controller().enable_tracing(1u << 20);
         struct Client {
             std::unique_ptr<drv::FunctionDriver> driver;
             pcie::HostAddr buffer;
@@ -133,9 +187,19 @@ main()
                 submit(i, slot);
         bed->sim().run_until(deadline);
         bed->sim().run_until_idle();
-        report_row(table, "4-VF contention", *bed);
+        agreed &= report_row(table, "4-VF contention", *bed);
+        if (trace_path != nullptr)
+            bench::write_trace(bed->controller().tracer(), trace_path);
     }
 
     bench::print_table(table);
+    if (!agreed) {
+        std::fprintf(stderr,
+                     "FATAL: trace-derived stage accounting diverged "
+                     "from the stage histograms\n");
+        return 1;
+    }
+    std::printf("trace cross-check: stage span totals match the stage "
+                "histograms on every scenario\n");
     return 0;
 }

@@ -211,38 +211,14 @@ run_multi_vf(bool fastpath)
     return result;
 }
 
-struct Metric {
-    const char *name;
-    double value;
-    bool higher_is_better;
-};
-
 void
-write_json(const std::vector<Metric> &metrics)
+write_json(const std::vector<bench::BenchMetric> &metrics)
 {
-    std::FILE *f = std::fopen("BENCH_PR3.json", "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "FATAL: cannot write BENCH_PR3.json\n");
-        std::exit(1);
-    }
-    std::fprintf(f, "{\n  \"pr\": 3,\n");
-    std::fprintf(f,
-                 "  \"description\": \"translation fast path: "
-                 "set-associative BTLB, extent-node cache, walk-miss "
-                 "coalescing (simulated, deterministic)\",\n");
-    std::fprintf(f, "  \"metrics\": [\n");
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-        std::fprintf(
-            f,
-            "    {\"metric\": \"%s\", \"value\": %.4f, "
-            "\"higher_is_better\": %s}%s\n",
-            metrics[i].name, metrics[i].value,
-            metrics[i].higher_is_better ? "true" : "false",
-            i + 1 < metrics.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote BENCH_PR3.json (%zu metrics)\n", metrics.size());
+    bench::emit_bench_json(
+        "BENCH_PR3.json", 3,
+        "translation fast path: set-associative BTLB, extent-node cache, "
+        "walk-miss coalescing (simulated, deterministic)",
+        metrics);
 }
 
 } // namespace

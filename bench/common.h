@@ -16,7 +16,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/table.h"
 #include "virt/testbed.h"
@@ -79,6 +82,70 @@ print_table(const util::Table &table)
         std::cout << "\n[csv]\n" << table.to_csv();
     }
     std::cout << std::endl;
+}
+
+/** One machine-readable metric for the per-PR perf-smoke baselines. */
+struct BenchMetric {
+    const char *name;
+    double value;
+    bool higher_is_better;
+};
+
+/**
+ * Writes the per-PR machine-readable metrics file that the tier-2
+ * perf-smoke scripts diff against checked-in baselines. The format is
+ * frozen — scripts/tier2_perf_smoke.sh does a byte diff, so values are
+ * always %.4f and field order never changes.
+ */
+inline void
+emit_bench_json(const char *path, int pr, const char *description,
+                const std::vector<BenchMetric> &metrics)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "FATAL: cannot write %s\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"pr\": %d,\n", pr);
+    std::fprintf(f, "  \"description\": \"%s\",\n", description);
+    std::fprintf(f, "  \"metrics\": [\n");
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        std::fprintf(
+            f,
+            "    {\"metric\": \"%s\", \"value\": %.4f, "
+            "\"higher_is_better\": %s}%s\n",
+            metrics[i].name, metrics[i].value,
+            metrics[i].higher_is_better ? "true" : "false",
+            i + 1 < metrics.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu metrics)\n", path, metrics.size());
+}
+
+/** Returns the value following a "--trace" argument, or nullptr. */
+inline const char *
+trace_arg(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string_view(argv[i]) == "--trace")
+            return argv[i + 1];
+    return nullptr;
+}
+
+/** Writes @p tracer's Chrome trace JSON to @p path (fatal on error). */
+inline void
+write_trace(const obs::Tracer &tracer, const char *path)
+{
+    const util::Status written = tracer.write_chrome_json(path);
+    if (!written.is_ok()) {
+        std::fprintf(stderr, "FATAL: cannot write trace %s: %s\n", path,
+                     written.to_string().c_str());
+        std::exit(1);
+    }
+    std::printf("wrote trace %s (%llu spans recorded, %llu dropped)\n",
+                path, static_cast<unsigned long long>(tracer.recorded()),
+                static_cast<unsigned long long>(tracer.dropped()));
 }
 
 /** Aborts the bench with a message when a Result/Status failed. */

@@ -4,6 +4,10 @@
  * (bottom) across request sizes 512 B – 32 KiB, for the four
  * configurations: Host (hypervisor on the PF, no virtualization),
  * NeSC (direct VF assignment), virtio, and full emulation.
+ *
+ * With --trace <path>, the run records the controller's per-command
+ * lifecycle trace and writes Chrome trace JSON to <path>; tracing only
+ * buffers events on the side, so the printed figure is unchanged.
  */
 #include "bench/common.h"
 #include "workloads/dd.h"
@@ -55,8 +59,9 @@ run_direction(bool write, virt::Testbed &bed, virt::GuestVm &nesc_vm,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_path = bench::trace_arg(argc, argv);
     bench::print_header(
         "Figure 9", "raw access latency vs. request size",
         "NeSC ~= Host; >6x faster than virtio and >20x faster than "
@@ -64,6 +69,8 @@ main()
 
     auto bed = bench::must(virt::Testbed::create(bench::default_config()),
                            "testbed");
+    if (trace_path != nullptr)
+        bed->controller().enable_tracing(1u << 20);
     auto nesc_vm = bench::must(
         bed->create_nesc_guest("/images/fig09.img", 65536, true),
         "nesc guest");
@@ -74,5 +81,7 @@ main()
 
     run_direction(false, *bed, *nesc_vm, *virtio_vm, *emu_vm);
     run_direction(true, *bed, *nesc_vm, *virtio_vm, *emu_vm);
+    if (trace_path != nullptr)
+        bench::write_trace(bed->controller().tracer(), trace_path);
     return 0;
 }

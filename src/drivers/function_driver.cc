@@ -7,6 +7,9 @@
 #include "util/log.h"
 #include "util/units.h"
 
+#undef NESC_LOG_COMPONENT
+#define NESC_LOG_COMPONENT "fn_driver"
+
 namespace nesc::drv {
 
 using ctrl::CommandRecord;

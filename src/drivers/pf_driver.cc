@@ -4,6 +4,9 @@
 #include "util/log.h"
 #include "util/units.h"
 
+#undef NESC_LOG_COMPONENT
+#define NESC_LOG_COMPONENT "pf_driver"
+
 namespace nesc::drv {
 
 PfDriver::PfDriver(sim::Simulator &simulator, pcie::HostMemory &host_memory,
@@ -43,6 +46,45 @@ PfDriver::reg_read(pcie::FunctionId fn, std::uint64_t offset)
 {
     simulator_.advance(config_.function.mmio_read_cost);
     return bar_.read(bar_.function_base(fn) + offset, 8);
+}
+
+util::Result<std::vector<TelemetryEntry>>
+PfDriver::dump_telemetry(pcie::FunctionId fn)
+{
+    NESC_ASSIGN_OR_RETURN(const std::uint64_t count,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kTelemetryCount));
+    std::vector<TelemetryEntry> entries;
+    entries.reserve(count);
+    for (std::uint64_t index = 0; index < count; ++index) {
+        const std::uint64_t select =
+            (index << 16) | (static_cast<std::uint64_t>(fn) & 0xffff);
+        NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kTelemetrySelect,
+                                       select));
+        TelemetryEntry entry;
+        NESC_ASSIGN_OR_RETURN(entry.value,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kTelemetryValue));
+        if (entry.value == ~std::uint64_t{0})
+            return util::not_found_error(
+                "telemetry selection rejected by device");
+        for (std::size_t chunk = 0; chunk < 3; ++chunk) {
+            NESC_ASSIGN_OR_RETURN(
+                const std::uint64_t packed,
+                reg_read(pcie::kPhysicalFunctionId,
+                         ctrl::reg::kTelemetryName0 + 8 * chunk));
+            for (unsigned shift = 0; shift < 64; shift += 8) {
+                const char ch =
+                    static_cast<char>((packed >> shift) & 0xff);
+                if (ch == '\0')
+                    break;
+                entry.name.push_back(ch);
+            }
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
 }
 
 util::Result<pcie::FunctionId>

@@ -22,6 +22,8 @@
 
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "drivers/function_driver.h"
 #include "extent/tree_image.h"
@@ -62,6 +64,12 @@ struct VfInfo {
     pcie::FunctionId fn = 0;
     fs::InodeId backing_file = fs::kInvalidInode;
     std::uint64_t size_blocks = 0;
+};
+
+/** One telemetry counter as read from the device directory over MMIO. */
+struct TelemetryEntry {
+    std::string name;
+    std::uint64_t value = 0;
 };
 
 /** The PF management driver; see file comment. */
@@ -120,6 +128,17 @@ class PfDriver {
 
     /** Hypervisor-triggered BTLB flush (e.g. after dedup). */
     util::Status flush_btlb();
+
+    /**
+     * Reads @p fn's full telemetry-counter directory through the
+     * PF-only reg::kTelemetry* MMIO registers: counter count first,
+     * then per index the packed name registers and the 64-bit value.
+     * Self-describing — the driver carries no counter list of its own.
+     * Fails with NOT_FOUND if the device rejects the selection (the
+     * all-ones master-abort read), e.g. for an out-of-range function.
+     */
+    util::Result<std::vector<TelemetryEntry>>
+    dump_telemetry(pcie::FunctionId fn);
 
     /**
      * Prunes the VF's resident tree for [first_vblock, +nblocks)

@@ -190,6 +190,26 @@ inline constexpr std::uint64_t kDmaWindowSize = 0x120;      // RW (PF)
  */
 inline constexpr std::uint64_t kQuarantineThreshold = 0x128; // RW (PF)
 inline constexpr std::uint64_t kQuarantineWindowNs = 0x130;  // RW (PF)
+
+// Telemetry block (PF-only): a self-describing per-function counter
+// directory, mirroring how real SR-IOV controllers expose per-queue
+// statistics for software polling. The PF writes kTelemetrySelect with
+// a (function, counter index) pair, then reads the counter's value and
+// packed-ASCII name back. Reads with an invalid function or index
+// return all-ones (the PCIe master-abort idiom), never fault.
+/** bits[15:0] function id, bits[31:16] counter index. */
+inline constexpr std::uint64_t kTelemetrySelect = 0x138; // RW (PF)
+/** 64-bit value of the selected counter. */
+inline constexpr std::uint64_t kTelemetryValue = 0x140;  // RO (PF)
+/** Number of counters per function in the directory. */
+inline constexpr std::uint64_t kTelemetryCount = 0x148;  // RO (PF)
+/**
+ * Selected counter's name as packed ASCII, 8 chars per register
+ * (little-endian byte order, NUL-padded, 24 chars max).
+ */
+inline constexpr std::uint64_t kTelemetryName0 = 0x150;  // RO (PF)
+inline constexpr std::uint64_t kTelemetryName1 = 0x158;  // RO (PF)
+inline constexpr std::uint64_t kTelemetryName2 = 0x160;  // RO (PF)
 } // namespace reg
 
 /** Why a function is quarantined (reg::kQuarantineCause). */

@@ -5,7 +5,11 @@
 #include <cstring>
 
 #include "extent/layout.h"
+#include "nesc/telemetry.h"
 #include "util/log.h"
+
+#undef NESC_LOG_COMPONENT
+#define NESC_LOG_COMPONENT "controller"
 
 namespace nesc::ctrl {
 
@@ -38,8 +42,24 @@ Controller::Controller(sim::Simulator &simulator,
       coalesce_window_(config.coalesce_window_blocks),
       contexts_(static_cast<std::size_t>(config.max_vfs) + 1),
       quarantine_threshold_(config.quarantine_threshold),
-      quarantine_window_(config.quarantine_window)
+      quarantine_window_(config.quarantine_window),
+      link_observer_(tracer_)
 {
+    // Intern the hot pipeline counters once: per-block updates are then
+    // a vector indexing, never a string-keyed map lookup.
+    h_btlb_hits_ = metrics_.counter("btlb_hits");
+    h_btlb_misses_ = metrics_.counter("btlb_misses");
+    h_node_cache_hits_ = metrics_.counter("node_cache_hits");
+    h_node_cache_misses_ = metrics_.counter("node_cache_misses");
+    h_walk_node_reads_ = metrics_.counter("walk_node_reads");
+    h_walk_coalesced_ = metrics_.counter("walk_coalesced");
+    h_walk_coalesced_resolved_ =
+        metrics_.counter("walk_coalesced_resolved");
+    h_walk_replays_ = metrics_.counter("walk_replays");
+    h_commands_fetched_ = metrics_.counter("commands_fetched");
+    h_completions_ = metrics_.counter("completions");
+    h_holes_zero_filled_ = metrics_.counter("holes_zero_filled");
+    h_oob_requests_ = metrics_.counter("oob_requests");
     // The PF is permanently active and spans the whole physical device.
     FunctionContext &pf = contexts_[pcie::kPhysicalFunctionId];
     pf.active = true;
@@ -184,12 +204,12 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
         if (fn != pcie::kPhysicalFunctionId)
             return util::permission_denied_error(
                 "translation regs are PF-only");
-        return counters_.get("walk_coalesced");
+        return metrics_.counter_value(h_walk_coalesced_);
       case reg::kStatWalkReplays:
         if (fn != pcie::kPhysicalFunctionId)
             return util::permission_denied_error(
                 "translation regs are PF-only");
-        return counters_.get("walk_replays");
+        return metrics_.counter_value(h_walk_replays_);
       // Containment block: quarantine state and misbehavior counters
       // are readable on the function's own page (the hypervisor reads
       // a VF's page directly when triaging); the knobs are PF-only.
@@ -220,6 +240,44 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
             return util::permission_denied_error(
                 "containment regs are PF-only");
         return static_cast<std::uint64_t>(quarantine_window_);
+      // Telemetry directory: PF-only (per-VF counters of *other*
+      // functions are exactly the cross-VF side channel the rest of
+      // the register file avoids). Invalid selections read all-ones,
+      // the master-abort idiom, so a telemetry poller never faults.
+      case reg::kTelemetrySelect:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "telemetry regs are PF-only");
+        return static_cast<std::uint64_t>(telemetry_select_);
+      case reg::kTelemetryCount:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "telemetry regs are PF-only");
+        return static_cast<std::uint64_t>(kTelemetryCounters.size());
+      case reg::kTelemetryValue: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "telemetry regs are PF-only");
+        const std::uint32_t sel_fn = telemetry_select_ & 0xffff;
+        const std::uint32_t index = telemetry_select_ >> 16;
+        if (sel_fn >= contexts_.size() ||
+            index >= kTelemetryCounters.size())
+            return ~std::uint64_t{0};
+        return contexts_[sel_fn].stats.*(kTelemetryCounters[index].field);
+      }
+      case reg::kTelemetryName0:
+      case reg::kTelemetryName1:
+      case reg::kTelemetryName2: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "telemetry regs are PF-only");
+        const std::uint32_t index = telemetry_select_ >> 16;
+        if (index >= kTelemetryCounters.size())
+            return ~std::uint64_t{0};
+        const std::size_t chunk = (offset - reg::kTelemetryName0) / 8;
+        return pack_telemetry_name(kTelemetryCounters[index].name,
+                                   chunk * 8);
+      }
       default:
         return util::invalid_argument_error("unknown register read at " +
                                             std::to_string(offset));
@@ -240,7 +298,7 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         // guests probe it, so the rejection is also counted where the
         // hypervisor can see it.
         ++c.stats.reg_violations;
-        ++counters_["reg_violations"];
+        metrics_.bump("reg_violations");
         return util::permission_denied_error("register is PF-only");
     }
 
@@ -283,7 +341,7 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         if (c.quarantined) {
             // Posted write into a sealed function: dropped, counted.
             ++c.stats.doorbells_ignored;
-            ++counters_["doorbells_ignored"];
+            metrics_.bump("doorbells_ignored");
             return util::Status::ok();
         }
         if (c.fetch_in_progress) {
@@ -291,6 +349,7 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
             c.doorbell_rearm = true;
             return util::Status::ok();
         }
+        tracer_.instant(obs::Stage::kDoorbell, fn, simulator_.now());
         c.fetch_in_progress = true;
         simulator_.schedule_in(config_.doorbell_latency,
                                [this, fn]() { fetch_commands(fn); });
@@ -330,7 +389,7 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         geometry.entries = sets <= 1 ? ways : sets * ways;
         geometry.range_shift = shift;
         btlb_.configure(geometry); // flushes every entry
-        ++counters_["btlb_reconfigs"];
+        metrics_.bump("btlb_reconfigs");
         return util::Status::ok();
       }
       case reg::kNodeCacheBytes:
@@ -351,6 +410,9 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         return util::Status::ok();
       case reg::kQuarantineWindowNs:
         quarantine_window_ = static_cast<sim::Duration>(value);
+        return util::Status::ok();
+      case reg::kTelemetrySelect:
+        telemetry_select_ = static_cast<std::uint32_t>(value);
         return util::Status::ok();
       default:
         return util::invalid_argument_error("unknown register write at " +
@@ -375,6 +437,7 @@ Controller::pf_only_write(std::uint64_t offset)
       case reg::kDmaWindowSize:
       case reg::kQuarantineThreshold:
       case reg::kQuarantineWindowNs:
+      case reg::kTelemetrySelect:
         return true;
       default:
         return false;
@@ -399,7 +462,7 @@ Controller::mgmt_execute(MgmtCommand command)
         c.device_size_blocks = mgmt_device_size_;
         // A fresh VF never inherits the previous occupant's windows.
         dma_windows_.clear(static_cast<pcie::FunctionId>(mgmt_vf_id_));
-        ++counters_["vfs_created"];
+        metrics_.bump("vfs_created");
         return ok;
       }
       case MgmtCommand::kDeleteVf: {
@@ -420,7 +483,7 @@ Controller::mgmt_execute(MgmtCommand command)
         btlb_.flush_function(fn);
         node_cache_.invalidate_function(fn);
         dma_windows_.clear(fn);
-        ++counters_["vfs_deleted"];
+        metrics_.bump("vfs_deleted");
         return ok;
       }
       case MgmtCommand::kFlushBtlb:
@@ -428,7 +491,7 @@ Controller::mgmt_execute(MgmtCommand command)
         // extents and node images alike (dedup/defrag moved blocks).
         btlb_.flush();
         node_cache_.flush();
-        ++counters_["btlb_pf_flushes"];
+        metrics_.bump("btlb_pf_flushes");
         return ok;
       case MgmtCommand::kFailMiss: {
         if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
@@ -447,7 +510,7 @@ Controller::mgmt_execute(MgmtCommand command)
         if (!ctx(fn).active)
             return err;
         ctx(fn).qos_weight = mgmt_qos_weight_;
-        ++counters_["qos_updates"];
+        metrics_.bump("qos_updates");
         return ok;
       }
       case MgmtCommand::kSetExtentRoot: {
@@ -464,7 +527,7 @@ Controller::mgmt_execute(MgmtCommand command)
         ++c.tree_generation;
         btlb_.flush_function(fn);
         node_cache_.invalidate_function(fn);
-        ++counters_["extent_root_updates"];
+        metrics_.bump("extent_root_updates");
         return ok;
       }
       case MgmtCommand::kAddDmaWindow: {
@@ -476,7 +539,7 @@ Controller::mgmt_execute(MgmtCommand command)
         if (!dma_windows_.add(fn, dma_window_base_, dma_window_size_)
                  .is_ok())
             return err;
-        ++counters_["dma_windows_added"];
+        metrics_.bump("dma_windows_added");
         return ok;
       }
       case MgmtCommand::kClearDmaWindows: {
@@ -518,7 +581,7 @@ Controller::fetch_commands(pcie::FunctionId fn)
         if (!ring.is_ok()) {
             NESC_LOG_WARN("fn %u: doorbell with no command ring", fn);
             ++c.stats.ring_corruptions;
-            ++counters_["ring_corruptions"];
+            metrics_.bump("ring_corruptions");
             note_validation_fault(fn, QuarantineCause::kRingCorrupt);
             return;
         }
@@ -528,7 +591,7 @@ Controller::fetch_commands(pcie::FunctionId fn)
             attached.capacity() > kMaxRingCapacity) {
             NESC_LOG_WARN("fn %u: command ring shape rejected", fn);
             ++c.stats.ring_corruptions;
-            ++counters_["ring_corruptions"];
+            metrics_.bump("ring_corruptions");
             note_validation_fault(fn, QuarantineCause::kRingCorrupt);
             return;
         }
@@ -552,7 +615,7 @@ Controller::fetch_commands(pcie::FunctionId fn)
         NESC_LOG_WARN("fn %u: command ring rejected: %s", fn,
                       ring_ok.message().c_str());
         ++c.stats.ring_corruptions;
-        ++counters_["ring_corruptions"];
+        metrics_.bump("ring_corruptions");
         note_validation_fault(fn, QuarantineCause::kRingCorrupt);
         return;
     }
@@ -565,7 +628,7 @@ Controller::fetch_commands(pcie::FunctionId fn)
         if (!popped.is_ok()) {
             // The header went bad between records (torn mid-drain).
             ++c.stats.ring_corruptions;
-            ++counters_["ring_corruptions"];
+            metrics_.bump("ring_corruptions");
             note_validation_fault(fn, QuarantineCause::kRingCorrupt);
             break;
         }
@@ -577,11 +640,15 @@ Controller::fetch_commands(pcie::FunctionId fn)
         std::memcpy(&rec, rec_buf.data(), sizeof(rec));
         ++fetched;
         ++c.stats.commands;
+        tracer_.instant(obs::Stage::kCmdFetch, fn, simulator_.now(),
+                        rec.tag, rec.nblocks);
 
         if (util::Status valid = validate_command(c, rec);
             !valid.is_ok()) {
             ++c.stats.malformed;
-            ++counters_["malformed_commands"];
+            metrics_.bump("malformed_commands");
+            tracer_.instant(obs::Stage::kValidateFail, fn,
+                            simulator_.now(), rec.tag);
             c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
             complete_block(BlockOp{fn, static_cast<Opcode>(rec.opcode), 0,
                                    0, rec.tag},
@@ -619,7 +686,7 @@ Controller::fetch_commands(pcie::FunctionId fn)
         if (!dma_windows_.check(fn, rec.host_buffer, buffer_len)
                  .is_ok()) {
             ++c.stats.dma_violations;
-            ++counters_["dma_violations"];
+            metrics_.bump("dma_violations");
             c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
             complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
                            CompletionStatus::kDmaFault);
@@ -640,7 +707,7 @@ Controller::fetch_commands(pcie::FunctionId fn)
             c.queue.push_back(op);
         }
     }
-    counters_["commands_fetched"] += fetched;
+    metrics_.add(h_commands_fetched_, fetched);
     if (c.quarantined) {
         pump(); // other functions' work continues; this one is sealed
         return;
@@ -739,7 +806,7 @@ Controller::note_dma_violation(pcie::FunctionId fn, pcie::HostAddr addr,
         return;
     FunctionContext &c = ctx(fn);
     ++c.stats.dma_violations;
-    ++counters_["dma_violations"];
+    metrics_.bump("dma_violations");
     NESC_LOG_WARN("fn %u: DMA window violation at %llu+%llu", fn,
                   static_cast<unsigned long long>(addr),
                   static_cast<unsigned long long>(size));
@@ -758,7 +825,9 @@ Controller::quarantine(pcie::FunctionId fn, QuarantineCause cause)
     c.quarantined = true;
     c.quarantine_cause = cause;
     ++c.stats.quarantines;
-    ++counters_["quarantines"];
+    metrics_.bump("quarantines");
+    tracer_.instant(obs::Stage::kQuarantine, fn, simulator_.now(), 0,
+                    static_cast<std::uint64_t>(cause));
     // Tear down everything in flight, scoped exactly to this fn.
     purge_shared_queues(fn, std::nullopt);
     c.queue.clear();
@@ -782,7 +851,7 @@ Controller::quarantine(pcie::FunctionId fn, QuarantineCause cause)
     std::sort(tags.begin(), tags.end());
     c.pending.clear();
     c.stats.aborted_ops += tags.size();
-    counters_["aborted_ops"] += tags.size();
+    metrics_.bump("aborted_ops", tags.size());
     for (std::uint64_t tag : tags) {
         simulator_.schedule_in(config_.completion_cost,
                                [this, fn, tag]() {
@@ -805,7 +874,7 @@ Controller::release_quarantine(pcie::FunctionId fn)
     c.quarantined = false;
     c.quarantine_cause = QuarantineCause::kNone;
     c.recent_validation_faults.clear();
-    ++counters_["quarantine_releases"];
+    metrics_.bump("quarantine_releases");
     // The releasing FLR rebuilds the fn from scratch: rings detached
     // (the guest re-programs them), queues empty, fault state clear.
     function_level_reset(fn);
@@ -834,7 +903,7 @@ Controller::arbitrate()
             continue;
         }
         plba_queue_.emplace_back(op, static_cast<extent::Plba>(op.vlba));
-        ++counters_["oob_requests"];
+        metrics_.add(h_oob_requests_);
     }
 
     // Weighted round-robin over VFs into the shared vLBA queue: each
@@ -921,13 +990,15 @@ Controller::begin_translation(BlockOp op)
         return;
     }
     if (auto hit = btlb_.lookup(op.fn, op.vlba)) {
-        counters_["btlb_hits"] += 1;
+        metrics_.add(h_btlb_hits_);
+        tracer_.instant(obs::Stage::kBtlbHit, op.fn, simulator_.now(),
+                        op.tag, op.vlba);
         finish_mapped(op, *hit);
         release_walker();
         pump();
         return;
     }
-    counters_["btlb_misses"] += 1;
+    metrics_.add(h_btlb_misses_);
     if (walk_coalescing_ && !op.no_coalesce) {
         // MSHR attachment: a concurrent miss near an in-flight walk of
         // the same function rides that walk instead of spawning its
@@ -940,7 +1011,7 @@ Controller::begin_translation(BlockOp op)
             if ((a > b ? a - b : b - a) > coalesce_window_)
                 continue;
             walk->secondaries.push_back(op);
-            ++counters_["walk_coalesced"];
+            metrics_.add(h_walk_coalesced_);
             release_walker();
             pump();
             return;
@@ -950,6 +1021,7 @@ Controller::begin_translation(BlockOp op)
     walk->op = op;
     walk->node = c.extent_tree_root;
     walk->generation = c.tree_generation;
+    walk->t_start = simulator_.now();
     if (walk->node == pcie::kNullHostAddr) {
         // No tree at all: treat as a fully pruned mapping.
         finish_fault(op, FaultKind::kPruned);
@@ -971,7 +1043,7 @@ Controller::walk_node(std::shared_ptr<Walk> walk)
     if (node_cache_.enabled()) {
         if (const ExtentNodeCache::Node *cached =
                 node_cache_.lookup(walk->op.fn, walk->node)) {
-            counters_["node_cache_hits"] += 1;
+            metrics_.add(h_node_cache_hits_);
             if (walk->levels > kMaxWalkDepth) {
                 walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
                 return;
@@ -986,9 +1058,9 @@ Controller::walk_node(std::shared_ptr<Walk> walk)
                 });
             return;
         }
-        counters_["node_cache_misses"] += 1;
+        metrics_.add(h_node_cache_misses_);
     }
-    counters_["walk_node_reads"] += 1;
+    metrics_.add(h_walk_node_reads_);
     dma_.read(walk->op.fn, walk->node, sizeof(NodeHeaderRecord),
               [this, walk](util::Status status,
                            std::vector<std::byte> data) {
@@ -1133,7 +1205,7 @@ Controller::walk_resolved_mapped(const std::shared_ptr<Walk> &walk,
         if (extent.contains(s.vlba)) {
             // The attached miss resolves with the primary's extent:
             // zero extra DMA for it.
-            ++counters_["walk_coalesced_resolved"];
+            metrics_.add(h_walk_coalesced_resolved_);
             finish_mapped(s, extent);
         } else {
             replay.push_back(s);
@@ -1176,13 +1248,17 @@ Controller::walk_resolved_fault(const std::shared_ptr<Walk> &walk,
 void
 Controller::retire_walk(const std::shared_ptr<Walk> &walk)
 {
+    // Every walk resolution path funnels through here, so this is the
+    // one place the kWalk span (launch to resolution) is recorded.
+    tracer_.span(obs::Stage::kWalk, walk->op.fn, walk->t_start,
+                 simulator_.now(), walk->op.tag, walk->levels);
     std::erase(inflight_walks_, walk);
 }
 
 void
 Controller::replay_ops(std::vector<BlockOp> ops, bool mark_no_coalesce)
 {
-    counters_["walk_replays"] += ops.size();
+    metrics_.add(h_walk_replays_, ops.size());
     for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
         if (mark_no_coalesce)
             it->no_coalesce = true;
@@ -1238,10 +1314,10 @@ Controller::finish_fault(const BlockOp &op, FaultKind kind)
     c.miss_size = kDeviceBlockSize;
     ++c.stats.faults;
     switch (kind) {
-      case FaultKind::kWriteMiss: ++counters_["write_miss_faults"]; break;
-      case FaultKind::kPruned: ++counters_["prune_faults"]; break;
+      case FaultKind::kWriteMiss: metrics_.bump("write_miss_faults"); break;
+      case FaultKind::kPruned: metrics_.bump("prune_faults"); break;
       case FaultKind::kTreeCorrupt:
-        ++counters_["tree_corrupt_faults"];
+        metrics_.bump("tree_corrupt_faults");
         // Any cached translation or node image may derive from the
         // corrupt tree.
         btlb_.flush_function(op.fn);
@@ -1249,6 +1325,8 @@ Controller::finish_fault(const BlockOp &op, FaultKind kind)
         break;
       case FaultKind::kNone: break;
     }
+    tracer_.instant(obs::Stage::kFault, op.fn, simulator_.now(), op.tag,
+                    static_cast<std::uint64_t>(kind));
     irq_.raise(kFaultVector);
 }
 
@@ -1271,7 +1349,7 @@ Controller::handle_rewalk(pcie::FunctionId fn)
         c.queue.push_front(c.stalled_ops.back());
         c.stalled_ops.pop_back();
     }
-    ++counters_["rewalks"];
+    metrics_.bump("rewalks");
     pump();
 }
 
@@ -1295,7 +1373,7 @@ Controller::fail_stalled(pcie::FunctionId fn)
     for (const BlockOp &op : parked)
         if (op.op != Opcode::kRead)
             complete_block(op, CompletionStatus::kWriteFailed);
-    ++counters_["write_failures"];
+    metrics_.bump("write_failures");
     pump();
 }
 
@@ -1334,7 +1412,7 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
             if (!status.is_ok()) {
                 --inflight_transfers_;
                 ++ctx(op.fn).stats.media_errors;
-                ++counters_["media_read_errors"];
+                metrics_.bump("media_read_errors");
                 complete_block(op, CompletionStatus::kReadMediaError);
                 pump();
                 return;
@@ -1382,7 +1460,7 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
                           --inflight_transfers_;
                           if (!wstatus.is_ok()) {
                               ++ctx(op.fn).stats.media_errors;
-                              ++counters_["media_write_errors"];
+                              metrics_.bump("media_write_errors");
                               complete_block(
                                   op, CompletionStatus::kWriteMediaError);
                               pump();
@@ -1402,9 +1480,12 @@ Controller::start_zero_fill(const BlockOp &original)
     op.t_translated = simulator_.now();
     ++inflight_transfers_;
     ctx(op.fn).stats.holes_zero_filled += 1;
-    counters_["holes_zero_filled"] += 1;
+    metrics_.add(h_holes_zero_filled_);
+    const sim::Time t_fill = simulator_.now();
     dma_.write_zero(op.fn, op.buffer, kDeviceBlockSize,
-                    [this, op](util::Status status) {
+                    [this, op, t_fill](util::Status status) {
+                        tracer_.span(obs::Stage::kZeroFill, op.fn, t_fill,
+                                     simulator_.now(), op.tag, op.vlba);
                         --inflight_transfers_;
                         CompletionStatus s = CompletionStatus::kOk;
                         if (!status.is_ok()) {
@@ -1426,15 +1507,23 @@ void
 Controller::complete_block(const BlockOp &op, CompletionStatus status)
 {
     // Stage breakdown: only fully-traced, successfully-executed block
-    // operations contribute (faulted/error ops skip stages).
+    // operations contribute (faulted/error ops skip stages). The trace
+    // spans are cut from the same timestamps feeding the histograms,
+    // so trace-derived stage totals reproduce this accounting exactly.
     if (status == CompletionStatus::kOk && op.t_queued &&
         op.t_arbitrated && op.t_translated) {
-        stage_queue_.add(
-            static_cast<double>(op.t_arbitrated - op.t_queued));
-        stage_translate_.add(
-            static_cast<double>(op.t_translated - op.t_arbitrated));
-        stage_transfer_.add(
-            static_cast<double>(simulator_.now() - op.t_translated));
+        const sim::Time now = simulator_.now();
+        stage_queue_.observe(op.t_arbitrated - op.t_queued);
+        stage_translate_.observe(op.t_translated - op.t_arbitrated);
+        stage_transfer_.observe(now - op.t_translated);
+        if (tracer_.enabled()) {
+            tracer_.span(obs::Stage::kQueueWait, op.fn, op.t_queued,
+                         op.t_arbitrated, op.tag, op.vlba);
+            tracer_.span(obs::Stage::kTranslate, op.fn, op.t_arbitrated,
+                         op.t_translated, op.tag, op.vlba);
+            tracer_.span(obs::Stage::kTransfer, op.fn, op.t_translated,
+                         now, op.tag, op.vlba);
+        }
     }
     FunctionContext &c = ctx(op.fn);
     auto it = c.pending.find(op.tag);
@@ -1472,7 +1561,7 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
             attached.capacity() > kMaxRingCapacity) {
             NESC_LOG_WARN("fn %u: completion ring shape rejected", fn);
             ++c.stats.ring_corruptions;
-            ++counters_["ring_corruptions"];
+            metrics_.bump("ring_corruptions");
             note_validation_fault(fn, QuarantineCause::kRingCorrupt);
             return;
         }
@@ -1498,12 +1587,14 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
         if (pushed.code() == util::ErrorCode::kDataLoss) {
             // Corrupted header (not mere overflow): misbehavior.
             ++c.stats.ring_corruptions;
-            ++counters_["ring_corruptions"];
+            metrics_.bump("ring_corruptions");
             note_validation_fault(fn, QuarantineCause::kRingCorrupt);
         }
     }
     ++c.stats.completions;
-    counters_["completions"] += 1;
+    metrics_.add(h_completions_);
+    tracer_.instant(obs::Stage::kComplete, fn, simulator_.now(), tag,
+                    static_cast<std::uint64_t>(status));
     const pcie::IrqVector vector =
         c.irq_vector ? c.irq_vector : completion_vector(fn);
     if (config_.irq_coalesce == 0) {
@@ -1521,7 +1612,7 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
         if (fc.active)
             irq_.raise(vector);
     });
-    ++counters_["irqs_coalesced"];
+    metrics_.bump("irqs_coalesced");
 }
 
 // --------------------------------------------------------------------
@@ -1582,7 +1673,8 @@ Controller::abort_command(pcie::FunctionId fn, std::uint64_t tag)
     purge_shared_queues(fn, tag);
     c.pending.erase(it);
     ++c.stats.aborted_ops;
-    ++counters_["aborted_ops"];
+    metrics_.bump("aborted_ops");
+    tracer_.instant(obs::Stage::kAbort, fn, simulator_.now(), tag);
     // Fault state (if any) stays latched: an abort is a deadline miss,
     // not a recovery — the hypervisor services the fault or the driver
     // escalates to a function-level reset.
@@ -1621,7 +1713,7 @@ Controller::function_level_reset(pcie::FunctionId fn)
     // cancel them (the replayed ops then drop on the pending miss).
     ++c.tree_generation;
     ++c.stats.fn_resets;
-    ++counters_["fn_resets"];
+    metrics_.bump("fn_resets");
     pump();
 }
 
@@ -1635,6 +1727,22 @@ Controller::purge_shared_queues(pcie::FunctionId fn,
     std::erase_if(vlba_queue_, match);
     std::erase_if(plba_queue_,
                   [&](const auto &entry) { return match(entry.first); });
+}
+
+void
+Controller::enable_tracing(std::size_t capacity)
+{
+    tracer_.enable(capacity);
+    dma_.set_tracer(&tracer_);
+    dma_.link().set_observer(&link_observer_);
+}
+
+void
+Controller::disable_tracing()
+{
+    tracer_.disable();
+    dma_.set_tracer(nullptr);
+    dma_.link().set_observer(nullptr);
 }
 
 bool

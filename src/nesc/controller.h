@@ -34,6 +34,8 @@
 #include "nesc/btlb.h"
 #include "nesc/command.h"
 #include "nesc/node_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcie/dma_engine.h"
 #include "pcie/host_memory.h"
 #include "pcie/host_ring.h"
@@ -166,8 +168,27 @@ class Controller : public pcie::FunctionMmioDevice {
     Btlb &btlb() { return btlb_; }
     ExtentNodeCache &node_cache() { return node_cache_; }
     pcie::DmaEngine &dma() { return dma_; }
-    util::CounterGroup &counters() { return counters_; }
+    /**
+     * Device-internal metrics. Hot pipeline counters update through
+     * interned handles; the registry keeps the CounterGroup-style
+     * get()/to_string() surface for tests and benches.
+     */
+    obs::MetricsRegistry &counters() { return metrics_; }
+    const obs::MetricsRegistry &counters() const { return metrics_; }
     storage::BlockDevice &device() { return device_; }
+
+    /**
+     * Lifecycle tracer. Off by default; enable() starts span
+     * collection at every pipeline stage (doorbell, fetch, queue wait,
+     * translation, walk, DMA, transfer, completion) plus the PCIe-link
+     * track. Enabling also mirrors the tracer into the DMA engine and
+     * hooks the link's BandwidthServer.
+     */
+    obs::Tracer &tracer() { return tracer_; }
+    /** Starts tracing (see obs::Tracer::enable). */
+    void enable_tracing(
+        std::size_t capacity = obs::Tracer::kDefaultCapacity);
+    void disable_tracing();
 
     /** Number of functions (PF + max_vfs). */
     pcie::FunctionId num_functions() const
@@ -179,15 +200,18 @@ class Controller : public pcie::FunctionMmioDevice {
     const FunctionStats &stats(pcie::FunctionId fn) const;
 
     /**
-     * Per-stage latency distributions (nanosecond samples), recorded
-     * for every completed block operation: time waiting for
-     * arbitration, time in translation (BTLB or walk), and time in
-     * the data-transfer stage including pLBA queueing. The sum of the
-     * stage means is the device-internal block latency.
+     * Per-stage latency distributions (nanoseconds), recorded for
+     * every completed block operation: time waiting for arbitration,
+     * time in translation (BTLB or walk), and time in the
+     * data-transfer stage including pLBA queueing. The sum of the
+     * stage means is the device-internal block latency. Log-bucketed
+     * histograms with exact count/sum, so long benches accumulate in
+     * O(1) memory and the means stay exact (they are cross-checked
+     * against trace-span totals to within rounding).
      */
-    const util::Sampler &stage_queue_wait() const { return stage_queue_; }
-    const util::Sampler &stage_translation() const { return stage_translate_; }
-    const util::Sampler &stage_transfer() const { return stage_transfer_; }
+    const obs::LogHistogram &stage_queue_wait() const { return stage_queue_; }
+    const obs::LogHistogram &stage_translation() const { return stage_translate_; }
+    const obs::LogHistogram &stage_transfer() const { return stage_transfer_; }
     /** Pending fault kind of a VF (kNone when running). */
     FaultKind fault_kind(pcie::FunctionId fn) const;
     /** True while @p fn is quarantined. */
@@ -286,6 +310,7 @@ class Controller : public pcie::FunctionMmioDevice {
         BlockOp op;
         pcie::HostAddr node;
         std::uint32_t levels = 0;
+        sim::Time t_start = 0; ///< walk launch, for the kWalk trace span
         /** Mapping generation of the function when the walk started. */
         std::uint64_t generation = 0;
         /**
@@ -405,10 +430,28 @@ class Controller : public pcie::FunctionMmioDevice {
     std::uint32_t quarantine_threshold_ = 0;
     sim::Duration quarantine_window_ = 0;
 
-    util::CounterGroup counters_;
-    util::Sampler stage_queue_;
-    util::Sampler stage_translate_;
-    util::Sampler stage_transfer_;
+    obs::MetricsRegistry metrics_;
+    // Interned handles for every counter the pipeline bumps per block
+    // or per record; cold/error counters go through metrics_.bump().
+    obs::MetricsRegistry::Handle h_btlb_hits_;
+    obs::MetricsRegistry::Handle h_btlb_misses_;
+    obs::MetricsRegistry::Handle h_node_cache_hits_;
+    obs::MetricsRegistry::Handle h_node_cache_misses_;
+    obs::MetricsRegistry::Handle h_walk_node_reads_;
+    obs::MetricsRegistry::Handle h_walk_coalesced_;
+    obs::MetricsRegistry::Handle h_walk_coalesced_resolved_;
+    obs::MetricsRegistry::Handle h_walk_replays_;
+    obs::MetricsRegistry::Handle h_commands_fetched_;
+    obs::MetricsRegistry::Handle h_completions_;
+    obs::MetricsRegistry::Handle h_holes_zero_filled_;
+    obs::MetricsRegistry::Handle h_oob_requests_;
+    obs::Tracer tracer_;
+    obs::LinkTraceObserver link_observer_;
+    obs::LogHistogram stage_queue_;
+    obs::LogHistogram stage_translate_;
+    obs::LogHistogram stage_transfer_;
+    /** reg::kTelemetrySelect latch: fn in [15:0], index in [31:16]. */
+    std::uint32_t telemetry_select_ = 0;
 };
 
 } // namespace nesc::ctrl

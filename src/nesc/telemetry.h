@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Self-describing telemetry-counter directory exposed through the
+ * PF-only reg::kTelemetry* registers.
+ *
+ * Each entry binds a stable counter name to a FunctionStats field; the
+ * directory order IS the hardware counter index, so appending is ABI-
+ * compatible and reordering is not. The name registers let software
+ * discover the directory without a matching driver header — PfDriver's
+ * dump_telemetry() reads count, then (name, value) per index, straight
+ * over MMIO.
+ */
+#ifndef NESC_CTRL_TELEMETRY_H
+#define NESC_CTRL_TELEMETRY_H
+
+#include <array>
+#include <cstdint>
+
+#include "nesc/controller.h"
+
+namespace nesc::ctrl {
+
+/** One telemetry directory entry. */
+struct TelemetryCounterDesc {
+    const char *name; ///< <= 24 ASCII chars (3 name registers)
+    std::uint64_t FunctionStats::*field;
+};
+
+/** The directory: index in this array == hardware counter index. */
+inline constexpr std::array<TelemetryCounterDesc, 15> kTelemetryCounters{{
+    {"commands", &FunctionStats::commands},
+    {"blocks_read", &FunctionStats::blocks_read},
+    {"blocks_written", &FunctionStats::blocks_written},
+    {"holes_zero_filled", &FunctionStats::holes_zero_filled},
+    {"faults", &FunctionStats::faults},
+    {"completions", &FunctionStats::completions},
+    {"media_errors", &FunctionStats::media_errors},
+    {"aborted_ops", &FunctionStats::aborted_ops},
+    {"fn_resets", &FunctionStats::fn_resets},
+    {"malformed", &FunctionStats::malformed},
+    {"ring_corruptions", &FunctionStats::ring_corruptions},
+    {"dma_violations", &FunctionStats::dma_violations},
+    {"reg_violations", &FunctionStats::reg_violations},
+    {"quarantines", &FunctionStats::quarantines},
+    {"doorbells_ignored", &FunctionStats::doorbells_ignored},
+}};
+
+/**
+ * Packs 8 ASCII chars of @p name starting at @p offset into a
+ * little-endian register value (NUL-padded past the end).
+ */
+constexpr std::uint64_t
+pack_telemetry_name(const char *name, std::size_t offset)
+{
+    std::size_t len = 0;
+    while (name[len] != '\0')
+        ++len;
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const std::size_t pos = offset + i;
+        if (pos < len)
+            value |= static_cast<std::uint64_t>(
+                         static_cast<unsigned char>(name[pos]))
+                     << (8 * i);
+    }
+    return value;
+}
+
+} // namespace nesc::ctrl
+
+#endif // NESC_CTRL_TELEMETRY_H

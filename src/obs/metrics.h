@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Interned-handle metrics: counters, gauges, and O(1)-memory
+ * log-bucketed latency histograms, with snapshot export to JSON.
+ *
+ * Device models register each metric once at construction and keep the
+ * returned Handle (a plain index). Hot-path updates are then a vector
+ * indexing, not a `std::map<std::string, ...>` lookup — the difference
+ * matters in the controller pipeline, which bumps several counters per
+ * simulated block. Cold paths may still update by name via bump().
+ *
+ * Metrics are optionally scoped to a function id (per-VF counters);
+ * unscoped metrics use kGlobalScope. A LogHistogram replaces unbounded
+ * util::Sampler accumulation in long benches: power-of-two buckets,
+ * exact count/sum (so mean() is exact, not bucket-approximated), and
+ * approximate percentiles — all in O(1) memory.
+ */
+#ifndef NESC_OBS_METRICS_H
+#define NESC_OBS_METRICS_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nesc::obs {
+
+/** Scope value for metrics not bound to one function. */
+inline constexpr std::uint16_t kGlobalScope = 0xffff;
+
+/**
+ * Log-bucketed latency histogram: value v lands in bucket
+ * bit_width(v), giving power-of-two bucket boundaries. count and sum
+ * are exact, so mean() carries no bucketing error; percentiles are
+ * approximated by the geometric midpoint of the resolving bucket.
+ */
+class LogHistogram {
+  public:
+    /// bit_width of a uint64 is 0..64.
+    static constexpr std::size_t kBuckets = 65;
+
+    void
+    observe(std::uint64_t value)
+    {
+        ++buckets_[std::bit_width(value)];
+        ++count_;
+        sum_ += value;
+        if (count_ == 1 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    /** Exact mean (sum and count are exact). */
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Approximate percentile, @p p in [0, 100]: geometric midpoint of
+     * the bucket containing the p-th sample, clamped to [min, max].
+     */
+    double percentile(double p) const;
+
+    const std::array<std::uint64_t, kBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    void reset() { *this = LogHistogram(); }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** Interned-handle metric store; see file comment. */
+class MetricsRegistry {
+  public:
+    using Handle = std::uint32_t;
+
+    /**
+     * Interns a counter (monotonic uint64) named @p name under
+     * @p scope; returns the existing handle on re-registration.
+     */
+    Handle counter(std::string_view name,
+                   std::uint16_t scope = kGlobalScope);
+    /** Interns a gauge (last-write-wins uint64). */
+    Handle gauge(std::string_view name,
+                 std::uint16_t scope = kGlobalScope);
+    /** Interns a log-bucketed histogram. */
+    Handle histogram(std::string_view name,
+                     std::uint16_t scope = kGlobalScope);
+
+    void add(Handle h, std::uint64_t delta = 1)
+    {
+        counter_values_[h] += delta;
+    }
+    void set(Handle h, std::uint64_t value) { gauge_values_[h] = value; }
+    void observe(Handle h, std::uint64_t value)
+    {
+        histogram_values_[h].observe(value);
+    }
+
+    std::uint64_t counter_value(Handle h) const
+    {
+        return counter_values_[h];
+    }
+    std::uint64_t gauge_value(Handle h) const { return gauge_values_[h]; }
+    const LogHistogram &histogram_value(Handle h) const
+    {
+        return histogram_values_[h];
+    }
+
+    /** Cold-path update by name (interns on first use). */
+    void bump(std::string_view name, std::uint64_t delta = 1,
+              std::uint16_t scope = kGlobalScope)
+    {
+        add(counter(name, scope), delta);
+    }
+
+    /**
+     * Global-scope counter value of @p name, zero if never registered
+     * (drop-in for util::CounterGroup::get).
+     */
+    std::uint64_t get(std::string_view name) const;
+
+    /**
+     * "name=value name=value ..." of the global-scope counters, in
+     * name order (drop-in for util::CounterGroup::to_string).
+     */
+    std::string to_string() const;
+
+    /**
+     * JSON snapshot: {"counters": {...}, "gauges": {...},
+     * "histograms": {name: {count, sum, mean, min, max, p50, p99}}}.
+     * Scoped metric keys are prefixed "fnN/".
+     */
+    std::string to_json() const;
+
+    std::size_t counter_count() const { return counter_values_.size(); }
+    std::size_t gauge_count() const { return gauge_values_.size(); }
+    std::size_t histogram_count() const
+    {
+        return histogram_values_.size();
+    }
+
+    /** Zeroes every value; handles stay valid. */
+    void reset_values();
+
+  private:
+    struct Meta {
+        std::string name;
+        std::uint16_t scope;
+    };
+    using Key = std::pair<std::string, std::uint16_t>;
+
+    std::map<Key, Handle> counter_index_;
+    std::map<Key, Handle> gauge_index_;
+    std::map<Key, Handle> histogram_index_;
+    std::vector<Meta> counter_meta_;
+    std::vector<Meta> gauge_meta_;
+    std::vector<Meta> histogram_meta_;
+    std::vector<std::uint64_t> counter_values_;
+    std::vector<std::uint64_t> gauge_values_;
+    std::vector<LogHistogram> histogram_values_;
+};
+
+} // namespace nesc::obs
+
+#endif // NESC_OBS_METRICS_H

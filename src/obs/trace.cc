@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace nesc::obs {
+
+const char *
+stage_name(Stage stage)
+{
+    switch (stage) {
+    case Stage::kDoorbell:
+        return "doorbell";
+    case Stage::kCmdFetch:
+        return "cmd_fetch";
+    case Stage::kQueueWait:
+        return "queue_wait";
+    case Stage::kTranslate:
+        return "translate";
+    case Stage::kTransfer:
+        return "transfer";
+    case Stage::kBtlbHit:
+        return "btlb_hit";
+    case Stage::kWalk:
+        return "walk";
+    case Stage::kZeroFill:
+        return "zero_fill";
+    case Stage::kDmaRead:
+        return "dma_read";
+    case Stage::kDmaWrite:
+        return "dma_write";
+    case Stage::kLink:
+        return "link";
+    case Stage::kComplete:
+        return "complete";
+    case Stage::kFault:
+        return "fault";
+    case Stage::kValidateFail:
+        return "validate_fail";
+    case Stage::kAbort:
+        return "abort";
+    case Stage::kQuarantine:
+        return "quarantine";
+    case Stage::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+void
+Tracer::enable(std::size_t capacity)
+{
+    clear();
+    if (capacity == 0)
+        capacity = 1;
+    ring_.assign(capacity, SpanEvent{});
+    enabled_ = true;
+}
+
+void
+Tracer::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    wrapped_ = false;
+    recorded_ = 0;
+    dropped_ = 0;
+    totals_.fill(StageTotals{});
+}
+
+void
+Tracer::record(const SpanEvent &event)
+{
+    StageTotals &t = totals_[static_cast<std::size_t>(event.stage)];
+    ++t.count;
+    t.total_ns += event.dur;
+    ++recorded_;
+    if (wrapped_)
+        ++dropped_;
+    ring_[head_] = event;
+    if (++head_ == ring_.size()) {
+        head_ = 0;
+        wrapped_ = true;
+    }
+}
+
+std::vector<SpanEvent>
+Tracer::events() const
+{
+    std::vector<SpanEvent> out;
+    out.reserve(size());
+    if (wrapped_)
+        out.insert(out.end(), ring_.begin() +
+                                  static_cast<std::ptrdiff_t>(head_),
+                   ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+    return out;
+}
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void
+append_format(std::string &out, const char *fmt, ...)
+{
+    char buffer[256];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buffer, sizeof buffer, fmt, args);
+    va_end(args);
+    if (n > 0)
+        out.append(buffer, static_cast<std::size_t>(n));
+}
+
+/** "fn3" or "fn0 (PF)" or "pcie-link" — Perfetto process names. */
+std::string
+track_name(std::uint16_t fn)
+{
+    if (fn == kLinkTrack)
+        return "pcie-link";
+    if (fn == 0)
+        return "fn0 (PF)";
+    return "fn" + std::to_string(fn);
+}
+
+} // namespace
+
+std::string
+Tracer::chrome_json() const
+{
+    std::vector<SpanEvent> sorted = events();
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const SpanEvent &a, const SpanEvent &b) {
+                         return a.start < b.start;
+                     });
+
+    std::string out;
+    out.reserve(128 + sorted.size() * 160);
+    out += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+
+    // Metadata: name each function track (pid) and stage lane (tid).
+    std::vector<bool> seen_fn(1 << 16, false);
+    bool first = true;
+    for (const SpanEvent &e : sorted) {
+        if (seen_fn[e.fn])
+            continue;
+        seen_fn[e.fn] = true;
+        append_format(out,
+                      "%s{\"ph\": \"M\", \"name\": \"process_name\", "
+                      "\"pid\": %u, \"args\": {\"name\": \"%s\"}}",
+                      first ? "" : ",\n", static_cast<unsigned>(e.fn),
+                      track_name(e.fn).c_str());
+        first = false;
+        for (std::size_t s = 0; s < kStageCount; ++s) {
+            append_format(
+                out,
+                ",\n{\"ph\": \"M\", \"name\": \"thread_name\", "
+                "\"pid\": %u, \"tid\": %zu, "
+                "\"args\": {\"name\": \"%s\"}}",
+                static_cast<unsigned>(e.fn), s,
+                stage_name(static_cast<Stage>(s)));
+        }
+    }
+
+    // ph "X" complete events; ts/dur in microseconds of simulated time.
+    for (const SpanEvent &e : sorted) {
+        append_format(
+            out,
+            "%s{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"nesc\", "
+            "\"pid\": %u, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+            "\"args\": {\"tag\": %llu, \"aux\": %llu}}",
+            first ? "" : ",\n", stage_name(e.stage),
+            static_cast<unsigned>(e.fn),
+            static_cast<unsigned>(e.stage),
+            static_cast<double>(e.start) / 1e3,
+            static_cast<double>(e.dur) / 1e3,
+            static_cast<unsigned long long>(e.tag),
+            static_cast<unsigned long long>(e.aux));
+        first = false;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+util::Status
+Tracer::write_chrome_json(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return util::unavailable_error("cannot open trace file: " + path);
+    const std::string json = chrome_json();
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int close_rc = std::fclose(f);
+    if (written != json.size() || close_rc != 0)
+        return util::data_loss_error("short write to trace file: " + path);
+    return util::Status::ok();
+}
+
+std::string
+Tracer::flame_summary() const
+{
+    std::string out;
+    append_format(out, "%-14s %12s %16s %12s\n", "stage", "count",
+                  "total_us", "mean_us");
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+        const StageTotals &t = totals_[s];
+        if (t.count == 0)
+            continue;
+        append_format(out, "%-14s %12llu %16.3f %12.3f\n",
+                      stage_name(static_cast<Stage>(s)),
+                      static_cast<unsigned long long>(t.count),
+                      static_cast<double>(t.total_ns) / 1e3,
+                      static_cast<double>(t.total_ns) /
+                          static_cast<double>(t.count) / 1e3);
+    }
+    append_format(out, "events recorded=%llu retained=%zu dropped=%llu\n",
+                  static_cast<unsigned long long>(recorded_), size(),
+                  static_cast<unsigned long long>(dropped_));
+    return out;
+}
+
+} // namespace nesc::obs

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Per-command lifecycle tracing.
+ *
+ * A Tracer collects timestamped span events — (simulated start time,
+ * duration, function id, pipeline stage, command tag, auxiliary
+ * payload) — into a bounded ring. Every pipeline stage of the device
+ * model records into it: doorbell, command fetch, arbitration wait,
+ * translation (BTLB hit or tree walk), DMA, data transfer, completion.
+ *
+ * Cost model: tracing is compiled in but OFF by default. Every record
+ * call is guarded by a single `enabled()` branch and the ring is
+ * preallocated at enable() time, so the hot path neither allocates nor
+ * formats anything. Per-stage aggregate totals (count + summed
+ * duration) are maintained at record time in O(1) memory, so stage
+ * accounting stays exact even after the ring wraps and old events are
+ * overwritten.
+ *
+ * Export: Chrome trace-event JSON (load in Perfetto / chrome://tracing;
+ * one track per function id, one sub-track per stage) and a text
+ * "flame summary" of per-stage totals.
+ */
+#ifndef NESC_OBS_TRACE_H
+#define NESC_OBS_TRACE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/bandwidth_server.h"
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace nesc::obs {
+
+/** Pipeline stages a span event can belong to. */
+enum class Stage : std::uint8_t {
+    kDoorbell = 0, ///< doorbell register write (instant)
+    kCmdFetch,     ///< one command descriptor fetched from the ring
+    kQueueWait,    ///< block op waiting for arbitration
+    kTranslate,    ///< block op in the translation unit
+    kTransfer,     ///< block op in the data-transfer unit
+    kBtlbHit,      ///< translation resolved by the BTLB (instant)
+    kWalk,         ///< extent-tree walk, launch to resolution
+    kZeroFill,     ///< hole read served by the zero-fill engine
+    kDmaRead,      ///< device-initiated DMA read (issue to completion)
+    kDmaWrite,     ///< device-initiated DMA write
+    kLink,         ///< PCIe link occupancy (shared resource)
+    kComplete,     ///< completion record posted (instant)
+    kFault,        ///< translation fault latched (instant)
+    kValidateFail, ///< descriptor/ring validation rejection (instant)
+    kAbort,        ///< command aborted by watchdog/reset (instant)
+    kQuarantine,   ///< function moved to quarantine (instant)
+    kCount,
+};
+
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kCount);
+
+/** Stable display name of @p stage ("queue_wait", "translate", ...). */
+const char *stage_name(Stage stage);
+
+/**
+ * Pseudo function id used for spans of shared resources that are not
+ * attributable to one function (the PCIe link track).
+ */
+inline constexpr std::uint16_t kLinkTrack = 0xffff;
+
+/** One recorded event; dur == 0 marks an instant event. */
+struct SpanEvent {
+    sim::Time start = 0;
+    sim::Duration dur = 0;
+    std::uint64_t tag = 0; ///< command tag (0 when not command-bound)
+    std::uint64_t aux = 0; ///< stage-specific payload (vLBA, bytes, ...)
+    std::uint16_t fn = 0;
+    Stage stage = Stage::kDoorbell;
+};
+
+/** Exact per-stage aggregate, maintained independently of the ring. */
+struct StageTotals {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+};
+
+/** Bounded-ring span collector; see file comment. */
+class Tracer {
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Starts collection into a ring of @p capacity events (the ring is
+     * preallocated here, never on the record path). Re-enabling resets
+     * previously recorded state.
+     */
+    void enable(std::size_t capacity = kDefaultCapacity);
+
+    /** Stops collection; recorded events and totals stay readable. */
+    void disable() { enabled_ = false; }
+
+    /** Drops every recorded event and all aggregate totals. */
+    void clear();
+
+    /** Records a [start, end) span. No-op while disabled. */
+    void span(Stage stage, std::uint16_t fn, sim::Time start,
+              sim::Time end, std::uint64_t tag = 0, std::uint64_t aux = 0)
+    {
+        if (!enabled_)
+            return;
+        record(SpanEvent{start, end >= start ? end - start : 0, tag, aux,
+                         fn, stage});
+    }
+
+    /** Records an instant (zero-duration) event. No-op while disabled. */
+    void instant(Stage stage, std::uint16_t fn, sim::Time at,
+                 std::uint64_t tag = 0, std::uint64_t aux = 0)
+    {
+        if (!enabled_)
+            return;
+        record(SpanEvent{at, 0, tag, aux, fn, stage});
+    }
+
+    /** Events recorded since enable(), including overwritten ones. */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Events lost to ring wrap-around. */
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t capacity() const { return ring_.size(); }
+    /** Events currently retained in the ring. */
+    std::size_t size() const
+    {
+        return wrapped_ ? ring_.size() : head_;
+    }
+
+    /** Retained events in chronological (recording) order. */
+    std::vector<SpanEvent> events() const;
+
+    /** Exact aggregate of every recorded event of @p stage. */
+    const StageTotals &totals(Stage stage) const
+    {
+        return totals_[static_cast<std::size_t>(stage)];
+    }
+
+    /**
+     * Chrome trace-event JSON of the retained events: one process
+     * ("track") per function id, one named thread per stage.
+     * Timestamps are microseconds of simulated time.
+     */
+    std::string chrome_json() const;
+
+    /** Writes chrome_json() to @p path. */
+    util::Status write_chrome_json(const std::string &path) const;
+
+    /** Text table of per-stage totals (count, total time, mean). */
+    std::string flame_summary() const;
+
+  private:
+    void record(const SpanEvent &event);
+
+    bool enabled_ = false;
+    std::vector<SpanEvent> ring_;
+    std::size_t head_ = 0;
+    bool wrapped_ = false;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::array<StageTotals, kStageCount> totals_{};
+};
+
+/**
+ * Adapter wiring a sim::BandwidthServer's transfer stream into a
+ * Tracer as kLink spans on the shared-link track.
+ */
+class LinkTraceObserver final : public sim::BandwidthObserver {
+  public:
+    explicit LinkTraceObserver(Tracer &tracer) : tracer_(tracer) {}
+
+    void
+    on_transfer(sim::Time begin, sim::Time complete,
+                std::uint64_t bytes) override
+    {
+        tracer_.span(Stage::kLink, kLinkTrack, begin, complete, 0, bytes);
+    }
+
+  private:
+    Tracer &tracer_;
+};
+
+} // namespace nesc::obs
+
+#endif // NESC_OBS_TRACE_H

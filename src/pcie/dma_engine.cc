@@ -47,7 +47,7 @@ DmaEngine::read(FunctionId fn, HostAddr addr, std::uint64_t size,
             });
         return;
     }
-    read(addr, size, std::move(done));
+    read_impl(fn, addr, size, std::move(done));
 }
 
 void
@@ -63,7 +63,7 @@ DmaEngine::write(FunctionId fn, HostAddr addr, std::vector<std::byte> data,
             });
         return;
     }
-    write(addr, std::move(data), std::move(done));
+    write_impl(fn, addr, std::move(data), std::move(done));
 }
 
 void
@@ -79,13 +79,36 @@ DmaEngine::write_zero(FunctionId fn, HostAddr addr, std::uint64_t size,
             });
         return;
     }
-    write_zero(addr, size, std::move(done));
+    write_zero_impl(fn, addr, size, std::move(done));
 }
 
 void
 DmaEngine::read(HostAddr addr, std::uint64_t size, ReadDone done)
 {
-    const sim::Time completion = link_.acquire(simulator_.now(), size);
+    read_impl(kPhysicalFunctionId, addr, size, std::move(done));
+}
+
+void
+DmaEngine::write(HostAddr addr, std::vector<std::byte> data, WriteDone done)
+{
+    write_impl(kPhysicalFunctionId, addr, std::move(data), std::move(done));
+}
+
+void
+DmaEngine::write_zero(HostAddr addr, std::uint64_t size, WriteDone done)
+{
+    write_zero_impl(kPhysicalFunctionId, addr, size, std::move(done));
+}
+
+void
+DmaEngine::read_impl(FunctionId fn, HostAddr addr, std::uint64_t size,
+                     ReadDone done)
+{
+    const sim::Time start = simulator_.now();
+    const sim::Time completion = link_.acquire(start, size);
+    if (tracer_ != nullptr && tracer_->enabled())
+        tracer_->span(obs::Stage::kDmaRead, fn, start, completion, addr,
+                      size);
     simulator_.schedule_at(
         completion, [this, addr, size, done = std::move(done)]() {
             std::vector<std::byte> data(size);
@@ -99,9 +122,14 @@ DmaEngine::read(HostAddr addr, std::uint64_t size, ReadDone done)
 }
 
 void
-DmaEngine::write(HostAddr addr, std::vector<std::byte> data, WriteDone done)
+DmaEngine::write_impl(FunctionId fn, HostAddr addr,
+                      std::vector<std::byte> data, WriteDone done)
 {
-    const sim::Time completion = link_.acquire(simulator_.now(), data.size());
+    const sim::Time start = simulator_.now();
+    const sim::Time completion = link_.acquire(start, data.size());
+    if (tracer_ != nullptr && tracer_->enabled())
+        tracer_->span(obs::Stage::kDmaWrite, fn, start, completion, addr,
+                      data.size());
     simulator_.schedule_at(
         completion,
         [this, addr, data = std::move(data), done = std::move(done)]() {
@@ -110,9 +138,14 @@ DmaEngine::write(HostAddr addr, std::vector<std::byte> data, WriteDone done)
 }
 
 void
-DmaEngine::write_zero(HostAddr addr, std::uint64_t size, WriteDone done)
+DmaEngine::write_zero_impl(FunctionId fn, HostAddr addr,
+                           std::uint64_t size, WriteDone done)
 {
-    const sim::Time completion = link_.acquire(simulator_.now(), size);
+    const sim::Time start = simulator_.now();
+    const sim::Time completion = link_.acquire(start, size);
+    if (tracer_ != nullptr && tracer_->enabled())
+        tracer_->span(obs::Stage::kDmaWrite, fn, start, completion, addr,
+                      size);
     simulator_.schedule_at(completion,
                            [this, addr, size, done = std::move(done)]() {
                                done(host_memory_.fill_zero(addr, size));

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pcie/bdf.h"
 #include "pcie/dma_window.h"
 #include "pcie/host_memory.h"
@@ -141,10 +142,28 @@ class DmaEngine {
     /** Attributed transfers refused by the window table. */
     std::uint64_t window_violations() const { return window_violations_; }
 
+    /**
+     * Installs (or clears, with nullptr) a lifecycle tracer: every
+     * transfer records a kDmaRead/kDmaWrite span (unattributed
+     * transfers land on the PF track). The tracer must outlive the
+     * engine or be cleared first.
+     */
+    void set_tracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    /** The PCIe-link resource (for observer hooks and tests). */
+    sim::BandwidthServer &link() { return link_; }
+
   private:
     /** OK, or the violation status after counting + hook. */
     util::Status precheck(FunctionId fn, HostAddr addr,
                           std::uint64_t size);
+    // Post-precheck transfer bodies, attributed to @p fn for tracing.
+    void read_impl(FunctionId fn, HostAddr addr, std::uint64_t size,
+                   ReadDone done);
+    void write_impl(FunctionId fn, HostAddr addr,
+                    std::vector<std::byte> data, WriteDone done);
+    void write_zero_impl(FunctionId fn, HostAddr addr, std::uint64_t size,
+                         WriteDone done);
 
     sim::Simulator &simulator_;
     HostMemory &host_memory_;
@@ -154,6 +173,7 @@ class DmaEngine {
     const DmaWindowTable *window_table_ = nullptr;
     ViolationHook violation_hook_;
     std::uint64_t window_violations_ = 0;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace nesc::pcie

@@ -20,6 +20,23 @@
 
 namespace nesc::sim {
 
+/**
+ * Observer of a BandwidthServer's transfer stream. The sim layer
+ * cannot depend on higher layers, so tracing hooks in from above by
+ * implementing this interface (see obs::LinkTraceObserver).
+ */
+class BandwidthObserver {
+  public:
+    virtual ~BandwidthObserver() = default;
+
+    /**
+     * One booked transfer of @p bytes occupying the resource over
+     * [@p begin, @p complete) (completion includes the fixed latency).
+     */
+    virtual void on_transfer(Time begin, Time complete,
+                             std::uint64_t bytes) = 0;
+};
+
 /** Serialized bandwidth/latency resource. */
 class BandwidthServer {
   public:
@@ -45,7 +62,10 @@ class BandwidthServer {
         busy_until_ = begin + occupancy;
         total_bytes_ += bytes;
         ++total_transfers_;
-        return busy_until_ + latency_;
+        const Time complete = busy_until_ + latency_;
+        if (observer_ != nullptr)
+            observer_->on_transfer(begin, complete, bytes);
+        return complete;
     }
 
     /**
@@ -68,6 +88,8 @@ class BandwidthServer {
 
     void set_bytes_per_sec(std::uint64_t bps) { bytes_per_sec_ = bps; }
     void set_latency(Duration latency) { latency_ = latency; }
+    /** Installs (or clears, with nullptr) the transfer observer. */
+    void set_observer(BandwidthObserver *observer) { observer_ = observer; }
 
     /** Clears the busy horizon and counters (for test reuse). */
     void
@@ -84,6 +106,7 @@ class BandwidthServer {
     Time busy_until_ = 0;
     std::uint64_t total_bytes_ = 0;
     std::uint64_t total_transfers_ = 0;
+    BandwidthObserver *observer_ = nullptr;
 };
 
 } // namespace nesc::sim

@@ -1,9 +1,22 @@
 #include "log.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
 namespace nesc::util {
 
 namespace {
+
 LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink; // empty => default stderr sink
+
+std::map<std::string, LogLevel> &
+component_levels()
+{
+    static std::map<std::string, LogLevel> levels;
+    return levels;
+}
 
 const char *
 level_tag(LogLevel level)
@@ -17,11 +30,36 @@ level_tag(LogLevel level)
     }
     return "?";
 }
+
+bool
+parse_level(const std::string &name, LogLevel &out)
+{
+    if (name == "debug") { out = LogLevel::kDebug; return true; }
+    if (name == "info")  { out = LogLevel::kInfo;  return true; }
+    if (name == "warn")  { out = LogLevel::kWarn;  return true; }
+    if (name == "error") { out = LogLevel::kError; return true; }
+    if (name == "off")   { out = LogLevel::kOff;   return true; }
+    return false;
+}
+
+/** Applies $NESC_LOG once, before the first filtering decision. */
+void
+apply_env_spec_once()
+{
+    static const bool applied = [] {
+        if (const char *spec = std::getenv("NESC_LOG"))
+            apply_log_spec(spec);
+        return true;
+    }();
+    (void)applied;
+}
+
 } // namespace
 
 LogLevel
 log_level()
 {
+    apply_env_spec_once();
     return g_level;
 }
 
@@ -32,16 +70,111 @@ set_log_level(LogLevel level)
 }
 
 void
-log_at(LogLevel level, const char *fmt, ...)
+set_component_log_level(const std::string &component, LogLevel level)
 {
-    if (level < g_level || g_level == LogLevel::kOff)
+    component_levels()[component] = level;
+}
+
+void
+clear_component_log_levels()
+{
+    component_levels().clear();
+}
+
+LogLevel
+log_level_for(const char *component)
+{
+    apply_env_spec_once();
+    const auto &levels = component_levels();
+    if (!levels.empty()) {
+        const auto it = levels.find(component);
+        if (it != levels.end())
+            return it->second;
+    }
+    return g_level;
+}
+
+LogSink
+set_log_sink(LogSink sink)
+{
+    LogSink previous = std::move(g_sink);
+    g_sink = std::move(sink);
+    return previous;
+}
+
+bool
+apply_log_spec(const char *spec)
+{
+    if (spec == nullptr)
+        return false;
+    bool all_ok = true;
+    const char *p = spec;
+    while (*p != '\0') {
+        const char *end = std::strchr(p, ',');
+        std::string entry =
+            end != nullptr ? std::string(p, end) : std::string(p);
+        p = end != nullptr ? end + 1 : p + entry.size();
+        if (entry.empty())
+            continue;
+        const std::size_t eq = entry.find('=');
+        LogLevel level;
+        if (eq == std::string::npos) {
+            if (parse_level(entry, level))
+                g_level = level;
+            else
+                all_ok = false;
+        } else {
+            const std::string component = entry.substr(0, eq);
+            if (!component.empty() &&
+                parse_level(entry.substr(eq + 1), level))
+                component_levels()[component] = level;
+            else
+                all_ok = false;
+        }
+    }
+    return all_ok;
+}
+
+void
+log_at(LogLevel level, const char *component, const char *fmt, ...)
+{
+    const LogLevel threshold = log_level_for(component);
+    if (level < threshold || threshold == LogLevel::kOff)
         return;
-    std::fprintf(stderr, "[%s] ", level_tag(level));
+    char buffer[512];
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::vsnprintf(buffer, sizeof buffer, fmt, args);
     va_end(args);
-    std::fputc('\n', stderr);
+    if (g_sink) {
+        g_sink(level, component, buffer);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s: %s\n", level_tag(level), component,
+                 buffer);
+}
+
+ScopedLogSink::ScopedLogSink()
+{
+    previous_ = set_log_sink(
+        [this](LogLevel level, const char *component,
+               const std::string &message) {
+            records_.push_back({level, component, message});
+        });
+}
+
+ScopedLogSink::~ScopedLogSink()
+{
+    set_log_sink(std::move(previous_));
+}
+
+bool
+ScopedLogSink::contains(const std::string &needle) const
+{
+    for (const Record &r : records_)
+        if (r.message.find(needle) != std::string::npos)
+            return true;
+    return false;
 }
 
 } // namespace nesc::util

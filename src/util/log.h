@@ -1,35 +1,120 @@
 /**
  * @file
- * Minimal leveled logging. Device models log sparingly; the default
- * level is kWarn so tests and benches stay quiet unless asked.
+ * Minimal leveled logging with pluggable sinks and per-component
+ * thresholds. Device models log sparingly; the default level is kWarn
+ * so tests and benches stay quiet unless asked.
+ *
+ * Components: every translation unit that logs names its component by
+ * redefining NESC_LOG_COMPONENT after its includes:
+ *
+ *     #undef NESC_LOG_COMPONENT
+ *     #define NESC_LOG_COMPONENT "controller"
+ *
+ * Thresholds resolve per component and are overridable from the
+ * environment: NESC_LOG="debug" sets the global level,
+ * NESC_LOG="controller=debug" (comma-separated list; bare entries set
+ * the global level) overrides one component.
+ *
+ * Sinks: output goes through a replaceable LogSink (default: stderr as
+ * "[LEVEL] component: message"). Tests install a capturing sink via
+ * ScopedLogSink to assert warn paths fire.
  */
 #ifndef NESC_UTIL_LOG_H
 #define NESC_UTIL_LOG_H
 
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 namespace nesc::util {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
+/** Receives every emitted (post-filter) log record. */
+using LogSink = std::function<void(LogLevel level, const char *component,
+                                   const std::string &message)>;
+
 /** Process-wide log threshold. */
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/** printf-style emit at @p level; filtered by the global threshold. */
-void log_at(LogLevel level, const char *fmt, ...)
-    __attribute__((format(printf, 2, 3)));
+/** Sets a per-component threshold overriding the global one. */
+void set_component_log_level(const std::string &component, LogLevel level);
+
+/** Drops every per-component override. */
+void clear_component_log_levels();
+
+/** Effective threshold for @p component (override or global). */
+LogLevel log_level_for(const char *component);
+
+/**
+ * Replaces the output sink; an empty sink restores the default stderr
+ * sink. Returns the previously installed sink (empty if default).
+ */
+LogSink set_log_sink(LogSink sink);
+
+/**
+ * Applies a "level" / "component=level,component=level" spec (the
+ * NESC_LOG environment variable format). Returns false if any entry
+ * was malformed; well-formed entries still take effect.
+ */
+bool apply_log_spec(const char *spec);
+
+/**
+ * printf-style emit tagged with @p component; filtered by the
+ * component's effective threshold. Call through the NESC_LOG_* macros,
+ * which supply the translation unit's component automatically.
+ */
+void log_at(LogLevel level, const char *component, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** RAII capture-to-buffer sink for tests. */
+class ScopedLogSink {
+  public:
+    struct Record {
+        LogLevel level;
+        std::string component;
+        std::string message;
+    };
+
+    ScopedLogSink();
+    ~ScopedLogSink();
+    ScopedLogSink(const ScopedLogSink &) = delete;
+    ScopedLogSink &operator=(const ScopedLogSink &) = delete;
+
+    const std::vector<Record> &records() const { return records_; }
+    /** True if any captured message contains @p needle. */
+    bool contains(const std::string &needle) const;
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<Record> records_;
+    LogSink previous_;
+};
 
 } // namespace nesc::util
 
+/**
+ * Component tag used by the NESC_LOG_* macros; translation units
+ * override it after their includes (see file comment).
+ */
+#ifndef NESC_LOG_COMPONENT
+#define NESC_LOG_COMPONENT "core"
+#endif
+
 #define NESC_LOG_DEBUG(...)                                                 \
-    ::nesc::util::log_at(::nesc::util::LogLevel::kDebug, __VA_ARGS__)
+    ::nesc::util::log_at(::nesc::util::LogLevel::kDebug,                    \
+                         NESC_LOG_COMPONENT, __VA_ARGS__)
 #define NESC_LOG_INFO(...)                                                  \
-    ::nesc::util::log_at(::nesc::util::LogLevel::kInfo, __VA_ARGS__)
+    ::nesc::util::log_at(::nesc::util::LogLevel::kInfo,                     \
+                         NESC_LOG_COMPONENT, __VA_ARGS__)
 #define NESC_LOG_WARN(...)                                                  \
-    ::nesc::util::log_at(::nesc::util::LogLevel::kWarn, __VA_ARGS__)
+    ::nesc::util::log_at(::nesc::util::LogLevel::kWarn,                     \
+                         NESC_LOG_COMPONENT, __VA_ARGS__)
 #define NESC_LOG_ERROR(...)                                                 \
-    ::nesc::util::log_at(::nesc::util::LogLevel::kError, __VA_ARGS__)
+    ::nesc::util::log_at(::nesc::util::LogLevel::kError,                    \
+                         NESC_LOG_COMPONENT, __VA_ARGS__)
 
 #endif // NESC_UTIL_LOG_H

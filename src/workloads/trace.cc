@@ -87,9 +87,16 @@ trace_from_text(const std::string &text)
         std::uint64_t issued = 0, blockno = 0;
         std::uint32_t count = 0;
         char op = 0;
-        if (std::sscanf(line.c_str(),
-                        "%" SCNu64 " %c %" SCNu64 " %" SCNu32, &issued,
-                        &op, &blockno, &count) != 4 ||
+        int consumed = -1;
+        // The trailing " %n" both records how much was consumed and
+        // skips trailing whitespace (tolerating CRLF traces); anything
+        // left after it — a fifth field, garbage — is a parse error,
+        // as is a short line (sscanf stops before the %n fires).
+        std::sscanf(line.c_str(),
+                    "%" SCNu64 " %c %" SCNu64 " %" SCNu32 " %n", &issued,
+                    &op, &blockno, &count, &consumed);
+        if (consumed < 0 ||
+            static_cast<std::size_t>(consumed) != line.size() ||
             (op != 'R' && op != 'W')) {
             return util::invalid_argument_error(
                 "malformed trace line " + std::to_string(lineno) + ": " +

@@ -44,6 +44,44 @@ TEST(TraceText, RejectsGarbage)
     EXPECT_TRUE(empty->empty());
 }
 
+TEST(TraceText, RejectsTruncatedLines)
+{
+    EXPECT_FALSE(trace_from_text("100 R 5\n").is_ok()); // missing count
+    EXPECT_FALSE(trace_from_text("100 R\n").is_ok());
+    EXPECT_FALSE(trace_from_text("100\n").is_ok());
+    // A good line does not excuse a truncated one later.
+    EXPECT_FALSE(trace_from_text("100 R 5 4\n200 W 9\n").is_ok());
+}
+
+TEST(TraceText, RejectsTrailingJunk)
+{
+    EXPECT_FALSE(trace_from_text("100 R 5 4 x\n").is_ok());
+    EXPECT_FALSE(trace_from_text("100 R 5 4 5\n").is_ok());
+    EXPECT_FALSE(trace_from_text("100 R 5 4junk\n").is_ok());
+}
+
+TEST(TraceText, ErrorNamesTheOffendingLine)
+{
+    auto parsed = trace_from_text("100 R 5 4\nbogus line\n");
+    ASSERT_FALSE(parsed.is_ok());
+    EXPECT_NE(parsed.status().message().find("line 2"),
+              std::string::npos);
+    EXPECT_NE(parsed.status().message().find("bogus line"),
+              std::string::npos);
+}
+
+TEST(TraceText, ToleratesCrlfAndMissingFinalNewline)
+{
+    auto crlf = trace_from_text("100 R 5 4\r\n200 W 9 1\r\n");
+    ASSERT_TRUE(crlf.is_ok()) << crlf.status().to_string();
+    ASSERT_EQ(crlf->size(), 2u);
+    EXPECT_EQ((*crlf)[1].blockno, 9u);
+    EXPECT_TRUE((*crlf)[1].write);
+    auto tailless = trace_from_text("100 R 5 4");
+    ASSERT_TRUE(tailless.is_ok());
+    EXPECT_EQ(tailless->size(), 1u);
+}
+
 TEST(TraceRecorderTest, CapturesOperationsTransparently)
 {
     auto bed = std::move(virt::Testbed::create(small_config())).value();

@@ -5,6 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include "nesc/controller.h"
+#include "pcie/interrupts.h"
+#include "storage/mem_block_device.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -271,6 +275,98 @@ TEST(Table, CsvOutput)
     Table t({"a", "b"});
     t.row().add(std::uint64_t{1}).add(std::uint64_t{2});
     EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+// --- Logging ------------------------------------------------------------
+
+/** Resets global log state around each logging test. */
+class LogTest : public ::testing::Test {
+  protected:
+    LogTest()
+    {
+        set_log_level(LogLevel::kWarn);
+        clear_component_log_levels();
+    }
+    ~LogTest() override
+    {
+        set_log_level(LogLevel::kWarn);
+        clear_component_log_levels();
+    }
+};
+
+TEST_F(LogTest, SinkCapturesEmittedRecords)
+{
+    ScopedLogSink sink;
+    log_at(LogLevel::kWarn, "widget", "thing %d broke", 7);
+    ASSERT_EQ(sink.records().size(), 1u);
+    EXPECT_EQ(sink.records()[0].level, LogLevel::kWarn);
+    EXPECT_EQ(sink.records()[0].component, "widget");
+    EXPECT_EQ(sink.records()[0].message, "thing 7 broke");
+    EXPECT_TRUE(sink.contains("7 broke"));
+    EXPECT_FALSE(sink.contains("fine"));
+}
+
+TEST_F(LogTest, GlobalThresholdFilters)
+{
+    ScopedLogSink sink;
+    log_at(LogLevel::kInfo, "widget", "chatty"); // below kWarn
+    EXPECT_TRUE(sink.records().empty());
+    set_log_level(LogLevel::kDebug);
+    log_at(LogLevel::kInfo, "widget", "chatty");
+    EXPECT_EQ(sink.records().size(), 1u);
+}
+
+TEST_F(LogTest, PerComponentOverridesBeatTheGlobalLevel)
+{
+    ScopedLogSink sink;
+    set_component_log_level("noisy", LogLevel::kDebug);
+    set_component_log_level("muted", LogLevel::kOff);
+    log_at(LogLevel::kDebug, "noisy", "verbose detail");
+    log_at(LogLevel::kError, "muted", "never seen");
+    log_at(LogLevel::kInfo, "other", "below global warn");
+    ASSERT_EQ(sink.records().size(), 1u);
+    EXPECT_EQ(sink.records()[0].component, "noisy");
+    EXPECT_EQ(log_level_for("noisy"), LogLevel::kDebug);
+    EXPECT_EQ(log_level_for("other"), LogLevel::kWarn);
+    clear_component_log_levels();
+    EXPECT_EQ(log_level_for("muted"), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, ApplyLogSpecParsesTheEnvFormat)
+{
+    EXPECT_TRUE(apply_log_spec("debug"));
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    EXPECT_TRUE(apply_log_spec("warn,controller=info,dma=off"));
+    EXPECT_EQ(log_level(), LogLevel::kWarn);
+    EXPECT_EQ(log_level_for("controller"), LogLevel::kInfo);
+    EXPECT_EQ(log_level_for("dma"), LogLevel::kOff);
+    // Malformed entries report failure but good ones still apply.
+    EXPECT_FALSE(apply_log_spec("bogus-level"));
+    EXPECT_FALSE(apply_log_spec("controller=warp,fs=error"));
+    EXPECT_EQ(log_level_for("fs"), LogLevel::kError);
+    EXPECT_FALSE(apply_log_spec("=debug"));
+}
+
+TEST_F(LogTest, ControllerWarnPathIsObservableThroughTheSink)
+{
+    // A doorbell with no command ring programmed must produce the
+    // controller's warn diagnostic, tagged with its component.
+    sim::Simulator sim;
+    pcie::HostMemory host_memory(8 << 20);
+    storage::MemBlockDeviceConfig device_config;
+    device_config.capacity_bytes = 4 << 20;
+    storage::MemBlockDevice device(device_config);
+    pcie::InterruptController irq(sim);
+    ctrl::Controller controller(sim, host_memory, device, irq,
+                                ctrl::ControllerConfig{});
+    ScopedLogSink sink;
+    ASSERT_TRUE(
+        controller.mmio_write(0, ctrl::reg::kDoorbell, 1, 8).is_ok());
+    sim.run_until_idle();
+    EXPECT_TRUE(sink.contains("doorbell with no command ring"));
+    ASSERT_FALSE(sink.records().empty());
+    EXPECT_EQ(sink.records()[0].component, "controller");
+    EXPECT_EQ(sink.records()[0].level, LogLevel::kWarn);
 }
 
 } // namespace
