@@ -15,17 +15,48 @@ baseline="$repo/scripts/perf_baseline_pr3.json"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j "$(nproc)" --target \
   abl_btlb abl_walk_overlap abl_walk_coalesce abl_tree_depth \
-  abl_queue_depth
+  abl_queue_depth abl_batch_shard
 
 # The benches must run to completion; abl_walk_coalesce also writes
 # the metrics file compared below.
 run="$build/perf-smoke"
 mkdir -p "$run"
 for bench in abl_btlb abl_walk_overlap abl_tree_depth abl_queue_depth \
-             abl_walk_coalesce; do
+             abl_walk_coalesce abl_batch_shard; do
   echo "--- running $bench ---"
   (cd "$run" && "$build/bench/$bench" > "$bench.out")
 done
+
+# PR6 (batched/sharded event loop): host-side simulator throughput on
+# the 8-VF QD16 workload must not collapse back toward the seed's
+# single-heap rate. Wall-clock, so the floors sit ~2x below what a
+# loaded reference machine measures to absorb CI jitter. The
+# bench_events_per_sec floor additionally sits ~3x above the seed
+# tree's measured whole-bench rate (~0.2e6), so reverting the
+# event-lane / arena / allocator work trips it even on a fast box.
+python3 - "$run/BENCH_PR6.json" <<'EOF'
+import json
+import sys
+
+FLOORS = {
+    "events_per_sec": 1.0e6,       # steady phase; reference 2.6-5.1e6
+    "walk_events_per_sec": 1.0e6,  # walk-heavy phase; reference 2.4-5.9e6
+    "bench_events_per_sec": 0.6e6, # whole bench; reference ~1.5e6
+}
+
+with open(sys.argv[1]) as f:
+    metrics = {m["metric"]: m["value"] for m in json.load(f)["metrics"]}
+
+failed = False
+for name, floor in FLOORS.items():
+    rate = metrics[name]
+    print(f"abl_batch_shard: {name} = {rate:,.0f} (floor {floor:,.0f})")
+    if rate < floor:
+        failed = True
+if failed:
+    print("perf smoke FAILED: simulator event rate below floor")
+    sys.exit(1)
+EOF
 
 python3 - "$baseline" "$run/BENCH_PR3.json" <<'EOF'
 import json

@@ -90,7 +90,7 @@ FunctionDriver::reg_write(std::uint64_t offset, std::uint64_t value)
 util::Status
 FunctionDriver::push_command(const CommandRecord &record)
 {
-    std::vector<std::byte> buf(sizeof(record));
+    std::array<std::byte, sizeof(record)> buf;
     std::memcpy(buf.data(), &record, sizeof(record));
     return cmd_ring_->push(buf);
 }
@@ -194,7 +194,7 @@ FunctionDriver::handle_completion_irq()
 {
     if (!comp_ring_)
         return;
-    std::vector<std::byte> buf(sizeof(CompletionRecord));
+    std::array<std::byte, sizeof(CompletionRecord)> buf;
     bool need_flr = false;
     for (;;) {
         auto popped = comp_ring_->pop(buf);

@@ -28,6 +28,7 @@
 #include "pcie/interrupts.h"
 #include "pcie/mmio.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/status.h"
 
 namespace nesc::drv {
@@ -183,8 +184,8 @@ class FunctionDriver {
         sim::Time deadline = 0;
     };
     std::uint64_t next_request_ = 1;
-    std::unordered_map<std::uint64_t, PendingRequest> requests_;
-    std::unordered_map<std::uint64_t, std::uint64_t> tag_to_request_;
+    util::FlatMap<PendingRequest> requests_;
+    util::FlatMap<std::uint64_t> tag_to_request_;
 
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;

@@ -257,6 +257,9 @@ class NestFs {
     util::Status free_block_range(extent::Plba first, std::uint64_t count);
     bool bitmap_get(std::uint64_t block) const;
     void bitmap_set(std::uint64_t block, bool value);
+    /** First free block in [from, limit), or @p limit if none. */
+    std::uint64_t scan_free_bitmap(std::uint64_t from,
+                                   std::uint64_t limit) const;
     void stage_bitmap_block(std::uint64_t block);
 
     // Directory helpers.

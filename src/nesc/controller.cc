@@ -41,10 +41,21 @@ Controller::Controller(sim::Simulator &simulator,
       walk_coalescing_(config.walk_coalescing),
       coalesce_window_(config.coalesce_window_blocks),
       contexts_(static_cast<std::size_t>(config.max_vfs) + 1),
+      fetch_batch_(config.fetch_batch),
+      completion_batch_(config.completion_batch),
       quarantine_threshold_(config.quarantine_threshold),
       quarantine_window_(config.quarantine_window),
       link_observer_(tracer_)
 {
+    // Event-lane layout: shared lanes are opened once here;
+    // per-function mode opens a lane per active function instead
+    // (PF now, VFs at kCreateVf). Lane 0 stays the shared default
+    // lane carrying DMA, link and media events.
+    if (config_.event_lanes > 0) {
+        shared_lanes_.reserve(config_.event_lanes);
+        for (std::uint32_t i = 0; i < config_.event_lanes; ++i)
+            shared_lanes_.push_back(simulator_.register_lane());
+    }
     // Intern the hot pipeline counters once: per-block updates are then
     // a vector indexing, never a string-keyed map lookup.
     h_btlb_hits_ = metrics_.counter("btlb_hits");
@@ -64,6 +75,7 @@ Controller::Controller(sim::Simulator &simulator,
     FunctionContext &pf = contexts_[pcie::kPhysicalFunctionId];
     pf.active = true;
     pf.device_size_blocks = device_.geometry().num_blocks();
+    assign_function_lane(pf, pcie::kPhysicalFunctionId);
     // Every attributed DMA the device issues is policed by the
     // PF-programmed window table; a violation quarantines the fn.
     dma_.set_window_table(&dma_windows_);
@@ -240,6 +252,16 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
             return util::permission_denied_error(
                 "containment regs are PF-only");
         return static_cast<std::uint64_t>(quarantine_window_);
+      case reg::kFetchBatch:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "batching regs are PF-only");
+        return static_cast<std::uint64_t>(fetch_batch_);
+      case reg::kCompletionBatch:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "batching regs are PF-only");
+        return completion_batch_ ? std::uint64_t{1} : std::uint64_t{0};
       // Telemetry directory: PF-only (per-VF counters of *other*
       // functions are exactly the cross-VF side channel the rest of
       // the register file avoids). Invalid selections read all-ones,
@@ -351,8 +373,8 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         }
         tracer_.instant(obs::Stage::kDoorbell, fn, simulator_.now());
         c.fetch_in_progress = true;
-        simulator_.schedule_in(config_.doorbell_latency,
-                               [this, fn]() { fetch_commands(fn); });
+        simulator_.schedule_in_lane(c.lane, config_.doorbell_latency,
+                                    [this, fn]() { fetch_commands(fn); });
         return util::Status::ok();
       }
       case reg::kRewalkTree:
@@ -411,6 +433,12 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
       case reg::kQuarantineWindowNs:
         quarantine_window_ = static_cast<sim::Duration>(value);
         return util::Status::ok();
+      case reg::kFetchBatch:
+        fetch_batch_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kCompletionBatch:
+        completion_batch_ = value != 0;
+        return util::Status::ok();
       case reg::kTelemetrySelect:
         telemetry_select_ = static_cast<std::uint32_t>(value);
         return util::Status::ok();
@@ -438,6 +466,8 @@ Controller::pf_only_write(std::uint64_t offset)
       case reg::kQuarantineThreshold:
       case reg::kQuarantineWindowNs:
       case reg::kTelemetrySelect:
+      case reg::kFetchBatch:
+      case reg::kCompletionBatch:
         return true;
       default:
         return false;
@@ -460,8 +490,13 @@ Controller::mgmt_execute(MgmtCommand command)
         c.active = true;
         c.extent_tree_root = mgmt_extent_root_;
         c.device_size_blocks = mgmt_device_size_;
+        const auto vf = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        assign_function_lane(c, vf);
+        active_vfs_.insert(std::lower_bound(active_vfs_.begin(),
+                                            active_vfs_.end(), vf),
+                           vf);
         // A fresh VF never inherits the previous occupant's windows.
-        dma_windows_.clear(static_cast<pcie::FunctionId>(mgmt_vf_id_));
+        dma_windows_.clear(vf);
         metrics_.bump("vfs_created");
         return ok;
       }
@@ -479,6 +514,8 @@ Controller::mgmt_execute(MgmtCommand command)
         // with no completion.
         if (!function_quiescent(fn))
             return err;
+        retire_function_lane(c); // already-scheduled events drain
+        std::erase(active_vfs_, fn);
         c = FunctionContext{};
         btlb_.flush_function(fn);
         node_cache_.invalidate_function(fn);
@@ -620,10 +657,23 @@ Controller::fetch_commands(pcie::FunctionId fn)
         return;
     }
 
-    // Drain the ring; descriptor DMA is booked per record.
-    std::vector<std::byte> rec_buf(sizeof(CommandRecord));
+    // Drain the ring; descriptor DMA is booked per record. With
+    // kFetchBatch set the drain caps at that many descriptors and the
+    // engine reschedules itself, so one hostile or merely deep ring
+    // never monopolizes a fetch event.
+    const std::uint32_t batch = fetch_batch_;
+    std::array<std::byte, sizeof(CommandRecord)> rec_buf;
     std::uint64_t fetched = 0;
     for (;;) {
+        if (batch != 0 && fetched >= batch) {
+            // Batch spent: continue the drain in a fresh event. A
+            // doorbell landing meanwhile merges into the continuation.
+            c.fetch_in_progress = true;
+            simulator_.schedule_in_lane(
+                c.lane, config_.doorbell_latency,
+                [this, fn]() { fetch_commands(fn); });
+            break;
+        }
         auto popped = c.cmd_ring->pop(rec_buf);
         if (!popped.is_ok()) {
             // The header went bad between records (torn mid-drain).
@@ -649,10 +699,10 @@ Controller::fetch_commands(pcie::FunctionId fn)
             metrics_.bump("malformed_commands");
             tracer_.instant(obs::Stage::kValidateFail, fn,
                             simulator_.now(), rec.tag);
-            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
-            complete_block(BlockOp{fn, static_cast<Opcode>(rec.opcode), 0,
-                                   0, rec.tag},
-                           CompletionStatus::kMalformed);
+            BlockOp reject{fn, static_cast<Opcode>(rec.opcode), 0, 0,
+                           rec.tag};
+            reject.cmd = open_command(c, rec.tag, 1, 0);
+            complete_block(reject, CompletionStatus::kMalformed);
             note_validation_fault(fn, QuarantineCause::kMalformedStorm);
             if (c.quarantined)
                 break; // the fault storm tipped over mid-drain
@@ -663,18 +713,18 @@ Controller::fetch_commands(pcie::FunctionId fn)
         if (opcode == Opcode::kFlush) {
             // Durability barrier: the in-memory media model is always
             // durable, so a flush completes as soon as it is seen.
-            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
-            complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
-                           CompletionStatus::kOk);
+            BlockOp flush{fn, opcode, 0, 0, rec.tag};
+            flush.cmd = open_command(c, rec.tag, 1, 0);
+            complete_block(flush, CompletionStatus::kOk);
             continue;
         }
         if (rec.vlba >= c.device_size_blocks) {
             // Entirely out of range: reject at fetch instead of
             // expanding nblocks block ops that would each bounce off
             // the same bound in translation.
-            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
-            complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
-                           CompletionStatus::kOutOfRange);
+            BlockOp oor{fn, opcode, 0, 0, rec.tag};
+            oor.cmd = open_command(c, rec.tag, 1, 0);
+            complete_block(oor, CompletionStatus::kOutOfRange);
             continue;
         }
         // Check the data buffer against the DMA windows now, so a
@@ -687,22 +737,23 @@ Controller::fetch_commands(pcie::FunctionId fn)
                  .is_ok()) {
             ++c.stats.dma_violations;
             metrics_.bump("dma_violations");
-            c.pending[rec.tag] = PendingCommand{1, CompletionStatus::kOk};
-            complete_block(BlockOp{fn, opcode, 0, 0, rec.tag},
-                           CompletionStatus::kDmaFault);
+            BlockOp faulted{fn, opcode, 0, 0, rec.tag};
+            faulted.cmd = open_command(c, rec.tag, 1, 0);
+            complete_block(faulted, CompletionStatus::kDmaFault);
             quarantine(fn, QuarantineCause::kDmaViolation);
             break;
         }
 
         // Split into 1 KiB device-block operations (paper §IV.C).
-        c.pending[rec.tag] = PendingCommand{
-            rec.nblocks, CompletionStatus::kOk, simulator_.now()};
+        const CmdRef cmd =
+            open_command(c, rec.tag, rec.nblocks, simulator_.now());
         for (std::uint32_t b = 0; b < rec.nblocks; ++b) {
             BlockOp op{fn, opcode, rec.vlba + b,
                        rec.host_buffer +
                            static_cast<pcie::HostAddr>(b) *
                                kDeviceBlockSize,
                        rec.tag};
+            op.cmd = cmd;
             op.t_queued = simulator_.now();
             c.queue.push_back(op);
         }
@@ -713,11 +764,11 @@ Controller::fetch_commands(pcie::FunctionId fn)
         return;
     }
     arm_watchdog(fn);
-    if (c.doorbell_rearm) {
+    if (c.doorbell_rearm && !c.fetch_in_progress) {
         c.doorbell_rearm = false;
         c.fetch_in_progress = true;
-        simulator_.schedule_in(config_.doorbell_latency,
-                               [this, fn]() { fetch_commands(fn); });
+        simulator_.schedule_in_lane(c.lane, config_.doorbell_latency,
+                                    [this, fn]() { fetch_commands(fn); });
     }
     pump();
 }
@@ -846,20 +897,16 @@ Controller::quarantine(pcie::FunctionId fn, QuarantineCause cause)
     // order for determinism (pending is an unordered map).
     std::vector<std::uint64_t> tags;
     tags.reserve(c.pending.size());
-    for (const auto &[tag, cmd] : c.pending)
+    for (const auto &[tag, cmd] : c.pending) {
         tags.push_back(tag);
+        cmd_arena_.release(cmd);
+    }
     std::sort(tags.begin(), tags.end());
     c.pending.clear();
     c.stats.aborted_ops += tags.size();
     metrics_.bump("aborted_ops", tags.size());
-    for (std::uint64_t tag : tags) {
-        simulator_.schedule_in(config_.completion_cost,
-                               [this, fn, tag]() {
-                                   post_completion(
-                                       fn, tag,
-                                       CompletionStatus::kAborted);
-                               });
-    }
+    for (std::uint64_t tag : tags)
+        enqueue_completion(fn, tag, CompletionStatus::kAborted);
     // One PF notification per quarantine entry; the per-fault IRQs a
     // misbehaving guest could otherwise storm with are suppressed
     // while it stays quarantined.
@@ -917,17 +964,23 @@ Controller::arbitrate()
         return c.active && !c.quarantined &&
                c.fault == FaultKind::kNone && !c.queue.empty();
     };
-    const std::uint32_t nfuncs = config_.max_vfs;
+    // Only active VFs can be eligible, so the turn-over scan walks the
+    // sorted active list in the same cyclic id order a full 1..max_vfs
+    // sweep would visit — identical selection, without burning a
+    // 64-slot scan per refill on sparse configs.
     std::uint32_t scanned = 0;
     while (vlba_queue_.size() < config_.vlba_queue_depth) {
         if (rr_credit_ == 0 || !eligible(rr_current_)) {
             // Turn over: find the next VF with queued work.
             bool found = false;
-            while (scanned < nfuncs) {
-                rr_current_ = rr_current_ >= config_.max_vfs
-                                  ? pcie::FunctionId{1}
-                                  : static_cast<pcie::FunctionId>(
-                                        rr_current_ + 1);
+            const pcie::FunctionId rr_entry = rr_current_;
+            auto it = std::upper_bound(active_vfs_.begin(),
+                                       active_vfs_.end(), rr_current_);
+            while (scanned < active_vfs_.size()) {
+                if (it == active_vfs_.end())
+                    it = active_vfs_.begin();
+                rr_current_ = *it;
+                ++it;
                 ++scanned;
                 if (eligible(rr_current_)) {
                     rr_credit_ = ctx(rr_current_).qos_weight;
@@ -935,8 +988,12 @@ Controller::arbitrate()
                     break;
                 }
             }
-            if (!found)
+            if (!found) {
+                // A fruitless full sweep leaves the turn where it was
+                // (the 1..max_vfs scan wrapped to its start point).
+                rr_current_ = rr_entry;
                 break; // nothing runnable anywhere
+            }
         }
         FunctionContext &c = ctx(rr_current_);
         c.queue.front().t_arbitrated = simulator_.now();
@@ -962,8 +1019,9 @@ Controller::start_walks()
         vlba_queue_.pop_front();
         ++active_walks_;
         // The BTLB probe and pipeline bookkeeping take a fixed cost.
-        simulator_.schedule_in(config_.translation_cost,
-                               [this, op]() { begin_translation(op); });
+        simulator_.schedule_in_lane(ctx(op.fn).lane,
+                                    config_.translation_cost,
+                                    [this, op]() { begin_translation(op); });
     }
 }
 
@@ -1003,7 +1061,8 @@ Controller::begin_translation(BlockOp op)
         // MSHR attachment: a concurrent miss near an in-flight walk of
         // the same function rides that walk instead of spawning its
         // own — one set of node DMAs serves the whole burst.
-        for (const auto &walk : inflight_walks_) {
+        for (const WalkRef &wref : inflight_walks_) {
+            Walk *walk = walk_arena_.get(wref); // live by invariant
             if (walk->op.fn != op.fn)
                 continue;
             const extent::Vlba a = walk->op.vlba;
@@ -1017,44 +1076,49 @@ Controller::begin_translation(BlockOp op)
             return;
         }
     }
-    auto walk = std::make_shared<Walk>();
-    walk->op = op;
-    walk->node = c.extent_tree_root;
-    walk->generation = c.tree_generation;
-    walk->t_start = simulator_.now();
-    if (walk->node == pcie::kNullHostAddr) {
+    if (c.extent_tree_root == pcie::kNullHostAddr) {
         // No tree at all: treat as a fully pruned mapping.
         finish_fault(op, FaultKind::kPruned);
         release_walker();
         pump();
         return;
     }
-    inflight_walks_.push_back(walk);
-    walk_node(walk);
+    const WalkRef ref = walk_arena_.acquire();
+    Walk *walk = walk_arena_.get(ref);
+    walk->op = op;
+    walk->node = c.extent_tree_root;
+    walk->levels = 0;
+    walk->generation = c.tree_generation;
+    walk->t_start = simulator_.now();
+    walk->secondaries.clear(); // recycled slot: keep the capacity
+    inflight_walks_.push_back(ref);
+    walk_node(ref);
 }
 
 void
-Controller::walk_node(std::shared_ptr<Walk> walk)
+Controller::walk_node(WalkRef ref)
 {
     // Level latency = header DMA + entries DMA + parse; the two DMA
     // transactions are what the overlapped walkers hide (§V.B) and
     // what the node cache removes entirely on a hit.
+    Walk *walk = walk_arena_.get(ref);
     ++walk->levels;
+    const sim::LaneId lane = ctx(walk->op.fn).lane;
     if (node_cache_.enabled()) {
         if (const ExtentNodeCache::Node *cached =
                 node_cache_.lookup(walk->op.fn, walk->node)) {
             metrics_.add(h_node_cache_hits_);
             if (walk->levels > kMaxWalkDepth) {
-                walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
+                walk_resolved_fault(ref, FaultKind::kTreeCorrupt);
                 return;
             }
-            simulator_.schedule_in(
-                config_.node_parse_cost,
-                [this, walk, header = cached->header,
+            simulator_.schedule_in_lane(
+                lane, config_.node_parse_cost,
+                [this, ref, header = cached->header,
                  data = cached->entries]() {
-                    if (walk_canceled(walk))
+                    if (walk_canceled(ref))
                         return;
-                    walk_process(walk, header.kind, header.count, data);
+                    walk_process(ref, header.kind, header.count, data);
                 });
             return;
         }
@@ -1062,20 +1126,22 @@ Controller::walk_node(std::shared_ptr<Walk> walk)
     }
     metrics_.add(h_walk_node_reads_);
     dma_.read(walk->op.fn, walk->node, sizeof(NodeHeaderRecord),
-              [this, walk](util::Status status,
-                           std::vector<std::byte> data) {
-                  if (walk_canceled(walk))
+              [this, ref, lane](util::Status status,
+                                std::vector<std::byte> data) {
+                  const bool whole = data.size() >= sizeof(NodeHeaderRecord);
+                  NodeHeaderRecord header{};
+                  if (whole)
+                      std::memcpy(&header, data.data(), sizeof(header));
+                  dma_.recycle_buffer(std::move(data));
+                  if (walk_canceled(ref))
                       return;
-                  if (!status.is_ok() ||
-                      data.size() < sizeof(NodeHeaderRecord)) {
+                  if (!status.is_ok() || !whole) {
                       // Poisoned or failed node read: contain it to
                       // the faulting VF instead of killing the op with
                       // an opaque internal error.
-                      walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
+                      walk_resolved_fault(ref, FaultKind::kTreeCorrupt);
                       return;
                   }
-                  NodeHeaderRecord header;
-                  std::memcpy(&header, data.data(), sizeof(header));
                   const bool kind_ok =
                       header.kind == static_cast<NodeKindTag>(
                                          NodeKind::kInternal) ||
@@ -1084,50 +1150,55 @@ Controller::walk_node(std::shared_ptr<Walk> walk)
                   if (header.magic != extent::kNodeMagic || !kind_ok ||
                       header.count > kMaxNodeEntries ||
                       header.depth > kMaxWalkDepth ||
-                      walk->levels > kMaxWalkDepth) {
-                      walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
+                      walk_arena_.get(ref)->levels > kMaxWalkDepth) {
+                      walk_resolved_fault(ref, FaultKind::kTreeCorrupt);
                       return;
                   }
-                  simulator_.schedule_in(
-                      config_.node_parse_cost, [this, walk, header]() {
-                          walk_entries(walk, header.kind, header.count);
+                  simulator_.schedule_in_lane(
+                      lane, config_.node_parse_cost,
+                      [this, ref, header]() {
+                          walk_entries(ref, header.kind, header.count);
                       });
               });
 }
 
 void
-Controller::walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
+Controller::walk_entries(WalkRef ref, NodeKindTag kind,
                          std::uint32_t count)
 {
+    Walk *walk = walk_arena_.get(ref);
     const std::uint64_t bytes =
         static_cast<std::uint64_t>(count) * extent::kEntrySize;
     dma_.read(
         walk->op.fn, extent::entry_addr(walk->node, 0), bytes,
-        [this, walk, kind, count](util::Status status,
-                                  std::vector<std::byte> data) {
-            if (walk_canceled(walk))
+        [this, ref, kind, count](util::Status status,
+                                 std::vector<std::byte> data) {
+            if (walk_canceled(ref))
                 return;
             if (!status.is_ok()) {
-                walk_resolved_fault(walk, FaultKind::kTreeCorrupt);
+                walk_resolved_fault(ref, FaultKind::kTreeCorrupt);
                 return;
             }
             if (node_cache_.enabled()) {
                 // The node passed the header sanity checks; cache the
                 // image so the next walk skips both DMA reads.
+                Walk *walk = walk_arena_.get(ref);
                 NodeHeaderRecord header{extent::kNodeMagic, kind,
                                         static_cast<std::uint16_t>(count),
                                         0};
                 node_cache_.insert(walk->op.fn, walk->node, header, data);
             }
-            walk_process(walk, kind, count, data);
+            walk_process(ref, kind, count, data);
+            dma_.recycle_buffer(std::move(data));
         });
 }
 
 void
-Controller::walk_process(std::shared_ptr<Walk> walk, NodeKindTag kind,
+Controller::walk_process(WalkRef ref, NodeKindTag kind,
                          std::uint32_t count,
                          const std::vector<std::byte> &data)
 {
+    Walk *walk = walk_arena_.get(ref);
     const extent::Vlba vlba = walk->op.vlba;
 
     if (kind == static_cast<NodeKindTag>(NodeKind::kLeaf)) {
@@ -1138,13 +1209,13 @@ Controller::walk_process(std::shared_ptr<Walk> walk, NodeKindTag kind,
             const extent::Extent ext{rec.first_vblock, rec.nblocks,
                                      rec.first_pblock};
             if (ext.contains(vlba)) {
-                walk_resolved_mapped(walk, ext);
+                walk_resolved_mapped(ref, ext);
                 return;
             }
             if (rec.first_vblock > vlba)
                 break;
         }
-        walk_resolved_hole(walk);
+        walk_resolved_hole(ref);
         return;
     }
 
@@ -1156,52 +1227,58 @@ Controller::walk_process(std::shared_ptr<Walk> walk, NodeKindTag kind,
         if (vlba >= rec.first_vblock &&
             vlba < rec.first_vblock + rec.nblocks) {
             if (rec.child == pcie::kNullHostAddr) {
-                walk_resolved_fault(walk, FaultKind::kPruned);
+                walk_resolved_fault(ref, FaultKind::kPruned);
                 return;
             }
             walk->node = rec.child;
-            simulator_.schedule_in(config_.node_parse_cost,
-                                   [this, walk]() { walk_node(walk); });
+            simulator_.schedule_in_lane(ctx(walk->op.fn).lane,
+                                        config_.node_parse_cost,
+                                        [this, ref]() { walk_node(ref); });
             return;
         }
         if (rec.first_vblock > vlba)
             break;
     }
-    walk_resolved_hole(walk);
+    walk_resolved_hole(ref);
 }
 
 bool
-Controller::walk_canceled(const std::shared_ptr<Walk> &walk)
+Controller::walk_canceled(WalkRef ref)
 {
+    Walk *walk = walk_arena_.get(ref);
     FunctionContext &c = ctx(walk->op.fn);
     if (c.active && walk->generation == c.tree_generation)
         return false;
     // The mapping moved under the walk (SetExtentRoot, rewalk, reset)
     // or the function is gone: the result would be stale, so the ops
     // go back through translation against the current tree.
-    retire_walk(walk);
+    std::vector<BlockOp> ops;
     if (c.active && !c.quarantined) {
-        std::vector<BlockOp> ops;
         ops.reserve(1 + walk->secondaries.size());
         ops.push_back(walk->op);
         ops.insert(ops.end(), walk->secondaries.begin(),
                    walk->secondaries.end());
-        replay_ops(std::move(ops), false);
     }
+    retire_walk(ref);
+    if (!ops.empty())
+        replay_ops(std::move(ops), false);
     release_walker();
     pump();
     return true;
 }
 
 void
-Controller::walk_resolved_mapped(const std::shared_ptr<Walk> &walk,
-                                 const extent::Extent &extent)
+Controller::walk_resolved_mapped(WalkRef ref, const extent::Extent &extent)
 {
-    retire_walk(walk);
+    Walk *walk = walk_arena_.get(ref);
     btlb_.insert(walk->op.fn, extent, walk->op.vlba);
-    finish_mapped(walk->op, extent);
+    const BlockOp primary = walk->op;
+    std::vector<BlockOp> secondaries = std::move(walk->secondaries);
+    walk->secondaries.clear();
+    retire_walk(ref);
+    finish_mapped(primary, extent);
     std::vector<BlockOp> replay;
-    for (BlockOp &s : walk->secondaries) {
+    for (BlockOp &s : secondaries) {
         if (extent.contains(s.vlba)) {
             // The attached miss resolves with the primary's extent:
             // zero extra DMA for it.
@@ -1218,41 +1295,51 @@ Controller::walk_resolved_mapped(const std::shared_ptr<Walk> &walk,
 }
 
 void
-Controller::walk_resolved_hole(const std::shared_ptr<Walk> &walk)
+Controller::walk_resolved_hole(WalkRef ref)
 {
-    retire_walk(walk);
-    finish_hole(walk->op);
+    Walk *walk = walk_arena_.get(ref);
+    const BlockOp primary = walk->op;
+    std::vector<BlockOp> secondaries = std::move(walk->secondaries);
+    walk->secondaries.clear();
+    retire_walk(ref);
+    finish_hole(primary);
     // A hole only says the primary's vLBA is unmapped; secondaries
     // re-translate individually.
-    if (!walk->secondaries.empty())
-        replay_ops(std::move(walk->secondaries), true);
+    if (!secondaries.empty())
+        replay_ops(std::move(secondaries), true);
     release_walker();
     pump();
 }
 
 void
-Controller::walk_resolved_fault(const std::shared_ptr<Walk> &walk,
-                                FaultKind kind)
+Controller::walk_resolved_fault(WalkRef ref, FaultKind kind)
 {
-    retire_walk(walk);
-    finish_fault(walk->op, kind);
+    Walk *walk = walk_arena_.get(ref);
+    const BlockOp primary = walk->op;
+    std::vector<BlockOp> secondaries = std::move(walk->secondaries);
+    walk->secondaries.clear();
+    retire_walk(ref);
+    finish_fault(primary, kind);
     // Secondaries park behind the same fault, after the primary, so a
     // rewalk re-issues them in arrival order.
-    FunctionContext &c = ctx(walk->op.fn);
-    for (BlockOp &s : walk->secondaries)
+    FunctionContext &c = ctx(primary.fn);
+    for (BlockOp &s : secondaries)
         c.stalled_ops.push_back(s);
     release_walker();
     pump();
 }
 
 void
-Controller::retire_walk(const std::shared_ptr<Walk> &walk)
+Controller::retire_walk(WalkRef ref)
 {
     // Every walk resolution path funnels through here, so this is the
     // one place the kWalk span (launch to resolution) is recorded.
+    // Releasing the slot makes every outstanding ref to it stale.
+    Walk *walk = walk_arena_.get(ref);
     tracer_.span(obs::Stage::kWalk, walk->op.fn, walk->t_start,
                  simulator_.now(), walk->op.tag, walk->levels);
-    std::erase(inflight_walks_, walk);
+    std::erase(inflight_walks_, ref);
+    walk_arena_.release(ref);
 }
 
 void
@@ -1362,7 +1449,7 @@ Controller::fail_stalled(pcie::FunctionId fn)
     c.fault = FaultKind::kNone;
     c.miss_address = 0;
     c.miss_size = 0;
-    std::deque<BlockOp> parked;
+    util::RingQueue<BlockOp> parked;
     parked.swap(c.stalled_ops);
     // Only writes missed: reads parked behind the fault were stalled
     // by ordering alone, so requeue them (ahead of newer arrivals,
@@ -1406,8 +1493,10 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
         // Media read, then DMA the payload to the host buffer.
         const sim::Time media_done = device_.service_read(
             simulator_.now(), media_offset, kDeviceBlockSize);
-        simulator_.schedule_at(media_done, [this, op, media_offset]() {
-            std::vector<std::byte> data(kDeviceBlockSize);
+        simulator_.schedule_at_lane(
+            ctx(op.fn).lane, media_done, [this, op, media_offset]() {
+            std::vector<std::byte> data =
+                dma_.acquire_buffer(kDeviceBlockSize);
             util::Status status = device_.read(media_offset, data);
             if (!status.is_ok()) {
                 --inflight_transfers_;
@@ -1453,10 +1542,11 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
                       return;
                   }
                   util::Status wstatus = device_.write(media_offset, data);
+                  dma_.recycle_buffer(std::move(data));
                   const sim::Time media_done = device_.service_write(
                       simulator_.now(), media_offset, kDeviceBlockSize);
-                  simulator_.schedule_at(
-                      media_done, [this, op, wstatus]() {
+                  simulator_.schedule_at_lane(
+                      ctx(op.fn).lane, media_done, [this, op, wstatus]() {
                           --inflight_transfers_;
                           if (!wstatus.is_ok()) {
                               ++ctx(op.fn).stats.media_errors;
@@ -1503,6 +1593,25 @@ Controller::start_zero_fill(const BlockOp &original)
 // Completion
 // --------------------------------------------------------------------
 
+Controller::CmdRef
+Controller::open_command(FunctionContext &c, std::uint64_t tag,
+                         std::uint32_t remaining, sim::Time t_start)
+{
+    const CmdRef ref = cmd_arena_.acquire();
+    PendingCommand *cmd = cmd_arena_.get(ref);
+    cmd->remaining = remaining;
+    cmd->status = CompletionStatus::kOk;
+    cmd->t_start = t_start;
+    // A guest reusing a live tag orphans the old command: its ref is
+    // released here, so blocks still in flight for it drop on the
+    // stale-handle miss instead of aliasing the new command.
+    if (auto [it, inserted] = c.pending.try_emplace(tag, ref); !inserted) {
+        cmd_arena_.release(it->second);
+        it->second = ref;
+    }
+    return ref;
+}
+
 void
 Controller::complete_block(const BlockOp &op, CompletionStatus status)
 {
@@ -1525,35 +1634,78 @@ Controller::complete_block(const BlockOp &op, CompletionStatus status)
                          now, op.tag, op.vlba);
         }
     }
-    FunctionContext &c = ctx(op.fn);
-    auto it = c.pending.find(op.tag);
-    if (it == c.pending.end())
-        return; // command was torn down (VF delete)
+    PendingCommand *cmd = cmd_arena_.get(op.cmd);
+    if (cmd == nullptr)
+        return; // command was torn down (abort/quarantine/VF delete)
     if (status != CompletionStatus::kOk)
-        it->second.status = status;
-    if (--it->second.remaining > 0)
+        cmd->status = status;
+    if (--cmd->remaining > 0)
         return;
-    const CompletionStatus final_status = it->second.status;
-    c.pending.erase(it);
-    simulator_.schedule_in(config_.completion_cost,
-                           [this, fn = op.fn, tag = op.tag,
-                            final_status]() {
-                               post_completion(fn, tag, final_status);
-                           });
+    const CompletionStatus final_status = cmd->status;
+    FunctionContext &c = ctx(op.fn);
+    c.pending.erase(op.tag);
+    cmd_arena_.release(op.cmd);
+    enqueue_completion(op.fn, op.tag, final_status);
+}
+
+void
+Controller::enqueue_completion(pcie::FunctionId fn, std::uint64_t tag,
+                               CompletionStatus status)
+{
+    FunctionContext &c = ctx(fn);
+    if (!completion_batch_) {
+        // Paper behavior: one CQ write plus one MSI per completion,
+        // each in its own event after the completion-engine latency.
+        simulator_.schedule_in_lane(c.lane, config_.completion_cost,
+                                    [this, fn, tag, status]() {
+                                        post_completion(fn, tag, status);
+                                    });
+        return;
+    }
+    // Batched mode: queue the record and flush the window's worth in
+    // one event — one pass over the ring, one MSI for the lot.
+    c.comp_batch.push_back(QueuedCompletion{tag, status});
+    if (!c.comp_flush_scheduled) {
+        c.comp_flush_scheduled = true;
+        simulator_.schedule_in_lane(c.lane, config_.completion_cost,
+                                    [this, fn]() { flush_completions(fn); });
+    }
+}
+
+void
+Controller::flush_completions(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
+    c.comp_flush_scheduled = false;
+    std::vector<QueuedCompletion> batch;
+    batch.swap(c.comp_batch);
+    bool raise = false;
+    for (const QueuedCompletion &qc : batch)
+        raise = post_completion_record(fn, qc.tag, qc.status) || raise;
+    if (raise)
+        raise_completion_irq(fn);
 }
 
 void
 Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
                             CompletionStatus status)
 {
+    if (post_completion_record(fn, tag, status))
+        raise_completion_irq(fn);
+}
+
+bool
+Controller::post_completion_record(pcie::FunctionId fn, std::uint64_t tag,
+                                   CompletionStatus status)
+{
     FunctionContext &c = ctx(fn);
     if (!c.active)
-        return;
+        return false;
     if (!c.comp_ring) {
         auto ring = pcie::HostRing::attach(host_memory_, c.comp_ring_base);
         if (!ring.is_ok()) {
             NESC_LOG_WARN("fn %u: completion with no completion ring", fn);
-            return;
+            return false;
         }
         pcie::HostRing attached = std::move(ring).value();
         if (attached.record_size() != sizeof(CompletionRecord) ||
@@ -1563,7 +1715,7 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
             ++c.stats.ring_corruptions;
             metrics_.bump("ring_corruptions");
             note_validation_fault(fn, QuarantineCause::kRingCorrupt);
-            return;
+            return false;
         }
         // Completions are device writes into guest memory: a confined
         // fn's completion ring must also sit inside its windows.
@@ -1573,11 +1725,11 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
                                    attached.capacity(),
                                    attached.record_size()))
                  .is_ok())
-            return; // the violation hook has quarantined the fn
+            return false; // the violation hook has quarantined the fn
         c.comp_ring = std::move(attached);
     }
     CompletionRecord rec{tag, static_cast<std::uint32_t>(status), 0};
-    std::vector<std::byte> buf(sizeof(rec));
+    std::array<std::byte, sizeof(rec)> buf;
     std::memcpy(buf.data(), &rec, sizeof(rec));
     dma_.book(sizeof(rec));
     util::Status pushed = c.comp_ring->push(buf);
@@ -1595,6 +1747,13 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
     metrics_.add(h_completions_);
     tracer_.instant(obs::Stage::kComplete, fn, simulator_.now(), tag,
                     static_cast<std::uint64_t>(status));
+    return true;
+}
+
+void
+Controller::raise_completion_irq(pcie::FunctionId fn)
+{
+    FunctionContext &c = ctx(fn);
     const pcie::IrqVector vector =
         c.irq_vector ? c.irq_vector : completion_vector(fn);
     if (config_.irq_coalesce == 0) {
@@ -1606,12 +1765,13 @@ Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
     if (c.irq_pending)
         return;
     c.irq_pending = true;
-    simulator_.schedule_in(config_.irq_coalesce, [this, fn, vector]() {
-        FunctionContext &fc = ctx(fn);
-        fc.irq_pending = false;
-        if (fc.active)
-            irq_.raise(vector);
-    });
+    simulator_.schedule_in_lane(
+        c.lane, config_.irq_coalesce, [this, fn, vector]() {
+            FunctionContext &fc = ctx(fn);
+            fc.irq_pending = false;
+            if (fc.active)
+                irq_.raise(vector);
+        });
     metrics_.bump("irqs_coalesced");
 }
 
@@ -1627,8 +1787,8 @@ Controller::arm_watchdog(pcie::FunctionId fn)
         return;
     // One timer per function, aimed at the oldest command's deadline.
     sim::Time earliest = ~sim::Time{0};
-    for (const auto &[tag, cmd] : c.pending)
-        earliest = std::min(earliest, cmd.t_start);
+    for (const auto &[tag, ref] : c.pending)
+        earliest = std::min(earliest, cmd_arena_.get(ref)->t_start);
     // Saturate: a deadline past the end of time must never wrap into
     // the past and spin the fire/rearm pair at a single timestamp.
     const sim::Time deadline =
@@ -1636,7 +1796,8 @@ Controller::arm_watchdog(pcie::FunctionId fn)
                                                  : earliest + c.watchdog_ns;
     const sim::Time expiry = std::max(deadline, simulator_.now());
     c.watchdog_armed = true;
-    simulator_.schedule_at(expiry, [this, fn]() { watchdog_fire(fn); });
+    simulator_.schedule_at_lane(c.lane, expiry,
+                                [this, fn]() { watchdog_fire(fn); });
 }
 
 void
@@ -1648,8 +1809,8 @@ Controller::watchdog_fire(pcie::FunctionId fn)
         return;
     const sim::Time now = simulator_.now();
     std::vector<std::uint64_t> expired;
-    for (const auto &[tag, cmd] : c.pending)
-        if (now - cmd.t_start >= c.watchdog_ns)
+    for (const auto &[tag, ref] : c.pending)
+        if (now - cmd_arena_.get(ref)->t_start >= c.watchdog_ns)
             expired.push_back(tag);
     for (std::uint64_t tag : expired)
         abort_command(fn, tag);
@@ -1666,11 +1827,12 @@ Controller::abort_command(pcie::FunctionId fn, std::uint64_t tag)
         return;
     // Tear down every queued copy of the command; blocks already in
     // the transfer stage drop on completion via the pending-map miss.
-    std::erase_if(c.queue,
-                  [tag](const BlockOp &op) { return op.tag == tag; });
-    std::erase_if(c.stalled_ops,
-                  [tag](const BlockOp &op) { return op.tag == tag; });
+    c.queue.erase_if(
+        [tag](const BlockOp &op) { return op.tag == tag; });
+    c.stalled_ops.erase_if(
+        [tag](const BlockOp &op) { return op.tag == tag; });
     purge_shared_queues(fn, tag);
+    cmd_arena_.release(it->second);
     c.pending.erase(it);
     ++c.stats.aborted_ops;
     metrics_.bump("aborted_ops");
@@ -1678,9 +1840,7 @@ Controller::abort_command(pcie::FunctionId fn, std::uint64_t tag)
     // Fault state (if any) stays latched: an abort is a deadline miss,
     // not a recovery — the hypervisor services the fault or the driver
     // escalates to a function-level reset.
-    simulator_.schedule_in(config_.completion_cost, [this, fn, tag]() {
-        post_completion(fn, tag, CompletionStatus::kAborted);
-    });
+    enqueue_completion(fn, tag, CompletionStatus::kAborted);
 }
 
 void
@@ -1692,7 +1852,12 @@ Controller::function_level_reset(pcie::FunctionId fn)
     purge_shared_queues(fn, std::nullopt);
     c.queue.clear();
     c.stalled_ops.clear();
-    c.pending.clear(); // in-flight transfers drop on the pending miss
+    // In-flight transfers drop on the stale command-handle miss.
+    for (const auto &[tag, ref] : c.pending)
+        cmd_arena_.release(ref);
+    c.pending.clear();
+    c.comp_batch.clear();
+    c.comp_flush_scheduled = false;
     c.fault = FaultKind::kNone;
     c.miss_address = 0;
     c.miss_size = 0;
@@ -1724,9 +1889,9 @@ Controller::purge_shared_queues(pcie::FunctionId fn,
     auto match = [fn, tag](const BlockOp &op) {
         return op.fn == fn && (!tag || op.tag == *tag);
     };
-    std::erase_if(vlba_queue_, match);
-    std::erase_if(plba_queue_,
-                  [&](const auto &entry) { return match(entry.first); });
+    vlba_queue_.erase_if(match);
+    plba_queue_.erase_if(
+        [&](const auto &entry) { return match(entry.first); });
 }
 
 void
@@ -1743,6 +1908,27 @@ Controller::disable_tracing()
     tracer_.disable();
     dma_.set_tracer(nullptr);
     dma_.link().set_observer(nullptr);
+}
+
+void
+Controller::assign_function_lane(FunctionContext &c, pcie::FunctionId fn)
+{
+    if (!shared_lanes_.empty()) {
+        c.lane = shared_lanes_[fn % shared_lanes_.size()];
+        return;
+    }
+    // Lane-per-function mode (the default): each function's command
+    // lifecycle events sort within a private heap; order across
+    // functions is settled by the top-level selector on (when, seq).
+    c.lane = simulator_.register_lane();
+}
+
+void
+Controller::retire_function_lane(FunctionContext &c)
+{
+    if (shared_lanes_.empty() && c.lane != sim::Simulator::kDefaultLane)
+        simulator_.release_lane(c.lane);
+    c.lane = sim::Simulator::kDefaultLane;
 }
 
 bool

@@ -41,8 +41,11 @@
 #include "pcie/host_ring.h"
 #include "pcie/interrupts.h"
 #include "pcie/mmio.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 #include "storage/block_device.h"
+#include "util/flat_map.h"
+#include "util/ring_queue.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -114,6 +117,27 @@ struct ControllerConfig {
      * into billions of queued block ops).
      */
     std::uint32_t max_command_blocks = 65536; // 64 MiB per command
+    /**
+     * Simulator event-lane layout: 0 (default) gives every active
+     * function its own lane; N > 0 spreads functions over N shared
+     * lanes (fn modulo N). Purely a wall-clock/scaling knob — the
+     * simulator's global-sequence tie-break makes execution order
+     * independent of lane layout (see sim/simulator.h).
+     */
+    std::uint32_t event_lanes = 0;
+    /**
+     * Descriptors fetched per fetch event (reg::kFetchBatch); the
+     * fetch engine reschedules itself to continue longer drains.
+     * 0 = drain the whole ring in one event (paper behaviour).
+     */
+    std::uint32_t fetch_batch = 0;
+    /**
+     * Coalesce a function's completion CQ writes landing in one
+     * completion_cost window into a single flush event raising one
+     * MSI (reg::kCompletionBatch). Off = one CQ write + MSI per
+     * completion (paper behaviour).
+     */
+    bool completion_batch = false;
 };
 
 /** Translation fault kinds (drives the hypervisor's service path). */
@@ -225,6 +249,20 @@ class Controller : public pcie::FunctionMmioDevice {
     bool quiescent() const;
 
   private:
+    /** Outstanding command: blocks remaining + sticky worst status. */
+    struct PendingCommand {
+        std::uint32_t remaining = 0;
+        CompletionStatus status = CompletionStatus::kOk;
+        sim::Time t_start = 0; ///< fetch time, for the command watchdog
+    };
+    /**
+     * Generational reference into the command arena. Block ops carry
+     * one, so per-block completion is an index, not a hash lookup; a
+     * stale ref (FLR/abort/quarantine released the command) is the
+     * drop-the-work teardown signal.
+     */
+    using CmdRef = sim::Arena<PendingCommand>::Handle;
+
     /** One device block operation (commands split to 1 KiB blocks). */
     struct BlockOp {
         pcie::FunctionId fn;
@@ -232,6 +270,7 @@ class Controller : public pcie::FunctionMmioDevice {
         extent::Vlba vlba;
         pcie::HostAddr buffer; ///< host address for this block's data
         std::uint64_t tag;
+        CmdRef cmd; ///< owning command in cmd_arena_
         /**
          * Set when the op was replayed after riding an in-flight walk
          * that did not resolve it; a replayed op always launches its
@@ -244,11 +283,10 @@ class Controller : public pcie::FunctionMmioDevice {
         sim::Time t_translated = 0; ///< translation resolved
     };
 
-    /** Outstanding command: blocks remaining + sticky worst status. */
-    struct PendingCommand {
-        std::uint32_t remaining;
+    /** A completion waiting in a function's coalesced flush batch. */
+    struct QueuedCompletion {
+        std::uint64_t tag;
         CompletionStatus status;
-        sim::Time t_start = 0; ///< fetch time, for the command watchdog
     };
 
     /** Per-function device context. */
@@ -299,9 +337,20 @@ class Controller : public pcie::FunctionMmioDevice {
          * result derived from the stale tree.
          */
         std::uint64_t tree_generation = 0;
-        std::deque<BlockOp> queue;       ///< awaiting arbitration
-        std::deque<BlockOp> stalled_ops; ///< parked on a fault
-        std::unordered_map<std::uint64_t, PendingCommand> pending;
+        /**
+         * The function's simulator event lane. Default-lane until the
+         * function activates; FnReset keeps the lane, DeleteVf
+         * releases it (per-function mode) or leaves the shared lane
+         * alone (event_lanes > 0).
+         */
+        sim::LaneId lane = sim::Simulator::kDefaultLane;
+        /** Completions awaiting the coalesced flush (kCompletionBatch). */
+        std::vector<QueuedCompletion> comp_batch;
+        bool comp_flush_scheduled = false;
+        util::RingQueue<BlockOp> queue; ///< awaiting arbitration
+        util::RingQueue<BlockOp> stalled_ops; ///< parked on a fault
+        /** tag -> live command in cmd_arena_ (per-tag ops: abort). */
+        util::FlatMap<CmdRef> pending;
         FunctionStats stats;
     };
 
@@ -320,6 +369,13 @@ class Controller : public pcie::FunctionMmioDevice {
          */
         std::vector<BlockOp> secondaries;
     };
+    /**
+     * Generational reference into the walk arena (the walk-MSHR
+     * pool). Walk continuations capture the 8-byte ref instead of a
+     * shared_ptr; ownership is single-chained, so each ref is live
+     * until its resolution path retires it.
+     */
+    using WalkRef = sim::Arena<Walk>::Handle;
 
     // Pipeline stages.
     void pump();
@@ -327,10 +383,10 @@ class Controller : public pcie::FunctionMmioDevice {
     void arbitrate();
     void start_walks();
     void begin_translation(BlockOp op);
-    void walk_node(std::shared_ptr<Walk> walk);
-    void walk_entries(std::shared_ptr<Walk> walk, NodeKindTag kind,
+    void walk_node(WalkRef walk);
+    void walk_entries(WalkRef walk, NodeKindTag kind,
                       std::uint32_t count);
-    void walk_process(std::shared_ptr<Walk> walk, NodeKindTag kind,
+    void walk_process(WalkRef walk, NodeKindTag kind,
                       std::uint32_t count,
                       const std::vector<std::byte> &data);
     /**
@@ -338,15 +394,14 @@ class Controller : public pcie::FunctionMmioDevice {
      * generation moved while the walk was in flight; the walk is then
      * retired and its ops replayed (stale results are never used).
      */
-    bool walk_canceled(const std::shared_ptr<Walk> &walk);
+    bool walk_canceled(WalkRef walk);
     // Walk resolution: retire the walk, settle its secondaries,
     // release the walker slot.
-    void walk_resolved_mapped(const std::shared_ptr<Walk> &walk,
-                              const extent::Extent &extent);
-    void walk_resolved_hole(const std::shared_ptr<Walk> &walk);
-    void walk_resolved_fault(const std::shared_ptr<Walk> &walk,
-                             FaultKind kind);
-    void retire_walk(const std::shared_ptr<Walk> &walk);
+    void walk_resolved_mapped(WalkRef walk, const extent::Extent &extent);
+    void walk_resolved_hole(WalkRef walk);
+    void walk_resolved_fault(WalkRef walk, FaultKind kind);
+    /** Records the kWalk span and releases the walk's arena slot. */
+    void retire_walk(WalkRef walk);
     /** Prepends @p ops to the vLBA queue for another translation pass. */
     void replay_ops(std::vector<BlockOp> ops, bool mark_no_coalesce);
     void finish_mapped(const BlockOp &op, const extent::Extent &extent);
@@ -357,8 +412,30 @@ class Controller : public pcie::FunctionMmioDevice {
     void start_transfer(const BlockOp &op, extent::Plba plba);
     void start_zero_fill(const BlockOp &op);
     void complete_block(const BlockOp &op, CompletionStatus status);
+    /**
+     * Opens command state in the arena (remaining blocks, fetch time)
+     * and maps @p tag to it, releasing any same-tag predecessor.
+     */
+    CmdRef open_command(FunctionContext &c, std::uint64_t tag,
+                        std::uint32_t remaining, sim::Time t_start);
+    /**
+     * Funnel for every guest-visible completion. Paper mode posts one
+     * CQ write + MSI after completion_cost; kCompletionBatch mode
+     * appends to the function's batch and (at most once per window)
+     * schedules a flush that posts all records and raises one MSI.
+     */
+    void enqueue_completion(pcie::FunctionId fn, std::uint64_t tag,
+                            CompletionStatus status);
+    void flush_completions(pcie::FunctionId fn);
     void post_completion(pcie::FunctionId fn, std::uint64_t tag,
                          CompletionStatus status);
+    /**
+     * Ring-attach + CQ push + stats/trace for one completion; true
+     * when the completion reached the point that raises the MSI.
+     */
+    bool post_completion_record(pcie::FunctionId fn, std::uint64_t tag,
+                                CompletionStatus status);
+    void raise_completion_irq(pcie::FunctionId fn);
     void handle_rewalk(pcie::FunctionId fn);
     void fail_stalled(pcie::FunctionId fn);
     std::uint32_t mgmt_execute(MgmtCommand command);
@@ -392,6 +469,10 @@ class Controller : public pcie::FunctionMmioDevice {
     /** True when the fn is fully idle (nothing queued or in flight). */
     bool function_quiescent(pcie::FunctionId fn) const;
 
+    // Event-lane lifecycle (see ControllerConfig::event_lanes).
+    void assign_function_lane(FunctionContext &c, pcie::FunctionId fn);
+    void retire_function_lane(FunctionContext &c);
+
     FunctionContext &ctx(pcie::FunctionId fn) { return contexts_[fn]; }
 
     sim::Simulator &simulator_;
@@ -408,14 +489,25 @@ class Controller : public pcie::FunctionMmioDevice {
     std::uint32_t coalesce_window_ = 0;
 
     std::vector<FunctionContext> contexts_;
-    std::deque<BlockOp> vlba_queue_;
-    std::deque<std::pair<BlockOp, extent::Plba>> plba_queue_;
+    util::RingQueue<BlockOp> vlba_queue_;
+    util::RingQueue<std::pair<BlockOp, extent::Plba>> plba_queue_;
+    /** Walk-MSHR pool; continuations hold WalkRefs into it. */
+    sim::Arena<Walk> walk_arena_;
+    /** In-flight command state; BlockOp::cmd points into it. */
+    sim::Arena<PendingCommand> cmd_arena_;
     /** Primary walks in flight, for MSHR attachment. */
-    std::vector<std::shared_ptr<Walk>> inflight_walks_;
+    std::vector<WalkRef> inflight_walks_;
+    /** Shared event lanes when event_lanes > 0 (else empty). */
+    std::vector<sim::LaneId> shared_lanes_;
+    /** Sorted ids of active VFs; arbitration scans only these. */
+    std::vector<pcie::FunctionId> active_vfs_;
     pcie::FunctionId rr_current_ = 0; ///< VF currently holding the turn
     std::uint32_t rr_credit_ = 0;     ///< blocks left in the turn
     std::uint32_t active_walks_ = 0;
     std::uint32_t inflight_transfers_ = 0;
+    // Runtime batching knobs (reg::kFetchBatch / kCompletionBatch).
+    std::uint32_t fetch_batch_ = 0;
+    bool completion_batch_ = false;
 
     // PF management scratch registers.
     std::uint32_t mgmt_vf_id_ = 0;

@@ -17,6 +17,35 @@ DmaEngine::check_window(FunctionId fn, HostAddr addr, std::uint64_t size)
     return precheck(fn, addr, size);
 }
 
+std::vector<std::byte>
+DmaEngine::acquire_buffer(std::uint64_t size)
+{
+    for (BufferBucket &bucket : buffer_pool_) {
+        if (bucket.size == size && !bucket.spare.empty()) {
+            std::vector<std::byte> buf = std::move(bucket.spare.back());
+            bucket.spare.pop_back();
+            return buf;
+        }
+    }
+    return std::vector<std::byte>(size);
+}
+
+void
+DmaEngine::recycle_buffer(std::vector<std::byte> &&buf)
+{
+    if (buf.empty())
+        return;
+    for (BufferBucket &bucket : buffer_pool_) {
+        if (bucket.size == buf.size()) {
+            if (bucket.spare.size() < kMaxSpareBuffers)
+                bucket.spare.push_back(std::move(buf));
+            return;
+        }
+    }
+    buffer_pool_.push_back({buf.size(), {}});
+    buffer_pool_.back().spare.push_back(std::move(buf));
+}
+
 util::Status
 DmaEngine::precheck(FunctionId fn, HostAddr addr, std::uint64_t size)
 {
@@ -111,7 +140,7 @@ DmaEngine::read_impl(FunctionId fn, HostAddr addr, std::uint64_t size,
                       size);
     simulator_.schedule_at(
         completion, [this, addr, size, done = std::move(done)]() {
-            std::vector<std::byte> data(size);
+            std::vector<std::byte> data = acquire_buffer(size);
             util::Status status = host_memory_.read(addr, data);
             if (!status.is_ok())
                 data.clear();
@@ -132,8 +161,10 @@ DmaEngine::write_impl(FunctionId fn, HostAddr addr,
                       data.size());
     simulator_.schedule_at(
         completion,
-        [this, addr, data = std::move(data), done = std::move(done)]() {
+        [this, addr, data = std::move(data),
+         done = std::move(done)]() mutable {
             done(host_memory_.write(addr, data));
+            recycle_buffer(std::move(data));
         });
 }
 

@@ -21,6 +21,7 @@
 #include "pcie/dma_window.h"
 #include "pcie/host_memory.h"
 #include "sim/bandwidth_server.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 #include "util/status.h"
 
@@ -37,9 +38,19 @@ struct DmaConfig {
 /** Asynchronous DMA engine shared by all NeSC functions. */
 class DmaEngine {
   public:
+    /**
+     * Completion handlers are small-buffer move-only callables, not
+     * `std::function`: the engine carries one per transfer through the
+     * link-completion event, and the controller's captures (a BlockOp
+     * plus pointers) overflow the library small-object buffer, which
+     * would cost a malloc/free pair per block transfer on the hot
+     * path. The inline budget is sized so those captures — and the
+     * wrapper itself nested inside the scheduled sim::Callback — stay
+     * on the stack.
+     */
     using ReadDone =
-        std::function<void(util::Status, std::vector<std::byte>)>;
-    using WriteDone = std::function<void(util::Status)>;
+        sim::BasicCallback<104, util::Status, std::vector<std::byte>>;
+    using WriteDone = sim::BasicCallback<104, util::Status>;
     /**
      * Fault-injection hook invoked on every completed DMA read, after
      * the functional copy but before delivery. The hook may rewrite
@@ -153,6 +164,21 @@ class DmaEngine {
     /** The PCIe-link resource (for observer hooks and tests). */
     sim::BandwidthServer &link() { return link_; }
 
+    /**
+     * Returns a payload buffer of exactly @p size bytes, recycled from
+     * a completed transfer when one of that size is available. The
+     * engine recycles every write payload automatically after it lands
+     * in host memory; read consumers that drop their payload on the
+     * floor can hand it back via recycle_buffer() instead. Transfer
+     * sizes repeat heavily (block payloads, tree nodes, completion
+     * records), so steady state runs entirely on recycled buffers
+     * instead of a malloc/free pair per transfer.
+     */
+    std::vector<std::byte> acquire_buffer(std::uint64_t size);
+
+    /** Returns @p buf to the pool for a future acquire_buffer(). */
+    void recycle_buffer(std::vector<std::byte> &&buf);
+
   private:
     /** OK, or the violation status after counting + hook. */
     util::Status precheck(FunctionId fn, HostAddr addr,
@@ -174,6 +200,26 @@ class DmaEngine {
     ViolationHook violation_hook_;
     std::uint64_t window_violations_ = 0;
     obs::Tracer *tracer_ = nullptr;
+
+    /**
+     * Recycled payload buffers, bucketed by exact size. Buffers carry
+     * their transfer size as vector::size(), so only an exact-size
+     * spare can be reused without a value-initializing resize; the
+     * handful of distinct transfer sizes in flight keeps the bucket
+     * list short.
+     */
+    struct BufferBucket {
+        std::uint64_t size;
+        std::vector<std::vector<std::byte>> spare;
+    };
+    /**
+     * Per-bucket spare cap: sized above the worst-case in-flight
+     * population (max functions x queue depth x blocks per command) so
+     * a full pipeline draining at once does not overflow the pool and
+     * fall back to the allocator.
+     */
+    static constexpr std::size_t kMaxSpareBuffers = 1024;
+    std::vector<BufferBucket> buffer_pool_;
 };
 
 } // namespace nesc::pcie

@@ -30,7 +30,9 @@ util::Status
 HostMemory::read(HostAddr addr, std::span<std::byte> out) const
 {
     NESC_RETURN_IF_ERROR(check_range(addr, out.size()));
-    std::memcpy(out.data(), data_.data() + addr, out.size());
+    // Zero-length spans may carry a null data() — UB to pass to memcpy.
+    if (!out.empty())
+        std::memcpy(out.data(), data_.data() + addr, out.size());
     return util::Status::ok();
 }
 
@@ -38,7 +40,8 @@ util::Status
 HostMemory::write(HostAddr addr, std::span<const std::byte> in)
 {
     NESC_RETURN_IF_ERROR(check_range(addr, in.size()));
-    std::memcpy(data_.data() + addr, in.data(), in.size());
+    if (!in.empty())
+        std::memcpy(data_.data() + addr, in.data(), in.size());
     return util::Status::ok();
 }
 

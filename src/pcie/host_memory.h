@@ -16,8 +16,8 @@
 #include <cstring>
 #include <map>
 #include <span>
-#include <vector>
 
+#include "util/lazy_pages.h"
 #include "util/status.h"
 
 namespace nesc::pcie {
@@ -31,7 +31,11 @@ inline constexpr HostAddr kNullHostAddr = 0;
 /** Flat simulated host DRAM with a first-fit region allocator. */
 class HostMemory {
   public:
-    /** Creates @p size bytes of zeroed memory. */
+    /**
+     * Creates @p size bytes of zeroed memory. Backing pages are
+     * demand-zero (util::LazyBytes), so untouched spans of a large
+     * modelled DRAM cost neither time nor resident memory.
+     */
     explicit HostMemory(std::uint64_t size);
 
     std::uint64_t size() const { return data_.size(); }
@@ -86,7 +90,7 @@ class HostMemory {
   private:
     util::Status check_range(HostAddr addr, std::uint64_t size) const;
 
-    std::vector<std::byte> data_;
+    util::LazyBytes data_;
     // Free list keyed by start address -> length; allocations tracked
     // for validation of free().
     std::map<HostAddr, std::uint64_t> free_list_;

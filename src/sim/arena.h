@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Generational slab arena for in-flight simulation state.
+ *
+ * The controller keeps one record per in-flight command and one MSHR
+ * per in-flight translation walk. Both used to live in node-allocating
+ * containers (an unordered_map of PendingCommand, a shared_ptr<Walk>),
+ * putting an allocator round-trip on every command. The arena replaces
+ * that with a freelist of recycled slots addressed by a generational
+ * Handle:
+ *
+ *  - acquire() hands back a recycled object (the slot's previous
+ *    contents survive — callers reset the fields they use, which lets
+ *    members like std::vector keep their capacity across reuse);
+ *  - release() bumps the slot's generation, so any Handle still held
+ *    by a scheduled callback resolves to nullptr instead of aliasing
+ *    the next command that reuses the slot;
+ *  - storage is chunked, so T* stays stable across growth for the
+ *    duration of one event callback.
+ *
+ * get() == nullptr is the teardown idiom: a completion or walk step
+ * arriving after FLR/abort/quarantine sees a stale handle and drops
+ * its work, exactly like the pending-map miss it replaces.
+ */
+#ifndef NESC_SIM_ARENA_H
+#define NESC_SIM_ARENA_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nesc::sim {
+
+template <typename T>
+class Arena {
+  public:
+    static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+    /** Weak reference to an arena slot; stale once the slot is released. */
+    struct Handle {
+        std::uint32_t index = kInvalidIndex;
+        std::uint32_t generation = 0;
+
+        explicit operator bool() const { return index != kInvalidIndex; }
+        bool operator==(const Handle &) const = default;
+    };
+
+    /**
+     * Takes a slot from the freelist (growing by one chunk when empty)
+     * and returns a live handle. The object is recycled, not
+     * re-constructed: the caller owns resetting its fields.
+     */
+    Handle
+    acquire()
+    {
+        if (free_.empty())
+            grow();
+        const std::uint32_t index = free_.back();
+        free_.pop_back();
+        Entry &e = entry(index);
+        e.live = true;
+        ++live_;
+        return Handle{index, e.generation};
+    }
+
+    /** The object for @p h, or nullptr when the handle is stale. */
+    T *
+    get(Handle h)
+    {
+        Entry *e = lookup(h);
+        return e != nullptr ? &e->value : nullptr;
+    }
+
+    const T *
+    get(Handle h) const
+    {
+        const Entry *e = const_cast<Arena *>(this)->lookup(h);
+        return e != nullptr ? &e->value : nullptr;
+    }
+
+    /**
+     * Returns a live slot to the freelist and bumps its generation so
+     * every outstanding Handle to it goes stale. No-op when @p h is
+     * already stale (releases are idempotent across teardown paths).
+     */
+    void
+    release(Handle h)
+    {
+        Entry *e = lookup(h);
+        if (e == nullptr)
+            return;
+        e->live = false;
+        ++e->generation;
+        --live_;
+        free_.push_back(h.index);
+    }
+
+    std::size_t live() const { return live_; }
+    std::size_t capacity() const { return chunks_.size() * kChunkSize; }
+
+  private:
+    static constexpr std::uint32_t kChunkSize = 64;
+
+    struct Entry {
+        T value{};
+        std::uint32_t generation = 0;
+        bool live = false;
+    };
+
+    struct Chunk {
+        Entry entries[kChunkSize];
+    };
+
+    Entry &
+    entry(std::uint32_t index)
+    {
+        return chunks_[index / kChunkSize]->entries[index % kChunkSize];
+    }
+
+    Entry *
+    lookup(Handle h)
+    {
+        if (h.index >= chunks_.size() * kChunkSize)
+            return nullptr;
+        Entry &e = entry(h.index);
+        if (!e.live || e.generation != h.generation)
+            return nullptr;
+        return &e;
+    }
+
+    void
+    grow()
+    {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(chunks_.size()) * kChunkSize;
+        chunks_.push_back(std::make_unique<Chunk>());
+        // Reversed so acquire() hands out ascending indices.
+        for (std::uint32_t i = kChunkSize; i > 0; --i)
+            free_.push_back(base + i - 1);
+    }
+
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::vector<std::uint32_t> free_;
+    std::size_t live_ = 0;
+};
+
+} // namespace nesc::sim
+
+#endif // NESC_SIM_ARENA_H

@@ -4,11 +4,17 @@
  *
  * The simulator schedules millions of closures per run; with
  * `std::function` every capture larger than the library's small-object
- * buffer costs a heap allocation on the scheduling hot path. Callback
- * is a move-only callable wrapper with an inline buffer sized for the
- * controller's largest common capture set (a BlockOp plus a couple of
- * pointers), so steady-state scheduling allocates nothing. Oversized
- * or alignment-exotic captures fall back to the heap transparently.
+ * buffer costs a heap allocation on the scheduling hot path.
+ * BasicCallback is a move-only callable wrapper with an inline buffer
+ * sized for the controller's largest common capture set, so
+ * steady-state scheduling allocates nothing. Oversized or
+ * alignment-exotic captures fall back to the heap transparently.
+ *
+ * The nullary `Callback` alias is what the simulator schedules; the
+ * variadic forms carry DMA completions (status + payload) through the
+ * same inline storage. A callback that wraps another callback nests
+ * inside the outer buffer, which is why `Callback`'s budget is larger
+ * than the argument-carrying forms it transports.
  */
 #ifndef NESC_SIM_CALLBACK_H
 #define NESC_SIM_CALLBACK_H
@@ -21,20 +27,25 @@
 
 namespace nesc::sim {
 
-/** Move-only `void()` wrapper with inline storage for small captures. */
-class Callback {
+/**
+ * Move-only `void(Args...)` wrapper with inline storage for small
+ * captures. @p InlineBytes is the capture budget; larger callables are
+ * heap-allocated.
+ */
+template <std::size_t InlineBytes, typename... Args>
+class BasicCallback {
   public:
     /** Inline capture budget; larger callables are heap-allocated. */
-    static constexpr std::size_t kInlineBytes = 88;
+    static constexpr std::size_t kInlineBytes = InlineBytes;
 
-    Callback() = default;
-    Callback(std::nullptr_t) {}
+    BasicCallback() = default;
+    BasicCallback(std::nullptr_t) {}
 
     template <typename F,
               typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, Callback> &&
-                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
-    Callback(F &&fn)
+                  !std::is_same_v<std::decay_t<F>, BasicCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &, Args...>>>
+    BasicCallback(F &&fn)
     {
         using Fn = std::decay_t<F>;
         if constexpr (fits_inline<Fn>()) {
@@ -47,10 +58,10 @@ class Callback {
         }
     }
 
-    Callback(Callback &&other) noexcept { move_from(other); }
+    BasicCallback(BasicCallback &&other) noexcept { move_from(other); }
 
-    Callback &
-    operator=(Callback &&other) noexcept
+    BasicCallback &
+    operator=(BasicCallback &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -59,22 +70,28 @@ class Callback {
         return *this;
     }
 
-    Callback(const Callback &) = delete;
-    Callback &operator=(const Callback &) = delete;
+    BasicCallback(const BasicCallback &) = delete;
+    BasicCallback &operator=(const BasicCallback &) = delete;
 
-    ~Callback() { reset(); }
+    ~BasicCallback() { reset(); }
 
     explicit operator bool() const { return ops_ != nullptr; }
 
+    /**
+     * Const like `std::function::operator()`: callers routinely invoke
+     * a captured handler from a non-mutable lambda, and the const here
+     * is shallow (the target may mutate its own captures).
+     */
     void
-    operator()()
+    operator()(Args... args) const
     {
-        ops_->invoke(buf_);
+        ops_->invoke(const_cast<unsigned char *>(buf_),
+                     std::forward<Args>(args)...);
     }
 
   private:
     struct Ops {
-        void (*invoke)(void *);
+        void (*invoke)(void *, Args &&...);
         /** Move-constructs into @p dst from @p src, destroying @p src. */
         void (*relocate)(void *dst, void *src) noexcept;
         void (*destroy)(void *) noexcept;
@@ -91,7 +108,10 @@ class Callback {
 
     template <typename Fn>
     static constexpr Ops inline_ops = {
-        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *p, Args &&...args) {
+            (*std::launder(reinterpret_cast<Fn *>(p)))(
+                std::forward<Args>(args)...);
+        },
         [](void *dst, void *src) noexcept {
             Fn *f = std::launder(reinterpret_cast<Fn *>(src));
             ::new (dst) Fn(std::move(*f));
@@ -104,8 +124,9 @@ class Callback {
 
     template <typename Fn>
     static constexpr Ops heap_ops = {
-        [](void *p) {
-            (**std::launder(reinterpret_cast<Fn **>(p)))();
+        [](void *p, Args &&...args) {
+            (**std::launder(reinterpret_cast<Fn **>(p)))(
+                std::forward<Args>(args)...);
         },
         [](void *dst, void *src) noexcept {
             ::new (dst) Fn *(*std::launder(reinterpret_cast<Fn **>(src)));
@@ -116,7 +137,7 @@ class Callback {
     };
 
     void
-    move_from(Callback &other) noexcept
+    move_from(BasicCallback &other) noexcept
     {
         ops_ = other.ops_;
         if (ops_ != nullptr) {
@@ -137,6 +158,14 @@ class Callback {
     const Ops *ops_ = nullptr;
     alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
 };
+
+/**
+ * The event closure the simulator schedules. Its budget covers a
+ * BlockOp-sized capture plus a nested argument-carrying callback (a
+ * DMA completion handler riding inside the link-completion event), so
+ * neither layer of the common DMA pattern touches the heap.
+ */
+using Callback = BasicCallback<184>;
 
 } // namespace nesc::sim
 

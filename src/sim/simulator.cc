@@ -6,29 +6,148 @@
 
 namespace nesc::sim {
 
+Simulator::Simulator()
+{
+    lanes_.push_back(Lane{{}, /*live=*/true, /*retired=*/false});
+    live_lanes_ = 1;
+    reserve(kDefaultReserve);
+}
+
 void
-Simulator::schedule_at(Time when, Callback fn)
+Simulator::reserve(std::size_t events)
+{
+    lanes_[kDefaultLane].heap.reserve(events);
+    selector_.reserve(lanes_.size() + 16);
+    if (slots_.capacity() < events)
+        slots_.reserve(events);
+}
+
+void
+Simulator::push_selector(Time when, std::uint64_t seq, LaneId lane)
+{
+    selector_.push_back(SelectorEntry{when, seq, lane});
+    std::push_heap(selector_.begin(), selector_.end(), LaterEntry{});
+}
+
+void
+Simulator::schedule_at_lane(LaneId lane_id, Time when, Callback fn)
 {
     assert(fn && "null event callback");
+    assert(lane_id < lanes_.size() && lanes_[lane_id].live &&
+           "scheduling on an unregistered lane");
     if (when < now_)
         when = now_; // clamp: components may schedule "immediately"
-    queue_.push_back(Event{when, next_seq_++, std::move(fn)});
-    std::push_heap(queue_.begin(), queue_.end(), Later{});
+
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(fn));
+    } else {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot] = std::move(fn);
+    }
+
+    const EventKey key{when, next_seq_++, slot};
+    if (lanes_[lane_id].heap.push(key))
+        push_selector(key.when, key.seq, lane_id);
+    ++pending_;
+}
+
+LaneId
+Simulator::register_lane()
+{
+    LaneId id;
+    if (!free_lanes_.empty()) {
+        id = free_lanes_.back();
+        free_lanes_.pop_back();
+    } else {
+        id = static_cast<LaneId>(lanes_.size());
+        lanes_.emplace_back();
+    }
+    Lane &lane = lanes_[id];
+    assert(lane.heap.empty());
+    lane.live = true;
+    lane.retired = false;
+    ++live_lanes_;
+    return id;
+}
+
+void
+Simulator::release_lane(LaneId lane_id)
+{
+    assert(lane_id != kDefaultLane && "the default lane is permanent");
+    assert(lane_id < lanes_.size() && lanes_[lane_id].live);
+    Lane &lane = lanes_[lane_id];
+    if (lane.retired)
+        return;
+    if (lane.heap.empty()) {
+        recycle_lane(lane_id);
+        return;
+    }
+    lane.retired = true; // drains in order; recycled once empty
+}
+
+void
+Simulator::recycle_lane(LaneId lane_id)
+{
+    Lane &lane = lanes_[lane_id];
+    lane.live = false;
+    lane.retired = false;
+    --live_lanes_;
+    free_lanes_.push_back(lane_id);
+}
+
+bool
+Simulator::peek(Time &when)
+{
+    // Discard selector entries that no longer describe their lane's
+    // top. Sequence numbers are globally unique and never reused, so a
+    // stale entry can never falsely match a later event.
+    while (!selector_.empty()) {
+        const SelectorEntry &top = selector_.front();
+        const Lane &lane = lanes_[top.lane];
+        if (!lane.heap.empty() && lane.heap.top().seq == top.seq) {
+            when = top.when;
+            return true;
+        }
+        std::pop_heap(selector_.begin(), selector_.end(), LaterEntry{});
+        selector_.pop_back();
+    }
+    return false;
 }
 
 bool
 Simulator::step()
 {
-    if (queue_.empty())
+    Time when;
+    if (!peek(when))
         return false;
-    std::pop_heap(queue_.begin(), queue_.end(), Later{});
-    Event event = std::move(queue_.back());
-    queue_.pop_back();
-    assert(event.when >= now_);
-    now_ = event.when;
+
+    const SelectorEntry top = selector_.front();
+    std::pop_heap(selector_.begin(), selector_.end(), LaterEntry{});
+    selector_.pop_back();
+
+    Lane &lane = lanes_[top.lane];
+    const EventKey key = lane.heap.pop();
+    assert(key.seq == top.seq);
+    if (!lane.heap.empty()) {
+        const EventKey &next = lane.heap.top();
+        push_selector(next.when, next.seq, top.lane);
+    } else if (lane.retired) {
+        recycle_lane(top.lane);
+    }
+
+    assert(key.when >= now_);
+    now_ = key.when;
     ++events_executed_;
     ++g_total_events_;
-    event.fn();
+    --pending_;
+
+    // Free the slot before invoking: the callback may schedule onto it.
+    Callback fn = std::move(slots_[key.slot]);
+    free_slots_.push_back(key.slot);
+    fn();
     return true;
 }
 
@@ -42,7 +161,8 @@ Simulator::run_until_idle()
 void
 Simulator::run_until(Time deadline)
 {
-    while (!queue_.empty() && queue_.front().when <= deadline)
+    Time when;
+    while (peek(when) && when <= deadline)
         step();
     if (deadline > now_)
         now_ = deadline;

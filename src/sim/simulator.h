@@ -7,10 +7,21 @@
  * Simulator. Events at equal timestamps execute in scheduling order, so
  * runs are fully deterministic.
  *
- * The event queue is a binary heap over a plain vector (reservable, so
- * steady-state scheduling never reallocates) and callbacks use
- * sim::Callback's inline storage, so the hot path is allocation-free
- * for typical pipeline closures.
+ * The pending set is sharded into event lanes (the controller gives
+ * each function its own lane; lane 0 is the shared default for DMA,
+ * media, and driver events). Each lane is a small binary heap of
+ * 24-byte keys; a top-level selector heap tracks the per-lane minima
+ * and picks the next event with a lazy stale-entry discard. Callbacks
+ * live in a recycled slot pool, so heap sifts move keys, never the
+ * 96-byte sim::Callback.
+ *
+ * Determinism contract: the sequence number is GLOBAL and assigned at
+ * schedule time, and both lane heaps and the selector order strictly
+ * by (when, seq). Execution order is therefore identical to a single
+ * FIFO-tie-break heap regardless of how events are assigned to lanes
+ * or how many lanes exist — lane layout can never change simulated
+ * results, only wall-clock speed. tests/test_sim.cc pins this with a
+ * multi-seed lane-count invariance stress test.
  */
 #ifndef NESC_SIM_SIMULATOR_H
 #define NESC_SIM_SIMULATOR_H
@@ -20,41 +31,77 @@
 #include <vector>
 
 #include "sim/callback.h"
+#include "sim/event_heap.h"
 #include "sim/time.h"
 
 namespace nesc::sim {
+
+/** Identifies one event lane of a Simulator. */
+using LaneId = std::uint32_t;
 
 /** Event-driven virtual-time simulator. */
 class Simulator {
   public:
     using Callback = sim::Callback;
 
-    /** Pre-sized event-queue capacity (events, not bytes). */
+    /** Lane used by schedule_at/schedule_in; always present. */
+    static constexpr LaneId kDefaultLane = 0;
+
+    /** Pre-sized event capacity (events, not bytes). */
     static constexpr std::size_t kDefaultReserve = 4096;
 
-    Simulator() { queue_.reserve(kDefaultReserve); }
+    Simulator();
 
     /** Current simulated time. */
     Time now() const { return now_; }
 
-    /** Schedules @p fn at absolute time @p when (>= now). */
-    void schedule_at(Time when, Callback fn);
-
-    /** Schedules @p fn @p delay nanoseconds from now. */
-    void schedule_in(Duration delay, Callback fn)
+    /** Schedules @p fn at absolute time @p when (>= now) on lane 0. */
+    void schedule_at(Time when, Callback fn)
     {
-        schedule_at(now_ + delay, std::move(fn));
+        schedule_at_lane(kDefaultLane, when, std::move(fn));
     }
 
-    /** Grows the event-queue capacity to at least @p events. */
-    void reserve(std::size_t events) { queue_.reserve(events); }
+    /** Schedules @p fn @p delay nanoseconds from now on lane 0. */
+    void schedule_in(Duration delay, Callback fn)
+    {
+        schedule_at_lane(kDefaultLane, now_ + delay, std::move(fn));
+    }
 
-    /** True when no events are pending. */
-    bool idle() const { return queue_.empty(); }
+    /** Schedules @p fn at absolute time @p when (>= now) on @p lane. */
+    void schedule_at_lane(LaneId lane, Time when, Callback fn);
+
+    /** Schedules @p fn @p delay nanoseconds from now on @p lane. */
+    void schedule_in_lane(LaneId lane, Duration delay, Callback fn)
+    {
+        schedule_at_lane(lane, now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Opens a new event lane and returns its id (recycling drained
+     * released lanes first). Lane assignment never affects execution
+     * order — see the determinism contract above.
+     */
+    LaneId register_lane();
+
+    /**
+     * Marks @p lane for release. Events already scheduled on it still
+     * drain in order; the lane id is recycled once empty. The default
+     * lane cannot be released.
+     */
+    void release_lane(LaneId lane);
+
+    /** Lanes currently open (default lane included). */
+    std::size_t lane_count() const { return live_lanes_; }
+
+    /** Grows default-lane and callback-pool capacity to @p events. */
+    void reserve(std::size_t events);
+
+    /** True when no events are pending on any lane. */
+    bool idle() const { return pending_ == 0; }
 
     /**
      * Executes the earliest pending event, advancing the clock to its
-     * timestamp. Returns false when the queue is empty.
+     * timestamp. Returns false when no events are pending.
      */
     bool step();
 
@@ -87,14 +134,21 @@ class Simulator {
     }
 
   private:
-    struct Event {
-        Time when;
-        std::uint64_t seq; // tie-breaker: FIFO among equal timestamps
-        Callback fn;
+    struct Lane {
+        LaneHeap heap;
+        bool live = false;    ///< registered (or still draining)
+        bool retired = false; ///< released; recycle once drained
     };
-    struct Later {
+
+    /** Selector record of one lane's minimum; stale when outdated. */
+    struct SelectorEntry {
+        Time when;
+        std::uint64_t seq;
+        LaneId lane;
+    };
+    struct LaterEntry {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const SelectorEntry &a, const SelectorEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -102,11 +156,24 @@ class Simulator {
         }
     };
 
+    /** Next event time across lanes; false when idle. */
+    bool peek(Time &when);
+    void push_selector(Time when, std::uint64_t seq, LaneId lane);
+    void recycle_lane(LaneId lane);
+
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t live_lanes_ = 0;
+
+    std::vector<Lane> lanes_;
+    std::vector<LaneId> free_lanes_;
     /** Min-heap on (when, seq) maintained with std::push/pop_heap. */
-    std::vector<Event> queue_;
+    std::vector<SelectorEntry> selector_;
+    /** Callback pool; EventKey::slot indexes into it. */
+    std::vector<Callback> slots_;
+    std::vector<std::uint32_t> free_slots_;
 
     static inline std::uint64_t g_total_events_ = 0;
 };

@@ -10,9 +10,8 @@
 #ifndef NESC_STORAGE_MEM_BLOCK_DEVICE_H
 #define NESC_STORAGE_MEM_BLOCK_DEVICE_H
 
-#include <vector>
-
 #include "storage/block_device.h"
+#include "util/lazy_pages.h"
 
 namespace nesc::storage {
 
@@ -80,7 +79,7 @@ class MemBlockDevice : public BlockDevice {
 
     MemBlockDeviceConfig config_;
     Geometry geometry_;
-    std::vector<std::byte> data_;
+    util::LazyBytes data_;
     sim::Time port_busy_until_ = 0;
     std::uint64_t bytes_read_ = 0;
     std::uint64_t bytes_written_ = 0;

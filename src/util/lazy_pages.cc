@@ -1,0 +1,62 @@
+#include "lazy_pages.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NESC_HAVE_MMAP 1
+#include <sys/mman.h>
+#else
+#define NESC_HAVE_MMAP 0
+#endif
+
+namespace nesc::util {
+
+LazyBytes::LazyBytes(std::uint64_t size) : size_(size)
+{
+    if (size_ == 0)
+        return;
+#if NESC_HAVE_MMAP
+    void *p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+        data_ = static_cast<std::byte *>(p);
+        mapped_ = true;
+        return;
+    }
+#endif
+    data_ = new std::byte[size_]();
+}
+
+LazyBytes::~LazyBytes()
+{
+    if (data_ == nullptr)
+        return;
+#if NESC_HAVE_MMAP
+    if (mapped_) {
+        ::munmap(data_, size_);
+        return;
+    }
+#endif
+    delete[] data_;
+}
+
+LazyBytes::LazyBytes(LazyBytes &&other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false))
+{
+}
+
+LazyBytes &
+LazyBytes::operator=(LazyBytes &&other) noexcept
+{
+    if (this != &other) {
+        LazyBytes tmp(std::move(other));
+        std::swap(data_, tmp.data_);
+        std::swap(size_, tmp.size_);
+        std::swap(mapped_, tmp.mapped_);
+    }
+    return *this;
+}
+
+} // namespace nesc::util

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Allocation-stable double-ended queue for hot-path op queues.
+ *
+ * `std::deque` allocates and frees a fixed-size chunk every few
+ * elements as a stream of values cycles through it — on the
+ * controller's arbitration and translation queues that is a
+ * malloc/free pair per handful of block ops, forever, even though the
+ * queue's population is bounded and small. RingQueue is a power-of-two
+ * circular buffer: it allocates only when the population high-water
+ * mark grows, so steady-state push/pop traffic never touches the
+ * allocator. The interface is the subset of `std::deque` the
+ * controller uses (both-end push/pop, iteration, erase_if).
+ */
+#ifndef NESC_UTIL_RING_QUEUE_H
+#define NESC_UTIL_RING_QUEUE_H
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace nesc::util {
+
+/** Power-of-two circular buffer with deque semantics; see file doc. */
+template <typename T>
+class RingQueue {
+  public:
+    template <typename QueuePtr, typename Value>
+    class Iter {
+      public:
+        using iterator_category = std::random_access_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = Value *;
+        using reference = Value &;
+
+        Iter() = default;
+        Iter(QueuePtr q, std::size_t pos) : q_(q), pos_(pos) {}
+        /** Mutable-to-const conversion. */
+        template <typename Q2, typename V2,
+                  typename = std::enable_if_t<
+                      std::is_convertible_v<Q2, QueuePtr> &&
+                      std::is_convertible_v<V2 *, Value *>>>
+        Iter(const Iter<Q2, V2> &other)
+            : q_(other.queue()), pos_(other.pos())
+        {
+        }
+
+        reference operator*() const { return q_->at(pos_); }
+        pointer operator->() const { return &q_->at(pos_); }
+        reference operator[](difference_type n) const
+        {
+            return q_->at(pos_ + static_cast<std::size_t>(n));
+        }
+
+        Iter &operator++() { ++pos_; return *this; }
+        Iter operator++(int) { Iter t = *this; ++pos_; return t; }
+        Iter &operator--() { --pos_; return *this; }
+        Iter operator--(int) { Iter t = *this; --pos_; return t; }
+        Iter &operator+=(difference_type n) { pos_ += n; return *this; }
+        Iter &operator-=(difference_type n) { pos_ -= n; return *this; }
+        friend Iter operator+(Iter it, difference_type n)
+        {
+            return it += n;
+        }
+        friend Iter operator+(difference_type n, Iter it)
+        {
+            return it += n;
+        }
+        friend Iter operator-(Iter it, difference_type n)
+        {
+            return it -= n;
+        }
+        friend difference_type operator-(const Iter &a, const Iter &b)
+        {
+            return static_cast<difference_type>(a.pos_) -
+                   static_cast<difference_type>(b.pos_);
+        }
+        friend bool operator==(const Iter &a, const Iter &b)
+        {
+            return a.pos_ == b.pos_;
+        }
+        friend bool operator!=(const Iter &a, const Iter &b)
+        {
+            return a.pos_ != b.pos_;
+        }
+        friend bool operator<(const Iter &a, const Iter &b)
+        {
+            return a.pos_ < b.pos_;
+        }
+
+        QueuePtr queue() const { return q_; }
+        std::size_t pos() const { return pos_; }
+
+      private:
+        QueuePtr q_ = nullptr;
+        std::size_t pos_ = 0;
+    };
+
+    using iterator = Iter<RingQueue *, T>;
+    using const_iterator = Iter<const RingQueue *, const T>;
+    using reverse_iterator = std::reverse_iterator<iterator>;
+    using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+    using value_type = T;
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** Logical index -> element, front() being index 0. */
+    T &at(std::size_t i)
+    {
+        assert(i < size_);
+        return slots_[(head_ + i) & mask()];
+    }
+    const T &at(std::size_t i) const
+    {
+        assert(i < size_);
+        return slots_[(head_ + i) & mask()];
+    }
+
+    T &front() { return at(0); }
+    const T &front() const { return at(0); }
+    T &back() { return at(size_ - 1); }
+    const T &back() const { return at(size_ - 1); }
+
+    void
+    push_back(const T &v)
+    {
+        reserve_one();
+        slots_[(head_ + size_) & mask()] = v;
+        ++size_;
+    }
+    void
+    push_back(T &&v)
+    {
+        reserve_one();
+        slots_[(head_ + size_) & mask()] = std::move(v);
+        ++size_;
+    }
+    template <typename... A>
+    void
+    emplace_back(A &&...args)
+    {
+        push_back(T(std::forward<A>(args)...));
+    }
+
+    void
+    push_front(const T &v)
+    {
+        reserve_one();
+        head_ = (head_ - 1) & mask();
+        slots_[head_] = v;
+        ++size_;
+    }
+    void
+    push_front(T &&v)
+    {
+        reserve_one();
+        head_ = (head_ - 1) & mask();
+        slots_[head_] = std::move(v);
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        assert(size_ > 0);
+        // Owning payloads (buffers, callbacks) are dropped eagerly;
+        // trivial ones are left in the slot to be overwritten.
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            slots_[head_] = T{};
+        head_ = (head_ + 1) & mask();
+        --size_;
+    }
+    void
+    pop_back()
+    {
+        assert(size_ > 0);
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            slots_[(head_ + size_ - 1) & mask()] = T{};
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        while (size_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+    void
+    swap(RingQueue &other)
+    {
+        slots_.swap(other.slots_);
+        std::swap(head_, other.head_);
+        std::swap(size_, other.size_);
+    }
+
+    /**
+     * Removes every element matching @p pred, preserving the relative
+     * order of survivors; returns the number removed. Compacts in one
+     * pass — this is the quarantine/purge path, not the hot path.
+     */
+    template <typename Pred>
+    std::size_t
+    erase_if(Pred pred)
+    {
+        std::size_t kept = 0;
+        const std::size_t n = size_;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (pred(at(i)))
+                continue;
+            if (kept != i)
+                at(kept) = std::move(at(i));
+            ++kept;
+        }
+        const std::size_t removed = n - kept;
+        for (std::size_t i = 0; i < removed; ++i)
+            pop_back();
+        return removed;
+    }
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, size_}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size_}; }
+    reverse_iterator rbegin() { return reverse_iterator(end()); }
+    reverse_iterator rend() { return reverse_iterator(begin()); }
+    const_reverse_iterator rbegin() const
+    {
+        return const_reverse_iterator(end());
+    }
+    const_reverse_iterator rend() const
+    {
+        return const_reverse_iterator(begin());
+    }
+
+  private:
+    std::size_t mask() const { return slots_.size() - 1; }
+
+    void
+    reserve_one()
+    {
+        if (size_ < slots_.size())
+            return;
+        const std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+        std::vector<T> grown(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            grown[i] = std::move(at(i));
+        slots_.swap(grown);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace nesc::util
+
+#endif // NESC_UTIL_RING_QUEUE_H

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Batching-interaction tests: the kFetchBatch descriptor-drain cap and
+ * the kCompletionBatch coalesced completion flush, each against the
+ * containment machinery (ring corruption, quarantine, watchdog aborts).
+ * The contract under test: batching changes event granularity and MSI
+ * counts, never outcomes — and a batched drain must stop dead at ring
+ * corruption or quarantine exactly like the monolithic drain does.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "drivers/function_driver.h"
+#include "extent/tree_image.h"
+#include "nesc/controller.h"
+#include "pcie/host_ring.h"
+#include "pcie/mmio.h"
+#include "storage/mem_block_device.h"
+
+namespace nesc::ctrl {
+namespace {
+
+/** 4-VF controller config with the given batching knobs. */
+ControllerConfig
+config_with(std::uint32_t fetch_batch = 0, bool completion_batch = false)
+{
+    ControllerConfig cfg;
+    cfg.max_vfs = 4;
+    cfg.fetch_batch = fetch_batch;
+    cfg.completion_batch = completion_batch;
+    return cfg;
+}
+
+/** Controller harness with adjustable batching knobs. */
+class BatchHarness {
+  public:
+    explicit BatchHarness(const ControllerConfig &config = config_with())
+        : host_memory_(64 << 20), device_(device_config()), irq_(sim_),
+          controller_(sim_, host_memory_, device_, irq_, config),
+          bar_(controller_, 4096, controller_.num_functions())
+    {
+    }
+
+    static storage::MemBlockDeviceConfig
+    device_config()
+    {
+        storage::MemBlockDeviceConfig cfg;
+        cfg.capacity_bytes = 16 << 20;
+        return cfg;
+    }
+
+    pcie::FunctionId
+    create_vf(const extent::ExtentList &extents, std::uint64_t size_blocks,
+              pcie::FunctionId fn = 1)
+    {
+        auto image = extent::ExtentTreeImage::build(host_memory_, extents);
+        EXPECT_TRUE(image.is_ok());
+        trees_.push_back(std::move(image).value());
+        pf_write(reg::kMgmtVfId, fn);
+        pf_write(reg::kMgmtExtentRoot, trees_.back().root());
+        pf_write(reg::kMgmtDeviceSize, size_blocks);
+        mgmt(MgmtCommand::kCreateVf);
+        return fn;
+    }
+
+    void
+    pf_write(std::uint64_t offset, std::uint64_t value)
+    {
+        ASSERT_TRUE(controller_.mmio_write(0, offset, value, 8).is_ok());
+    }
+
+    void
+    mgmt(MgmtCommand command)
+    {
+        ASSERT_TRUE(controller_
+                        .mmio_write(0, reg::kMgmtCommand,
+                                    static_cast<std::uint64_t>(command), 8)
+                        .is_ok());
+        ASSERT_EQ(*controller_.mmio_read(0, reg::kMgmtStatus, 4),
+                  static_cast<std::uint64_t>(MgmtStatus::kOk));
+    }
+
+    void
+    add_window(pcie::FunctionId fn, pcie::HostAddr base,
+               std::uint64_t size)
+    {
+        pf_write(reg::kMgmtVfId, fn);
+        pf_write(reg::kDmaWindowBase, base);
+        pf_write(reg::kDmaWindowSize, size);
+        mgmt(MgmtCommand::kAddDmaWindow);
+    }
+
+    sim::Simulator sim_;
+    pcie::HostMemory host_memory_;
+    storage::MemBlockDevice device_;
+    pcie::InterruptController irq_;
+    Controller controller_;
+    pcie::BarPageRouter bar_;
+    std::vector<extent::ExtentTreeImage> trees_;
+};
+
+/** Hand-rolled guest rings with raw descriptor control. */
+struct RawGuest {
+    RawGuest(BatchHarness &h, pcie::FunctionId fn,
+             std::uint32_t entries = 32)
+        : h_(h), fn_(fn), entries_(entries)
+    {
+        const auto cmd_fp =
+            pcie::HostRing::footprint(entries, sizeof(CommandRecord));
+        const auto comp_fp = pcie::HostRing::footprint(
+            entries * 2, sizeof(CompletionRecord));
+        cmd_base_ = *h.host_memory_.alloc(cmd_fp, 64);
+        comp_base_ = *h.host_memory_.alloc(comp_fp, 64);
+        buffer_ = *h.host_memory_.alloc(64 * 1024, 4096);
+        EXPECT_TRUE(pcie::HostRing::create(h.host_memory_, cmd_base_,
+                                           entries, sizeof(CommandRecord))
+                        .is_ok());
+        EXPECT_TRUE(pcie::HostRing::create(h.host_memory_, comp_base_,
+                                           entries * 2,
+                                           sizeof(CompletionRecord))
+                        .is_ok());
+        EXPECT_TRUE(h.controller_
+                        .mmio_write(fn, reg::kCmdRingBase, cmd_base_, 8)
+                        .is_ok());
+        EXPECT_TRUE(h.controller_
+                        .mmio_write(fn, reg::kCompRingBase, comp_base_, 8)
+                        .is_ok());
+    }
+
+    void
+    push(const CommandRecord &rec)
+    {
+        auto ring = pcie::HostRing::attach(h_.host_memory_, cmd_base_);
+        ASSERT_TRUE(ring.is_ok());
+        std::vector<std::byte> buf(sizeof(rec));
+        std::memcpy(buf.data(), &rec, sizeof(rec));
+        ASSERT_TRUE(ring.value().push(buf).is_ok());
+    }
+
+    CommandRecord
+    valid_write(std::uint64_t vlba = 0, std::uint32_t nblocks = 1)
+    {
+        CommandRecord rec{};
+        rec.vlba = vlba;
+        rec.nblocks = nblocks;
+        rec.opcode = static_cast<std::uint8_t>(Opcode::kWrite);
+        rec.host_buffer = buffer_;
+        rec.tag = next_tag_++;
+        return rec;
+    }
+
+    void
+    doorbell()
+    {
+        EXPECT_TRUE(
+            h_.controller_.mmio_write(fn_, reg::kDoorbell, 1, 8).is_ok());
+    }
+
+    std::vector<CompletionRecord>
+    drain_completions()
+    {
+        std::vector<CompletionRecord> out;
+        auto ring = pcie::HostRing::attach(h_.host_memory_, comp_base_);
+        if (!ring.is_ok())
+            return out;
+        std::vector<std::byte> buf(sizeof(CompletionRecord));
+        for (;;) {
+            auto popped = ring.value().pop(buf);
+            if (!popped.is_ok() || !popped.value())
+                break;
+            CompletionRecord rec;
+            std::memcpy(&rec, buf.data(), sizeof(rec));
+            out.push_back(rec);
+        }
+        return out;
+    }
+
+    BatchHarness &h_;
+    pcie::FunctionId fn_;
+    std::uint32_t entries_;
+    pcie::HostAddr cmd_base_ = pcie::kNullHostAddr;
+    pcie::HostAddr comp_base_ = pcie::kNullHostAddr;
+    pcie::HostAddr buffer_ = pcie::kNullHostAddr;
+    std::uint64_t next_tag_ = 1;
+};
+
+// --- Batching knob registers ----------------------------------------
+
+TEST(BatchingRegisters, PfOnlyWithPaperDefaults)
+{
+    BatchHarness h;
+    const auto fn = h.create_vf({{0, 32, 1000}}, 32);
+    // Defaults: both knobs off = paper-equivalent behavior.
+    EXPECT_EQ(*h.controller_.mmio_read(0, reg::kFetchBatch, 8), 0u);
+    EXPECT_EQ(*h.controller_.mmio_read(0, reg::kCompletionBatch, 8), 0u);
+    // PF writes land and read back.
+    h.pf_write(reg::kFetchBatch, 4);
+    h.pf_write(reg::kCompletionBatch, 1);
+    EXPECT_EQ(*h.controller_.mmio_read(0, reg::kFetchBatch, 8), 4u);
+    EXPECT_EQ(*h.controller_.mmio_read(0, reg::kCompletionBatch, 8), 1u);
+    // VF access is denied both ways.
+    EXPECT_FALSE(h.controller_.mmio_read(fn, reg::kFetchBatch, 8).is_ok());
+    EXPECT_FALSE(
+        h.controller_.mmio_read(fn, reg::kCompletionBatch, 8).is_ok());
+    EXPECT_FALSE(
+        h.controller_.mmio_write(fn, reg::kFetchBatch, 2, 8).is_ok());
+    EXPECT_FALSE(
+        h.controller_.mmio_write(fn, reg::kCompletionBatch, 1, 8).is_ok());
+    EXPECT_EQ(*h.controller_.mmio_read(0, reg::kFetchBatch, 8), 4u);
+}
+
+// --- Fetch batching -------------------------------------------------
+
+/** Tag/status pairs of @p comps, sorted by tag, for outcome compares. */
+std::vector<std::pair<std::uint64_t, std::uint32_t>>
+outcomes(const std::vector<CompletionRecord> &comps)
+{
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+    for (const CompletionRecord &c : comps)
+        out.emplace_back(c.tag, c.status);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>>
+run_ring_of_writes(std::uint32_t fetch_batch, std::uint64_t *events = nullptr)
+{
+    BatchHarness h(config_with(fetch_batch));
+    const auto fn = h.create_vf({{0, 64, 2000}}, 64);
+    RawGuest g(h, fn);
+    for (std::uint64_t i = 0; i < 12; ++i)
+        g.push(g.valid_write(i % 64));
+    g.doorbell();
+    h.sim_.run_until_idle();
+    if (events != nullptr)
+        *events = h.sim_.events_executed();
+    EXPECT_EQ(h.controller_.stats(fn).commands, 12u);
+    return outcomes(g.drain_completions());
+}
+
+TEST(FetchBatching, CappedDrainCompletesTheWholeRing)
+{
+    // One doorbell, twelve descriptors: whatever the cap, every
+    // command is fetched (via continuations) with identical outcomes.
+    const auto unbatched = run_ring_of_writes(0);
+    ASSERT_EQ(unbatched.size(), 12u);
+    for (const auto &[tag, status] : unbatched)
+        EXPECT_EQ(status,
+                  static_cast<std::uint32_t>(CompletionStatus::kOk));
+    for (std::uint32_t batch : {1u, 2u, 5u, 16u}) {
+        std::uint64_t events = 0;
+        EXPECT_EQ(run_ring_of_writes(batch, &events), unbatched)
+            << "batch " << batch;
+    }
+}
+
+TEST(FetchBatching, DoorbellDuringDrainMergesIntoContinuation)
+{
+    // A doorbell landing while a capped drain is in progress must not
+    // spawn a second concurrent drain of the same ring.
+    BatchHarness h(config_with(/*fetch_batch=*/2));
+    const auto fn = h.create_vf({{0, 64, 2000}}, 64);
+    RawGuest g(h, fn);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        g.push(g.valid_write(i));
+    g.doorbell();
+    const sim::Duration latency = h.controller_.config().doorbell_latency;
+    // Push more and re-ring mid-drain (after the first fetch event).
+    h.sim_.schedule_at(latency, [&]() {
+        for (std::uint64_t i = 0; i < 4; ++i)
+            g.push(g.valid_write(i));
+        g.doorbell();
+    });
+    h.sim_.run_until_idle();
+    EXPECT_EQ(h.controller_.stats(fn).commands, 10u);
+    const auto comps = g.drain_completions();
+    EXPECT_EQ(comps.size(), 10u);
+    EXPECT_EQ(h.controller_.stats(fn).ring_corruptions, 0u);
+}
+
+TEST(FetchBatching, DrainStopsAtRingCorruption)
+{
+    // The guest rewrites the ring's device-owned head counter between
+    // the first capped fetch and its continuation. The continuation
+    // must drop the drain as kRingCorrupt and fetch nothing more.
+    BatchHarness h(config_with(/*fetch_batch=*/2));
+    const auto fn = h.create_vf({{0, 64, 2000}}, 64);
+    RawGuest g(h, fn);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        g.push(g.valid_write(i));
+    g.doorbell();
+    const sim::Duration latency = h.controller_.config().doorbell_latency;
+    h.sim_.schedule_at(latency, [&]() {
+        auto header =
+            *h.host_memory_.read_pod<pcie::HostRing::Header>(g.cmd_base_);
+        header.head -= 1; // consumer counter rewritten by the guest
+        ASSERT_TRUE(h.host_memory_.write_pod(g.cmd_base_, header).is_ok());
+    });
+    h.sim_.run_until_idle();
+    // Exactly the first batch was fetched; the corrupt continuation
+    // fetched nothing and did not reschedule itself.
+    EXPECT_EQ(h.controller_.stats(fn).commands, 2u);
+    EXPECT_EQ(h.controller_.stats(fn).ring_corruptions, 1u);
+    const auto comps = g.drain_completions();
+    EXPECT_EQ(comps.size(), 2u);
+    for (const auto &c : comps)
+        EXPECT_EQ(c.status,
+                  static_cast<std::uint32_t>(CompletionStatus::kOk));
+}
+
+TEST(FetchBatching, QuarantinedVfContributesZeroBatchedWork)
+{
+    // A DMA-window violation mid-drain quarantines the VF with
+    // descriptors still in the ring and a continuation's worth of
+    // batch budget unspent: nothing further may be fetched, and later
+    // doorbells are ignored outright.
+    BatchHarness h(config_with(/*fetch_batch=*/1));
+    const auto fn = h.create_vf({{0, 64, 2000}}, 64);
+    RawGuest g(h, fn);
+    // Confine the fn: windows cover its rings and its data buffer.
+    h.add_window(fn, g.cmd_base_,
+                 pcie::HostRing::footprint(g.entries_,
+                                           sizeof(CommandRecord)));
+    h.add_window(fn, g.comp_base_,
+                 pcie::HostRing::footprint(g.entries_ * 2,
+                                           sizeof(CompletionRecord)));
+    h.add_window(fn, g.buffer_, 64 * 1024);
+    const auto [tree_base, tree_size] = h.trees_.back().bounds();
+    if (tree_size != 0)
+        h.add_window(fn, tree_base, tree_size);
+
+    const pcie::HostAddr outside = *h.host_memory_.alloc(4096, 4096);
+    g.push(g.valid_write(0));
+    CommandRecord escape = g.valid_write(1);
+    escape.host_buffer = outside; // sandbox escape: one-strike
+    g.push(escape);
+    g.push(g.valid_write(2));
+    g.push(g.valid_write(3));
+    g.doorbell();
+    h.sim_.run_until_idle();
+
+    EXPECT_TRUE(h.controller_.quarantined(fn));
+    // Only the two descriptors up to the violation were fetched.
+    EXPECT_EQ(h.controller_.stats(fn).commands, 2u);
+    const auto comps = g.drain_completions();
+    ASSERT_EQ(comps.size(), 2u);
+    // Tag 1 aborted by quarantine teardown, tag 2 faulted.
+    EXPECT_EQ(comps[0].tag, 2u);
+    EXPECT_EQ(comps[0].status,
+              static_cast<std::uint32_t>(CompletionStatus::kDmaFault));
+    EXPECT_EQ(comps[1].tag, 1u);
+    EXPECT_EQ(comps[1].status,
+              static_cast<std::uint32_t>(CompletionStatus::kAborted));
+
+    // Doorbells while quarantined fetch nothing.
+    const auto ignored_before = h.controller_.stats(fn).doorbells_ignored;
+    g.doorbell();
+    h.sim_.run_until_idle();
+    EXPECT_EQ(h.controller_.stats(fn).commands, 2u);
+    EXPECT_GT(h.controller_.stats(fn).doorbells_ignored, ignored_before);
+}
+
+// --- Completion batching --------------------------------------------
+
+TEST(CompletionBatching, SameOutcomesOneMsiPerFlush)
+{
+    // Identical 8-command ring with and without completion batching:
+    // the completion records must match exactly; the MSI count drops
+    // because one flush raises one interrupt for the window.
+    auto run = [](bool completion_batch) {
+        // Widen the completion window past the media's ~1us per-write
+        // spacing so back-to-back completions actually share a flush.
+        ControllerConfig cfg = config_with(0, completion_batch);
+        cfg.completion_cost = 5000;
+        BatchHarness h(cfg);
+        const auto fn = h.create_vf({{0, 64, 2000}}, 64);
+        RawGuest g(h, fn);
+        for (std::uint64_t i = 0; i < 8; ++i)
+            g.push(g.valid_write(i));
+        g.doorbell();
+        h.sim_.run_until_idle();
+        return std::make_pair(outcomes(g.drain_completions()),
+                              h.irq_.raised());
+    };
+    const auto [plain, plain_irqs] = run(false);
+    const auto [batched, batched_irqs] = run(true);
+    ASSERT_EQ(plain.size(), 8u);
+    EXPECT_EQ(batched, plain);
+    EXPECT_LT(batched_irqs, plain_irqs);
+}
+
+TEST(CompletionBatching, DeliversWatchdogAborts)
+{
+    // A write into an unmapped hole parks on a fault; the command
+    // watchdog aborts it. The kAborted completion must come through
+    // the batched flush exactly like the unbatched path.
+    BatchHarness h(config_with(0, /*completion_batch=*/true));
+    const auto fn = h.create_vf({{0, 32, 2000}}, 64); // upper half holes
+    RawGuest g(h, fn);
+    ASSERT_TRUE(
+        h.controller_.mmio_write(fn, reg::kWatchdogNs, 50'000, 8).is_ok());
+    g.push(g.valid_write(/*vlba=*/40)); // hole: write-miss fault
+    g.doorbell();
+    h.sim_.run_until_idle();
+    const auto comps = g.drain_completions();
+    ASSERT_EQ(comps.size(), 1u);
+    EXPECT_EQ(comps[0].tag, 1u);
+    EXPECT_EQ(comps[0].status,
+              static_cast<std::uint32_t>(CompletionStatus::kAborted));
+    EXPECT_EQ(h.controller_.stats(fn).aborted_ops, 1u);
+}
+
+TEST(CompletionBatching, DeliversQuarantineAbortsInTagOrder)
+{
+    // Quarantine with several commands in flight: every pending tag
+    // must surface as kAborted through the coalesced flush, in tag
+    // order. The trigger is a sixth descriptor pointing outside the
+    // fn's DMA windows while tags 1-5 were fetched in the same drain
+    // and are still pending.
+    BatchHarness h(config_with(0, /*completion_batch=*/true));
+    const auto fn = h.create_vf({{0, 64, 2000}}, 64);
+    RawGuest g(h, fn);
+    h.add_window(fn, g.cmd_base_,
+                 pcie::HostRing::footprint(g.entries_,
+                                           sizeof(CommandRecord)));
+    h.add_window(fn, g.comp_base_,
+                 pcie::HostRing::footprint(g.entries_ * 2,
+                                           sizeof(CompletionRecord)));
+    h.add_window(fn, g.buffer_, 64 * 1024);
+    const auto [tree_base, tree_size] = h.trees_.back().bounds();
+    if (tree_size != 0)
+        h.add_window(fn, tree_base, tree_size);
+
+    for (std::uint64_t i = 0; i < 5; ++i)
+        g.push(g.valid_write(i, /*nblocks=*/4));
+    CommandRecord escape = g.valid_write(5);
+    escape.host_buffer = *h.host_memory_.alloc(4096, 4096); // unwindowed
+    g.push(escape);
+    g.doorbell();
+    h.sim_.run_until_idle();
+
+    ASSERT_TRUE(h.controller_.quarantined(fn));
+    const auto comps = g.drain_completions();
+    ASSERT_EQ(comps.size(), 6u);
+    // The violator faults first (enqueued before the teardown), then
+    // the five pending tags abort in ascending tag order.
+    EXPECT_EQ(comps[0].tag, 6u);
+    EXPECT_EQ(comps[0].status,
+              static_cast<std::uint32_t>(CompletionStatus::kDmaFault));
+    for (std::size_t i = 1; i < comps.size(); ++i) {
+        EXPECT_EQ(comps[i].tag, i) << "slot " << i;
+        EXPECT_EQ(comps[i].status,
+                  static_cast<std::uint32_t>(CompletionStatus::kAborted));
+    }
+}
+
+} // namespace
+} // namespace nesc::ctrl

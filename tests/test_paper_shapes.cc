@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "blocklayer/device_block_io.h"
 #include "blocklayer/os_block_stack.h"
 #include "storage/mem_block_device.h"
@@ -30,19 +33,37 @@ struct Measured {
     double host_bw, nesc_bw, virtio_bw, emu_bw;
 };
 
+/**
+ * Dereferencing an error Result is undefined (and NDEBUG disarms its
+ * assert), which once let an out-of-range dd "pass" this suite on
+ * stale stack garbage — fail loudly instead.
+ */
+wl::DdResult
+must_dd(util::Result<wl::DdResult> result)
+{
+    if (!result.is_ok()) {
+        ADD_FAILURE() << "dd run failed: "
+                      << result.status().to_string();
+        std::abort();
+    }
+    return *std::move(result);
+}
+
 Measured
 measure(virt::Testbed &bed, virt::GuestVm &nesc_vm, virt::GuestVm &vt_vm,
         virt::GuestVm &emu_vm, std::uint64_t bs, bool write)
 {
     wl::DdConfig dd;
     dd.request_bytes = bs;
-    dd.total_bytes = 32 * bs;
+    // 32 requests, but capped so large-block runs still fit the 32 MiB
+    // nesc guest disk and the offset-64-MiB slice of the raw device.
+    dd.total_bytes = std::min<std::uint64_t>(32 * bs, 16ULL << 20);
     dd.write = write;
-    auto host = *wl::run_dd_raw(bed.sim(), bed.host_raw_io(), dd);
-    auto ns = *wl::run_dd_raw(bed.sim(), nesc_vm.raw_disk(), dd);
+    auto host = must_dd(wl::run_dd_raw(bed.sim(), bed.host_raw_io(), dd));
+    auto ns = must_dd(wl::run_dd_raw(bed.sim(), nesc_vm.raw_disk(), dd));
     dd.start_offset = 64ULL << 20;
-    auto vt = *wl::run_dd_raw(bed.sim(), vt_vm.raw_disk(), dd);
-    auto em = *wl::run_dd_raw(bed.sim(), emu_vm.raw_disk(), dd);
+    auto vt = must_dd(wl::run_dd_raw(bed.sim(), vt_vm.raw_disk(), dd));
+    auto em = must_dd(wl::run_dd_raw(bed.sim(), emu_vm.raw_disk(), dd));
     return Measured{host.mean_latency_us, ns.mean_latency_us,
                     vt.mean_latency_us,  em.mean_latency_us,
                     host.bandwidth_mb_s, ns.bandwidth_mb_s,
