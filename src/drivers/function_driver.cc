@@ -24,7 +24,9 @@ FunctionDriver::FunctionDriver(sim::Simulator &simulator,
                                pcie::FunctionId fn,
                                const FunctionDriverConfig &config)
     : simulator_(simulator), host_memory_(host_memory), bar_(bar),
-      irq_(irq), fn_(fn), config_(config)
+      irq_(irq), fn_(fn), config_(config),
+      jitter_rng_(config.jitter_seed ^
+                  (static_cast<std::uint64_t>(fn) * 0x9e3779b97f4a7c15ULL))
 {
 }
 
@@ -236,11 +238,10 @@ FunctionDriver::handle_completion_irq()
             ++req.attempts;
             ++retries_;
             const std::uint64_t gen = ++req.generation;
-            const sim::Duration delay = config_.retry_backoff
-                                        << (req.attempts - 1);
-            simulator_.schedule_in(delay, [this, request_id, gen]() {
-                resubmit(request_id, gen);
-            });
+            simulator_.schedule_in(retry_delay(req.attempts),
+                                   [this, request_id, gen]() {
+                                       resubmit(request_id, gen);
+                                   });
             continue;
         }
         Done done = std::move(req.done);
@@ -251,6 +252,21 @@ FunctionDriver::handle_completion_irq()
     }
     if (need_flr)
         flr_recover();
+}
+
+sim::Duration
+FunctionDriver::retry_delay(std::uint32_t attempt)
+{
+    const sim::Duration base = config_.retry_backoff << (attempt - 1);
+    if (config_.retry_jitter <= 0.0)
+        return base;
+    // Uniform in [1 - j, 1 + j]; clamp so pathological j keeps the
+    // delay positive.
+    const double jitter = std::min(config_.retry_jitter, 0.99);
+    const double scale =
+        1.0 + jitter * (2.0 * jitter_rng_.next_double() - 1.0);
+    const double scaled = static_cast<double>(base) * scale;
+    return scaled < 1.0 ? 1 : static_cast<sim::Duration>(scaled);
 }
 
 void

@@ -29,6 +29,7 @@
 #include "pcie/mmio.h"
 #include "sim/simulator.h"
 #include "util/flat_map.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace nesc::drv {
@@ -57,6 +58,17 @@ struct FunctionDriverConfig {
     std::uint32_t max_retries = 3;
     /** Backoff before the first retry; doubles per attempt. */
     sim::Duration retry_backoff = 10'000; // 10 us
+    /**
+     * Fractional jitter applied to each retry backoff: the delay is
+     * scaled by a uniform draw from [1 - jitter, 1 + jitter] taken
+     * from a per-function seeded stream. Without it, VFs that hit the
+     * same backend fault retry in lockstep and their doorbells arrive
+     * as a synchronized storm; with it, the retry wave decorrelates.
+     * 0 (the default) preserves the exact legacy delays.
+     */
+    double retry_jitter = 0.0;
+    /** Base seed for the jitter stream (XORed with the function id). */
+    std::uint64_t jitter_seed = 0x6a69'7474'6572'0000ULL;
     /**
      * Watchdog on the driver side: a request outstanding longer than
      * this triggers a function-level reset and resubmission. 0 (the
@@ -136,6 +148,8 @@ class FunctionDriver {
     util::Status push_command(const ctrl::CommandRecord &record);
     /** (Re)issues all chunks of a request and arms its timeout. */
     util::Status issue_chunks(std::uint64_t request_id);
+    /** Backoff for retry @p attempt (1-based), jittered per config. */
+    sim::Duration retry_delay(std::uint32_t attempt);
     /** Scheduled backoff expiry; ignored when @p generation is stale. */
     void resubmit(std::uint64_t request_id, std::uint64_t generation);
     /** Scheduled timeout check; ignored when @p generation is stale. */
@@ -156,6 +170,8 @@ class FunctionDriver {
     pcie::InterruptController &irq_;
     pcie::FunctionId fn_;
     FunctionDriverConfig config_;
+    /** Per-function stream: two drivers never share a jitter sequence. */
+    util::Rng jitter_rng_;
 
     pcie::HostAddr cmd_ring_mem_ = pcie::kNullHostAddr;
     pcie::HostAddr comp_ring_mem_ = pcie::kNullHostAddr;

@@ -220,6 +220,121 @@ PfDriver::flush_btlb()
     return util::Status::ok();
 }
 
+bool
+PfDriver::repl_attached()
+{
+    auto quorum =
+        reg_read(pcie::kPhysicalFunctionId, ctrl::reg::kReplQuorum);
+    return quorum.is_ok() && quorum.value() != ~std::uint64_t{0};
+}
+
+util::Status
+PfDriver::set_repl_quorum(std::uint32_t quorum)
+{
+    if (!repl_attached())
+        return util::failed_precondition_error("no replica set attached");
+    return reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kReplQuorum,
+                     quorum);
+}
+
+util::Status
+PfDriver::set_repl_read_timeout(sim::Duration timeout_ns)
+{
+    if (!repl_attached())
+        return util::failed_precondition_error("no replica set attached");
+    return reg_write(pcie::kPhysicalFunctionId,
+                     ctrl::reg::kReplReadTimeoutNs,
+                     static_cast<std::uint64_t>(timeout_ns));
+}
+
+util::Result<ReplBackendStatus>
+PfDriver::repl_backend_status(std::uint32_t backend)
+{
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplBackendSelect,
+                                   backend));
+    ReplBackendStatus status;
+    NESC_ASSIGN_OR_RETURN(status.state,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplBackendState));
+    if (status.state == ~std::uint64_t{0})
+        return util::not_found_error(
+            "replication backend selection rejected by device");
+    NESC_ASSIGN_OR_RETURN(status.dirty_blocks,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplBackendDirty));
+    NESC_ASSIGN_OR_RETURN(status.timeouts,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplBackendTimeouts));
+    NESC_ASSIGN_OR_RETURN(status.errors,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplBackendErrors));
+    NESC_ASSIGN_OR_RETURN(status.resync_copied,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplResyncDone));
+    return status;
+}
+
+util::Result<std::uint64_t>
+PfDriver::repl_failovers()
+{
+    NESC_ASSIGN_OR_RETURN(const std::uint64_t failovers,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplFailovers));
+    if (failovers == ~std::uint64_t{0})
+        return util::not_found_error("no replica set attached");
+    return failovers;
+}
+
+util::Status
+PfDriver::repl_demote(std::uint32_t backend)
+{
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplBackendSelect,
+                                   backend));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kReplDemote)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error("device rejected demote");
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::repl_resync(std::uint32_t backend)
+{
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kReplBackendSelect,
+                                   backend));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kReplResync)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error("device rejected resync");
+    return util::Status::ok();
+}
+
+util::Result<std::uint64_t>
+PfDriver::repl_wait_resync(std::uint32_t backend,
+                           sim::Duration poll_interval,
+                           std::uint64_t max_steps)
+{
+    for (std::uint64_t polls = 0; polls < max_steps; ++polls) {
+        NESC_ASSIGN_OR_RETURN(const ReplBackendStatus status,
+                              repl_backend_status(backend));
+        if (status.state == 0)
+            return polls;
+        simulator_.advance(poll_interval);
+    }
+    return util::unavailable_error("replica resync did not converge");
+}
+
 util::Result<std::size_t>
 PfDriver::prune_vf_tree(pcie::FunctionId fn, std::uint64_t first_vblock,
                         std::uint64_t nblocks)

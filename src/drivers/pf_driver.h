@@ -72,6 +72,21 @@ struct TelemetryEntry {
     std::uint64_t value = 0;
 };
 
+/**
+ * Health snapshot of one replication backend, read through the PF-only
+ * kReplBackend* register window (select latch + RO mirrors).
+ */
+struct ReplBackendStatus {
+    /** Raw repl::BackendState (0 healthy, 1 down, 2 resyncing). */
+    std::uint64_t state = 0;
+    /** Blocks this backend still owes (dirty-extent log size). */
+    std::uint64_t dirty_blocks = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t errors = 0;
+    /** Blocks copied by background resync since attach. */
+    std::uint64_t resync_copied = 0;
+};
+
 /** The PF management driver; see file comment. */
 class PfDriver {
   public:
@@ -128,6 +143,51 @@ class PfDriver {
 
     /** Hypervisor-triggered BTLB flush (e.g. after dedup). */
     util::Status flush_btlb();
+
+    /**
+     * True when the controller has a replica set attached — probed by
+     * reading kReplQuorum, which master-aborts (all-ones) otherwise.
+     */
+    bool repl_attached();
+
+    /** Programs the write-ack quorum (clamped to >= 1 by the device). */
+    util::Status set_repl_quorum(std::uint32_t quorum);
+
+    /** Programs the per-backend read failover timeout. */
+    util::Status set_repl_read_timeout(sim::Duration timeout_ns);
+
+    /**
+     * Reads one backend's health block: latches kReplBackendSelect,
+     * then reads the RO state/dirty/timeout/error/resync mirrors.
+     * NOT_FOUND on an out-of-range backend (all-ones master abort)
+     * or when no replica set is attached.
+     */
+    util::Result<ReplBackendStatus>
+    repl_backend_status(std::uint32_t backend);
+
+    /** Total read-path failover events across all backends. */
+    util::Result<std::uint64_t> repl_failovers();
+
+    /**
+     * Forces @p backend out of the read/write set (administrative
+     * demotion, e.g. ahead of planned maintenance). Foreground writes
+     * keep accumulating in its dirty log for a later resync.
+     */
+    util::Status repl_demote(std::uint32_t backend);
+
+    /** Starts background resync of @p backend from a healthy peer. */
+    util::Status repl_resync(std::uint32_t backend);
+
+    /**
+     * Drives the simulator until @p backend's resync converges (its
+     * state register reads healthy again) or @p max_steps register
+     * polls have elapsed. Each poll advances the simulator by
+     * @p poll_interval. Returns the number of polls used.
+     */
+    util::Result<std::uint64_t>
+    repl_wait_resync(std::uint32_t backend,
+                     sim::Duration poll_interval = 100'000,
+                     std::uint64_t max_steps = 100'000);
 
     /**
      * Reads @p fn's full telemetry-counter directory through the

@@ -224,6 +224,33 @@ inline constexpr std::uint64_t kFetchBatch = 0x168;      // RW (PF)
  * 0 (reset) = one CQ write + MSI per completion.
  */
 inline constexpr std::uint64_t kCompletionBatch = 0x170; // RW (PF)
+
+// Replication block (PF-only). Present only when a repl::ReplicaSet
+// is attached behind the controller; with no set attached every
+// register in the block reads all-ones (master-abort idiom) and
+// writes are dropped. Replication is transparent to VFs: their media
+// traffic is mirrored/routed underneath the translation layer.
+/** Backends that must be durable before a replicated write acks. */
+inline constexpr std::uint64_t kReplQuorum = 0x178;        // RW (PF)
+/** Read-attempt deadline in ns before failover to the next backend. */
+inline constexpr std::uint64_t kReplReadTimeoutNs = 0x180; // RW (PF)
+/**
+ * Backend selector for the per-backend registers below and for the
+ * kReplDemote/kReplResync management commands.
+ */
+inline constexpr std::uint64_t kReplBackendSelect = 0x188; // RW (PF)
+/** BackendState of the selected backend (0 healthy/1 down/2 resync). */
+inline constexpr std::uint64_t kReplBackendState = 0x190;  // RO (PF)
+/** Dirty (unreplicated) blocks owed to the selected backend. */
+inline constexpr std::uint64_t kReplBackendDirty = 0x198;  // RO (PF)
+/** Ack/read timeouts charged to the selected backend. */
+inline constexpr std::uint64_t kReplBackendTimeouts = 0x1a0; // RO (PF)
+/** Media/functional errors charged to the selected backend. */
+inline constexpr std::uint64_t kReplBackendErrors = 0x1a8; // RO (PF)
+/** Blocks copied into the selected backend by background resync. */
+inline constexpr std::uint64_t kReplResyncDone = 0x1b0;    // RO (PF)
+/** Read failovers taken across the set (timeout or error driven). */
+inline constexpr std::uint64_t kReplFailovers = 0x1b8;     // RO (PF)
 } // namespace reg
 
 /** Why a function is quarantined (reg::kQuarantineCause). */
@@ -286,6 +313,18 @@ enum class MgmtCommand : std::uint32_t {
      * guest cannot un-quarantine itself.
      */
     kReleaseQuarantine = 9,
+    /**
+     * Forces demotion of the replication backend selected by
+     * kReplBackendSelect (maintenance drain). Fails when no replica
+     * set is attached.
+     */
+    kReplDemote = 10,
+    /**
+     * Starts (or restarts) background resync of the selected backend,
+     * replaying its dirty-extent log from a healthy peer while
+     * foreground I/O continues.
+     */
+    kReplResync = 11,
 };
 
 /** kMgmtStatus values. */

@@ -6,6 +6,7 @@
 
 #include "extent/layout.h"
 #include "nesc/telemetry.h"
+#include "repl/replica_set.h"
 #include "util/log.h"
 
 #undef NESC_LOG_COMPONENT
@@ -71,6 +72,8 @@ Controller::Controller(sim::Simulator &simulator,
     h_completions_ = metrics_.counter("completions");
     h_holes_zero_filled_ = metrics_.counter("holes_zero_filled");
     h_oob_requests_ = metrics_.counter("oob_requests");
+    h_repl_reads_ = metrics_.counter("repl_reads");
+    h_repl_writes_ = metrics_.counter("repl_writes");
     // The PF is permanently active and spans the whole physical device.
     FunctionContext &pf = contexts_[pcie::kPhysicalFunctionId];
     pf.active = true;
@@ -82,6 +85,15 @@ Controller::Controller(sim::Simulator &simulator,
     dma_.set_violation_hook(
         [this](pcie::FunctionId fn, pcie::HostAddr addr,
                std::uint64_t size) { note_dma_violation(fn, addr, size); });
+}
+
+void
+Controller::attach_replicas(repl::ReplicaSet *replicas)
+{
+    replicas_ = replicas;
+    repl_backend_select_ = 0;
+    if (replicas_ != nullptr)
+        metrics_.bump("repl_attached");
 }
 
 bool
@@ -300,6 +312,49 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
         return pack_telemetry_name(kTelemetryCounters[index].name,
                                    chunk * 8);
       }
+      // Replication block: PF-only. With no replica set attached the
+      // whole block reads all-ones (master-abort idiom), so a poller
+      // can feature-detect replication without faulting.
+      case reg::kReplQuorum:
+      case reg::kReplReadTimeoutNs:
+      case reg::kReplBackendSelect:
+      case reg::kReplBackendState:
+      case reg::kReplBackendDirty:
+      case reg::kReplBackendTimeouts:
+      case reg::kReplBackendErrors:
+      case reg::kReplResyncDone:
+      case reg::kReplFailovers: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "replication regs are PF-only");
+        if (replicas_ == nullptr)
+            return ~std::uint64_t{0};
+        if (offset == reg::kReplQuorum)
+            return replicas_->config().quorum;
+        if (offset == reg::kReplReadTimeoutNs)
+            return static_cast<std::uint64_t>(
+                replicas_->config().read_timeout);
+        if (offset == reg::kReplBackendSelect)
+            return repl_backend_select_;
+        if (offset == reg::kReplFailovers)
+            return replicas_->failovers();
+        const std::size_t backend = repl_backend_select_;
+        if (backend >= replicas_->backend_count())
+            return ~std::uint64_t{0};
+        switch (offset) {
+          case reg::kReplBackendState:
+            return static_cast<std::uint64_t>(
+                replicas_->backend_state(backend));
+          case reg::kReplBackendDirty:
+            return replicas_->dirty_blocks(backend);
+          case reg::kReplBackendTimeouts:
+            return replicas_->backend_timeouts(backend);
+          case reg::kReplBackendErrors:
+            return replicas_->backend_errors(backend);
+          default:
+            return replicas_->resync_copied(backend);
+        }
+      }
       default:
         return util::invalid_argument_error("unknown register read at " +
                                             std::to_string(offset));
@@ -442,6 +497,20 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
       case reg::kTelemetrySelect:
         telemetry_select_ = static_cast<std::uint32_t>(value);
         return util::Status::ok();
+      // Replication knobs: silently dropped when no set is attached
+      // (the matching reads return all-ones, so software knows).
+      case reg::kReplQuorum:
+        if (replicas_ != nullptr)
+            replicas_->set_quorum(static_cast<std::uint32_t>(value));
+        return util::Status::ok();
+      case reg::kReplReadTimeoutNs:
+        if (replicas_ != nullptr)
+            replicas_->set_read_timeout(
+                static_cast<sim::Duration>(value));
+        return util::Status::ok();
+      case reg::kReplBackendSelect:
+        repl_backend_select_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
       default:
         return util::invalid_argument_error("unknown register write at " +
                                             std::to_string(offset));
@@ -468,6 +537,9 @@ Controller::pf_only_write(std::uint64_t offset)
       case reg::kTelemetrySelect:
       case reg::kFetchBatch:
       case reg::kCompletionBatch:
+      case reg::kReplQuorum:
+      case reg::kReplReadTimeoutNs:
+      case reg::kReplBackendSelect:
         return true;
       default:
         return false;
@@ -596,6 +668,25 @@ Controller::mgmt_execute(MgmtCommand command)
         if (!c.active || !c.quarantined)
             return err;
         release_quarantine(fn);
+        return ok;
+      }
+      case MgmtCommand::kReplDemote: {
+        if (replicas_ == nullptr ||
+            repl_backend_select_ >= replicas_->backend_count())
+            return err;
+        replicas_->demote_backend(repl_backend_select_);
+        metrics_.bump("repl_demotions_forced");
+        return ok;
+      }
+      case MgmtCommand::kReplResync: {
+        if (replicas_ == nullptr ||
+            repl_backend_select_ >= replicas_->backend_count() ||
+            replicas_->backend_crashed(repl_backend_select_))
+            return err;
+        tracer_.instant(obs::Stage::kResync, pcie::kPhysicalFunctionId,
+                        simulator_.now());
+        replicas_->start_resync(repl_backend_select_);
+        metrics_.bump("repl_resyncs_started");
         return ok;
       }
     }
@@ -1486,6 +1577,13 @@ void
 Controller::start_transfer(const BlockOp &op, extent::Plba plba)
 {
     ++inflight_transfers_;
+    if (replicas_ != nullptr) {
+        // Replication layer attached: route the media access to the
+        // replica set (mirrored writes, failover reads) instead of the
+        // local device. DMA to/from the host is unchanged.
+        start_replicated_transfer(op, plba);
+        return;
+    }
     const std::uint64_t media_offset =
         plba * static_cast<std::uint64_t>(kDeviceBlockSize);
 
@@ -1561,6 +1659,92 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
                           pump();
                       });
               });
+}
+
+void
+Controller::start_replicated_transfer(const BlockOp &op,
+                                      extent::Plba plba)
+{
+    const sim::Time t_start = simulator_.now();
+    if (op.op == Opcode::kRead) {
+        // Failover read from the replica set, then DMA to the host
+        // buffer. The shared_ptr keeps the staging buffer alive across
+        // the set's retry chain.
+        auto data = std::make_shared<std::vector<std::byte>>(
+            dma_.acquire_buffer(kDeviceBlockSize));
+        replicas_->read(
+            plba, std::span<std::byte>(*data),
+            [this, op, data, t_start](util::Status status) {
+                tracer_.span(obs::Stage::kReplRead, op.fn, t_start,
+                             simulator_.now(), op.tag, op.vlba);
+                metrics_.add(h_repl_reads_);
+                if (!status.is_ok()) {
+                    --inflight_transfers_;
+                    ++ctx(op.fn).stats.media_errors;
+                    metrics_.bump("repl_read_failures");
+                    dma_.recycle_buffer(std::move(*data));
+                    complete_block(op, CompletionStatus::kReadMediaError);
+                    pump();
+                    return;
+                }
+                dma_.write(op.fn, op.buffer, std::move(*data),
+                           [this, op](util::Status dma_status) {
+                               --inflight_transfers_;
+                               ctx(op.fn).stats.blocks_read += 1;
+                               CompletionStatus s = CompletionStatus::kOk;
+                               if (!dma_status.is_ok()) {
+                                   s = dma_status.code() ==
+                                               util::ErrorCode::
+                                                   kPermissionDenied
+                                           ? CompletionStatus::kDmaFault
+                                           : CompletionStatus::
+                                                 kInternalError;
+                               }
+                               complete_block(op, s);
+                               pump();
+                           });
+            });
+        return;
+    }
+
+    // Write: DMA the payload from host memory, then mirror it through
+    // the replica set; the completion acks at quorum durability.
+    dma_.read(
+        op.fn, op.buffer, kDeviceBlockSize,
+        [this, op, plba, t_start](util::Status status,
+                                  std::vector<std::byte> data) {
+            if (!status.is_ok()) {
+                --inflight_transfers_;
+                complete_block(
+                    op, status.code() ==
+                                util::ErrorCode::kPermissionDenied
+                            ? CompletionStatus::kDmaFault
+                            : CompletionStatus::kInternalError);
+                pump();
+                return;
+            }
+            replicas_->write(
+                plba, data, [this, op, t_start](util::Status wstatus) {
+                    tracer_.span(obs::Stage::kReplWrite, op.fn, t_start,
+                                 simulator_.now(), op.tag, op.vlba);
+                    metrics_.add(h_repl_writes_);
+                    --inflight_transfers_;
+                    if (!wstatus.is_ok()) {
+                        ++ctx(op.fn).stats.media_errors;
+                        metrics_.bump("repl_write_failures");
+                        complete_block(op,
+                                       CompletionStatus::kWriteMediaError);
+                        pump();
+                        return;
+                    }
+                    ctx(op.fn).stats.blocks_written += 1;
+                    complete_block(op, CompletionStatus::kOk);
+                    pump();
+                });
+            // The set copied the payload at submission; the staging
+            // buffer can go back to the pool before the ack.
+            dma_.recycle_buffer(std::move(data));
+        });
 }
 
 void

@@ -49,6 +49,10 @@
 #include "util/stats.h"
 #include "util/status.h"
 
+namespace nesc::repl {
+class ReplicaSet;
+} // namespace nesc::repl
+
 namespace nesc::ctrl {
 
 /** Microarchitectural parameters of the controller. */
@@ -200,6 +204,18 @@ class Controller : public pcie::FunctionMmioDevice {
     obs::MetricsRegistry &counters() { return metrics_; }
     const obs::MetricsRegistry &counters() const { return metrics_; }
     storage::BlockDevice &device() { return device_; }
+
+    /**
+     * Attaches a replica set behind the data-transfer unit: all media
+     * traffic (every path funnels through start_transfer) is routed to
+     * it instead of the local device — reads with failover, writes
+     * mirrored to a quorum. nullptr detaches, restoring the local
+     * single-device path bit-exactly. The set must outlive the
+     * controller (or be detached first) and its data region must cover
+     * the pLBA space the extent trees map.
+     */
+    void attach_replicas(repl::ReplicaSet *replicas);
+    repl::ReplicaSet *replicas() { return replicas_; }
 
     /**
      * Lifecycle tracer. Off by default; enable() starts span
@@ -410,6 +426,8 @@ class Controller : public pcie::FunctionMmioDevice {
     void release_walker();
     void start_transfers();
     void start_transfer(const BlockOp &op, extent::Plba plba);
+    /** start_transfer body when a replica set is attached. */
+    void start_replicated_transfer(const BlockOp &op, extent::Plba plba);
     void start_zero_fill(const BlockOp &op);
     void complete_block(const BlockOp &op, CompletionStatus status);
     /**
@@ -478,6 +496,10 @@ class Controller : public pcie::FunctionMmioDevice {
     sim::Simulator &simulator_;
     pcie::HostMemory &host_memory_;
     storage::BlockDevice &device_;
+    /** Replication layer; nullptr = local single-device path. */
+    repl::ReplicaSet *replicas_ = nullptr;
+    /** reg::kReplBackendSelect latch. */
+    std::uint32_t repl_backend_select_ = 0;
     pcie::InterruptController &irq_;
     ControllerConfig config_;
     pcie::DmaWindowTable dma_windows_;
@@ -537,6 +559,8 @@ class Controller : public pcie::FunctionMmioDevice {
     obs::MetricsRegistry::Handle h_completions_;
     obs::MetricsRegistry::Handle h_holes_zero_filled_;
     obs::MetricsRegistry::Handle h_oob_requests_;
+    obs::MetricsRegistry::Handle h_repl_reads_;
+    obs::MetricsRegistry::Handle h_repl_writes_;
     obs::Tracer tracer_;
     obs::LinkTraceObserver link_observer_;
     obs::LogHistogram stage_queue_;

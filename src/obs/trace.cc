@@ -42,6 +42,12 @@ stage_name(Stage stage)
         return "abort";
     case Stage::kQuarantine:
         return "quarantine";
+    case Stage::kReplRead:
+        return "repl_read";
+    case Stage::kReplWrite:
+        return "repl_write";
+    case Stage::kResync:
+        return "resync";
     case Stage::kCount:
         break;
     }

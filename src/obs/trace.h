@@ -52,6 +52,9 @@ enum class Stage : std::uint8_t {
     kValidateFail, ///< descriptor/ring validation rejection (instant)
     kAbort,        ///< command aborted by watchdog/reset (instant)
     kQuarantine,   ///< function moved to quarantine (instant)
+    kReplRead,     ///< block op served by the replica set (read path)
+    kReplWrite,    ///< block op mirrored by the replica set (write path)
+    kResync,       ///< background replica resync activity
     kCount,
 };
 

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Dirty-extent log for replica resynchronization.
+ *
+ * Every replicated write is logged against each target backend when it
+ * is submitted and cleared when that backend acknowledges it durable.
+ * A healthy backend's log therefore holds only its in-flight window;
+ * the log of a crashed or demoted backend keeps accumulating — it is
+ * exactly the set of blocks that backend may have missed, and the
+ * background resync engine drains it range by range. Tracking from
+ * submission (not from the failure) means a backend that dies with
+ * writes in flight needs no guesswork about which of them landed:
+ * anything unacknowledged is re-copied.
+ *
+ * Ranges are kept merged and disjoint, so the log is O(fragments), not
+ * O(blocks), and resync batches walk it in address order.
+ */
+#ifndef NESC_REPL_DIRTY_LOG_H
+#define NESC_REPL_DIRTY_LOG_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace nesc::repl {
+
+/** Merged, disjoint set of dirty block ranges; see file comment. */
+class DirtyLog {
+  public:
+    /** One dirty range: first block and block count. */
+    struct Range {
+        std::uint64_t first = 0;
+        std::uint64_t count = 0;
+    };
+
+    /** Marks [first, first + count) dirty (merging neighbours). */
+    void
+    add(std::uint64_t first, std::uint64_t count)
+    {
+        if (count == 0)
+            return;
+        std::uint64_t lo = first;
+        std::uint64_t hi = first + count;
+        // Absorb any range that overlaps or abuts [lo, hi).
+        auto it = ranges_.upper_bound(lo);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second >= lo)
+                it = prev;
+        }
+        while (it != ranges_.end() && it->first <= hi) {
+            lo = std::min(lo, it->first);
+            hi = std::max(hi, it->first + it->second);
+            total_ -= it->second;
+            it = ranges_.erase(it);
+        }
+        ranges_[lo] = hi - lo;
+        total_ += hi - lo;
+    }
+
+    /** Clears [first, first + count); splits ranges as needed. */
+    void
+    remove(std::uint64_t first, std::uint64_t count)
+    {
+        if (count == 0)
+            return;
+        const std::uint64_t lo = first;
+        const std::uint64_t hi = first + count;
+        auto it = ranges_.lower_bound(lo);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second > lo)
+                it = prev;
+        }
+        while (it != ranges_.end() && it->first < hi) {
+            const std::uint64_t r_lo = it->first;
+            const std::uint64_t r_hi = it->first + it->second;
+            total_ -= it->second;
+            it = ranges_.erase(it);
+            if (r_lo < lo) {
+                ranges_[r_lo] = lo - r_lo;
+                total_ += lo - r_lo;
+            }
+            if (r_hi > hi) {
+                ranges_[hi] = r_hi - hi;
+                total_ += r_hi - hi;
+            }
+        }
+    }
+
+    /** True when [first, first + count) is fully dirty. */
+    bool
+    covers(std::uint64_t first, std::uint64_t count) const
+    {
+        if (count == 0)
+            return true;
+        auto it = ranges_.upper_bound(first);
+        if (it == ranges_.begin())
+            return false;
+        --it;
+        return it->first <= first &&
+               it->first + it->second >= first + count;
+    }
+
+    /** True when any block of [first, first + count) is dirty. */
+    bool
+    intersects(std::uint64_t first, std::uint64_t count) const
+    {
+        if (count == 0)
+            return false;
+        auto it = ranges_.upper_bound(first);
+        if (it != ranges_.end() && it->first < first + count)
+            return true;
+        if (it == ranges_.begin())
+            return false;
+        --it;
+        return it->first + it->second > first;
+    }
+
+    /**
+     * Lowest-addressed dirty range, clipped to @p max_blocks; empty
+     * optional when the log is clean.
+     */
+    std::optional<Range>
+    first(std::uint64_t max_blocks) const
+    {
+        if (ranges_.empty() || max_blocks == 0)
+            return std::nullopt;
+        const auto &[lo, count] = *ranges_.begin();
+        return Range{lo, std::min(count, max_blocks)};
+    }
+
+    bool empty() const { return ranges_.empty(); }
+    /** Total dirty blocks across all ranges. */
+    std::uint64_t total_blocks() const { return total_; }
+    /** Number of disjoint ranges (fragmentation metric). */
+    std::size_t range_count() const { return ranges_.size(); }
+
+    void
+    clear()
+    {
+        ranges_.clear();
+        total_ = 0;
+    }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> ranges_; ///< first -> count
+    std::uint64_t total_ = 0;
+};
+
+} // namespace nesc::repl
+
+#endif // NESC_REPL_DIRTY_LOG_H

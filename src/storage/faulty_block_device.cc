@@ -4,7 +4,8 @@ namespace nesc::storage {
 
 FaultyBlockDevice::FaultyBlockDevice(BlockDevice &inner,
                                      const FaultPlan &plan)
-    : inner_(inner), plan_(plan), rng_(plan.seed)
+    : inner_(inner), plan_(plan), rng_(plan.seed),
+      stall_rng_(plan.seed ^ 0x5741'4c4c'5354'414cULL) // "STALL" salt
 {
 }
 
@@ -31,7 +32,9 @@ FaultyBlockDevice::draw(bool is_read, std::uint64_t offset,
 {
     const std::uint64_t index = op_index_++;
     for (const ScheduledFault &sched : plan_.schedule) {
-        if (sched.op_index == index && sched.kind != InjectedFault::kNone)
+        // kStall entries live in the timing-op index space; skip here.
+        if (sched.op_index == index && sched.kind != InjectedFault::kNone &&
+            sched.kind != InjectedFault::kStall)
             return sched.kind;
     }
     if (overlaps_bad_range(offset, bytes)) {
@@ -79,10 +82,31 @@ FaultyBlockDevice::read(std::uint64_t offset, std::span<std::byte> out)
         return util::Status::ok();
       }
       case InjectedFault::kWriteError:
+      case InjectedFault::kStall:
       case InjectedFault::kNone:
         break;
     }
     return inner_.read(offset, out);
+}
+
+sim::Duration
+FaultyBlockDevice::draw_stall()
+{
+    const std::uint64_t index = timing_op_index_++;
+    bool stall = false;
+    for (const ScheduledFault &sched : plan_.schedule) {
+        if (sched.op_index == index && sched.kind == InjectedFault::kStall)
+            stall = true;
+    }
+    // Exactly one draw per timing op, even when scheduled, so the
+    // stall stream is stable under schedule edits.
+    if (stall_rng_.next_bool(plan_.stall_prob))
+        stall = true;
+    if (!stall)
+        return 0;
+    ++counters_["injected_faults"];
+    ++counters_["stall_faults"];
+    return plan_.stall_ns;
 }
 
 util::Status
@@ -99,6 +123,7 @@ FaultyBlockDevice::write(std::uint64_t offset, std::span<const std::byte> in)
         return util::unavailable_error("injected transient write fault");
       case InjectedFault::kReadError:
       case InjectedFault::kCorrupt:
+      case InjectedFault::kStall:
       case InjectedFault::kNone:
         break;
     }

@@ -14,13 +14,20 @@
  *   - latent bad-block ranges that fail every access overlapping them
  *     (the classic grown-defect list);
  *   - silent bit corruption: the read succeeds but one bit of the
- *     returned payload is flipped (detectable only end-to-end).
+ *     returned payload is flipped (detectable only end-to-end);
+ *   - stalls: the operation succeeds but completes arbitrarily late
+ *     (a sick disk, a dropped-and-retried fabric frame). Stalls are a
+ *     timing fault: they stretch service_read/service_write without
+ *     touching the functional result, which is what failover timeout
+ *     logic has to be exercised against.
  *
  * Faults can also be scheduled by operation index, which gives tests
  * single-shot deterministic triggers without probability tuning. The
- * timing path (service_read/service_write) is forwarded untouched:
- * failed media operations still occupy the media port, as they do on
- * real hardware.
+ * timing path (service_read/service_write) is otherwise forwarded
+ * untouched: failed media operations still occupy the media port, as
+ * they do on real hardware. Stall draws come from a separate RNG
+ * stream and a separate (timing-)op index space, so enabling them
+ * never perturbs the functional fault stream of an existing seed.
  */
 #ifndef NESC_STORAGE_FAULTY_BLOCK_DEVICE_H
 #define NESC_STORAGE_FAULTY_BLOCK_DEVICE_H
@@ -40,6 +47,7 @@ enum class InjectedFault : std::uint8_t {
     kWriteError, ///< hard media error on a write (DATA_LOSS)
     kTransient,  ///< transient failure (UNAVAILABLE); retry may succeed
     kCorrupt,    ///< silent single-bit flip in returned read data
+    kStall,      ///< completes correctly but arbitrarily late (timing)
 };
 
 /** A block range that always fails (grown media defect). */
@@ -50,7 +58,11 @@ struct BadBlockRange {
 
 /** A single-shot fault triggered at the Nth media operation. */
 struct ScheduledFault {
-    /** Zero-based index in the combined read+write operation stream. */
+    /**
+     * Zero-based index in the combined read+write operation stream.
+     * kStall entries index the *timing*-op stream (service_read/
+     * service_write calls) instead; the two spaces are independent.
+     */
     std::uint64_t op_index = 0;
     InjectedFault kind = InjectedFault::kNone;
 };
@@ -66,6 +78,10 @@ struct FaultPlan {
     double transient_prob = 0.0;
     /** Per-read probability of a silent bit flip in the payload. */
     double corrupt_prob = 0.0;
+    /** Per-timing-op probability of a stall (drawn from its own RNG). */
+    double stall_prob = 0.0;
+    /** Extra completion delay a stalled operation suffers. */
+    sim::Duration stall_ns = 10'000'000; // 10 ms
     /** Ranges (device blocks) that fail every overlapping access. */
     std::vector<BadBlockRange> bad_blocks;
     /** Deterministic single-shot triggers, by media-op index. */
@@ -89,13 +105,13 @@ class FaultyBlockDevice : public BlockDevice {
     service_read(sim::Time start, std::uint64_t offset,
                  std::uint64_t bytes) override
     {
-        return inner_.service_read(start, offset, bytes);
+        return inner_.service_read(start, offset, bytes) + draw_stall();
     }
     sim::Time
     service_write(sim::Time start, std::uint64_t offset,
                   std::uint64_t bytes) override
     {
-        return inner_.service_write(start, offset, bytes);
+        return inner_.service_write(start, offset, bytes) + draw_stall();
     }
 
     std::uint64_t bytes_read() const override { return inner_.bytes_read(); }
@@ -110,24 +126,32 @@ class FaultyBlockDevice : public BlockDevice {
     /**
      * Injection accounting: `injected_faults` (total) plus one counter
      * per class (`read_media_errors`, `write_media_errors`,
-     * `transient_faults`, `silent_corruptions`, `bad_block_hits`).
+     * `transient_faults`, `silent_corruptions`, `bad_block_hits`,
+     * `stall_faults`).
      */
     const util::CounterGroup &counters() const { return counters_; }
 
     /** Media operations observed so far (schedule index space). */
     std::uint64_t ops_seen() const { return op_index_; }
+    /** Timing operations observed so far (kStall schedule space). */
+    std::uint64_t timing_ops_seen() const { return timing_op_index_; }
 
   private:
     /** Picks the fault (if any) for the current op; advances the RNG. */
     InjectedFault draw(bool is_read, std::uint64_t offset,
                        std::uint64_t bytes);
+    /** Stall delay (0 when none) for the current timing op. */
+    sim::Duration draw_stall();
     bool overlaps_bad_range(std::uint64_t offset, std::uint64_t bytes) const;
 
     BlockDevice &inner_;
     FaultPlan plan_;
     util::Rng rng_;
+    /** Independent stream so stalls never shift the functional draws. */
+    util::Rng stall_rng_;
     util::CounterGroup counters_;
     std::uint64_t op_index_ = 0;
+    std::uint64_t timing_op_index_ = 0;
 };
 
 } // namespace nesc::storage

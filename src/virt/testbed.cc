@@ -43,6 +43,32 @@ Testbed::create(const TestbedConfig &config)
 util::Status
 Testbed::init()
 {
+    // 0. Optional replicated data path: mirrored backends behind the
+    //    controller. Wired before any I/O so even the hypervisor FS
+    //    format traffic is replicated.
+    if (config_.replication) {
+        const TestbedReplicationConfig &repl = *config_.replication;
+        if (repl.backends < 2)
+            return util::invalid_argument_error(
+                "replication needs at least 2 backends");
+        replicas_ =
+            std::make_unique<repl::ReplicaSet>(sim_, repl.set);
+        // Size each backend so its data region (capacity minus the
+        // journal reservation at the end) matches the primary device.
+        storage::MemBlockDeviceConfig media = repl.media;
+        media.logical_block_size =
+            device_->geometry().logical_block_size;
+        media.capacity_bytes =
+            device_->geometry().capacity_bytes +
+            repl.backend.journal_blocks * media.logical_block_size;
+        for (std::uint32_t i = 0; i < repl.backends; ++i) {
+            repl_media_.push_back(
+                std::make_unique<storage::MemBlockDevice>(media));
+            replicas_->add_backend(*repl_media_.back(), repl.backend);
+        }
+        controller_.attach_replicas(replicas_.get());
+    }
+
     // 1. PF driver: data path + fault service (no FS yet).
     pf_ = std::make_unique<drv::PfDriver>(sim_, host_memory_, bar_, irq_,
                                           config_.pf);

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "blocklayer/os_block_stack.h"
 #include "drivers/function_driver.h"
@@ -28,6 +29,7 @@
 #include "pcie/host_memory.h"
 #include "pcie/interrupts.h"
 #include "pcie/mmio.h"
+#include "repl/replica_set.h"
 #include "sim/simulator.h"
 #include "storage/flash_block_device.h"
 #include "storage/mem_block_device.h"
@@ -36,6 +38,28 @@
 #include "virt/virtual_disk.h"
 
 namespace nesc::virt {
+
+/**
+ * Optional replicated storage behind the controller: the single
+ * physical device is replaced (for the data path) by a set of
+ * mirrored DRAM backends reached over modelled links, with quorum
+ * writes, read failover, and background resync (src/repl).
+ */
+struct TestbedReplicationConfig {
+    /** Mirrored backends (2-3; the failover bench kills one of 3). */
+    std::uint32_t backends = 3;
+    /** Set-wide policy: quorum, timeouts, demotion, resync pacing. */
+    repl::ReplicaSetConfig set;
+    /** Per-backend link shape + journal reservation. */
+    repl::BackendConfig backend;
+    /**
+     * Media shape of each backend. Capacity is sized automatically to
+     * the controller device plus the journal reservation so the
+     * replicated data region matches the single-device capacity.
+     */
+    storage::MemBlockDeviceConfig media =
+        storage::MemBlockDeviceConfig::vc707_prototype();
+};
 
 /** System-wide configuration. */
 struct TestbedConfig {
@@ -48,6 +72,12 @@ struct TestbedConfig {
      * flash config's own capacity field supersedes.
      */
     std::optional<storage::FlashConfig> flash;
+    /**
+     * When set, all controller media traffic is mirrored across this
+     * replica set instead of the single device (robustness runs).
+     * Absent by default: the single-device data path is untouched.
+     */
+    std::optional<TestbedReplicationConfig> replication;
     ctrl::ControllerConfig controller;
     std::uint64_t host_memory_bytes = 256ULL << 20;
     /** BAR page size used for the SR-IOV emulation (prototype: 4 KiB). */
@@ -96,6 +126,13 @@ class Testbed {
     ctrl::Controller &controller() { return controller_; }
     pcie::BarPageRouter &bar() { return bar_; }
     drv::PfDriver &pf() { return *pf_; }
+    /** The replica set when configured; nullptr otherwise. */
+    repl::ReplicaSet *replicas() { return replicas_.get(); }
+    /** Backend @p index's raw media (fault injection in tests). */
+    storage::BlockDevice &replica_media(std::size_t index)
+    {
+        return *repl_media_.at(index);
+    }
     fs::NestFs &hv_fs() { return *hv_fs_; }
     const TestbedConfig &config() const { return config_; }
     const CostModel &costs() const { return config_.costs; }
@@ -160,6 +197,8 @@ class Testbed {
     sim::Simulator sim_;
     pcie::HostMemory host_memory_;
     std::unique_ptr<storage::BlockDevice> device_;
+    std::vector<std::unique_ptr<storage::BlockDevice>> repl_media_;
+    std::unique_ptr<repl::ReplicaSet> replicas_;
     pcie::InterruptController irq_;
     ctrl::Controller controller_;
     pcie::BarPageRouter bar_;

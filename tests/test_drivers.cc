@@ -9,6 +9,7 @@
 
 #include "extent/walker.h"
 #include "fs/extent_map.h"
+#include "storage/faulty_block_device.h"
 #include "virt/testbed.h"
 #include "workloads/dd.h"
 
@@ -240,6 +241,71 @@ TEST_F(DriversTest, MultipleVfsOverDistinctFiles)
         ASSERT_TRUE(vms[i]->raw_disk().read_blocks(10, 1, back).is_ok());
         EXPECT_EQ(back[0], static_cast<std::byte>(0x10 + i));
     }
+}
+
+// --- Retry backoff jitter -----------------------------------------------
+
+/**
+ * Runs a PF read that hits @p transients transient media faults and
+ * returns the total simulated time the request took, under the given
+ * jitter settings. Everything is seeded, so equal settings must give
+ * equal times.
+ */
+sim::Duration
+timed_retry_run(double jitter, std::uint64_t jitter_seed)
+{
+    sim::Simulator sim;
+    pcie::HostMemory host_memory(16 << 20);
+    storage::MemBlockDeviceConfig mcfg;
+    mcfg.capacity_bytes = 4 << 20;
+    storage::MemBlockDevice inner(mcfg);
+    storage::FaultPlan plan;
+    plan.seed = 9;
+    plan.schedule.push_back({0, storage::InjectedFault::kTransient});
+    plan.schedule.push_back({1, storage::InjectedFault::kTransient});
+    storage::FaultyBlockDevice faulty(inner, plan);
+    pcie::InterruptController irq(sim);
+    ctrl::Controller controller(sim, host_memory, faulty, irq);
+    pcie::BarPageRouter bar(controller, 4096,
+                            controller.num_functions());
+
+    FunctionDriverConfig config;
+    config.retry_jitter = jitter;
+    config.jitter_seed = jitter_seed;
+    FunctionDriver driver(sim, host_memory, bar, irq,
+                          pcie::kPhysicalFunctionId, config);
+    EXPECT_TRUE(driver.init().is_ok());
+
+    std::vector<std::byte> buf(1024);
+    const sim::Time start = sim.now();
+    EXPECT_TRUE(driver.read_sync(0, 1, buf).is_ok());
+    EXPECT_EQ(driver.retries(), 2u);
+    return sim.now() - start;
+}
+
+TEST(RetryJitter, ZeroJitterKeepsLegacyExponentialBackoff)
+{
+    // jitter = 0 must reproduce the exact historical delays, bit for
+    // bit, independent of the seed field.
+    const sim::Duration a = timed_retry_run(0.0, 1);
+    const sim::Duration b = timed_retry_run(0.0, 2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RetryJitter, JitterSpreadsRetriesDeterministically)
+{
+    const sim::Duration base = timed_retry_run(0.0, 1);
+    const sim::Duration jittered = timed_retry_run(0.4, 1);
+    // Same settings, same timeline.
+    EXPECT_EQ(jittered, timed_retry_run(0.4, 1));
+    // The scaled delays actually moved, but stayed within the band:
+    // two retries of 10 us and 20 us can shift by at most 40% each.
+    EXPECT_NE(jittered, base);
+    const sim::Duration spread = 2 * 4'000 + 2 * 8'000;
+    EXPECT_LE(jittered > base ? jittered - base : base - jittered,
+              spread);
+    // Different seeds explore different points of the band.
+    EXPECT_NE(jittered, timed_retry_run(0.4, 99));
 }
 
 } // namespace

@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Tests for the replicated multi-backend storage subsystem (src/repl):
+ * the dirty-extent log, the journaled per-replica blockstore, quorum
+ * writes, read failover with organic crash detection, automatic
+ * demotion, background resync, and the controller/PF-driver surface.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nesc/controller.h"
+#include "repl/blockstore.h"
+#include "repl/dirty_log.h"
+#include "repl/replica_set.h"
+#include "sim/simulator.h"
+#include "storage/mem_block_device.h"
+#include "virt/testbed.h"
+#include "workloads/dd.h"
+
+namespace nesc::repl {
+namespace {
+
+// --- DirtyLog ------------------------------------------------------------
+
+TEST(DirtyLog, AddMergesNeighbours)
+{
+    DirtyLog log;
+    log.add(10, 5);
+    log.add(20, 5);
+    EXPECT_EQ(log.range_count(), 2u);
+    EXPECT_EQ(log.total_blocks(), 10u);
+    log.add(15, 5); // bridges the gap: one range [10, 25)
+    EXPECT_EQ(log.range_count(), 1u);
+    EXPECT_EQ(log.total_blocks(), 15u);
+    log.add(12, 2); // fully contained: no change
+    EXPECT_EQ(log.total_blocks(), 15u);
+}
+
+TEST(DirtyLog, RemoveSplitsRanges)
+{
+    DirtyLog log;
+    log.add(0, 100);
+    log.remove(40, 20);
+    EXPECT_EQ(log.range_count(), 2u);
+    EXPECT_EQ(log.total_blocks(), 80u);
+    EXPECT_TRUE(log.covers(0, 40));
+    EXPECT_TRUE(log.covers(60, 40));
+    EXPECT_FALSE(log.covers(39, 2));
+    log.remove(0, 100);
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(log.total_blocks(), 0u);
+}
+
+TEST(DirtyLog, CoversAndIntersects)
+{
+    DirtyLog log;
+    log.add(50, 10);
+    EXPECT_TRUE(log.covers(50, 10));
+    EXPECT_TRUE(log.covers(55, 5));
+    EXPECT_FALSE(log.covers(45, 10));
+    EXPECT_TRUE(log.intersects(45, 10));
+    EXPECT_TRUE(log.intersects(59, 10));
+    EXPECT_FALSE(log.intersects(60, 10));
+    EXPECT_FALSE(log.intersects(0, 50));
+}
+
+TEST(DirtyLog, FirstClipsToBatch)
+{
+    DirtyLog log;
+    log.add(30, 100);
+    auto range = log.first(16);
+    ASSERT_TRUE(range.has_value());
+    EXPECT_EQ(range->first, 30u);
+    EXPECT_EQ(range->count, 16u);
+    log.clear();
+    EXPECT_FALSE(log.first(16).has_value());
+}
+
+// --- JournaledBlockstore -------------------------------------------------
+
+storage::MemBlockDeviceConfig
+fast_media(std::uint64_t capacity = 1 << 20)
+{
+    storage::MemBlockDeviceConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.read_bytes_per_sec = 0;
+    cfg.write_bytes_per_sec = 0;
+    cfg.access_latency = 0;
+    return cfg;
+}
+
+TEST(JournaledBlockstore, RoundTripAndStateCounters)
+{
+    storage::MemBlockDevice dev(fast_media());
+    JournaledBlockstore store(dev, 16);
+    EXPECT_EQ(store.data_blocks(), (1u << 20) / 1024 - 16);
+
+    std::vector<std::byte> out(3 * 1024), in(3 * 1024);
+    wl::fill_pattern(7, 0, out);
+    ASSERT_TRUE(store.write_blocks(5, out).is_ok());
+    ASSERT_TRUE(store.read_blocks(5, in).is_ok());
+    EXPECT_EQ(out, in);
+    // One write walked the full state machine.
+    EXPECT_EQ(store.writes_started(), 1u);
+    EXPECT_EQ(store.writes_submitted(), 1u);
+    EXPECT_EQ(store.writes_synced(), 1u);
+    EXPECT_EQ(store.writes_stable(), 1u);
+}
+
+TEST(JournaledBlockstore, RejectsPartialBlocksAndOutOfRange)
+{
+    storage::MemBlockDevice dev(fast_media());
+    JournaledBlockstore store(dev, 16);
+    std::vector<std::byte> buf(100); // not a block multiple
+    EXPECT_FALSE(store.write_blocks(0, buf).is_ok());
+    buf.assign(1024, std::byte{0});
+    EXPECT_FALSE(store.write_blocks(store.data_blocks(), buf).is_ok());
+}
+
+TEST(JournaledBlockstore, TimingChargesJournalAmplification)
+{
+    storage::MemBlockDeviceConfig cfg = fast_media();
+    cfg.access_latency = 1000; // visible per-media-op cost
+    storage::MemBlockDevice dev(cfg);
+    JournaledBlockstore store(dev, 16);
+    // Reads pass straight through (checked first: the media port is a
+    // single busy horizon, so later ops queue behind the journal).
+    EXPECT_EQ(store.service_read(0, 0, 1024), 1000u);
+    // desc + payload + commit + checkpoint = 4 sequential media writes.
+    const sim::Time start = 1000;
+    EXPECT_EQ(store.service_write(start, 0, 1024), start + 4u * 1000u);
+}
+
+TEST(JournaledBlockstore, RecoverIsIdempotentOnCleanStore)
+{
+    storage::MemBlockDevice dev(fast_media());
+    JournaledBlockstore store(dev, 16);
+    std::vector<std::byte> buf(1024);
+    wl::fill_pattern(3, 0, buf);
+    ASSERT_TRUE(store.write_blocks(0, buf).is_ok());
+
+    JournaledBlockstore again(dev, 16);
+    auto replayed = again.recover();
+    ASSERT_TRUE(replayed.is_ok());
+    // The checkpoint already landed; replay redoes it harmlessly.
+    std::vector<std::byte> in(1024);
+    ASSERT_TRUE(again.read_blocks(0, in).is_ok());
+    EXPECT_EQ(buf, in);
+    auto twice = again.recover();
+    ASSERT_TRUE(twice.is_ok());
+    EXPECT_EQ(*twice, *replayed);
+}
+
+// --- ReplicaSet ----------------------------------------------------------
+
+/** Three fast backends over zero-latency links, quorum 2. */
+class ReplicaSetTest : public ::testing::Test {
+  protected:
+    ReplicaSetTest()
+    {
+        config_.quorum = 2;
+        config_.read_timeout = 100'000;
+        config_.write_timeout = 100'000;
+        config_.demote_threshold = 3;
+        set_ = std::make_unique<ReplicaSet>(sim_, config_);
+        BackendConfig backend;
+        backend.link_bytes_per_sec = 0;
+        backend.link_latency = 1'000;
+        backend.journal_blocks = 16;
+        for (int i = 0; i < 3; ++i) {
+            media_.push_back(std::make_unique<storage::MemBlockDevice>(
+                fast_media()));
+            set_->add_backend(*media_.back(), backend);
+        }
+    }
+
+    /** Blocking write helper: drives the sim until done fires. */
+    util::Status
+    write_sync(std::uint64_t first_block, std::span<const std::byte> data)
+    {
+        util::Status result = util::internal_error("done never fired");
+        bool fired = false;
+        set_->write(first_block, data, [&](util::Status s) {
+            result = s;
+            fired = true;
+        });
+        sim_.run_until_idle();
+        EXPECT_TRUE(fired);
+        return result;
+    }
+
+    util::Status
+    read_sync(std::uint64_t first_block, std::span<std::byte> out)
+    {
+        util::Status result = util::internal_error("done never fired");
+        bool fired = false;
+        set_->read(first_block, out, [&](util::Status s) {
+            result = s;
+            fired = true;
+        });
+        sim_.run_until_idle();
+        EXPECT_TRUE(fired);
+        return result;
+    }
+
+    sim::Simulator sim_;
+    ReplicaSetConfig config_;
+    std::vector<std::unique_ptr<storage::MemBlockDevice>> media_;
+    std::unique_ptr<ReplicaSet> set_;
+};
+
+TEST_F(ReplicaSetTest, QuorumWriteMirrorsToAllBackends)
+{
+    std::vector<std::byte> data(2048);
+    wl::fill_pattern(11, 0, data);
+    ASSERT_TRUE(write_sync(10, data).is_ok());
+    EXPECT_EQ(set_->writes_acked(), 1u);
+    EXPECT_EQ(set_->writes_failed(), 0u);
+    // With everything healthy, all three backends converge (and their
+    // dirty logs drain back to empty).
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(set_->dirty_blocks(i), 0u) << "backend " << i;
+    EXPECT_TRUE(*set_->verify_equal(0, 1));
+    EXPECT_TRUE(*set_->verify_equal(0, 2));
+}
+
+TEST_F(ReplicaSetTest, ReadServesWrittenData)
+{
+    std::vector<std::byte> data(1024), in(1024);
+    wl::fill_pattern(13, 0, data);
+    ASSERT_TRUE(write_sync(42, data).is_ok());
+    ASSERT_TRUE(read_sync(42, in).is_ok());
+    EXPECT_EQ(data, in);
+    EXPECT_EQ(set_->reads_served(), 1u);
+    EXPECT_EQ(set_->failovers(), 0u);
+}
+
+TEST_F(ReplicaSetTest, WriteFailsWhenQuorumUnreachable)
+{
+    set_->crash_backend(0);
+    set_->crash_backend(1);
+    std::vector<std::byte> data(1024, std::byte{0x5a});
+    const util::Status status = write_sync(0, data);
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(set_->writes_failed(), 1u);
+    // The crashed backends owe the write; the survivor does not.
+    EXPECT_EQ(set_->dirty_blocks(0), 1u);
+    EXPECT_EQ(set_->dirty_blocks(1), 1u);
+    EXPECT_EQ(set_->dirty_blocks(2), 0u);
+}
+
+TEST_F(ReplicaSetTest, ReadFailsOverFromCrashedBackend)
+{
+    std::vector<std::byte> data(1024), in(1024);
+    wl::fill_pattern(17, 0, data);
+    ASSERT_TRUE(write_sync(7, data).is_ok());
+
+    // Backend 0 is the default read target (lowest index, no health
+    // events). Crash it: the read must time out and fail over.
+    set_->crash_backend(0);
+    ASSERT_TRUE(read_sync(7, in).is_ok());
+    EXPECT_EQ(data, in);
+    EXPECT_GE(set_->failovers(), 1u);
+    EXPECT_GE(set_->backend_timeouts(0), 1u);
+}
+
+TEST_F(ReplicaSetTest, RepeatedTimeoutsDemoteTheBackend)
+{
+    std::vector<std::byte> data(1024), in(1024);
+    wl::fill_pattern(19, 0, data);
+    ASSERT_TRUE(write_sync(0, data).is_ok());
+
+    set_->crash_backend(0);
+    // demote_threshold = 3: writes fan out to every backend, so three
+    // timed-out write acks push backend 0 out (reads alone would not —
+    // the router steers them away from the suspect backend).
+    for (std::uint64_t blk = 0; blk < 3; ++blk)
+        ASSERT_TRUE(write_sync(blk, data).is_ok());
+    EXPECT_EQ(set_->backend_state(0), BackendState::kDown);
+    EXPECT_GE(set_->demotions(), 1u);
+
+    // Once down it is no longer tried: reads neither touch it nor
+    // fail over.
+    const std::uint64_t timeouts = set_->backend_timeouts(0);
+    const std::uint64_t failovers = set_->failovers();
+    ASSERT_TRUE(read_sync(0, in).is_ok());
+    EXPECT_EQ(set_->backend_timeouts(0), timeouts);
+    EXPECT_EQ(set_->failovers(), failovers);
+}
+
+TEST_F(ReplicaSetTest, ResyncConvergesBitIdentical)
+{
+    std::vector<std::byte> data(1024);
+    // Demote backend 2, then write fresh data it will miss.
+    set_->crash_backend(2);
+    set_->demote_backend(2);
+    for (std::uint64_t blk = 0; blk < 20; ++blk) {
+        wl::fill_pattern(100 + blk, 0, data);
+        ASSERT_TRUE(write_sync(blk, data).is_ok());
+    }
+    EXPECT_EQ(set_->dirty_blocks(2), 20u);
+    EXPECT_FALSE(*set_->verify_equal(0, 2));
+
+    // Revival recovers the journal and drains the dirty log in the
+    // background while the set keeps serving.
+    set_->revive_backend(2);
+    sim_.run_until_idle();
+    EXPECT_EQ(set_->backend_state(2), BackendState::kHealthy);
+    EXPECT_EQ(set_->dirty_blocks(2), 0u);
+    EXPECT_GE(set_->resync_copied(2), 20u);
+    EXPECT_GE(set_->resyncs_completed(), 1u);
+    EXPECT_TRUE(*set_->verify_equal(0, 2));
+    EXPECT_TRUE(*set_->verify_equal(0, 1));
+}
+
+TEST_F(ReplicaSetTest, ForegroundWritesDuringResyncStayCoherent)
+{
+    std::vector<std::byte> data(1024);
+    set_->crash_backend(1);
+    set_->demote_backend(1);
+    for (std::uint64_t blk = 0; blk < 64; ++blk) {
+        wl::fill_pattern(blk, 0, data);
+        ASSERT_TRUE(write_sync(blk, data).is_ok());
+    }
+    set_->revive_backend(1);
+    // Overwrite part of the dirty region while resync is running; the
+    // recovering backend mirrors these writes directly.
+    for (std::uint64_t blk = 0; blk < 8; ++blk) {
+        wl::fill_pattern(999 + blk, 0, data);
+        ASSERT_TRUE(write_sync(blk, data).is_ok());
+    }
+    sim_.run_until_idle();
+    EXPECT_EQ(set_->backend_state(1), BackendState::kHealthy);
+    EXPECT_TRUE(*set_->verify_equal(0, 1));
+}
+
+TEST(ReplicaSetDeterminism, IdenticalRunsProduceIdenticalTimelines)
+{
+    auto run = [](std::uint64_t &now, std::uint64_t &failovers,
+                  std::uint64_t &acked) {
+        sim::Simulator sim;
+        ReplicaSetConfig cfg;
+        cfg.quorum = 2;
+        cfg.read_timeout = 50'000;
+        cfg.write_timeout = 50'000;
+        ReplicaSet set(sim, cfg);
+        std::vector<std::unique_ptr<storage::MemBlockDevice>> media;
+        for (int i = 0; i < 3; ++i) {
+            media.push_back(std::make_unique<storage::MemBlockDevice>(
+                fast_media()));
+            set.add_backend(*media.back());
+        }
+        std::vector<std::byte> buf(1024);
+        for (std::uint64_t blk = 0; blk < 16; ++blk) {
+            wl::fill_pattern(blk, 0, buf);
+            set.write(blk, buf, [](util::Status) {});
+        }
+        sim.run_until_idle();
+        set.crash_backend(0);
+        for (int i = 0; i < 6; ++i) {
+            set.read(static_cast<std::uint64_t>(i), buf,
+                     [](util::Status) {});
+            sim.run_until_idle();
+        }
+        set.revive_backend(0);
+        sim.run_until_idle();
+        now = sim.now();
+        failovers = set.failovers();
+        acked = set.writes_acked();
+    };
+    std::uint64_t now_a = 0, failovers_a = 0, acked_a = 0;
+    std::uint64_t now_b = 0, failovers_b = 0, acked_b = 0;
+    run(now_a, failovers_a, acked_a);
+    run(now_b, failovers_b, acked_b);
+    EXPECT_EQ(now_a, now_b);
+    EXPECT_EQ(failovers_a, failovers_b);
+    EXPECT_EQ(acked_a, acked_b);
+}
+
+} // namespace
+} // namespace nesc::repl
+
+// --- Controller + PF driver surface --------------------------------------
+
+namespace nesc::virt {
+namespace {
+
+TestbedConfig
+replicated_config(std::uint32_t backends = 3)
+{
+    TestbedConfig config;
+    config.device.capacity_bytes = 64ULL << 20;
+    config.host_memory_bytes = 64ULL << 20;
+    TestbedReplicationConfig repl;
+    repl.backends = backends;
+    repl.media = storage::MemBlockDeviceConfig::ramdisk(
+        0, 64ULL << 20); // rate 0 = fast; capacity auto-resized anyway
+    config.replication = repl;
+    return config;
+}
+
+TEST(ReplicatedTestbed, GuestIoFlowsThroughReplicaSet)
+{
+    auto bed = Testbed::create(replicated_config());
+    ASSERT_TRUE(bed.is_ok()) << bed.status().to_string();
+    ASSERT_NE((*bed)->replicas(), nullptr);
+
+    auto vm = (*bed)->create_nesc_guest("/repl.img", 1024);
+    ASSERT_TRUE(vm.is_ok()) << vm.status().to_string();
+    std::vector<std::byte> out(8 * 1024), in(8 * 1024);
+    wl::fill_pattern(23, 0, out);
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(0, 8, out).is_ok());
+    ASSERT_TRUE((*vm)->raw_disk().read_blocks(0, 8, in).is_ok());
+    EXPECT_EQ(out, in);
+
+    repl::ReplicaSet *set = (*bed)->replicas();
+    EXPECT_GT(set->writes_acked(), 0u);
+    EXPECT_GT(set->reads_served(), 0u);
+    EXPECT_EQ(set->writes_failed(), 0u);
+    // All backends converged once the traffic drained.
+    (*bed)->sim().run_until_idle();
+    EXPECT_TRUE(*set->verify_equal(0, 1));
+    EXPECT_TRUE(*set->verify_equal(0, 2));
+}
+
+TEST(ReplicatedTestbed, PfDriverManagesReplication)
+{
+    auto bed = Testbed::create(replicated_config());
+    ASSERT_TRUE(bed.is_ok()) << bed.status().to_string();
+    drv::PfDriver &pf = (*bed)->pf();
+
+    EXPECT_TRUE(pf.repl_attached());
+    ASSERT_TRUE(pf.set_repl_quorum(1).is_ok());
+    EXPECT_EQ((*bed)->replicas()->config().quorum, 1u);
+    ASSERT_TRUE(pf.set_repl_read_timeout(500'000).is_ok());
+    EXPECT_EQ((*bed)->replicas()->config().read_timeout, 500'000);
+
+    auto status = pf.repl_backend_status(0);
+    ASSERT_TRUE(status.is_ok()) << status.status().to_string();
+    EXPECT_EQ(status->state,
+              static_cast<std::uint64_t>(repl::BackendState::kHealthy));
+    // Out-of-range backend: the device master-aborts the selection.
+    EXPECT_EQ(pf.repl_backend_status(99).status().code(),
+              util::ErrorCode::kNotFound);
+    ASSERT_TRUE(pf.repl_failovers().is_ok());
+
+    // Forced demotion + resync through the management command path.
+    ASSERT_TRUE(pf.repl_demote(2).is_ok());
+    auto down = pf.repl_backend_status(2);
+    ASSERT_TRUE(down.is_ok());
+    EXPECT_EQ(down->state,
+              static_cast<std::uint64_t>(repl::BackendState::kDown));
+    ASSERT_TRUE(pf.repl_resync(2).is_ok());
+    auto polls = pf.repl_wait_resync(2);
+    ASSERT_TRUE(polls.is_ok()) << polls.status().to_string();
+    EXPECT_TRUE(*(*bed)->replicas()->verify_equal(0, 2));
+}
+
+TEST(ReplicatedTestbed, ReplRegistersArePfOnly)
+{
+    auto bed = Testbed::create(replicated_config());
+    ASSERT_TRUE(bed.is_ok()) << bed.status().to_string();
+    auto vm = (*bed)->create_nesc_guest("/vfpriv.img", 256);
+    ASSERT_TRUE(vm.is_ok());
+    auto fn = (*bed)->guest_vf(**vm);
+    ASSERT_TRUE(fn.is_ok());
+    ctrl::Controller &ctrl = (*bed)->controller();
+    EXPECT_FALSE(ctrl.mmio_read(*fn, ctrl::reg::kReplQuorum, 8).is_ok());
+    EXPECT_FALSE(
+        ctrl.mmio_write(*fn, ctrl::reg::kReplQuorum, 1, 8).is_ok());
+}
+
+TEST(ReplicatedTestbed, UnreplicatedTestbedExposesNothing)
+{
+    TestbedConfig config;
+    config.device.capacity_bytes = 32ULL << 20;
+    auto bed = Testbed::create(config);
+    ASSERT_TRUE(bed.is_ok());
+    EXPECT_EQ((*bed)->replicas(), nullptr);
+    EXPECT_FALSE((*bed)->pf().repl_attached());
+    EXPECT_EQ((*bed)->pf().repl_backend_status(0).status().code(),
+              util::ErrorCode::kNotFound);
+    EXPECT_FALSE((*bed)->pf().repl_demote(0).is_ok());
+}
+
+TEST(ReplicatedTestbed, OrganicCrashDetectionDemotesAndRecovers)
+{
+    TestbedConfig config = replicated_config();
+    TestbedReplicationConfig &repl = *config.replication;
+    repl.set.read_timeout = 200'000;
+    repl.set.write_timeout = 200'000;
+    repl.set.demote_threshold = 3;
+    auto bed = Testbed::create(config);
+    ASSERT_TRUE(bed.is_ok()) << bed.status().to_string();
+    auto vm = (*bed)->create_nesc_guest("/crash.img", 512);
+    ASSERT_TRUE(vm.is_ok());
+
+    std::vector<std::byte> buf(4 * 1024);
+    wl::fill_pattern(29, 0, buf);
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(0, 4, buf).is_ok());
+
+    repl::ReplicaSet *set = (*bed)->replicas();
+    set->crash_backend(1);
+    // Keep writing: backend 1 stops acking, health events accumulate,
+    // and the set demotes it without any explicit notification.
+    for (int i = 0; i < 8; ++i) {
+        wl::fill_pattern(30 + i, 0, buf);
+        ASSERT_TRUE(
+            (*vm)->raw_disk().write_blocks(4 * (i + 1), 4, buf).is_ok());
+    }
+    (*bed)->sim().run_until_idle();
+    EXPECT_EQ(set->backend_state(1), repl::BackendState::kDown);
+
+    // Revive: journal recovery + background resync converge it back.
+    set->revive_backend(1);
+    (*bed)->sim().run_until_idle();
+    EXPECT_EQ(set->backend_state(1), repl::BackendState::kHealthy);
+    EXPECT_TRUE(*set->verify_equal(0, 1));
+}
+
+} // namespace
+} // namespace nesc::virt
