@@ -38,7 +38,14 @@ ReplicaSet::data_blocks() const
 void
 ReplicaSet::set_quorum(std::uint32_t quorum)
 {
-    config_.quorum = quorum == 0 ? 1 : quorum;
+    // Clamp to [1, backend_count]: this is reachable from the PF
+    // kReplQuorum register, and a value above the backend count would
+    // make quorum permanently unreachable (every write fails fast).
+    if (quorum == 0)
+        quorum = 1;
+    if (!backends_.empty() && quorum > backends_.size())
+        quorum = static_cast<std::uint32_t>(backends_.size());
+    config_.quorum = quorum;
 }
 
 void
@@ -114,13 +121,22 @@ void
 ReplicaSet::on_write_ack(std::size_t index, std::uint64_t generation,
                          const std::shared_ptr<PendingWrite> &write)
 {
-    if (write->resolved[index])
-        return; // the timeout settled this target first
     Backend &b = *backends_[index];
     if (b.crashed || b.generation != generation) {
         // Ack from before a crash or demotion: the data may not be
         // durable; leave the dirty marker for resync and let the
         // timeout event settle the target.
+        return;
+    }
+    if (write->resolved[index]) {
+        // The timeout settled this target first, but the backend is
+        // alive and the data did land. Apply it anyway and clear the
+        // dirty marker: a backend that never leaves kHealthy is never
+        // resynced, so dropping this ack would leave one slow write
+        // silently divergent on it forever.
+        if (b.store.write_blocks(write->first_block, write->payload)
+                .is_ok())
+            b.dirty.remove(write->first_block, write->count);
         return;
     }
     write->resolved[index] = 1;
@@ -216,26 +232,40 @@ ReplicaSet::issue_read(const std::shared_ptr<PendingRead> &read)
 
     // Candidates: healthy backends, plus resyncing ones whose dirty
     // log does not cover the range (their copy of it is current).
-    // Prefer the backend with the cleanest recent health record;
-    // break ties by index for determinism.
+    // A healthy backend whose dirty log intersects the range has an
+    // in-flight write against it that another backend may already have
+    // acked — serving from it could return stale pre-write data — so
+    // clean backends win over dirty ones, and dirty-but-healthy ones
+    // are only a last resort. Within a class, prefer the backend with
+    // the cleanest recent health record; break ties by index for
+    // determinism.
     int best = -1;
     std::size_t best_events = 0;
+    bool best_clean = false;
     for (std::size_t i = 0; i < backends_.size(); ++i) {
         if (read->tried_mask & (1ULL << i))
             continue;
         const Backend &b = *backends_[i];
         if (b.state == BackendState::kDown)
             continue;
-        if (b.state == BackendState::kResyncing &&
-            b.dirty.intersects(read->first_block, count))
-            continue;
+        const bool dirty = b.dirty.intersects(read->first_block, count);
+        if (b.state == BackendState::kResyncing && dirty)
+            continue; // genuinely stale: resync has not copied it yet
+        const bool clean = !dirty;
         const std::size_t events = b.health_events.size();
-        if (best < 0 || events < best_events) {
+        if (best < 0 || (clean && !best_clean) ||
+            (clean == best_clean && events < best_events)) {
             best = static_cast<int>(i);
             best_events = events;
+            best_clean = clean;
         }
     }
     if (best < 0) {
+        // Settle the read before scheduling the callback: a still-
+        // pending event for the last attempt (late media completion or
+        // its timeout) passes the attempt guard and would re-enter
+        // here, double-firing done().
+        read->completed = true;
         ++reads_failed_;
         simulator_.schedule_in(0, [read]() {
             read->done(

@@ -1,5 +1,6 @@
 #include "testbed.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/units.h"
@@ -55,12 +56,18 @@ Testbed::init()
             std::make_unique<repl::ReplicaSet>(sim_, repl.set);
         // Size each backend so its data region (capacity minus the
         // journal reservation at the end) matches the primary device.
+        // JournaledBlockstore clamps its ring to >= 3 blocks, so
+        // reserve the clamped size — otherwise a tiny journal_blocks
+        // config would let the ring eat into the data region and
+        // high-pLBA transfers would fail out-of-range.
         storage::MemBlockDeviceConfig media = repl.media;
         media.logical_block_size =
             device_->geometry().logical_block_size;
+        const std::uint64_t journal_blocks =
+            std::max<std::uint64_t>(repl.backend.journal_blocks, 3);
         media.capacity_bytes =
             device_->geometry().capacity_bytes +
-            repl.backend.journal_blocks * media.logical_block_size;
+            journal_blocks * media.logical_block_size;
         for (std::uint32_t i = 0; i < repl.backends; ++i) {
             repl_media_.push_back(
                 std::make_unique<storage::MemBlockDevice>(media));

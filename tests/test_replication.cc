@@ -335,6 +335,140 @@ TEST_F(ReplicaSetTest, ForegroundWritesDuringResyncStayCoherent)
     EXPECT_TRUE(*set_->verify_equal(0, 1));
 }
 
+TEST_F(ReplicaSetTest, SetQuorumClampsToBackendCount)
+{
+    // Reachable from the PF kReplQuorum register: an operator typo
+    // above the backend count must not brick the write path.
+    set_->set_quorum(64);
+    EXPECT_EQ(set_->config().quorum, 3u);
+    set_->set_quorum(0);
+    EXPECT_EQ(set_->config().quorum, 1u);
+    set_->set_quorum(64);
+    std::vector<std::byte> data(1024, std::byte{0x7e});
+    EXPECT_TRUE(write_sync(0, data).is_ok());
+    EXPECT_EQ(set_->writes_failed(), 0u);
+}
+
+TEST(ReplicaSetEdge, ReadExhaustionSettlesExactlyOnce)
+{
+    sim::Simulator sim;
+    ReplicaSetConfig cfg;
+    cfg.quorum = 1;
+    cfg.read_timeout = 100'000; // 100 us, far below the media read
+    ReplicaSet set(sim, cfg);
+    storage::MemBlockDeviceConfig slow = fast_media();
+    slow.read_bytes_per_sec = 1'000'000; // a 1 KiB read takes ~1 ms
+    storage::MemBlockDevice dev(slow);
+    set.add_backend(dev);
+
+    std::vector<std::byte> data(1024, std::byte{0x42}), in(1024);
+    bool wrote = false;
+    set.write(0, data, [&](util::Status s) { wrote = s.is_ok(); });
+    sim.run_until_idle();
+    ASSERT_TRUE(wrote);
+
+    // The only attempt times out, no candidate is left, and the read
+    // fails. The media completion for that attempt is still pending;
+    // it must not fire done() a second time (with a late success, no
+    // less) once the read has settled on the error.
+    int fires = 0;
+    util::Status last = util::Status::ok();
+    set.read(0, in, [&](util::Status s) {
+        ++fires;
+        last = s;
+    });
+    sim.run_until_idle();
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(last.is_ok());
+    EXPECT_EQ(set.reads_failed(), 1u);
+    EXPECT_EQ(set.reads_served(), 0u);
+}
+
+TEST(ReplicaSetEdge, ReadAfterQuorumAckAvoidsLaggingBackend)
+{
+    sim::Simulator sim;
+    ReplicaSetConfig cfg;
+    cfg.quorum = 2;
+    cfg.read_timeout = 50'000'000;
+    cfg.write_timeout = 50'000'000; // no timeout settles the laggard
+    ReplicaSet set(sim, cfg);
+    std::vector<std::unique_ptr<storage::MemBlockDevice>> media;
+    for (int i = 0; i < 3; ++i) {
+        media.push_back(
+            std::make_unique<storage::MemBlockDevice>(fast_media()));
+        BackendConfig backend;
+        backend.link_latency = 1'000;
+        // Backend 0's link drips: its write ack lands ~1 ms after the
+        // fast peers reach quorum.
+        backend.link_bytes_per_sec = i == 0 ? 1'000'000 : 0;
+        set.add_backend(*media.back(), backend);
+    }
+
+    std::vector<std::byte> data(1024), in(1024);
+    wl::fill_pattern(31, 0, data);
+    bool write_done = false;
+    set.write(5, data, [&](util::Status s) {
+        ASSERT_TRUE(s.is_ok());
+        write_done = true;
+    });
+    sim.run_until(200'000); // past quorum, before backend 0's ack
+    ASSERT_TRUE(write_done);
+    ASSERT_GT(set.dirty_blocks(0), 0u); // its ack is still in flight
+
+    // The acked write must be visible: the router has to steer the
+    // read away from the backend whose copy is still dirty, even
+    // though that backend is kHealthy (and, health-wise, the most
+    // attractive candidate by index tie-break).
+    util::Status status = util::internal_error("done never fired");
+    sim::Time done_at = 0;
+    set.read(5, in, [&](util::Status s) {
+        status = s;
+        done_at = sim.now();
+    });
+    sim.run_until_idle();
+    ASSERT_TRUE(status.is_ok()) << status.to_string();
+    EXPECT_EQ(data, in);
+    // A fast peer served it; the read neither queued behind the
+    // laggard's saturated link (~2 ms) nor raced its pending ack.
+    EXPECT_LT(done_at, 1'000'000u);
+    // ...and the laggard's late ack still converged it afterwards.
+    EXPECT_EQ(set.dirty_blocks(0), 0u);
+    EXPECT_TRUE(*set.verify_equal(0, 1));
+}
+
+TEST(ReplicaSetEdge, LateWriteAckConvergesSlowHealthyBackend)
+{
+    sim::Simulator sim;
+    ReplicaSetConfig cfg;
+    cfg.quorum = 2;
+    cfg.write_timeout = 100'000;  // 100 us: the slow backend misses it
+    cfg.demote_threshold = 1000;  // stays kHealthy despite the timeout
+    ReplicaSet set(sim, cfg);
+    std::vector<std::unique_ptr<storage::MemBlockDevice>> media;
+    for (int i = 0; i < 3; ++i) {
+        media.push_back(
+            std::make_unique<storage::MemBlockDevice>(fast_media()));
+        BackendConfig backend;
+        backend.link_bytes_per_sec = i == 0 ? 1'000'000 : 0; // ack ~1 ms
+        set.add_backend(*media.back(), backend);
+    }
+
+    std::vector<std::byte> data(1024);
+    wl::fill_pattern(37, 0, data);
+    bool done = false;
+    set.write(9, data, [&](util::Status s) { done = s.is_ok(); });
+    sim.run_until_idle();
+    ASSERT_TRUE(done);
+    EXPECT_GE(set.backend_timeouts(0), 1u); // the deadline fired first
+    // The genuine ack arrived after the timeout settled the target.
+    // It must still be applied (and the dirty marker cleared): the
+    // backend never leaves kHealthy, so nothing would ever resync it,
+    // and one slow write would leave it silently divergent forever.
+    EXPECT_EQ(set.backend_state(0), BackendState::kHealthy);
+    EXPECT_EQ(set.dirty_blocks(0), 0u);
+    EXPECT_TRUE(*set.verify_equal(0, 1));
+}
+
 TEST(ReplicaSetDeterminism, IdenticalRunsProduceIdenticalTimelines)
 {
     auto run = [](std::uint64_t &now, std::uint64_t &failovers,
@@ -482,6 +616,32 @@ TEST(ReplicatedTestbed, UnreplicatedTestbedExposesNothing)
     EXPECT_EQ((*bed)->pf().repl_backend_status(0).status().code(),
               util::ErrorCode::kNotFound);
     EXPECT_FALSE((*bed)->pf().repl_demote(0).is_ok());
+}
+
+TEST(ReplicatedTestbed, TinyJournalConfigStillCoversPrimaryDevice)
+{
+    TestbedConfig config = replicated_config();
+    config.replication->backend.journal_blocks = 1; // below the clamp
+    auto bed = Testbed::create(config);
+    ASSERT_TRUE(bed.is_ok()) << bed.status().to_string();
+
+    // JournaledBlockstore clamps its ring to >= 3 blocks. The testbed
+    // must size each backend for the clamped ring, or the data region
+    // falls short of the primary's pLBA space and high-pLBA transfers
+    // fail out-of-range.
+    const auto geometry = (*bed)->device().geometry();
+    const std::uint64_t primary_blocks =
+        geometry.capacity_bytes / geometry.logical_block_size;
+    EXPECT_GE((*bed)->replicas()->data_blocks(), primary_blocks);
+
+    auto vm = (*bed)->create_nesc_guest("/tiny.img", 512);
+    ASSERT_TRUE(vm.is_ok()) << vm.status().to_string();
+    std::vector<std::byte> out(4 * 1024), in(4 * 1024);
+    wl::fill_pattern(41, 0, out);
+    ASSERT_TRUE((*vm)->raw_disk().write_blocks(508, 4, out).is_ok());
+    ASSERT_TRUE((*vm)->raw_disk().read_blocks(508, 4, in).is_ok());
+    EXPECT_EQ(out, in);
+    EXPECT_EQ((*bed)->replicas()->writes_failed(), 0u);
 }
 
 TEST(ReplicatedTestbed, OrganicCrashDetectionDemotesAndRecovers)
