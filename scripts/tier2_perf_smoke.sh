@@ -15,14 +15,16 @@ baseline="$repo/scripts/perf_baseline_pr3.json"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j "$(nproc)" --target \
   abl_btlb abl_walk_overlap abl_walk_coalesce abl_tree_depth \
-  abl_queue_depth abl_batch_shard
+  abl_queue_depth abl_batch_shard abl_vf_scale
 
 # The benches must run to completion; abl_walk_coalesce also writes
-# the metrics file compared below.
+# the metrics file compared below. abl_vf_scale carries its own
+# deterministic in-binary gates (DWRR shares, p99, hit rates) and
+# exits non-zero when one fails.
 run="$build/perf-smoke"
 mkdir -p "$run"
 for bench in abl_btlb abl_walk_overlap abl_tree_depth abl_queue_depth \
-             abl_walk_coalesce abl_batch_shard; do
+             abl_walk_coalesce abl_batch_shard abl_vf_scale; do
   echo "--- running $bench ---"
   (cd "$run" && "$build/bench/$bench" > "$bench.out")
 done
@@ -57,6 +59,61 @@ if failed:
     print("perf smoke FAILED: simulator event rate below floor")
     sys.exit(1)
 EOF
+
+# PR8 (queue pairs + hierarchical DWRR): the 256-VF scale bench must
+# not regress the simulator on the PR6 reference workload (8 VFs,
+# QD16) and must sustain a floor at 256 VFs. The reference phase is
+# the same workload BENCH_PR6.json measures in the same process run,
+# so the two rates are directly comparable; 0.70 absorbs run-to-run
+# wall-clock jitter. Deterministic fairness/tail-latency gates live in
+# the binary itself.
+python3 - "$run/BENCH_PR8.json" "$run/BENCH_PR6.json" <<'EOF'
+import json
+import sys
+
+FLOORS = {
+    "ref_events_per_sec": 1.0e6,    # 8-VF QD16; reference 2.4-3.0e6
+    "scale_events_per_sec": 0.4e6,  # 256 VFs; reference 1.5-2.5e6
+}
+PR6_RETENTION = 0.70  # ref phase vs BENCH_PR6 events_per_sec
+
+with open(sys.argv[1]) as f:
+    pr8 = {m["metric"]: m["value"] for m in json.load(f)["metrics"]}
+with open(sys.argv[2]) as f:
+    pr6 = {m["metric"]: m["value"] for m in json.load(f)["metrics"]}
+
+failed = False
+for name, floor in FLOORS.items():
+    rate = pr8[name]
+    print(f"abl_vf_scale: {name} = {rate:,.0f} (floor {floor:,.0f})")
+    if rate < floor:
+        failed = True
+need = pr6["events_per_sec"] * PR6_RETENTION
+got = pr8["ref_events_per_sec"]
+print(f"abl_vf_scale: ref vs BENCH_PR6 = {got:,.0f} "
+      f"(need >= {need:,.0f})")
+if got < need:
+    failed = True
+if failed:
+    print("perf smoke FAILED: vf-scale event rate below floor")
+    sys.exit(1)
+EOF
+
+# Reduced-scale sanitized pass: the 256-VF fast path must also be
+# clean under ASan+UBSan. 40 VFs keeps the arena/bitmap/doorbell
+# machinery fully exercised at a sanitizer-friendly runtime.
+asan_build="$build-asan"
+cmake -B "$asan_build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNESC_SANITIZE=ON
+cmake --build "$asan_build" -j "$(nproc)" --target abl_vf_scale
+asan_run="$asan_build/perf-smoke"
+mkdir -p "$asan_run"
+echo "--- running abl_vf_scale --vfs 40 (ASan+UBSan) ---"
+(cd "$asan_run" &&
+   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+   "$asan_build/bench/abl_vf_scale" --vfs 40 > abl_vf_scale.out)
 
 python3 - "$baseline" "$run/BENCH_PR3.json" <<'EOF'
 import json

@@ -32,40 +32,84 @@ FunctionDriver::FunctionDriver(sim::Simulator &simulator,
 
 FunctionDriver::~FunctionDriver()
 {
-    irq_.clear_handler(ctrl::completion_vector(fn_));
-    if (cmd_ring_mem_ != pcie::kNullHostAddr)
-        (void)host_memory_.free(cmd_ring_mem_);
-    if (comp_ring_mem_ != pcie::kNullHostAddr)
-        (void)host_memory_.free(comp_ring_mem_);
+    for (std::uint32_t qid = 0; qid < queues_.size(); ++qid) {
+        irq_.clear_handler(ctrl::queue_vector(fn_, qid));
+        if (queues_[qid].cmd_mem != pcie::kNullHostAddr)
+            (void)host_memory_.free(queues_[qid].cmd_mem);
+        if (queues_[qid].comp_mem != pcie::kNullHostAddr)
+            (void)host_memory_.free(queues_[qid].comp_mem);
+    }
+    if (queues_.empty())
+        irq_.clear_handler(ctrl::completion_vector(fn_));
+}
+
+util::Status
+FunctionDriver::setup_queue_rings(std::uint32_t qid)
+{
+    QueueRings &q = queues_[qid];
+    const std::uint64_t cmd_bytes = pcie::HostRing::footprint(
+        config_.ring_entries, sizeof(CommandRecord));
+    const std::uint64_t comp_bytes = pcie::HostRing::footprint(
+        config_.ring_entries, sizeof(CompletionRecord));
+    NESC_ASSIGN_OR_RETURN(q.cmd_mem, host_memory_.alloc(cmd_bytes, 64));
+    NESC_ASSIGN_OR_RETURN(q.comp_mem, host_memory_.alloc(comp_bytes, 64));
+    NESC_ASSIGN_OR_RETURN(
+        auto cmd_ring,
+        pcie::HostRing::create(host_memory_, q.cmd_mem,
+                               config_.ring_entries, sizeof(CommandRecord)));
+    q.cmd = cmd_ring;
+    NESC_ASSIGN_OR_RETURN(
+        auto comp_ring,
+        pcie::HostRing::create(host_memory_, q.comp_mem,
+                               config_.ring_entries,
+                               sizeof(CompletionRecord)));
+    q.comp = comp_ring;
+    return util::Status::ok();
+}
+
+util::Status
+FunctionDriver::admin_create_queue(std::uint32_t qid)
+{
+    const QueueRings &q = queues_[qid];
+    NESC_RETURN_IF_ERROR(reg_write(ctrl::reg::kQpSelect, qid));
+    NESC_RETURN_IF_ERROR(reg_write(ctrl::reg::kQpSqBase, q.cmd_mem));
+    NESC_RETURN_IF_ERROR(reg_write(ctrl::reg::kQpCqBase, q.comp_mem));
+    NESC_RETURN_IF_ERROR(reg_write(
+        ctrl::reg::kQpCommand,
+        static_cast<std::uint64_t>(ctrl::QpCommand::kCreate)));
+    NESC_ASSIGN_OR_RETURN(const std::uint64_t status,
+                          reg_read(ctrl::reg::kQpStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk)) {
+        return util::failed_precondition_error(
+            "device rejected queue-pair create (check the PF quota)");
+    }
+    return util::Status::ok();
 }
 
 util::Status
 FunctionDriver::init()
 {
-    const std::uint64_t cmd_bytes = pcie::HostRing::footprint(
-        config_.ring_entries, sizeof(CommandRecord));
-    const std::uint64_t comp_bytes = pcie::HostRing::footprint(
-        config_.ring_entries, sizeof(CompletionRecord));
-    NESC_ASSIGN_OR_RETURN(cmd_ring_mem_, host_memory_.alloc(cmd_bytes, 64));
-    NESC_ASSIGN_OR_RETURN(comp_ring_mem_,
-                          host_memory_.alloc(comp_bytes, 64));
-    NESC_ASSIGN_OR_RETURN(
-        auto cmd_ring,
-        pcie::HostRing::create(host_memory_, cmd_ring_mem_,
-                               config_.ring_entries, sizeof(CommandRecord)));
-    cmd_ring_ = cmd_ring;
-    NESC_ASSIGN_OR_RETURN(
-        auto comp_ring,
-        pcie::HostRing::create(host_memory_, comp_ring_mem_,
-                               config_.ring_entries,
-                               sizeof(CompletionRecord)));
-    comp_ring_ = comp_ring;
+    const std::uint32_t npairs = std::max<std::uint32_t>(
+        1, std::min(config_.queue_pairs, ctrl::kMaxQueuePairs));
+    queues_.resize(npairs);
 
-    NESC_RETURN_IF_ERROR(reg_write(ctrl::reg::kCmdRingBase, cmd_ring_mem_));
+    // Pair 0 rides the legacy registers so a single-queue driver is
+    // indistinguishable from the pre-multi-queue one.
+    NESC_RETURN_IF_ERROR(setup_queue_rings(0));
     NESC_RETURN_IF_ERROR(
-        reg_write(ctrl::reg::kCompRingBase, comp_ring_mem_));
+        reg_write(ctrl::reg::kCmdRingBase, queues_[0].cmd_mem));
+    NESC_RETURN_IF_ERROR(
+        reg_write(ctrl::reg::kCompRingBase, queues_[0].comp_mem));
     irq_.set_handler(ctrl::completion_vector(fn_),
-                     [this]() { handle_completion_irq(); });
+                     [this]() { handle_completion_irq(0); });
+
+    // Additional pairs go through the admin block.
+    for (std::uint32_t qid = 1; qid < npairs; ++qid) {
+        NESC_RETURN_IF_ERROR(setup_queue_rings(qid));
+        NESC_RETURN_IF_ERROR(admin_create_queue(qid));
+        irq_.set_handler(ctrl::queue_vector(fn_, qid),
+                         [this, qid]() { handle_completion_irq(qid); });
+    }
     return util::Status::ok();
 }
 
@@ -90,24 +134,28 @@ FunctionDriver::reg_write(std::uint64_t offset, std::uint64_t value)
 }
 
 util::Status
-FunctionDriver::push_command(const CommandRecord &record)
+FunctionDriver::push_command(std::uint32_t qid, const CommandRecord &record)
 {
     std::array<std::byte, sizeof(record)> buf;
     std::memcpy(buf.data(), &record, sizeof(record));
-    return cmd_ring_->push(buf);
+    return queues_[qid].cmd->push(buf);
 }
 
 void
-FunctionDriver::ring_doorbell()
+FunctionDriver::ring_doorbell(std::uint32_t qid)
 {
-    (void)reg_write(ctrl::reg::kDoorbell, 1);
+    if (qid == 0) {
+        (void)reg_write(ctrl::reg::kDoorbell, 1); // legacy alias
+        return;
+    }
+    (void)reg_write(ctrl::reg::kQpDoorbell0 + 8ull * qid, 1);
 }
 
 util::Status
 FunctionDriver::submit(Opcode op, std::uint64_t vlba, std::uint32_t nblocks,
                        pcie::HostAddr buffer, Done done)
 {
-    if (!cmd_ring_)
+    if (queues_.empty() || !queues_[0].cmd)
         return util::failed_precondition_error("driver not initialized");
     if (nblocks == 0)
         return util::invalid_argument_error("zero-length request");
@@ -146,10 +194,16 @@ FunctionDriver::issue_chunks(std::uint64_t request_id)
         req.status = CompletionStatus::kOk;
     }
 
+    // Chunks stripe round-robin across the configured queue pairs;
+    // with a single pair this degenerates to the legacy path exactly.
+    std::vector<bool> dirty(queues_.size(), false);
     std::uint32_t submitted_blocks = 0;
     while (submitted_blocks < nblocks) {
         const std::uint32_t chunk = std::min<std::uint32_t>(
             config_.max_chunk_blocks, nblocks - submitted_blocks);
+        const std::uint32_t qid = next_queue_;
+        next_queue_ = (next_queue_ + 1) %
+                      static_cast<std::uint32_t>(queues_.size());
         simulator_.advance(config_.submit_cost);
         CommandRecord rec{};
         rec.vlba = vlba + submitted_blocks;
@@ -160,24 +214,28 @@ FunctionDriver::issue_chunks(std::uint64_t request_id)
                          ctrl::kDeviceBlockSize;
         rec.tag = next_tag_++;
         tag_to_request_[rec.tag] = request_id;
-        util::Status pushed = push_command(rec);
+        util::Status pushed = push_command(qid, rec);
         if (!pushed.is_ok()) {
             // Ring full: kick the device and retry after it drains.
-            ring_doorbell();
+            ring_doorbell(qid);
+            dirty[qid] = false;
             while (!pushed.is_ok() &&
                    pushed.code() == util::ErrorCode::kUnavailable) {
                 if (!simulator_.step()) {
                     return util::internal_error(
                         "command ring wedged: device made no progress");
                 }
-                pushed = push_command(rec);
+                pushed = push_command(qid, rec);
             }
             NESC_RETURN_IF_ERROR(pushed);
         }
+        dirty[qid] = true;
         submitted_blocks += chunk;
         ++submitted_;
     }
-    ring_doorbell();
+    for (std::uint32_t qid = 0; qid < queues_.size(); ++qid)
+        if (dirty[qid])
+            ring_doorbell(qid);
 
     auto it = requests_.find(request_id);
     if (it != requests_.end() && config_.request_timeout != 0) {
@@ -192,14 +250,14 @@ FunctionDriver::issue_chunks(std::uint64_t request_id)
 }
 
 void
-FunctionDriver::handle_completion_irq()
+FunctionDriver::handle_completion_irq(std::uint32_t qid)
 {
-    if (!comp_ring_)
+    if (qid >= queues_.size() || !queues_[qid].comp)
         return;
     std::array<std::byte, sizeof(CompletionRecord)> buf;
     bool need_flr = false;
     for (;;) {
-        auto popped = comp_ring_->pop(buf);
+        auto popped = queues_[qid].comp->pop(buf);
         if (!popped.is_ok() || !popped.value())
             break;
         simulator_.advance(config_.completion_cost);
@@ -314,29 +372,43 @@ FunctionDriver::flr_recover()
 {
     ++flr_recoveries_;
     (void)reg_write(ctrl::reg::kFnReset, 1);
-    // The reset dropped the device-side ring attachments and cleared
-    // the ring-base registers; recreate the rings over the same host
-    // memory and reprogram them.
-    auto cmd = pcie::HostRing::create(host_memory_, cmd_ring_mem_,
-                                      config_.ring_entries,
-                                      sizeof(CommandRecord));
-    auto comp = pcie::HostRing::create(host_memory_, comp_ring_mem_,
-                                       config_.ring_entries,
-                                       sizeof(CompletionRecord));
+    // The reset dropped the device-side ring attachments, cleared the
+    // ring-base registers, and destroyed every extra queue pair;
+    // recreate the rings over the same host memory, reprogram pair 0
+    // through the legacy registers, and admin-create the rest (the
+    // PF-owned quota survives the reset).
     std::vector<std::uint64_t> ids;
     ids.reserve(requests_.size());
     for (const auto &[id, req] : requests_)
         ids.push_back(id);
     std::sort(ids.begin(), ids.end());
-    if (!cmd.is_ok() || !comp.is_ok()) {
+    bool rings_ok = true;
+    for (std::uint32_t qid = 0; qid < queues_.size() && rings_ok; ++qid) {
+        QueueRings &q = queues_[qid];
+        auto cmd = pcie::HostRing::create(host_memory_, q.cmd_mem,
+                                          config_.ring_entries,
+                                          sizeof(CommandRecord));
+        auto comp = pcie::HostRing::create(host_memory_, q.comp_mem,
+                                           config_.ring_entries,
+                                           sizeof(CompletionRecord));
+        if (!cmd.is_ok() || !comp.is_ok()) {
+            rings_ok = false;
+            break;
+        }
+        q.cmd = std::move(cmd).value();
+        q.comp = std::move(comp).value();
+        if (qid == 0) {
+            (void)reg_write(ctrl::reg::kCmdRingBase, q.cmd_mem);
+            (void)reg_write(ctrl::reg::kCompRingBase, q.comp_mem);
+        } else {
+            rings_ok = admin_create_queue(qid).is_ok();
+        }
+    }
+    if (!rings_ok) {
         for (std::uint64_t id : ids)
             fail_request(id, CompletionStatus::kInternalError);
         return;
     }
-    cmd_ring_ = std::move(cmd).value();
-    comp_ring_ = std::move(comp).value();
-    (void)reg_write(ctrl::reg::kCmdRingBase, cmd_ring_mem_);
-    (void)reg_write(ctrl::reg::kCompRingBase, comp_ring_mem_);
     // Every outstanding tag died with the reset.
     tag_to_request_.clear();
     // Resubmit all outstanding requests (the reset aborted them on

@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "blocklayer/block_io.h"
 #include "nesc/command.h"
@@ -37,6 +39,14 @@ namespace nesc::drv {
 /** Driver tuning and modelled CPU costs. */
 struct FunctionDriverConfig {
     std::uint32_t ring_entries = 256;
+    /**
+     * SQ/CQ pairs to set up. Pair 0 rides the legacy ring-base and
+     * doorbell registers; pairs 1..N-1 are created through the
+     * reg::kQp* admin block and need a device quota >= this value
+     * (PF-programmed via MgmtCommand::kSetQpQuota). Submissions
+     * stripe across pairs round-robin per chunk.
+     */
+    std::uint32_t queue_pairs = 1;
     /** Blocks per command; drivers split requests at page size (4 KiB). */
     std::uint32_t max_chunk_blocks = 4;
     /** CPU cost to build and enqueue one command. */
@@ -143,9 +153,14 @@ class FunctionDriver {
     util::Status reg_write(std::uint64_t offset, std::uint64_t value);
 
   private:
-    void handle_completion_irq();
-    void ring_doorbell();
-    util::Status push_command(const ctrl::CommandRecord &record);
+    void handle_completion_irq(std::uint32_t qid);
+    void ring_doorbell(std::uint32_t qid);
+    util::Status push_command(std::uint32_t qid,
+                              const ctrl::CommandRecord &record);
+    /** Allocates host memory and creates the rings of pair @p qid. */
+    util::Status setup_queue_rings(std::uint32_t qid);
+    /** Admin-creates pair @p qid (>= 1) on the device (kQp* block). */
+    util::Status admin_create_queue(std::uint32_t qid);
     /** (Re)issues all chunks of a request and arms its timeout. */
     util::Status issue_chunks(std::uint64_t request_id);
     /** Backoff for retry @p attempt (1-based), jittered per config. */
@@ -173,10 +188,16 @@ class FunctionDriver {
     /** Per-function stream: two drivers never share a jitter sequence. */
     util::Rng jitter_rng_;
 
-    pcie::HostAddr cmd_ring_mem_ = pcie::kNullHostAddr;
-    pcie::HostAddr comp_ring_mem_ = pcie::kNullHostAddr;
-    std::optional<pcie::HostRing> cmd_ring_;
-    std::optional<pcie::HostRing> comp_ring_;
+    /** Host-side state of one SQ/CQ pair. */
+    struct QueueRings {
+        pcie::HostAddr cmd_mem = pcie::kNullHostAddr;
+        pcie::HostAddr comp_mem = pcie::kNullHostAddr;
+        std::optional<pcie::HostRing> cmd;
+        std::optional<pcie::HostRing> comp;
+    };
+    std::vector<QueueRings> queues_;
+    /** Round-robin striping cursor for multi-queue submission. */
+    std::uint32_t next_queue_ = 0;
 
     std::uint64_t next_tag_ = 1;
     /**

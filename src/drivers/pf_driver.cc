@@ -178,6 +178,67 @@ PfDriver::set_qos_weight(pcie::FunctionId fn, std::uint32_t weight)
 }
 
 util::Status
+PfDriver::set_qp_quota(pcie::FunctionId fn, std::uint32_t quota)
+{
+    if (!vfs_.contains(fn))
+        return util::not_found_error("no such VF");
+    NESC_RETURN_IF_ERROR(
+        reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtQpQuota, quota));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kSetQpQuota)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error(
+            "device rejected queue-pair quota update");
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::set_rate_limit(pcie::FunctionId fn, std::uint64_t bytes_per_sec,
+                         std::uint64_t burst_bytes)
+{
+    if (!vfs_.contains(fn))
+        return util::not_found_error("no such VF");
+    NESC_RETURN_IF_ERROR(
+        reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtRateBytesPerSec,
+                                   bytes_per_sec));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtRateBurstBytes,
+                                   burst_bytes));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kSetRateLimit)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error(
+            "device rejected rate-limit update");
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::set_arb_mode(ctrl::ArbMode mode)
+{
+    return reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kArbMode,
+                     static_cast<std::uint64_t>(mode));
+}
+
+util::Status
+PfDriver::set_arb_quantum(std::uint32_t quantum)
+{
+    return reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kArbQuantum,
+                     quantum);
+}
+
+util::Status
 PfDriver::delete_vf(pcie::FunctionId fn)
 {
     auto it = vfs_.find(fn);

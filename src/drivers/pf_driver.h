@@ -141,6 +141,28 @@ class PfDriver {
      */
     util::Status set_qos_weight(pcie::FunctionId fn, std::uint32_t weight);
 
+    /**
+     * Programs the VF's queue-pair quota (total pairs it may hold,
+     * including pair 0; must be in [1, ctrl::kMaxQueuePairs]). The
+     * guest driver then admin-creates pairs up to the quota.
+     */
+    util::Status set_qp_quota(pcie::FunctionId fn, std::uint32_t quota);
+
+    /**
+     * Programs a token-bucket rate limit on the VF's arbitration
+     * grants: @p bytes_per_sec sustained (0 removes the limit) with
+     * @p burst_bytes of banked burst capacity.
+     */
+    util::Status set_rate_limit(pcie::FunctionId fn,
+                                std::uint64_t bytes_per_sec,
+                                std::uint64_t burst_bytes);
+
+    /** Selects the arbitration policy (legacy WRR vs banked DWRR). */
+    util::Status set_arb_mode(ctrl::ArbMode mode);
+
+    /** Programs the DWRR per-turn quantum (grants per weight unit). */
+    util::Status set_arb_quantum(std::uint32_t quantum);
+
     /** Hypervisor-triggered BTLB flush (e.g. after dedup). */
     util::Status flush_btlb();
 

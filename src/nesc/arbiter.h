@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Arbitration primitives for the VF plane: the eligible-function
+ * bitmap that makes turn-over O(words) instead of O(active_vfs), and
+ * the deterministic integer token bucket backing per-VF rate limits.
+ *
+ * EligibleSet replaces the sorted-vector upper_bound rescan the
+ * arbiter used to run on every turn change. The bitmap holds exactly
+ * the functions the arbiter may grant (active, unquarantined, fault-
+ * free, with staged work); next_after() enumerates them in the same
+ * cyclic ascending-id order the legacy scan visited, so the legacy WRR
+ * mode selects identical functions — it just stops paying a per-entry
+ * scan for idle ones. scan_words() counts bitmap words examined, the
+ * observable the O(1)-per-grant unit test pins.
+ */
+#ifndef NESC_CTRL_ARBITER_H
+#define NESC_CTRL_ARBITER_H
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace nesc::ctrl {
+
+/** Dense bitmap of arbitration-eligible function ids. */
+class EligibleSet {
+  public:
+    /** Sizes the set for ids [0, n); clears every bit. */
+    void resize(std::size_t n)
+    {
+        words_.assign((n + 63) / 64, 0);
+        count_ = 0;
+    }
+
+    void assign(std::uint32_t id, bool on)
+    {
+        std::uint64_t &word = words_[id / 64];
+        const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+        if (((word & bit) != 0) == on)
+            return;
+        word ^= bit;
+        count_ += on ? 1 : -1;
+    }
+
+    bool test(std::uint32_t id) const
+    {
+        return (words_[id / 64] >> (id % 64)) & 1;
+    }
+
+    bool any() const { return count_ != 0; }
+    std::size_t count() const { return count_; }
+
+    /**
+     * First set id strictly after @p from in cyclic order (wrapping
+     * through 0 and ending at @p from itself), or -1 when the set is
+     * empty — the same visit order as the legacy sorted-active-list
+     * scan, at a cost of O(words), not O(ids).
+     */
+    int next_after(std::uint32_t from)
+    {
+        if (count_ == 0)
+            return -1;
+        const std::size_t nwords = words_.size();
+        std::uint32_t start = from + 1;
+        if (start >= nwords * 64)
+            start = 0;
+        std::uint64_t mask = ~std::uint64_t{0} << (start % 64);
+        for (std::size_t w = start / 64; w < nwords; ++w) {
+            ++scan_words_;
+            if (const std::uint64_t bits = words_[w] & mask)
+                return static_cast<int>(w * 64 + std::countr_zero(bits));
+            mask = ~std::uint64_t{0};
+        }
+        // Wrap: ids [0, from], inclusive of from (a full cycle may
+        // legitimately land back on the function that held the turn).
+        const std::size_t last = from / 64;
+        for (std::size_t w = 0; w <= last; ++w) {
+            ++scan_words_;
+            std::uint64_t bits = words_[w];
+            if (w == last && from % 64 != 63)
+                bits &= (std::uint64_t{1} << (from % 64 + 1)) - 1;
+            if (bits)
+                return static_cast<int>(w * 64 + std::countr_zero(bits));
+        }
+        return -1; // unreachable while count_ > 0
+    }
+
+    /** Cumulative bitmap words examined by next_after (test probe). */
+    std::uint64_t scan_words() const { return scan_words_; }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::size_t count_ = 0;
+    std::uint64_t scan_words_ = 0;
+};
+
+/**
+ * Deterministic integer token bucket: tokens are bytes, refilled from
+ * simulated time with an exact nanosecond-fraction carry, so the
+ * conformance tests can pin sustained rate and burst to the byte.
+ */
+struct TokenBucket {
+    std::uint64_t rate_bps = 0; ///< bytes per second; 0 = unlimited
+    std::uint64_t burst = 0;    ///< bucket capacity in bytes
+    std::uint64_t tokens = 0;
+    std::uint64_t frac = 0; ///< byte-nanoseconds not yet a whole byte
+    sim::Time stamp = 0;
+
+    bool limited() const { return rate_bps != 0; }
+
+    /** (Re)programs the limit; the bucket starts full (burst ready). */
+    void configure(std::uint64_t bps, std::uint64_t burst_bytes,
+                   sim::Time now)
+    {
+        rate_bps = bps;
+        burst = burst_bytes;
+        tokens = burst_bytes;
+        frac = 0;
+        stamp = now;
+    }
+
+    void refill(sim::Time now)
+    {
+        if (!limited() || now <= stamp)
+            return;
+        const unsigned __int128 accrued =
+            static_cast<unsigned __int128>(now - stamp) * rate_bps + frac;
+        const std::uint64_t whole =
+            static_cast<std::uint64_t>(accrued / 1'000'000'000u);
+        frac = static_cast<std::uint64_t>(accrued % 1'000'000'000u);
+        tokens = whole > burst - tokens ? burst : tokens + whole;
+        if (tokens == burst)
+            frac = 0; // a full bucket does not bank fractional credit
+        stamp = now;
+    }
+
+    bool ready(std::uint64_t bytes, sim::Time now)
+    {
+        if (!limited())
+            return true;
+        refill(now);
+        return tokens >= bytes;
+    }
+
+    void spend(std::uint64_t bytes)
+    {
+        if (limited())
+            tokens -= bytes;
+    }
+
+    /** Earliest time @p bytes will be available (now if already). */
+    sim::Time ready_time(std::uint64_t bytes, sim::Time now)
+    {
+        if (!limited())
+            return now;
+        refill(now);
+        if (tokens >= bytes)
+            return now;
+        const unsigned __int128 needed =
+            static_cast<unsigned __int128>(bytes - tokens) *
+                1'000'000'000u -
+            frac;
+        const std::uint64_t wait = static_cast<std::uint64_t>(
+            (needed + rate_bps - 1) / rate_bps);
+        return now + static_cast<sim::Duration>(wait);
+    }
+};
+
+} // namespace nesc::ctrl
+
+#endif // NESC_CTRL_ARBITER_H

@@ -251,7 +251,75 @@ inline constexpr std::uint64_t kReplBackendErrors = 0x1a8; // RO (PF)
 inline constexpr std::uint64_t kReplResyncDone = 0x1b0;    // RO (PF)
 /** Read failovers taken across the set (timeout or error driven). */
 inline constexpr std::uint64_t kReplFailovers = 0x1b8;     // RO (PF)
+
+// Queue-pair admin block (VF-writable). Every function owns queue
+// pair 0 implicitly — its SQ/CQ are the legacy kCmdRingBase /
+// kCompRingBase / kDoorbell / kInterruptVector registers, which alias
+// queue pair 0's state bit-for-bit (single-ring paper mode is the
+// reset state). Additional pairs, up to the PF-programmed kQpQuota,
+// are created through this block: select a qid, stage the ring bases
+// and MSI vector, then write kQpCommand. Reads of the staged
+// registers return the live pair's values when the selected qid
+// exists and all-ones (master-abort idiom) when it does not, so a
+// driver can probe which qids are live without faulting.
+/** Queue-pair selector for the registers below. */
+inline constexpr std::uint64_t kQpSelect = 0x200;    // RW
+/** Staged SQ ring base for kQpCreate; live pair's base on read. */
+inline constexpr std::uint64_t kQpSqBase = 0x208;    // RW
+/** Staged CQ ring base for kQpCreate; live pair's base on read. */
+inline constexpr std::uint64_t kQpCqBase = 0x210;    // RW
+/** Staged completion MSI vector; 0 selects the per-(fn,qid) default. */
+inline constexpr std::uint64_t kQpIrqVector = 0x218; // RW
+/** QpCommand (create/delete the selected pair); result in kQpStatus. */
+inline constexpr std::uint64_t kQpCommand = 0x220;   // WO
+/** MgmtStatus-style result of the last kQpCommand. */
+inline constexpr std::uint64_t kQpStatus = 0x228;    // RO
+/** Number of live queue pairs (including pair 0). */
+inline constexpr std::uint64_t kQpCount = 0x230;     // RO
+/** PF-programmed queue-pair quota (total pairs, including pair 0). */
+inline constexpr std::uint64_t kQpQuota = 0x238;     // RO
+
+// Hierarchical-arbitration block (PF-only). Reset values reproduce
+// the paper's flat weighted round robin exactly.
+/** ArbMode: 0 = legacy WRR (paper §V.A, reset), 1 = DWRR. */
+inline constexpr std::uint64_t kArbMode = 0x240;    // RW (PF)
+/**
+ * DWRR quantum in blocks: each turn a function's deficit grows by
+ * quantum * qos_weight. Writes of 0 clamp to 1.
+ */
+inline constexpr std::uint64_t kArbQuantum = 0x248; // RW (PF)
+/** Staged queue-pair quota for MgmtCommand::kSetQpQuota. */
+inline constexpr std::uint64_t kMgmtQpQuota = 0x250;        // RW (PF)
+/** Staged token-bucket rate for kSetRateLimit; 0 = unlimited. */
+inline constexpr std::uint64_t kMgmtRateBytesPerSec = 0x258; // RW (PF)
+/** Staged token-bucket burst capacity for kSetRateLimit, in bytes. */
+inline constexpr std::uint64_t kMgmtRateBurstBytes = 0x260;  // RW (PF)
+
+/**
+ * Per-queue doorbell aperture: queue pair q's doorbell is the 8-byte
+ * register at kQpDoorbell0 + 8*q. Pair 0's doorbell is also aliased
+ * at the legacy kDoorbell offset. A doorbell write to a qid with no
+ * live queue pair is dropped and counted (master-abort semantics for
+ * a posted write): it never reaches the fetch engine.
+ */
+inline constexpr std::uint64_t kQpDoorbell0 = 0x800;
 } // namespace reg
+
+/** Queue pairs per function the doorbell aperture can address. */
+inline constexpr std::uint32_t kMaxQueuePairs = 16;
+
+/** reg::kQpCommand values. */
+enum class QpCommand : std::uint32_t {
+    kCreate = 1, ///< create the selected pair from the staged bases
+    kDelete = 2, ///< tear down the selected pair (aborts its commands)
+};
+
+/** reg::kArbMode values. */
+enum class ArbMode : std::uint32_t {
+    kLegacyWrr = 0, ///< paper §V.A credit round robin (reset state)
+    kDwrr = 1,      ///< deficit WRR: unspent credit banks under
+                    ///< backpressure while the function stays backlogged
+};
 
 /** Why a function is quarantined (reg::kQuarantineCause). */
 enum class QuarantineCause : std::uint8_t {
@@ -325,6 +393,19 @@ enum class MgmtCommand : std::uint32_t {
      * foreground I/O continues.
      */
     kReplResync = 11,
+    /**
+     * Applies reg::kMgmtQpQuota to the VF in kMgmtVfId: the total
+     * number of queue pairs (including pair 0) the VF may have live.
+     * Must be in [1, kMaxQueuePairs]. Lowering the quota below the
+     * live count affects future creates only.
+     */
+    kSetQpQuota = 12,
+    /**
+     * Applies the staged token-bucket rate limit (kMgmtRateBytesPerSec
+     * + kMgmtRateBurstBytes) to the VF in kMgmtVfId. Rate 0 (the
+     * reset state) removes the limit.
+     */
+    kSetRateLimit = 13,
 };
 
 /** kMgmtStatus values. */
@@ -334,11 +415,22 @@ enum class MgmtStatus : std::uint32_t {
     kError = 2,
 };
 
-/** MSI vector assignment: completion vector of function f. */
+/**
+ * MSI vector assignment: completion vector of (function f, queue q).
+ * Queue pair 0's vector equals the legacy completion_vector(fn), so
+ * single-queue drivers are unaffected by the multi-queue extension.
+ */
+constexpr std::uint32_t
+queue_vector(std::uint16_t fn, std::uint32_t qid)
+{
+    return 0x100u + fn + (qid << 16);
+}
+
+/** MSI vector assignment: completion vector of function f (queue 0). */
 constexpr std::uint32_t
 completion_vector(std::uint16_t fn)
 {
-    return 0x100u + fn;
+    return queue_vector(fn, 0);
 }
 
 /** MSI vector the PF receives for VF faults (write miss / prune). */

@@ -74,11 +74,13 @@ Controller::Controller(sim::Simulator &simulator,
     h_oob_requests_ = metrics_.counter("oob_requests");
     h_repl_reads_ = metrics_.counter("repl_reads");
     h_repl_writes_ = metrics_.counter("repl_writes");
+    arb_eligible_.resize(contexts_.size());
     // The PF is permanently active and spans the whole physical device.
     FunctionContext &pf = contexts_[pcie::kPhysicalFunctionId];
     pf.active = true;
     pf.device_size_blocks = device_.geometry().num_blocks();
     assign_function_lane(pf, pcie::kPhysicalFunctionId);
+    create_qp0(pf);
     // Every attributed DMA the device issues is policed by the
     // PF-programmed window table; a violation quarantines the fn.
     dma_.set_window_table(&dma_windows_);
@@ -133,11 +135,193 @@ Controller::quiescent() const
         inflight_transfers_)
         return false;
     for (const FunctionContext &c : contexts_) {
-        if (!c.queue.empty() || !c.stalled_ops.empty() ||
-            !c.pending.empty() || c.fetch_in_progress)
+        if (c.queued_ops != 0 || !c.stalled_ops.empty() ||
+            !c.pending.empty())
             return false;
+        for (const QpRef &qref : c.qps) {
+            const Qp *q = qp_arena_.get(qref);
+            if (q != nullptr && q->fetch_in_progress)
+                return false;
+        }
     }
     return true;
+}
+
+// --------------------------------------------------------------------
+// Queue-pair lifecycle
+// --------------------------------------------------------------------
+
+Controller::Qp *
+Controller::qp(FunctionContext &c, std::uint32_t qid)
+{
+    if (qid >= c.qps.size())
+        return nullptr;
+    return qp_arena_.get(c.qps[qid]);
+}
+
+const Controller::Qp *
+Controller::qp(const FunctionContext &c, std::uint32_t qid) const
+{
+    if (qid >= c.qps.size())
+        return nullptr;
+    return qp_arena_.get(c.qps[qid]);
+}
+
+void
+Controller::create_qp0(FunctionContext &c)
+{
+    const QpRef ref = qp_arena_.acquire();
+    qp_arena_.get(ref)->reset(0);
+    c.qps.assign(1, ref);
+}
+
+std::uint32_t
+Controller::queue_pair_count(pcie::FunctionId fn) const
+{
+    const FunctionContext &c = contexts_.at(fn);
+    std::uint32_t live = 0;
+    for (const QpRef &qref : c.qps)
+        if (qp_arena_.get(qref) != nullptr)
+            ++live;
+    return live;
+}
+
+const QueuePairStats *
+Controller::queue_pair_stats(pcie::FunctionId fn, std::uint32_t qid) const
+{
+    if (fn >= contexts_.size())
+        return nullptr;
+    const Qp *q = qp(contexts_[fn], qid);
+    return q != nullptr ? &q->stats : nullptr;
+}
+
+std::uint32_t
+Controller::qp_admin_execute(pcie::FunctionId fn, QpCommand cmd)
+{
+    const auto ok = static_cast<std::uint32_t>(MgmtStatus::kOk);
+    const auto err = static_cast<std::uint32_t>(MgmtStatus::kError);
+    FunctionContext &c = ctx(fn);
+    if (!c.active || c.quarantined)
+        return err;
+    const std::uint32_t qid = c.qp_select;
+    switch (cmd) {
+      case QpCommand::kCreate: {
+        // Pair 0 is owned by the legacy alias registers and exists for
+        // the function's whole active life; it is never re-created.
+        if (qid == 0 || qid >= kMaxQueuePairs)
+            return err;
+        if (qp(c, qid) != nullptr)
+            return err;
+        if (queue_pair_count(fn) >= c.qp_quota)
+            return err;
+        if (c.qp_sq_latch == pcie::kNullHostAddr ||
+            c.qp_cq_latch == pcie::kNullHostAddr)
+            return err;
+        if (c.qps.size() <= qid)
+            c.qps.resize(qid + 1); // gap slots hold stale handles
+        const QpRef ref = qp_arena_.acquire();
+        Qp *q = qp_arena_.get(ref);
+        q->reset(static_cast<std::uint16_t>(qid));
+        q->sq_base = c.qp_sq_latch;
+        q->cq_base = c.qp_cq_latch;
+        q->irq_vector = c.qp_irq_latch;
+        c.qps[qid] = ref;
+        metrics_.bump("qps_created");
+        return ok;
+      }
+      case QpCommand::kDelete:
+        if (qid == 0 || qp(c, qid) == nullptr)
+            return err;
+        destroy_qp(fn, qid);
+        metrics_.bump("qps_deleted");
+        return ok;
+    }
+    return err;
+}
+
+void
+Controller::destroy_qp(pcie::FunctionId fn, std::uint32_t qid)
+{
+    FunctionContext &c = ctx(fn);
+    Qp *q = qp(c, qid);
+    if (q == nullptr)
+        return;
+    // Ops still staged on the pair die with it.
+    c.queued_ops -= q->staging.size();
+    // Every command that arrived on this pair aborts: queued copies
+    // are purged everywhere, blocks already in the transfer stage drop
+    // on the stale command handle, and the completions die with the
+    // queue (the driver chose to delete it live). Tag order keeps the
+    // teardown deterministic.
+    std::vector<std::uint64_t> tags;
+    for (const auto &[tag, cref] : c.pending)
+        if (cmd_arena_.get(cref)->qid == qid)
+            tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    for (std::uint64_t tag : tags) {
+        c.stalled_ops.erase_if(
+            [tag](const BlockOp &op) { return op.tag == tag; });
+        purge_shared_queues(fn, tag);
+        cmd_arena_.release(c.pending.find(tag)->second);
+        c.pending.erase(tag);
+        tracer_.instant(obs::Stage::kAbort, fn, simulator_.now(), tag);
+    }
+    if (!tags.empty()) {
+        c.stats.aborted_ops += tags.size();
+        metrics_.bump("aborted_ops", tags.size());
+    }
+    qp_arena_.release(c.qps[qid]);
+    update_arb_eligibility(fn);
+}
+
+void
+Controller::reset_queue_pairs(FunctionContext &c)
+{
+    if (c.qps.empty())
+        return;
+    // FLR already tore down the function's in-flight state; here the
+    // extra pairs just stop existing and pair 0 returns to reset
+    // (rings detached, bases null, shadow invalid) for re-programming.
+    for (std::size_t qid = 1; qid < c.qps.size(); ++qid)
+        qp_arena_.release(c.qps[qid]); // idempotent on stale handles
+    c.qps.resize(1);
+    if (Qp *q = qp_arena_.get(c.qps[0]); q != nullptr)
+        q->reset(0);
+}
+
+util::Status
+Controller::doorbell_write(pcie::FunctionId fn, std::uint32_t qid)
+{
+    FunctionContext &c = ctx(fn);
+    if (!c.active)
+        return util::failed_precondition_error("doorbell on inactive fn");
+    if (c.quarantined) {
+        // Posted write into a sealed function: dropped, counted.
+        ++c.stats.doorbells_ignored;
+        metrics_.bump("doorbells_ignored");
+        return util::Status::ok();
+    }
+    Qp *q = qp(c, qid);
+    if (q == nullptr) {
+        // Doorbell to a pair that does not exist: hardware would
+        // master-abort the posted write; here it is dropped and
+        // counted where the hypervisor can see it.
+        ++c.stats.dead_doorbells;
+        metrics_.bump("dead_doorbells");
+        return util::Status::ok();
+    }
+    ++q->stats.doorbells;
+    if (q->fetch_in_progress) {
+        // Remember that more work arrived while a fetch was busy.
+        q->doorbell_rearm = true;
+        return util::Status::ok();
+    }
+    tracer_.instant(obs::Stage::kDoorbell, fn, simulator_.now());
+    q->fetch_in_progress = true;
+    simulator_.schedule_in_lane(
+        c.lane, config_.doorbell_latency,
+        [this, fn, qid]() { fetch_commands(fn, qid); });
+    return util::Status::ok();
 }
 
 // --------------------------------------------------------------------
@@ -156,8 +340,14 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
       case reg::kExtentTreeRoot: return c.extent_tree_root;
       case reg::kMissAddress: return c.miss_address;
       case reg::kMissSize: return static_cast<std::uint64_t>(c.miss_size);
-      case reg::kCmdRingBase: return c.cmd_ring_base;
-      case reg::kCompRingBase: return c.comp_ring_base;
+      case reg::kCmdRingBase: {
+        const Qp *q = qp(c, 0);
+        return q != nullptr ? q->sq_base : pcie::kNullHostAddr;
+      }
+      case reg::kCompRingBase: {
+        const Qp *q = qp(c, 0);
+        return q != nullptr ? q->cq_base : pcie::kNullHostAddr;
+      }
       case reg::kDeviceSize: return c.device_size_blocks;
       case reg::kStatBlocksRead: return c.stats.blocks_read;
       case reg::kStatBlocksWritten: return c.stats.blocks_written;
@@ -169,9 +359,62 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
         return static_cast<std::uint64_t>(c.fault);
       case reg::kQosWeight:
         return static_cast<std::uint64_t>(c.qos_weight);
-      case reg::kInterruptVector:
+      case reg::kInterruptVector: {
+        const Qp *q = qp(c, 0);
         return static_cast<std::uint64_t>(
-            c.irq_vector ? c.irq_vector : completion_vector(fn));
+            (q != nullptr && q->irq_vector) ? q->irq_vector
+                                            : completion_vector(fn));
+      }
+      // Queue-pair admin block: driver-owned, on the function's own
+      // page. Staged-value reads reflect the live pair when the
+      // selected qid exists, and read all-ones (the master-abort
+      // idiom) when it does not — a driver can probe for a pair
+      // without faulting.
+      case reg::kQpSelect:
+        return static_cast<std::uint64_t>(c.qp_select);
+      case reg::kQpSqBase: {
+        const Qp *q = qp(c, c.qp_select);
+        return q != nullptr ? q->sq_base : ~std::uint64_t{0};
+      }
+      case reg::kQpCqBase: {
+        const Qp *q = qp(c, c.qp_select);
+        return q != nullptr ? q->cq_base : ~std::uint64_t{0};
+      }
+      case reg::kQpIrqVector: {
+        const Qp *q = qp(c, c.qp_select);
+        return q != nullptr ? static_cast<std::uint64_t>(q->irq_vector)
+                            : ~std::uint64_t{0};
+      }
+      case reg::kQpStatus:
+        return static_cast<std::uint64_t>(c.qp_status);
+      case reg::kQpCount:
+        return static_cast<std::uint64_t>(queue_pair_count(fn));
+      case reg::kQpQuota:
+        return static_cast<std::uint64_t>(c.qp_quota);
+      // Arbitration block: PF-only (scheduling policy is hypervisor
+      // infrastructure, not guest-tunable).
+      case reg::kArbMode:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "arbitration regs are PF-only");
+        return static_cast<std::uint64_t>(arb_mode_);
+      case reg::kArbQuantum:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "arbitration regs are PF-only");
+        return static_cast<std::uint64_t>(arb_quantum_);
+      case reg::kMgmtQpQuota:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        return static_cast<std::uint64_t>(mgmt_qp_quota_);
+      case reg::kMgmtRateBytesPerSec:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        return mgmt_rate_bps_;
+      case reg::kMgmtRateBurstBytes:
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error("mgmt regs are PF-only");
+        return mgmt_rate_burst_;
       case reg::kMgmtQosWeight:
         if (fn != pcie::kPhysicalFunctionId)
             return util::permission_denied_error("mgmt regs are PF-only");
@@ -379,6 +622,14 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         return util::permission_denied_error("register is PF-only");
     }
 
+    // Per-queue doorbell aperture: qid q rings at kQpDoorbell0 + 8*q
+    // (pair 0 also answers at the legacy kDoorbell alias below).
+    if (offset >= reg::kQpDoorbell0 &&
+        offset < reg::kQpDoorbell0 + 8ull * kMaxQueuePairs)
+        return doorbell_write(
+            fn,
+            static_cast<std::uint32_t>((offset - reg::kQpDoorbell0) / 8));
+
     switch (offset) {
       case reg::kExtentTreeRoot:
         // Hypervisor-owned: a guest must never repoint its own tree at
@@ -404,40 +655,82 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
             function_level_reset(fn);
         return util::Status::ok();
       case reg::kCmdRingBase:
-        c.cmd_ring_base = value;
-        c.cmd_ring.reset();
-        c.cmd_shadow_valid = false;
+        // Legacy alias for pair 0's SQ; a write to an inactive fn
+        // (no pair 0 yet) is a dropped posted write, matching the
+        // wipe kCreateVf performs anyway.
+        if (Qp *q = qp0(c); q != nullptr) {
+            q->sq_base = value;
+            q->sq.reset();
+            q->sq_shadow_valid = false;
+        }
         return util::Status::ok();
       case reg::kCompRingBase:
-        c.comp_ring_base = value;
-        c.comp_ring.reset();
-        return util::Status::ok();
-      case reg::kDoorbell: {
-        if (!c.active)
-            return util::failed_precondition_error("doorbell on inactive fn");
-        if (c.quarantined) {
-            // Posted write into a sealed function: dropped, counted.
-            ++c.stats.doorbells_ignored;
-            metrics_.bump("doorbells_ignored");
-            return util::Status::ok();
+        if (Qp *q = qp0(c); q != nullptr) {
+            q->cq_base = value;
+            q->cq.reset();
         }
-        if (c.fetch_in_progress) {
-            // Remember that more work arrived while a fetch was busy.
-            c.doorbell_rearm = true;
-            return util::Status::ok();
-        }
-        tracer_.instant(obs::Stage::kDoorbell, fn, simulator_.now());
-        c.fetch_in_progress = true;
-        simulator_.schedule_in_lane(c.lane, config_.doorbell_latency,
-                                    [this, fn]() { fetch_commands(fn); });
         return util::Status::ok();
-      }
+      case reg::kDoorbell:
+        return doorbell_write(fn, 0);
       case reg::kRewalkTree:
         if (value != 0 && !c.quarantined)
             handle_rewalk(fn);
         return util::Status::ok();
       case reg::kInterruptVector:
-        c.irq_vector = static_cast<std::uint32_t>(value);
+        if (Qp *q = qp0(c); q != nullptr)
+            q->irq_vector = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kQpSelect:
+        c.qp_select = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kQpSqBase:
+        // Latched for the next kCreate; applied live (with a ring
+        // re-attach) when the selected pair already exists.
+        c.qp_sq_latch = value;
+        if (Qp *q = qp(c, c.qp_select); q != nullptr) {
+            q->sq_base = value;
+            q->sq.reset();
+            q->sq_shadow_valid = false;
+        }
+        return util::Status::ok();
+      case reg::kQpCqBase:
+        c.qp_cq_latch = value;
+        if (Qp *q = qp(c, c.qp_select); q != nullptr) {
+            q->cq_base = value;
+            q->cq.reset();
+        }
+        return util::Status::ok();
+      case reg::kQpIrqVector:
+        c.qp_irq_latch = static_cast<std::uint32_t>(value);
+        if (Qp *q = qp(c, c.qp_select); q != nullptr)
+            q->irq_vector = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kQpCommand:
+        c.qp_status =
+            qp_admin_execute(fn, static_cast<QpCommand>(value));
+        return util::Status::ok();
+      case reg::kArbMode:
+        arb_mode_ = value != 0 ? ArbMode::kDwrr : ArbMode::kLegacyWrr;
+        // A mode switch restarts arbitration accounting from scratch:
+        // no turn in progress, no banked credit or deficit anywhere.
+        rr_credit_ = 0;
+        dwrr_turn_live_ = false;
+        for (FunctionContext &f : contexts_)
+            f.arb_deficit = 0;
+        return util::Status::ok();
+      case reg::kArbQuantum:
+        // Quantum 0 would make DWRR turns grant nothing; clamp to 1.
+        arb_quantum_ = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(value));
+        return util::Status::ok();
+      case reg::kMgmtQpQuota:
+        mgmt_qp_quota_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kMgmtRateBytesPerSec:
+        mgmt_rate_bps_ = value;
+        return util::Status::ok();
+      case reg::kMgmtRateBurstBytes:
+        mgmt_rate_burst_ = value;
         return util::Status::ok();
       case reg::kMgmtVfId:
         mgmt_vf_id_ = static_cast<std::uint32_t>(value);
@@ -537,6 +830,11 @@ Controller::pf_only_write(std::uint64_t offset)
       case reg::kTelemetrySelect:
       case reg::kFetchBatch:
       case reg::kCompletionBatch:
+      case reg::kArbMode:
+      case reg::kArbQuantum:
+      case reg::kMgmtQpQuota:
+      case reg::kMgmtRateBytesPerSec:
+      case reg::kMgmtRateBurstBytes:
       case reg::kReplQuorum:
       case reg::kReplReadTimeoutNs:
       case reg::kReplBackendSelect:
@@ -569,6 +867,7 @@ Controller::mgmt_execute(MgmtCommand command)
                            vf);
         // A fresh VF never inherits the previous occupant's windows.
         dma_windows_.clear(vf);
+        create_qp0(c);
         metrics_.bump("vfs_created");
         return ok;
       }
@@ -588,6 +887,11 @@ Controller::mgmt_execute(MgmtCommand command)
             return err;
         retire_function_lane(c); // already-scheduled events drain
         std::erase(active_vfs_, fn);
+        for (const QpRef &qref : c.qps)
+            qp_arena_.release(qref); // pair 0 and any extras
+        if (c.bucket.limited())
+            --rate_limited_fns_;
+        arb_eligible_.assign(fn, false);
         c = FunctionContext{};
         btlb_.flush_function(fn);
         node_cache_.invalidate_function(fn);
@@ -689,6 +993,41 @@ Controller::mgmt_execute(MgmtCommand command)
         metrics_.bump("repl_resyncs_started");
         return ok;
       }
+      case MgmtCommand::kSetQpQuota: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs ||
+            mgmt_qp_quota_ == 0 || mgmt_qp_quota_ > kMaxQueuePairs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        if (!ctx(fn).active)
+            return err;
+        // Lowering the quota below the live pair count only gates
+        // future creates; existing pairs keep running until the
+        // driver deletes them.
+        ctx(fn).qp_quota = mgmt_qp_quota_;
+        metrics_.bump("qp_quota_updates");
+        return ok;
+      }
+      case MgmtCommand::kSetRateLimit: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        FunctionContext &c = ctx(fn);
+        if (!c.active)
+            return err;
+        // A burst below one device block could never admit a grant;
+        // clamp so a limited function always makes progress.
+        std::uint64_t burst = mgmt_rate_burst_;
+        if (mgmt_rate_bps_ != 0 && burst < kDeviceBlockSize)
+            burst = kDeviceBlockSize;
+        const bool was_limited = c.bucket.limited();
+        c.bucket.configure(mgmt_rate_bps_, burst, simulator_.now());
+        if (!was_limited && c.bucket.limited())
+            ++rate_limited_fns_;
+        else if (was_limited && !c.bucket.limited())
+            --rate_limited_fns_;
+        metrics_.bump("rate_limit_updates");
+        return ok;
+      }
     }
     return err;
 }
@@ -698,14 +1037,17 @@ Controller::mgmt_execute(MgmtCommand command)
 // --------------------------------------------------------------------
 
 void
-Controller::fetch_commands(pcie::FunctionId fn)
+Controller::fetch_commands(pcie::FunctionId fn, std::uint32_t qid)
 {
     FunctionContext &c = ctx(fn);
-    c.fetch_in_progress = false;
+    Qp *q = qp(c, qid);
+    if (q == nullptr)
+        return; // the pair was deleted while the fetch was in flight
+    q->fetch_in_progress = false;
     if (!c.active || c.quarantined)
         return;
-    if (!c.cmd_ring) {
-        auto ring = pcie::HostRing::attach(host_memory_, c.cmd_ring_base);
+    if (!q->sq) {
+        auto ring = pcie::HostRing::attach(host_memory_, q->sq_base);
         if (!ring.is_ok()) {
             NESC_LOG_WARN("fn %u: doorbell with no command ring", fn);
             ++c.stats.ring_corruptions;
@@ -732,14 +1074,14 @@ Controller::fetch_commands(pcie::FunctionId fn)
                                    attached.record_size()))
                  .is_ok())
             return; // the violation hook has quarantined the fn
-        c.cmd_ring = std::move(attached);
-        c.cmd_shadow_valid = false;
+        q->sq = std::move(attached);
+        q->sq_shadow_valid = false;
     }
 
     // Header sanity plus shadow-counter cross-check before trusting a
     // single record: the header lives in guest-writable memory, so it
     // is evidence of driver intent, never authority over device state.
-    if (util::Status ring_ok = validate_cmd_ring(c); !ring_ok.is_ok()) {
+    if (util::Status ring_ok = validate_cmd_ring(*q); !ring_ok.is_ok()) {
         NESC_LOG_WARN("fn %u: command ring rejected: %s", fn,
                       ring_ok.message().c_str());
         ++c.stats.ring_corruptions;
@@ -759,13 +1101,13 @@ Controller::fetch_commands(pcie::FunctionId fn)
         if (batch != 0 && fetched >= batch) {
             // Batch spent: continue the drain in a fresh event. A
             // doorbell landing meanwhile merges into the continuation.
-            c.fetch_in_progress = true;
+            q->fetch_in_progress = true;
             simulator_.schedule_in_lane(
                 c.lane, config_.doorbell_latency,
-                [this, fn]() { fetch_commands(fn); });
+                [this, fn, qid]() { fetch_commands(fn, qid); });
             break;
         }
-        auto popped = c.cmd_ring->pop(rec_buf);
+        auto popped = q->sq->pop(rec_buf);
         if (!popped.is_ok()) {
             // The header went bad between records (torn mid-drain).
             ++c.stats.ring_corruptions;
@@ -775,15 +1117,17 @@ Controller::fetch_commands(pcie::FunctionId fn)
         }
         if (!popped.value())
             break;
-        ++c.cmd_shadow_head; // mirror our own consumer advance
+        ++q->sq_shadow_head; // mirror our own consumer advance
         dma_.book(sizeof(CommandRecord));
         CommandRecord rec;
         std::memcpy(&rec, rec_buf.data(), sizeof(rec));
         ++fetched;
         ++c.stats.commands;
+        ++q->stats.commands;
         tracer_.instant(obs::Stage::kCmdFetch, fn, simulator_.now(),
                         rec.tag, rec.nblocks);
 
+        const auto q16 = static_cast<std::uint16_t>(qid);
         if (util::Status valid = validate_command(c, rec);
             !valid.is_ok()) {
             ++c.stats.malformed;
@@ -791,8 +1135,8 @@ Controller::fetch_commands(pcie::FunctionId fn)
             tracer_.instant(obs::Stage::kValidateFail, fn,
                             simulator_.now(), rec.tag);
             BlockOp reject{fn, static_cast<Opcode>(rec.opcode), 0, 0,
-                           rec.tag};
-            reject.cmd = open_command(c, rec.tag, 1, 0);
+                           rec.tag, q16};
+            reject.cmd = open_command(c, rec.tag, 1, 0, q16);
             complete_block(reject, CompletionStatus::kMalformed);
             note_validation_fault(fn, QuarantineCause::kMalformedStorm);
             if (c.quarantined)
@@ -804,8 +1148,8 @@ Controller::fetch_commands(pcie::FunctionId fn)
         if (opcode == Opcode::kFlush) {
             // Durability barrier: the in-memory media model is always
             // durable, so a flush completes as soon as it is seen.
-            BlockOp flush{fn, opcode, 0, 0, rec.tag};
-            flush.cmd = open_command(c, rec.tag, 1, 0);
+            BlockOp flush{fn, opcode, 0, 0, rec.tag, q16};
+            flush.cmd = open_command(c, rec.tag, 1, 0, q16);
             complete_block(flush, CompletionStatus::kOk);
             continue;
         }
@@ -813,8 +1157,8 @@ Controller::fetch_commands(pcie::FunctionId fn)
             // Entirely out of range: reject at fetch instead of
             // expanding nblocks block ops that would each bounce off
             // the same bound in translation.
-            BlockOp oor{fn, opcode, 0, 0, rec.tag};
-            oor.cmd = open_command(c, rec.tag, 1, 0);
+            BlockOp oor{fn, opcode, 0, 0, rec.tag, q16};
+            oor.cmd = open_command(c, rec.tag, 1, 0, q16);
             complete_block(oor, CompletionStatus::kOutOfRange);
             continue;
         }
@@ -828,25 +1172,26 @@ Controller::fetch_commands(pcie::FunctionId fn)
                  .is_ok()) {
             ++c.stats.dma_violations;
             metrics_.bump("dma_violations");
-            BlockOp faulted{fn, opcode, 0, 0, rec.tag};
-            faulted.cmd = open_command(c, rec.tag, 1, 0);
+            BlockOp faulted{fn, opcode, 0, 0, rec.tag, q16};
+            faulted.cmd = open_command(c, rec.tag, 1, 0, q16);
             complete_block(faulted, CompletionStatus::kDmaFault);
             quarantine(fn, QuarantineCause::kDmaViolation);
             break;
         }
 
         // Split into 1 KiB device-block operations (paper §IV.C).
-        const CmdRef cmd =
-            open_command(c, rec.tag, rec.nblocks, simulator_.now());
+        const CmdRef cmd = open_command(c, rec.tag, rec.nblocks,
+                                        simulator_.now(), q16);
         for (std::uint32_t b = 0; b < rec.nblocks; ++b) {
             BlockOp op{fn, opcode, rec.vlba + b,
                        rec.host_buffer +
                            static_cast<pcie::HostAddr>(b) *
                                kDeviceBlockSize,
-                       rec.tag};
+                       rec.tag, q16};
             op.cmd = cmd;
             op.t_queued = simulator_.now();
-            c.queue.push_back(op);
+            q->staging.push_back(op);
+            ++c.queued_ops;
         }
     }
     metrics_.add(h_commands_fetched_, fetched);
@@ -855,12 +1200,14 @@ Controller::fetch_commands(pcie::FunctionId fn)
         return;
     }
     arm_watchdog(fn);
-    if (c.doorbell_rearm && !c.fetch_in_progress) {
-        c.doorbell_rearm = false;
-        c.fetch_in_progress = true;
-        simulator_.schedule_in_lane(c.lane, config_.doorbell_latency,
-                                    [this, fn]() { fetch_commands(fn); });
+    if (q->doorbell_rearm && !q->fetch_in_progress) {
+        q->doorbell_rearm = false;
+        q->fetch_in_progress = true;
+        simulator_.schedule_in_lane(
+            c.lane, config_.doorbell_latency,
+            [this, fn, qid]() { fetch_commands(fn, qid); });
     }
+    update_arb_eligibility(fn);
     pump();
 }
 
@@ -869,25 +1216,25 @@ Controller::fetch_commands(pcie::FunctionId fn)
 // --------------------------------------------------------------------
 
 util::Status
-Controller::validate_cmd_ring(FunctionContext &c)
+Controller::validate_cmd_ring(Qp &q)
 {
-    NESC_ASSIGN_OR_RETURN(auto header, c.cmd_ring->load_header());
-    if (!c.cmd_shadow_valid) {
+    NESC_ASSIGN_OR_RETURN(auto header, q.sq->load_header());
+    if (!q.sq_shadow_valid) {
         // First sight of this ring: adopt its counters as the baseline.
-        c.cmd_shadow_head = header.head;
-        c.cmd_shadow_tail = header.tail;
-        c.cmd_shadow_valid = true;
+        q.sq_shadow_head = header.head;
+        q.sq_shadow_tail = header.tail;
+        q.sq_shadow_valid = true;
     }
     // head is the device's counter; the producer never writes it.
-    if (header.head != c.cmd_shadow_head)
+    if (header.head != q.sq_shadow_head)
         return util::data_loss_error("ring consumer counter rewritten");
     // tail may only advance. With free-running 32-bit counters a
     // backward step shows up as a wrapping advance in the top half of
     // the range, which no real producer can reach between doorbells.
-    const std::uint32_t advance = header.tail - c.cmd_shadow_tail;
+    const std::uint32_t advance = header.tail - q.sq_shadow_tail;
     if (advance > 0x7fffffffu)
         return util::data_loss_error("ring producer counter regressed");
-    c.cmd_shadow_tail = header.tail;
+    q.sq_shadow_tail = header.tail;
     return util::Status::ok();
 }
 
@@ -972,12 +1319,17 @@ Controller::quarantine(pcie::FunctionId fn, QuarantineCause cause)
                     static_cast<std::uint64_t>(cause));
     // Tear down everything in flight, scoped exactly to this fn.
     purge_shared_queues(fn, std::nullopt);
-    c.queue.clear();
+    for (const QpRef &qref : c.qps) {
+        if (Qp *q = qp_arena_.get(qref); q != nullptr) {
+            q->staging.clear();
+            q->doorbell_rearm = false;
+        }
+    }
+    c.queued_ops = 0;
     c.stalled_ops.clear();
     c.fault = FaultKind::kNone;
     c.miss_address = 0;
     c.miss_size = 0;
-    c.doorbell_rearm = false;
     // Results derived from the pre-quarantine state must not land:
     // the generation bump cancels in-flight walks, and any transfer
     // completion drops on the pending-map miss below.
@@ -985,19 +1337,21 @@ Controller::quarantine(pcie::FunctionId fn, QuarantineCause cause)
     btlb_.flush_function(fn);
     node_cache_.invalidate_function(fn);
     // In-flight commands complete kAborted toward the guest, in tag
-    // order for determinism (pending is an unordered map).
-    std::vector<std::uint64_t> tags;
+    // order for determinism (pending is an unordered map). Each
+    // completion posts to the pair its command arrived on.
+    std::vector<std::pair<std::uint64_t, std::uint16_t>> tags;
     tags.reserve(c.pending.size());
     for (const auto &[tag, cmd] : c.pending) {
-        tags.push_back(tag);
+        tags.emplace_back(tag, cmd_arena_.get(cmd)->qid);
         cmd_arena_.release(cmd);
     }
     std::sort(tags.begin(), tags.end());
     c.pending.clear();
     c.stats.aborted_ops += tags.size();
     metrics_.bump("aborted_ops", tags.size());
-    for (std::uint64_t tag : tags)
-        enqueue_completion(fn, tag, CompletionStatus::kAborted);
+    for (const auto &[tag, qid] : tags)
+        enqueue_completion(fn, qid, tag, CompletionStatus::kAborted);
+    update_arb_eligibility(fn);
     // One PF notification per quarantine entry; the per-fault IRQs a
     // misbehaving guest could otherwise storm with are suppressed
     // while it stays quarantined.
@@ -1027,73 +1381,188 @@ Controller::pump()
 }
 
 void
+Controller::update_arb_eligibility(pcie::FunctionId fn)
+{
+    if (fn == pcie::kPhysicalFunctionId)
+        return; // the PF's OOB channel never arbitrates
+    const FunctionContext &c = contexts_[fn];
+    arb_eligible_.assign(fn, c.active && !c.quarantined &&
+                                 c.fault == FaultKind::kNone &&
+                                 c.queued_ops != 0);
+}
+
+int
+Controller::next_eligible(std::uint32_t from)
+{
+    // Fast path: no rate limits anywhere, so the bitmap answer is the
+    // answer (this is the only path legacy/golden configs ever take).
+    if (rate_limited_fns_ == 0)
+        return arb_eligible_.next_after(from);
+    const sim::Time now = simulator_.now();
+    sim::Time earliest = ~sim::Time{0};
+    std::uint32_t cursor = from;
+    for (std::size_t probes = arb_eligible_.count(); probes > 0;
+         --probes) {
+        const int id = arb_eligible_.next_after(cursor);
+        if (id < 0)
+            return -1;
+        FunctionContext &c = ctx(static_cast<pcie::FunctionId>(id));
+        if (c.bucket.ready(kDeviceBlockSize, now))
+            return id;
+        earliest = std::min(earliest,
+                            c.bucket.ready_time(kDeviceBlockSize, now));
+        cursor = static_cast<std::uint32_t>(id);
+        if (cursor == from)
+            break; // wrapped a full cycle; everything is rate-blocked
+    }
+    // Work exists but every backlogged function is out of tokens: a
+    // one-shot wakeup at the earliest refill keeps the pipeline moving
+    // without any polling traffic.
+    if (earliest != ~sim::Time{0})
+        schedule_rate_pump(earliest);
+    return -1;
+}
+
+void
+Controller::grant_one(FunctionContext &c)
+{
+    // Plain round robin across the tenant's pairs: resume at the
+    // cursor and take the first pair with staged work. With a single
+    // pair this is exactly the legacy per-function queue pop.
+    const auto npairs = static_cast<std::uint32_t>(c.qps.size());
+    for (std::uint32_t i = 0; i < npairs; ++i) {
+        const std::uint32_t qid = (c.rr_qp_cursor + i) % npairs;
+        Qp *q = qp_arena_.get(c.qps[qid]);
+        if (q == nullptr || q->staging.empty())
+            continue;
+        q->staging.front().t_arbitrated = simulator_.now();
+        vlba_queue_.push_back(q->staging.front());
+        q->staging.pop_front();
+        --c.queued_ops;
+        c.rr_qp_cursor = (qid + 1) % npairs;
+        ++arb_grants_;
+        return;
+    }
+}
+
+void
+Controller::schedule_rate_pump(sim::Time at)
+{
+    if (rate_pump_scheduled_ && rate_pump_at_ <= at)
+        return; // an earlier (or equal) wakeup is already booked
+    rate_pump_scheduled_ = true;
+    rate_pump_at_ = at;
+    const sim::Time fire = std::max(at, simulator_.now());
+    simulator_.schedule_at_lane(sim::Simulator::kDefaultLane, fire,
+                                [this, at]() {
+                                    if (rate_pump_at_ == at)
+                                        rate_pump_scheduled_ = false;
+                                    pump();
+                                });
+}
+
+void
 Controller::arbitrate()
 {
     // PF out-of-band channel: bypasses translation and the vLBA queue
     // entirely (paper §V.A), so PF traffic is never blocked behind a
-    // stalled VF.
+    // stalled VF. All the PF's pairs drain, in qid order.
     FunctionContext &pf = ctx(pcie::kPhysicalFunctionId);
-    while (!pf.queue.empty()) {
-        BlockOp op = pf.queue.front();
-        pf.queue.pop_front();
-        if (op.vlba >= pf.device_size_blocks) {
-            complete_block(op, CompletionStatus::kOutOfRange);
-            continue;
+    if (pf.queued_ops != 0) {
+        for (const QpRef &qref : pf.qps) {
+            Qp *q = qp_arena_.get(qref);
+            if (q == nullptr)
+                continue;
+            while (!q->staging.empty()) {
+                BlockOp op = q->staging.front();
+                q->staging.pop_front();
+                --pf.queued_ops;
+                if (op.vlba >= pf.device_size_blocks) {
+                    complete_block(op, CompletionStatus::kOutOfRange);
+                    continue;
+                }
+                plba_queue_.emplace_back(
+                    op, static_cast<extent::Plba>(op.vlba));
+                metrics_.add(h_oob_requests_);
+            }
         }
-        plba_queue_.emplace_back(op, static_cast<extent::Plba>(op.vlba));
-        metrics_.add(h_oob_requests_);
     }
 
-    // Weighted round-robin over VFs into the shared vLBA queue: each
-    // backlogged VF gets qos_weight blocks per turn (weight 1 = the
-    // plain round robin of §V.A; higher weights implement the QoS
-    // extension of §IV.D). The per-turn credit persists across calls:
-    // the pipeline refills one slot at a time in steady state, and the
-    // weight must survive that, not just batch arrivals.
-    auto eligible = [this](pcie::FunctionId fn) {
-        const FunctionContext &c = contexts_[fn];
-        return c.active && !c.quarantined &&
-               c.fault == FaultKind::kNone && !c.queue.empty();
-    };
-    // Only active VFs can be eligible, so the turn-over scan walks the
-    // sorted active list in the same cyclic id order a full 1..max_vfs
-    // sweep would visit — identical selection, without burning a
-    // 64-slot scan per refill on sparse configs.
-    std::uint32_t scanned = 0;
-    while (vlba_queue_.size() < config_.vlba_queue_depth) {
-        if (rr_credit_ == 0 || !eligible(rr_current_)) {
-            // Turn over: find the next VF with queued work.
-            bool found = false;
-            const pcie::FunctionId rr_entry = rr_current_;
-            auto it = std::upper_bound(active_vfs_.begin(),
-                                       active_vfs_.end(), rr_current_);
-            while (scanned < active_vfs_.size()) {
-                if (it == active_vfs_.end())
-                    it = active_vfs_.begin();
-                rr_current_ = *it;
-                ++it;
-                ++scanned;
-                if (eligible(rr_current_)) {
-                    rr_credit_ = ctx(rr_current_).qos_weight;
-                    found = true;
-                    break;
-                }
+    if (arb_mode_ == ArbMode::kLegacyWrr) {
+        // Weighted round-robin over VFs into the shared vLBA queue:
+        // each backlogged VF gets qos_weight blocks per turn (weight 1
+        // = the plain round robin of §V.A; higher weights implement
+        // the QoS extension of §IV.D). The per-turn credit persists
+        // across calls: the pipeline refills one slot at a time in
+        // steady state, and the weight must survive that, not just
+        // batch arrivals. The eligible bitmap replays the old sorted
+        // active-list scan's cyclic id order exactly — identical
+        // selection, O(words) per turn-over instead of O(active_vfs).
+        while (vlba_queue_.size() < config_.vlba_queue_depth) {
+            if (rr_credit_ == 0 || !arb_eligible_.test(rr_current_)) {
+                const int next = next_eligible(rr_current_);
+                if (next < 0)
+                    break; // nothing runnable (or all rate-blocked)
+                rr_current_ = static_cast<pcie::FunctionId>(next);
+                rr_credit_ = ctx(rr_current_).qos_weight;
             }
-            if (!found) {
-                // A fruitless full sweep leaves the turn where it was
-                // (the 1..max_vfs scan wrapped to its start point).
-                rr_current_ = rr_entry;
-                break; // nothing runnable anywhere
+            FunctionContext &c = ctx(rr_current_);
+            if (rate_limited_fns_ != 0 && c.bucket.limited() &&
+                !c.bucket.ready(kDeviceBlockSize, simulator_.now())) {
+                rr_credit_ = 0; // tokens ran out mid-turn: turn over
+                continue;
+            }
+            grant_one(c);
+            if (rate_limited_fns_ != 0)
+                c.bucket.spend(kDeviceBlockSize);
+            --rr_credit_;
+            if (c.queued_ops == 0) {
+                rr_credit_ = 0; // cannot bank credit while idle
+                arb_eligible_.assign(rr_current_, false);
             }
         }
+        return;
+    }
+
+    // DWRR (reg::kArbMode = 1): a tenant acquiring the turn banks
+    // quantum x weight blocks of deficit and spends one per grant.
+    // Unlike the legacy credit, the deficit survives vLBA-queue
+    // backpressure mid-turn while the tenant stays backlogged — the
+    // turn is left open (dwrr_turn_live_) and resumes on the next
+    // arbitrate() call. The deficit dies with the backlog (classic
+    // DRR), so an idle tenant cannot hoard service.
+    while (vlba_queue_.size() < config_.vlba_queue_depth) {
+        if (!dwrr_turn_live_ || !arb_eligible_.test(rr_current_)) {
+            const int next = next_eligible(rr_current_);
+            if (next < 0) {
+                dwrr_turn_live_ = false;
+                break;
+            }
+            rr_current_ = static_cast<pcie::FunctionId>(next);
+            FunctionContext &t = ctx(rr_current_);
+            t.arb_deficit +=
+                static_cast<std::uint64_t>(arb_quantum_) * t.qos_weight;
+            dwrr_turn_live_ = true;
+        }
         FunctionContext &c = ctx(rr_current_);
-        c.queue.front().t_arbitrated = simulator_.now();
-        vlba_queue_.push_back(c.queue.front());
-        c.queue.pop_front();
-        --rr_credit_;
-        scanned = 0;
-        if (c.queue.empty())
-            rr_credit_ = 0; // cannot bank credit while idle
+        if (c.arb_deficit == 0) {
+            dwrr_turn_live_ = false; // quantum spent; next tenant
+            continue;
+        }
+        if (rate_limited_fns_ != 0 && c.bucket.limited() &&
+            !c.bucket.ready(kDeviceBlockSize, simulator_.now())) {
+            dwrr_turn_live_ = false; // keep the deficit, yield the turn
+            continue;
+        }
+        grant_one(c);
+        if (rate_limited_fns_ != 0)
+            c.bucket.spend(kDeviceBlockSize);
+        --c.arb_deficit;
+        if (c.queued_ops == 0) {
+            c.arb_deficit = 0; // deficit dies with the backlog
+            arb_eligible_.assign(rr_current_, false);
+            dwrr_turn_live_ = false;
+        }
     }
 }
 
@@ -1505,6 +1974,7 @@ Controller::finish_fault(const BlockOp &op, FaultKind kind)
     }
     tracer_.instant(obs::Stage::kFault, op.fn, simulator_.now(), op.tag,
                     static_cast<std::uint64_t>(kind));
+    update_arb_eligibility(op.fn); // a faulted fn leaves arbitration
     irq_.raise(kFaultVector);
 }
 
@@ -1522,12 +1992,19 @@ Controller::handle_rewalk(pcie::FunctionId fn)
     // function must not deliver a result derived from the old tree.
     ++c.tree_generation;
     node_cache_.invalidate_function(fn);
-    // Re-issue parked operations ahead of anything newly queued.
+    // Re-issue parked operations ahead of anything newly queued, each
+    // at the front of the pair it was fetched from (back-to-front, so
+    // a pair's parked ops come out in their original order).
     while (!c.stalled_ops.empty()) {
-        c.queue.push_front(c.stalled_ops.back());
+        const BlockOp &op = c.stalled_ops.back();
+        if (Qp *q = qp(c, op.qid); q != nullptr) {
+            q->staging.push_front(op);
+            ++c.queued_ops;
+        }
         c.stalled_ops.pop_back();
     }
     metrics_.bump("rewalks");
+    update_arb_eligibility(fn);
     pump();
 }
 
@@ -1543,15 +2020,21 @@ Controller::fail_stalled(pcie::FunctionId fn)
     util::RingQueue<BlockOp> parked;
     parked.swap(c.stalled_ops);
     // Only writes missed: reads parked behind the fault were stalled
-    // by ordering alone, so requeue them (ahead of newer arrivals,
-    // preserving their relative order) and the VF resumes cleanly.
+    // by ordering alone, so requeue them (ahead of newer arrivals on
+    // their own pair, preserving their relative order) and the VF
+    // resumes cleanly.
     for (auto it = parked.rbegin(); it != parked.rend(); ++it)
-        if (it->op == Opcode::kRead)
-            c.queue.push_front(*it);
+        if (it->op == Opcode::kRead) {
+            if (Qp *q = qp(c, it->qid); q != nullptr) {
+                q->staging.push_front(*it);
+                ++c.queued_ops;
+            }
+        }
     for (const BlockOp &op : parked)
         if (op.op != Opcode::kRead)
             complete_block(op, CompletionStatus::kWriteFailed);
     metrics_.bump("write_failures");
+    update_arb_eligibility(fn);
     pump();
 }
 
@@ -1779,13 +2262,15 @@ Controller::start_zero_fill(const BlockOp &original)
 
 Controller::CmdRef
 Controller::open_command(FunctionContext &c, std::uint64_t tag,
-                         std::uint32_t remaining, sim::Time t_start)
+                         std::uint32_t remaining, sim::Time t_start,
+                         std::uint16_t qid)
 {
     const CmdRef ref = cmd_arena_.acquire();
     PendingCommand *cmd = cmd_arena_.get(ref);
     cmd->remaining = remaining;
     cmd->status = CompletionStatus::kOk;
     cmd->t_start = t_start;
+    cmd->qid = qid;
     // A guest reusing a live tag orphans the old command: its ref is
     // released here, so blocks still in flight for it drop on the
     // stale-handle miss instead of aliasing the new command.
@@ -1829,64 +2314,78 @@ Controller::complete_block(const BlockOp &op, CompletionStatus status)
     FunctionContext &c = ctx(op.fn);
     c.pending.erase(op.tag);
     cmd_arena_.release(op.cmd);
-    enqueue_completion(op.fn, op.tag, final_status);
+    enqueue_completion(op.fn, op.qid, op.tag, final_status);
 }
 
 void
-Controller::enqueue_completion(pcie::FunctionId fn, std::uint64_t tag,
-                               CompletionStatus status)
+Controller::enqueue_completion(pcie::FunctionId fn, std::uint16_t qid,
+                               std::uint64_t tag, CompletionStatus status)
 {
     FunctionContext &c = ctx(fn);
     if (!completion_batch_) {
         // Paper behavior: one CQ write plus one MSI per completion,
         // each in its own event after the completion-engine latency.
-        simulator_.schedule_in_lane(c.lane, config_.completion_cost,
-                                    [this, fn, tag, status]() {
-                                        post_completion(fn, tag, status);
-                                    });
+        simulator_.schedule_in_lane(
+            c.lane, config_.completion_cost,
+            [this, fn, qid, tag, status]() {
+                post_completion(fn, qid, tag, status);
+            });
         return;
     }
-    // Batched mode: queue the record and flush the window's worth in
-    // one event — one pass over the ring, one MSI for the lot.
-    c.comp_batch.push_back(QueuedCompletion{tag, status});
-    if (!c.comp_flush_scheduled) {
-        c.comp_flush_scheduled = true;
-        simulator_.schedule_in_lane(c.lane, config_.completion_cost,
-                                    [this, fn]() { flush_completions(fn); });
+    // Batched mode: queue the record on its pair and flush the
+    // window's worth in one event — one pass over that CQ, one MSI
+    // for the lot.
+    Qp *q = qp(c, qid);
+    if (q == nullptr)
+        return; // pair deleted: its completions die with the queue
+    q->comp_batch.push_back(QueuedCompletion{tag, status});
+    if (!q->comp_flush_scheduled) {
+        q->comp_flush_scheduled = true;
+        simulator_.schedule_in_lane(
+            c.lane, config_.completion_cost,
+            [this, fn, qid]() { flush_completions(fn, qid); });
     }
 }
 
 void
-Controller::flush_completions(pcie::FunctionId fn)
+Controller::flush_completions(pcie::FunctionId fn, std::uint16_t qid)
 {
     FunctionContext &c = ctx(fn);
-    c.comp_flush_scheduled = false;
+    Qp *q = qp(c, qid);
+    if (q == nullptr)
+        return; // pair deleted between enqueue and flush
+    q->comp_flush_scheduled = false;
     std::vector<QueuedCompletion> batch;
-    batch.swap(c.comp_batch);
+    batch.swap(q->comp_batch);
     bool raise = false;
     for (const QueuedCompletion &qc : batch)
-        raise = post_completion_record(fn, qc.tag, qc.status) || raise;
+        raise = post_completion_record(fn, qid, qc.tag, qc.status) ||
+                raise;
     if (raise)
-        raise_completion_irq(fn);
+        raise_completion_irq(fn, qid);
 }
 
 void
-Controller::post_completion(pcie::FunctionId fn, std::uint64_t tag,
-                            CompletionStatus status)
+Controller::post_completion(pcie::FunctionId fn, std::uint16_t qid,
+                            std::uint64_t tag, CompletionStatus status)
 {
-    if (post_completion_record(fn, tag, status))
-        raise_completion_irq(fn);
+    if (post_completion_record(fn, qid, tag, status))
+        raise_completion_irq(fn, qid);
 }
 
 bool
-Controller::post_completion_record(pcie::FunctionId fn, std::uint64_t tag,
+Controller::post_completion_record(pcie::FunctionId fn,
+                                   std::uint16_t qid, std::uint64_t tag,
                                    CompletionStatus status)
 {
     FunctionContext &c = ctx(fn);
     if (!c.active)
         return false;
-    if (!c.comp_ring) {
-        auto ring = pcie::HostRing::attach(host_memory_, c.comp_ring_base);
+    Qp *q = qp(c, qid);
+    if (q == nullptr)
+        return false; // pair deleted: the completion is dropped
+    if (!q->cq) {
+        auto ring = pcie::HostRing::attach(host_memory_, q->cq_base);
         if (!ring.is_ok()) {
             NESC_LOG_WARN("fn %u: completion with no completion ring", fn);
             return false;
@@ -1910,13 +2409,13 @@ Controller::post_completion_record(pcie::FunctionId fn, std::uint64_t tag,
                                    attached.record_size()))
                  .is_ok())
             return false; // the violation hook has quarantined the fn
-        c.comp_ring = std::move(attached);
+        q->cq = std::move(attached);
     }
     CompletionRecord rec{tag, static_cast<std::uint32_t>(status), 0};
     std::array<std::byte, sizeof(rec)> buf;
     std::memcpy(buf.data(), &rec, sizeof(rec));
     dma_.book(sizeof(rec));
-    util::Status pushed = c.comp_ring->push(buf);
+    util::Status pushed = q->cq->push(buf);
     if (!pushed.is_ok()) {
         NESC_LOG_WARN("fn %u: completion ring push failed: %s", fn,
                       pushed.message().c_str());
@@ -1928,6 +2427,7 @@ Controller::post_completion_record(pcie::FunctionId fn, std::uint64_t tag,
         }
     }
     ++c.stats.completions;
+    ++q->stats.completions;
     metrics_.add(h_completions_);
     tracer_.instant(obs::Stage::kComplete, fn, simulator_.now(), tag,
                     static_cast<std::uint64_t>(status));
@@ -1935,24 +2435,27 @@ Controller::post_completion_record(pcie::FunctionId fn, std::uint64_t tag,
 }
 
 void
-Controller::raise_completion_irq(pcie::FunctionId fn)
+Controller::raise_completion_irq(pcie::FunctionId fn, std::uint16_t qid)
 {
     FunctionContext &c = ctx(fn);
+    Qp *q = qp(c, qid);
     const pcie::IrqVector vector =
-        c.irq_vector ? c.irq_vector : completion_vector(fn);
+        (q != nullptr && q->irq_vector) ? q->irq_vector
+                                        : queue_vector(fn, qid);
     if (config_.irq_coalesce == 0) {
         irq_.raise(vector);
         return;
     }
-    // Coalesced mode: one MSI per window, batching whatever
-    // completions accumulate in the ring meanwhile.
-    if (c.irq_pending)
+    // Coalesced mode: one MSI per window per pair, batching whatever
+    // completions accumulate in that CQ meanwhile.
+    if (q == nullptr || q->irq_pending)
         return;
-    c.irq_pending = true;
+    q->irq_pending = true;
     simulator_.schedule_in_lane(
-        c.lane, config_.irq_coalesce, [this, fn, vector]() {
+        c.lane, config_.irq_coalesce, [this, fn, qid, vector]() {
             FunctionContext &fc = ctx(fn);
-            fc.irq_pending = false;
+            if (Qp *fq = qp(fc, qid); fq != nullptr)
+                fq->irq_pending = false;
             if (fc.active)
                 irq_.raise(vector);
         });
@@ -2009,10 +2512,13 @@ Controller::abort_command(pcie::FunctionId fn, std::uint64_t tag)
     auto it = c.pending.find(tag);
     if (it == c.pending.end())
         return;
+    const std::uint16_t qid = cmd_arena_.get(it->second)->qid;
     // Tear down every queued copy of the command; blocks already in
     // the transfer stage drop on completion via the pending-map miss.
-    c.queue.erase_if(
-        [tag](const BlockOp &op) { return op.tag == tag; });
+    for (const QpRef &qref : c.qps)
+        if (Qp *q = qp_arena_.get(qref))
+            c.queued_ops -= q->staging.erase_if(
+                [tag](const BlockOp &op) { return op.tag == tag; });
     c.stalled_ops.erase_if(
         [tag](const BlockOp &op) { return op.tag == tag; });
     purge_shared_queues(fn, tag);
@@ -2021,10 +2527,11 @@ Controller::abort_command(pcie::FunctionId fn, std::uint64_t tag)
     ++c.stats.aborted_ops;
     metrics_.bump("aborted_ops");
     tracer_.instant(obs::Stage::kAbort, fn, simulator_.now(), tag);
+    update_arb_eligibility(fn);
     // Fault state (if any) stays latched: an abort is a deadline miss,
     // not a recovery — the hypervisor services the fault or the driver
     // escalates to a function-level reset.
-    enqueue_completion(fn, tag, CompletionStatus::kAborted);
+    enqueue_completion(fn, qid, tag, CompletionStatus::kAborted);
 }
 
 void
@@ -2034,26 +2541,26 @@ Controller::function_level_reset(pcie::FunctionId fn)
     if (!c.active)
         return;
     purge_shared_queues(fn, std::nullopt);
-    c.queue.clear();
+    // Extra pairs are destroyed, pair 0 survives with cleared state
+    // (pending kAborted completions die with their queues); the PF-
+    // owned qp_quota and rate-limit bucket survive the reset.
+    reset_queue_pairs(c);
+    c.queued_ops = 0;
+    c.rr_qp_cursor = 0;
+    c.arb_deficit = 0;
     c.stalled_ops.clear();
     // In-flight transfers drop on the stale command-handle miss.
     for (const auto &[tag, ref] : c.pending)
         cmd_arena_.release(ref);
     c.pending.clear();
-    c.comp_batch.clear();
-    c.comp_flush_scheduled = false;
     c.fault = FaultKind::kNone;
     c.miss_address = 0;
     c.miss_size = 0;
-    c.cmd_ring.reset();
-    c.comp_ring.reset();
-    c.cmd_ring_base = pcie::kNullHostAddr;
-    c.comp_ring_base = pcie::kNullHostAddr;
-    c.cmd_shadow_valid = false;
-    c.fetch_in_progress = false;
-    c.doorbell_rearm = false;
-    c.irq_pending = false;
-    c.irq_vector = 0;
+    c.qp_select = 0;
+    c.qp_status = 0;
+    c.qp_sq_latch = pcie::kNullHostAddr;
+    c.qp_cq_latch = pcie::kNullHostAddr;
+    c.qp_irq_latch = 0;
     c.watchdog_ns = 0;
     c.watchdog_armed = false;
     btlb_.flush_function(fn);
@@ -2063,6 +2570,7 @@ Controller::function_level_reset(pcie::FunctionId fn)
     ++c.tree_generation;
     ++c.stats.fn_resets;
     metrics_.bump("fn_resets");
+    update_arb_eligibility(fn);
     pump();
 }
 
@@ -2119,9 +2627,14 @@ bool
 Controller::function_quiescent(pcie::FunctionId fn) const
 {
     const FunctionContext &c = contexts_[fn];
-    if (!c.queue.empty() || !c.stalled_ops.empty() ||
-        !c.pending.empty() || c.fetch_in_progress)
+    if (c.queued_ops != 0 || !c.stalled_ops.empty() ||
+        !c.pending.empty())
         return false;
+    for (const QpRef &qref : c.qps) {
+        const Qp *q = qp_arena_.get(qref);
+        if (q != nullptr && q->fetch_in_progress)
+            return false;
+    }
     for (const BlockOp &op : vlba_queue_)
         if (op.fn == fn)
             return false;

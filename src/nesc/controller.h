@@ -31,9 +31,11 @@
 #include <vector>
 
 #include "extent/types.h"
+#include "nesc/arbiter.h"
 #include "nesc/btlb.h"
 #include "nesc/command.h"
 #include "nesc/node_cache.h"
+#include "nesc/queue_pair.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pcie/dma_engine.h"
@@ -169,6 +171,8 @@ struct FunctionStats {
     std::uint64_t reg_violations = 0;   ///< PF-only reg writes rejected
     std::uint64_t quarantines = 0;      ///< times quarantined
     std::uint64_t doorbells_ignored = 0; ///< doorbells while quarantined
+    /** Doorbells to queue pairs that do not exist (dropped, counted). */
+    std::uint64_t dead_doorbells = 0;
 };
 
 /** The NeSC controller device model. */
@@ -264,12 +268,37 @@ class Controller : public pcie::FunctionMmioDevice {
     /** True when no request is queued or in flight anywhere. */
     bool quiescent() const;
 
+    // --- Arbitration/queue-pair introspection (tests + benches) ------
+
+    /** Current arbitration mode (reg::kArbMode). */
+    ArbMode arb_mode() const { return arb_mode_; }
+    /** Legacy-WRR credit left in the current turn. */
+    std::uint32_t arb_credit() const { return rr_credit_; }
+    /** DWRR deficit (blocks) banked by @p fn. */
+    std::uint64_t arb_deficit(pcie::FunctionId fn) const
+    {
+        return contexts_.at(fn).arb_deficit;
+    }
+    /** Cumulative eligible-bitmap words examined by turn-over scans. */
+    std::uint64_t arb_scan_words() const
+    {
+        return arb_eligible_.scan_words();
+    }
+    /** Total block grants issued by the arbiter (VF plane only). */
+    std::uint64_t arb_grants() const { return arb_grants_; }
+    /** Live queue pairs of @p fn (including pair 0; 0 if inactive). */
+    std::uint32_t queue_pair_count(pcie::FunctionId fn) const;
+    /** Per-queue counters, or nullptr when (fn, qid) has no live pair. */
+    const QueuePairStats *queue_pair_stats(pcie::FunctionId fn,
+                                           std::uint32_t qid) const;
+
   private:
     /** Outstanding command: blocks remaining + sticky worst status. */
     struct PendingCommand {
         std::uint32_t remaining = 0;
         CompletionStatus status = CompletionStatus::kOk;
         sim::Time t_start = 0; ///< fetch time, for the command watchdog
+        std::uint16_t qid = 0; ///< queue pair the command arrived on
     };
     /**
      * Generational reference into the command arena. Block ops carry
@@ -286,6 +315,7 @@ class Controller : public pcie::FunctionMmioDevice {
         extent::Vlba vlba;
         pcie::HostAddr buffer; ///< host address for this block's data
         std::uint64_t tag;
+        std::uint16_t qid = 0; ///< queue pair the op was fetched from
         CmdRef cmd; ///< owning command in cmd_arena_
         /**
          * Set when the op was replayed after riding an in-flight walk
@@ -305,6 +335,11 @@ class Controller : public pcie::FunctionMmioDevice {
         CompletionStatus status;
     };
 
+    /** SQ/CQ pair instantiated for the controller's op types. */
+    using Qp = QueuePair<BlockOp, QueuedCompletion>;
+    /** Generational reference into the queue-pair arena. */
+    using QpRef = sim::Arena<Qp>::Handle;
+
     /** Per-function device context. */
     struct FunctionContext {
         bool active = false;
@@ -312,16 +347,32 @@ class Controller : public pcie::FunctionMmioDevice {
         std::uint64_t device_size_blocks = 0;
         std::uint64_t miss_address = 0; ///< byte offset in virtual device
         std::uint32_t miss_size = 0;
-        pcie::HostAddr cmd_ring_base = pcie::kNullHostAddr;
-        pcie::HostAddr comp_ring_base = pcie::kNullHostAddr;
-        std::optional<pcie::HostRing> cmd_ring;
-        std::optional<pcie::HostRing> comp_ring;
-        bool fetch_in_progress = false;
-        bool doorbell_rearm = false;
-        bool irq_pending = false; ///< coalesced MSI scheduled
+        /**
+         * Live queue pairs, indexed by qid; a stale handle marks a
+         * deleted pair. Pair 0 exists for the function's whole active
+         * life and is aliased by the legacy ring-base/doorbell/
+         * interrupt-vector registers (single-ring paper mode).
+         */
+        std::vector<QpRef> qps;
+        /** PF-programmed total queue-pair quota (including pair 0). */
+        std::uint32_t qp_quota = 1;
+        /** reg::kQpSelect latch (driver-owned). */
+        std::uint32_t qp_select = 0;
+        /** MgmtStatus-style result of the last reg::kQpCommand. */
+        std::uint32_t qp_status = 0;
+        // Staged admin values consumed by QpCommand::kCreate.
+        pcie::HostAddr qp_sq_latch = pcie::kNullHostAddr;
+        pcie::HostAddr qp_cq_latch = pcie::kNullHostAddr;
+        std::uint32_t qp_irq_latch = 0;
+        /** Intra-tenant plain-RR cursor over the function's pairs. */
+        std::uint32_t rr_qp_cursor = 0;
+        /** Total ops staged across all pairs (eligibility is O(1)). */
+        std::uint64_t queued_ops = 0;
+        /** DWRR deficit in blocks (banked while backlogged). */
+        std::uint64_t arb_deficit = 0;
+        /** Optional PF-programmed rate limit (kSetRateLimit). */
+        TokenBucket bucket;
         std::uint32_t qos_weight = 1;
-        /** Completion MSI vector; 0 selects the default for the fn. */
-        std::uint32_t irq_vector = 0;
         /** Command watchdog period in ns; 0 disables it. */
         sim::Duration watchdog_ns = 0;
         bool watchdog_armed = false; ///< an expiry check is scheduled
@@ -337,16 +388,6 @@ class Controller : public pcie::FunctionMmioDevice {
         /** Validation-fault timestamps inside the storm window. */
         std::deque<sim::Time> recent_validation_faults;
         /**
-         * Device-side shadow of the command ring's free-running
-         * counters, snapped at attach and advanced only by this
-         * consumer. A guest rewriting head (the device's counter) or
-         * regressing tail is detected by divergence from the shadow
-         * — shared memory is evidence, never authority.
-         */
-        std::uint32_t cmd_shadow_head = 0;
-        std::uint32_t cmd_shadow_tail = 0;
-        bool cmd_shadow_valid = false;
-        /**
          * Bumped whenever the function's mapping may have changed
          * (SetExtentRoot, RewalkTree, reset, delete). A walk started
          * under an older generation replays instead of delivering a
@@ -360,10 +401,6 @@ class Controller : public pcie::FunctionMmioDevice {
          * alone (event_lanes > 0).
          */
         sim::LaneId lane = sim::Simulator::kDefaultLane;
-        /** Completions awaiting the coalesced flush (kCompletionBatch). */
-        std::vector<QueuedCompletion> comp_batch;
-        bool comp_flush_scheduled = false;
-        util::RingQueue<BlockOp> queue; ///< awaiting arbitration
         util::RingQueue<BlockOp> stalled_ops; ///< parked on a fault
         /** tag -> live command in cmd_arena_ (per-tag ops: abort). */
         util::FlatMap<CmdRef> pending;
@@ -393,10 +430,48 @@ class Controller : public pcie::FunctionMmioDevice {
      */
     using WalkRef = sim::Arena<Walk>::Handle;
 
+    // Queue-pair lifecycle.
+    /** Live pair (fn, qid), or nullptr when absent. */
+    Qp *qp(FunctionContext &c, std::uint32_t qid);
+    const Qp *qp(const FunctionContext &c, std::uint32_t qid) const;
+    /** Pair 0; never nullptr while the function is active. */
+    Qp *qp0(FunctionContext &c) { return qp(c, 0); }
+    /** Creates pair 0 at function activation (legacy single ring). */
+    void create_qp0(FunctionContext &c);
+    /** Executes reg::kQpCommand; returns the MgmtStatus-style result. */
+    std::uint32_t qp_admin_execute(pcie::FunctionId fn, QpCommand cmd);
+    /**
+     * Tears down pair @p qid: its staged ops are dropped and every
+     * command that arrived on it is aborted (the completions die with
+     * the queue — the driver chose to delete it live).
+     */
+    void destroy_qp(pcie::FunctionId fn, std::uint32_t qid);
+    /** FLR teardown: deletes pairs >= 1, resets pair 0 in place. */
+    void reset_queue_pairs(FunctionContext &c);
+    /** Doorbell write for (fn, qid); dead qids are dropped+counted. */
+    util::Status doorbell_write(pcie::FunctionId fn, std::uint32_t qid);
+
     // Pipeline stages.
     void pump();
-    void fetch_commands(pcie::FunctionId fn);
+    void fetch_commands(pcie::FunctionId fn, std::uint32_t qid);
     void arbitrate();
+    /**
+     * Recomputes @p fn's bit in the eligible set (active, not
+     * quarantined, fault-free, work staged; the PF never enters — its
+     * OOB channel bypasses arbitration). Called at every transition
+     * that can change the predicate.
+     */
+    void update_arb_eligibility(pcie::FunctionId fn);
+    /**
+     * Next grantable function strictly after @p from in cyclic order,
+     * skipping rate-blocked ones (scheduling the rate pump for the
+     * earliest refill among them); -1 when nothing is runnable.
+     */
+    int next_eligible(std::uint32_t from);
+    /** Pops one staged op from @p c (intra-tenant RR over its pairs). */
+    void grant_one(FunctionContext &c);
+    /** One-shot wakeup so rate-blocked queues resume without traffic. */
+    void schedule_rate_pump(sim::Time at);
     void start_walks();
     void begin_translation(BlockOp op);
     void walk_node(WalkRef walk);
@@ -431,29 +506,33 @@ class Controller : public pcie::FunctionMmioDevice {
     void start_zero_fill(const BlockOp &op);
     void complete_block(const BlockOp &op, CompletionStatus status);
     /**
-     * Opens command state in the arena (remaining blocks, fetch time)
-     * and maps @p tag to it, releasing any same-tag predecessor.
+     * Opens command state in the arena (remaining blocks, fetch time,
+     * arrival queue) and maps @p tag to it, releasing any same-tag
+     * predecessor.
      */
     CmdRef open_command(FunctionContext &c, std::uint64_t tag,
-                        std::uint32_t remaining, sim::Time t_start);
+                        std::uint32_t remaining, sim::Time t_start,
+                        std::uint16_t qid);
     /**
-     * Funnel for every guest-visible completion. Paper mode posts one
-     * CQ write + MSI after completion_cost; kCompletionBatch mode
-     * appends to the function's batch and (at most once per window)
-     * schedules a flush that posts all records and raises one MSI.
+     * Funnel for every guest-visible completion; records post to the
+     * CQ of the pair the command arrived on. Paper mode posts one CQ
+     * write + MSI after completion_cost; kCompletionBatch mode appends
+     * to the pair's batch and (at most once per window) schedules a
+     * flush that posts all records and raises one MSI.
      */
-    void enqueue_completion(pcie::FunctionId fn, std::uint64_t tag,
-                            CompletionStatus status);
-    void flush_completions(pcie::FunctionId fn);
-    void post_completion(pcie::FunctionId fn, std::uint64_t tag,
-                         CompletionStatus status);
+    void enqueue_completion(pcie::FunctionId fn, std::uint16_t qid,
+                            std::uint64_t tag, CompletionStatus status);
+    void flush_completions(pcie::FunctionId fn, std::uint16_t qid);
+    void post_completion(pcie::FunctionId fn, std::uint16_t qid,
+                         std::uint64_t tag, CompletionStatus status);
     /**
      * Ring-attach + CQ push + stats/trace for one completion; true
      * when the completion reached the point that raises the MSI.
      */
-    bool post_completion_record(pcie::FunctionId fn, std::uint64_t tag,
+    bool post_completion_record(pcie::FunctionId fn, std::uint16_t qid,
+                                std::uint64_t tag,
                                 CompletionStatus status);
-    void raise_completion_irq(pcie::FunctionId fn);
+    void raise_completion_irq(pcie::FunctionId fn, std::uint16_t qid);
     void handle_rewalk(pcie::FunctionId fn);
     void fail_stalled(pcie::FunctionId fn);
     std::uint32_t mgmt_execute(MgmtCommand command);
@@ -465,7 +544,7 @@ class Controller : public pcie::FunctionMmioDevice {
     util::Status validate_command(const FunctionContext &c,
                                   const CommandRecord &rec) const;
     /** Validates the ring header + shadow counters before a drain. */
-    util::Status validate_cmd_ring(FunctionContext &c);
+    util::Status validate_cmd_ring(Qp &q);
     /** Counts a validation fault; quarantines past the threshold. */
     void note_validation_fault(pcie::FunctionId fn, QuarantineCause cause);
     /** DMA-window violation hook (immediate quarantine). */
@@ -517,14 +596,27 @@ class Controller : public pcie::FunctionMmioDevice {
     sim::Arena<Walk> walk_arena_;
     /** In-flight command state; BlockOp::cmd points into it. */
     sim::Arena<PendingCommand> cmd_arena_;
+    /** Queue-pair pool; FunctionContext::qps holds QpRefs into it. */
+    sim::Arena<Qp> qp_arena_;
     /** Primary walks in flight, for MSHR attachment. */
     std::vector<WalkRef> inflight_walks_;
     /** Shared event lanes when event_lanes > 0 (else empty). */
     std::vector<sim::LaneId> shared_lanes_;
-    /** Sorted ids of active VFs; arbitration scans only these. */
+    /** Sorted ids of active VFs (DeleteVf audit + test introspection). */
     std::vector<pcie::FunctionId> active_vfs_;
+    /** Grantable functions; turn-over scans this, never active_vfs_. */
+    EligibleSet arb_eligible_;
     pcie::FunctionId rr_current_ = 0; ///< VF currently holding the turn
-    std::uint32_t rr_credit_ = 0;     ///< blocks left in the turn
+    std::uint32_t rr_credit_ = 0;     ///< blocks left in the turn (WRR)
+    ArbMode arb_mode_ = ArbMode::kLegacyWrr;
+    std::uint32_t arb_quantum_ = 1; ///< DWRR blocks per weight unit
+    /** A DWRR turn is open: rr_current_ still holds banked deficit. */
+    bool dwrr_turn_live_ = false;
+    std::uint64_t arb_grants_ = 0;
+    /** Functions with a live rate limit (0 = skip all bucket logic). */
+    std::uint32_t rate_limited_fns_ = 0;
+    bool rate_pump_scheduled_ = false;
+    sim::Time rate_pump_at_ = 0;
     std::uint32_t active_walks_ = 0;
     std::uint32_t inflight_transfers_ = 0;
     // Runtime batching knobs (reg::kFetchBatch / kCompletionBatch).
@@ -536,6 +628,9 @@ class Controller : public pcie::FunctionMmioDevice {
     pcie::HostAddr mgmt_extent_root_ = pcie::kNullHostAddr;
     std::uint64_t mgmt_device_size_ = 0;
     std::uint32_t mgmt_qos_weight_ = 1;
+    std::uint32_t mgmt_qp_quota_ = 1;
+    std::uint64_t mgmt_rate_bps_ = 0;
+    std::uint64_t mgmt_rate_burst_ = 0;
     std::uint32_t mgmt_status_ =
         static_cast<std::uint32_t>(MgmtStatus::kIdle);
     // Staged DMA-window range and runtime quarantine tuning (PF-only).

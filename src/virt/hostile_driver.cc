@@ -77,7 +77,8 @@ HostileDriver::step()
         config_.w_well_formed + config_.w_malformed + config_.w_oob_buffer +
         config_.w_ring_corrupt + config_.w_doorbell_spam +
         config_.w_reg_probe + config_.w_ring_repoint +
-        config_.w_self_repair;
+        config_.w_self_repair + config_.w_qp_admin_abuse +
+        config_.w_dead_doorbell;
     std::uint64_t pick = rng_.next_below(total);
     auto in_class = [&pick](std::uint32_t weight) {
         if (pick < weight)
@@ -99,7 +100,11 @@ HostileDriver::step()
         return reg_probe();
     if (in_class(config_.w_ring_repoint))
         return ring_repoint();
-    repair();
+    if (in_class(config_.w_self_repair))
+        return repair();
+    if (in_class(config_.w_qp_admin_abuse))
+        return qp_admin_abuse();
+    dead_doorbell();
 }
 
 void
@@ -277,6 +282,50 @@ HostileDriver::ring_repoint()
     }
     reg_write(reg_off, target);
     doorbell();
+}
+
+void
+HostileDriver::qp_admin_abuse()
+{
+    // Garbage through the queue-pair admin block: out-of-range or
+    // reserved queue ids, creates with null ring bases, deletes of
+    // pair 0 or of pairs that never existed. All of it must bounce
+    // with an error status in kQpStatus and leave the function
+    // unfaulted — admin rejections are not protocol violations.
+    const std::uint64_t qid = rng_.next_below(ctrl::kMaxQueuePairs * 2);
+    reg_write(reg::kQpSelect, qid);
+    switch (rng_.next_below(4)) {
+      case 0: // create with whatever bases happen to be latched
+        break;
+      case 1: // create with explicit null rings
+        reg_write(reg::kQpSqBase, pcie::kNullHostAddr);
+        reg_write(reg::kQpCqBase, pcie::kNullHostAddr);
+        break;
+      case 2: // create pointed at the data buffer (not a ring)
+        reg_write(reg::kQpSqBase, buffer_base_);
+        reg_write(reg::kQpCqBase, buffer_base_);
+        break;
+      default: // delete (qid 0 and absent pairs must both bounce)
+        reg_write(reg::kQpCommand,
+                  static_cast<std::uint64_t>(ctrl::QpCommand::kDelete));
+        return;
+    }
+    reg_write(reg::kQpCommand,
+              static_cast<std::uint64_t>(ctrl::QpCommand::kCreate));
+}
+
+void
+HostileDriver::dead_doorbell()
+{
+    // Doorbell aperture writes for pairs that were never created:
+    // posted writes the device must swallow (counted, no fault) —
+    // plus the occasional write past the aperture entirely.
+    const std::uint64_t qid = rng_.next_in(1, ctrl::kMaxQueuePairs - 1);
+    reg_write(reg::kQpDoorbell0 + 8 * qid, 1);
+    if (rng_.next_bool(0.25))
+        reg_write(reg::kQpDoorbell0 + 8ull * ctrl::kMaxQueuePairs +
+                      8 * rng_.next_below(8),
+                  rng_.next());
 }
 
 void

@@ -51,6 +51,10 @@ struct HostileDriverConfig {
     std::uint32_t w_reg_probe = 2;     ///< random/PF-only register writes
     std::uint32_t w_ring_repoint = 1;  ///< rebase rings at garbage
     std::uint32_t w_self_repair = 2;   ///< rebuild rings, resume normal
+    // Queue-pair-aware classes (default 0: legacy streams stay
+    // bit-identical; the multi-queue adversarial tests turn them on).
+    std::uint32_t w_qp_admin_abuse = 0; ///< bogus kQp* admin sequences
+    std::uint32_t w_dead_doorbell = 0;  ///< doorbells on absent pairs
 };
 
 /** Seeded misbehaving VF driver; see file comment. */
@@ -97,6 +101,8 @@ class HostileDriver {
     void doorbell_spam();
     void reg_probe();
     void ring_repoint();
+    void qp_admin_abuse();
+    void dead_doorbell();
     /** Pushes a raw record; header corruption makes this fail silently. */
     void push_raw(const ctrl::CommandRecord &rec);
     void doorbell();

@@ -145,6 +145,12 @@ Testbed::create_nesc_guest(const std::string &image_path,
     }
     NESC_ASSIGN_OR_RETURN(pcie::FunctionId fn,
                           pf_->create_vf(ino, size_blocks));
+    // A multi-queue guest driver needs the device-side quota raised
+    // before it admin-creates its extra pairs (reset quota is 1).
+    if (config_.vf_driver.queue_pairs > 1) {
+        NESC_RETURN_IF_ERROR(
+            pf_->set_qp_quota(fn, config_.vf_driver.queue_pairs));
+    }
 
     auto driver = std::make_shared<drv::FunctionDriver>(
         sim_, host_memory_, bar_, irq_, fn, config_.vf_driver);
