@@ -17,7 +17,7 @@
  * latency must stay within 5% of the hostile-free run at every attack
  * rate, and the run aborts if they do not.
  *
- * Writes BENCH_PR4.json (simulated, deterministic metrics only) for
+ * Writes BENCH_A14.json (simulated, deterministic metrics only) for
  * scripts/tier2_fuzz_smoke.sh companions and future perf smokes.
  */
 #include <memory>
@@ -206,7 +206,7 @@ void
 write_json(const std::vector<Metric> &metrics)
 {
     bench::emit_bench_json(
-        "BENCH_PR4.json", 4,
+        "BENCH_A14.json", 4,
         "adversarial-guest hardening: victim IOPS/latency isolation vs "
         "hostile misbehavior rate (simulated, deterministic)",
         metrics);

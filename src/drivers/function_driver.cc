@@ -461,6 +461,7 @@ completion_to_status(CompletionStatus status)
         return util::permission_denied_error(detail);
       case CompletionStatus::kReadMediaError:
       case CompletionStatus::kWriteMediaError:
+      case CompletionStatus::kChecksumError:
       case CompletionStatus::kAborted:
         return util::unavailable_error(detail);
     }

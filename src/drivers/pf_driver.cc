@@ -396,6 +396,120 @@ PfDriver::repl_wait_resync(std::uint32_t backend,
     return util::unavailable_error("replica resync did not converge");
 }
 
+bool
+PfDriver::integrity_attached()
+{
+    auto ctl =
+        reg_read(pcie::kPhysicalFunctionId, ctrl::reg::kIntegrityCtrl);
+    return ctl.is_ok() && ctl.value() != ~std::uint64_t{0};
+}
+
+util::Status
+PfDriver::set_integrity_enabled(bool enabled)
+{
+    if (!integrity_attached())
+        return util::failed_precondition_error("no checksum sidecar attached");
+    return reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kIntegrityCtrl,
+                     enabled ? 1 : 0);
+}
+
+util::Status
+PfDriver::set_integrity_reread_limit(std::uint32_t limit)
+{
+    if (!integrity_attached())
+        return util::failed_precondition_error("no checksum sidecar attached");
+    return reg_write(pcie::kPhysicalFunctionId,
+                     ctrl::reg::kIntegrityRereadLimit, limit);
+}
+
+util::Result<std::uint64_t>
+PfDriver::integrity_mismatches()
+{
+    return reg_read(pcie::kPhysicalFunctionId,
+                    ctrl::reg::kIntegrityMismatches);
+}
+
+util::Result<std::uint64_t>
+PfDriver::integrity_repairs()
+{
+    return reg_read(pcie::kPhysicalFunctionId, ctrl::reg::kIntegrityRepairs);
+}
+
+util::Status
+PfDriver::set_scrub_rate(std::uint64_t batch_blocks,
+                         sim::Duration interval_ns)
+{
+    if (!integrity_attached())
+        return util::failed_precondition_error("no checksum sidecar attached");
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kScrubBatch, batch_blocks));
+    return reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kScrubIntervalNs,
+                     static_cast<std::uint64_t>(interval_ns));
+}
+
+util::Status
+PfDriver::scrub_start()
+{
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kScrubStart)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error("device rejected scrub start");
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::scrub_abort()
+{
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kScrubAbort)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error("device rejected scrub abort");
+    return util::Status::ok();
+}
+
+util::Result<bool>
+PfDriver::scrub_running()
+{
+    NESC_ASSIGN_OR_RETURN(
+        std::uint64_t status,
+        reg_read(pcie::kPhysicalFunctionId, ctrl::reg::kScrubStatus));
+    if (status == ~std::uint64_t{0})
+        return util::not_found_error("no checksum sidecar attached");
+    return status != 0;
+}
+
+util::Result<std::uint64_t>
+PfDriver::scrub_progress()
+{
+    return reg_read(pcie::kPhysicalFunctionId, ctrl::reg::kScrubProgress);
+}
+
+util::Result<std::uint64_t>
+PfDriver::scrub_errors()
+{
+    return reg_read(pcie::kPhysicalFunctionId, ctrl::reg::kScrubErrors);
+}
+
+util::Result<std::uint64_t>
+PfDriver::scrub_wait(sim::Duration poll_interval, std::uint64_t max_steps)
+{
+    for (std::uint64_t polls = 0; polls < max_steps; ++polls) {
+        NESC_ASSIGN_OR_RETURN(const bool running, scrub_running());
+        if (!running)
+            return polls;
+        simulator_.advance(poll_interval);
+    }
+    return util::unavailable_error("scrub pass did not complete");
+}
+
 util::Result<std::size_t>
 PfDriver::prune_vf_tree(pcie::FunctionId fn, std::uint64_t first_vblock,
                         std::uint64_t nblocks)

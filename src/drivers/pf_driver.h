@@ -212,6 +212,49 @@ class PfDriver {
                      std::uint64_t max_steps = 100'000);
 
     /**
+     * True when the controller has a checksum sidecar attached —
+     * probed by reading kIntegrityCtrl, which master-aborts
+     * (all-ones) otherwise.
+     */
+    bool integrity_attached();
+
+    /** Turns read-path verification / write-path recording on or off. */
+    util::Status set_integrity_enabled(bool enabled);
+
+    /** Programs the bounded re-read count of the recovery ladder. */
+    util::Status set_integrity_reread_limit(std::uint32_t limit);
+
+    /** Checksum mismatches detected device-wide (reads + scrub). */
+    util::Result<std::uint64_t> integrity_mismatches();
+
+    /** Blocks repaired in place from a verified replica. */
+    util::Result<std::uint64_t> integrity_repairs();
+
+    /** Shapes the background scrub: blocks per batch, batch spacing. */
+    util::Status set_scrub_rate(std::uint64_t batch_blocks,
+                                sim::Duration interval_ns);
+
+    /** Kicks off a full-media background scrub pass. */
+    util::Status scrub_start();
+
+    /** Stops an in-flight scrub pass. */
+    util::Status scrub_abort();
+
+    /** Scrub status registers: running flag, progress, error count. */
+    util::Result<bool> scrub_running();
+    util::Result<std::uint64_t> scrub_progress();
+    util::Result<std::uint64_t> scrub_errors();
+
+    /**
+     * Drives the simulator until the running scrub pass completes or
+     * @p max_steps register polls have elapsed, advancing the
+     * simulator by @p poll_interval per poll. Returns polls used.
+     */
+    util::Result<std::uint64_t>
+    scrub_wait(sim::Duration poll_interval = 100'000,
+               std::uint64_t max_steps = 1'000'000);
+
+    /**
      * Reads @p fn's full telemetry-counter directory through the
      * PF-only reg::kTelemetry* MMIO registers: counter count first,
      * then per index the packed name registers and the 64-bit value.

@@ -22,6 +22,7 @@
 
 #include "extent/types.h"
 #include "pcie/host_memory.h"
+#include "util/crc32c.h"
 
 namespace nesc::extent {
 
@@ -41,6 +42,13 @@ struct NodeHeaderRecord {
 static_assert(sizeof(NodeHeaderRecord) == 8);
 
 inline constexpr std::uint16_t kNodeMagic = 0x4e45; // "NE"
+/**
+ * Format v2: same header and entries, plus a CRC32C trailer (see
+ * NodeTrailerRecord) directly after the live entries. The magic is the
+ * version switch, so v1 and v2 nodes can coexist in one tree and v1
+ * images are parsed byte-identically by v2-aware walkers.
+ */
+inline constexpr std::uint16_t kNodeMagicV2 = 0x4e32; // "N2"
 
 /** Internal-node entry (paper Fig. 4b, "Node Pointer"). */
 struct NodePtrRecord {
@@ -61,6 +69,21 @@ static_assert(sizeof(ExtentPtrRecord) == 24);
 /** Entries share a size, so node geometry is kind-independent. */
 inline constexpr std::uint64_t kEntrySize = sizeof(NodePtrRecord);
 
+/**
+ * v2 node trailer: CRC32C over the header record followed by the
+ * `count` live entries. It sits at entry_addr(node, count) — right
+ * after the live entries, found from the header alone — so a flipped
+ * count, kind, or child pointer fails the check before the walker acts
+ * on it. v1 nodes have no trailer and keep their exact footprint.
+ */
+struct NodeTrailerRecord {
+    std::uint32_t crc;
+    std::uint32_t pad;
+};
+static_assert(sizeof(NodeTrailerRecord) == 8);
+
+inline constexpr std::uint64_t kNodeTrailerSize = sizeof(NodeTrailerRecord);
+
 /** Bytes occupied by a node with @p capacity entry slots. */
 constexpr std::uint64_t
 node_footprint(std::uint32_t capacity)
@@ -73,6 +96,16 @@ constexpr pcie::HostAddr
 entry_addr(pcie::HostAddr node, std::uint32_t index)
 {
     return node + sizeof(NodeHeaderRecord) + kEntrySize * index;
+}
+
+/** CRC a v2 trailer must carry for @p header + @p entry_bytes. */
+inline std::uint32_t
+node_crc(const NodeHeaderRecord &header, const void *entries,
+         std::uint64_t entry_bytes)
+{
+    const std::uint32_t seed =
+        util::crc32c(&header, sizeof(NodeHeaderRecord));
+    return util::crc32c(entries, entry_bytes, seed);
 }
 
 } // namespace nesc::extent

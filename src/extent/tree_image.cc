@@ -32,6 +32,8 @@ ExtentTreeImage::build(pcie::HostMemory &memory, const ExtentList &extents,
     if (extents.empty()) {
         NESC_ASSIGN_OR_RETURN(image.root_,
                               image.alloc_node(NodeKind::kLeaf, 0, 0));
+        if (config.checksummed)
+            NESC_RETURN_IF_ERROR(image.seal_node(image.root_));
         image.depth_ = 0;
         return image;
     }
@@ -53,6 +55,8 @@ ExtentTreeImage::build(pcie::HostMemory &memory, const ExtentList &extents,
                 entry_addr(node, static_cast<std::uint32_t>(i - begin)),
                 rec));
         }
+        if (config.checksummed)
+            NESC_RETURN_IF_ERROR(image.seal_node(node));
         level.push_back(BuiltNode{
             extents[begin].first_vblock,
             extents[end - 1].end_vblock() - extents[begin].first_vblock,
@@ -80,6 +84,8 @@ ExtentTreeImage::build(pcie::HostMemory &memory, const ExtentList &extents,
                     entry_addr(node, static_cast<std::uint32_t>(i - begin)),
                     rec));
             }
+            if (config.checksummed)
+                NESC_RETURN_IF_ERROR(image.seal_node(node));
             const BuiltNode &first = level[begin];
             const BuiltNode &last = level[end - 1];
             next.push_back(BuiltNode{
@@ -128,9 +134,18 @@ ExtentTreeImage::~ExtentTreeImage()
 }
 
 std::uint64_t
+ExtentTreeImage::node_bytes() const
+{
+    // v2 nodes reserve trailer space past the entry slots, so a full
+    // node (count == fanout) still has room for its checksum.
+    return node_footprint(config_.fanout) +
+           (config_.checksummed ? kNodeTrailerSize : 0);
+}
+
+std::uint64_t
 ExtentTreeImage::footprint_bytes() const
 {
-    return nodes_.size() * node_footprint(config_.fanout);
+    return nodes_.size() * node_bytes();
 }
 
 std::pair<pcie::HostAddr, std::uint64_t>
@@ -140,7 +155,7 @@ ExtentTreeImage::bounds() const
         return {pcie::kNullHostAddr, 0};
     const auto [lo, hi] =
         std::minmax_element(nodes_.begin(), nodes_.end());
-    return {*lo, *hi - *lo + node_footprint(config_.fanout)};
+    return {*lo, *hi - *lo + node_bytes()};
 }
 
 util::Result<pcie::HostAddr>
@@ -148,13 +163,30 @@ ExtentTreeImage::alloc_node(NodeKind kind, std::uint16_t depth,
                             std::uint16_t count)
 {
     NESC_ASSIGN_OR_RETURN(pcie::HostAddr addr,
-                          memory_->alloc(node_footprint(config_.fanout), 8));
-    const NodeHeaderRecord header{kNodeMagic,
-                                  static_cast<std::uint16_t>(kind), count,
-                                  depth};
+                          memory_->alloc(node_bytes(), 8));
+    const NodeHeaderRecord header{
+        config_.checksummed ? kNodeMagicV2 : kNodeMagic,
+        static_cast<std::uint16_t>(kind), count, depth};
     NESC_RETURN_IF_ERROR(memory_->write_pod(addr, header));
     nodes_.push_back(addr);
     return addr;
+}
+
+util::Status
+ExtentTreeImage::seal_node(pcie::HostAddr node)
+{
+    NESC_ASSIGN_OR_RETURN(auto header,
+                          memory_->read_pod<NodeHeaderRecord>(node));
+    // Both entry kinds are 24-byte PODs, so the raw record bytes feed
+    // the checksum without caring which kind the node holds.
+    std::uint32_t crc = util::crc32c(&header, sizeof(header));
+    for (std::uint32_t i = 0; i < header.count; ++i) {
+        NESC_ASSIGN_OR_RETURN(
+            auto rec, memory_->read_pod<NodePtrRecord>(entry_addr(node, i)));
+        crc = util::crc32c(&rec, sizeof(rec), crc);
+    }
+    return memory_->write_pod(entry_addr(node, header.count),
+                              NodeTrailerRecord{crc, 0});
 }
 
 util::Status
@@ -162,7 +194,7 @@ ExtentTreeImage::free_subtree(pcie::HostAddr node)
 {
     NESC_ASSIGN_OR_RETURN(auto header,
                           memory_->read_pod<NodeHeaderRecord>(node));
-    if (header.magic != kNodeMagic)
+    if (header.magic != kNodeMagic && header.magic != kNodeMagicV2)
         return util::data_loss_error("corrupt tree node at " +
                                      std::to_string(node));
     if (header.kind == static_cast<std::uint16_t>(NodeKind::kInternal)) {
@@ -202,6 +234,10 @@ ExtentTreeImage::prune_in_node(pcie::HostAddr node, Vlba first_vblock,
             NESC_RETURN_IF_ERROR(free_subtree(rec.child));
             rec.child = pcie::kNullHostAddr;
             NESC_RETURN_IF_ERROR(memory_->write_pod(rec_addr, rec));
+            // The nulled pointer changed the node's bytes; re-seal so
+            // a verifying walker doesn't mistake pruning for damage.
+            if (config_.checksummed)
+                NESC_RETURN_IF_ERROR(seal_node(node));
             ++pruned;
             ++pruned_count_;
         } else {

@@ -30,6 +30,13 @@ struct TreeConfig {
      * few hundred extents.
      */
     std::uint32_t fanout = 64;
+    /**
+     * Format v2: every node carries kNodeMagicV2 plus a CRC32C trailer
+     * over its header and live entries, verified by walkers on fetch
+     * (a flipped child pointer faults kTreeCorrupt instead of walking
+     * off). Off by default — v1 images stay byte-identical.
+     */
+    bool checksummed = false;
 };
 
 /** An extent tree serialized into host memory, owned by the builder. */
@@ -96,6 +103,10 @@ class ExtentTreeImage {
     util::Result<pcie::HostAddr> alloc_node(NodeKind kind,
                                             std::uint16_t depth,
                                             std::uint16_t count);
+    /** Bytes one resident node occupies (trailer included for v2). */
+    std::uint64_t node_bytes() const;
+    /** (Re)writes @p node's v2 trailer from its current contents. */
+    util::Status seal_node(pcie::HostAddr node);
     util::Status free_subtree(pcie::HostAddr node);
     util::Result<std::size_t> prune_in_node(pcie::HostAddr node,
                                             Vlba first_vblock, Vlba end);

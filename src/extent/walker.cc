@@ -6,14 +6,36 @@ namespace nesc::extent {
 
 namespace {
 
+/**
+ * Fetches and validates a node header; v2 nodes (kNodeMagicV2) are
+ * additionally verified against their CRC32C trailer before any entry
+ * is acted on, so a flipped count or child pointer faults here instead
+ * of steering the descent into garbage.
+ */
 util::Result<NodeHeaderRecord>
 read_header(const pcie::HostMemory &memory, pcie::HostAddr node)
 {
     NESC_ASSIGN_OR_RETURN(auto header,
                           memory.read_pod<NodeHeaderRecord>(node));
-    if (header.magic != kNodeMagic) {
+    if (header.magic != kNodeMagic && header.magic != kNodeMagicV2) {
         return util::data_loss_error("bad extent-tree node magic at " +
                                      std::to_string(node));
+    }
+    if (header.magic == kNodeMagicV2) {
+        std::uint32_t crc = util::crc32c(&header, sizeof(header));
+        for (std::uint32_t i = 0; i < header.count; ++i) {
+            NESC_ASSIGN_OR_RETURN(
+                auto rec,
+                memory.read_pod<NodePtrRecord>(entry_addr(node, i)));
+            crc = util::crc32c(&rec, sizeof(rec), crc);
+        }
+        NESC_ASSIGN_OR_RETURN(auto trailer,
+                              memory.read_pod<NodeTrailerRecord>(
+                                  entry_addr(node, header.count)));
+        if (trailer.crc != crc)
+            return util::data_loss_error(
+                "extent-tree node failed its checksum at " +
+                std::to_string(node));
     }
     return header;
 }

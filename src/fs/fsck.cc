@@ -60,9 +60,16 @@ NestFs::fsck()
     };
 
     // Validate one inode's mapping and claim its blocks (including
-    // the on-disk extent-chain blocks).
+    // the on-disk extent-chain blocks). A load failure (e.g. a v2
+    // checksum mismatch) is a finding, not a reason to abort the scan.
     auto check_inode = [&](InodeId ino) -> util::Status {
-        NESC_ASSIGN_OR_RETURN(CachedInode * inode, load_inode(ino));
+        auto loaded = load_inode(ino);
+        if (!loaded.is_ok()) {
+            record_error(report, "unreadable inode " + std::to_string(ino) +
+                                     ": " + loaded.status().message());
+            return util::Status::ok();
+        }
+        CachedInode *inode = *loaded;
         NESC_RETURN_IF_ERROR(load_extents(*inode));
         if (!extent::is_valid_extent_list(inode->extents)) {
             record_error(report, "inode " + std::to_string(ino) +
@@ -97,6 +104,44 @@ NestFs::fsck()
         return util::Status::ok();
     };
 
+    // Pass 0 (version-2 volumes): metadata self-checksums. The
+    // superblock is re-read raw from the media — the in-memory copy
+    // was already verified at mount and would mask later damage — and
+    // every allocated inode slot is verified straight out of the
+    // table, bypassing the inode cache for the same reason.
+    if (meta_checksums()) {
+        std::vector<std::byte> raw(kFsBlockSize);
+        NESC_RETURN_IF_ERROR(io_.read_blocks(0, 1, raw));
+        SuperBlock on_disk;
+        std::memcpy(&on_disk, raw.data(), sizeof(on_disk));
+        if (on_disk.csum != superblock_crc(on_disk)) {
+            ++report.checksum_errors;
+            record_error(report, "superblock failed its checksum");
+        }
+        for (std::uint64_t b = 0; b < super_.itable_blocks; ++b) {
+            NESC_RETURN_IF_ERROR(
+                meta_read(super_.itable_start + b, raw));
+            for (std::uint32_t s = 0; s < kInodesPerBlock; ++s) {
+                const InodeId ino =
+                    static_cast<InodeId>(b * kInodesPerBlock + s + 1);
+                if (ino > super_.inode_count)
+                    break;
+                DiskInode inode;
+                std::memcpy(&inode, raw.data() + s * kInodeSize,
+                            sizeof(inode));
+                if (inode.type ==
+                    static_cast<std::uint16_t>(FileType::kNone))
+                    continue;
+                if (inode.csum != inode_crc(inode)) {
+                    ++report.checksum_errors;
+                    record_error(report,
+                                 "inode " + std::to_string(ino) +
+                                     " failed its checksum");
+                }
+            }
+        }
+    }
+
     // Pass 1: namespace walk (iterative DFS; detects dirent errors).
     std::vector<InodeId> stack = {kRootInode};
     while (!stack.empty()) {
@@ -110,7 +155,10 @@ NestFs::fsck()
         ++report.directories;
         NESC_RETURN_IF_ERROR(check_inode(dir));
 
-        NESC_ASSIGN_OR_RETURN(CachedInode * inode, load_inode(dir));
+        auto dir_loaded = load_inode(dir);
+        if (!dir_loaded.is_ok())
+            continue; // already recorded by check_inode above
+        CachedInode *inode = *dir_loaded;
         NESC_RETURN_IF_ERROR(load_extents(*inode));
         const std::uint64_t nblocks =
             inode->disk.size_bytes / kFsBlockSize;

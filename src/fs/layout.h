@@ -17,12 +17,24 @@
 
 #include <cstdint>
 
+#include "util/crc32c.h"
+
 namespace nesc::fs {
 
 /** Filesystem block size; matches the NeSC device granularity. */
 inline constexpr std::uint32_t kFsBlockSize = 1024;
 
 inline constexpr std::uint32_t kSuperMagic = 0x4e465331;   // "NFS1"
+
+/**
+ * Format versions. Version 2 volumes carry CRC32C self-checksums on
+ * the superblock and every allocated inode, verified at mount/load and
+ * by fsck. Version 1 volumes have zero in those (formerly slack)
+ * fields and are never checksum-verified, so old images mount
+ * unchanged.
+ */
+inline constexpr std::uint32_t kSuperVersionBase = 1;
+inline constexpr std::uint32_t kSuperVersionChecksummed = 2;
 inline constexpr std::uint32_t kJournalDescMagic = 0x4a4453; // "JDS"
 inline constexpr std::uint32_t kJournalCommitMagic = 0x4a434d; // "JCM"
 
@@ -55,6 +67,8 @@ struct SuperBlock {
     std::uint32_t journal_mode; ///< JournalMode
     std::uint32_t clean_shutdown;
     std::uint64_t next_txn_id;
+    std::uint32_t csum; ///< CRC32C of this struct with csum zeroed (v2+)
+    std::uint32_t csum_pad;
 };
 
 /** One extent mapping file blocks to volume blocks. */
@@ -87,8 +101,29 @@ struct DiskInode {
     std::uint64_t overflow_block;  ///< first extent-chain block, 0 if none
     std::uint64_t mtime_ns;        ///< simulated time of last change
     DiskExtent extents[kInlineExtents];
+    std::uint32_t csum; ///< CRC32C of this struct with csum zeroed (v2+)
+    std::uint32_t csum_pad;
 };
 static_assert(sizeof(DiskInode) <= 256);
+
+/**
+ * Self-checksum over a metadata record: the record's bytes with its
+ * csum field zeroed. Both SuperBlock and DiskInode are padding-free,
+ * so hashing the raw struct bytes is deterministic.
+ */
+inline std::uint32_t
+superblock_crc(SuperBlock sb)
+{
+    sb.csum = 0;
+    return util::crc32c(&sb, sizeof(sb));
+}
+
+inline std::uint32_t
+inode_crc(DiskInode inode)
+{
+    inode.csum = 0;
+    return util::crc32c(&inode, sizeof(inode));
+}
 
 inline constexpr std::uint32_t kInodeSize = 256;
 inline constexpr std::uint32_t kInodesPerBlock = kFsBlockSize / kInodeSize;

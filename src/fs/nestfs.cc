@@ -29,7 +29,8 @@ NestFs::format(blk::BlockIo &io, const NestFsConfig &config)
     const std::uint64_t total_blocks = io.num_blocks();
     SuperBlock sb{};
     sb.magic = kSuperMagic;
-    sb.version = 1;
+    sb.version = config.meta_checksums ? kSuperVersionChecksummed
+                                       : kSuperVersionBase;
     sb.block_size = kFsBlockSize;
     sb.inode_count = config.inode_count;
     sb.total_blocks = total_blocks;
@@ -54,6 +55,8 @@ NestFs::format(blk::BlockIo &io, const NestFsConfig &config)
         NESC_RETURN_IF_ERROR(io.write_blocks(b, 1, zero));
 
     // Superblock.
+    if (config.meta_checksums)
+        sb.csum = superblock_crc(sb);
     std::vector<std::byte> sb_block(kFsBlockSize);
     std::memcpy(sb_block.data(), &sb, sizeof(sb));
     NESC_RETURN_IF_ERROR(io.write_blocks(0, 1, sb_block));
@@ -99,6 +102,9 @@ NestFs::mount(blk::BlockIo &io)
     std::memcpy(&sb, block.data(), sizeof(sb));
     if (sb.magic != kSuperMagic)
         return util::data_loss_error("bad nestfs superblock magic");
+    if (sb.version >= kSuperVersionChecksummed &&
+        sb.csum != superblock_crc(sb))
+        return util::data_loss_error("nestfs superblock failed its checksum");
     if (sb.total_blocks > io.num_blocks())
         return util::data_loss_error("superblock larger than volume");
 
@@ -156,6 +162,8 @@ NestFs::unmount()
     NESC_RETURN_IF_ERROR(sync());
     super_.clean_shutdown = 1;
     super_.next_txn_id = journal_->next_txn_id();
+    if (meta_checksums())
+        super_.csum = superblock_crc(super_);
     std::vector<std::byte> block(kFsBlockSize);
     std::memcpy(block.data(), &super_, sizeof(super_));
     NESC_RETURN_IF_ERROR(io_.write_blocks(0, 1, block));
@@ -234,6 +242,9 @@ NestFs::load_inode(InodeId ino)
     if (cached.disk.type == static_cast<std::uint16_t>(FileType::kNone))
         return util::not_found_error("inode " + std::to_string(ino) +
                                      " is free");
+    if (meta_checksums() && cached.disk.csum != inode_crc(cached.disk))
+        return util::data_loss_error("inode " + std::to_string(ino) +
+                                     " failed its checksum");
     auto [pos, inserted] = inode_cache_.emplace(ino, std::move(cached));
     (void)inserted;
     return &pos->second;
@@ -245,6 +256,8 @@ NestFs::store_inode(InodeId ino)
     auto it = inode_cache_.find(ino);
     if (it == inode_cache_.end())
         return util::internal_error("store_inode without cached inode");
+    if (meta_checksums())
+        it->second.disk.csum = inode_crc(it->second.disk);
     std::vector<std::byte> block(kFsBlockSize);
     NESC_RETURN_IF_ERROR(meta_read(inode_block(ino), block));
     std::memcpy(block.data() + inode_slot(ino) * kInodeSize, &it->second.disk,

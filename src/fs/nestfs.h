@@ -74,6 +74,12 @@ struct NestFsConfig {
     std::uint32_t inode_count = 1024;
     JournalMode journal_mode = JournalMode::kMetadata;
     std::uint64_t journal_blocks = 128;
+    /**
+     * Format a version-2 volume whose superblock and inodes carry
+     * CRC32C self-checksums, verified at mount/load and by fsck. Off
+     * by default: version-1 volumes are byte-identical to before.
+     */
+    bool meta_checksums = false;
 };
 
 /** The filesystem; construct via format() or mount(). */
@@ -198,6 +204,7 @@ class NestFs {
         std::uint64_t referenced_blocks = 0;
         std::uint64_t leaked_blocks = 0;   ///< allocated but unreferenced
         std::uint64_t orphan_inodes = 0;   ///< live but unreachable
+        std::uint64_t checksum_errors = 0; ///< v2 metadata CRC mismatches
         std::vector<std::string> errors;   ///< capped at 32 messages
     };
 
@@ -215,6 +222,11 @@ class NestFs {
     std::uint64_t free_blocks() const { return free_block_count_; }
     std::uint64_t free_inodes() const { return free_inodes_.size(); }
     const SuperBlock &superblock() const { return super_; }
+    /** True on version-2 volumes: metadata carries self-checksums. */
+    bool meta_checksums() const
+    {
+        return super_.version >= kSuperVersionChecksummed;
+    }
     JournalMode journal_mode() const
     {
         return static_cast<JournalMode>(super_.journal_mode);

@@ -39,6 +39,13 @@ enum class CompletionStatus : std::uint32_t {
     kAborted = 6,         ///< aborted by watchdog or function reset
     kMalformed = 7,       ///< descriptor failed validation at fetch
     kDmaFault = 8,        ///< buffer DMA refused (window violation)
+    /**
+     * Payload failed its end-to-end checksum and the device's recovery
+     * ladder (bounded re-read, then replica repair when a set is
+     * attached) could not produce a verified copy. Distinct from
+     * kReadMediaError: the media answered, but with corrupt data.
+     */
+    kChecksumError = 9,
 };
 
 /**
@@ -56,7 +63,8 @@ completion_status_retryable(CompletionStatus status)
 {
     return status == CompletionStatus::kReadMediaError ||
            status == CompletionStatus::kWriteMediaError ||
-           status == CompletionStatus::kAborted;
+           status == CompletionStatus::kAborted ||
+           status == CompletionStatus::kChecksumError;
 }
 
 /** Command ring record (driver -> device). */
@@ -295,6 +303,42 @@ inline constexpr std::uint64_t kMgmtRateBytesPerSec = 0x258; // RW (PF)
 /** Staged token-bucket burst capacity for kSetRateLimit, in bytes. */
 inline constexpr std::uint64_t kMgmtRateBurstBytes = 0x260;  // RW (PF)
 
+// Integrity block (PF-only unless noted). Present only when an
+// IntegrityMap (per-pLBA CRC32C sidecar) is attached behind the
+// controller; with no map attached every register in the block reads
+// all-ones (master-abort idiom) and writes are dropped. Checksums are
+// transparent to VFs: verification/recording happen per media block
+// underneath translation, and the only guest-visible artifact is the
+// kChecksumError completion when the recovery ladder fails.
+/** bit0: verify-on-read + record-on-write enable (1 at attach). */
+inline constexpr std::uint64_t kIntegrityCtrl = 0x268;       // RW (PF)
+/** Bounded same-media re-reads attempted on a mismatch. */
+inline constexpr std::uint64_t kIntegrityRereadLimit = 0x270; // RW (PF)
+/** Checksum mismatches detected (foreground reads + scrub). */
+inline constexpr std::uint64_t kIntegrityMismatches = 0x278; // RO (PF)
+/** Blocks healed (re-read recoveries + replica repairs). */
+inline constexpr std::uint64_t kIntegrityRepairs = 0x280;    // RO (PF)
+
+// Background scrubber (PF-only, part of the integrity block): a
+// rate-limited scan verifying cold data against the sidecar and
+// repairing from replicas when a set is attached. Started/aborted via
+// MgmtCommand::kScrubStart / kScrubAbort.
+/** Blocks verified per scrub batch (reset 64; writes of 0 clamp). */
+inline constexpr std::uint64_t kScrubBatch = 0x288;      // RW (PF)
+/** Pause between scrub batches in ns (reset 100 us). */
+inline constexpr std::uint64_t kScrubIntervalNs = 0x290; // RW (PF)
+/** 1 while a scrub pass is running, else 0. */
+inline constexpr std::uint64_t kScrubStatus = 0x298;     // RO (PF)
+/** Blocks scanned by the current (or last completed) pass. */
+inline constexpr std::uint64_t kScrubProgress = 0x2a0;   // RO (PF)
+/** Uncorrectable blocks the scrubber could not repair. */
+inline constexpr std::uint64_t kScrubErrors = 0x2a8;     // RO (PF)
+/**
+ * Per-function kChecksumError completions (readable on the function's
+ * own page, like kQuarantineStatus — a guest can see its own damage).
+ */
+inline constexpr std::uint64_t kStatChecksumErrors = 0x2b0; // RO
+
 /**
  * Per-queue doorbell aperture: queue pair q's doorbell is the 8-byte
  * register at kQpDoorbell0 + 8*q. Pair 0's doorbell is also aliased
@@ -406,6 +450,17 @@ enum class MgmtCommand : std::uint32_t {
      * reset state) removes the limit.
      */
     kSetRateLimit = 13,
+    /**
+     * Starts a background scrub pass over the whole pLBA space: a
+     * rate-limited scan (kScrubBatch blocks every kScrubIntervalNs)
+     * verifying media contents against the integrity sidecar,
+     * repairing damage from a verified replica copy when a set is
+     * attached, and counting uncorrectable blocks otherwise. Fails
+     * when no integrity map is attached or a pass is running.
+     */
+    kScrubStart = 14,
+    /** Aborts the running scrub pass (progress registers keep state). */
+    kScrubAbort = 15,
 };
 
 /** kMgmtStatus values. */

@@ -7,6 +7,7 @@
 #include "extent/layout.h"
 #include "nesc/telemetry.h"
 #include "repl/replica_set.h"
+#include "storage/integrity_map.h"
 #include "util/log.h"
 
 #undef NESC_LOG_COMPONENT
@@ -22,6 +23,11 @@ constexpr std::uint32_t kMaxWalkDepth = 64;
 // No driver needs a deeper command ring; a bigger claimed capacity
 // means the guest-written header is garbage.
 constexpr std::uint32_t kMaxRingCapacity = 1u << 20;
+// Per-block CRC32C compute/compare cost charged on the media service
+// path while integrity is enabled (a 1 KiB block through a ~4 GB/s
+// checksum engine). Zero-cost when the feature is off, so the golden
+// figures are untouched.
+constexpr sim::Duration kChecksumCostNs = 250;
 } // namespace
 
 using extent::ExtentPtrRecord;
@@ -96,6 +102,45 @@ Controller::attach_replicas(repl::ReplicaSet *replicas)
     repl_backend_select_ = 0;
     if (replicas_ != nullptr)
         metrics_.bump("repl_attached");
+}
+
+void
+Controller::attach_integrity(storage::IntegrityMap *map)
+{
+    integrity_ = map;
+    integrity_enabled_ = map != nullptr;
+    integrity_reread_limit_ = 1;
+    // A scrub pass over a detached (or different) map is meaningless.
+    scrub_running_ = false;
+    ++scrub_epoch_;
+    FunctionContext &pf = contexts_[pcie::kPhysicalFunctionId];
+    if (map != nullptr) {
+        // The sidecar lives past the data region on the same media; a
+        // guest (nestfs included) must never be able to address it.
+        pf.device_size_blocks =
+            std::min<std::uint64_t>(pf.device_size_blocks,
+                                    map->data_blocks());
+        metrics_.bump("integrity_attached");
+    } else {
+        pf.device_size_blocks = device_.geometry().num_blocks();
+    }
+}
+
+bool
+Controller::integrity_on(extent::Plba plba) const
+{
+    return integrity_ != nullptr && integrity_enabled_ &&
+           integrity_->covers(plba);
+}
+
+void
+Controller::note_checksum_mismatch(pcie::FunctionId fn, const BlockOp &op)
+{
+    ++integrity_mismatches_;
+    ++ctx(fn).stats.checksum_errors;
+    metrics_.bump("checksum_mismatches");
+    tracer_.instant(obs::Stage::kChecksum, fn, simulator_.now(), op.tag,
+                    op.vlba);
 }
 
 bool
@@ -598,6 +643,46 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
             return replicas_->resync_copied(backend);
         }
       }
+      // Integrity block: PF-only except the per-fn error stat. With no
+      // map attached the block reads all-ones (master-abort idiom), so
+      // software feature-detects checksums without faulting.
+      case reg::kStatChecksumErrors:
+        return c.stats.checksum_errors;
+      case reg::kIntegrityCtrl:
+      case reg::kIntegrityRereadLimit:
+      case reg::kIntegrityMismatches:
+      case reg::kIntegrityRepairs:
+      case reg::kScrubBatch:
+      case reg::kScrubIntervalNs:
+      case reg::kScrubStatus:
+      case reg::kScrubProgress:
+      case reg::kScrubErrors: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "integrity regs are PF-only");
+        if (integrity_ == nullptr)
+            return ~std::uint64_t{0};
+        switch (offset) {
+          case reg::kIntegrityCtrl:
+            return integrity_enabled_ ? std::uint64_t{1} : std::uint64_t{0};
+          case reg::kIntegrityRereadLimit:
+            return static_cast<std::uint64_t>(integrity_reread_limit_);
+          case reg::kIntegrityMismatches:
+            return integrity_mismatches_;
+          case reg::kIntegrityRepairs:
+            return integrity_repairs_;
+          case reg::kScrubBatch:
+            return scrub_batch_;
+          case reg::kScrubIntervalNs:
+            return static_cast<std::uint64_t>(scrub_interval_);
+          case reg::kScrubStatus:
+            return scrub_running_ ? std::uint64_t{1} : std::uint64_t{0};
+          case reg::kScrubProgress:
+            return scrub_progress_;
+          default:
+            return scrub_errors_;
+        }
+      }
       default:
         return util::invalid_argument_error("unknown register read at " +
                                             std::to_string(offset));
@@ -804,6 +889,25 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
       case reg::kReplBackendSelect:
         repl_backend_select_ = static_cast<std::uint32_t>(value);
         return util::Status::ok();
+      // Integrity knobs: silently dropped with no map attached (the
+      // matching reads return all-ones, so software knows).
+      case reg::kIntegrityCtrl:
+        if (integrity_ != nullptr)
+            integrity_enabled_ = (value & 1) != 0;
+        return util::Status::ok();
+      case reg::kIntegrityRereadLimit:
+        if (integrity_ != nullptr)
+            integrity_reread_limit_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kScrubBatch:
+        // A zero batch would make scrub ticks spin forever; clamp.
+        if (integrity_ != nullptr)
+            scrub_batch_ = std::max<std::uint64_t>(1, value);
+        return util::Status::ok();
+      case reg::kScrubIntervalNs:
+        if (integrity_ != nullptr)
+            scrub_interval_ = static_cast<sim::Duration>(value);
+        return util::Status::ok();
       default:
         return util::invalid_argument_error("unknown register write at " +
                                             std::to_string(offset));
@@ -838,6 +942,10 @@ Controller::pf_only_write(std::uint64_t offset)
       case reg::kReplQuorum:
       case reg::kReplReadTimeoutNs:
       case reg::kReplBackendSelect:
+      case reg::kIntegrityCtrl:
+      case reg::kIntegrityRereadLimit:
+      case reg::kScrubBatch:
+      case reg::kScrubIntervalNs:
         return true;
       default:
         return false;
@@ -1028,8 +1136,141 @@ Controller::mgmt_execute(MgmtCommand command)
         metrics_.bump("rate_limit_updates");
         return ok;
       }
+      case MgmtCommand::kScrubStart:
+        return scrub_start();
+      case MgmtCommand::kScrubAbort:
+        return scrub_abort();
     }
     return err;
+}
+
+// --------------------------------------------------------------------
+// Background integrity scrub
+// --------------------------------------------------------------------
+
+std::uint32_t
+Controller::scrub_start()
+{
+    if (integrity_ == nullptr || scrub_running_)
+        return static_cast<std::uint32_t>(MgmtStatus::kError);
+    scrub_running_ = true;
+    scrub_next_ = 0;
+    scrub_progress_ = 0;
+    scrub_errors_ = 0;
+    const std::uint64_t epoch = ++scrub_epoch_;
+    metrics_.bump("scrubs_started");
+    tracer_.instant(obs::Stage::kScrub, pcie::kPhysicalFunctionId,
+                    simulator_.now());
+    simulator_.schedule_in(std::max<sim::Duration>(1, scrub_interval_),
+                           [this, epoch]() { scrub_tick(epoch); });
+    return static_cast<std::uint32_t>(MgmtStatus::kOk);
+}
+
+std::uint32_t
+Controller::scrub_abort()
+{
+    if (!scrub_running_)
+        return static_cast<std::uint32_t>(MgmtStatus::kError);
+    scrub_running_ = false;
+    ++scrub_epoch_; // scheduled ticks die on the epoch check
+    metrics_.bump("scrubs_aborted");
+    return static_cast<std::uint32_t>(MgmtStatus::kOk);
+}
+
+void
+Controller::scrub_tick(std::uint64_t epoch)
+{
+    if (epoch != scrub_epoch_ || !scrub_running_ || integrity_ == nullptr)
+        return;
+    const sim::Time t_batch = simulator_.now();
+    const std::uint64_t limit =
+        std::min(integrity_->data_blocks(), scrub_next_ + scrub_batch_);
+    while (scrub_next_ < limit) {
+        scrub_block(scrub_next_);
+        ++scrub_next_;
+        ++scrub_progress_;
+    }
+    tracer_.span(obs::Stage::kScrub, pcie::kPhysicalFunctionId, t_batch,
+                 simulator_.now(), scrub_next_);
+    if (scrub_next_ >= integrity_->data_blocks()) {
+        scrub_running_ = false;
+        metrics_.bump("scrubs_completed");
+        return;
+    }
+    // Rate limiting: the pause between batches is what keeps a scrub
+    // from starving foreground I/O of media bandwidth.
+    simulator_.schedule_in(std::max<sim::Duration>(1, scrub_interval_),
+                           [this, epoch]() { scrub_tick(epoch); });
+}
+
+void
+Controller::scrub_block(std::uint64_t plba)
+{
+    if (!integrity_->covers(plba))
+        return;
+    std::vector<std::byte> buf(kDeviceBlockSize);
+    if (replicas_ != nullptr) {
+        // Verify every serving backend's copy independently: routing
+        // would mask a single damaged replica until failover happened
+        // to land on it. The first verified copy repairs the rest.
+        std::vector<std::byte> good;
+        std::vector<std::size_t> bad;
+        for (std::size_t i = 0; i < replicas_->backend_count(); ++i) {
+            if (!replicas_->scrub_read(i, plba, buf).is_ok())
+                continue; // down/crashed/stale: resync covers it
+            if (integrity_->verify(plba, buf)) {
+                if (good.empty())
+                    good = buf;
+            } else {
+                bad.push_back(i);
+            }
+        }
+        if (bad.empty())
+            return;
+        integrity_mismatches_ += bad.size();
+        metrics_.bump("checksum_mismatches", bad.size());
+        if (good.empty()) {
+            // Every reachable copy is damaged: nothing to repair from.
+            ++scrub_errors_;
+            metrics_.bump("scrub_uncorrectable");
+            return;
+        }
+        for (std::size_t i : bad) {
+            if (replicas_->repair_blocks(i, plba, good).is_ok()) {
+                ++integrity_repairs_;
+                metrics_.bump("checksum_repairs");
+            } else {
+                ++scrub_errors_;
+                metrics_.bump("scrub_uncorrectable");
+            }
+        }
+        return;
+    }
+    const std::uint64_t media_offset =
+        plba * static_cast<std::uint64_t>(kDeviceBlockSize);
+    if (!device_.read(media_offset, buf).is_ok()) {
+        ++scrub_errors_;
+        metrics_.bump("scrub_uncorrectable");
+        return;
+    }
+    bool verified = integrity_->verify(plba, buf);
+    if (verified)
+        return;
+    ++integrity_mismatches_;
+    metrics_.bump("checksum_mismatches");
+    for (std::uint32_t i = 0; i < integrity_reread_limit_ && !verified;
+         ++i) {
+        metrics_.bump("checksum_rereads");
+        if (!device_.read(media_offset, buf).is_ok())
+            continue;
+        verified = integrity_->verify(plba, buf);
+    }
+    if (!verified) {
+        // Single-device sets have no second copy; sticky damage is
+        // detectable but not correctable here.
+        ++scrub_errors_;
+        metrics_.bump("scrub_uncorrectable");
+    }
 }
 
 // --------------------------------------------------------------------
@@ -1707,7 +1948,10 @@ Controller::walk_node(WalkRef ref)
                                          NodeKind::kInternal) ||
                       header.kind ==
                           static_cast<NodeKindTag>(NodeKind::kLeaf);
-                  if (header.magic != extent::kNodeMagic || !kind_ok ||
+                  const bool magic_ok =
+                      header.magic == extent::kNodeMagic ||
+                      header.magic == extent::kNodeMagicV2;
+                  if (!magic_ok || !kind_ok ||
                       header.count > kMaxNodeEntries ||
                       header.depth > kMaxWalkDepth ||
                       walk_arena_.get(ref)->levels > kMaxWalkDepth) {
@@ -1717,35 +1961,77 @@ Controller::walk_node(WalkRef ref)
                   simulator_.schedule_in_lane(
                       lane, config_.node_parse_cost,
                       [this, ref, header]() {
-                          walk_entries(ref, header.kind, header.count);
+                          walk_entries(ref, header);
                       });
               });
 }
 
 void
-Controller::walk_entries(WalkRef ref, NodeKindTag kind,
-                         std::uint32_t count)
+Controller::walk_entries(WalkRef ref, NodeHeaderRecord header)
 {
     Walk *walk = walk_arena_.get(ref);
+    const NodeKindTag kind = header.kind;
+    const std::uint32_t count = header.count;
+    const pcie::HostAddr node = walk->node;
     const std::uint64_t bytes =
         static_cast<std::uint64_t>(count) * extent::kEntrySize;
     dma_.read(
-        walk->op.fn, extent::entry_addr(walk->node, 0), bytes,
-        [this, ref, kind, count](util::Status status,
-                                 std::vector<std::byte> data) {
+        walk->op.fn, extent::entry_addr(node, 0), bytes,
+        [this, ref, header, kind, count, node](
+            util::Status status, std::vector<std::byte> data) {
             if (walk_canceled(ref))
                 return;
             if (!status.is_ok()) {
                 walk_resolved_fault(ref, FaultKind::kTreeCorrupt);
                 return;
             }
+            if (header.magic == extent::kNodeMagicV2) {
+                // v2 verify-on-fetch: one more 8-byte DMA pulls the
+                // trailer, and the node is only trusted (and cached)
+                // once header+entries match it. A flipped child
+                // pointer dies here as kTreeCorrupt instead of
+                // steering the walk into hostile memory.
+                auto entries = std::make_shared<std::vector<std::byte>>(
+                    std::move(data));
+                dma_.read(
+                    walk_arena_.get(ref)->op.fn,
+                    extent::entry_addr(node, count),
+                    extent::kNodeTrailerSize,
+                    [this, ref, header, kind, count, entries](
+                        util::Status tstatus,
+                        std::vector<std::byte> tdata) {
+                        extent::NodeTrailerRecord trailer{};
+                        const bool whole =
+                            tdata.size() >= sizeof(trailer);
+                        if (whole)
+                            std::memcpy(&trailer, tdata.data(),
+                                        sizeof(trailer));
+                        dma_.recycle_buffer(std::move(tdata));
+                        if (walk_canceled(ref))
+                            return;
+                        const std::uint32_t want = extent::node_crc(
+                            header, entries->data(), entries->size());
+                        if (!tstatus.is_ok() || !whole ||
+                            trailer.crc != want) {
+                            metrics_.bump("tree_crc_errors");
+                            walk_resolved_fault(ref,
+                                                FaultKind::kTreeCorrupt);
+                            return;
+                        }
+                        if (node_cache_.enabled()) {
+                            Walk *walk = walk_arena_.get(ref);
+                            node_cache_.insert(walk->op.fn, walk->node,
+                                               header, *entries);
+                        }
+                        walk_process(ref, kind, count, *entries);
+                        dma_.recycle_buffer(std::move(*entries));
+                    });
+                return;
+            }
             if (node_cache_.enabled()) {
                 // The node passed the header sanity checks; cache the
                 // image so the next walk skips both DMA reads.
                 Walk *walk = walk_arena_.get(ref);
-                NodeHeaderRecord header{extent::kNodeMagic, kind,
-                                        static_cast<std::uint16_t>(count),
-                                        0};
                 node_cache_.insert(walk->op.fn, walk->node, header, data);
             }
             walk_process(ref, kind, count, data);
@@ -2071,11 +2357,17 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
         plba * static_cast<std::uint64_t>(kDeviceBlockSize);
 
     if (op.op == Opcode::kRead) {
-        // Media read, then DMA the payload to the host buffer.
-        const sim::Time media_done = device_.service_read(
-            simulator_.now(), media_offset, kDeviceBlockSize);
+        // Media read, then DMA the payload to the host buffer. With
+        // integrity on, the checksum engine sits between the two and
+        // charges its compute cost on the media path.
+        const bool verifying = integrity_on(plba);
+        const sim::Time media_done =
+            device_.service_read(simulator_.now(), media_offset,
+                                 kDeviceBlockSize) +
+            (verifying ? kChecksumCostNs : 0);
         simulator_.schedule_at_lane(
-            ctx(op.fn).lane, media_done, [this, op, media_offset]() {
+            ctx(op.fn).lane, media_done,
+            [this, op, media_offset, plba, verifying]() {
             std::vector<std::byte> data =
                 dma_.acquire_buffer(kDeviceBlockSize);
             util::Status status = device_.read(media_offset, data);
@@ -2083,34 +2375,42 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
                 --inflight_transfers_;
                 ++ctx(op.fn).stats.media_errors;
                 metrics_.bump("media_read_errors");
+                dma_.recycle_buffer(std::move(data));
                 complete_block(op, CompletionStatus::kReadMediaError);
                 pump();
                 return;
             }
-            dma_.write(op.fn, op.buffer, std::move(data),
-                       [this, op](util::Status dma_status) {
-                           --inflight_transfers_;
-                           ctx(op.fn).stats.blocks_read += 1;
-                           CompletionStatus s = CompletionStatus::kOk;
-                           if (!dma_status.is_ok()) {
-                               s = dma_status.code() ==
-                                           util::ErrorCode::
-                                               kPermissionDenied
-                                       ? CompletionStatus::kDmaFault
-                                       : CompletionStatus::
-                                             kInternalError;
-                           }
-                           complete_block(op, s);
-                           pump();
-                       });
+            if (verifying && !integrity_->verify(plba, data)) {
+                // Recovery ladder, local leg: bounded re-reads clear
+                // in-flight flips; persistent (sticky) damage has no
+                // second copy here and surfaces as kChecksumError.
+                note_checksum_mismatch(op.fn, op);
+                bool verified = false;
+                for (std::uint32_t i = 0;
+                     i < integrity_reread_limit_ && !verified; ++i) {
+                    metrics_.bump("checksum_rereads");
+                    if (!device_.read(media_offset, data).is_ok())
+                        continue;
+                    verified = integrity_->verify(plba, data);
+                }
+                if (!verified) {
+                    --inflight_transfers_;
+                    dma_.recycle_buffer(std::move(data));
+                    complete_block(op, CompletionStatus::kChecksumError);
+                    pump();
+                    return;
+                }
+                metrics_.bump("checksum_reread_recoveries");
+            }
+            finish_read_payload(op, std::move(data));
         });
         return;
     }
 
     // Write: DMA the payload from host memory, then media write.
     dma_.read(op.fn, op.buffer, kDeviceBlockSize,
-              [this, op, media_offset](util::Status status,
-                                       std::vector<std::byte> data) {
+              [this, op, media_offset, plba](util::Status status,
+                                             std::vector<std::byte> data) {
                   if (!status.is_ok()) {
                       --inflight_transfers_;
                       complete_block(
@@ -2122,10 +2422,18 @@ Controller::start_transfer(const BlockOp &op, extent::Plba plba)
                       pump();
                       return;
                   }
+                  const bool recording = integrity_on(plba);
                   util::Status wstatus = device_.write(media_offset, data);
+                  // Checksum the payload the guest intended: damage the
+                  // media inflicts after this point (bitrot) is exactly
+                  // what the verifying read path must catch.
+                  if (recording && wstatus.is_ok())
+                      integrity_->record(plba, data);
                   dma_.recycle_buffer(std::move(data));
-                  const sim::Time media_done = device_.service_write(
-                      simulator_.now(), media_offset, kDeviceBlockSize);
+                  const sim::Time media_done =
+                      device_.service_write(simulator_.now(), media_offset,
+                                            kDeviceBlockSize) +
+                      (recording ? kChecksumCostNs : 0);
                   simulator_.schedule_at_lane(
                       ctx(op.fn).lane, media_done, [this, op, wstatus]() {
                           --inflight_transfers_;
@@ -2155,9 +2463,10 @@ Controller::start_replicated_transfer(const BlockOp &op,
         // the set's retry chain.
         auto data = std::make_shared<std::vector<std::byte>>(
             dma_.acquire_buffer(kDeviceBlockSize));
-        replicas_->read(
+        replicas_->read_tracked(
             plba, std::span<std::byte>(*data),
-            [this, op, data, t_start](util::Status status) {
+            [this, op, plba, data, t_start](util::Status status,
+                                            int backend) {
                 tracer_.span(obs::Stage::kReplRead, op.fn, t_start,
                              simulator_.now(), op.tag, op.vlba);
                 metrics_.add(h_repl_reads_);
@@ -2170,22 +2479,17 @@ Controller::start_replicated_transfer(const BlockOp &op,
                     pump();
                     return;
                 }
-                dma_.write(op.fn, op.buffer, std::move(*data),
-                           [this, op](util::Status dma_status) {
-                               --inflight_transfers_;
-                               ctx(op.fn).stats.blocks_read += 1;
-                               CompletionStatus s = CompletionStatus::kOk;
-                               if (!dma_status.is_ok()) {
-                                   s = dma_status.code() ==
-                                               util::ErrorCode::
-                                                   kPermissionDenied
-                                           ? CompletionStatus::kDmaFault
-                                           : CompletionStatus::
-                                                 kInternalError;
-                               }
-                               complete_block(op, s);
-                               pump();
-                           });
+                if (integrity_on(plba) &&
+                    !integrity_->verify(plba, *data)) {
+                    // Recovery ladder, replicated leg: re-read the
+                    // serving backend, then alternates; a verified
+                    // alternate repairs the damaged copy in place.
+                    note_checksum_mismatch(op.fn, op);
+                    integrity_ladder(op, plba, data, backend,
+                                     integrity_reread_limit_, 0);
+                    return;
+                }
+                finish_read_payload(op, std::move(*data));
             });
         return;
     }
@@ -2206,6 +2510,11 @@ Controller::start_replicated_transfer(const BlockOp &op,
                 pump();
                 return;
             }
+            // Record at submission: the checksum binds the payload the
+            // guest wrote, against which every backend's copy is later
+            // judged.
+            if (integrity_on(plba))
+                integrity_->record(plba, data);
             replicas_->write(
                 plba, data, [this, op, t_start](util::Status wstatus) {
                     tracer_.span(obs::Stage::kReplWrite, op.fn, t_start,
@@ -2227,6 +2536,91 @@ Controller::start_replicated_transfer(const BlockOp &op,
             // The set copied the payload at submission; the staging
             // buffer can go back to the pool before the ack.
             dma_.recycle_buffer(std::move(data));
+        });
+}
+
+void
+Controller::finish_read_payload(const BlockOp &op,
+                                std::vector<std::byte> data)
+{
+    dma_.write(op.fn, op.buffer, std::move(data),
+               [this, op](util::Status dma_status) {
+                   --inflight_transfers_;
+                   ctx(op.fn).stats.blocks_read += 1;
+                   CompletionStatus s = CompletionStatus::kOk;
+                   if (!dma_status.is_ok()) {
+                       s = dma_status.code() ==
+                                   util::ErrorCode::kPermissionDenied
+                               ? CompletionStatus::kDmaFault
+                               : CompletionStatus::kInternalError;
+                   }
+                   complete_block(op, s);
+                   pump();
+               });
+}
+
+void
+Controller::integrity_ladder(const BlockOp &op, extent::Plba plba,
+                             std::shared_ptr<std::vector<std::byte>> data,
+                             int bad_backend, std::uint32_t rereads_left,
+                             std::size_t next_alt)
+{
+    const sim::Time t_rung = simulator_.now();
+    // Rung 1: bounded re-reads of the backend that served the corrupt
+    // payload — an in-flight flip clears, stored damage does not.
+    if (rereads_left > 0 && bad_backend >= 0) {
+        metrics_.bump("checksum_rereads");
+        replicas_->read_from(
+            static_cast<std::size_t>(bad_backend), plba,
+            std::span<std::byte>(*data),
+            [this, op, plba, data, bad_backend, rereads_left, next_alt,
+             t_rung](util::Status s) {
+                tracer_.span(obs::Stage::kChecksum, op.fn, t_rung,
+                             simulator_.now(), op.tag, op.vlba);
+                if (s.is_ok() && integrity_->verify(plba, *data)) {
+                    metrics_.bump("checksum_reread_recoveries");
+                    finish_read_payload(op, std::move(*data));
+                    return;
+                }
+                integrity_ladder(op, plba, data, bad_backend,
+                                 rereads_left - 1, next_alt);
+            });
+        return;
+    }
+    // Rung 2: alternate backends. The first copy that verifies is DMA'd
+    // to the guest and written back over the damaged replica.
+    std::size_t alt = next_alt;
+    while (alt < replicas_->backend_count() &&
+           static_cast<int>(alt) == bad_backend)
+        ++alt;
+    if (alt >= replicas_->backend_count()) {
+        // Ladder exhausted: no verified copy anywhere reachable.
+        --inflight_transfers_;
+        metrics_.bump("checksum_unrecovered");
+        dma_.recycle_buffer(std::move(*data));
+        complete_block(op, CompletionStatus::kChecksumError);
+        pump();
+        return;
+    }
+    replicas_->read_from(
+        alt, plba, std::span<std::byte>(*data),
+        [this, op, plba, data, bad_backend, alt,
+         t_rung](util::Status s) {
+            tracer_.span(obs::Stage::kChecksum, op.fn, t_rung,
+                         simulator_.now(), op.tag, op.vlba);
+            if (!s.is_ok() || !integrity_->verify(plba, *data)) {
+                integrity_ladder(op, plba, data, bad_backend, 0, alt + 1);
+                return;
+            }
+            if (bad_backend >= 0 &&
+                replicas_
+                    ->repair_blocks(static_cast<std::size_t>(bad_backend),
+                                    plba, *data)
+                    .is_ok()) {
+                ++integrity_repairs_;
+                metrics_.bump("checksum_repairs");
+            }
+            finish_read_payload(op, std::move(*data));
         });
 }
 

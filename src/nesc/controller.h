@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "extent/layout.h"
 #include "extent/types.h"
 #include "nesc/arbiter.h"
 #include "nesc/btlb.h"
@@ -54,6 +55,10 @@
 namespace nesc::repl {
 class ReplicaSet;
 } // namespace nesc::repl
+
+namespace nesc::storage {
+class IntegrityMap;
+} // namespace nesc::storage
 
 namespace nesc::ctrl {
 
@@ -173,6 +178,8 @@ struct FunctionStats {
     std::uint64_t doorbells_ignored = 0; ///< doorbells while quarantined
     /** Doorbells to queue pairs that do not exist (dropped, counted). */
     std::uint64_t dead_doorbells = 0;
+    /** Checksum mismatches detected on this function's reads. */
+    std::uint64_t checksum_errors = 0;
 };
 
 /** The NeSC controller device model. */
@@ -220,6 +227,33 @@ class Controller : public pcie::FunctionMmioDevice {
      */
     void attach_replicas(repl::ReplicaSet *replicas);
     repl::ReplicaSet *replicas() { return replicas_; }
+
+    /**
+     * Attaches the per-pLBA CRC32C sidecar behind the data-transfer
+     * unit: every media write records the payload's checksum, every
+     * media read verifies it, and a mismatch runs the recovery ladder
+     * (bounded re-read, then — when a replica set is attached — read
+     * an alternate backend, verify, and repair the damaged copy in
+     * place) before a kChecksumError completion is ever posted. Also
+     * clamps the PF-visible device size to the map's data region so a
+     * guest can never overwrite the sidecar. nullptr detaches,
+     * restoring the unverified path bit-exactly; the map must outlive
+     * the controller or be detached first.
+     */
+    void attach_integrity(storage::IntegrityMap *map);
+    storage::IntegrityMap *integrity() { return integrity_; }
+
+    /// @name Scrub introspection (tests + benches).
+    /// @{
+    bool scrub_running() const { return scrub_running_; }
+    std::uint64_t scrub_progress() const { return scrub_progress_; }
+    std::uint64_t scrub_errors() const { return scrub_errors_; }
+    std::uint64_t integrity_mismatches() const
+    {
+        return integrity_mismatches_;
+    }
+    std::uint64_t integrity_repairs() const { return integrity_repairs_; }
+    /// @}
 
     /**
      * Lifecycle tracer. Off by default; enable() starts span
@@ -475,8 +509,7 @@ class Controller : public pcie::FunctionMmioDevice {
     void start_walks();
     void begin_translation(BlockOp op);
     void walk_node(WalkRef walk);
-    void walk_entries(WalkRef walk, NodeKindTag kind,
-                      std::uint32_t count);
+    void walk_entries(WalkRef walk, extent::NodeHeaderRecord header);
     void walk_process(WalkRef walk, NodeKindTag kind,
                       std::uint32_t count,
                       const std::vector<std::byte> &data);
@@ -504,6 +537,31 @@ class Controller : public pcie::FunctionMmioDevice {
     /** start_transfer body when a replica set is attached. */
     void start_replicated_transfer(const BlockOp &op, extent::Plba plba);
     void start_zero_fill(const BlockOp &op);
+    /** True when payload checksums are verified/recorded for @p plba. */
+    bool integrity_on(extent::Plba plba) const;
+    /** Books a detected mismatch against @p fn (stats, trace, metrics). */
+    void note_checksum_mismatch(pcie::FunctionId fn, const BlockOp &op);
+    /**
+     * Replicated recovery ladder for a read of @p plba whose payload
+     * (served by @p bad_backend) failed verification: bounded re-reads
+     * of the serving backend first, then alternate backends; the first
+     * verified copy repairs @p bad_backend in place and completes the
+     * op. Exhausting the ladder completes kChecksumError. Owns the
+     * staging buffer in @p data until completion.
+     */
+    void integrity_ladder(const BlockOp &op, extent::Plba plba,
+                          std::shared_ptr<std::vector<std::byte>> data,
+                          int bad_backend, std::uint32_t rereads_left,
+                          std::size_t next_alt);
+    /** DMA of a verified read payload to the host + completion. */
+    void finish_read_payload(const BlockOp &op,
+                             std::vector<std::byte> data);
+    // Background scrub machinery (PF mgmt commands).
+    std::uint32_t scrub_start();
+    std::uint32_t scrub_abort();
+    void scrub_tick(std::uint64_t epoch);
+    /** Verifies (and repairs, when possible) one pLBA; see scrub_tick. */
+    void scrub_block(std::uint64_t plba);
     void complete_block(const BlockOp &op, CompletionStatus status);
     /**
      * Opens command state in the arena (remaining blocks, fetch time,
@@ -579,6 +637,24 @@ class Controller : public pcie::FunctionMmioDevice {
     repl::ReplicaSet *replicas_ = nullptr;
     /** reg::kReplBackendSelect latch. */
     std::uint32_t repl_backend_select_ = 0;
+    /** Checksum sidecar; nullptr = unverified path. */
+    storage::IntegrityMap *integrity_ = nullptr;
+    /** reg::kIntegrityCtrl bit0 (verification on; 1 at attach). */
+    bool integrity_enabled_ = false;
+    /** reg::kIntegrityRereadLimit. */
+    std::uint32_t integrity_reread_limit_ = 1;
+    std::uint64_t integrity_mismatches_ = 0;
+    std::uint64_t integrity_repairs_ = 0;
+    // Background scrubber (MgmtCommand::kScrubStart / kScrubAbort).
+    bool scrub_running_ = false;
+    /** Next pLBA the scrubber will verify. */
+    std::uint64_t scrub_next_ = 0;
+    std::uint64_t scrub_progress_ = 0;
+    std::uint64_t scrub_errors_ = 0;
+    /** Bumped on start/abort; invalidates scheduled scrub ticks. */
+    std::uint64_t scrub_epoch_ = 0;
+    std::uint64_t scrub_batch_ = 64;
+    sim::Duration scrub_interval_ = 100'000; // 100 us
     pcie::InterruptController &irq_;
     ControllerConfig config_;
     pcie::DmaWindowTable dma_windows_;

@@ -27,7 +27,7 @@ struct TelemetryCounterDesc {
 };
 
 /** The directory: index in this array == hardware counter index. */
-inline constexpr std::array<TelemetryCounterDesc, 16> kTelemetryCounters{{
+inline constexpr std::array<TelemetryCounterDesc, 17> kTelemetryCounters{{
     {"commands", &FunctionStats::commands},
     {"blocks_read", &FunctionStats::blocks_read},
     {"blocks_written", &FunctionStats::blocks_written},
@@ -44,6 +44,7 @@ inline constexpr std::array<TelemetryCounterDesc, 16> kTelemetryCounters{{
     {"quarantines", &FunctionStats::quarantines},
     {"doorbells_ignored", &FunctionStats::doorbells_ignored},
     {"dead_doorbells", &FunctionStats::dead_doorbells},
+    {"checksum_errors", &FunctionStats::checksum_errors},
 }};
 
 /**

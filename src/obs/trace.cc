@@ -48,6 +48,10 @@ stage_name(Stage stage)
         return "repl_write";
     case Stage::kResync:
         return "resync";
+    case Stage::kChecksum:
+        return "checksum";
+    case Stage::kScrub:
+        return "scrub";
     case Stage::kCount:
         break;
     }

@@ -55,6 +55,8 @@ enum class Stage : std::uint8_t {
     kReplRead,     ///< block op served by the replica set (read path)
     kReplWrite,    ///< block op mirrored by the replica set (write path)
     kResync,       ///< background replica resync activity
+    kChecksum,     ///< payload checksum mismatch + recovery ladder
+    kScrub,        ///< background integrity scrub activity
     kCount,
 };
 

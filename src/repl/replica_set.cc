@@ -206,6 +206,17 @@ void
 ReplicaSet::read(std::uint64_t first_block, std::span<std::byte> out,
                  Done done)
 {
+    read_tracked(first_block, out,
+                 [done = std::move(done)](util::Status status,
+                                          int /*backend*/) {
+                     done(std::move(status));
+                 });
+}
+
+void
+ReplicaSet::read_tracked(std::uint64_t first_block,
+                         std::span<std::byte> out, ReadDone done)
+{
     auto read = std::make_shared<PendingRead>();
     read->out = out;
     read->first_block = first_block;
@@ -217,11 +228,83 @@ ReplicaSet::read(std::uint64_t first_block, std::span<std::byte> out,
         first_block + out.size() / block_size > data_blocks()) {
         simulator_.schedule_in(0, [read]() {
             read->done(
-                util::out_of_range_error("replicated read out of range"));
+                util::out_of_range_error("replicated read out of range"),
+                -1);
         });
         return;
     }
     issue_read(read);
+}
+
+void
+ReplicaSet::read_from(std::size_t index, std::uint64_t first_block,
+                      std::span<std::byte> out, Done done)
+{
+    if (index >= backends_.size()) {
+        simulator_.schedule_in(0, [done = std::move(done)]() {
+            done(util::out_of_range_error("no such backend"));
+        });
+        return;
+    }
+    Backend &b = *backends_[index];
+    const std::uint32_t block_size = b.store.block_size();
+    const std::uint64_t count =
+        block_size == 0 ? 0 : out.size() / block_size;
+    if (b.crashed || b.state == BackendState::kDown ||
+        b.dirty.intersects(first_block, count)) {
+        simulator_.schedule_in(0, [done = std::move(done)]() {
+            done(util::unavailable_error(
+                "backend unavailable or stale over range"));
+        });
+        return;
+    }
+    const std::uint64_t generation = b.generation;
+    sim::Time t = b.store.service_read(simulator_.now() + b.link.latency(),
+                                       first_block, out.size());
+    t = b.link.acquire(t, out.size());
+    simulator_.schedule_at(t, [this, index, generation, first_block, out,
+                               done = std::move(done)]() {
+        Backend &backend = *backends_[index];
+        if (backend.crashed || backend.generation != generation) {
+            done(util::unavailable_error("backend lost mid-read"));
+            return;
+        }
+        done(backend.store.read_blocks(first_block, out));
+    });
+}
+
+util::Status
+ReplicaSet::scrub_read(std::size_t index, std::uint64_t first_block,
+                       std::span<std::byte> out)
+{
+    if (index >= backends_.size())
+        return util::out_of_range_error("no such backend");
+    Backend &b = *backends_[index];
+    const std::uint32_t block_size = b.store.block_size();
+    const std::uint64_t count =
+        block_size == 0 ? 0 : out.size() / block_size;
+    if (b.crashed || b.state == BackendState::kDown ||
+        b.dirty.intersects(first_block, count))
+        return util::unavailable_error(
+            "backend unavailable or stale over range");
+    return b.store.read_blocks(first_block, out);
+}
+
+util::Status
+ReplicaSet::repair_blocks(std::size_t index, std::uint64_t first_block,
+                          std::span<const std::byte> data)
+{
+    if (index >= backends_.size())
+        return util::out_of_range_error("no such backend");
+    Backend &b = *backends_[index];
+    const std::uint32_t block_size = b.store.block_size();
+    if (data.empty() || data.size() % block_size != 0)
+        return util::invalid_argument_error(
+            "repair must be whole blocks");
+    NESC_RETURN_IF_ERROR(b.store.write_blocks(first_block, data));
+    b.dirty.remove(first_block, data.size() / block_size);
+    ++repairs_;
+    return util::Status::ok();
 }
 
 void
@@ -269,7 +352,8 @@ ReplicaSet::issue_read(const std::shared_ptr<PendingRead> &read)
         ++reads_failed_;
         simulator_.schedule_in(0, [read]() {
             read->done(
-                util::unavailable_error("no healthy backend for read"));
+                util::unavailable_error("no healthy backend for read"),
+                -1);
         });
         return;
     }
@@ -304,7 +388,8 @@ ReplicaSet::issue_read(const std::shared_ptr<PendingRead> &read)
                 if (status.is_ok()) {
                     read->completed = true;
                     ++reads_served_;
-                    read->done(util::Status::ok());
+                    read->done(util::Status::ok(),
+                               static_cast<int>(index));
                     return;
                 }
                 ++backend.errors;

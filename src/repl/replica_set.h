@@ -85,6 +85,8 @@ enum class BackendState : std::uint8_t {
 class ReplicaSet {
   public:
     using Done = std::function<void(util::Status)>;
+    /** Completion reporting which backend served (-1 on failure). */
+    using ReadDone = std::function<void(util::Status, int backend)>;
 
     ReplicaSet(sim::Simulator &simulator,
                const ReplicaSetConfig &config = {});
@@ -119,6 +121,42 @@ class ReplicaSet {
      */
     void read(std::uint64_t first_block, std::span<std::byte> out,
               Done done);
+
+    /**
+     * read() variant whose completion also reports the index of the
+     * backend that served the data — the controller's verifying read
+     * path needs it to know which replica to repair (and which to
+     * exclude) when the payload fails its checksum.
+     */
+    void read_tracked(std::uint64_t first_block, std::span<std::byte> out,
+                      ReadDone done);
+
+    /**
+     * Timed read of @p out from one specific backend, bypassing
+     * routing: the integrity recovery ladder and the scrubber use it
+     * to fetch alternate copies for comparison. Fails UNAVAILABLE when
+     * the backend is down, crashed, or stale (dirty) over the range —
+     * a stale copy must never be used as repair source.
+     */
+    void read_from(std::size_t index, std::uint64_t first_block,
+                   std::span<std::byte> out, Done done);
+
+    /**
+     * Writes verified-good data over @p index's copy of the range and
+     * clears its dirty marker (functional; the device repairs in line
+     * with the read that detected the damage). The repair counter is
+     * the scrub/ladder success telemetry.
+     */
+    util::Status repair_blocks(std::size_t index, std::uint64_t first_block,
+                               std::span<const std::byte> data);
+
+    /**
+     * Functional (untimed) read of @p index's copy, for the background
+     * scrubber: it verifies every backend independently, so routing
+     * must not pick for it. Same staleness rules as read_from().
+     */
+    util::Status scrub_read(std::size_t index, std::uint64_t first_block,
+                            std::span<std::byte> out);
 
     /// @name Fault-injection and management hooks.
     /// @{
@@ -158,6 +196,7 @@ class ReplicaSet {
     std::uint64_t failovers() const { return failovers_; }
     std::uint64_t demotions() const { return demotions_; }
     std::uint64_t resyncs_completed() const { return resyncs_completed_; }
+    std::uint64_t repairs() const { return repairs_; }
     /// @}
 
     const ReplicaSetConfig &config() const { return config_; }
@@ -206,7 +245,7 @@ class ReplicaSet {
     struct PendingRead {
         std::span<std::byte> out;
         std::uint64_t first_block = 0;
-        Done done;
+        ReadDone done;
         std::uint64_t tried_mask = 0;
         std::uint64_t attempt = 0; ///< invalidates stale completions
         bool completed = false;
@@ -235,6 +274,7 @@ class ReplicaSet {
     std::uint64_t failovers_ = 0;
     std::uint64_t demotions_ = 0;
     std::uint64_t resyncs_completed_ = 0;
+    std::uint64_t repairs_ = 0;
 };
 
 } // namespace nesc::repl

@@ -5,7 +5,8 @@ namespace nesc::storage {
 FaultyBlockDevice::FaultyBlockDevice(BlockDevice &inner,
                                      const FaultPlan &plan)
     : inner_(inner), plan_(plan), rng_(plan.seed),
-      stall_rng_(plan.seed ^ 0x5741'4c4c'5354'414cULL) // "STALL" salt
+      stall_rng_(plan.seed ^ 0x5741'4c4c'5354'414cULL), // "STALL" salt
+      sticky_rng_(plan.seed ^ 0x5354'4943'4b59'4342ULL) // "STICKYCB" salt
 {
 }
 
@@ -32,9 +33,12 @@ FaultyBlockDevice::draw(bool is_read, std::uint64_t offset,
 {
     const std::uint64_t index = op_index_++;
     for (const ScheduledFault &sched : plan_.schedule) {
-        // kStall entries live in the timing-op index space; skip here.
+        // kStall entries live in the timing-op index space, and
+        // kCorruptSticky is drawn orthogonally in apply_sticky();
+        // neither is a "main" fault here.
         if (sched.op_index == index && sched.kind != InjectedFault::kNone &&
-            sched.kind != InjectedFault::kStall)
+            sched.kind != InjectedFault::kStall &&
+            sched.kind != InjectedFault::kCorruptSticky)
             return sched.kind;
     }
     if (overlaps_bad_range(offset, bytes)) {
@@ -59,10 +63,51 @@ FaultyBlockDevice::draw(bool is_read, std::uint64_t offset,
     return InjectedFault::kNone;
 }
 
+std::uint64_t
+FaultyBlockDevice::draw_sticky(std::uint64_t index, std::uint64_t bytes)
+{
+    bool hit = false;
+    for (const ScheduledFault &sched : plan_.schedule) {
+        if (sched.op_index == index &&
+            sched.kind == InjectedFault::kCorruptSticky)
+            hit = true;
+    }
+    // Exactly one probability draw per media op, scheduled or not, so
+    // the sticky stream is stable under schedule edits (the stall
+    // idiom) and independent of every other fault class's outcome.
+    if (sticky_rng_.next_bool(plan_.corrupt_sticky_prob))
+        hit = true;
+    if (!hit || bytes == 0)
+        return 0;
+    return 1 + sticky_rng_.next_below(bytes * 8);
+}
+
+void
+FaultyBlockDevice::damage_stored_bit(std::uint64_t offset, std::uint64_t bit)
+{
+    std::byte damaged;
+    if (!inner_.read(offset + bit / 8, std::span(&damaged, 1)).is_ok())
+        return;
+    damaged ^= static_cast<std::byte>(1u << (bit % 8));
+    if (!inner_.write(offset + bit / 8,
+                      std::span<const std::byte>(&damaged, 1))
+             .is_ok())
+        return;
+    ++counters_["injected_faults"];
+    ++counters_["sticky_corruptions"];
+}
+
 util::Status
 FaultyBlockDevice::read(std::uint64_t offset, std::span<std::byte> out)
 {
-    switch (draw(/*is_read=*/true, offset, out.size())) {
+    const std::uint64_t index = op_index_;
+    const InjectedFault fault = draw(/*is_read=*/true, offset, out.size());
+    // Bitrot lands before the media services the read, so the damaged
+    // byte is what this very read returns.
+    const std::uint64_t sticky = draw_sticky(index, out.size());
+    if (sticky != 0)
+        damage_stored_bit(offset, sticky - 1);
+    switch (fault) {
       case InjectedFault::kReadError:
         ++counters_["injected_faults"];
         ++counters_["read_media_errors"];
@@ -83,6 +128,7 @@ FaultyBlockDevice::read(std::uint64_t offset, std::span<std::byte> out)
       }
       case InjectedFault::kWriteError:
       case InjectedFault::kStall:
+      case InjectedFault::kCorruptSticky:
       case InjectedFault::kNone:
         break;
     }
@@ -112,7 +158,10 @@ FaultyBlockDevice::draw_stall()
 util::Status
 FaultyBlockDevice::write(std::uint64_t offset, std::span<const std::byte> in)
 {
-    switch (draw(/*is_read=*/false, offset, in.size())) {
+    const std::uint64_t index = op_index_;
+    const InjectedFault fault = draw(/*is_read=*/false, offset, in.size());
+    const std::uint64_t sticky = draw_sticky(index, in.size());
+    switch (fault) {
       case InjectedFault::kWriteError:
         ++counters_["injected_faults"];
         ++counters_["write_media_errors"];
@@ -124,10 +173,16 @@ FaultyBlockDevice::write(std::uint64_t offset, std::span<const std::byte> in)
       case InjectedFault::kReadError:
       case InjectedFault::kCorrupt:
       case InjectedFault::kStall:
+      case InjectedFault::kCorruptSticky:
       case InjectedFault::kNone:
         break;
     }
-    return inner_.write(offset, in);
+    NESC_RETURN_IF_ERROR(inner_.write(offset, in));
+    // Bitrot after the write lands damages the freshly stored copy —
+    // exactly what the scrubber exists to find.
+    if (sticky != 0)
+        damage_stored_bit(offset, sticky - 1);
+    return util::Status::ok();
 }
 
 } // namespace nesc::storage

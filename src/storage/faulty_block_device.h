@@ -48,6 +48,7 @@ enum class InjectedFault : std::uint8_t {
     kTransient,  ///< transient failure (UNAVAILABLE); retry may succeed
     kCorrupt,    ///< silent single-bit flip in returned read data
     kStall,      ///< completes correctly but arbitrarily late (timing)
+    kCorruptSticky, ///< bit flip in the *stored* block (persistent bitrot)
 };
 
 /** A block range that always fails (grown media defect). */
@@ -78,6 +79,13 @@ struct FaultPlan {
     double transient_prob = 0.0;
     /** Per-read probability of a silent bit flip in the payload. */
     double corrupt_prob = 0.0;
+    /**
+     * Per-op probability of a *sticky* bit flip: the stored block is
+     * damaged in place (bitrot), so the corruption persists for later
+     * reads and the background scrubber to find. Drawn from its own
+     * RNG stream, so enabling it never perturbs existing seeds.
+     */
+    double corrupt_sticky_prob = 0.0;
     /** Per-timing-op probability of a stall (drawn from its own RNG). */
     double stall_prob = 0.0;
     /** Extra completion delay a stalled operation suffers. */
@@ -126,8 +134,8 @@ class FaultyBlockDevice : public BlockDevice {
     /**
      * Injection accounting: `injected_faults` (total) plus one counter
      * per class (`read_media_errors`, `write_media_errors`,
-     * `transient_faults`, `silent_corruptions`, `bad_block_hits`,
-     * `stall_faults`).
+     * `transient_faults`, `silent_corruptions`, `sticky_corruptions`,
+     * `bad_block_hits`, `stall_faults`).
      */
     const util::CounterGroup &counters() const { return counters_; }
 
@@ -142,6 +150,14 @@ class FaultyBlockDevice : public BlockDevice {
                        std::uint64_t bytes);
     /** Stall delay (0 when none) for the current timing op. */
     sim::Duration draw_stall();
+    /**
+     * Sticky-corruption draw for functional op @p index over @p bytes:
+     * 0 when no corruption strikes, otherwise 1 + the bit to flip.
+     * Always consumes exactly one sticky-stream probability draw.
+     */
+    std::uint64_t draw_sticky(std::uint64_t index, std::uint64_t bytes);
+    /** Flips stored bit @p bit of the range at @p offset in place. */
+    void damage_stored_bit(std::uint64_t offset, std::uint64_t bit);
     bool overlaps_bad_range(std::uint64_t offset, std::uint64_t bytes) const;
 
     BlockDevice &inner_;
@@ -149,6 +165,8 @@ class FaultyBlockDevice : public BlockDevice {
     util::Rng rng_;
     /** Independent stream so stalls never shift the functional draws. */
     util::Rng stall_rng_;
+    /** Independent stream for sticky corruption (same isolation rule). */
+    util::Rng sticky_rng_;
     util::CounterGroup counters_;
     std::uint64_t op_index_ = 0;
     std::uint64_t timing_op_index_ = 0;

@@ -9,12 +9,33 @@ namespace nesc::virt {
 
 namespace {
 
+/**
+ * Extra bytes the media needs for the checksum sidecar, so the usable
+ * data region keeps the configured capacity.
+ */
+std::uint64_t
+sidecar_bytes(std::uint64_t capacity_bytes, std::uint32_t block_size)
+{
+    return storage::IntegrityMap::sidecar_blocks(
+               capacity_bytes / block_size, block_size) *
+           static_cast<std::uint64_t>(block_size);
+}
+
 std::unique_ptr<storage::BlockDevice>
 make_device(const TestbedConfig &config)
 {
-    if (config.flash)
-        return std::make_unique<storage::FlashBlockDevice>(*config.flash);
-    return std::make_unique<storage::MemBlockDevice>(config.device);
+    if (config.flash) {
+        storage::FlashConfig flash = *config.flash;
+        if (config.integrity)
+            flash.capacity_bytes += sidecar_bytes(flash.capacity_bytes,
+                                                  flash.logical_block_size);
+        return std::make_unique<storage::FlashBlockDevice>(flash);
+    }
+    storage::MemBlockDeviceConfig device = config.device;
+    if (config.integrity)
+        device.capacity_bytes += sidecar_bytes(device.capacity_bytes,
+                                               device.logical_block_size);
+    return std::make_unique<storage::MemBlockDevice>(device);
 }
 
 } // namespace
@@ -76,10 +97,31 @@ Testbed::init()
         controller_.attach_replicas(replicas_.get());
     }
 
+    // 0.5. Optional checksum sidecar: formatted over the (enlarged)
+    //      media tail and attached before any I/O, so even the
+    //      hypervisor FS format traffic is checksummed. The attach
+    //      clamps the PF-visible capacity back to the data region.
+    if (config_.integrity) {
+        const std::uint32_t block_size =
+            device_->geometry().logical_block_size;
+        const std::uint64_t data_blocks =
+            (config_.flash ? config_.flash->capacity_bytes
+                           : config_.device.capacity_bytes) /
+            block_size;
+        NESC_ASSIGN_OR_RETURN(
+            integrity_,
+            storage::IntegrityMap::format(*device_, data_blocks));
+        controller_.attach_integrity(integrity_.get());
+    }
+
     // 1. PF driver: data path + fault service (no FS yet).
     pf_ = std::make_unique<drv::PfDriver>(sim_, host_memory_, bar_, irq_,
                                           config_.pf);
     NESC_RETURN_IF_ERROR(pf_->init());
+    if (config_.integrity && config_.integrity->reread_limit != 1) {
+        NESC_RETURN_IF_ERROR(pf_->set_integrity_reread_limit(
+            config_.integrity->reread_limit));
+    }
 
     // 2. Hypervisor filesystem over the PF data path, through the
     //    hypervisor's own OS block stack (Fig. 1's lower half).

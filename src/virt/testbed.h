@@ -32,6 +32,7 @@
 #include "repl/replica_set.h"
 #include "sim/simulator.h"
 #include "storage/flash_block_device.h"
+#include "storage/integrity_map.h"
 #include "storage/mem_block_device.h"
 #include "virt/cost_model.h"
 #include "virt/guest_vm.h"
@@ -61,6 +62,19 @@ struct TestbedReplicationConfig {
         storage::MemBlockDeviceConfig::vc707_prototype();
 };
 
+/**
+ * Optional end-to-end data integrity: a per-pLBA CRC32C sidecar is
+ * formatted at the media tail and attached to the controller, which
+ * then records checksums on every write and verifies on every read
+ * (mismatches walk the recovery ladder instead of reaching the guest).
+ * The physical media is automatically enlarged by the sidecar size so
+ * the usable data region keeps the configured capacity.
+ */
+struct TestbedIntegrityConfig {
+    /** Bounded re-reads before the ladder escalates (register-settable). */
+    std::uint32_t reread_limit = 1;
+};
+
 /** System-wide configuration. */
 struct TestbedConfig {
     storage::MemBlockDeviceConfig device =
@@ -78,6 +92,13 @@ struct TestbedConfig {
      * Absent by default: the single-device data path is untouched.
      */
     std::optional<TestbedReplicationConfig> replication;
+    /**
+     * When set, checksum everything: the controller verifies every
+     * media read against the sidecar and repairs from replicas when
+     * both are configured. Absent by default (no timing or layout
+     * change to the baseline figures).
+     */
+    std::optional<TestbedIntegrityConfig> integrity;
     ctrl::ControllerConfig controller;
     std::uint64_t host_memory_bytes = 256ULL << 20;
     /** BAR page size used for the SR-IOV emulation (prototype: 4 KiB). */
@@ -128,6 +149,8 @@ class Testbed {
     drv::PfDriver &pf() { return *pf_; }
     /** The replica set when configured; nullptr otherwise. */
     repl::ReplicaSet *replicas() { return replicas_.get(); }
+    /** The checksum sidecar when configured; nullptr otherwise. */
+    storage::IntegrityMap *integrity_map() { return integrity_.get(); }
     /** Backend @p index's raw media (fault injection in tests). */
     storage::BlockDevice &replica_media(std::size_t index)
     {
@@ -199,6 +222,7 @@ class Testbed {
     std::unique_ptr<storage::BlockDevice> device_;
     std::vector<std::unique_ptr<storage::BlockDevice>> repl_media_;
     std::unique_ptr<repl::ReplicaSet> replicas_;
+    std::unique_ptr<storage::IntegrityMap> integrity_;
     pcie::InterruptController irq_;
     ctrl::Controller controller_;
     pcie::BarPageRouter bar_;
