@@ -15,7 +15,8 @@ baseline="$repo/scripts/perf_baseline_pr3.json"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j "$(nproc)" --target \
   abl_btlb abl_walk_overlap abl_walk_coalesce abl_tree_depth \
-  abl_queue_depth abl_batch_shard abl_vf_scale
+  abl_queue_depth abl_batch_shard abl_vf_scale abl_latency_breakdown \
+  abl_slo_observe
 
 # The benches must run to completion; abl_walk_coalesce also writes
 # the metrics file compared below. abl_vf_scale carries its own
@@ -23,8 +24,13 @@ cmake --build "$build" -j "$(nproc)" --target \
 # exits non-zero when one fails.
 run="$build/perf-smoke"
 mkdir -p "$run"
+# abl_latency_breakdown writes BENCH_A5.json (stage latency stack) and
+# abl_slo_observe writes BENCH_A16_SLO.json (telemetry-plane cost and
+# isolation); both land in the perf-smoke dir so the BENCH_*.json
+# artifact upload carries them alongside the translation-path metrics.
 for bench in abl_btlb abl_walk_overlap abl_tree_depth abl_queue_depth \
-             abl_walk_coalesce abl_batch_shard abl_vf_scale; do
+             abl_walk_coalesce abl_batch_shard abl_vf_scale \
+             abl_latency_breakdown abl_slo_observe; do
   echo "--- running $bench ---"
   (cd "$run" && "$build/bench/$bench" > "$bench.out")
 done

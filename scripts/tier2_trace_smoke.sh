@@ -14,6 +14,12 @@
 #  3. Cost — abl_trace_overhead enforces that tracing compiled in but
 #     disabled stays within 1% events/sec and never perturbs the
 #     simulated timeline.
+#  4. Telemetry plane — abl_slo_observe runs its own gates (modeled
+#     plane cost, SLO breach isolation, postmortem capture) and its
+#     exports must be machine-readable: the metrics JSON and
+#     postmortem JSON parse, and the Prometheus exposition is
+#     well-formed (every sample belongs to a declared family, each
+#     family declared exactly once).
 #
 # Usage: scripts/tier2_trace_smoke.sh [build-dir]
 set -euo pipefail
@@ -23,7 +29,8 @@ build="$(realpath -m "${1:-$repo/build-trace}")"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j "$(nproc)" --target \
-  fig09_raw_latency abl_latency_breakdown abl_trace_overhead
+  fig09_raw_latency abl_latency_breakdown abl_trace_overhead \
+  abl_slo_observe
 
 run="$build/trace-smoke"
 mkdir -p "$run"
@@ -40,9 +47,59 @@ echo "--- tracer overhead ---"
 (cd "$run" && "$build/bench/abl_trace_overhead" > overhead.out)
 grep "disabled-tracing overhead within 1%" "$run/overhead.out"
 
+echo "--- telemetry plane (SLO windows, flight recorder, exports) ---"
+(cd "$run" && "$build/bench/abl_slo_observe" > slo_observe.out)
+grep "always-on telemetry within 2%" "$run/slo_observe.out"
+
 # Both exports must be well-formed JSON before any deeper inspection.
 python3 -m json.tool "$run/fig09_trace.json" > /dev/null
 python3 -m json.tool "$run/abl_trace.json" > /dev/null
+
+# Telemetry-plane exports: metrics snapshot, postmortem dump, bench
+# metrics, and the A5 latency-stack export must all parse.
+python3 -m json.tool "$run/BENCH_A16_SLO_metrics.json" > /dev/null
+python3 -m json.tool "$run/BENCH_A16_SLO_postmortem.json" > /dev/null
+python3 -m json.tool "$run/BENCH_A16_SLO.json" > /dev/null
+python3 -m json.tool "$run/BENCH_A5.json" > /dev/null
+
+# The Prometheus exposition must be structurally valid: HELP/TYPE
+# comments, metric lines with optional {labels} and a float value,
+# every sample under a family declared by exactly one TYPE line.
+python3 - "$run/BENCH_A16_SLO_metrics.prom" <<'EOF'
+import re
+import sys
+
+types, samples = {}, 0
+line_re = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? ([0-9.eE+-]+|NaN)$")
+for lineno, line in enumerate(open(sys.argv[1]), 1):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split()
+        assert len(parts) == 4, f"line {lineno}: malformed TYPE"
+        name, kind = parts[2], parts[3]
+        assert kind in ("counter", "gauge", "summary"), \
+            f"line {lineno}: unknown type {kind}"
+        assert name not in types, \
+            f"line {lineno}: duplicate TYPE for {name}"
+        types[name] = kind
+        continue
+    if line.startswith("#"):
+        continue
+    m = line_re.match(line)
+    assert m, f"line {lineno}: malformed sample: {line!r}"
+    name = m.group(1)
+    base = re.sub(r"_(sum|count)$", "", name)
+    assert name in types or base in types, \
+        f"line {lineno}: sample {name} has no TYPE declaration"
+    float(m.group(3))
+    samples += 1
+assert types and samples, "empty exposition"
+print(f"ok    Prometheus exposition: {len(types)} families, "
+      f"{samples} samples, no duplicate TYPE lines")
+EOF
 
 python3 - "$run/fig09_trace.json" "$run/abl_trace.json" \
   "$run/abl_latency.out" <<'EOF'

@@ -510,6 +510,230 @@ PfDriver::scrub_wait(sim::Duration poll_interval, std::uint64_t max_steps)
     return util::unavailable_error("scrub pass did not complete");
 }
 
+util::Status
+PfDriver::set_obs_window(sim::Duration window_ns)
+{
+    return reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kObsWindowNs,
+                     static_cast<std::uint64_t>(window_ns));
+}
+
+util::Status
+PfDriver::set_slo(pcie::FunctionId fn, std::uint64_t max_p99_ns,
+                  std::uint64_t max_error_ppm)
+{
+    if (!vfs_.contains(fn))
+        return util::not_found_error("no such VF");
+    NESC_RETURN_IF_ERROR(
+        reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kMgmtVfId, fn));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloMaxP99Ns, max_p99_ns));
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloMaxErrorPpm,
+                                   max_error_ppm));
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kSetSlo)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error(
+            "device rejected SLO update");
+    return util::Status::ok();
+}
+
+util::Result<SloWindow>
+PfDriver::slo_window(pcie::FunctionId fn, std::uint32_t stage)
+{
+    const std::uint64_t select =
+        (static_cast<std::uint64_t>(stage) << 16) |
+        (static_cast<std::uint64_t>(fn) & 0xffff);
+    NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloSelect, select));
+    SloWindow window;
+    NESC_ASSIGN_OR_RETURN(window.p50,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloP50));
+    if (window.p50 == ~std::uint64_t{0})
+        return util::not_found_error(
+            "SLO selection rejected by device (accounting off?)");
+    NESC_ASSIGN_OR_RETURN(window.p99,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloP99));
+    NESC_ASSIGN_OR_RETURN(window.p999,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloP999));
+    NESC_ASSIGN_OR_RETURN(window.ops,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloWindowOps));
+    NESC_ASSIGN_OR_RETURN(window.errors,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloWindowErrors));
+    NESC_ASSIGN_OR_RETURN(window.window_start,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloWindowStart));
+    return window;
+}
+
+util::Result<std::vector<SloBreachEntry>>
+PfDriver::slo_breaches()
+{
+    NESC_ASSIGN_OR_RETURN(const std::uint64_t count,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kSloBreachCount));
+    std::vector<SloBreachEntry> entries;
+    entries.reserve(count);
+    for (std::uint64_t index = 0; index < count; ++index) {
+        NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kSloBreachSelect,
+                                       index));
+        NESC_ASSIGN_OR_RETURN(const std::uint64_t info,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kSloBreachInfo));
+        if (info == ~std::uint64_t{0})
+            return util::not_found_error(
+                "breach selection rejected by device");
+        SloBreachEntry entry;
+        entry.fn = static_cast<std::uint16_t>(info & 0xffff);
+        entry.metric = static_cast<std::uint8_t>((info >> 16) & 0xff);
+        NESC_ASSIGN_OR_RETURN(entry.observed,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kSloBreachObserved));
+        NESC_ASSIGN_OR_RETURN(entry.threshold,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kSloBreachThreshold));
+        NESC_ASSIGN_OR_RETURN(entry.window_start,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kSloBreachWindow));
+        entries.push_back(entry);
+    }
+    return entries;
+}
+
+util::Status
+PfDriver::clear_slo_breaches()
+{
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kSloBreachClear)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error(
+            "device rejected breach clear");
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::set_flight_recorder(bool enabled, std::uint64_t depth)
+{
+    if (depth != 0)
+        NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kFlightDepth, depth));
+    return reg_write(pcie::kPhysicalFunctionId, ctrl::reg::kFlightCtrl,
+                     enabled ? 1 : 0);
+}
+
+util::Result<std::uint64_t>
+PfDriver::postmortem_count()
+{
+    return reg_read(pcie::kPhysicalFunctionId,
+                    ctrl::reg::kPostmortemCount);
+}
+
+util::Result<std::string>
+PfDriver::dump_postmortem()
+{
+    static constexpr const char *kReasons[] = {
+        "fault", "quarantine", "checksum_error", "replica_demotion"};
+    static constexpr const char *kEventTypes[] = {"doorbell", "fetch",
+                                                  "complete", "fault"};
+    NESC_ASSIGN_OR_RETURN(const std::uint64_t count, postmortem_count());
+    std::string out = "{\"postmortems\": [";
+    char buf[192];
+    for (std::uint64_t pm = 0; pm < count; ++pm) {
+        NESC_RETURN_IF_ERROR(reg_write(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kPostmortemSelect, pm));
+        NESC_ASSIGN_OR_RETURN(const std::uint64_t info,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kPostmortemInfo));
+        if (info == ~std::uint64_t{0})
+            return util::not_found_error(
+                "postmortem selection rejected by device");
+        NESC_ASSIGN_OR_RETURN(const std::uint64_t at,
+                              reg_read(pcie::kPhysicalFunctionId,
+                                       ctrl::reg::kPostmortemTime));
+        const std::uint64_t fn = info & 0xffff;
+        const std::uint64_t reason = (info >> 16) & 0xff;
+        const std::uint64_t detail = (info >> 24) & 0xff;
+        const std::uint64_t events = info >> 32;
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"fn\": %llu, \"reason\": \"%s\", "
+                      "\"at\": %llu, \"detail\": %llu, \"events\": [",
+                      pm == 0 ? "" : ", ",
+                      static_cast<unsigned long long>(fn),
+                      reason < 4 ? kReasons[reason] : "unknown",
+                      static_cast<unsigned long long>(at),
+                      static_cast<unsigned long long>(detail));
+        out += buf;
+        for (std::uint64_t ev = 0; ev < events; ++ev) {
+            NESC_RETURN_IF_ERROR(
+                reg_write(pcie::kPhysicalFunctionId,
+                          ctrl::reg::kPostmortemSelect, pm | (ev << 16)));
+            NESC_ASSIGN_OR_RETURN(const std::uint64_t ev_at,
+                                  reg_read(pcie::kPhysicalFunctionId,
+                                           ctrl::reg::kPostmortemEventTime));
+            NESC_ASSIGN_OR_RETURN(const std::uint64_t tag,
+                                  reg_read(pcie::kPhysicalFunctionId,
+                                           ctrl::reg::kPostmortemEventTag));
+            NESC_ASSIGN_OR_RETURN(const std::uint64_t vlba,
+                                  reg_read(pcie::kPhysicalFunctionId,
+                                           ctrl::reg::kPostmortemEventVlba));
+            NESC_ASSIGN_OR_RETURN(const std::uint64_t meta,
+                                  reg_read(pcie::kPhysicalFunctionId,
+                                           ctrl::reg::kPostmortemEventMeta));
+            const std::uint64_t type = meta & 0xff;
+            std::snprintf(buf, sizeof buf,
+                          "%s{\"type\": \"%s\", \"at\": %llu, "
+                          "\"tag\": %llu, \"vlba\": %llu, \"aux\": %llu}",
+                          ev == 0 ? "" : ", ",
+                          type < 4 ? kEventTypes[type] : "unknown",
+                          static_cast<unsigned long long>(ev_at),
+                          static_cast<unsigned long long>(tag),
+                          static_cast<unsigned long long>(vlba),
+                          static_cast<unsigned long long>(meta >> 8));
+            out += buf;
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+util::Status
+PfDriver::clear_postmortems()
+{
+    NESC_RETURN_IF_ERROR(reg_write(
+        pcie::kPhysicalFunctionId, ctrl::reg::kMgmtCommand,
+        static_cast<std::uint64_t>(ctrl::MgmtCommand::kPostmortemClear)));
+    NESC_ASSIGN_OR_RETURN(std::uint64_t status,
+                          reg_read(pcie::kPhysicalFunctionId,
+                                   ctrl::reg::kMgmtStatus));
+    if (status != static_cast<std::uint64_t>(ctrl::MgmtStatus::kOk))
+        return util::failed_precondition_error(
+            "device rejected postmortem clear");
+    return util::Status::ok();
+}
+
+util::Status
+PfDriver::set_sampler_interval(sim::Duration interval_ns)
+{
+    return reg_write(pcie::kPhysicalFunctionId,
+                     ctrl::reg::kSamplerIntervalNs,
+                     static_cast<std::uint64_t>(interval_ns));
+}
+
 util::Result<std::size_t>
 PfDriver::prune_vf_tree(pcie::FunctionId fn, std::uint64_t first_vblock,
                         std::uint64_t nblocks)

@@ -73,6 +73,32 @@ struct TelemetryEntry {
 };
 
 /**
+ * One function's closed accounting window for one latency stage, read
+ * through the PF-only observability registers (select latch + RO
+ * mirrors). Latencies are nanoseconds.
+ */
+struct SloWindow {
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    /** Ops / errored ops completed in the window (stage-independent). */
+    std::uint64_t ops = 0;
+    std::uint64_t errors = 0;
+    /** Start timestamp of the window. */
+    sim::Time window_start = 0;
+};
+
+/** One entry of the device's SLO breach directory. */
+struct SloBreachEntry {
+    std::uint64_t observed = 0;
+    std::uint64_t threshold = 0;
+    sim::Time window_start = 0;
+    std::uint16_t fn = 0;
+    /** Raw obs::SloMetric (0 latency p99, 1 error rate). */
+    std::uint8_t metric = 0;
+};
+
+/**
  * Health snapshot of one replication backend, read through the PF-only
  * kReplBackend* register window (select latch + RO mirrors).
  */
@@ -264,6 +290,65 @@ class PfDriver {
      */
     util::Result<std::vector<TelemetryEntry>>
     dump_telemetry(pcie::FunctionId fn);
+
+    // --- Always-on telemetry plane (observability register block) ----
+
+    /**
+     * Sets the accounting window length: non-zero starts windowed
+     * per-function latency accounting and SLO evaluation at each
+     * rotation, zero stops it.
+     */
+    util::Status set_obs_window(sim::Duration window_ns);
+
+    /**
+     * Programs @p fn's SLO thresholds (MgmtCommand::kSetSlo): a p99
+     * end-to-end latency ceiling in ns and an error-rate ceiling in
+     * errored ops per million. Zeros unwatch the respective metric.
+     */
+    util::Status set_slo(pcie::FunctionId fn, std::uint64_t max_p99_ns,
+                         std::uint64_t max_error_ppm);
+
+    /**
+     * Reads @p fn's closed window for @p stage (0 end-to-end, 1 queue
+     * wait, 2 translate, 3 transfer). Fails with NOT_FOUND while
+     * windowed accounting is off (the all-ones master-abort read).
+     */
+    util::Result<SloWindow> slo_window(pcie::FunctionId fn,
+                                       std::uint32_t stage = 0);
+
+    /** Reads the whole SLO breach directory (oldest first). */
+    util::Result<std::vector<SloBreachEntry>> slo_breaches();
+
+    /** Clears the breach directory (MgmtCommand::kSloBreachClear). */
+    util::Status clear_slo_breaches();
+
+    /**
+     * Enables/disables the flight recorder. A non-zero @p depth first
+     * programs the per-function ring depth; re-enable resets rings.
+     */
+    util::Status set_flight_recorder(bool enabled,
+                                     std::uint64_t depth = 0);
+
+    /** Postmortems currently retained in the device buffer. */
+    util::Result<std::uint64_t> postmortem_count();
+
+    /**
+     * Dumps every retained postmortem as JSON by walking the PF-only
+     * postmortem directory registers (select latch + RO mirrors):
+     * `{"postmortems": [{"fn": .., "reason": "..", "at": ..,
+     * "detail": .., "events": [{"type": "..", "at": .., "tag": ..,
+     * "vlba": .., "aux": ..}, ...]}, ...]}`.
+     */
+    util::Result<std::string> dump_postmortem();
+
+    /** Clears the postmortem buffer (MgmtCommand::kPostmortemClear). */
+    util::Status clear_postmortems();
+
+    /**
+     * Sets the metrics time-series sampling interval: non-zero starts
+     * the sampler (one immediate baseline sample), zero stops it.
+     */
+    util::Status set_sampler_interval(sim::Duration interval_ns);
 
     /**
      * Prunes the VF's resident tree for [first_vblock, +nblocks)

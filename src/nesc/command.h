@@ -339,6 +339,91 @@ inline constexpr std::uint64_t kScrubErrors = 0x2a8;     // RO (PF)
  */
 inline constexpr std::uint64_t kStatChecksumErrors = 0x2b0; // RO
 
+// Observability block (PF-only): the always-on telemetry plane —
+// windowed per-function latency/IOPS accounting with SLO watch, the
+// flight recorder with postmortem capture, and the time-series
+// sampler. Everything here is off at reset (windows, recorder and
+// sampler all disabled) so the plane costs nothing until the PF
+// turns it on.
+/**
+ * Accounting window length in ns; writing non-zero starts windowed
+ * per-function latency accounting and SLO evaluation at each
+ * rotation, 0 (reset) stops it. Pacing changes do not reset
+ * accumulated windows.
+ */
+inline constexpr std::uint64_t kObsWindowNs = 0x2b8;    // RW (PF)
+/** Staged end-to-end p99 ceiling in ns for kSetSlo; 0 unwatches. */
+inline constexpr std::uint64_t kSloMaxP99Ns = 0x2c0;    // RW (PF)
+/** Staged error-rate ceiling in errored ops per million for kSetSlo. */
+inline constexpr std::uint64_t kSloMaxErrorPpm = 0x2c8; // RW (PF)
+/**
+ * Selector for the window registers below: fn in [15:0], stage in
+ * [19:16] (0 end-to-end, 1 queue wait, 2 translate, 3 transfer).
+ * The registers read the last *closed* window — a stable snapshot
+ * that only changes at rotation. All read all-ones while windowed
+ * accounting is off or when the selection is out of range.
+ */
+inline constexpr std::uint64_t kSloSelect = 0x2d0;       // RW (PF)
+inline constexpr std::uint64_t kSloP50 = 0x2d8;          // RO (PF)
+inline constexpr std::uint64_t kSloP99 = 0x2e0;          // RO (PF)
+inline constexpr std::uint64_t kSloP999 = 0x2e8;         // RO (PF)
+/** Ops completed in the selected fn's closed window (all stages). */
+inline constexpr std::uint64_t kSloWindowOps = 0x2f0;    // RO (PF)
+/** Errored ops in the selected fn's closed window. */
+inline constexpr std::uint64_t kSloWindowErrors = 0x2f8; // RO (PF)
+/** Start timestamp of the selected fn's closed window. */
+inline constexpr std::uint64_t kSloWindowStart = 0x300;  // RO (PF)
+/** Breaches currently retained in the directory (drop-oldest). */
+inline constexpr std::uint64_t kSloBreachCount = 0x308;  // RO (PF)
+/** Breach-directory index selector; out of range reads all-ones. */
+inline constexpr std::uint64_t kSloBreachSelect = 0x310; // RW (PF)
+/** Selected breach: fn in [15:0], metric in [23:16] (0 p99, 1 err). */
+inline constexpr std::uint64_t kSloBreachInfo = 0x318;      // RO (PF)
+inline constexpr std::uint64_t kSloBreachObserved = 0x320;  // RO (PF)
+inline constexpr std::uint64_t kSloBreachThreshold = 0x328; // RO (PF)
+/** Start timestamp of the window the selected breach closed over. */
+inline constexpr std::uint64_t kSloBreachWindow = 0x330;    // RO (PF)
+/** Bit 0 enables the flight recorder (re-enable resets the rings). */
+inline constexpr std::uint64_t kFlightCtrl = 0x338;  // RW (PF)
+/** Per-function ring depth applied at the next enable; 0 keeps it. */
+inline constexpr std::uint64_t kFlightDepth = 0x340; // RW (PF)
+/** Postmortems currently retained (drop-oldest buffer). */
+inline constexpr std::uint64_t kPostmortemCount = 0x348; // RO (PF)
+/**
+ * Selector for the postmortem registers below: postmortem index in
+ * [15:0], event index within it in [31:16]. Out-of-range selections
+ * read all-ones.
+ */
+inline constexpr std::uint64_t kPostmortemSelect = 0x350; // RW (PF)
+/**
+ * Selected postmortem: fn in [15:0], reason in [23:16] (0 fault,
+ * 1 quarantine, 2 checksum error, 3 replica demotion), detail in
+ * [31:24] (reason-specific: fault kind, backend id), event count in
+ * [63:32].
+ */
+inline constexpr std::uint64_t kPostmortemInfo = 0x358;      // RO (PF)
+/** Snapshot timestamp of the selected postmortem. */
+inline constexpr std::uint64_t kPostmortemTime = 0x360;      // RO (PF)
+/** Selected event's timestamp. */
+inline constexpr std::uint64_t kPostmortemEventTime = 0x368; // RO (PF)
+/** Selected event's command tag. */
+inline constexpr std::uint64_t kPostmortemEventTag = 0x370;  // RO (PF)
+/** Selected event's vLBA. */
+inline constexpr std::uint64_t kPostmortemEventVlba = 0x378; // RO (PF)
+/**
+ * Selected event's type in [7:0] (0 doorbell, 1 fetch, 2 complete,
+ * 3 fault) and type-specific aux payload in [39:8] (qid, opcode,
+ * completion status, cause).
+ */
+inline constexpr std::uint64_t kPostmortemEventMeta = 0x380; // RO (PF)
+/**
+ * Metrics-sampling interval in ns; non-zero starts the time-series
+ * sampler (taking one sample immediately), 0 (reset) stops it.
+ */
+inline constexpr std::uint64_t kSamplerIntervalNs = 0x388; // RW (PF)
+/** Samples currently retained in the bounded series. */
+inline constexpr std::uint64_t kSamplerCount = 0x390;      // RO (PF)
+
 /**
  * Per-queue doorbell aperture: queue pair q's doorbell is the 8-byte
  * register at kQpDoorbell0 + 8*q. Pair 0's doorbell is also aliased
@@ -461,6 +546,17 @@ enum class MgmtCommand : std::uint32_t {
     kScrubStart = 14,
     /** Aborts the running scrub pass (progress registers keep state). */
     kScrubAbort = 15,
+    /**
+     * Applies the staged SLO thresholds (reg::kSloMaxP99Ns +
+     * kSloMaxErrorPpm) to the VF in kMgmtVfId. Evaluated against
+     * each closed accounting window while kObsWindowNs is non-zero;
+     * zero thresholds unwatch the corresponding metric.
+     */
+    kSetSlo = 16,
+    /** Clears the retained postmortem buffer. */
+    kPostmortemClear = 17,
+    /** Clears the SLO breach directory. */
+    kSloBreachClear = 18,
 };
 
 /** kMgmtStatus values. */

@@ -1,8 +1,13 @@
 #include "controller.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <unistd.h>
 
 #include "extent/layout.h"
 #include "nesc/telemetry.h"
@@ -93,15 +98,52 @@ Controller::Controller(sim::Simulator &simulator,
     dma_.set_violation_hook(
         [this](pcie::FunctionId fn, pcie::HostAddr addr,
                std::uint64_t size) { note_dma_violation(fn, addr, size); });
+    slo_.set_breach_hook(
+        [this](const obs::SloBreach &breach) { on_slo_breach(breach); });
+}
+
+Controller::~Controller()
+{
+    // Postmortem hook for CI: when NESC_OBS_DUMP_DIR is set, leave an
+    // observability dump behind so a failing run's metrics and flight
+    // postmortems survive as artifacts. File names carry the pid and a
+    // process-wide sequence so parallel tests never collide.
+    const char *dir = std::getenv("NESC_OBS_DUMP_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return;
+    static std::atomic<std::uint64_t> seq{0};
+    const std::uint64_t n = seq.fetch_add(1, std::memory_order_relaxed);
+    char path[512];
+    std::snprintf(path, sizeof(path), "%s/nesc_obs_%ld_%llu.json", dir,
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(n));
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr)
+        return;
+    const std::string metrics = metrics_.to_json();
+    const std::string postmortems = flight_.postmortem_json();
+    std::fprintf(f, "{\n\"metrics\": %s,\n\"postmortems\": %s\n}\n",
+                 metrics.c_str(), postmortems.c_str());
+    std::fclose(f);
 }
 
 void
 Controller::attach_replicas(repl::ReplicaSet *replicas)
 {
+    if (replicas_ != nullptr && replicas_ != replicas)
+        replicas_->set_demotion_hook(nullptr);
     replicas_ = replicas;
     repl_backend_select_ = 0;
-    if (replicas_ != nullptr)
+    if (replicas_ != nullptr) {
         metrics_.bump("repl_attached");
+        // A demoted backend is fleet-affecting: freeze the PF's recent
+        // lifecycle history for postmortem analysis.
+        replicas_->set_demotion_hook([this](std::size_t backend) {
+            flight_.snapshot(pcie::kPhysicalFunctionId,
+                             obs::PostmortemReason::kReplicaDemotion,
+                             simulator_.now(), backend);
+        });
+    }
 }
 
 void
@@ -141,6 +183,12 @@ Controller::note_checksum_mismatch(pcie::FunctionId fn, const BlockOp &op)
     metrics_.bump("checksum_mismatches");
     tracer_.instant(obs::Stage::kChecksum, fn, simulator_.now(), op.tag,
                     op.vlba);
+    flight_.record(fn, obs::FlightEventType::kFault, simulator_.now(),
+                   static_cast<std::uint32_t>(op.tag), op.vlba,
+                   static_cast<std::uint32_t>(
+                       obs::PostmortemReason::kChecksumError));
+    flight_.snapshot(fn, obs::PostmortemReason::kChecksumError,
+                     simulator_.now());
 }
 
 bool
@@ -356,6 +404,8 @@ Controller::doorbell_write(pcie::FunctionId fn, std::uint32_t qid)
         return util::Status::ok();
     }
     ++q->stats.doorbells;
+    flight_.record(fn, obs::FlightEventType::kDoorbell, simulator_.now(),
+                   0, 0, qid);
     if (q->fetch_in_progress) {
         // Remember that more work arrived while a fetch was busy.
         q->doorbell_rearm = true;
@@ -683,6 +733,148 @@ Controller::mmio_read(pcie::FunctionId fn, std::uint64_t offset,
             return scrub_errors_;
         }
       }
+      // Observability block: PF-only. Window registers read all-ones
+      // while windowed accounting is off (feature-detect idiom); the
+      // breach/postmortem directories stay readable so forensics
+      // survive turning the plane back off.
+      case reg::kObsWindowNs:
+      case reg::kSloMaxP99Ns:
+      case reg::kSloMaxErrorPpm:
+      case reg::kSloSelect:
+      case reg::kSloBreachCount:
+      case reg::kSloBreachSelect:
+      case reg::kFlightCtrl:
+      case reg::kFlightDepth:
+      case reg::kPostmortemCount:
+      case reg::kPostmortemSelect:
+      case reg::kSamplerIntervalNs:
+      case reg::kSamplerCount: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "observability regs are PF-only");
+        switch (offset) {
+          case reg::kObsWindowNs:
+            return static_cast<std::uint64_t>(obs_window_ns_);
+          case reg::kSloMaxP99Ns:
+            return slo_max_p99_ns_;
+          case reg::kSloMaxErrorPpm:
+            return slo_max_error_ppm_;
+          case reg::kSloSelect:
+            return slo_select_;
+          case reg::kSloBreachCount:
+            return slo_.breaches().size();
+          case reg::kSloBreachSelect:
+            return slo_breach_select_;
+          case reg::kFlightCtrl:
+            return flight_.enabled() ? std::uint64_t{1} : std::uint64_t{0};
+          case reg::kFlightDepth:
+            return flight_depth_;
+          case reg::kPostmortemCount:
+            return flight_.postmortems().size();
+          case reg::kPostmortemSelect:
+            return postmortem_select_;
+          case reg::kSamplerIntervalNs:
+            return static_cast<std::uint64_t>(sampler_interval_);
+          default:
+            return sampler_.size();
+        }
+      }
+      case reg::kSloP50:
+      case reg::kSloP99:
+      case reg::kSloP999:
+      case reg::kSloWindowOps:
+      case reg::kSloWindowErrors:
+      case reg::kSloWindowStart: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "observability regs are PF-only");
+        const std::uint32_t sel_fn = slo_select_ & 0xffff;
+        const std::uint32_t stage = (slo_select_ >> 16) & 0xf;
+        // The closed window is only meaningful while accounting runs.
+        const obs::LogHistogram *window =
+            obs_window_ns_ == 0
+                ? nullptr
+                : slo_.window(static_cast<std::uint16_t>(sel_fn), stage);
+        if (window == nullptr || sel_fn >= contexts_.size())
+            return ~std::uint64_t{0};
+        switch (offset) {
+          case reg::kSloP50:
+            return static_cast<std::uint64_t>(
+                std::llround(window->percentile(50.0)));
+          case reg::kSloP99:
+            return static_cast<std::uint64_t>(
+                std::llround(window->percentile(99.0)));
+          case reg::kSloP999:
+            return static_cast<std::uint64_t>(
+                std::llround(window->percentile(99.9)));
+          case reg::kSloWindowOps:
+            return slo_.window_ops(static_cast<std::uint16_t>(sel_fn));
+          case reg::kSloWindowErrors:
+            return slo_.window_errors(static_cast<std::uint16_t>(sel_fn));
+          default:
+            return slo_.window_start(static_cast<std::uint16_t>(sel_fn));
+        }
+      }
+      case reg::kSloBreachInfo:
+      case reg::kSloBreachObserved:
+      case reg::kSloBreachThreshold:
+      case reg::kSloBreachWindow: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "observability regs are PF-only");
+        const auto &breaches = slo_.breaches();
+        if (slo_breach_select_ >= breaches.size())
+            return ~std::uint64_t{0};
+        const obs::SloBreach &b = breaches[slo_breach_select_];
+        switch (offset) {
+          case reg::kSloBreachInfo:
+            return static_cast<std::uint64_t>(b.fn) |
+                   (static_cast<std::uint64_t>(b.metric) << 16);
+          case reg::kSloBreachObserved:
+            return b.observed;
+          case reg::kSloBreachThreshold:
+            return b.threshold;
+          default:
+            return b.window_start;
+        }
+      }
+      case reg::kPostmortemInfo:
+      case reg::kPostmortemTime:
+      case reg::kPostmortemEventTime:
+      case reg::kPostmortemEventTag:
+      case reg::kPostmortemEventVlba:
+      case reg::kPostmortemEventMeta: {
+        if (fn != pcie::kPhysicalFunctionId)
+            return util::permission_denied_error(
+                "observability regs are PF-only");
+        const auto &postmortems = flight_.postmortems();
+        const std::uint32_t pm_index = postmortem_select_ & 0xffff;
+        const std::uint32_t ev_index = postmortem_select_ >> 16;
+        if (pm_index >= postmortems.size())
+            return ~std::uint64_t{0};
+        const obs::Postmortem &pm = postmortems[pm_index];
+        if (offset == reg::kPostmortemInfo)
+            return static_cast<std::uint64_t>(pm.fn) |
+                   (static_cast<std::uint64_t>(pm.reason) << 16) |
+                   ((pm.detail & 0xff) << 24) |
+                   (static_cast<std::uint64_t>(pm.events.size()) << 32);
+        if (offset == reg::kPostmortemTime)
+            return pm.at;
+        if (ev_index >= pm.events.size())
+            return ~std::uint64_t{0};
+        const obs::FlightEvent &e = pm.events[ev_index];
+        switch (offset) {
+          case reg::kPostmortemEventTime:
+            return e.at;
+          case reg::kPostmortemEventTag:
+            return e.tag;
+          case reg::kPostmortemEventVlba:
+            return e.vlba;
+          default:
+            return static_cast<std::uint64_t>(e.type) |
+                   (static_cast<std::uint64_t>(e.aux) << 8);
+        }
+      }
       default:
         return util::invalid_argument_error("unknown register read at " +
                                             std::to_string(offset));
@@ -908,6 +1100,61 @@ Controller::mmio_write(pcie::FunctionId fn, std::uint64_t offset,
         if (integrity_ != nullptr)
             scrub_interval_ = static_cast<sim::Duration>(value);
         return util::Status::ok();
+      // Observability knobs (PF-only, policed by pf_only_write).
+      case reg::kObsWindowNs: {
+        obs_window_ns_ = static_cast<sim::Duration>(value);
+        const std::uint64_t epoch = ++obs_window_epoch_;
+        if (obs_window_ns_ != 0) {
+            // Accounting survives pacing changes; only a fresh enable
+            // starts both windows empty at the current time.
+            if (!slo_.enabled())
+                slo_.enable(num_functions(), simulator_.now());
+            // Weak: an always-on rotation timer must never keep an
+            // otherwise-drained simulation spinning.
+            simulator_.schedule_weak_in(
+                std::max<sim::Duration>(1, obs_window_ns_),
+                [this, epoch]() { obs_window_tick(epoch); });
+        }
+        return util::Status::ok();
+      }
+      case reg::kSloMaxP99Ns:
+        slo_max_p99_ns_ = value;
+        return util::Status::ok();
+      case reg::kSloMaxErrorPpm:
+        slo_max_error_ppm_ = value;
+        return util::Status::ok();
+      case reg::kSloSelect:
+        slo_select_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kSloBreachSelect:
+        slo_breach_select_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kFlightCtrl:
+        if ((value & 1) != 0)
+            flight_.enable(num_functions(),
+                           static_cast<std::size_t>(flight_depth_));
+        else
+            flight_.disable();
+        return util::Status::ok();
+      case reg::kFlightDepth:
+        if (value != 0)
+            flight_depth_ = value;
+        return util::Status::ok();
+      case reg::kPostmortemSelect:
+        postmortem_select_ = static_cast<std::uint32_t>(value);
+        return util::Status::ok();
+      case reg::kSamplerIntervalNs: {
+        sampler_interval_ = static_cast<sim::Duration>(value);
+        const std::uint64_t epoch = ++sampler_epoch_;
+        if (sampler_interval_ != 0) {
+            // Baseline sample at arm time, then one per interval.
+            sampler_.sample(simulator_.now());
+            simulator_.schedule_weak_in(
+                std::max<sim::Duration>(1, sampler_interval_),
+                [this, epoch]() { sampler_tick(epoch); });
+        }
+        return util::Status::ok();
+      }
       default:
         return util::invalid_argument_error("unknown register write at " +
                                             std::to_string(offset));
@@ -946,6 +1193,15 @@ Controller::pf_only_write(std::uint64_t offset)
       case reg::kIntegrityRereadLimit:
       case reg::kScrubBatch:
       case reg::kScrubIntervalNs:
+      case reg::kObsWindowNs:
+      case reg::kSloMaxP99Ns:
+      case reg::kSloMaxErrorPpm:
+      case reg::kSloSelect:
+      case reg::kSloBreachSelect:
+      case reg::kFlightCtrl:
+      case reg::kFlightDepth:
+      case reg::kPostmortemSelect:
+      case reg::kSamplerIntervalNs:
         return true;
       default:
         return false;
@@ -1140,6 +1396,26 @@ Controller::mgmt_execute(MgmtCommand command)
         return scrub_start();
       case MgmtCommand::kScrubAbort:
         return scrub_abort();
+      case MgmtCommand::kSetSlo: {
+        if (mgmt_vf_id_ == 0 || mgmt_vf_id_ > config_.max_vfs)
+            return err;
+        const auto fn = static_cast<pcie::FunctionId>(mgmt_vf_id_);
+        if (!ctx(fn).active)
+            return err;
+        // Thresholds are free to be staged before accounting starts;
+        // they only bite at window rotation while kObsWindowNs != 0.
+        if (!slo_.enabled())
+            slo_.enable(num_functions(), simulator_.now());
+        slo_.set_limits(fn, {slo_max_p99_ns_, slo_max_error_ppm_});
+        metrics_.bump("slo_updates");
+        return ok;
+      }
+      case MgmtCommand::kPostmortemClear:
+        flight_.clear_postmortems();
+        return ok;
+      case MgmtCommand::kSloBreachClear:
+        slo_.clear_breaches();
+        return ok;
     }
     return err;
 }
@@ -1201,6 +1477,52 @@ Controller::scrub_tick(std::uint64_t epoch)
     // from starving foreground I/O of media bandwidth.
     simulator_.schedule_in(std::max<sim::Duration>(1, scrub_interval_),
                            [this, epoch]() { scrub_tick(epoch); });
+}
+
+// --------------------------------------------------------------------
+// Always-on telemetry plane timers and breach handling
+// --------------------------------------------------------------------
+
+void
+Controller::obs_window_tick(std::uint64_t epoch)
+{
+    // A reprogrammed window length (or a disable) bumps the epoch, so
+    // the stale tick dies here instead of rotating at the old pace.
+    if (epoch != obs_window_epoch_ || obs_window_ns_ == 0)
+        return;
+    slo_.rotate(simulator_.now());
+    simulator_.schedule_weak_in(std::max<sim::Duration>(1, obs_window_ns_),
+                                [this, epoch]() { obs_window_tick(epoch); });
+}
+
+void
+Controller::sampler_tick(std::uint64_t epoch)
+{
+    if (epoch != sampler_epoch_ || sampler_interval_ == 0)
+        return;
+    sampler_.sample(simulator_.now());
+    simulator_.schedule_weak_in(
+        std::max<sim::Duration>(1, sampler_interval_),
+        [this, epoch]() { sampler_tick(epoch); });
+}
+
+void
+Controller::on_slo_breach(const obs::SloBreach &breach)
+{
+    ++ctx(breach.fn).stats.slo_breaches;
+    metrics_.bump("slo_breaches");
+    // Rate limiting is structural: SloWatch evaluates only at window
+    // rotation, so a function raises at most one event per metric per
+    // window no matter how many ops violated the threshold inside it.
+    tracer_.instant(obs::Stage::kSloBreach, breach.fn, simulator_.now(),
+                    static_cast<std::uint64_t>(breach.metric),
+                    breach.observed);
+    NESC_LOG_WARN(
+        "fn %u: SLO breach: %s observed %llu threshold %llu (window @%llu)",
+        breach.fn, obs::slo_metric_name(breach.metric),
+        static_cast<unsigned long long>(breach.observed),
+        static_cast<unsigned long long>(breach.threshold),
+        static_cast<unsigned long long>(breach.window_start));
 }
 
 void
@@ -1367,6 +1689,9 @@ Controller::fetch_commands(pcie::FunctionId fn, std::uint32_t qid)
         ++q->stats.commands;
         tracer_.instant(obs::Stage::kCmdFetch, fn, simulator_.now(),
                         rec.tag, rec.nblocks);
+        flight_.record(fn, obs::FlightEventType::kFetch, simulator_.now(),
+                       static_cast<std::uint32_t>(rec.tag), rec.vlba,
+                       rec.opcode);
 
         const auto q16 = static_cast<std::uint16_t>(qid);
         if (util::Status valid = validate_command(c, rec);
@@ -1375,6 +1700,13 @@ Controller::fetch_commands(pcie::FunctionId fn, std::uint32_t qid)
             metrics_.bump("malformed_commands");
             tracer_.instant(obs::Stage::kValidateFail, fn,
                             simulator_.now(), rec.tag);
+            // Name the rejected descriptor in the flight ring so a
+            // postmortem identifies the faulting command by tag.
+            flight_.record(fn, obs::FlightEventType::kFault,
+                           simulator_.now(),
+                           static_cast<std::uint32_t>(rec.tag), rec.vlba,
+                           static_cast<std::uint32_t>(
+                               CompletionStatus::kMalformed));
             BlockOp reject{fn, static_cast<Opcode>(rec.opcode), 0, 0,
                            rec.tag, q16};
             reject.cmd = open_command(c, rec.tag, 1, 0, q16);
@@ -1413,6 +1745,11 @@ Controller::fetch_commands(pcie::FunctionId fn, std::uint32_t qid)
                  .is_ok()) {
             ++c.stats.dma_violations;
             metrics_.bump("dma_violations");
+            flight_.record(fn, obs::FlightEventType::kFault,
+                           simulator_.now(),
+                           static_cast<std::uint32_t>(rec.tag), rec.vlba,
+                           static_cast<std::uint32_t>(
+                               CompletionStatus::kDmaFault));
             BlockOp faulted{fn, opcode, 0, 0, rec.tag, q16};
             faulted.cmd = open_command(c, rec.tag, 1, 0, q16);
             complete_block(faulted, CompletionStatus::kDmaFault);
@@ -1558,6 +1895,10 @@ Controller::quarantine(pcie::FunctionId fn, QuarantineCause cause)
     metrics_.bump("quarantines");
     tracer_.instant(obs::Stage::kQuarantine, fn, simulator_.now(), 0,
                     static_cast<std::uint64_t>(cause));
+    // Freeze the recent lifecycle history before the purge below
+    // destroys the in-flight evidence of what went wrong.
+    flight_.snapshot(fn, obs::PostmortemReason::kQuarantine,
+                     simulator_.now(), static_cast<std::uint64_t>(cause));
     // Tear down everything in flight, scoped exactly to this fn.
     purge_shared_queues(fn, std::nullopt);
     for (const QpRef &qref : c.qps) {
@@ -2260,6 +2601,11 @@ Controller::finish_fault(const BlockOp &op, FaultKind kind)
     }
     tracer_.instant(obs::Stage::kFault, op.fn, simulator_.now(), op.tag,
                     static_cast<std::uint64_t>(kind));
+    flight_.record(op.fn, obs::FlightEventType::kFault, simulator_.now(),
+                   static_cast<std::uint32_t>(op.tag), op.vlba,
+                   static_cast<std::uint32_t>(kind));
+    flight_.snapshot(op.fn, obs::PostmortemReason::kFault,
+                     simulator_.now(), static_cast<std::uint64_t>(kind));
     update_arb_eligibility(op.fn); // a faulted fn leaves arbitration
     irq_.raise(kFaultVector);
 }
@@ -2682,12 +3028,22 @@ Controller::complete_block(const BlockOp &op, CompletionStatus status)
     // operations contribute (faulted/error ops skip stages). The trace
     // spans are cut from the same timestamps feeding the histograms,
     // so trace-derived stage totals reproduce this accounting exactly.
+    bool slo_counted = false;
     if (status == CompletionStatus::kOk && op.t_queued &&
         op.t_arbitrated && op.t_translated) {
         const sim::Time now = simulator_.now();
         stage_queue_.observe(op.t_arbitrated - op.t_queued);
         stage_translate_.observe(op.t_translated - op.t_arbitrated);
         stage_transfer_.observe(now - op.t_translated);
+        if (obs_window_ns_ != 0) {
+            // observe_ok also counts the op, so the common OK path pays
+            // one SLO call per completion, not two.
+            slo_.observe_ok(op.fn, now - op.t_queued,
+                            op.t_arbitrated - op.t_queued,
+                            op.t_translated - op.t_arbitrated,
+                            now - op.t_translated);
+            slo_counted = true;
+        }
         if (tracer_.enabled()) {
             tracer_.span(obs::Stage::kQueueWait, op.fn, op.t_queued,
                          op.t_arbitrated, op.tag, op.vlba);
@@ -2697,6 +3053,8 @@ Controller::complete_block(const BlockOp &op, CompletionStatus status)
                          now, op.tag, op.vlba);
         }
     }
+    if (obs_window_ns_ != 0 && !slo_counted)
+        slo_.note_op(op.fn, status != CompletionStatus::kOk);
     PendingCommand *cmd = cmd_arena_.get(op.cmd);
     if (cmd == nullptr)
         return; // command was torn down (abort/quarantine/VF delete)
@@ -2825,6 +3183,9 @@ Controller::post_completion_record(pcie::FunctionId fn,
     metrics_.add(h_completions_);
     tracer_.instant(obs::Stage::kComplete, fn, simulator_.now(), tag,
                     static_cast<std::uint64_t>(status));
+    flight_.record(fn, obs::FlightEventType::kComplete, simulator_.now(),
+                   static_cast<std::uint32_t>(tag), 0,
+                   static_cast<std::uint32_t>(status));
     return true;
 }
 

@@ -37,7 +37,10 @@
 #include "nesc/command.h"
 #include "nesc/node_cache.h"
 #include "nesc/queue_pair.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "pcie/dma_engine.h"
 #include "pcie/host_memory.h"
@@ -180,6 +183,8 @@ struct FunctionStats {
     std::uint64_t dead_doorbells = 0;
     /** Checksum mismatches detected on this function's reads. */
     std::uint64_t checksum_errors = 0;
+    /** SLO threshold violations raised over closed windows. */
+    std::uint64_t slo_breaches = 0;
 };
 
 /** The NeSC controller device model. */
@@ -192,6 +197,16 @@ class Controller : public pcie::FunctionMmioDevice {
                storage::BlockDevice &device,
                pcie::InterruptController &irq,
                const ControllerConfig &config = {});
+
+    /**
+     * When the NESC_OBS_DUMP_DIR environment variable names a
+     * directory, teardown writes an observability dump there (metrics
+     * registry JSON plus the retained flight-recorder postmortems).
+     * CI re-runs failing tests with the variable set and uploads the
+     * dumps as workflow artifacts; unset (the default), teardown does
+     * no I/O.
+     */
+    ~Controller() override;
 
     // --- PCIe register interface (FunctionMmioDevice) ----------------
 
@@ -267,6 +282,22 @@ class Controller : public pcie::FunctionMmioDevice {
     void enable_tracing(
         std::size_t capacity = obs::Tracer::kDefaultCapacity);
     void disable_tracing();
+
+    /**
+     * Always-on telemetry plane (DESIGN.md §8): windowed per-function
+     * latency accounting + SLO watch, flight recorder with postmortem
+     * capture, and the metrics time-series sampler. All off at reset;
+     * the PF arms them through the observability register block
+     * (reg::kObsWindowNs / kFlightCtrl / kSamplerIntervalNs).
+     */
+    /// @{
+    const obs::SloWatch &slo_watch() const { return slo_; }
+    obs::FlightRecorder &flight_recorder() { return flight_; }
+    const obs::FlightRecorder &flight_recorder() const { return flight_; }
+    const obs::TimeSeriesSampler &sampler() const { return sampler_; }
+    /** Accounting window length; 0 while windowed accounting is off. */
+    sim::Duration obs_window_ns() const { return obs_window_ns_; }
+    /// @}
 
     /** Number of functions (PF + max_vfs). */
     pcie::FunctionId num_functions() const
@@ -560,6 +591,12 @@ class Controller : public pcie::FunctionMmioDevice {
     std::uint32_t scrub_start();
     std::uint32_t scrub_abort();
     void scrub_tick(std::uint64_t epoch);
+    /** Rotates the accounting windows; stale epochs are no-ops. */
+    void obs_window_tick(std::uint64_t epoch);
+    /** Takes one metrics sample; stale epochs are no-ops. */
+    void sampler_tick(std::uint64_t epoch);
+    /** SloWatch breach hook: stats + metrics + trace + log. */
+    void on_slo_breach(const obs::SloBreach &breach);
     /** Verifies (and repairs, when possible) one pLBA; see scrub_tick. */
     void scrub_block(std::uint64_t plba);
     void complete_block(const BlockOp &op, CompletionStatus status);
@@ -739,6 +776,31 @@ class Controller : public pcie::FunctionMmioDevice {
     obs::LogHistogram stage_transfer_;
     /** reg::kTelemetrySelect latch: fn in [15:0], index in [31:16]. */
     std::uint32_t telemetry_select_ = 0;
+
+    // Always-on telemetry plane (all disabled at reset).
+    obs::SloWatch slo_;
+    obs::FlightRecorder flight_;
+    obs::TimeSeriesSampler sampler_{metrics_};
+    /** reg::kObsWindowNs: window length; 0 = accounting off. */
+    sim::Duration obs_window_ns_ = 0;
+    /** Invalidates in-flight window-rotation timer events. */
+    std::uint64_t obs_window_epoch_ = 0;
+    /** reg::kSamplerIntervalNs: sampling period; 0 = sampler off. */
+    sim::Duration sampler_interval_ = 0;
+    /** Invalidates in-flight sampler timer events. */
+    std::uint64_t sampler_epoch_ = 0;
+    /** Staged reg::kSloMaxP99Ns for MgmtCommand::kSetSlo. */
+    std::uint64_t slo_max_p99_ns_ = 0;
+    /** Staged reg::kSloMaxErrorPpm for MgmtCommand::kSetSlo. */
+    std::uint64_t slo_max_error_ppm_ = 0;
+    /** reg::kSloSelect latch: fn in [15:0], stage in [19:16]. */
+    std::uint32_t slo_select_ = 0;
+    /** reg::kSloBreachSelect latch. */
+    std::uint32_t slo_breach_select_ = 0;
+    /** reg::kFlightDepth latch; applied at the next enable. */
+    std::uint64_t flight_depth_ = obs::FlightRecorder::kDefaultDepth;
+    /** reg::kPostmortemSelect latch: pm in [15:0], event in [31:16]. */
+    std::uint32_t postmortem_select_ = 0;
 };
 
 } // namespace nesc::ctrl

@@ -27,7 +27,7 @@ struct TelemetryCounterDesc {
 };
 
 /** The directory: index in this array == hardware counter index. */
-inline constexpr std::array<TelemetryCounterDesc, 17> kTelemetryCounters{{
+inline constexpr std::array<TelemetryCounterDesc, 18> kTelemetryCounters{{
     {"commands", &FunctionStats::commands},
     {"blocks_read", &FunctionStats::blocks_read},
     {"blocks_written", &FunctionStats::blocks_written},
@@ -45,6 +45,7 @@ inline constexpr std::array<TelemetryCounterDesc, 17> kTelemetryCounters{{
     {"doorbells_ignored", &FunctionStats::doorbells_ignored},
     {"dead_doorbells", &FunctionStats::dead_doorbells},
     {"checksum_errors", &FunctionStats::checksum_errors},
+    {"slo_breaches", &FunctionStats::slo_breaches},
 }};
 
 /**

@@ -10,7 +10,9 @@ LogHistogram::percentile(double p) const
 {
     if (count_ == 0)
         return 0.0;
-    if (p <= 0.0)
+    // Written as !(p > 0) so NaN also resolves to the minimum instead
+    // of falling through to the bucket scan with a NaN rank.
+    if (!(p > 0.0))
         return static_cast<double>(min());
     if (p >= 100.0)
         return static_cast<double>(max_);
@@ -88,6 +90,28 @@ append_json_string(std::string &out, const std::string &s)
         }
     }
     out += '"';
+}
+
+/** Prometheus metric name: "nesc_" + name with [^a-zA-Z0-9_] -> '_'. */
+std::string
+prometheus_name(const std::string &name)
+{
+    std::string out = "nesc_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** `{fn="N"}` label set for scoped metrics, empty for global ones. */
+std::string
+prometheus_labels(std::uint16_t scope)
+{
+    if (scope == kGlobalScope)
+        return "";
+    return "{fn=\"" + std::to_string(scope) + "\"}";
 }
 
 } // namespace
@@ -190,6 +214,79 @@ MetricsRegistry::to_json() const
     }
     out += "\n  }\n}\n";
     return out;
+}
+
+std::string
+MetricsRegistry::to_prometheus() const
+{
+    // The index maps are ordered by (name, scope), so every sample of
+    // a family is adjacent and each family gets exactly one TYPE line.
+    std::string out;
+    std::string family;
+    for (const auto &[key, handle] : counter_index_) {
+        const std::string name = prometheus_name(key.first);
+        if (name != family) {
+            family = name;
+            out += "# TYPE " + name + " counter\n";
+        }
+        out += name + prometheus_labels(key.second) + " " +
+               std::to_string(counter_values_[handle]) + "\n";
+    }
+    family.clear();
+    for (const auto &[key, handle] : gauge_index_) {
+        const std::string name = prometheus_name(key.first);
+        if (name != family) {
+            family = name;
+            out += "# TYPE " + name + " gauge\n";
+        }
+        out += name + prometheus_labels(key.second) + " " +
+               std::to_string(gauge_values_[handle]) + "\n";
+    }
+    family.clear();
+    for (const auto &[key, handle] : histogram_index_) {
+        const LogHistogram &h = histogram_values_[handle];
+        const std::string name = prometheus_name(key.first);
+        if (name != family) {
+            family = name;
+            out += "# TYPE " + name + " summary\n";
+        }
+        const std::string labels = prometheus_labels(key.second);
+        // Quantile samples carry the quantile label next to any fn
+        // label: nesc_x{fn="3",quantile="0.5"}.
+        const std::string open =
+            labels.empty() ? "{" : labels.substr(0, labels.size() - 1) + ",";
+        static constexpr struct {
+            const char *label;
+            double p;
+        } kQuantiles[] = {
+            {"0.5", 50.0}, {"0.99", 99.0}, {"0.999", 99.9}};
+        char buf[64];
+        for (const auto &q : kQuantiles) {
+            std::snprintf(buf, sizeof buf, " %.6g\n", h.percentile(q.p));
+            out += name + open + "quantile=\"" + q.label + "\"}" + buf;
+        }
+        out += name + "_sum" + labels + " " + std::to_string(h.sum()) +
+               "\n";
+        out += name + "_count" + labels + " " +
+               std::to_string(h.count()) + "\n";
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::counter_key(Handle h) const
+{
+    if (h >= counter_meta_.size())
+        return "";
+    return scoped_name(counter_meta_[h].name, counter_meta_[h].scope);
+}
+
+std::string
+MetricsRegistry::gauge_key(Handle h) const
+{
+    if (h >= gauge_meta_.size())
+        return "";
+    return scoped_name(gauge_meta_[h].name, gauge_meta_[h].scope);
 }
 
 void

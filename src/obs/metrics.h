@@ -54,6 +54,47 @@ class LogHistogram {
             max_ = value;
     }
 
+    /**
+     * Folds @p n samples in one pass. Equivalent to calling observe()
+     * per element, but keeps count/sum/min/max in registers across
+     * the batch — the form the SLO staging buffer drains in.
+     */
+    void
+    observe_batch(const std::uint64_t *values, std::size_t n)
+    {
+        observe_strided(values, 1, n);
+    }
+
+    /**
+     * observe_batch over @p n samples spaced @p stride u64s apart,
+     * starting at @p base. Lets an array-of-structs staging buffer
+     * drain one field per histogram without gathering into a
+     * temporary first.
+     */
+    void
+    observe_strided(const std::uint64_t *base, std::size_t stride,
+                    std::size_t n)
+    {
+        if (n == 0)
+            return;
+        std::uint64_t sum = 0;
+        std::uint64_t mn = base[0];
+        std::uint64_t mx = base[0];
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t v = base[i * stride];
+            ++buckets_[std::bit_width(v)];
+            sum += v;
+            mn = v < mn ? v : mn;
+            mx = v > mx ? v : mx;
+        }
+        if (count_ == 0 || mn < min_)
+            min_ = mn;
+        if (mx > max_)
+            max_ = mx;
+        count_ += n;
+        sum_ += sum;
+    }
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ ? min_ : 0; }
@@ -67,8 +108,14 @@ class LogHistogram {
     }
 
     /**
-     * Approximate percentile, @p p in [0, 100]: geometric midpoint of
-     * the bucket containing the p-th sample, clamped to [min, max].
+     * Approximate percentile, @p p in [0, 100]. The rank p/100*count
+     * is located in the log-bucket histogram and interpolated as the
+     * geometric midpoint sqrt(lo*hi) of the resolving bucket's
+     * boundaries [2^(b-1), 2^b), clamped to the exact [min, max].
+     *
+     * Pinned edge cases: an empty histogram returns 0.0 for every p;
+     * p <= 0 (and NaN) returns min(); p >= 100 returns max(); a
+     * single-sample histogram returns that sample for every p.
      */
     double percentile(double p) const;
 
@@ -150,6 +197,20 @@ class MetricsRegistry {
      * Scoped metric keys are prefixed "fnN/".
      */
     std::string to_json() const;
+
+    /**
+     * Prometheus text exposition (version 0.0.4). Metric names are
+     * prefixed "nesc_" and sanitized to [a-zA-Z0-9_]; one `# TYPE`
+     * line per family. Scoped metrics become labelled samples of the
+     * shared family (`nesc_faults{fn="3"} 7`). Histograms export as
+     * summaries: p50/p99/p999 quantile samples plus _sum and _count.
+     */
+    std::string to_prometheus() const;
+
+    /** Display name of counter handle @p h ("name" or "fnN/name"). */
+    std::string counter_key(Handle h) const;
+    /** Display name of gauge handle @p h ("name" or "fnN/name"). */
+    std::string gauge_key(Handle h) const;
 
     std::size_t counter_count() const { return counter_values_.size(); }
     std::size_t gauge_count() const { return gauge_values_.size(); }

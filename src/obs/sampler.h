@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Time-series sampling of a MetricsRegistry.
+ *
+ * A TimeSeriesSampler snapshots every counter and gauge of a registry
+ * into a bounded series (drop-oldest), so benches and the tier-2
+ * scripts can plot trajectories instead of end-state totals. The
+ * controller drives sample() from a sim timer at the PF-programmed
+ * interval; the sampler itself has no notion of time beyond the
+ * timestamps it is handed.
+ *
+ * Samples store raw values indexed by metric handle — handles are
+ * append-only, so a value vector shorter than the current handle
+ * count simply predates the newer metrics. Names are resolved from
+ * the registry only at export time.
+ */
+#ifndef NESC_OBS_SAMPLER_H
+#define NESC_OBS_SAMPLER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace nesc::obs {
+
+class TimeSeriesSampler {
+  public:
+    /** Samples retained before drop-oldest kicks in (default). */
+    static constexpr std::size_t kDefaultCapacity = 256;
+
+    explicit TimeSeriesSampler(const MetricsRegistry &registry)
+        : registry_(registry)
+    {
+    }
+
+    /** Caps retained samples; trims the series if already longer. */
+    void set_capacity(std::size_t samples);
+    std::size_t capacity() const { return capacity_; }
+
+    /** Snapshots every counter and gauge at time @p now. */
+    void sample(sim::Time now);
+
+    std::size_t size() const { return series_.size(); }
+    std::uint64_t taken() const { return taken_; }
+    std::uint64_t dropped() const { return dropped_; }
+    void clear();
+
+    /**
+     * JSON export: `{"samples": [{"t": ..., "counters": {...},
+     * "gauges": {...}}, ...], "taken": N, "dropped": M}`. Scoped
+     * metrics render as "fnN/name", like MetricsRegistry::to_json.
+     */
+    std::string to_json() const;
+
+  private:
+    struct Sample {
+        sim::Time at = 0;
+        std::vector<std::uint64_t> counters;
+        std::vector<std::uint64_t> gauges;
+    };
+
+    const MetricsRegistry &registry_;
+    std::deque<Sample> series_;
+    std::size_t capacity_ = kDefaultCapacity;
+    std::uint64_t taken_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace nesc::obs
+
+#endif // NESC_OBS_SAMPLER_H

@@ -1,0 +1,247 @@
+#include "slo.h"
+
+#include <cmath>
+
+namespace nesc::obs {
+
+const char *
+slo_metric_name(SloMetric metric)
+{
+    switch (metric) {
+    case SloMetric::kLatencyP99: return "latency_p99";
+    case SloMetric::kErrorRate: return "error_rate";
+    }
+    return "unknown";
+}
+
+void
+SloWatch::Window::reset(sim::Time at)
+{
+    for (LogHistogram &h : stages)
+        h.reset();
+    ops = 0;
+    errors = 0;
+    start = at;
+    dirty = false;
+}
+
+void
+SloWatch::enable(std::uint16_t num_functions, sim::Time now)
+{
+    if (enabled_)
+        return;
+    fns_.assign(num_functions, {});
+    for (FnState &f : fns_) {
+        f.current.reset(now);
+        f.closed.reset(now);
+    }
+    touched_.clear();
+    touched_.reserve(num_functions);
+    window_open_ = now;
+    closed_open_ = now;
+    rotations_ = 0;
+    enabled_ = true;
+}
+
+void
+SloWatch::disable()
+{
+    // Keep the per-function storage allocated: re-arming reuses it, and
+    // the armed and disarmed heap layouts stay identical, so toggling
+    // the plane does not perturb unrelated allocations. Readers are
+    // gated on enabled_, never on fns_ being empty.
+    enabled_ = false;
+    touched_.clear();
+}
+
+void
+SloWatch::set_limits(std::uint16_t fn, SloLimits limits)
+{
+    if (enabled_ && fn < fns_.size())
+        fns_[fn].limits = limits;
+}
+
+SloLimits
+SloWatch::limits(std::uint16_t fn) const
+{
+    if (enabled_ && fn < fns_.size())
+        return fns_[fn].limits;
+    return {};
+}
+
+void
+SloWatch::observe_ok(std::uint16_t fn, std::uint64_t e2e_ns,
+                     std::uint64_t queue_ns, std::uint64_t translate_ns,
+                     std::uint64_t transfer_ns)
+{
+    if (!enabled_ || fn >= fns_.size())
+        return;
+    FnState &f = fns_[fn];
+    touch(fn, f);
+    // window_seen doubles as the window's OK-op count; rotation folds
+    // it into ops, so the hot path pays no separate counter.
+    const std::uint32_t seen = f.window_seen++;
+    if (seen >= kExactPerWindow && (seen & kSampleMask) != 0)
+        return;
+    Staged &s = f.staged[f.staged_count];
+    s.v[kEndToEnd] = e2e_ns;
+    s.v[kQueue] = queue_ns;
+    s.v[kTranslate] = translate_ns;
+    s.v[kTransfer] = transfer_ns;
+    if (++f.staged_count == kStageBatch)
+        drain(f);
+}
+
+void
+SloWatch::note_op(std::uint16_t fn, bool error)
+{
+    if (!enabled_ || fn >= fns_.size())
+        return;
+    FnState &f = fns_[fn];
+    touch(fn, f);
+    ++f.staged_ops;
+    if (error)
+        ++f.staged_errors;
+}
+
+void
+SloWatch::rotate(sim::Time now)
+{
+    if (!enabled_)
+        return;
+    // Only functions with activity since the last rotation do any
+    // work: idle functions are neither visited nor reset — their
+    // stale closed window is hidden by the epoch check in the
+    // readers. Rotation cost is therefore proportional to the active
+    // function count, not max_vfs, which is what keeps a short window
+    // affordable with hundreds of mostly-idle VFs.
+    ++rotations_;
+    const sim::Time opened = window_open_;
+    for (const std::uint16_t fn : touched_) {
+        FnState &f = fns_[fn];
+        f.touched = false;
+        drain(f);
+        // window_seen is the window's OK-op count (folded here, once
+        // per rotation, instead of a second hot-path counter) and the
+        // exact-sampling prefix cursor (reset for the fresh window).
+        f.current.ops += f.window_seen;
+        f.window_seen = 0;
+        if (!f.current.dirty)
+            continue;
+        f.current.start = opened;
+        evaluate(fn, f.current);
+        // The just-closed window becomes the readable snapshot; its
+        // previous contents are recycled as the new current window.
+        std::swap(f.current, f.closed);
+        f.current.reset(now);
+        f.closed_epoch = rotations_;
+    }
+    touched_.clear();
+    closed_open_ = opened;
+    window_open_ = now;
+}
+
+void
+SloWatch::drain(FnState &f)
+{
+    if (f.staged_count == 0 && f.staged_ops == 0)
+        return;
+    Window &w = f.current;
+    w.dirty = true;
+    // Stage-major over the AoS staging buffer: each histogram folds
+    // its field with a strided pass, no gather copy. The whole staged
+    // block is at most 2 KiB, so all four passes stay in L1.
+    for (std::size_t stage = 0; stage < kStages; ++stage) {
+        w.stages[stage].observe_strided(&f.staged[0].v[stage], kStages,
+                                        f.staged_count);
+    }
+    w.ops += f.staged_ops;
+    w.errors += f.staged_errors;
+    f.staged_count = 0;
+    f.staged_ops = 0;
+    f.staged_errors = 0;
+}
+
+void
+SloWatch::evaluate(std::uint16_t fn, const Window &window)
+{
+    const SloLimits &limits = fns_[fn].limits;
+    if (limits.max_p99_ns != 0 && window.stages[kEndToEnd].count() > 0) {
+        const double p99 = window.stages[kEndToEnd].percentile(99.0);
+        const auto observed =
+            static_cast<std::uint64_t>(std::llround(p99));
+        if (observed > limits.max_p99_ns) {
+            raise({observed, limits.max_p99_ns, window.start, fn,
+                   SloMetric::kLatencyP99});
+        }
+    }
+    if (limits.max_error_ppm != 0 && window.ops > 0) {
+        const std::uint64_t ppm = window.errors * 1'000'000 / window.ops;
+        if (ppm > limits.max_error_ppm) {
+            raise({ppm, limits.max_error_ppm, window.start, fn,
+                   SloMetric::kErrorRate});
+        }
+    }
+}
+
+void
+SloWatch::raise(const SloBreach &breach)
+{
+    ++raised_;
+    breaches_.push_back(breach);
+    while (breaches_.size() > kMaxBreaches) {
+        breaches_.pop_front();
+        ++breach_dropped_;
+    }
+    if (hook_)
+        hook_(breach);
+}
+
+const LogHistogram *
+SloWatch::window(std::uint16_t fn, std::uint32_t stage) const
+{
+    // A stale closed_epoch means the function was idle across the
+    // whole last window; its closed window is logically empty even
+    // though rotation left the old contents in place.
+    static const LogHistogram kEmpty;
+    if (!enabled_ || fn >= fns_.size() || stage >= kStages)
+        return nullptr;
+    const FnState &f = fns_[fn];
+    return f.closed_epoch == rotations_ ? &f.closed.stages[stage]
+                                        : &kEmpty;
+}
+
+std::uint64_t
+SloWatch::window_ops(std::uint16_t fn) const
+{
+    if (!enabled_ || fn >= fns_.size() ||
+        fns_[fn].closed_epoch != rotations_)
+        return 0;
+    return fns_[fn].closed.ops;
+}
+
+std::uint64_t
+SloWatch::window_errors(std::uint16_t fn) const
+{
+    if (!enabled_ || fn >= fns_.size() ||
+        fns_[fn].closed_epoch != rotations_)
+        return 0;
+    return fns_[fn].closed.errors;
+}
+
+sim::Time
+SloWatch::window_start(std::uint16_t fn) const
+{
+    if (!enabled_ || fn >= fns_.size())
+        return 0;
+    const FnState &f = fns_[fn];
+    return f.closed_epoch == rotations_ ? f.closed.start : closed_open_;
+}
+
+void
+SloWatch::clear_breaches()
+{
+    breaches_.clear();
+}
+
+} // namespace nesc::obs

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Per-function windowed latency/IOPS accounting and SLO watch.
+ *
+ * SloWatch maintains, for every function, a rotating pair of time
+ * windows. The *current* window accumulates end-to-end and per-stage
+ * latency LogHistograms plus op/error counts as commands complete;
+ * on rotation it becomes the *closed* window — the stable snapshot
+ * the PF-only registers read — and a fresh window starts. The
+ * controller drives rotation from a sim timer at the PF-programmed
+ * window length.
+ *
+ * SLO evaluation happens only at rotation, against the window that
+ * just closed. That gives inherent rate limiting: a function can
+ * breach each metric at most once per window, no matter how many
+ * commands violated the threshold inside it. Breaches are pushed to a
+ * bounded directory (drop-oldest) and reported through an optional
+ * hook so the controller can count/trace/log them.
+ *
+ * Cost model: compiled in, OFF until enable(). The controller guards
+ * the per-completion observe calls with a single branch on the
+ * PF-programmed window length, so the plane is free when off.
+ */
+#ifndef NESC_OBS_SLO_H
+#define NESC_OBS_SLO_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace nesc::obs {
+
+/** Per-function SLO thresholds; 0 disables that check. */
+struct SloLimits {
+    std::uint64_t max_p99_ns = 0;    ///< end-to-end p99 ceiling
+    std::uint64_t max_error_ppm = 0; ///< errored ops per million ops
+};
+
+/** Which threshold a breach tripped. */
+enum class SloMetric : std::uint8_t {
+    kLatencyP99 = 0,
+    kErrorRate = 1,
+};
+
+const char *slo_metric_name(SloMetric metric);
+
+/** One SLO violation, evaluated over a closed window. */
+struct SloBreach {
+    std::uint64_t observed = 0;
+    std::uint64_t threshold = 0;
+    sim::Time window_start = 0; ///< start of the breaching window
+    std::uint16_t fn = 0;
+    SloMetric metric = SloMetric::kLatencyP99;
+};
+
+class SloWatch {
+  public:
+    /** Latency stages tracked per window. */
+    enum Stage : std::uint32_t {
+        kEndToEnd = 0,
+        kQueue = 1,
+        kTranslate = 2,
+        kTransfer = 3,
+    };
+    static constexpr std::size_t kStages = 4;
+    /** Staged samples folded into the histograms per burst. */
+    static constexpr std::size_t kStageBatch = 64;
+    /** Breaches retained in the directory before drop-oldest. */
+    static constexpr std::size_t kMaxBreaches = 64;
+    /**
+     * Per-window exact-sampling prefix. The first kExactPerWindow OK
+     * completions of each function's window are all staged; beyond
+     * that only every (kSampleMask+1)-th is. Lightly loaded windows —
+     * the ones where a single command decides a breach — therefore
+     * keep full fidelity, while a saturated tenant's window thins to
+     * 1-in-8, whose effect on a log-bucketed p99 is far below the
+     * bucketing error itself. Op and error *counts* are always exact;
+     * only the histograms sample. The schedule is a deterministic
+     * per-window counter, never a PRNG.
+     */
+    static constexpr std::uint32_t kExactPerWindow = 64;
+    /** Post-prefix sampling mask: stage when (seen & mask) == 0. */
+    static constexpr std::uint32_t kSampleMask = 7;
+
+    using BreachHook = std::function<void(const SloBreach &)>;
+
+    /**
+     * Starts accounting for @p num_functions functions; both windows
+     * begin empty at @p now. Re-enabling with accounting already on
+     * is a no-op (window pacing is the controller's concern).
+     */
+    void enable(std::uint16_t num_functions, sim::Time now);
+    void disable();
+    bool enabled() const { return enabled_; }
+
+    void set_breach_hook(BreachHook hook) { hook_ = std::move(hook); }
+    /** Programs @p fn's thresholds; zeros make it unwatched. */
+    void set_limits(std::uint16_t fn, SloLimits limits);
+    SloLimits limits(std::uint16_t fn) const;
+
+    /**
+     * Hot path: one successfully completed op's stage latencies.
+     * Also counts the op (as non-errored), so the common OK path is a
+     * single call; note_op() is only for completions with no usable
+     * stage timestamps (errors, faulted ops).
+     *
+     * Samples are appended to a small per-function staging buffer (a
+     * sequential 32-byte store) and folded into the window histograms
+     * in batches: scattering 8+ cache lines across four LogHistograms
+     * on every completion costs more than the whole simulation step,
+     * while a burst of kStageBatch samples amortizes those misses to
+     * noise. The staging buffer drains on batch-full and at every
+     * rotation, so closed-window reads never see staged samples.
+     * Past kExactPerWindow ops in one window, samples thin to
+     * 1-in-(kSampleMask+1); see kExactPerWindow for the fidelity
+     * argument. Ops/error counts never sample.
+     */
+    /**
+     * Deliberately out-of-line (slo.cc): the controller's completion
+     * path is icache-critical, and inlining the staging body into it
+     * measurably slows the *surrounding* code. The call itself is
+     * behind the controller's single obs-armed branch, so the
+     * plane-off path never pays it.
+     */
+    void observe_ok(std::uint16_t fn, std::uint64_t e2e_ns,
+                    std::uint64_t queue_ns, std::uint64_t translate_ns,
+                    std::uint64_t transfer_ns);
+
+    /** Hot path: counts one completed op observe_ok() did not see. */
+    void note_op(std::uint16_t fn, bool error);
+
+    /**
+     * Closes every function's current window (evaluating SLOs on it),
+     * exposes it as the closed window, and starts a fresh one at
+     * @p now.
+     */
+    void rotate(sim::Time now);
+
+    // --- Closed-window introspection (what the registers read) -------
+
+    /** @p fn's closed-window histogram for @p stage; nullptr invalid. */
+    const LogHistogram *window(std::uint16_t fn, std::uint32_t stage) const;
+    std::uint64_t window_ops(std::uint16_t fn) const;
+    std::uint64_t window_errors(std::uint16_t fn) const;
+    sim::Time window_start(std::uint16_t fn) const;
+    std::uint64_t windows_rotated() const { return rotations_; }
+
+    const std::deque<SloBreach> &breaches() const { return breaches_; }
+    std::uint64_t breaches_raised() const { return raised_; }
+    std::uint64_t breaches_dropped() const { return breach_dropped_; }
+    void clear_breaches();
+
+  private:
+    struct Window {
+        std::array<LogHistogram, kStages> stages;
+        std::uint64_t ops = 0;
+        std::uint64_t errors = 0;
+        sim::Time start = 0;
+        /** Set by drain() when anything lands in the window. */
+        bool dirty = false;
+
+        void reset(sim::Time at);
+    };
+    /** One staged completion: all four stage latencies, 32 bytes. */
+    struct Staged {
+        std::uint64_t v[kStages];
+    };
+    struct FnState {
+        /** Hot header: everything a completion touches, up front. */
+        std::uint32_t staged_count = 0;
+        /** OK completions seen this window (drives the sampling gate). */
+        std::uint32_t window_seen = 0;
+        /** In touched_ already; avoids duplicate list entries. */
+        bool touched = false;
+        std::uint64_t staged_ops = 0;
+        std::uint64_t staged_errors = 0;
+        /**
+         * rotations_ value when closed was last swapped in. A stale
+         * epoch means the function was idle over the whole last
+         * window, so readers report the window as empty instead of
+         * resurrecting older data. This is what lets rotation skip
+         * idle functions entirely: nothing per-function is reset, the
+         * epoch comparison hides the leftovers.
+         */
+        std::uint64_t closed_epoch = 0;
+        std::array<Staged, kStageBatch> staged;
+        Window current;
+        Window closed;
+        SloLimits limits;
+    };
+
+    /** First activity of the window enlists @p fn for rotation work. */
+    void touch(std::uint16_t fn, FnState &f)
+    {
+        if (!f.touched) {
+            f.touched = true;
+            touched_.push_back(fn);
+        }
+    }
+
+    /** Folds @p f's staged samples/counts into its current window. */
+    void drain(FnState &f);
+    void evaluate(std::uint16_t fn, const Window &window);
+    void raise(const SloBreach &breach);
+
+    std::vector<FnState> fns_;
+    /** Functions with any activity since the last rotation. */
+    std::vector<std::uint16_t> touched_;
+    std::deque<SloBreach> breaches_;
+    BreachHook hook_;
+    /** Time the current windows opened (last rotation, or enable). */
+    sim::Time window_open_ = 0;
+    /** Time the just-closed windows opened (previous rotation). */
+    sim::Time closed_open_ = 0;
+    std::uint64_t rotations_ = 0;
+    std::uint64_t raised_ = 0;
+    std::uint64_t breach_dropped_ = 0;
+    bool enabled_ = false;
+};
+
+} // namespace nesc::obs
+
+#endif // NESC_OBS_SLO_H

@@ -52,6 +52,8 @@ stage_name(Stage stage)
         return "checksum";
     case Stage::kScrub:
         return "scrub";
+    case Stage::kSloBreach:
+        return "slo_breach";
     case Stage::kCount:
         break;
     }

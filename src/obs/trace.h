@@ -57,6 +57,7 @@ enum class Stage : std::uint8_t {
     kResync,       ///< background replica resync activity
     kChecksum,     ///< payload checksum mismatch + recovery ladder
     kScrub,        ///< background integrity scrub activity
+    kSloBreach,    ///< SLO threshold violated over a closed window
     kCount,
 };
 

@@ -439,6 +439,8 @@ ReplicaSet::demote_backend(std::size_t index)
     ++b.resync_epoch; // cancels a resync loop if one was running
     b.health_events.clear();
     ++demotions_;
+    if (demotion_hook_)
+        demotion_hook_(index);
 }
 
 void

@@ -203,6 +203,17 @@ class ReplicaSet {
     void set_quorum(std::uint32_t quorum);
     void set_read_timeout(sim::Duration timeout);
 
+    /**
+     * Fires whenever a backend transitions to kDown — health-driven
+     * demotions and forced ones alike — with the backend index. The
+     * controller uses it to snapshot its flight recorder; replace
+     * with nullptr to detach.
+     */
+    void set_demotion_hook(std::function<void(std::size_t)> hook)
+    {
+        demotion_hook_ = std::move(hook);
+    }
+
   private:
     /** One backend: link + journaled store + health bookkeeping. */
     struct Backend {
@@ -275,6 +286,7 @@ class ReplicaSet {
     std::uint64_t demotions_ = 0;
     std::uint64_t resyncs_completed_ = 0;
     std::uint64_t repairs_ = 0;
+    std::function<void(std::size_t)> demotion_hook_;
 };
 
 } // namespace nesc::repl

@@ -9,6 +9,10 @@ namespace nesc::sim {
 Simulator::Simulator()
 {
     lanes_.push_back(Lane{{}, /*live=*/true, /*retired=*/false});
+    // The internal timer lane (kTimerLane) exists from birth but is
+    // excluded from live_lanes_: it cannot be registered or released,
+    // so lane_count() keeps meaning "default + registered lanes".
+    lanes_.push_back(Lane{{}, /*live=*/true, /*retired=*/false});
     live_lanes_ = 1;
     reserve(kDefaultReserve);
 }
@@ -30,28 +34,38 @@ Simulator::push_selector(Time when, std::uint64_t seq, LaneId lane)
 }
 
 void
-Simulator::schedule_at_lane(LaneId lane_id, Time when, Callback fn)
+Simulator::schedule_event(LaneId lane_id, Time when, Callback fn,
+                          bool weak)
 {
     assert(fn && "null event callback");
     assert(lane_id < lanes_.size() && lanes_[lane_id].live &&
            "scheduling on an unregistered lane");
     if (when < now_)
         when = now_; // clamp: components may schedule "immediately"
+    // Park long-dated events away from busy lanes (see file comment in
+    // the header); order is global (when, seq), so this cannot change
+    // simulated results, only the heap traffic.
+    if (when - now_ > kTimerHorizon)
+        lane_id = kTimerLane;
 
     std::uint32_t slot;
     if (free_slots_.empty()) {
         slot = static_cast<std::uint32_t>(slots_.size());
         slots_.push_back(std::move(fn));
+        slot_weak_.push_back(weak ? 1 : 0);
     } else {
         slot = free_slots_.back();
         free_slots_.pop_back();
         slots_[slot] = std::move(fn);
+        slot_weak_[slot] = weak ? 1 : 0;
     }
 
     const EventKey key{when, next_seq_++, slot};
     if (lanes_[lane_id].heap.push(key))
         push_selector(key.when, key.seq, lane_id);
     ++pending_;
+    if (weak)
+        ++weak_pending_;
 }
 
 LaneId
@@ -77,6 +91,7 @@ void
 Simulator::release_lane(LaneId lane_id)
 {
     assert(lane_id != kDefaultLane && "the default lane is permanent");
+    assert(lane_id != kTimerLane && "the timer lane is internal");
     assert(lane_id < lanes_.size() && lanes_[lane_id].live);
     Lane &lane = lanes_[lane_id];
     if (lane.retired)
@@ -143,6 +158,8 @@ Simulator::step()
     ++events_executed_;
     ++g_total_events_;
     --pending_;
+    if (slot_weak_[key.slot] != 0)
+        --weak_pending_;
 
     // Free the slot before invoking: the callback may schedule onto it.
     Callback fn = std::move(slots_[key.slot]);
@@ -154,8 +171,11 @@ Simulator::step()
 void
 Simulator::run_until_idle()
 {
-    while (step()) {
-    }
+    // Strong events drain in global order — weak timers that fall
+    // before a pending strong event still fire — but the loop stops
+    // once only weak (maintenance) events remain, leaving them armed.
+    while (pending_ > weak_pending_)
+        step();
 }
 
 void

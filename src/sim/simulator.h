@@ -15,6 +15,29 @@
  * live in a recycled slot pool, so heap sifts move keys, never the
  * 96-byte sim::Callback.
  *
+ * Events come in two strengths. Ordinary (strong) events represent
+ * work in flight and keep the simulation alive: run_until_idle()
+ * drains until none remain. Weak events (schedule_weak_in) are
+ * maintenance timers — periodic telemetry windows, samplers — that
+ * fire in normal global order while anything else is running or while
+ * time is driven forward with run_until(), but never by themselves
+ * keep run_until_idle() spinning. A self-rescheduling weak timer is
+ * therefore safe: it ticks for as long as the simulation has real
+ * work (or a deadline to reach) and goes quiescent with it, exactly
+ * like an unreferenced timer in an event loop.
+ *
+ * Long-dated events (delay > kTimerHorizon — periodic telemetry
+ * windows, scrub intervals, watchdogs) are transparently parked on an
+ * internal timer lane. A far-future event on a busy lane is poison:
+ * it keeps the lane's heap non-empty, so every pop re-publishes the
+ * far event as the lane minimum and the next near-event push
+ * immediately staleifies that selector entry — doubling selector
+ * traffic for every event on the lane (measured ~20% on an I/O-bound
+ * run from one pending timer). Parked on its own lane, the timer
+ * contributes one selector entry that stays valid until it fires.
+ * Diversion never reorders anything: execution order is globally
+ * (when, seq) regardless of lane (see the determinism contract).
+ *
  * Determinism contract: the sequence number is GLOBAL and assigned at
  * schedule time, and both lane heaps and the selector order strictly
  * by (when, seq). Execution order is therefore identical to a single
@@ -47,6 +70,14 @@ class Simulator {
     /** Lane used by schedule_at/schedule_in; always present. */
     static constexpr LaneId kDefaultLane = 0;
 
+    /**
+     * Events scheduled more than this many nanoseconds ahead are
+     * parked on an internal timer lane (see file comment). 100 µs sits
+     * well above per-block device latencies and well below the
+     * millisecond-scale periodic timers the parking exists for.
+     */
+    static constexpr Duration kTimerHorizon = 100'000;
+
     /** Pre-sized event capacity (events, not bytes). */
     static constexpr std::size_t kDefaultReserve = 4096;
 
@@ -68,7 +99,24 @@ class Simulator {
     }
 
     /** Schedules @p fn at absolute time @p when (>= now) on @p lane. */
-    void schedule_at_lane(LaneId lane, Time when, Callback fn);
+    void schedule_at_lane(LaneId lane, Time when, Callback fn)
+    {
+        schedule_event(lane, when, std::move(fn), /*weak=*/false);
+    }
+
+    /**
+     * Schedules a weak event @p delay nanoseconds from now. Weak
+     * events execute in the same global (when, seq) order as strong
+     * ones but do not count toward idle: run_until_idle() returns
+     * once only weak events remain (without firing them), while
+     * run_until() fires any that fall inside its window. Use for
+     * periodic maintenance timers that re-arm themselves forever.
+     */
+    void schedule_weak_in(Duration delay, Callback fn)
+    {
+        schedule_event(kDefaultLane, now_ + delay, std::move(fn),
+                       /*weak=*/true);
+    }
 
     /** Schedules @p fn @p delay nanoseconds from now on @p lane. */
     void schedule_in_lane(LaneId lane, Duration delay, Callback fn)
@@ -90,14 +138,20 @@ class Simulator {
      */
     void release_lane(LaneId lane);
 
-    /** Lanes currently open (default lane included). */
+    /**
+     * Lanes currently open (default lane included; the internal timer
+     * lane is bookkeeping, not a registerable lane, and is excluded).
+     */
     std::size_t lane_count() const { return live_lanes_; }
 
     /** Grows default-lane and callback-pool capacity to @p events. */
     void reserve(std::size_t events);
 
-    /** True when no events are pending on any lane. */
-    bool idle() const { return pending_ == 0; }
+    /** True when no strong events are pending on any lane. */
+    bool idle() const { return pending_ == weak_pending_; }
+
+    /** Weak (maintenance-timer) events currently pending. */
+    std::size_t weak_pending() const { return weak_pending_; }
 
     /**
      * Executes the earliest pending event, advancing the clock to its
@@ -105,7 +159,11 @@ class Simulator {
      */
     bool step();
 
-    /** Runs until no events remain. */
+    /**
+     * Runs until no strong events remain. Pending weak events are
+     * left armed (they fire on a later run_until(), or whenever new
+     * strong work is scheduled past them).
+     */
     void run_until_idle();
 
     /**
@@ -134,6 +192,9 @@ class Simulator {
     }
 
   private:
+    /** Internal parking lane for long-dated events; never recycled. */
+    static constexpr LaneId kTimerLane = 1;
+
     struct Lane {
         LaneHeap heap;
         bool live = false;    ///< registered (or still draining)
@@ -160,11 +221,13 @@ class Simulator {
     bool peek(Time &when);
     void push_selector(Time when, std::uint64_t seq, LaneId lane);
     void recycle_lane(LaneId lane);
+    void schedule_event(LaneId lane, Time when, Callback fn, bool weak);
 
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
     std::size_t pending_ = 0;
+    std::size_t weak_pending_ = 0;
     std::size_t live_lanes_ = 0;
 
     std::vector<Lane> lanes_;
@@ -173,6 +236,8 @@ class Simulator {
     std::vector<SelectorEntry> selector_;
     /** Callback pool; EventKey::slot indexes into it. */
     std::vector<Callback> slots_;
+    /** Per-slot weak flag, parallel to slots_. */
+    std::vector<std::uint8_t> slot_weak_;
     std::vector<std::uint32_t> free_slots_;
 
     static inline std::uint64_t g_total_events_ = 0;
